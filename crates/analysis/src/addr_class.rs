@@ -1,0 +1,219 @@
+//! Address classification — Table 4.
+//!
+//! Netalyzr categorizes the device address (`IPdev`) and the UPnP-reported
+//! CPE WAN address (`IPcpe`) into: *private* (one of the four reserved
+//! ranges), *unrouted* (nominally public, absent from the routing table),
+//! *routed match* (routable and equal to the public address the server
+//! saw) and *routed mismatch* (routable but translated on the way).
+
+use crate::obs::SessionObs;
+use crate::stats::pct;
+use netcore::{classify_reserved, ReservedRange, RoutingTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// One classified address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddrClass {
+    Private(ReservedRange),
+    Unrouted,
+    RoutedMatch,
+    RoutedMismatch,
+}
+
+impl AddrClass {
+    pub fn label(self) -> &'static str {
+        match self {
+            AddrClass::Private(r) => r.shorthand(),
+            AddrClass::Unrouted => "unrouted",
+            AddrClass::RoutedMatch => "routed match",
+            AddrClass::RoutedMismatch => "routed mismatch",
+        }
+    }
+
+    /// Whether this classification indicates address translation.
+    pub fn indicates_translation(self) -> bool {
+        !matches!(self, AddrClass::RoutedMatch)
+    }
+}
+
+/// Classify `addr` given the session's public address and the routing
+/// table.
+pub fn classify_addr(
+    addr: Ipv4Addr,
+    public: Option<Ipv4Addr>,
+    routing: &RoutingTable,
+) -> AddrClass {
+    if let Some(r) = classify_reserved(addr) {
+        return AddrClass::Private(r);
+    }
+    if !routing.is_routed(addr) {
+        return AddrClass::Unrouted;
+    }
+    match public {
+        Some(p) if p == addr => AddrClass::RoutedMatch,
+        _ => AddrClass::RoutedMismatch,
+    }
+}
+
+/// One column of Table 4: the class breakdown of a set of addresses.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AddrBreakdown {
+    pub n: usize,
+    pub r192: usize,
+    pub r172: usize,
+    pub r10: usize,
+    pub r100: usize,
+    pub unrouted: usize,
+    pub routed_match: usize,
+    pub routed_mismatch: usize,
+}
+
+impl AddrBreakdown {
+    pub fn add(&mut self, class: AddrClass) {
+        self.n += 1;
+        match class {
+            AddrClass::Private(ReservedRange::R192) => self.r192 += 1,
+            AddrClass::Private(ReservedRange::R172) => self.r172 += 1,
+            AddrClass::Private(ReservedRange::R10) => self.r10 += 1,
+            AddrClass::Private(ReservedRange::R100) => self.r100 += 1,
+            AddrClass::Unrouted => self.unrouted += 1,
+            AddrClass::RoutedMatch => self.routed_match += 1,
+            AddrClass::RoutedMismatch => self.routed_mismatch += 1,
+        }
+    }
+
+    /// Percentages in Table 4 row order.
+    pub fn percentages(&self) -> [(String, f64); 7] {
+        [
+            ("192X".into(), pct(self.r192, self.n)),
+            ("172X".into(), pct(self.r172, self.n)),
+            ("10X".into(), pct(self.r10, self.n)),
+            ("100X".into(), pct(self.r100, self.n)),
+            ("unrouted".into(), pct(self.unrouted, self.n)),
+            ("routed match".into(), pct(self.routed_match, self.n)),
+            ("routed mismatch".into(), pct(self.routed_mismatch, self.n)),
+        ]
+    }
+}
+
+impl fmt::Display for AddrBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "N={}", self.n)?;
+        for (label, p) in self.percentages() {
+            writeln!(f, "  {label:<16} {p:5.1}%")?;
+        }
+        Ok(())
+    }
+}
+
+/// The three columns of Table 4.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table4 {
+    /// `IPdev` over cellular sessions.
+    pub cellular_dev: AddrBreakdown,
+    /// `IPdev` over non-cellular sessions.
+    pub noncellular_dev: AddrBreakdown,
+    /// `IPcpe` over non-cellular sessions where UPnP answered.
+    pub noncellular_cpe: AddrBreakdown,
+}
+
+/// Compute Table 4 from the session corpus.
+pub fn table4(sessions: &[SessionObs], routing: &RoutingTable) -> Table4 {
+    let mut t = Table4::default();
+    for s in sessions {
+        let dev = classify_addr(s.ip_dev, s.ip_pub, routing);
+        if s.cellular {
+            t.cellular_dev.add(dev);
+        } else {
+            t.noncellular_dev.add(dev);
+            if let Some(cpe) = s.ip_cpe {
+                t.noncellular_cpe.add(classify_addr(cpe, s.ip_pub, routing));
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::{ip, AsId, Prefix};
+
+    fn routing() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.announce(Prefix::new(ip(50, 0, 0, 0), 8), AsId(1));
+        t
+    }
+
+    #[test]
+    fn classify_all_categories() {
+        let r = routing();
+        let public = Some(ip(50, 1, 2, 3));
+        assert_eq!(
+            classify_addr(ip(192, 168, 1, 5), public, &r),
+            AddrClass::Private(ReservedRange::R192)
+        );
+        assert_eq!(
+            classify_addr(ip(100, 64, 1, 5), public, &r),
+            AddrClass::Private(ReservedRange::R100)
+        );
+        // 25/8 is public by value but absent from the table.
+        assert_eq!(classify_addr(ip(25, 0, 0, 1), public, &r), AddrClass::Unrouted);
+        assert_eq!(classify_addr(ip(50, 1, 2, 3), public, &r), AddrClass::RoutedMatch);
+        assert_eq!(classify_addr(ip(50, 9, 9, 9), public, &r), AddrClass::RoutedMismatch);
+        // Without a public observation, routable addresses count as
+        // mismatch (translation state unknown but address not confirmed).
+        assert_eq!(classify_addr(ip(50, 1, 2, 3), None, &r), AddrClass::RoutedMismatch);
+    }
+
+    #[test]
+    fn translation_indicator() {
+        assert!(AddrClass::Private(ReservedRange::R10).indicates_translation());
+        assert!(AddrClass::Unrouted.indicates_translation());
+        assert!(AddrClass::RoutedMismatch.indicates_translation());
+        assert!(!AddrClass::RoutedMatch.indicates_translation());
+    }
+
+    #[test]
+    fn breakdown_counts_and_percentages() {
+        let mut b = AddrBreakdown::default();
+        b.add(AddrClass::Private(ReservedRange::R192));
+        b.add(AddrClass::Private(ReservedRange::R192));
+        b.add(AddrClass::RoutedMatch);
+        b.add(AddrClass::Unrouted);
+        assert_eq!(b.n, 4);
+        let p = b.percentages();
+        assert_eq!(p[0].1, 50.0); // 192X
+        assert_eq!(p[5].1, 25.0); // routed match
+        let total: f64 = p.iter().map(|(_, v)| v).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table4_splits_populations() {
+        let r = routing();
+        let mut cell = SessionObs::skeleton(AsId(1), true, ip(10, 40, 0, 2));
+        cell.ip_pub = Some(ip(50, 1, 1, 1));
+        let mut fixed = SessionObs::skeleton(AsId(2), false, ip(192, 168, 1, 100));
+        fixed.ip_pub = Some(ip(50, 2, 2, 2));
+        fixed.ip_cpe = Some(ip(100, 64, 7, 7));
+        let t = table4(&[cell, fixed], &r);
+        assert_eq!(t.cellular_dev.n, 1);
+        assert_eq!(t.cellular_dev.r10, 1);
+        assert_eq!(t.noncellular_dev.n, 1);
+        assert_eq!(t.noncellular_dev.r192, 1);
+        assert_eq!(t.noncellular_cpe.n, 1);
+        assert_eq!(t.noncellular_cpe.r100, 1);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut b = AddrBreakdown::default();
+        b.add(AddrClass::RoutedMatch);
+        let s = b.to_string();
+        assert!(s.contains("routed match"));
+        assert!(s.contains("100.0%"));
+    }
+}

@@ -1,0 +1,246 @@
+//! BitTorrent-based CGN detection (§4.1, Fig. 4).
+//!
+//! From the crawl's leak records, build a per-AS, per-reserved-range leak
+//! graph and apply the paper's conservative boundary: an AS is
+//! CGN-positive when its largest connected cluster contains **at least
+//! five public IPs and five internal IPs** within a single internal range.
+//! Internal peers leaked by more than one AS are discarded first (the VPN
+//! filter).
+
+use crate::graph::{ClusterSummary, LeakGraph};
+use crate::obs::BtLeakObs;
+use netcore::{AsId, ReservedRange};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Detector thresholds (paper defaults).
+#[derive(Debug, Clone)]
+pub struct BtDetector {
+    /// Minimum distinct public IPs in the largest cluster (5).
+    pub min_external_ips: usize,
+    /// Minimum distinct internal IPs in the largest cluster (5).
+    pub min_internal_ips: usize,
+    /// Drop internal peers leaked from several ASes (VPN filter).
+    pub exclusive_single_as: bool,
+}
+
+impl Default for BtDetector {
+    fn default() -> Self {
+        BtDetector { min_external_ips: 5, min_internal_ips: 5, exclusive_single_as: true }
+    }
+}
+
+/// Leak analysis of one AS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsLeakAnalysis {
+    /// Largest connected cluster per reserved range (Fig. 4 coordinates).
+    pub largest_per_range: BTreeMap<ReservedRange, ClusterSummary>,
+    /// Distinct leaking public IPs in this AS.
+    pub leaking_ips: usize,
+    /// Distinct internal IPs leaked in this AS (after the VPN filter).
+    pub internal_ips: usize,
+    /// Whether the detection boundary is crossed.
+    pub cgn_positive: bool,
+    /// The range(s) whose cluster crossed the boundary.
+    pub positive_ranges: Vec<ReservedRange>,
+}
+
+/// The full detection result.
+#[derive(Debug, Clone, Default)]
+pub struct BtDetection {
+    pub per_as: BTreeMap<AsId, AsLeakAnalysis>,
+}
+
+impl BtDetection {
+    /// The set of CGN-positive ASes.
+    pub fn positive_ases(&self) -> BTreeSet<AsId> {
+        self.per_as
+            .iter()
+            .filter(|(_, a)| a.cgn_positive)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// All ASes with any (filtered) leakage.
+    pub fn ases_with_leakage(&self) -> BTreeSet<AsId> {
+        self.per_as.keys().copied().collect()
+    }
+}
+
+impl BtDetector {
+    /// Run detection over the leak records.
+    pub fn detect(&self, leaks: &[BtLeakObs]) -> BtDetection {
+        // VPN filter: which (range, internal IP) pairs were leaked from
+        // more than one AS?
+        let mut leaked_by: HashMap<(ReservedRange, Ipv4Addr), BTreeSet<AsId>> = HashMap::new();
+        for l in leaks {
+            if let Some(a) = l.leaker_as {
+                leaked_by.entry((l.range, l.internal_ip)).or_default().insert(a);
+            }
+        }
+        let multi_as: HashSet<(ReservedRange, Ipv4Addr)> = leaked_by
+            .into_iter()
+            .filter(|(_, ases)| ases.len() > 1)
+            .map(|(k, _)| k)
+            .collect();
+
+        // Per-(AS, range) graphs.
+        let mut graphs: BTreeMap<(AsId, ReservedRange), LeakGraph> = BTreeMap::new();
+        let mut leakers_per_as: BTreeMap<AsId, HashSet<Ipv4Addr>> = BTreeMap::new();
+        let mut internals_per_as: BTreeMap<AsId, HashSet<Ipv4Addr>> = BTreeMap::new();
+        for l in leaks {
+            let Some(as_id) = l.leaker_as else { continue };
+            if self.exclusive_single_as && multi_as.contains(&(l.range, l.internal_ip)) {
+                continue;
+            }
+            graphs
+                .entry((as_id, l.range))
+                .or_default()
+                .add_edge(l.leaker_ip, l.internal_ip);
+            leakers_per_as.entry(as_id).or_default().insert(l.leaker_ip);
+            internals_per_as.entry(as_id).or_default().insert(l.internal_ip);
+        }
+
+        let mut per_as: BTreeMap<AsId, AsLeakAnalysis> = BTreeMap::new();
+        for ((as_id, range), graph) in &graphs {
+            let largest = graph
+                .largest_component()
+                .unwrap_or(ClusterSummary { external_ips: 0, internal_ips: 0 });
+            let entry = per_as.entry(*as_id).or_insert_with(|| AsLeakAnalysis {
+                largest_per_range: BTreeMap::new(),
+                leaking_ips: leakers_per_as.get(as_id).map(|s| s.len()).unwrap_or(0),
+                internal_ips: internals_per_as.get(as_id).map(|s| s.len()).unwrap_or(0),
+                cgn_positive: false,
+                positive_ranges: Vec::new(),
+            });
+            entry.largest_per_range.insert(*range, largest);
+            if largest.external_ips >= self.min_external_ips
+                && largest.internal_ips >= self.min_internal_ips
+            {
+                entry.cgn_positive = true;
+                entry.positive_ranges.push(*range);
+            }
+        }
+        BtDetection { per_as }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+
+    fn leak(as_n: u32, leaker_last: u8, internal: Ipv4Addr) -> BtLeakObs {
+        BtLeakObs {
+            leaker_ip: ip(50, as_n as u8, 0, leaker_last),
+            leaker_as: Some(AsId(as_n)),
+            internal_ip: internal,
+            range: netcore::classify_reserved(internal).expect("internal addr reserved"),
+        }
+    }
+
+    /// A Comcast-like AS: many leakers, each leaking its own home peer.
+    #[test]
+    fn isolated_home_leakage_not_flagged() {
+        let leaks: Vec<BtLeakObs> = (0..50u8)
+            .map(|i| leak(7922, i, ip(192, 168, 1, 100 + (i % 100))))
+            .collect();
+        let det = BtDetector::default().detect(&leaks);
+        let a = &det.per_as[&AsId(7922)];
+        assert!(!a.cgn_positive, "home stars must not trigger detection");
+        let c = a.largest_per_range[&ReservedRange::R192];
+        assert_eq!(c.external_ips, 1);
+    }
+
+    /// A FastWEB-like AS: overlapping leaks across ≥5 pool IPs.
+    #[test]
+    fn pooled_leakage_flagged() {
+        let mut leaks = Vec::new();
+        for e in 0..6u8 {
+            for i in 0..7u8 {
+                leaks.push(leak(12874, e, ip(100, 64, 0, 10 + i)));
+            }
+        }
+        let det = BtDetector::default().detect(&leaks);
+        let a = &det.per_as[&AsId(12874)];
+        assert!(a.cgn_positive);
+        assert_eq!(a.positive_ranges, vec![ReservedRange::R100]);
+        assert_eq!(det.positive_ases().len(), 1);
+    }
+
+    /// Boundary cases: 4×5 and 5×4 clusters stay below the threshold.
+    #[test]
+    fn detection_boundary_is_five_by_five() {
+        for (n_ext, n_int, expect) in [(4, 9, false), (9, 4, false), (5, 5, true)] {
+            let mut leaks = Vec::new();
+            for e in 0..n_ext {
+                for i in 0..n_int {
+                    leaks.push(leak(1, e, ip(10, 0, 0, 10 + i)));
+                }
+            }
+            let det = BtDetector::default().detect(&leaks);
+            assert_eq!(
+                det.per_as[&AsId(1)].cgn_positive,
+                expect,
+                "ext={n_ext} int={n_int}"
+            );
+        }
+    }
+
+    /// The VPN filter: an internal peer leaked from two ASes is discarded
+    /// in both.
+    #[test]
+    fn cross_as_leaks_excluded() {
+        let mut leaks = Vec::new();
+        // AS 1 would be positive on its own…
+        for e in 0..6u8 {
+            for i in 0..6u8 {
+                leaks.push(leak(1, e, ip(10, 0, 0, 10 + i)));
+            }
+        }
+        // …but every internal peer is also reported from AS 2 (VPN-like).
+        for i in 0..6u8 {
+            leaks.push(leak(2, 0, ip(10, 0, 0, 10 + i)));
+        }
+        let det = BtDetector::default().detect(&leaks);
+        assert!(det.per_as.get(&AsId(1)).is_none_or(|a| !a.cgn_positive));
+        // Disabling the filter restores the detection.
+        let loose = BtDetector { exclusive_single_as: false, ..BtDetector::default() };
+        let det = loose.detect(&leaks);
+        assert!(det.per_as[&AsId(1)].cgn_positive);
+    }
+
+    /// Ranges are analysed independently: clusters must not merge across
+    /// 10X and 100X.
+    #[test]
+    fn ranges_kept_separate() {
+        let mut leaks = Vec::new();
+        for e in 0..3u8 {
+            for i in 0..6u8 {
+                leaks.push(leak(9, e, ip(10, 0, 0, 10 + i)));
+            }
+        }
+        for e in 3..6u8 {
+            for i in 0..6u8 {
+                leaks.push(leak(9, e, ip(100, 64, 0, 10 + i)));
+            }
+        }
+        let det = BtDetector::default().detect(&leaks);
+        let a = &det.per_as[&AsId(9)];
+        assert!(!a.cgn_positive, "3 external IPs per range is under the boundary");
+        assert_eq!(a.largest_per_range.len(), 2);
+    }
+
+    #[test]
+    fn unrouted_leakers_ignored() {
+        let leaks = vec![BtLeakObs {
+            leaker_ip: ip(50, 1, 0, 1),
+            leaker_as: None,
+            internal_ip: ip(10, 0, 0, 1),
+            range: ReservedRange::R10,
+        }];
+        let det = BtDetector::default().detect(&leaks);
+        assert!(det.per_as.is_empty());
+    }
+}

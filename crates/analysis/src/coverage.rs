@@ -1,0 +1,231 @@
+//! Coverage and CGN-penetration rates (§5, Table 5, Fig. 6).
+
+use crate::stats::pct;
+use netcore::{AsId, Rir};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The AS populations results are reported against.
+#[derive(Debug, Clone, Default)]
+pub struct Populations {
+    /// All routed ASes.
+    pub routed: BTreeSet<AsId>,
+    /// PBL-style eyeball list.
+    pub pbl: BTreeSet<AsId>,
+    /// APNIC-style eyeball list.
+    pub apnic: BTreeSet<AsId>,
+    /// Cellular ASes.
+    pub cellular: BTreeSet<AsId>,
+    /// RIR of each AS (for Fig. 6).
+    pub rir_of: BTreeMap<AsId, Rir>,
+}
+
+/// One method's view: which ASes it covered and which it flagged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MethodCoverage {
+    pub covered: BTreeSet<AsId>,
+    pub positive: BTreeSet<AsId>,
+}
+
+impl MethodCoverage {
+    pub fn new(covered: BTreeSet<AsId>, positive: BTreeSet<AsId>) -> MethodCoverage {
+        assert!(
+            positive.is_subset(&covered),
+            "an AS cannot be positive without being covered"
+        );
+        MethodCoverage { covered, positive }
+    }
+
+    /// Union of two methods (the paper's "BitTorrent ∪ Netalyzr" row).
+    pub fn union(&self, other: &MethodCoverage) -> MethodCoverage {
+        MethodCoverage {
+            covered: self.covered.union(&other.covered).copied().collect(),
+            positive: self.positive.union(&other.positive).copied().collect(),
+        }
+    }
+
+    /// Restrict to a population; returns (covered, positive) counts.
+    pub fn against(&self, population: &BTreeSet<AsId>) -> (usize, usize) {
+        let covered = self.covered.intersection(population).count();
+        let positive = self.positive.intersection(population).count();
+        (covered, positive)
+    }
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Row {
+    pub method: String,
+    /// (covered, % of population, positive, % of covered) per population.
+    pub routed: (usize, f64, usize, f64),
+    pub pbl: (usize, f64, usize, f64),
+    pub apnic: (usize, f64, usize, f64),
+}
+
+/// Table 5 plus the population sizes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoverageReport {
+    pub routed_total: usize,
+    pub pbl_total: usize,
+    pub apnic_total: usize,
+    pub rows: Vec<Table5Row>,
+}
+
+fn row(method: &str, cov: &MethodCoverage, pops: &Populations) -> Table5Row {
+    let make = |population: &BTreeSet<AsId>| {
+        let (covered, positive) = cov.against(population);
+        (
+            covered,
+            pct(covered, population.len()),
+            positive,
+            pct(positive, covered),
+        )
+    };
+    Table5Row {
+        method: method.to_string(),
+        routed: make(&pops.routed),
+        pbl: make(&pops.pbl),
+        apnic: make(&pops.apnic),
+    }
+}
+
+/// Assemble Table 5 from the three method coverages.
+pub fn table5(
+    bt: &MethodCoverage,
+    nz_noncellular: &MethodCoverage,
+    nz_cellular: &MethodCoverage,
+    pops: &Populations,
+) -> CoverageReport {
+    let union = bt.union(nz_noncellular);
+    CoverageReport {
+        routed_total: pops.routed.len(),
+        pbl_total: pops.pbl.len(),
+        apnic_total: pops.apnic.len(),
+        rows: vec![
+            row("BitTorrent", bt, pops),
+            row("Netalyzr non-cellular", nz_noncellular, pops),
+            row("BitTorrent ∪ Netalyzr", &union, pops),
+            row("Netalyzr cellular", nz_cellular, pops),
+        ],
+    }
+}
+
+/// Fig. 6: per-RIR eyeball coverage and CGN-positive rates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// (a) % of eyeball (PBL) ASes covered, per RIR.
+    pub coverage_pct: BTreeMap<Rir, f64>,
+    /// (b) % of covered eyeball ASes CGN-positive, per RIR.
+    pub positive_pct: BTreeMap<Rir, f64>,
+    /// (c) % of covered cellular ASes CGN-positive, per RIR.
+    pub cellular_positive_pct: BTreeMap<Rir, f64>,
+}
+
+pub fn fig6(
+    eyeball_union: &MethodCoverage,
+    cellular: &MethodCoverage,
+    pops: &Populations,
+) -> Fig6 {
+    let mut coverage = BTreeMap::new();
+    let mut positive = BTreeMap::new();
+    let mut cell_positive = BTreeMap::new();
+    for rir in Rir::ALL {
+        let in_rir = |a: &AsId| pops.rir_of.get(a) == Some(&rir);
+        let eyeballs: BTreeSet<AsId> = pops.pbl.iter().filter(|a| in_rir(a)).copied().collect();
+        let covered: BTreeSet<AsId> = eyeball_union
+            .covered
+            .intersection(&eyeballs)
+            .copied()
+            .collect();
+        let pos = eyeball_union.positive.intersection(&covered).count();
+        coverage.insert(rir, pct(covered.len(), eyeballs.len()));
+        positive.insert(rir, pct(pos, covered.len()));
+
+        let cell: BTreeSet<AsId> =
+            pops.cellular.iter().filter(|a| in_rir(a)).copied().collect();
+        let cell_cov: BTreeSet<AsId> =
+            cellular.covered.intersection(&cell).copied().collect();
+        let cell_pos = cellular.positive.intersection(&cell_cov).count();
+        cell_positive.insert(rir, pct(cell_pos, cell_cov.len()));
+    }
+    Fig6 { coverage_pct: coverage, positive_pct: positive, cellular_positive_pct: cell_positive }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> BTreeSet<AsId> {
+        v.iter().map(|x| AsId(*x)).collect()
+    }
+
+    fn pops() -> Populations {
+        let mut rir_of = BTreeMap::new();
+        for i in 0..10 {
+            rir_of.insert(AsId(i), if i < 5 { Rir::Apnic } else { Rir::Arin });
+        }
+        Populations {
+            routed: ids(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
+            pbl: ids(&[0, 1, 2, 5, 6]),
+            apnic: ids(&[0, 1, 3, 5, 7]),
+            cellular: ids(&[4, 9]),
+            rir_of,
+        }
+    }
+
+    #[test]
+    fn method_union_and_against() {
+        let a = MethodCoverage::new(ids(&[0, 1, 2]), ids(&[1]));
+        let b = MethodCoverage::new(ids(&[2, 3]), ids(&[3]));
+        let u = a.union(&b);
+        assert_eq!(u.covered, ids(&[0, 1, 2, 3]));
+        assert_eq!(u.positive, ids(&[1, 3]));
+        let (cov, pos) = u.against(&ids(&[1, 3, 9]));
+        assert_eq!((cov, pos), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive without being covered")]
+    fn positive_must_be_covered() {
+        MethodCoverage::new(ids(&[1]), ids(&[2]));
+    }
+
+    #[test]
+    fn table5_rows_and_percentages() {
+        let bt = MethodCoverage::new(ids(&[0, 1, 5]), ids(&[0]));
+        let nz = MethodCoverage::new(ids(&[1, 2]), ids(&[2]));
+        let cell = MethodCoverage::new(ids(&[4, 9]), ids(&[4, 9]));
+        let t = table5(&bt, &nz, &cell, &pops());
+        assert_eq!(t.rows.len(), 4);
+        // BT: covered 3/10 routed = 30%.
+        assert_eq!(t.rows[0].routed.0, 3);
+        assert!((t.rows[0].routed.1 - 30.0).abs() < 1e-9);
+        // Union row: covered {0,1,2,5}, positive {0,2}.
+        assert_eq!(t.rows[2].routed.0, 4);
+        assert_eq!(t.rows[2].routed.2, 2);
+        // PBL column of the union: covered {0,1,2,5} ∩ pbl = 4 of 5.
+        assert_eq!(t.rows[2].pbl.0, 4);
+        assert!((t.rows[2].pbl.1 - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig6_per_rir_rates() {
+        // Eyeballs: APNIC {0,1,2}, ARIN {5,6}. Union covers {0,1,5},
+        // positives {0,5}.
+        let union = MethodCoverage::new(ids(&[0, 1, 5]), ids(&[0, 5]));
+        let cell = MethodCoverage::new(ids(&[4, 9]), ids(&[4]));
+        let f = fig6(&union, &cell, &pops());
+        // APNIC coverage: 2 of 3 eyeballs.
+        assert!((f.coverage_pct[&Rir::Apnic] - 66.6667).abs() < 0.01);
+        // APNIC positive: 1 of 2 covered.
+        assert!((f.positive_pct[&Rir::Apnic] - 50.0).abs() < 1e-9);
+        // ARIN positive: covered {5}, positive {5} → 100%.
+        assert!((f.positive_pct[&Rir::Arin] - 100.0).abs() < 1e-9);
+        // Cellular: APNIC {4}: covered+positive → 100%; ARIN {9}: covered,
+        // not positive → 0%.
+        assert!((f.cellular_positive_pct[&Rir::Apnic] - 100.0).abs() < 1e-9);
+        assert!((f.cellular_positive_pct[&Rir::Arin] - 0.0).abs() < 1e-9);
+        // Empty RIRs report 0 without panicking.
+        assert_eq!(f.coverage_pct[&Rir::Lacnic], 0.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! NAT placement analysis (§6.4, Fig. 11) and the TTL-test detection
+//! rates (Table 7).
+
+use crate::obs::SessionObs;
+use netcore::AsId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The three AS groups of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsGroup {
+    NonCellularNoCgn,
+    NonCellularCgn,
+    CellularCgn,
+}
+
+impl AsGroup {
+    pub fn label(self) -> &'static str {
+        match self {
+            AsGroup::NonCellularNoCgn => "non-cellular no CGN",
+            AsGroup::NonCellularCgn => "non-cellular CGN",
+            AsGroup::CellularCgn => "cellular CGN",
+        }
+    }
+}
+
+/// Fig. 11: per AS, the hop distance of the most distant detected NAT;
+/// aggregated per group as a fraction-of-ASes histogram over 1..=10+.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Fig11 {
+    /// Per group: counts of ASes whose most distant NAT is at hop 1..=9,
+    /// with index 9 collecting "≥ 10".
+    pub per_group: BTreeMap<String, [usize; 10]>,
+}
+
+impl Fig11 {
+    /// Fractions per group (sums to 1 within a group with data).
+    pub fn fractions(&self, group: AsGroup) -> Option<[f64; 10]> {
+        let counts = self.per_group.get(group.label())?;
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut out = [0.0; 10];
+        for (i, c) in counts.iter().enumerate() {
+            out[i] = *c as f64 / total as f64;
+        }
+        Some(out)
+    }
+}
+
+/// Compute Fig. 11 from the sessions and the CGN-positive AS predicate.
+pub fn fig11(sessions: &[SessionObs], cgn_positive: impl Fn(AsId) -> bool) -> Fig11 {
+    // Most distant NAT per AS.
+    let mut per_as: BTreeMap<AsId, (bool, usize)> = BTreeMap::new();
+    for s in sessions {
+        let Some(a) = s.as_id else { continue };
+        let Some(ttl) = &s.ttl else { continue };
+        let Some(max_hop) = ttl.detected.iter().map(|d| d.hop).max() else { continue };
+        let e = per_as.entry(a).or_insert((s.cellular, 0));
+        e.1 = e.1.max(max_hop);
+    }
+    let mut fig = Fig11::default();
+    for (a, (cellular, hop)) in per_as {
+        let group = if cellular {
+            // Cellular ASes are virtually all CGN; non-CGN cellular ASes
+            // are too rare to plot (the paper shows three groups).
+            AsGroup::CellularCgn
+        } else if cgn_positive(a) {
+            AsGroup::NonCellularCgn
+        } else {
+            AsGroup::NonCellularNoCgn
+        };
+        let bucket = hop.clamp(1, 10) - 1;
+        fig.per_group.entry(group.label().to_string()).or_insert([0; 10])[bucket] += 1;
+    }
+    fig
+}
+
+/// Table 7: detection rates of the TTL-driven enumeration over all
+/// sessions that ran it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table7 {
+    pub sessions: usize,
+    /// Address mismatch and at least one expired mapping found (67.6%).
+    pub mismatch_detected: usize,
+    /// Address mismatch but no expired mapping within the budget (30.9%).
+    pub mismatch_not_detected: usize,
+    /// Address match yet a stateful middlebox found (0.5%).
+    pub match_detected: usize,
+    /// Address match, nothing found (0.9%).
+    pub match_not_detected: usize,
+}
+
+impl Table7 {
+    pub fn rates(&self) -> [(String, f64); 4] {
+        let n = self.sessions.max(1) as f64;
+        [
+            ("IP mismatch, NAT detected".into(), 100.0 * self.mismatch_detected as f64 / n),
+            (
+                "IP mismatch, no NAT detected".into(),
+                100.0 * self.mismatch_not_detected as f64 / n,
+            ),
+            ("IP match, NAT detected".into(), 100.0 * self.match_detected as f64 / n),
+            ("IP match, no NAT detected".into(), 100.0 * self.match_not_detected as f64 / n),
+        ]
+    }
+}
+
+pub fn table7(sessions: &[SessionObs]) -> Table7 {
+    let mut t = Table7::default();
+    for s in sessions {
+        let Some(ttl) = &s.ttl else { continue };
+        t.sessions += 1;
+        let found = !ttl.detected.is_empty();
+        match (ttl.ip_mismatch, found) {
+            (true, true) => t.mismatch_detected += 1,
+            (true, false) => t.mismatch_not_detected += 1,
+            (false, true) => t.match_detected += 1,
+            (false, false) => t.match_not_detected += 1,
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{TtlNatObs, TtlObs};
+    use netcore::ip;
+
+    fn session(as_n: u32, cellular: bool, mismatch: bool, hops: &[usize]) -> SessionObs {
+        let mut s = SessionObs::skeleton(AsId(as_n), cellular, ip(100, 64, 0, 5));
+        s.ttl = Some(TtlObs {
+            path_len: 8,
+            ip_mismatch: mismatch,
+            detected: hops
+                .iter()
+                .map(|h| TtlNatObs { hop: *h, timeout_gt_secs: 60, timeout_le_secs: 70 })
+                .collect(),
+        });
+        s
+    }
+
+    #[test]
+    fn fig11_groups_and_max_distance() {
+        let sessions = vec![
+            session(1, false, true, &[1]),        // no-CGN AS, CPE at hop 1
+            session(2, false, true, &[1, 4]),     // CGN AS, most distant 4
+            session(2, false, true, &[1, 3]),     // same AS, smaller — max stays 4
+            session(3, true, true, &[7]),         // cellular
+        ];
+        let f = fig11(&sessions, |a| a == AsId(2));
+        let no_cgn = f.fractions(AsGroup::NonCellularNoCgn).unwrap();
+        assert_eq!(no_cgn[0], 1.0, "hop-1 bucket holds the whole group");
+        let cgn = f.fractions(AsGroup::NonCellularCgn).unwrap();
+        assert_eq!(cgn[3], 1.0, "most distant = 4");
+        let cell = f.fractions(AsGroup::CellularCgn).unwrap();
+        assert_eq!(cell[6], 1.0);
+    }
+
+    #[test]
+    fn fig11_clamps_distance_ten_plus() {
+        let sessions = vec![session(1, true, true, &[13])];
+        let f = fig11(&sessions, |_| true);
+        let cell = f.fractions(AsGroup::CellularCgn).unwrap();
+        assert_eq!(cell[9], 1.0, "≥10 bucket");
+    }
+
+    #[test]
+    fn fig11_skips_sessions_without_detections() {
+        let sessions = vec![session(1, false, true, &[])];
+        let f = fig11(&sessions, |_| false);
+        assert!(f.fractions(AsGroup::NonCellularNoCgn).is_none());
+    }
+
+    #[test]
+    fn table7_quadrants() {
+        let sessions = vec![
+            session(1, false, true, &[3]),  // mismatch + detected
+            session(1, false, true, &[]),   // mismatch, none found
+            session(2, false, false, &[1]), // match + detected (firewall)
+            session(2, false, false, &[]),  // match, none
+            session(3, false, true, &[1]),  // mismatch + detected
+        ];
+        let t = table7(&sessions);
+        assert_eq!(t.sessions, 5);
+        assert_eq!(t.mismatch_detected, 2);
+        assert_eq!(t.mismatch_not_detected, 1);
+        assert_eq!(t.match_detected, 1);
+        assert_eq!(t.match_not_detected, 1);
+        let rates = t.rates();
+        assert!((rates[0].1 - 40.0).abs() < 1e-9);
+        let sum: f64 = rates.iter().map(|(_, v)| v).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+}

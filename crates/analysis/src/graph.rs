@@ -1,0 +1,284 @@
+//! Leak-graph clustering (§4.1, Figs 3 and 4).
+//!
+//! For each AS the paper builds a bipartite graph: vertices are peers,
+//! edges connect a *leaking* peer (public external IP) to the *internal*
+//! peers it reported. The largest connected component reveals NAT pooling:
+//! home NATs produce isolated stars (one external IP per internal peer),
+//! while CGNs produce clusters spanning many external IPs with shared
+//! internal peers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Union–find over dense indices.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+    }
+
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// A bipartite leak graph for one AS and one reserved range.
+#[derive(Debug, Default, Clone)]
+pub struct LeakGraph {
+    /// Dense vertex ids: leakers get even slots, internals odd — the map
+    /// below tracks both sides separately.
+    leakers: HashMap<Ipv4Addr, usize>,
+    internals: HashMap<Ipv4Addr, usize>,
+    edges: Vec<(usize, usize)>,
+}
+
+/// Size of a connected component in (external IPs, internal IPs) — the
+/// coordinates of one point in Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSummary {
+    pub external_ips: usize,
+    pub internal_ips: usize,
+}
+
+impl LeakGraph {
+    pub fn new() -> LeakGraph {
+        LeakGraph::default()
+    }
+
+    /// Record a leak edge: `leaker` (public IP) reported `internal`.
+    pub fn add_edge(&mut self, leaker: Ipv4Addr, internal: Ipv4Addr) {
+        let next = self.leakers.len() + self.internals.len();
+        let l = *self.leakers.entry(leaker).or_insert(next);
+        let next = self.leakers.len() + self.internals.len();
+        let i = *self.internals.entry(internal).or_insert(next);
+        self.edges.push((l, i));
+    }
+
+    pub fn leaker_count(&self) -> usize {
+        self.leakers.len()
+    }
+
+    pub fn internal_count(&self) -> usize {
+        self.internals.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sizes of all connected components, largest first.
+    pub fn components(&self) -> Vec<ClusterSummary> {
+        let n = self.leakers.len() + self.internals.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut uf = UnionFind::new(n);
+        for (a, b) in &self.edges {
+            uf.union(*a, *b);
+        }
+        let mut ext: HashMap<usize, usize> = HashMap::new();
+        let mut int: HashMap<usize, usize> = HashMap::new();
+        for idx in self.leakers.values() {
+            *ext.entry(uf.find(*idx)).or_insert(0) += 1;
+        }
+        for idx in self.internals.values() {
+            *int.entry(uf.find(*idx)).or_insert(0) += 1;
+        }
+        let mut roots: Vec<usize> = ext.keys().chain(int.keys()).copied().collect();
+        roots.sort_unstable();
+        roots.dedup();
+        let mut out: Vec<ClusterSummary> = roots
+            .into_iter()
+            .map(|r| ClusterSummary {
+                external_ips: ext.get(&r).copied().unwrap_or(0),
+                internal_ips: int.get(&r).copied().unwrap_or(0),
+            })
+            .collect();
+        out.sort_by_key(|c| std::cmp::Reverse((c.external_ips, c.internal_ips)));
+        out
+    }
+
+    /// The largest connected component (by external, then internal IPs).
+    pub fn largest_component(&self) -> Option<ClusterSummary> {
+        self.components().into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+    use proptest::prelude::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.connected(0, 1));
+        assert!(uf.union(0, 1));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.union(0, 1), "already joined");
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 3));
+        assert!(!uf.connected(0, 4));
+    }
+
+    /// Fig. 3(a): isolated stars — every internal peer leaked by exactly
+    /// one external IP (home NATs).
+    #[test]
+    fn isolated_stars_have_small_components() {
+        let mut g = LeakGraph::new();
+        for i in 0..10u8 {
+            g.add_edge(ip(7, 0, 0, i), ip(192, 168, 1, 100 + i));
+        }
+        let comps = g.components();
+        assert_eq!(comps.len(), 10);
+        for c in comps {
+            assert_eq!(c.external_ips, 1);
+            assert_eq!(c.internal_ips, 1);
+        }
+        assert_eq!(
+            g.largest_component().unwrap(),
+            ClusterSummary { external_ips: 1, internal_ips: 1 }
+        );
+    }
+
+    /// Fig. 3(b): pooling — multiple external IPs leaking overlapping
+    /// internal peers form one big cluster.
+    #[test]
+    fn pooled_leaks_form_one_cluster() {
+        let mut g = LeakGraph::new();
+        // 6 external pool IPs each leak an overlapping set of internals.
+        for e in 0..6u8 {
+            for i in 0..8u8 {
+                g.add_edge(ip(8, 0, 0, e), ip(100, 64, 0, i));
+            }
+        }
+        let comps = g.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], ClusterSummary { external_ips: 6, internal_ips: 8 });
+    }
+
+    /// Overlap only via a shared internal peer still merges clusters.
+    #[test]
+    fn chain_overlap_merges() {
+        let mut g = LeakGraph::new();
+        g.add_edge(ip(1, 0, 0, 1), ip(10, 0, 0, 1));
+        g.add_edge(ip(1, 0, 0, 2), ip(10, 0, 0, 1)); // shares internal .1
+        g.add_edge(ip(1, 0, 0, 2), ip(10, 0, 0, 2));
+        g.add_edge(ip(1, 0, 0, 3), ip(10, 0, 0, 2)); // shares internal .2
+        let comps = g.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], ClusterSummary { external_ips: 3, internal_ips: 2 });
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_inflate() {
+        let mut g = LeakGraph::new();
+        for _ in 0..5 {
+            g.add_edge(ip(1, 0, 0, 1), ip(10, 0, 0, 1));
+        }
+        assert_eq!(g.leaker_count(), 1);
+        assert_eq!(g.internal_count(), 1);
+        assert_eq!(
+            g.largest_component().unwrap(),
+            ClusterSummary { external_ips: 1, internal_ips: 1 }
+        );
+    }
+
+    #[test]
+    fn same_address_space_both_sides() {
+        // An IP can appear as both leaker and internal in weird data; the
+        // two sides are tracked separately.
+        let mut g = LeakGraph::new();
+        g.add_edge(ip(10, 0, 0, 1), ip(10, 0, 0, 1));
+        assert_eq!(g.leaker_count(), 1);
+        assert_eq!(g.internal_count(), 1);
+        let c = g.largest_component().unwrap();
+        assert_eq!(c, ClusterSummary { external_ips: 1, internal_ips: 1 });
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LeakGraph::new();
+        assert!(g.components().is_empty());
+        assert!(g.largest_component().is_none());
+    }
+
+    proptest! {
+        /// Component external/internal totals equal the vertex totals.
+        #[test]
+        fn prop_components_partition(
+            edges in proptest::collection::vec((0u8..20, 0u8..20), 1..100)
+        ) {
+            let mut g = LeakGraph::new();
+            for (e, i) in &edges {
+                g.add_edge(ip(1, 1, 1, *e), ip(10, 0, 0, *i));
+            }
+            let comps = g.components();
+            let ext_sum: usize = comps.iter().map(|c| c.external_ips).sum();
+            let int_sum: usize = comps.iter().map(|c| c.internal_ips).sum();
+            prop_assert_eq!(ext_sum, g.leaker_count());
+            prop_assert_eq!(int_sum, g.internal_count());
+            // Components are sorted descending.
+            for w in comps.windows(2) {
+                prop_assert!(
+                    (w[0].external_ips, w[0].internal_ips) >= (w[1].external_ips, w[1].internal_ips)
+                );
+            }
+        }
+
+        /// Union-find find() is idempotent and stable under unions.
+        #[test]
+        fn prop_union_find(ops in proptest::collection::vec((0usize..50, 0usize..50), 0..200)) {
+            let mut uf = UnionFind::new(50);
+            for (a, b) in &ops {
+                uf.union(*a, *b);
+            }
+            for (a, b) in &ops {
+                prop_assert!(uf.connected(*a, *b));
+            }
+            for x in 0..50 {
+                let r = uf.find(x);
+                prop_assert_eq!(uf.find(r), r, "roots are fixed points");
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # analysis — the paper's data-analysis pipelines
+//!
+//! This crate consumes *observation records* (what the crawler and the
+//! Netalyzr sessions collected) and computes every table and figure of the
+//! evaluation:
+//!
+//! * [`graph`] — union-find clustering of (leaking peer → internal peer)
+//!   edges, the heart of the BitTorrent methodology (Figs 3/4);
+//! * [`bt_detect`] — the per-AS CGN decision from DHT leakage
+//!   (largest cluster ≥ 5 external and ≥ 5 internal IPs);
+//! * [`addr_class`] — address classification against reserved ranges and
+//!   the routing table (Table 4);
+//! * [`nz_detect`] — the Netalyzr detectors: cellular (direct `IPdev`
+//!   classification) and non-cellular (UPnP `IPcpe` vs `IPpub`, the
+//!   top-10 /24 CPE filter and the 0.4·N /24-diversity threshold, Fig. 5);
+//! * [`port_alloc`] — port-allocation strategy classification and chunk
+//!   detection (Figs 8/9, Table 6);
+//! * [`timeouts`] — mapping-timeout aggregation (Fig. 12);
+//! * [`stun_class`] — STUN-type aggregation (Fig. 13);
+//! * [`distance`] — NAT-distance histograms (Fig. 11) and the TTL-test
+//!   detection-rate table (Table 7);
+//! * [`coverage`] — coverage and CGN-penetration rates across AS
+//!   populations (Table 5, Fig. 6);
+//! * [`baseline`] — naive detector baselines and precision/recall scoring
+//!   against ground truth (the ablation study);
+//! * [`stats`] — histograms, quantiles and box-plot summaries.
+
+pub mod addr_class;
+pub mod baseline;
+pub mod bt_detect;
+pub mod coverage;
+pub mod distance;
+pub mod graph;
+pub mod nz_detect;
+pub mod obs;
+pub mod port_alloc;
+pub mod stats;
+pub mod stun_class;
+pub mod timeouts;
+
+pub use bt_detect::{BtDetection, BtDetector};
+pub use coverage::{CoverageReport, Populations};
+pub use graph::{ClusterSummary, LeakGraph};
+pub use nz_detect::{NzCellularDetector, NzNonCellularDetector};
+pub use obs::{BtLeakObs, FlowObs, SessionObs, TtlNatObs, TtlObs};
+pub use stats::{BoxplotStats, Histogram};

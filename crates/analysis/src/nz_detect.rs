@@ -1,0 +1,374 @@
+//! Netalyzr-based CGN detection (§4.2, Fig. 5).
+//!
+//! **Cellular**: there is no equipment between the device and the ISP, so
+//! the classification of the ISP-assigned `IPdev` directly indicates
+//! translation. An AS needs at least five sessions before we trust the
+//! conclusion.
+//!
+//! **Non-cellular**: NAT444 hides the CGN behind the home NAT, so the
+//! detector uses the UPnP-reported CPE WAN address: sessions with
+//! `IPcpe ≠ IPpub` indicate *some* second translator; the top-10 device
+//! /24 filter removes cascaded home NATs; and a CGN is declared only when
+//! an AS has `N ≥ 10` candidate sessions spanning at least `0.4·N`
+//! distinct `/24`s of `IPcpe` (address diversity that small home cascades
+//! cannot produce).
+
+use crate::addr_class::classify_addr;
+use crate::obs::SessionObs;
+use netcore::{AsId, Prefix, ReservedRange, RoutingTable};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Cellular detector parameters.
+#[derive(Debug, Clone)]
+pub struct NzCellularDetector {
+    /// Minimum sessions per AS (5 in the paper).
+    pub min_sessions: usize,
+}
+
+impl Default for NzCellularDetector {
+    fn default() -> Self {
+        NzCellularDetector { min_sessions: 5 }
+    }
+}
+
+/// Per-AS cellular result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellularAsResult {
+    pub sessions: usize,
+    pub translated_sessions: usize,
+    pub public_sessions: usize,
+    pub cgn_positive: bool,
+}
+
+impl CellularAsResult {
+    /// The paper's three per-AS assignment classes: exclusively internal,
+    /// exclusively public, or mixed.
+    pub fn assignment_class(&self) -> &'static str {
+        if self.translated_sessions == self.sessions {
+            "exclusively internal"
+        } else if self.public_sessions == self.sessions {
+            "exclusively public"
+        } else {
+            "mixed"
+        }
+    }
+}
+
+impl NzCellularDetector {
+    pub fn detect(
+        &self,
+        sessions: &[SessionObs],
+        routing: &RoutingTable,
+    ) -> BTreeMap<AsId, CellularAsResult> {
+        let mut per_as: BTreeMap<AsId, Vec<&SessionObs>> = BTreeMap::new();
+        for s in sessions.iter().filter(|s| s.cellular) {
+            if let Some(a) = s.as_id {
+                per_as.entry(a).or_default().push(s);
+            }
+        }
+        per_as
+            .into_iter()
+            .filter(|(_, ss)| ss.len() >= self.min_sessions)
+            .map(|(a, ss)| {
+                let translated = ss
+                    .iter()
+                    .filter(|s| classify_addr(s.ip_dev, s.ip_pub, routing).indicates_translation())
+                    .count();
+                let public = ss.len() - translated;
+                (
+                    a,
+                    CellularAsResult {
+                        sessions: ss.len(),
+                        translated_sessions: translated,
+                        public_sessions: public,
+                        cgn_positive: translated > 0,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Non-cellular detector parameters.
+#[derive(Debug, Clone)]
+pub struct NzNonCellularDetector {
+    /// Minimum candidate sessions per AS (10 in the paper).
+    pub min_sessions: usize,
+    /// Required /24 diversity as a fraction of candidate sessions (0.4).
+    pub diversity_factor: f64,
+    /// Size of the device-assignment /24 exclusion list (10).
+    pub top_blocks: usize,
+}
+
+impl Default for NzNonCellularDetector {
+    fn default() -> Self {
+        NzNonCellularDetector { min_sessions: 10, diversity_factor: 0.4, top_blocks: 10 }
+    }
+}
+
+/// Per-AS non-cellular result — one point of Fig. 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NonCellularAsResult {
+    /// Sessions with UPnP-reported `IPcpe`.
+    pub upnp_sessions: usize,
+    /// Candidate sessions after all filters (`IPcpe ≠ IPpub`, not in a
+    /// top device block).
+    pub candidate_sessions: usize,
+    /// Distinct /24s of candidate `IPcpe`s.
+    pub cpe_slash24s: usize,
+    /// Reserved ranges those candidates fall in (Fig. 5 panels / Fig. 7).
+    pub ranges: BTreeSet<ReservedRange>,
+    pub cgn_positive: bool,
+}
+
+impl NzNonCellularDetector {
+    /// The top-N /24 blocks from which CPE devices assign device
+    /// addresses ("covering 95% of assignments"). Computed from the
+    /// `IPdev` corpus of non-cellular sessions.
+    pub fn top_device_blocks(&self, sessions: &[SessionObs]) -> Vec<Prefix> {
+        let mut counts: HashMap<Prefix, usize> = HashMap::new();
+        for s in sessions.iter().filter(|s| !s.cellular) {
+            *counts.entry(Prefix::slash24_of(s.ip_dev)).or_insert(0) += 1;
+        }
+        let mut blocks: Vec<(Prefix, usize)> = counts.into_iter().collect();
+        blocks.sort_by_key(|(p, c)| (std::cmp::Reverse(*c), *p));
+        blocks.into_iter().take(self.top_blocks).map(|(p, _)| p).collect()
+    }
+
+    pub fn detect(
+        &self,
+        sessions: &[SessionObs],
+        routing: &RoutingTable,
+    ) -> BTreeMap<AsId, NonCellularAsResult> {
+        let top = self.top_device_blocks(sessions);
+        let mut per_as: BTreeMap<AsId, Vec<&SessionObs>> = BTreeMap::new();
+        for s in sessions.iter().filter(|s| !s.cellular && s.ip_cpe.is_some()) {
+            if let Some(a) = s.as_id {
+                per_as.entry(a).or_default().push(s);
+            }
+        }
+        per_as
+            .into_iter()
+            .map(|(a, ss)| {
+                let mut candidates: Vec<&&SessionObs> = Vec::new();
+                for s in &ss {
+                    let cpe = s.ip_cpe.expect("filtered above");
+                    // Candidate: the CPE's WAN address is not the public
+                    // address — some second translator is at work…
+                    let translated = match s.ip_pub {
+                        Some(p) => p != cpe,
+                        None => classify_addr(cpe, None, routing).indicates_translation(),
+                    };
+                    if !translated {
+                        continue;
+                    }
+                    // …and it does not look like another home device
+                    // assignment.
+                    if top.iter().any(|b| b.contains(cpe)) {
+                        continue;
+                    }
+                    candidates.push(s);
+                }
+                let slash24s: HashSet<Prefix> = candidates
+                    .iter()
+                    .map(|s| Prefix::slash24_of(s.ip_cpe.expect("candidate has cpe")))
+                    .collect();
+                let ranges: BTreeSet<ReservedRange> = candidates
+                    .iter()
+                    .filter_map(|s| netcore::classify_reserved(s.ip_cpe.expect("candidate")))
+                    .collect();
+                let n = candidates.len();
+                let positive = n >= self.min_sessions
+                    && slash24s.len() as f64 >= self.diversity_factor * n as f64;
+                (
+                    a,
+                    NonCellularAsResult {
+                        upnp_sessions: ss.len(),
+                        candidate_sessions: n,
+                        cpe_slash24s: slash24s.len(),
+                        ranges,
+                        cgn_positive: positive,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Positive AS set from either detector's per-AS map.
+pub fn positive_set<R, F: Fn(&R) -> bool>(per_as: &BTreeMap<AsId, R>, f: F) -> BTreeSet<AsId> {
+    per_as.iter().filter(|(_, r)| f(r)).map(|(a, _)| *a).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+    use std::net::Ipv4Addr;
+
+    fn routing() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.announce(Prefix::new(ip(50, 0, 0, 0), 8), AsId(1));
+        t.announce(Prefix::new(ip(60, 0, 0, 0), 8), AsId(2));
+        t
+    }
+
+    fn cell_session(as_n: u32, dev: Ipv4Addr, public: Ipv4Addr) -> SessionObs {
+        let mut s = SessionObs::skeleton(AsId(as_n), true, dev);
+        s.ip_pub = Some(public);
+        s
+    }
+
+    #[test]
+    fn cellular_detects_internal_assignment() {
+        let r = routing();
+        let sessions: Vec<SessionObs> = (0..6)
+            .map(|i| cell_session(1, ip(100, 64, 0, i), ip(50, 0, 0, 9)))
+            .collect();
+        let det = NzCellularDetector::default().detect(&sessions, &r);
+        let a = &det[&AsId(1)];
+        assert!(a.cgn_positive);
+        assert_eq!(a.assignment_class(), "exclusively internal");
+    }
+
+    #[test]
+    fn cellular_public_assignment_negative() {
+        let r = routing();
+        // Devices hold the very address the server sees: no CGN.
+        let sessions: Vec<SessionObs> = (0..6)
+            .map(|i| cell_session(1, ip(50, 0, 0, i), ip(50, 0, 0, i)))
+            .collect();
+        let det = NzCellularDetector::default().detect(&sessions, &r);
+        let a = &det[&AsId(1)];
+        assert!(!a.cgn_positive);
+        assert_eq!(a.assignment_class(), "exclusively public");
+    }
+
+    #[test]
+    fn cellular_requires_min_sessions() {
+        let r = routing();
+        let sessions: Vec<SessionObs> = (0..4)
+            .map(|i| cell_session(1, ip(100, 64, 0, i), ip(50, 0, 0, 9)))
+            .collect();
+        let det = NzCellularDetector::default().detect(&sessions, &r);
+        assert!(det.is_empty(), "4 < 5 sessions: no conclusion");
+    }
+
+    #[test]
+    fn cellular_mixed_assignment() {
+        let r = routing();
+        let mut sessions: Vec<SessionObs> = (0..3)
+            .map(|i| cell_session(1, ip(100, 64, 0, i), ip(50, 0, 0, 9)))
+            .collect();
+        sessions.extend((0..3).map(|i| cell_session(1, ip(50, 0, 1, i), ip(50, 0, 1, i))));
+        let det = NzCellularDetector::default().detect(&sessions, &r);
+        assert_eq!(det[&AsId(1)].assignment_class(), "mixed");
+        assert!(det[&AsId(1)].cgn_positive);
+    }
+
+    /// Build a non-cellular session with a device addr, CPE addr and
+    /// public addr.
+    fn nc_session(as_n: u32, dev: Ipv4Addr, cpe: Ipv4Addr, public: Ipv4Addr) -> SessionObs {
+        let mut s = SessionObs::skeleton(AsId(as_n), false, dev);
+        s.ip_cpe = Some(cpe);
+        s.ip_pub = Some(public);
+        s
+    }
+
+    #[test]
+    fn noncellular_cgn_detected_with_diversity() {
+        let r = routing();
+        // 12 sessions; CPE WANs spread across 6 distinct 100.64.x/24s.
+        let sessions: Vec<SessionObs> = (0..12u8)
+            .map(|i| {
+                nc_session(
+                    2,
+                    ip(192, 168, 1, 100),
+                    ip(100, 64, i % 6, 10 + i),
+                    ip(60, 0, 0, 9),
+                )
+            })
+            .collect();
+        let det = NzNonCellularDetector::default().detect(&sessions, &r);
+        let a = &det[&AsId(2)];
+        assert_eq!(a.candidate_sessions, 12);
+        assert_eq!(a.cpe_slash24s, 6);
+        assert!(a.cgn_positive, "12 sessions over 6 /24s ≥ 0.4·12");
+        assert!(a.ranges.contains(&ReservedRange::R100));
+    }
+
+    #[test]
+    fn noncellular_low_diversity_negative() {
+        let r = routing();
+        // 12 candidates all in one /24 — a single-site deployment, not
+        // enough diversity for the conservative call.
+        let sessions: Vec<SessionObs> = (0..12u8)
+            .map(|i| nc_session(2, ip(192, 168, 1, 100), ip(100, 64, 0, 10 + i), ip(60, 0, 0, 9)))
+            .collect();
+        let det = NzNonCellularDetector::default().detect(&sessions, &r);
+        assert!(!det[&AsId(2)].cgn_positive);
+    }
+
+    #[test]
+    fn cascaded_home_nats_filtered_by_top_blocks() {
+        let r = routing();
+        // The device corpus makes 192.168.1/24 a top block…
+        let mut sessions: Vec<SessionObs> = (0..30u8)
+            .map(|i| {
+                let mut s =
+                    SessionObs::skeleton(AsId(2), false, ip(192, 168, 1, 100 + (i % 100)));
+                s.ip_pub = Some(ip(60, 0, 0, i));
+                s
+            })
+            .collect();
+        // …so 12 double-home-NAT sessions whose "IPcpe" is another home
+        // router in 192.168.1/24 are not candidates.
+        sessions.extend((0..12u8).map(|i| {
+            nc_session(2, ip(192, 168, 0, 100), ip(192, 168, 1, 1 + i), ip(60, 0, 1, i))
+        }));
+        let det = NzNonCellularDetector::default().detect(&sessions, &r);
+        let a = &det[&AsId(2)];
+        assert_eq!(a.candidate_sessions, 0, "home-cascade sessions must be filtered");
+        assert!(!a.cgn_positive);
+    }
+
+    #[test]
+    fn upnp_match_sessions_are_not_candidates() {
+        let r = routing();
+        // Scenario A: IPcpe == IPpub.
+        let sessions: Vec<SessionObs> = (0..12u8)
+            .map(|i| nc_session(2, ip(192, 168, 1, 100), ip(60, 0, 2, i), ip(60, 0, 2, i)))
+            .collect();
+        let det = NzNonCellularDetector::default().detect(&sessions, &r);
+        assert_eq!(det[&AsId(2)].candidate_sessions, 0);
+    }
+
+    #[test]
+    fn top_device_blocks_ranked_by_frequency() {
+        let det = NzNonCellularDetector::default();
+        let mut sessions = Vec::new();
+        for _ in 0..20 {
+            sessions.push(SessionObs::skeleton(AsId(1), false, ip(192, 168, 1, 100)));
+        }
+        for _ in 0..5 {
+            sessions.push(SessionObs::skeleton(AsId(1), false, ip(10, 0, 0, 50)));
+        }
+        sessions.push(SessionObs::skeleton(AsId(1), true, ip(100, 64, 0, 1))); // cellular ignored
+        let top = det.top_device_blocks(&sessions);
+        assert_eq!(top[0], Prefix::slash24_of(ip(192, 168, 1, 0)));
+        assert!(top.contains(&Prefix::slash24_of(ip(10, 0, 0, 0))));
+        assert!(!top.contains(&Prefix::slash24_of(ip(100, 64, 0, 0))));
+    }
+
+    #[test]
+    fn positive_set_helper() {
+        let r = routing();
+        let sessions: Vec<SessionObs> = (0..6)
+            .map(|i| cell_session(1, ip(100, 64, 0, i), ip(50, 0, 0, 9)))
+            .collect();
+        let det = NzCellularDetector::default().detect(&sessions, &r);
+        let set = positive_set(&det, |a: &CellularAsResult| a.cgn_positive);
+        assert!(set.contains(&AsId(1)));
+    }
+}

@@ -1,0 +1,517 @@
+//! Port & IP allocation analysis (§6.2, Figs 8/9, Table 6).
+
+use crate::obs::SessionObs;
+use crate::stats::Histogram;
+use netcore::AsId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A session's inferred port-allocation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PortStrategy {
+    Preservation,
+    Sequential,
+    Random,
+}
+
+impl PortStrategy {
+    pub fn name(self) -> &'static str {
+        match self {
+            PortStrategy::Preservation => "preservation",
+            PortStrategy::Sequential => "sequential",
+            PortStrategy::Random => "random",
+        }
+    }
+}
+
+/// Classification leeway from the paper (footnote 12): preservation if at
+/// least 20% of ports survive, sequential if consecutive observed ports
+/// differ by less than 50.
+#[derive(Debug, Clone)]
+pub struct PortClassifier {
+    pub preservation_fraction: f64,
+    pub sequential_max_gap: u16,
+    /// Minimum completed flows to classify at all.
+    pub min_flows: usize,
+}
+
+impl Default for PortClassifier {
+    fn default() -> Self {
+        PortClassifier { preservation_fraction: 0.20, sequential_max_gap: 50, min_flows: 4 }
+    }
+}
+
+impl PortClassifier {
+    /// Classify one session's flows `(local port, observed port)`.
+    pub fn classify(&self, flows: &[(u16, u16)]) -> Option<PortStrategy> {
+        if flows.len() < self.min_flows {
+            return None;
+        }
+        let preserved = flows.iter().filter(|(l, o)| l == o).count();
+        if preserved as f64 >= self.preservation_fraction * flows.len() as f64 {
+            return Some(PortStrategy::Preservation);
+        }
+        let sequential = flows.windows(2).all(|w| {
+            let (_, a) = w[0];
+            let (_, b) = w[1];
+            b.abs_diff(a) < self.sequential_max_gap
+        });
+        if sequential {
+            return Some(PortStrategy::Sequential);
+        }
+        Some(PortStrategy::Random)
+    }
+
+    /// Classify a full session observation (uses only completed flows).
+    pub fn classify_session(&self, s: &SessionObs) -> Option<PortStrategy> {
+        let flows: Vec<(u16, u16)> = s.observed_flows().map(|(l, o)| (l, o.port)).collect();
+        self.classify(&flows)
+    }
+}
+
+/// Per-AS strategy mix — one bar of Fig. 9.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AsStrategyMix {
+    pub sessions: usize,
+    pub preservation: usize,
+    pub sequential: usize,
+    pub random: usize,
+}
+
+impl AsStrategyMix {
+    pub fn add(&mut self, s: PortStrategy) {
+        self.sessions += 1;
+        match s {
+            PortStrategy::Preservation => self.preservation += 1,
+            PortStrategy::Sequential => self.sequential += 1,
+            PortStrategy::Random => self.random += 1,
+        }
+    }
+
+    /// Whether a single strategy explains every session ("pure" ASes on
+    /// the left of Fig. 9).
+    pub fn is_pure(&self) -> bool {
+        let full = self.sessions;
+        self.preservation == full || self.sequential == full || self.random == full
+    }
+
+    /// The dominant strategy (majority; ties broken in enum order).
+    pub fn dominant(&self) -> Option<PortStrategy> {
+        if self.sessions == 0 {
+            return None;
+        }
+        let triples = [
+            (self.preservation, PortStrategy::Preservation),
+            (self.sequential, PortStrategy::Sequential),
+            (self.random, PortStrategy::Random),
+        ];
+        triples.into_iter().max_by_key(|(c, _)| *c).map(|(_, s)| s)
+    }
+
+    /// Shares in (preservation, sequential, random) order.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let n = self.sessions.max(1) as f64;
+        (
+            self.preservation as f64 / n,
+            self.sequential as f64 / n,
+            self.random as f64 / n,
+        )
+    }
+}
+
+/// Build the per-AS strategy mixes of Fig. 9, restricted to a set of
+/// (CGN-positive) ASes.
+pub fn strategy_mix_per_as(
+    sessions: &[SessionObs],
+    classifier: &PortClassifier,
+    include: impl Fn(AsId) -> bool,
+) -> BTreeMap<AsId, AsStrategyMix> {
+    let mut out: BTreeMap<AsId, AsStrategyMix> = BTreeMap::new();
+    for s in sessions {
+        let Some(a) = s.as_id else { continue };
+        if !include(a) {
+            continue;
+        }
+        if let Some(strategy) = classifier.classify_session(s) {
+            out.entry(a).or_default().add(strategy);
+        }
+    }
+    out
+}
+
+/// Table 6, top half: the dominant-strategy distribution across ASes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table6 {
+    pub ases: usize,
+    pub preservation_pct: f64,
+    pub sequential_pct: f64,
+    pub random_pct: f64,
+    /// ASes with chunk-based allocation and their estimated chunk sizes.
+    pub chunked: Vec<(AsId, u16)>,
+}
+
+/// Compute Table 6 for a set of AS mixes.
+pub fn table6(mixes: &BTreeMap<AsId, AsStrategyMix>, chunks: &BTreeMap<AsId, u16>) -> Table6 {
+    let n = mixes.len();
+    let mut counts = [0usize; 3];
+    for m in mixes.values() {
+        match m.dominant() {
+            Some(PortStrategy::Preservation) => counts[0] += 1,
+            Some(PortStrategy::Sequential) => counts[1] += 1,
+            Some(PortStrategy::Random) => counts[2] += 1,
+            None => {}
+        }
+    }
+    Table6 {
+        ases: n,
+        preservation_pct: crate::stats::pct(counts[0], n),
+        sequential_pct: crate::stats::pct(counts[1], n),
+        random_pct: crate::stats::pct(counts[2], n),
+        chunked: chunks.iter().map(|(a, c)| (*a, *c)).collect(),
+    }
+}
+
+/// Chunk detection (§6.2): at least `min_sessions` random-classified
+/// sessions, every session's observed ports spanning less than
+/// `max_spread`; the chunk size estimate is the smallest power of two
+/// covering the widest session spread.
+#[derive(Debug, Clone)]
+pub struct ChunkDetector {
+    pub min_sessions: usize,
+    pub max_spread: u16,
+}
+
+impl Default for ChunkDetector {
+    fn default() -> Self {
+        ChunkDetector { min_sessions: 20, max_spread: 16_384 }
+    }
+}
+
+impl ChunkDetector {
+    /// Detect chunked allocation per AS; returns estimated chunk sizes.
+    pub fn detect(
+        &self,
+        sessions: &[SessionObs],
+        classifier: &PortClassifier,
+        include: impl Fn(AsId) -> bool,
+    ) -> BTreeMap<AsId, u16> {
+        let mut spreads: BTreeMap<AsId, Vec<u16>> = BTreeMap::new();
+        for s in sessions {
+            let Some(a) = s.as_id else { continue };
+            if !include(a) {
+                continue;
+            }
+            if classifier.classify_session(s) != Some(PortStrategy::Random) {
+                continue;
+            }
+            let ports: Vec<u16> = s.observed_flows().map(|(_, o)| o.port).collect();
+            if ports.len() < classifier.min_flows {
+                continue;
+            }
+            let spread = ports.iter().max().expect("nonempty")
+                - ports.iter().min().expect("nonempty");
+            spreads.entry(a).or_default().push(spread);
+        }
+        spreads
+            .into_iter()
+            .filter(|(_, v)| {
+                v.len() >= self.min_sessions && v.iter().all(|s| *s < self.max_spread)
+            })
+            .map(|(a, v)| {
+                let widest = *v.iter().max().expect("nonempty");
+                (a, (widest as u32 + 1).next_power_of_two().min(65_536) as u16)
+            })
+            .collect()
+    }
+}
+
+/// Fig. 8(a): the two source-port histograms — sessions whose ports were
+/// preserved (OS ephemeral ranges) vs port-translated sessions (whole
+/// port space).
+pub fn fig8a_histograms(
+    sessions: &[SessionObs],
+    classifier: &PortClassifier,
+    bin_width: u64,
+) -> (Histogram, Histogram) {
+    let mut preserved = Histogram::new(bin_width, 65_535);
+    let mut translated = Histogram::new(bin_width, 65_535);
+    for s in sessions {
+        match classifier.classify_session(s) {
+            Some(PortStrategy::Preservation) => {
+                for (_, o) in s.observed_flows() {
+                    preserved.add(o.port as u64);
+                }
+            }
+            Some(_) => {
+                for (_, o) in s.observed_flows() {
+                    translated.add(o.port as u64);
+                }
+            }
+            None => {}
+        }
+    }
+    (preserved, translated)
+}
+
+/// Fig. 8(b): per CPE model, (sessions, port-preserving sessions) for
+/// non-CGN sessions that reported a model via UPnP.
+pub fn fig8b_cpe_preservation(
+    sessions: &[SessionObs],
+    classifier: &PortClassifier,
+    exclude_as: impl Fn(AsId) -> bool,
+) -> BTreeMap<String, (usize, usize)> {
+    let mut out: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for s in sessions {
+        if s.cellular {
+            continue;
+        }
+        if let Some(a) = s.as_id {
+            if exclude_as(a) {
+                continue;
+            }
+        }
+        let Some(model) = &s.cpe_model else { continue };
+        let Some(strategy) = classifier.classify_session(s) else { continue };
+        let e = out.entry(model.clone()).or_insert((0, 0));
+        e.0 += 1;
+        if strategy == PortStrategy::Preservation {
+            e.1 += 1;
+        }
+    }
+    out
+}
+
+/// §6.2 "NAT pooling behavior": share of CGN-positive ASes showing
+/// arbitrary pooling (several public IPs within >60% of sessions).
+pub fn arbitrary_pooling_ases(
+    sessions: &[SessionObs],
+    include: impl Fn(AsId) -> bool,
+    session_fraction: f64,
+) -> BTreeMap<AsId, bool> {
+    let mut per_as: BTreeMap<AsId, (usize, usize)> = BTreeMap::new();
+    for s in sessions {
+        let Some(a) = s.as_id else { continue };
+        if !include(a) {
+            continue;
+        }
+        let e = per_as.entry(a).or_insert((0, 0));
+        e.0 += 1;
+        if s.multiple_public_ips {
+            e.1 += 1;
+        }
+    }
+    per_as
+        .into_iter()
+        .filter(|(_, (n, _))| *n > 0)
+        .map(|(a, (n, multi))| (a, multi as f64 > session_fraction * n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::FlowObs;
+    use netcore::{ip, Endpoint};
+
+    fn classifier() -> PortClassifier {
+        PortClassifier::default()
+    }
+
+    #[test]
+    fn preservation_classified() {
+        // 3 of 10 preserved ≥ 20%.
+        let flows: Vec<(u16, u16)> = (0..10)
+            .map(|i| {
+                let l = 40_000 + i;
+                if i < 3 {
+                    (l, l)
+                } else {
+                    (l, 1_000 + 997 * i)
+                }
+            })
+            .collect();
+        assert_eq!(classifier().classify(&flows), Some(PortStrategy::Preservation));
+    }
+
+    #[test]
+    fn sequential_classified_with_gaps() {
+        // Strictly increasing with small gaps (collisions skip a few).
+        let flows: Vec<(u16, u16)> =
+            (0..10).map(|i| (40_000 + i, 5_000 + i * 3)).collect();
+        assert_eq!(classifier().classify(&flows), Some(PortStrategy::Sequential));
+    }
+
+    #[test]
+    fn random_classified() {
+        let flows: Vec<(u16, u16)> = [
+            (40_000, 12_345),
+            (40_001, 61_002),
+            (40_002, 3_004),
+            (40_003, 44_120),
+            (40_004, 29_876),
+            (40_005, 55_221),
+        ]
+        .to_vec();
+        assert_eq!(classifier().classify(&flows), Some(PortStrategy::Random));
+    }
+
+    #[test]
+    fn too_few_flows_unclassified() {
+        assert_eq!(classifier().classify(&[(1, 1), (2, 2)]), None);
+    }
+
+    fn session_with_ports(as_n: u32, ports: &[(u16, u16)]) -> SessionObs {
+        let mut s = SessionObs::skeleton(AsId(as_n), false, ip(192, 168, 1, 100));
+        s.flows = ports
+            .iter()
+            .map(|(l, o)| FlowObs {
+                local_port: *l,
+                observed: Some(Endpoint::new(ip(60, 0, 0, 1), *o)),
+            })
+            .collect();
+        s
+    }
+
+    #[test]
+    fn mix_and_dominant() {
+        let mut m = AsStrategyMix::default();
+        m.add(PortStrategy::Random);
+        m.add(PortStrategy::Random);
+        m.add(PortStrategy::Sequential);
+        assert_eq!(m.dominant(), Some(PortStrategy::Random));
+        assert!(!m.is_pure());
+        let (p, s, r) = m.shares();
+        assert_eq!(p, 0.0);
+        assert!((s - 1.0 / 3.0).abs() < 1e-9);
+        assert!((r - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_as_mix_respects_filter() {
+        let sessions = vec![
+            session_with_ports(1, &[(1000, 1000), (1001, 1001), (1002, 1002), (1003, 1003)]),
+            session_with_ports(2, &[(1000, 1000), (1001, 1001), (1002, 1002), (1003, 1003)]),
+        ];
+        let mixes = strategy_mix_per_as(&sessions, &classifier(), |a| a == AsId(1));
+        assert!(mixes.contains_key(&AsId(1)));
+        assert!(!mixes.contains_key(&AsId(2)));
+    }
+
+    #[test]
+    fn chunk_detection_estimates_power_of_two() {
+        // 25 sessions, each with 6 random-looking ports inside one 4K
+        // block (different blocks per session).
+        let mut sessions = Vec::new();
+        for k in 0..25u16 {
+            let base = 1_024 + (k % 12) * 4_096;
+            let ports: Vec<(u16, u16)> = [3_001u16, 777, 2_222, 3_900, 150, 1_888]
+                .iter()
+                .map(|o| (40_000, base + o))
+                .collect();
+            sessions.push(session_with_ports(5, &ports));
+        }
+        let chunks =
+            ChunkDetector::default().detect(&sessions, &classifier(), |a| a == AsId(5));
+        assert_eq!(chunks.get(&AsId(5)), Some(&4_096));
+    }
+
+    #[test]
+    fn chunk_detection_needs_enough_sessions() {
+        let sessions: Vec<SessionObs> = (0..10u16)
+            .map(|_| {
+                session_with_ports(
+                    5,
+                    &[(1, 3_001), (2, 777), (3, 2_222), (4, 3_900), (5, 150)],
+                )
+            })
+            .collect();
+        let chunks =
+            ChunkDetector::default().detect(&sessions, &classifier(), |_| true);
+        assert!(chunks.is_empty(), "10 < 20 sessions");
+    }
+
+    #[test]
+    fn chunk_detection_rejects_wide_sessions() {
+        let mut sessions = Vec::new();
+        for _ in 0..25 {
+            sessions.push(session_with_ports(
+                5,
+                &[(1, 1_000), (2, 60_000), (3, 30_000), (4, 45_000), (5, 5_000)],
+            ));
+        }
+        let chunks =
+            ChunkDetector::default().detect(&sessions, &classifier(), |_| true);
+        assert!(chunks.is_empty(), "full-space sessions are not chunked");
+    }
+
+    #[test]
+    fn table6_percentages() {
+        let mut mixes = BTreeMap::new();
+        for (i, strat) in [
+            PortStrategy::Preservation,
+            PortStrategy::Preservation,
+            PortStrategy::Sequential,
+            PortStrategy::Random,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut m = AsStrategyMix::default();
+            m.add(*strat);
+            mixes.insert(AsId(i as u32), m);
+        }
+        let t = table6(&mixes, &BTreeMap::new());
+        assert_eq!(t.ases, 4);
+        assert_eq!(t.preservation_pct, 50.0);
+        assert_eq!(t.sequential_pct, 25.0);
+        assert_eq!(t.random_pct, 25.0);
+    }
+
+    #[test]
+    fn fig8a_separates_populations() {
+        let preserved = session_with_ports(
+            1,
+            &[(33_000, 33_000), (33_001, 33_001), (33_002, 33_002), (33_003, 33_003)],
+        );
+        let translated = session_with_ports(
+            1,
+            &[(33_000, 100), (33_001, 60_000), (33_002, 20_000), (33_003, 41_111)],
+        );
+        let (p, t) = fig8a_histograms(&[preserved, translated], &classifier(), 4_096);
+        assert_eq!(p.total, 4);
+        assert_eq!(t.total, 4);
+        // Preserved ports cluster in the OS ephemeral bin (33_000/4096=8).
+        assert_eq!(p.bins[8], 4);
+        // Translated ports spread over several bins.
+        assert!(t.bins.iter().filter(|c| **c > 0).count() >= 3);
+    }
+
+    #[test]
+    fn fig8b_groups_by_model() {
+        let mut a = session_with_ports(
+            1,
+            &[(1_000, 1_000), (1_001, 1_001), (1_002, 1_002), (1_003, 1_003)],
+        );
+        a.cpe_model = Some("Acme CPE-001".into());
+        let mut b = session_with_ports(
+            1,
+            &[(1_000, 9_111), (1_001, 61_222), (1_002, 23_333), (1_003, 44_444)],
+        );
+        b.cpe_model = Some("Acme CPE-001".into());
+        let grouped = fig8b_cpe_preservation(&[a, b], &classifier(), |_| false);
+        assert_eq!(grouped["Acme CPE-001"], (2, 1));
+    }
+
+    #[test]
+    fn pooling_detection() {
+        let mut multi = session_with_ports(1, &[(1, 2), (2, 3), (3, 4), (4, 5)]);
+        multi.multiple_public_ips = true;
+        let single = session_with_ports(1, &[(1, 2), (2, 3), (3, 4), (4, 5)]);
+        let pools = arbitrary_pooling_ases(
+            &[multi.clone(), multi.clone(), single],
+            |_| true,
+            0.6,
+        );
+        assert_eq!(pools[&AsId(1)], true, "2/3 > 0.6 sessions saw multiple IPs");
+    }
+}

@@ -1,0 +1,226 @@
+//! Small statistics toolkit: histograms, quantiles, box plots.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin-width histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    pub bin_width: u64,
+    /// Counts per bin; bin `i` covers `[i*w, (i+1)*w)`.
+    pub bins: Vec<u64>,
+    pub total: u64,
+}
+
+impl Histogram {
+    pub fn new(bin_width: u64, max_value: u64) -> Histogram {
+        assert!(bin_width > 0);
+        let n = (max_value / bin_width + 1) as usize;
+        Histogram { bin_width, bins: vec![0; n], total: 0 }
+    }
+
+    pub fn add(&mut self, v: u64) {
+        let idx = (v / self.bin_width) as usize;
+        let idx = idx.min(self.bins.len() - 1); // clamp overflow into last bin
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    pub fn from_values(bin_width: u64, max_value: u64, values: impl IntoIterator<Item = u64>) -> Histogram {
+        let mut h = Histogram::new(bin_width, max_value);
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Normalized frequency per bin.
+    pub fn normalized(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins.iter().map(|c| *c as f64 / self.total as f64).collect()
+    }
+
+    /// The most frequent bin's lower edge.
+    pub fn mode_bin(&self) -> Option<u64> {
+        let (idx, max) = self
+            .bins
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, c)| (**c, usize::MAX - *i))?;
+        if *max == 0 {
+            None
+        } else {
+            Some(idx as u64 * self.bin_width)
+        }
+    }
+}
+
+/// Five-number summary for box plots (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotStats {
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+impl BoxplotStats {
+    /// Compute from unsorted samples; `None` if empty.
+    pub fn from_samples(samples: &[f64]) -> Option<BoxplotStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+        Some(BoxplotStats {
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            q3: quantile_sorted(&v, 0.75),
+            max: v[v.len() - 1],
+            n: v.len(),
+        })
+    }
+}
+
+/// Linear-interpolated quantile of a sorted slice.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The statistical mode of a list of integers (ties broken toward the
+/// smaller value). Used per-AS in Fig. 12 ("an AS is represented by its
+/// most frequent timeout value").
+pub fn mode(values: &[u64]) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut counts: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    for v in values {
+        *counts.entry(*v).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(v, _)| v)
+}
+
+/// Percentage rendering helper.
+pub fn pct(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        0.0
+    } else {
+        100.0 * numerator as f64 / denominator as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(10, 100);
+        for v in [0, 5, 9, 10, 95, 100, 150] {
+            h.add(v);
+        }
+        assert_eq!(h.bins[0], 3); // 0,5,9
+        assert_eq!(h.bins[1], 1); // 10
+        assert_eq!(h.bins[9], 1); // 95
+        // 100 and 150 clamp into the last bin (index 10).
+        assert_eq!(h.bins[10], 2);
+        assert_eq!(h.total, 7);
+    }
+
+    #[test]
+    fn histogram_normalized_sums_to_one() {
+        let h = Histogram::from_values(5, 50, [1, 2, 3, 49, 50]);
+        let sum: f64 = h.normalized().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_mode() {
+        let h = Histogram::from_values(10, 100, [65, 62, 68, 30, 95]);
+        assert_eq!(h.mode_bin(), Some(60));
+        assert_eq!(Histogram::new(10, 100).mode_bin(), None);
+    }
+
+    #[test]
+    fn boxplot_five_numbers() {
+        let s = BoxplotStats::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.n, 5);
+        assert!(BoxplotStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&v, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 10.0);
+        assert_eq!(quantile_sorted(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn mode_prefers_most_frequent_then_smallest() {
+        assert_eq!(mode(&[65, 65, 30]), Some(65));
+        assert_eq!(mode(&[10, 20]), Some(10), "tie → smaller");
+        assert_eq!(mode(&[]), None);
+    }
+
+    #[test]
+    fn pct_handles_zero_denominator() {
+        assert_eq!(pct(1, 0), 0.0);
+        assert!((pct(1, 3) - 33.333).abs() < 0.01);
+    }
+
+    proptest! {
+        /// Histogram total always equals the number of samples; all mass
+        /// is in bins.
+        #[test]
+        fn prop_histogram_conserves_mass(values in proptest::collection::vec(0u64..1000, 0..200)) {
+            let h = Histogram::from_values(7, 500, values.clone());
+            prop_assert_eq!(h.total as usize, values.len());
+            prop_assert_eq!(h.bins.iter().sum::<u64>() as usize, values.len());
+        }
+
+        /// Quantiles are monotone and bounded by min/max.
+        #[test]
+        fn prop_quantiles_monotone(mut values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q25 = quantile_sorted(&values, 0.25);
+            let q50 = quantile_sorted(&values, 0.5);
+            let q75 = quantile_sorted(&values, 0.75);
+            prop_assert!(values[0] <= q25 && q25 <= q50 && q50 <= q75);
+            prop_assert!(q75 <= values[values.len() - 1]);
+        }
+
+        /// Box plots agree with quantiles.
+        #[test]
+        fn prop_boxplot_consistent(values in proptest::collection::vec(0f64..100.0, 1..50)) {
+            let s = BoxplotStats::from_samples(&values).unwrap();
+            prop_assert!(s.min <= s.q1 && s.q1 <= s.median);
+            prop_assert!(s.median <= s.q3 && s.q3 <= s.max);
+            prop_assert_eq!(s.n, values.len());
+        }
+    }
+}

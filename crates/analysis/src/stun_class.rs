@@ -1,0 +1,171 @@
+//! STUN mapping-type analysis (§6.5, Fig. 13).
+
+use crate::obs::SessionObs;
+use nat_engine::StunNatType;
+use netcore::AsId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Distribution over the four STUN types (+unclassified "other").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StunDistribution {
+    pub symmetric: usize,
+    pub port_address_restricted: usize,
+    pub address_restricted: usize,
+    pub full_cone: usize,
+    pub total: usize,
+}
+
+impl StunDistribution {
+    pub fn add(&mut self, t: StunNatType) {
+        self.total += 1;
+        match t {
+            StunNatType::Symmetric => self.symmetric += 1,
+            StunNatType::PortAddressRestricted => self.port_address_restricted += 1,
+            StunNatType::AddressRestricted => self.address_restricted += 1,
+            StunNatType::FullCone => self.full_cone += 1,
+        }
+    }
+
+    /// Shares in the paper's restrictive→permissive order.
+    pub fn shares(&self) -> [(StunNatType, f64); 4] {
+        let n = self.total.max(1) as f64;
+        [
+            (StunNatType::Symmetric, self.symmetric as f64 / n),
+            (StunNatType::PortAddressRestricted, self.port_address_restricted as f64 / n),
+            (StunNatType::AddressRestricted, self.address_restricted as f64 / n),
+            (StunNatType::FullCone, self.full_cone as f64 / n),
+        ]
+    }
+
+    pub fn share_of(&self, t: StunNatType) -> f64 {
+        let n = self.total.max(1) as f64;
+        match t {
+            StunNatType::Symmetric => self.symmetric as f64 / n,
+            StunNatType::PortAddressRestricted => self.port_address_restricted as f64 / n,
+            StunNatType::AddressRestricted => self.address_restricted as f64 / n,
+            StunNatType::FullCone => self.full_cone as f64 / n,
+        }
+    }
+}
+
+/// Fig. 13(a): the session-level STUN type distribution for CPE NATs
+/// (non-cellular sessions outside CGN-positive ASes).
+pub fn fig13a_cpe_sessions(
+    sessions: &[SessionObs],
+    cgn_positive: impl Fn(AsId) -> bool,
+) -> StunDistribution {
+    let mut d = StunDistribution::default();
+    for s in sessions {
+        if s.cellular {
+            continue;
+        }
+        if let Some(a) = s.as_id {
+            if cgn_positive(a) {
+                continue;
+            }
+        }
+        if let Some(t) = s.stun_nat {
+            d.add(t);
+        }
+    }
+    d
+}
+
+/// Fig. 13(b): per CGN-positive AS, the *most permissive* STUN type
+/// observed across its sessions (a lower bound on the CGN's own
+/// behaviour, since cascaded NATs can only be more restrictive).
+pub fn fig13b_most_permissive_per_as(
+    sessions: &[SessionObs],
+    include: impl Fn(AsId) -> bool,
+) -> BTreeMap<AsId, StunNatType> {
+    let mut best: BTreeMap<AsId, StunNatType> = BTreeMap::new();
+    for s in sessions {
+        let Some(a) = s.as_id else { continue };
+        if !include(a) {
+            continue;
+        }
+        let Some(t) = s.stun_nat else { continue };
+        best.entry(a)
+            .and_modify(|cur| {
+                if t > *cur {
+                    *cur = t;
+                }
+            })
+            .or_insert(t);
+    }
+    best
+}
+
+/// Aggregate a per-AS type map into a distribution.
+pub fn distribution_over_ases(per_as: &BTreeMap<AsId, StunNatType>) -> StunDistribution {
+    let mut d = StunDistribution::default();
+    for t in per_as.values() {
+        d.add(*t);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+
+    fn session(as_n: u32, cellular: bool, t: Option<StunNatType>) -> SessionObs {
+        let mut s = SessionObs::skeleton(AsId(as_n), cellular, ip(192, 168, 1, 100));
+        s.stun_nat = t;
+        s
+    }
+
+    #[test]
+    fn distribution_counts_and_shares() {
+        let mut d = StunDistribution::default();
+        d.add(StunNatType::Symmetric);
+        d.add(StunNatType::FullCone);
+        d.add(StunNatType::FullCone);
+        d.add(StunNatType::PortAddressRestricted);
+        assert_eq!(d.total, 4);
+        assert_eq!(d.share_of(StunNatType::FullCone), 0.5);
+        let sum: f64 = d.shares().iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig13a_excludes_cgn_and_cellular() {
+        let sessions = vec![
+            session(1, false, Some(StunNatType::PortAddressRestricted)),
+            session(2, false, Some(StunNatType::Symmetric)), // CGN AS → excluded
+            session(3, true, Some(StunNatType::FullCone)),   // cellular → excluded
+            session(1, false, None),                          // no STUN → ignored
+        ];
+        let d = fig13a_cpe_sessions(&sessions, |a| a == AsId(2));
+        assert_eq!(d.total, 1);
+        assert_eq!(d.port_address_restricted, 1);
+    }
+
+    #[test]
+    fn fig13b_takes_most_permissive() {
+        // NAT444 sessions: CPE behaviours mask the CGN differently; the
+        // most permissive observation bounds the CGN type.
+        let sessions = vec![
+            session(1, false, Some(StunNatType::Symmetric)),
+            session(1, false, Some(StunNatType::PortAddressRestricted)),
+            session(1, false, Some(StunNatType::AddressRestricted)),
+            session(2, false, Some(StunNatType::Symmetric)),
+            session(2, false, Some(StunNatType::Symmetric)),
+        ];
+        let per_as = fig13b_most_permissive_per_as(&sessions, |_| true);
+        assert_eq!(per_as[&AsId(1)], StunNatType::AddressRestricted);
+        assert_eq!(per_as[&AsId(2)], StunNatType::Symmetric, "all-symmetric AS stays symmetric");
+        let d = distribution_over_ases(&per_as);
+        assert_eq!(d.total, 2);
+        assert_eq!(d.symmetric, 1);
+    }
+
+    #[test]
+    fn fig13b_respects_filter() {
+        let sessions = vec![session(1, false, Some(StunNatType::FullCone))];
+        let per_as = fig13b_most_permissive_per_as(&sessions, |_| false);
+        assert!(per_as.is_empty());
+    }
+}

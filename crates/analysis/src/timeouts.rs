@@ -1,0 +1,193 @@
+//! Mapping-timeout analysis (§6.5, Fig. 12).
+//!
+//! For CGN-positive ASes, only sessions whose TTL enumeration found the
+//! NAT **three or more hops out** contribute (that keeps NAT444 CPE state
+//! out of the CGN estimate); each AS is represented by its most frequent
+//! (mode) timeout. CPE timeouts are reported per session.
+
+use crate::obs::SessionObs;
+use crate::stats::{mode, BoxplotStats};
+use netcore::AsId;
+use std::collections::BTreeMap;
+
+/// Minimum hop distance for a detected middlebox to count as the CGN.
+pub const CGN_MIN_HOP: usize = 3;
+
+/// The timeout estimate of one detected NAT: the bracket midpoint.
+fn estimate_secs(gt: u64, le: u64) -> u64 {
+    (gt + le) / 2
+}
+
+/// Per-AS modal CGN timeouts for sessions in `include` ASes.
+pub fn cgn_timeouts_per_as(
+    sessions: &[SessionObs],
+    include: impl Fn(AsId) -> bool,
+) -> BTreeMap<AsId, u64> {
+    let mut samples: BTreeMap<AsId, Vec<u64>> = BTreeMap::new();
+    for s in sessions {
+        let Some(a) = s.as_id else { continue };
+        if !include(a) {
+            continue;
+        }
+        let Some(ttl) = &s.ttl else { continue };
+        for d in &ttl.detected {
+            if d.hop >= CGN_MIN_HOP {
+                samples
+                    .entry(a)
+                    .or_default()
+                    .push(estimate_secs(d.timeout_gt_secs, d.timeout_le_secs));
+            }
+        }
+    }
+    samples
+        .into_iter()
+        .filter_map(|(a, v)| mode(&v).map(|m| (a, m)))
+        .collect()
+}
+
+/// Per-session CPE timeouts: the nearest detected middlebox (hop 1–2) in
+/// sessions from non-CGN ASes.
+pub fn cpe_timeouts_per_session(
+    sessions: &[SessionObs],
+    exclude: impl Fn(AsId) -> bool,
+) -> Vec<u64> {
+    let mut out = Vec::new();
+    for s in sessions {
+        if let Some(a) = s.as_id {
+            if exclude(a) {
+                continue;
+            }
+        }
+        let Some(ttl) = &s.ttl else { continue };
+        if let Some(d) = ttl.detected.iter().find(|d| d.hop < CGN_MIN_HOP) {
+            out.push(estimate_secs(d.timeout_gt_secs, d.timeout_le_secs));
+        }
+    }
+    out
+}
+
+/// The three box plots of Fig. 12.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    pub cellular_cgn_per_as: Option<BoxplotStats>,
+    pub noncellular_cgn_per_as: Option<BoxplotStats>,
+    pub cpe_per_session: Option<BoxplotStats>,
+    pub cellular_values: Vec<u64>,
+    pub noncellular_values: Vec<u64>,
+    pub cpe_values: Vec<u64>,
+}
+
+/// Assemble Fig. 12 from the session corpus and the CGN-positive AS sets.
+pub fn fig12(
+    sessions: &[SessionObs],
+    cellular_cgn: impl Fn(AsId) -> bool,
+    noncellular_cgn: impl Fn(AsId) -> bool,
+) -> Fig12 {
+    let cell: Vec<u64> = cgn_timeouts_per_as(
+        &sessions.iter().filter(|s| s.cellular).cloned().collect::<Vec<_>>(),
+        &cellular_cgn,
+    )
+    .into_values()
+    .collect();
+    let noncell: Vec<u64> = cgn_timeouts_per_as(
+        &sessions.iter().filter(|s| !s.cellular).cloned().collect::<Vec<_>>(),
+        &noncellular_cgn,
+    )
+    .into_values()
+    .collect();
+    let cpe = cpe_timeouts_per_session(
+        &sessions.iter().filter(|s| !s.cellular).cloned().collect::<Vec<_>>(),
+        |a| noncellular_cgn(a) || cellular_cgn(a),
+    );
+    let to_f = |v: &[u64]| v.iter().map(|x| *x as f64).collect::<Vec<f64>>();
+    Fig12 {
+        cellular_cgn_per_as: BoxplotStats::from_samples(&to_f(&cell)),
+        noncellular_cgn_per_as: BoxplotStats::from_samples(&to_f(&noncell)),
+        cpe_per_session: BoxplotStats::from_samples(&to_f(&cpe)),
+        cellular_values: cell,
+        noncellular_values: noncell,
+        cpe_values: cpe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{TtlNatObs, TtlObs};
+    use netcore::ip;
+
+    fn session(as_n: u32, cellular: bool, detected: Vec<TtlNatObs>) -> SessionObs {
+        let mut s = SessionObs::skeleton(AsId(as_n), cellular, ip(100, 64, 0, 5));
+        s.ttl = Some(TtlObs { path_len: 6, ip_mismatch: true, detected });
+        s
+    }
+
+    fn nat(hop: usize, gt: u64, le: u64) -> TtlNatObs {
+        TtlNatObs { hop, timeout_gt_secs: gt, timeout_le_secs: le }
+    }
+
+    #[test]
+    fn cgn_requires_three_hops() {
+        let sessions = vec![
+            session(1, false, vec![nat(1, 60, 70)]), // CPE only
+            session(1, false, vec![nat(3, 30, 40)]), // CGN at hop 3
+        ];
+        let t = cgn_timeouts_per_as(&sessions, |_| true);
+        assert_eq!(t[&AsId(1)], 35, "only the ≥3-hop NAT counts");
+    }
+
+    #[test]
+    fn per_as_mode_wins() {
+        let sessions = vec![
+            session(1, false, vec![nat(3, 60, 70)]),
+            session(1, false, vec![nat(3, 60, 70)]),
+            session(1, false, vec![nat(3, 150, 160)]),
+        ];
+        let t = cgn_timeouts_per_as(&sessions, |_| true);
+        assert_eq!(t[&AsId(1)], 65);
+    }
+
+    #[test]
+    fn cpe_from_non_cgn_sessions_only() {
+        let sessions = vec![
+            session(1, false, vec![nat(1, 60, 70)]),
+            session(2, false, vec![nat(1, 100, 110)]),
+        ];
+        // AS 2 is CGN-positive → excluded from the CPE population.
+        let cpe = cpe_timeouts_per_session(&sessions, |a| a == AsId(2));
+        assert_eq!(cpe, vec![65]);
+    }
+
+    #[test]
+    fn fig12_shapes() {
+        let mut sessions = Vec::new();
+        // Cellular CGN ASes with 65 s modes.
+        for a in 0..5u32 {
+            sessions.push(session(a, true, vec![nat(4, 60, 70)]));
+            sessions.push(session(a, true, vec![nat(4, 60, 70)]));
+        }
+        // Non-cellular CGN ASes with 35 s modes.
+        for a in 10..15u32 {
+            sessions.push(session(a, false, vec![nat(3, 30, 40)]));
+        }
+        // CPE sessions in non-CGN ASes.
+        for a in 20..23u32 {
+            sessions.push(session(a, false, vec![nat(1, 60, 70)]));
+        }
+        let f = fig12(&sessions, |a| a.0 < 10, |a| (10..20).contains(&a.0));
+        assert_eq!(f.cellular_cgn_per_as.unwrap().median, 65.0);
+        assert_eq!(f.noncellular_cgn_per_as.unwrap().median, 35.0);
+        assert_eq!(f.cpe_per_session.unwrap().median, 65.0);
+        // The paper's headline: cellular CGN median above non-cellular.
+        assert!(
+            f.cellular_cgn_per_as.unwrap().median > f.noncellular_cgn_per_as.unwrap().median
+        );
+    }
+
+    #[test]
+    fn empty_inputs_give_none() {
+        let f = fig12(&[], |_| true, |_| true);
+        assert!(f.cellular_cgn_per_as.is_none());
+        assert!(f.cpe_per_session.is_none());
+    }
+}

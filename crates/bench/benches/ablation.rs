@@ -1,0 +1,92 @@
+//! Detector ablations: the paper's conservative detectors vs naive
+//! baselines, scored against ground truth.
+//!
+//! Quantifies what each methodological ingredient buys:
+//! * clustering + the 5×5 boundary (vs "any leakage means CGN"),
+//! * the top-/24 filter and 0.4·N diversity rule (vs "any IPcpe≠IPpub
+//!   session means CGN").
+
+use analysis::baseline::{self, score};
+use analysis::bt_detect::BtDetector;
+use analysis::nz_detect::NzNonCellularDetector;
+use cgn_study::pipeline::{measure, StudyArtifacts};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netcore::AsId;
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+fn artifacts() -> &'static StudyArtifacts {
+    static ART: OnceLock<StudyArtifacts> = OnceLock::new();
+    ART.get_or_init(|| measure(cgn_bench::bench_study_config(2016)))
+}
+
+fn truth_set() -> BTreeSet<AsId> {
+    artifacts()
+        .world
+        .deployments
+        .iter()
+        .filter(|d| d.has_cgn())
+        .map(|d| d.info.id)
+        .collect()
+}
+
+fn bench_bt_ablation(c: &mut Criterion) {
+    let art = artifacts();
+    let mut g = c.benchmark_group("bt_detector");
+    g.bench_function("paper_5x5_clusters", |b| {
+        b.iter(|| black_box(BtDetector::default().detect(&art.leaks)))
+    });
+    g.bench_function("baseline_any_leak", |b| {
+        b.iter(|| black_box(baseline::bt_any_leak(&art.leaks)))
+    });
+    g.bench_function("baseline_2x2_clusters", |b| {
+        b.iter(|| black_box(baseline::bt_low_threshold(&art.leaks)))
+    });
+    g.finish();
+
+    let truth = truth_set();
+    let covered: BTreeSet<AsId> = art.leaks.iter().filter_map(|l| l.leaker_as).collect();
+    let paper = BtDetector::default().detect(&art.leaks).positive_ases();
+    let any = baseline::bt_any_leak(&art.leaks);
+    let low = baseline::bt_low_threshold(&art.leaks);
+    for (name, det) in [("paper 5x5", &paper), ("any-leak", &any), ("2x2", &low)] {
+        let s = score(det, &truth, &covered);
+        println!(
+            "[ablation/bt] {name:<10} precision {:.2} recall {:.2} f1 {:.2}",
+            s.precision, s.recall, s.f1
+        );
+    }
+}
+
+fn bench_nz_ablation(c: &mut Criterion) {
+    let art = artifacts();
+    let mut g = c.benchmark_group("nz_detector");
+    g.bench_function("paper_diversity_rule", |b| {
+        b.iter(|| black_box(NzNonCellularDetector::default().detect(&art.sessions, &art.world.routing)))
+    });
+    g.bench_function("baseline_any_mismatch", |b| {
+        b.iter(|| black_box(baseline::nz_any_mismatch(&art.sessions)))
+    });
+    g.finish();
+
+    let truth = truth_set();
+    let nc = NzNonCellularDetector::default().detect(&art.sessions, &art.world.routing);
+    let covered: BTreeSet<AsId> = nc.keys().copied().collect();
+    let paper: BTreeSet<AsId> =
+        nc.iter().filter(|(_, r)| r.cgn_positive).map(|(a, _)| *a).collect();
+    let any = baseline::nz_any_mismatch(&art.sessions);
+    for (name, det) in [("paper", &paper), ("any-mismatch", &any)] {
+        let s = score(det, &truth, &covered);
+        println!(
+            "[ablation/nz] {name:<12} precision {:.2} recall {:.2} f1 {:.2}",
+            s.precision, s.recall, s.f1
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bt_ablation, bench_nz_ablation
+}
+criterion_main!(benches);

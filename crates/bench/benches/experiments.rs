@@ -1,0 +1,183 @@
+//! Per-experiment regeneration benches — one per table/figure group.
+//!
+//! Each bench measures the end-to-end cost of regenerating an experiment
+//! and, once per run, prints the rows/series the paper reports so the
+//! shape can be eyeballed directly from `cargo bench` output.
+//!
+//! The expensive phases (world build, DHT swarm + crawl, Netalyzr session
+//! sweep) run once; the benches then measure the *analysis* passes, which
+//! is what varies between detector designs.
+
+use analysis::addr_class::table4;
+use analysis::bt_detect::BtDetector;
+use analysis::distance::{fig11, table7};
+use analysis::nz_detect::{NzCellularDetector, NzNonCellularDetector};
+use analysis::port_alloc::{fig8a_histograms, strategy_mix_per_as, table6, ChunkDetector, PortClassifier};
+use analysis::stun_class::{fig13a_cpe_sessions, fig13b_most_permissive_per_as};
+use analysis::timeouts::fig12;
+use cgn_study::pipeline::{measure, StudyArtifacts};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use topology::{Survey, SurveyConfig};
+
+fn artifacts() -> &'static StudyArtifacts {
+    static ART: OnceLock<StudyArtifacts> = OnceLock::new();
+    ART.get_or_init(|| measure(cgn_bench::bench_study_config(2016)))
+}
+
+fn truth(a: netcore::AsId) -> bool {
+    artifacts().world.has_cgn(a)
+}
+
+fn bench_fig1_survey(c: &mut Criterion) {
+    c.bench_function("fig1_survey", |b| {
+        b.iter(|| {
+            let s = Survey::generate(&SurveyConfig::default());
+            black_box((s.cgn_shares(), s.ipv6_shares()))
+        })
+    });
+    let s = Survey::generate(&SurveyConfig::default());
+    let (d, co, n) = s.cgn_shares();
+    println!("[fig1] CGN deployed/considering/none = {:.0}/{:.0}/{:.0}% (paper 38/12/50)",
+        100.0 * d, 100.0 * co, 100.0 * n);
+}
+
+fn bench_tables23_fig34_bt(c: &mut Criterion) {
+    let art = artifacts();
+    c.bench_function("tab2_tab3_fig4_bt_detection", |b| {
+        b.iter(|| black_box(BtDetector::default().detect(&art.leaks)))
+    });
+    let det = BtDetector::default().detect(&art.leaks);
+    println!(
+        "[tab2] queried {} learned {} responded {}",
+        art.crawl.queried.len(),
+        art.crawl.learned.len(),
+        art.crawl.ping_responders.len()
+    );
+    println!("[fig4] {} leaking ASes, {} CGN-positive", det.per_as.len(), det.positive_ases().len());
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let art = artifacts();
+    c.bench_function("tab4_addr_classification", |b| {
+        b.iter(|| black_box(table4(&art.sessions, &art.world.routing)))
+    });
+    let t = table4(&art.sessions, &art.world.routing);
+    println!(
+        "[tab4] cellular N={} noncell N={} cpe N={}",
+        t.cellular_dev.n, t.noncellular_dev.n, t.noncellular_cpe.n
+    );
+}
+
+fn bench_fig5_nz(c: &mut Criterion) {
+    let art = artifacts();
+    c.bench_function("fig5_nz_detection", |b| {
+        b.iter(|| {
+            let cell = NzCellularDetector::default().detect(&art.sessions, &art.world.routing);
+            let nc = NzNonCellularDetector::default().detect(&art.sessions, &art.world.routing);
+            black_box((cell, nc))
+        })
+    });
+    let nc = NzNonCellularDetector::default().detect(&art.sessions, &art.world.routing);
+    let pos = nc.values().filter(|r| r.cgn_positive).count();
+    println!("[fig5] {} candidate ASes, {} positive", nc.len(), pos);
+}
+
+fn bench_fig89_table6_ports(c: &mut Criterion) {
+    let art = artifacts();
+    let classifier = PortClassifier::default();
+    c.bench_function("fig8_fig9_tab6_port_analysis", |b| {
+        b.iter(|| {
+            let h = fig8a_histograms(&art.sessions, &classifier, 4096);
+            let m = strategy_mix_per_as(&art.sessions, &classifier, truth);
+            let ch = ChunkDetector::default().detect(&art.sessions, &classifier, truth);
+            let t = table6(&m, &ch);
+            black_box((h, t))
+        })
+    });
+    let m = strategy_mix_per_as(&art.sessions, &classifier, truth);
+    let ch = ChunkDetector::default().detect(&art.sessions, &classifier, truth);
+    let t = table6(&m, &ch);
+    println!(
+        "[tab6] {} CGN ASes: preservation {:.0}% sequential {:.0}% random {:.0}%, {} chunked",
+        t.ases, t.preservation_pct, t.sequential_pct, t.random_pct, t.chunked.len()
+    );
+}
+
+fn bench_table7_fig11(c: &mut Criterion) {
+    let art = artifacts();
+    c.bench_function("tab7_fig11_ttl_analysis", |b| {
+        b.iter(|| black_box((table7(&art.sessions), fig11(&art.sessions, truth))))
+    });
+    let t = table7(&art.sessions);
+    println!(
+        "[tab7] sessions {}: mismatch+found {} mismatch-only {} match+found {} neither {}",
+        t.sessions, t.mismatch_detected, t.mismatch_not_detected, t.match_detected, t.match_not_detected
+    );
+}
+
+fn bench_fig12_timeouts(c: &mut Criterion) {
+    let art = artifacts();
+    let cellular: std::collections::BTreeSet<netcore::AsId> = art
+        .world
+        .registry
+        .iter()
+        .filter(|a| a.kind.is_cellular())
+        .map(|a| a.id)
+        .collect();
+    c.bench_function("fig12_timeout_analysis", |b| {
+        b.iter(|| {
+            black_box(fig12(
+                &art.sessions,
+                |a| cellular.contains(&a) && truth(a),
+                |a| !cellular.contains(&a) && truth(a),
+            ))
+        })
+    });
+    let f = fig12(
+        &art.sessions,
+        |a| cellular.contains(&a) && truth(a),
+        |a| !cellular.contains(&a) && truth(a),
+    );
+    println!(
+        "[fig12] medians: cellular {:?} non-cellular {:?} cpe {:?}",
+        f.cellular_cgn_per_as.map(|b| b.median),
+        f.noncellular_cgn_per_as.map(|b| b.median),
+        f.cpe_per_session.map(|b| b.median)
+    );
+}
+
+fn bench_fig13_stun(c: &mut Criterion) {
+    let art = artifacts();
+    c.bench_function("fig13_stun_analysis", |b| {
+        b.iter(|| {
+            black_box((
+                fig13a_cpe_sessions(&art.sessions, truth),
+                fig13b_most_permissive_per_as(&art.sessions, truth),
+            ))
+        })
+    });
+    let a = fig13a_cpe_sessions(&art.sessions, truth);
+    println!(
+        "[fig13a] CPE sessions: sym {:.0}% par {:.0}% ar {:.0}% fc {:.0}%",
+        100.0 * a.share_of(nat_engine::StunNatType::Symmetric),
+        100.0 * a.share_of(nat_engine::StunNatType::PortAddressRestricted),
+        100.0 * a.share_of(nat_engine::StunNatType::AddressRestricted),
+        100.0 * a.share_of(nat_engine::StunNatType::FullCone),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_survey,
+        bench_tables23_fig34_bt,
+        bench_table4,
+        bench_fig5_nz,
+        bench_fig89_table6_ports,
+        bench_table7_fig11,
+        bench_fig12_timeouts,
+        bench_fig13_stun
+}
+criterion_main!(benches);

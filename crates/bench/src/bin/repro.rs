@@ -1,0 +1,46 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p cgn-bench --bin repro            # full report
+//! cargo run --release -p cgn-bench --bin repro -- small   # smaller world
+//! cargo run --release -p cgn-bench --bin repro -- seed=7  # other seed
+//! cargo run --release -p cgn-bench --bin repro -- export=plots/  # + TSV figure data
+//! ```
+//!
+//! The output is the "measured" side of EXPERIMENTS.md: every section is
+//! annotated with the paper's published numbers for comparison.
+
+use cgn_study::{run_study, StudyConfig};
+
+fn main() {
+    let mut scale = "default".to_string();
+    let mut seed: u64 = 2016;
+    let mut export_dir: Option<std::path::PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        if let Some(s) = arg.strip_prefix("seed=") {
+            seed = s.parse().expect("seed must be an integer");
+        } else if let Some(d) = arg.strip_prefix("export=") {
+            export_dir = Some(d.into());
+        } else {
+            scale = arg;
+        }
+    }
+    let config = match scale.as_str() {
+        "tiny" => StudyConfig::tiny(seed),
+        "small" => StudyConfig::small(seed),
+        "default" => StudyConfig::default_with_seed(seed),
+        other => {
+            eprintln!("unknown scale '{other}' (use tiny|small|default)");
+            std::process::exit(2);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let report = run_study(config);
+    let elapsed = t0.elapsed();
+    println!("{}", report.render());
+    if let Some(dir) = export_dir {
+        let written = cgn_study::write_to_dir(&report, &dir).expect("figure export");
+        println!("\nexported {} figure data files to {}", written.len(), dir.display());
+    }
+    println!("\n(reproduced in {elapsed:.2?} at scale '{scale}', seed {seed})");
+}

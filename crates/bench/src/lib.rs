@@ -1,0 +1,14 @@
+//! # cgn-bench — benchmark harness and experiment regeneration
+//!
+//! * `src/bin/repro.rs` — regenerates every table and figure of the paper
+//!   (`cargo run --release -p cgn-bench --bin repro`);
+//! * `benches/` — Criterion micro- and macro-benchmarks: NAT translation
+//!   throughput, bencode/KRPC/STUN codecs, routing-table lookups, DHT
+//!   crawl, detection pipelines, and the per-experiment regeneration
+//!   benches (one per table/figure group) plus detector ablations.
+
+/// Shared scale used by the experiment benches so their numbers are
+/// comparable across runs.
+pub fn bench_study_config(seed: u64) -> cgn_study::StudyConfig {
+    cgn_study::StudyConfig::small(seed)
+}

@@ -1,0 +1,409 @@
+//! Bencoding (BEP-03): the wire format of all BitTorrent DHT traffic.
+//!
+//! Four types: integers `i42e`, byte strings `4:spam`, lists `l...e` and
+//! dictionaries `d...e` with lexicographically sorted raw-byte-string keys.
+//! The decoder is strict (canonical form only) so it doubles as a message
+//! validator: malformed or non-canonical input is rejected, as a defensive
+//! DHT implementation should.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A bencoded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Int(i64),
+    Bytes(Vec<u8>),
+    List(Vec<Value>),
+    /// Keys are raw byte strings; `BTreeMap` keeps them sorted, which is
+    /// exactly the canonical encoding order.
+    Dict(BTreeMap<Vec<u8>, Value>),
+}
+
+/// Decoding error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    pub offset: usize,
+    pub message: &'static str,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bencode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Value {
+    /// Convenience constructors.
+    pub fn bytes(b: &[u8]) -> Value {
+        Value::Bytes(b.to_vec())
+    }
+
+    pub fn str(s: &str) -> Value {
+        Value::Bytes(s.as_bytes().to_vec())
+    }
+
+    /// Dictionary field access.
+    pub fn get(&self, key: &[u8]) -> Option<&Value> {
+        match self {
+            Value::Dict(d) => d.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                out.push(b'i');
+                out.extend_from_slice(i.to_string().as_bytes());
+                out.push(b'e');
+            }
+            Value::Bytes(b) => {
+                out.extend_from_slice(b.len().to_string().as_bytes());
+                out.push(b':');
+                out.extend_from_slice(b);
+            }
+            Value::List(items) => {
+                out.push(b'l');
+                for v in items {
+                    v.encode_into(out);
+                }
+                out.push(b'e');
+            }
+            Value::Dict(map) => {
+                out.push(b'd');
+                for (k, v) in map {
+                    out.extend_from_slice(k.len().to_string().as_bytes());
+                    out.push(b':');
+                    out.extend_from_slice(k);
+                    v.encode_into(out);
+                }
+                out.push(b'e');
+            }
+        }
+    }
+
+    /// Decode a single value; trailing bytes are an error.
+    pub fn decode(data: &[u8]) -> Result<Value, DecodeError> {
+        let mut d = Decoder { data, pos: 0 };
+        let v = d.value(0)?;
+        if d.pos != data.len() {
+            return Err(DecodeError { offset: d.pos, message: "trailing bytes" });
+        }
+        Ok(v)
+    }
+}
+
+/// Build a dictionary from (key, value) pairs — the usual way messages are
+/// assembled.
+pub fn dict(pairs: Vec<(&[u8], Value)>) -> Value {
+    Value::Dict(pairs.into_iter().map(|(k, v)| (k.to_vec(), v)).collect())
+}
+
+struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 16;
+
+impl<'a> Decoder<'a> {
+    fn err(&self, message: &'static str) -> DecodeError {
+        DecodeError { offset: self.pos, message }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.data.get(self.pos).copied()
+    }
+
+    fn take(&mut self) -> Result<u8, DecodeError> {
+        let b = self.peek().ok_or_else(|| self.err("unexpected end"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'i' => self.int(),
+            b'l' => self.list(depth),
+            b'd' => self.dictionary(depth),
+            b'0'..=b'9' => Ok(Value::Bytes(self.byte_string()?)),
+            _ => Err(self.err("invalid type prefix")),
+        }
+    }
+
+    fn int(&mut self) -> Result<Value, DecodeError> {
+        self.take()?; // 'i'
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.take()?;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("integer with no digits"));
+        }
+        // Canonical form: no leading zeros (except "0" itself), no "-0".
+        let digits = &self.data[digits_start..self.pos];
+        if digits.len() > 1 && digits[0] == b'0' {
+            return Err(DecodeError { offset: digits_start, message: "leading zero" });
+        }
+        if negative && digits == b"0" {
+            return Err(DecodeError { offset: start, message: "negative zero" });
+        }
+        let text = std::str::from_utf8(&self.data[start..self.pos])
+            .expect("digits are ASCII");
+        let n: i64 = text.parse().map_err(|_| self.err("integer overflow"))?;
+        if self.take()? != b'e' {
+            return Err(self.err("expected 'e' after integer"));
+        }
+        Ok(Value::Int(n))
+    }
+
+    fn byte_string(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected string length"));
+        }
+        let len_digits = &self.data[start..self.pos];
+        if len_digits.len() > 1 && len_digits[0] == b'0' {
+            return Err(DecodeError { offset: start, message: "leading zero in length" });
+        }
+        let len: usize = std::str::from_utf8(len_digits)
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|_| self.err("length overflow"))?;
+        if self.take()? != b':' {
+            return Err(self.err("expected ':'"));
+        }
+        if self.pos + len > self.data.len() {
+            return Err(self.err("string exceeds input"));
+        }
+        let s = self.data[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn list(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        self.take()?; // 'l'
+        let mut items = Vec::new();
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated list"))? {
+                b'e' => {
+                    self.pos += 1;
+                    return Ok(Value::List(items));
+                }
+                _ => items.push(self.value(depth + 1)?),
+            }
+        }
+    }
+
+    fn dictionary(&mut self, depth: usize) -> Result<Value, DecodeError> {
+        self.take()?; // 'd'
+        let mut map = BTreeMap::new();
+        let mut last_key: Option<Vec<u8>> = None;
+        loop {
+            match self.peek().ok_or_else(|| self.err("unterminated dict"))? {
+                b'e' => {
+                    self.pos += 1;
+                    return Ok(Value::Dict(map));
+                }
+                b'0'..=b'9' => {
+                    let key = self.byte_string()?;
+                    if let Some(prev) = &last_key {
+                        if *prev >= key {
+                            return Err(self.err("dict keys not strictly sorted"));
+                        }
+                    }
+                    let val = self.value(depth + 1)?;
+                    last_key = Some(key.clone());
+                    map.insert(key, val);
+                }
+                _ => return Err(self.err("dict key must be a string")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_primitives() {
+        assert_eq!(Value::Int(42).encode(), b"i42e");
+        assert_eq!(Value::Int(-7).encode(), b"i-7e");
+        assert_eq!(Value::Int(0).encode(), b"i0e");
+        assert_eq!(Value::str("spam").encode(), b"4:spam");
+        assert_eq!(Value::bytes(b"").encode(), b"0:");
+    }
+
+    #[test]
+    fn encode_compound() {
+        let v = Value::List(vec![Value::str("a"), Value::Int(1)]);
+        assert_eq!(v.encode(), b"l1:ai1ee");
+        let d = dict(vec![(b"b", Value::Int(2)), (b"a", Value::Int(1))]);
+        // Keys come out sorted regardless of insertion order.
+        assert_eq!(d.encode(), b"d1:ai1e1:bi2ee");
+    }
+
+    #[test]
+    fn decode_primitives() {
+        assert_eq!(Value::decode(b"i42e").unwrap(), Value::Int(42));
+        assert_eq!(Value::decode(b"i-7e").unwrap(), Value::Int(-7));
+        assert_eq!(Value::decode(b"4:spam").unwrap(), Value::str("spam"));
+        assert_eq!(Value::decode(b"0:").unwrap(), Value::bytes(b""));
+    }
+
+    #[test]
+    fn decode_nested() {
+        let v = Value::decode(b"d1:ad2:id2:XYe1:q4:ping1:t2:aa1:y1:qe").unwrap();
+        assert_eq!(
+            v.get(b"a").and_then(|a| a.get(b"id")).and_then(|i| i.as_bytes()),
+            Some(&b"XY"[..])
+        );
+        assert_eq!(v.get(b"q").and_then(|q| q.as_bytes()), Some(&b"ping"[..]));
+    }
+
+    #[test]
+    fn reject_malformed() {
+        for bad in [
+            &b"i42"[..],        // unterminated int
+            b"ie",              // empty int
+            b"i-0e",            // negative zero
+            b"i042e",           // leading zero
+            b"4:spa",           // short string
+            b"04:spam",         // leading zero in length
+            b"l1:a",            // unterminated list
+            b"d1:ae",           // key without value
+            b"di1e1:ae",        // non-string key
+            b"d1:bi1e1:ai2ee",  // unsorted keys
+            b"d1:ai1e1:ai2ee",  // duplicate keys
+            b"x",               // invalid prefix
+            b"",                // empty
+            b"i1ei2e",          // trailing bytes
+        ] {
+            assert!(Value::decode(bad).is_err(), "should reject {:?}", bad);
+        }
+    }
+
+    #[test]
+    fn binary_strings_preserved() {
+        // Node IDs and compact node info are raw binary — must round-trip.
+        let raw: Vec<u8> = (0u8..=255).collect();
+        let v = Value::Bytes(raw.clone());
+        let enc = v.encode();
+        assert_eq!(Value::decode(&enc).unwrap().as_bytes().unwrap(), &raw[..]);
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let mut attack = Vec::new();
+        for _ in 0..100 {
+            attack.push(b'l');
+        }
+        for _ in 0..100 {
+            attack.push(b'e');
+        }
+        assert!(Value::decode(&attack).is_err());
+    }
+
+    #[test]
+    fn int_overflow_rejected() {
+        assert!(Value::decode(b"i99999999999999999999999e").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Value::decode(b"d1:lli1ei2eee").unwrap();
+        let l = v.get(b"l").unwrap().as_list().unwrap();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].as_int(), Some(1));
+        assert!(v.get(b"missing").is_none());
+        assert!(Value::Int(1).get(b"x").is_none());
+        assert!(Value::Int(1).as_bytes().is_none());
+        assert!(Value::str("x").as_int().is_none());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            any::<i64>().prop_map(Value::Int),
+            proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+        ];
+        leaf.prop_recursive(3, 32, 4, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+                proptest::collection::btree_map(
+                    proptest::collection::vec(any::<u8>(), 0..8),
+                    inner,
+                    0..4
+                )
+                .prop_map(Value::Dict),
+            ]
+        })
+    }
+
+    proptest! {
+        /// encode ∘ decode = identity for all values.
+        #[test]
+        fn prop_roundtrip(v in arb_value()) {
+            let enc = v.encode();
+            let dec = Value::decode(&enc).unwrap();
+            prop_assert_eq!(v, dec);
+        }
+
+        /// The decoder never panics on arbitrary input.
+        #[test]
+        fn prop_decoder_total(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Value::decode(&data);
+        }
+
+        /// Canonical encoding: decoding then re-encoding is byte-identical.
+        #[test]
+        fn prop_canonical(v in arb_value()) {
+            let enc = v.encode();
+            let re = Value::decode(&enc).unwrap().encode();
+            prop_assert_eq!(enc, re);
+        }
+    }
+}

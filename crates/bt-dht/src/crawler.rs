@@ -1,0 +1,482 @@
+//! The paper's BitTorrent DHT crawler (§4.1).
+//!
+//! The crawler is a public host that walks the DHT: starting from the
+//! bootstrap server it issues batches of `find_nodes` queries with random
+//! targets, learns contact information — `(IP:port, nodeid)` tuples — and
+//! records *internal address leakage*: contacts whose IP lies in a reserved
+//! range (Table 1). When a peer leaks internal contacts, the crawler issues
+//! follow-up batches "for as long as we continue to harvest internal
+//! peers". It finally `bt_ping`s every learned peer to measure
+//! responsiveness (the Table 2 "responded" row).
+
+use crate::krpc::{CompactNode, KrpcMessage};
+use crate::node_id::NodeId160;
+use crate::world::DhtWorld;
+use netcore::{classify_reserved, Endpoint, Packet, PacketBody, ReservedRange};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::{pump, Network, NodeId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::Ipv4Addr;
+
+/// Crawl parameters, mirroring §4.1.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Queries per newly discovered peer ("We issue five queries").
+    pub initial_queries_per_peer: usize,
+    /// Follow-up batch size on internal-peer discovery ("batches of ten").
+    pub leak_followup_queries: usize,
+    /// Maximum follow-up batches per peer (the paper continues while new
+    /// internal peers appear; this bounds pathological cases).
+    pub max_followup_batches: usize,
+    /// Upper bound on distinct peers to query.
+    pub max_peers: usize,
+    /// Whether to `bt_ping` learned peers afterwards.
+    pub ping_learned: bool,
+    pub max_pump_steps: usize,
+    pub seed: u64,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            initial_queries_per_peer: 5,
+            leak_followup_queries: 10,
+            max_followup_batches: 8,
+            max_peers: 1_000_000,
+            ping_learned: true,
+            max_pump_steps: 1_000_000,
+            seed: 0xC4A11,
+        }
+    }
+}
+
+/// One observed leak edge: `leaker` (queried at a routable endpoint)
+/// reported `internal` (a contact with a reserved address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeakRecord {
+    /// The endpoint the crawler queried.
+    pub leaker_endpoint: Endpoint,
+    /// The responder's node ID.
+    pub leaker_id: NodeId160,
+    /// The leaked internal contact.
+    pub internal: CompactNode,
+    /// Which reserved range the internal address falls in.
+    pub range: ReservedRange,
+}
+
+/// The raw dataset a crawl produces (the input to Tables 2/3 and Figs 3/4).
+#[derive(Debug, Default, Clone)]
+pub struct CrawlReport {
+    /// Peers that were sent queries and answered at least once
+    /// (Table 2 "Queried").
+    pub queried: HashSet<(Endpoint, NodeId160)>,
+    /// Peers that were queried but never answered.
+    pub unresponsive: HashSet<Endpoint>,
+    /// Every learned peer tuple (Table 2 "Learned").
+    pub learned: HashSet<(Endpoint, NodeId160)>,
+    /// Learned-tuple multiplicity (a peer can be reported many times).
+    pub learned_records: u64,
+    /// All leak edges.
+    pub leaks: Vec<LeakRecord>,
+    /// Peers that answered the final `bt_ping`.
+    pub ping_responders: HashSet<(Endpoint, NodeId160)>,
+    /// find_nodes queries sent.
+    pub queries_sent: u64,
+}
+
+impl CrawlReport {
+    pub fn queried_unique_ips(&self) -> usize {
+        self.queried.iter().map(|(e, _)| e.ip).collect::<HashSet<_>>().len()
+    }
+
+    pub fn learned_unique_ips(&self) -> usize {
+        self.learned.iter().map(|(e, _)| e.ip).collect::<HashSet<_>>().len()
+    }
+
+    /// Internal peers per reserved range: (total tuples, unique IPs) —
+    /// the left half of Table 3.
+    pub fn internal_peers_by_range(&self) -> HashMap<ReservedRange, (usize, usize)> {
+        let mut tuples: HashMap<ReservedRange, HashSet<(Endpoint, NodeId160)>> = HashMap::new();
+        let mut ips: HashMap<ReservedRange, HashSet<Ipv4Addr>> = HashMap::new();
+        for l in &self.leaks {
+            tuples.entry(l.range).or_default().insert((l.internal.endpoint, l.internal.id));
+            ips.entry(l.range).or_default().insert(l.internal.endpoint.ip);
+        }
+        ReservedRange::ALL
+            .into_iter()
+            .map(|r| {
+                (
+                    r,
+                    (
+                        tuples.get(&r).map(|s| s.len()).unwrap_or(0),
+                        ips.get(&r).map(|s| s.len()).unwrap_or(0),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Leaking peers per reserved range: (total tuples, unique IPs) — the
+    /// right half of Table 3.
+    pub fn leaking_peers_by_range(&self) -> HashMap<ReservedRange, (usize, usize)> {
+        let mut tuples: HashMap<ReservedRange, HashSet<(Endpoint, NodeId160)>> = HashMap::new();
+        let mut ips: HashMap<ReservedRange, HashSet<Ipv4Addr>> = HashMap::new();
+        for l in &self.leaks {
+            tuples.entry(l.range).or_default().insert((l.leaker_endpoint, l.leaker_id));
+            ips.entry(l.range).or_default().insert(l.leaker_endpoint.ip);
+        }
+        ReservedRange::ALL
+            .into_iter()
+            .map(|r| {
+                (
+                    r,
+                    (
+                        tuples.get(&r).map(|s| s.len()).unwrap_or(0),
+                        ips.get(&r).map(|s| s.len()).unwrap_or(0),
+                    ),
+                )
+            })
+            .collect()
+    }
+}
+
+/// The crawler host.
+#[derive(Debug)]
+pub struct Crawler {
+    pub sim_node: NodeId,
+    pub endpoint: Endpoint,
+    pub id: NodeId160,
+    config: CrawlConfig,
+    rng: StdRng,
+    next_txn: u64,
+}
+
+impl Crawler {
+    pub fn new(sim_node: NodeId, addr: Ipv4Addr, config: CrawlConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        Crawler {
+            sim_node,
+            endpoint: Endpoint::new(addr, 64_000),
+            id: NodeId160::random(&mut rng),
+            config,
+            rng,
+            next_txn: 0,
+        }
+    }
+
+    fn txn(&mut self) -> Vec<u8> {
+        let t = self.next_txn;
+        self.next_txn += 1;
+        t.to_be_bytes().to_vec()
+    }
+
+    /// Send a batch of `find_nodes` queries (random targets) to `target`,
+    /// pump the exchange, and return the decoded responses addressed to us.
+    fn query_batch(
+        &mut self,
+        net: &mut Network,
+        world: &mut DhtWorld,
+        target: Endpoint,
+        count: usize,
+        report: &mut CrawlReport,
+    ) -> Vec<KrpcMessage> {
+        let mut initial = Vec::new();
+        for _ in 0..count {
+            let t = self.txn();
+            let q = KrpcMessage::find_node(&t, self.id, NodeId160::random(&mut self.rng));
+            initial.push((
+                self.sim_node,
+                Packet::udp(self.endpoint, target, q.encode()),
+            ));
+            report.queries_sent += 1;
+        }
+        let mut responses = Vec::new();
+        let crawler_node = self.sim_node;
+        let crawler_port = self.endpoint.port;
+        pump(
+            net,
+            initial,
+            |node, pkt| {
+                if node == crawler_node {
+                    if let PacketBody::Udp { payload } = &pkt.body {
+                        if pkt.dst.port == crawler_port {
+                            if let Ok(m) = KrpcMessage::decode(payload) {
+                                responses.push(m);
+                            }
+                        }
+                    }
+                    Vec::new()
+                } else {
+                    world.dispatch(node, pkt)
+                }
+            },
+            self.config.max_pump_steps,
+        );
+        responses
+    }
+
+    /// Record learned nodes from a response; returns the internal contacts.
+    fn harvest(
+        &mut self,
+        queried_ep: Endpoint,
+        responder: NodeId160,
+        nodes: &[CompactNode],
+        report: &mut CrawlReport,
+        frontier: &mut VecDeque<Endpoint>,
+        enqueued: &mut HashSet<Endpoint>,
+    ) -> usize {
+        let mut internal_found = 0;
+        for n in nodes {
+            report.learned_records += 1;
+            report.learned.insert((n.endpoint, n.id));
+            match classify_reserved(n.endpoint.ip) {
+                Some(range) => {
+                    internal_found += 1;
+                    report.leaks.push(LeakRecord {
+                        leaker_endpoint: queried_ep,
+                        leaker_id: responder,
+                        internal: *n,
+                        range,
+                    });
+                }
+                None => {
+                    // Routable contacts join the crawl frontier.
+                    if enqueued.insert(n.endpoint) {
+                        frontier.push_back(n.endpoint);
+                    }
+                }
+            }
+        }
+        internal_found
+    }
+
+    /// Run a full crawl. `world` keeps answering queries while the crawl
+    /// walks it (its peers are the DHT).
+    pub fn crawl(&mut self, net: &mut Network, world: &mut DhtWorld) -> CrawlReport {
+        let mut report = CrawlReport::default();
+        let mut frontier: VecDeque<Endpoint> = VecDeque::new();
+        let mut enqueued: HashSet<Endpoint> = HashSet::new();
+
+        frontier.push_back(world.bootstrap.endpoint);
+        enqueued.insert(world.bootstrap.endpoint);
+
+        let mut queried_count = 0usize;
+        while let Some(target) = frontier.pop_front() {
+            if queried_count >= self.config.max_peers {
+                break;
+            }
+            queried_count += 1;
+            let n_queries = self.config.initial_queries_per_peer;
+            let responses = self.query_batch(net, world, target, n_queries, &mut report);
+            if responses.is_empty() {
+                report.unresponsive.insert(target);
+                continue;
+            }
+            let mut internal_total = 0;
+            let mut responder = None;
+            for r in &responses {
+                if let KrpcMessage::Response { sender, nodes, .. } = r {
+                    responder = Some(*sender);
+                    internal_total += self.harvest(
+                        target,
+                        *sender,
+                        nodes,
+                        &mut report,
+                        &mut frontier,
+                        &mut enqueued,
+                    );
+                }
+            }
+            let Some(responder) = responder else {
+                report.unresponsive.insert(target);
+                continue;
+            };
+            report.queried.insert((target, responder));
+
+            // Leak follow-up: keep issuing batches of ten while new
+            // internal peers appear.
+            let mut batches = 0;
+            while internal_total > 0 && batches < self.config.max_followup_batches {
+                batches += 1;
+                let responses = self.query_batch(
+                    net,
+                    world,
+                    target,
+                    self.config.leak_followup_queries,
+                    &mut report,
+                );
+                internal_total = 0;
+                for r in &responses {
+                    if let KrpcMessage::Response { sender, nodes, .. } = r {
+                        internal_total += self.harvest(
+                            target,
+                            *sender,
+                            nodes,
+                            &mut report,
+                            &mut frontier,
+                            &mut enqueued,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Responsiveness: bt_ping every learned, routable peer once.
+        if self.config.ping_learned {
+            let targets: Vec<(Endpoint, NodeId160)> = report
+                .learned
+                .iter()
+                .filter(|(e, _)| classify_reserved(e.ip).is_none())
+                .copied()
+                .collect();
+            for (ep, id) in targets {
+                let t = self.txn();
+                let ping = KrpcMessage::ping(&t, self.id);
+                let mut got_pong = false;
+                let crawler_node = self.sim_node;
+                let crawler_port = self.endpoint.port;
+                pump(
+                    net,
+                    vec![(self.sim_node, Packet::udp(self.endpoint, ep, ping.encode()))],
+                    |node, pkt| {
+                        if node == crawler_node {
+                            if let PacketBody::Udp { payload } = &pkt.body {
+                                if pkt.dst.port == crawler_port
+                                    && KrpcMessage::decode(payload)
+                                        .map(|m| matches!(m, KrpcMessage::Response { .. }))
+                                        .unwrap_or(false)
+                                {
+                                    got_pong = true;
+                                }
+                            }
+                            Vec::new()
+                        } else {
+                            world.dispatch(node, pkt)
+                        }
+                    },
+                    self.config.max_pump_steps,
+                );
+                if got_pong {
+                    report.ping_responders.insert((ep, id));
+                }
+            }
+        }
+
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::PeerConfig;
+    use crate::world::WorldConfig;
+    use nat_engine::{FilteringBehavior, NatConfig};
+    use netcore::ip;
+    use simnet::RealmId;
+
+    /// Build a small world: 6 public peers, plus 4 peers behind one
+    /// full-cone CGN with multicast (so internal endpoints circulate).
+    fn build() -> (Network, DhtWorld) {
+        let mut net = Network::new();
+        let bs = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 1), vec![]);
+        let mut world = DhtWorld::new(WorldConfig::default(), bs, ip(203, 0, 113, 1));
+        for i in 0..6u8 {
+            let a = ip(198, 51, 100, 10 + i);
+            let h = net.add_host(RealmId::PUBLIC, a, vec![]);
+            world.add_peer(h, a, PeerConfig::default());
+        }
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        let (_, realm) = net.add_nat(
+            cfg,
+            vec![ip(198, 51, 100, 1), ip(198, 51, 100, 2)],
+            RealmId::PUBLIC,
+            vec![ip(198, 19, 0, 1)],
+            ip(100, 64, 0, 1),
+            true,
+            9,
+        );
+        for i in 0..4u8 {
+            let a = ip(100, 64, 0, 10 + i);
+            let h = net.add_host(realm, a, vec![]);
+            world.add_peer(h, a, PeerConfig::default());
+        }
+        world.run(&mut net);
+        (net, world)
+    }
+
+    #[test]
+    fn crawl_learns_and_detects_leakage() {
+        let (mut net, mut world) = build();
+        let cnode = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 100), vec![]);
+        let mut crawler = Crawler::new(cnode, ip(203, 0, 113, 100), CrawlConfig::default());
+        let report = crawler.crawl(&mut net, &mut world);
+
+        assert!(report.queries_sent > 0);
+        assert!(!report.queried.is_empty(), "crawler must reach peers");
+        assert!(report.learned.len() >= 6, "most peers should be learned");
+        // The CGN peers know each other internally (LPD) and answer the
+        // crawler (full cone): internal 100X leakage must be observed.
+        assert!(
+            report.leaks.iter().any(|l| l.range == ReservedRange::R100),
+            "expected 100X leakage, got {:?}",
+            report.leaks
+        );
+        // Leakers are observed at CGN pool addresses.
+        for l in &report.leaks {
+            assert!(
+                l.leaker_endpoint.ip == ip(198, 51, 100, 1)
+                    || l.leaker_endpoint.ip == ip(198, 51, 100, 2),
+                "leaker must be seen at a pool address, got {}",
+                l.leaker_endpoint
+            );
+        }
+        // Table 3 accessors agree with the raw leak list.
+        let by_range = report.internal_peers_by_range();
+        assert!(by_range[&ReservedRange::R100].0 > 0);
+        assert_eq!(by_range[&ReservedRange::R192].0, 0);
+    }
+
+    #[test]
+    fn ping_responders_subset_of_learned() {
+        let (mut net, mut world) = build();
+        let cnode = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 100), vec![]);
+        let mut crawler = Crawler::new(cnode, ip(203, 0, 113, 100), CrawlConfig::default());
+        let report = crawler.crawl(&mut net, &mut world);
+        assert!(!report.ping_responders.is_empty());
+        for r in &report.ping_responders {
+            assert!(report.learned.contains(r));
+        }
+        // Public peers respond to pings; so the responder count is at
+        // least the public peer count.
+        assert!(report.ping_responders.len() >= 6);
+    }
+
+    #[test]
+    fn max_peers_bound_respected() {
+        let (mut net, mut world) = build();
+        let cnode = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 100), vec![]);
+        let mut crawler = Crawler::new(
+            cnode,
+            ip(203, 0, 113, 100),
+            CrawlConfig { max_peers: 2, ping_learned: false, ..CrawlConfig::default() },
+        );
+        let report = crawler.crawl(&mut net, &mut world);
+        let attempted = report.queried.len() + report.unresponsive.len();
+        assert!(attempted <= 2, "attempted {attempted} > max_peers");
+    }
+
+    #[test]
+    fn crawl_is_deterministic() {
+        let run = || {
+            let (mut net, mut world) = build();
+            let cnode = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 100), vec![]);
+            let mut crawler = Crawler::new(cnode, ip(203, 0, 113, 100), CrawlConfig::default());
+            let r = crawler.crawl(&mut net, &mut world);
+            (r.queried.len(), r.learned.len(), r.leaks.len(), r.queries_sent)
+        };
+        assert_eq!(run(), run());
+    }
+}

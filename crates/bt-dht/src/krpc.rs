@@ -1,0 +1,395 @@
+//! KRPC (BEP-05): the RPC protocol of the mainline DHT.
+//!
+//! Queries and responses are bencoded dictionaries carried in single UDP
+//! datagrams. We implement the two message kinds the paper's crawler uses —
+//! `ping` (the paper's `bt_ping`) and `find_node` — plus the generic error
+//! message. Contact information travels as *compact node info*: 26 bytes
+//! per node (20-byte node ID, 4-byte IPv4 address, 2-byte big-endian port).
+
+use crate::bencode::{dict, Value};
+use crate::node_id::NodeId160;
+use netcore::Endpoint;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A node's contact information as carried in `find_node` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompactNode {
+    pub id: NodeId160,
+    pub endpoint: Endpoint,
+}
+
+impl CompactNode {
+    pub const WIRE_LEN: usize = 26;
+
+    pub fn new(id: NodeId160, endpoint: Endpoint) -> Self {
+        CompactNode { id, endpoint }
+    }
+
+    /// Serialize to the 26-byte compact format.
+    pub fn to_wire(&self) -> [u8; 26] {
+        let mut out = [0u8; 26];
+        out[..20].copy_from_slice(self.id.as_bytes());
+        out[20..24].copy_from_slice(&self.endpoint.ip.octets());
+        out[24..26].copy_from_slice(&self.endpoint.port.to_be_bytes());
+        out
+    }
+
+    pub fn from_wire(b: &[u8]) -> Option<CompactNode> {
+        if b.len() != Self::WIRE_LEN {
+            return None;
+        }
+        let id = NodeId160::from_bytes(&b[..20])?;
+        let ip = Ipv4Addr::new(b[20], b[21], b[22], b[23]);
+        let port = u16::from_be_bytes([b[24], b[25]]);
+        Some(CompactNode { id, endpoint: Endpoint::new(ip, port) })
+    }
+
+    /// Parse a concatenated "nodes" blob.
+    pub fn parse_list(blob: &[u8]) -> Option<Vec<CompactNode>> {
+        if blob.len() % Self::WIRE_LEN != 0 {
+            return None;
+        }
+        blob.chunks(Self::WIRE_LEN).map(CompactNode::from_wire).collect()
+    }
+
+    /// Serialize a list into a "nodes" blob.
+    pub fn encode_list(nodes: &[CompactNode]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(nodes.len() * Self::WIRE_LEN);
+        for n in nodes {
+            out.extend_from_slice(&n.to_wire());
+        }
+        out
+    }
+}
+
+/// Query kinds the simulation speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    Ping,
+    FindNode,
+}
+
+impl QueryKind {
+    fn wire_name(self) -> &'static [u8] {
+        match self {
+            QueryKind::Ping => b"ping",
+            QueryKind::FindNode => b"find_node",
+        }
+    }
+}
+
+/// A parsed KRPC message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KrpcMessage {
+    Query {
+        transaction: Vec<u8>,
+        kind: QueryKind,
+        sender: NodeId160,
+        /// `find_node` target (absent for `ping`).
+        target: Option<NodeId160>,
+    },
+    Response {
+        transaction: Vec<u8>,
+        sender: NodeId160,
+        /// Compact nodes, present in `find_node` responses.
+        nodes: Vec<CompactNode>,
+    },
+    Error {
+        transaction: Vec<u8>,
+        code: i64,
+        message: String,
+    },
+}
+
+/// Message parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KrpcError(pub &'static str);
+
+impl fmt::Display for KrpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "krpc: {}", self.0)
+    }
+}
+
+impl std::error::Error for KrpcError {}
+
+impl KrpcMessage {
+    pub fn ping(transaction: &[u8], sender: NodeId160) -> KrpcMessage {
+        KrpcMessage::Query {
+            transaction: transaction.to_vec(),
+            kind: QueryKind::Ping,
+            sender,
+            target: None,
+        }
+    }
+
+    pub fn find_node(transaction: &[u8], sender: NodeId160, target: NodeId160) -> KrpcMessage {
+        KrpcMessage::Query {
+            transaction: transaction.to_vec(),
+            kind: QueryKind::FindNode,
+            sender,
+            target: Some(target),
+        }
+    }
+
+    pub fn pong(transaction: &[u8], sender: NodeId160) -> KrpcMessage {
+        KrpcMessage::Response { transaction: transaction.to_vec(), sender, nodes: Vec::new() }
+    }
+
+    pub fn nodes_response(
+        transaction: &[u8],
+        sender: NodeId160,
+        nodes: Vec<CompactNode>,
+    ) -> KrpcMessage {
+        KrpcMessage::Response { transaction: transaction.to_vec(), sender, nodes }
+    }
+
+    /// Encode to the bencoded wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            KrpcMessage::Query { transaction, kind, sender, target } => {
+                let mut args = vec![(&b"id"[..], Value::bytes(sender.as_bytes()))];
+                if let Some(t) = target {
+                    args.push((&b"target"[..], Value::bytes(t.as_bytes())));
+                }
+                dict(vec![
+                    (b"a", dict(args)),
+                    (b"q", Value::bytes(kind.wire_name())),
+                    (b"t", Value::Bytes(transaction.clone())),
+                    (b"y", Value::str("q")),
+                ])
+                .encode()
+            }
+            KrpcMessage::Response { transaction, sender, nodes } => {
+                let mut ret = vec![(&b"id"[..], Value::bytes(sender.as_bytes()))];
+                if !nodes.is_empty() {
+                    ret.push((&b"nodes"[..], Value::Bytes(CompactNode::encode_list(nodes))));
+                }
+                dict(vec![
+                    (b"r", dict(ret)),
+                    (b"t", Value::Bytes(transaction.clone())),
+                    (b"y", Value::str("r")),
+                ])
+                .encode()
+            }
+            KrpcMessage::Error { transaction, code, message } => dict(vec![
+                (
+                    b"e",
+                    Value::List(vec![Value::Int(*code), Value::str(message)]),
+                ),
+                (b"t", Value::Bytes(transaction.clone())),
+                (b"y", Value::str("e")),
+            ])
+            .encode(),
+        }
+    }
+
+    /// Parse from wire bytes.
+    pub fn decode(data: &[u8]) -> Result<KrpcMessage, KrpcError> {
+        let v = Value::decode(data).map_err(|_| KrpcError("not bencode"))?;
+        let t = v
+            .get(b"t")
+            .and_then(|t| t.as_bytes())
+            .ok_or(KrpcError("missing transaction"))?
+            .to_vec();
+        match v.get(b"y").and_then(|y| y.as_bytes()) {
+            Some(b"q") => {
+                let q = v.get(b"q").and_then(|q| q.as_bytes()).ok_or(KrpcError("missing q"))?;
+                let kind = match q {
+                    b"ping" => QueryKind::Ping,
+                    b"find_node" => QueryKind::FindNode,
+                    _ => return Err(KrpcError("unknown query")),
+                };
+                let args = v.get(b"a").ok_or(KrpcError("missing args"))?;
+                let sender = args
+                    .get(b"id")
+                    .and_then(|i| i.as_bytes())
+                    .and_then(NodeId160::from_bytes)
+                    .ok_or(KrpcError("bad sender id"))?;
+                let target = match kind {
+                    QueryKind::FindNode => Some(
+                        args.get(b"target")
+                            .and_then(|t| t.as_bytes())
+                            .and_then(NodeId160::from_bytes)
+                            .ok_or(KrpcError("bad target"))?,
+                    ),
+                    QueryKind::Ping => None,
+                };
+                Ok(KrpcMessage::Query { transaction: t, kind, sender, target })
+            }
+            Some(b"r") => {
+                let ret = v.get(b"r").ok_or(KrpcError("missing return"))?;
+                let sender = ret
+                    .get(b"id")
+                    .and_then(|i| i.as_bytes())
+                    .and_then(NodeId160::from_bytes)
+                    .ok_or(KrpcError("bad responder id"))?;
+                let nodes = match ret.get(b"nodes").and_then(|n| n.as_bytes()) {
+                    Some(blob) => CompactNode::parse_list(blob).ok_or(KrpcError("bad nodes blob"))?,
+                    None => Vec::new(),
+                };
+                Ok(KrpcMessage::Response { transaction: t, sender, nodes })
+            }
+            Some(b"e") => {
+                let e = v.get(b"e").and_then(|e| e.as_list()).ok_or(KrpcError("bad error"))?;
+                let code = e.first().and_then(|c| c.as_int()).ok_or(KrpcError("bad error code"))?;
+                let message = e
+                    .get(1)
+                    .and_then(|m| m.as_bytes())
+                    .map(|m| String::from_utf8_lossy(m).into_owned())
+                    .unwrap_or_default();
+                Ok(KrpcMessage::Error { transaction: t, code, message })
+            }
+            _ => Err(KrpcError("missing/unknown message type")),
+        }
+    }
+
+    pub fn transaction(&self) -> &[u8] {
+        match self {
+            KrpcMessage::Query { transaction, .. }
+            | KrpcMessage::Response { transaction, .. }
+            | KrpcMessage::Error { transaction, .. } => transaction,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+    use proptest::prelude::*;
+
+    fn nid(n: u64) -> NodeId160 {
+        NodeId160::from_u64(n)
+    }
+
+    #[test]
+    fn compact_node_roundtrip() {
+        let n = CompactNode::new(nid(42), Endpoint::new(ip(100, 64, 3, 7), 6881));
+        let wire = n.to_wire();
+        assert_eq!(wire.len(), 26);
+        assert_eq!(CompactNode::from_wire(&wire), Some(n));
+    }
+
+    #[test]
+    fn compact_node_wire_layout() {
+        let n = CompactNode::new(nid(1), Endpoint::new(ip(1, 2, 3, 4), 0x1234));
+        let w = n.to_wire();
+        assert_eq!(&w[20..24], &[1, 2, 3, 4]);
+        assert_eq!(&w[24..26], &[0x12, 0x34], "port must be big-endian");
+    }
+
+    #[test]
+    fn compact_list_roundtrip() {
+        let nodes: Vec<CompactNode> = (0..8)
+            .map(|i| CompactNode::new(nid(i), Endpoint::new(ip(10, 0, 0, i as u8), 6881 + i as u16)))
+            .collect();
+        let blob = CompactNode::encode_list(&nodes);
+        assert_eq!(blob.len(), 8 * 26);
+        assert_eq!(CompactNode::parse_list(&blob), Some(nodes));
+    }
+
+    #[test]
+    fn compact_list_rejects_partial() {
+        assert_eq!(CompactNode::parse_list(&[0u8; 25]), None);
+        assert_eq!(CompactNode::parse_list(&[0u8; 27]), None);
+        assert_eq!(CompactNode::parse_list(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn ping_roundtrip() {
+        let msg = KrpcMessage::ping(b"aa", nid(7));
+        let wire = msg.encode();
+        assert_eq!(KrpcMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn find_node_roundtrip() {
+        let msg = KrpcMessage::find_node(b"xy", nid(7), nid(999));
+        let wire = msg.encode();
+        assert_eq!(KrpcMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn nodes_response_roundtrip() {
+        let nodes = vec![
+            CompactNode::new(nid(1), Endpoint::new(ip(192, 168, 1, 2), 6881)),
+            CompactNode::new(nid(2), Endpoint::new(ip(100, 64, 0, 9), 51413)),
+        ];
+        let msg = KrpcMessage::nodes_response(b"tt", nid(3), nodes);
+        let wire = msg.encode();
+        assert_eq!(KrpcMessage::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn pong_roundtrip() {
+        let msg = KrpcMessage::pong(b"01", nid(5));
+        assert_eq!(KrpcMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        let msg = KrpcMessage::Error {
+            transaction: b"zz".to_vec(),
+            code: 201,
+            message: "Generic Error".into(),
+        };
+        assert_eq!(KrpcMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn wire_format_matches_bep05_example_shape() {
+        // d1:ad2:id20:...e1:q4:ping1:t2:aa1:y1:qe
+        let wire = KrpcMessage::ping(b"aa", nid(0)).encode();
+        assert!(wire.starts_with(b"d1:ad2:id20:"), "{:?}", String::from_utf8_lossy(&wire));
+        assert!(wire.ends_with(b"1:q4:ping1:t2:aa1:y1:qe"));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(KrpcMessage::decode(b"").is_err());
+        assert!(KrpcMessage::decode(b"i42e").is_err());
+        assert!(KrpcMessage::decode(b"d1:y1:qe").is_err()); // missing t/q/a
+        // Bad sender id length.
+        let bad = dict(vec![
+            (b"a", dict(vec![(&b"id"[..], Value::str("short"))])),
+            (b"q", Value::str("ping")),
+            (b"t", Value::str("aa")),
+            (b"y", Value::str("q")),
+        ])
+        .encode();
+        assert!(KrpcMessage::decode(&bad).is_err());
+    }
+
+    proptest! {
+        /// Any message round-trips through the wire format.
+        #[test]
+        fn prop_roundtrip(
+            t in proptest::collection::vec(any::<u8>(), 1..4),
+            sender in any::<u64>(),
+            target in any::<u64>(),
+            n_nodes in 0usize..8,
+            which in 0usize..4,
+        ) {
+            let msg = match which {
+                0 => KrpcMessage::ping(&t, nid(sender)),
+                1 => KrpcMessage::find_node(&t, nid(sender), nid(target)),
+                2 => {
+                    let nodes: Vec<CompactNode> = (0..n_nodes)
+                        .map(|i| CompactNode::new(nid(i as u64), Endpoint::new(ip(10, 0, 0, i as u8), 6881)))
+                        .collect();
+                    KrpcMessage::nodes_response(&t, nid(sender), nodes)
+                }
+                _ => KrpcMessage::Error { transaction: t.clone(), code: 203, message: "x".into() },
+            };
+            prop_assert_eq!(KrpcMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+
+        /// Decoder is total.
+        #[test]
+        fn prop_decode_total(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = KrpcMessage::decode(&data);
+        }
+    }
+}

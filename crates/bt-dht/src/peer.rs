@@ -1,0 +1,545 @@
+//! The DHT peer state machine.
+//!
+//! A peer owns a UDP socket (its internal endpoint), a node ID and a
+//! routing table. It answers `ping` and `find_node` queries, performs
+//! iterative lookups for table maintenance, and — crucially for the paper —
+//! *validates contacts before adding them*: a candidate endpoint must answer
+//! a `bt_ping` before it enters the routing table and can be propagated to
+//! others. The paper's calibration (§4.1) found 98.7% of live peers behave
+//! this way; [`PeerConfig::validates_before_adding`] models the violators.
+//!
+//! Internal endpoints enter tables through two channels, both validated in
+//! the paper:
+//!
+//! 1. **Local peer discovery (LPD)** — a multicast announcement scoped to
+//!    the peer's realm; receivers learn the announcer's internal endpoint.
+//! 2. **Hairpinned queries** — when a NAT hairpins without rewriting the
+//!    source, the receiver observes the sender's internal endpoint directly
+//!    and, after validating it, stores it.
+
+use crate::krpc::{CompactNode, KrpcMessage, QueryKind};
+use crate::node_id::NodeId160;
+use crate::routing::{RoutingTable160, K};
+use netcore::{Endpoint, Packet, PacketBody};
+use rand::rngs::StdRng;
+use rand::Rng;
+use simnet::NodeId;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::Ipv4Addr;
+
+/// The well-known local peer discovery multicast port (BEP-14).
+pub const LPD_PORT: u16 = 6771;
+
+/// Peer behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// Whether contacts are validated with a `bt_ping` before insertion
+    /// (spec behaviour; 98.7% of peers in the paper's calibration).
+    pub validates_before_adding: bool,
+    /// Whether the client participates in local peer discovery.
+    pub lpd_enabled: bool,
+    /// Maximum validation pings sent per tick.
+    pub validations_per_tick: usize,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig { validates_before_adding: true, lpd_enabled: true, validations_per_tick: 8 }
+    }
+}
+
+/// A not-yet-validated contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Candidate {
+    /// Known node ID, if the contact came from a KRPC message.
+    id: Option<NodeId160>,
+    endpoint: Endpoint,
+}
+
+/// One DHT participant bound to a simulated host.
+#[derive(Debug)]
+pub struct DhtPeer {
+    /// The simulated host this peer runs on.
+    pub sim_node: NodeId,
+    /// The host's own (possibly internal) address.
+    pub addr: Ipv4Addr,
+    /// The DHT socket port.
+    pub port: u16,
+    pub id: NodeId160,
+    pub table: RoutingTable160,
+    pub config: PeerConfig,
+    candidates: VecDeque<Candidate>,
+    /// Endpoints already queued or validated — dedup for the candidate queue.
+    seen_candidates: HashSet<Endpoint>,
+    /// Outstanding validation pings: transaction → candidate endpoint.
+    pending_pings: HashMap<Vec<u8>, Endpoint>,
+    next_txn: u64,
+    /// Counters.
+    pub queries_received: u64,
+    pub responses_sent: u64,
+    pub contacts_validated: u64,
+    /// Contacts stored without a validation ping (spec violators only).
+    pub contacts_inserted_unvalidated: u64,
+}
+
+impl DhtPeer {
+    pub fn new(
+        sim_node: NodeId,
+        addr: Ipv4Addr,
+        port: u16,
+        id: NodeId160,
+        config: PeerConfig,
+    ) -> Self {
+        DhtPeer {
+            sim_node,
+            addr,
+            port,
+            id,
+            table: RoutingTable160::new(id),
+            config,
+            candidates: VecDeque::new(),
+            seen_candidates: HashSet::new(),
+            pending_pings: HashMap::new(),
+            next_txn: 0,
+            queries_received: 0,
+            responses_sent: 0,
+            contacts_validated: 0,
+            contacts_inserted_unvalidated: 0,
+        }
+    }
+
+    /// The endpoint this peer sends from.
+    pub fn local_endpoint(&self) -> Endpoint {
+        Endpoint::new(self.addr, self.port)
+    }
+
+    fn txn(&mut self) -> Vec<u8> {
+        let t = self.next_txn;
+        self.next_txn += 1;
+        t.to_be_bytes()[6..].to_vec()
+    }
+
+    fn udp_to(&self, dst: Endpoint, payload: Vec<u8>) -> Packet {
+        Packet::udp(self.local_endpoint(), dst, payload)
+    }
+
+    /// Queue a contact for validation (or insert directly for violators
+    /// when the ID is already known).
+    fn consider(&mut self, id: Option<NodeId160>, endpoint: Endpoint) {
+        if endpoint == self.local_endpoint() || Some(self.id) == id {
+            return;
+        }
+        if id.is_none() && self.table.knows_endpoint(endpoint) {
+            return; // tracker/LPD candidate already in the table
+        }
+        if let Some(i) = id {
+            if self.table.endpoint_of(i) == Some(endpoint) {
+                return; // already known at this endpoint
+            }
+            if !self.config.validates_before_adding {
+                // Spec violator: store immediately, no reachability check.
+                if self.table.upsert(CompactNode::new(i, endpoint)) {
+                    self.contacts_inserted_unvalidated += 1;
+                }
+                return;
+            }
+        }
+        if self.seen_candidates.insert(endpoint) {
+            self.candidates.push_back(Candidate { id, endpoint });
+        }
+    }
+
+    /// Build a `find_node` query packet toward `dst`.
+    pub fn find_node_query(&mut self, dst: Endpoint, target: NodeId160) -> Packet {
+        let t = self.txn();
+        self.udp_to(dst, KrpcMessage::find_node(&t, self.id, target).encode())
+    }
+
+    /// The LPD announcement (port advertisement) for multicast.
+    ///
+    /// Follows the BEP-14 shape: an HTTP-like datagram carrying the
+    /// announcer's listening port.
+    pub fn lpd_payload(&self) -> Vec<u8> {
+        format!(
+            "BT-SEARCH * HTTP/1.1\r\nHost: 239.192.152.143:6771\r\nPort: {}\r\nInfohash: 0000000000000000000000000000000000000000\r\n\r\n",
+            self.port
+        )
+        .into_bytes()
+    }
+
+    /// Build a tracker announce datagram for `swarm` (a simplified UDP
+    /// tracker protocol: the tracker records the observed source endpoint
+    /// under the swarm and answers with a peer sample).
+    pub fn tracker_announce(&self, tracker: Endpoint, swarm: u32) -> Packet {
+        self.udp_to(tracker, format!("BTT ANNOUNCE {swarm}").into_bytes())
+    }
+
+    /// Parse a tracker peer-list response; returns the peer endpoints.
+    pub fn parse_tracker_peers(payload: &[u8]) -> Option<Vec<Endpoint>> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let rest = text.strip_prefix("BTT PEERS")?;
+        Some(
+            rest.split_whitespace()
+                .filter_map(|tok| {
+                    let (ip, port) = tok.rsplit_once(':')?;
+                    Some(Endpoint::new(ip.parse().ok()?, port.parse().ok()?))
+                })
+                .collect(),
+        )
+    }
+
+    /// Parse an LPD announcement; returns the advertised port.
+    pub fn parse_lpd(payload: &[u8]) -> Option<u16> {
+        let text = std::str::from_utf8(payload).ok()?;
+        if !text.starts_with("BT-SEARCH") {
+            return None;
+        }
+        text.lines()
+            .find_map(|l| l.strip_prefix("Port: "))
+            .and_then(|p| p.trim().parse().ok())
+    }
+
+    /// Handle a delivered packet; returns packets to transmit in response.
+    pub fn handle_packet(&mut self, pkt: &Packet) -> Vec<Packet> {
+        let payload = match &pkt.body {
+            PacketBody::Udp { payload } => payload,
+            _ => return Vec::new(),
+        };
+        // Local peer discovery?
+        if pkt.dst.port == LPD_PORT {
+            if !self.config.lpd_enabled {
+                return Vec::new();
+            }
+            if let Some(port) = Self::parse_lpd(payload) {
+                self.consider(None, Endpoint::new(pkt.src.ip, port));
+            }
+            return Vec::new();
+        }
+        if pkt.dst.port != self.port {
+            return Vec::new();
+        }
+        // Tracker peer list?
+        if payload.starts_with(b"BTT PEERS") {
+            if let Some(peers) = Self::parse_tracker_peers(payload) {
+                for ep in peers {
+                    self.consider(None, ep);
+                }
+            }
+            return Vec::new();
+        }
+        let msg = match KrpcMessage::decode(payload) {
+            Ok(m) => m,
+            Err(_) => return Vec::new(),
+        };
+        match msg {
+            KrpcMessage::Query { transaction, kind, sender, target } => {
+                self.queries_received += 1;
+                // The querier becomes a candidate at its observed source
+                // endpoint — the hairpin-leak channel when that source is
+                // internal.
+                self.consider(Some(sender), pkt.src);
+                let reply = match kind {
+                    QueryKind::Ping => KrpcMessage::pong(&transaction, self.id),
+                    QueryKind::FindNode => {
+                        let target = target.expect("find_node always has a target");
+                        KrpcMessage::nodes_response(
+                            &transaction,
+                            self.id,
+                            self.table.closest(target, K),
+                        )
+                    }
+                };
+                self.responses_sent += 1;
+                vec![self.udp_to(pkt.src, reply.encode())]
+            }
+            KrpcMessage::Response { transaction, sender, nodes } => {
+                // Validation pong?
+                if let Some(expected) = self.pending_pings.remove(&transaction) {
+                    if expected == pkt.src {
+                        self.contacts_validated += 1;
+                        self.table.upsert(CompactNode::new(sender, pkt.src));
+                    } else {
+                        // The answer came back from a *different* endpoint
+                        // than we probed — the signature of a hairpinning
+                        // NAT that preserves internal sources. The observed
+                        // endpoint is the peer's internal one; validate it
+                        // directly (§4.1's leak channel).
+                        self.consider(Some(sender), pkt.src);
+                    }
+                } else {
+                    // A response observed from an endpoint that differs
+                    // from the stored contact (e.g. hairpinned traffic
+                    // showing the internal source) makes that endpoint a
+                    // candidate: clients track peers by the addresses
+                    // traffic actually arrives from.
+                    self.consider(Some(sender), pkt.src);
+                }
+                // Nodes learned from a lookup become candidates.
+                for n in nodes {
+                    self.consider(Some(n.id), n.endpoint);
+                }
+                Vec::new()
+            }
+            KrpcMessage::Error { .. } => Vec::new(),
+        }
+    }
+
+    /// Periodic maintenance: validate queued candidates and refresh the
+    /// table with a lookup. Returns packets to transmit.
+    pub fn tick(&mut self, rng: &mut StdRng) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for _ in 0..self.config.validations_per_tick {
+            let Some(c) = self.candidates.pop_front() else { break };
+            self.seen_candidates.remove(&c.endpoint);
+            let t = self.txn();
+            self.pending_pings.insert(t.clone(), c.endpoint);
+            out.push(self.udp_to(c.endpoint, KrpcMessage::ping(&t, self.id).encode()));
+        }
+        // Refresh: ask random known contacts for nodes near a random ID
+        // (random-target lookups keep far buckets populated and spread
+        // validated endpoints — including internal ones — through the
+        // neighbourhood).
+        let contacts: Vec<CompactNode> = self.table.iter().copied().collect();
+        if !contacts.is_empty() {
+            for _ in 0..2 {
+                let c = contacts[rng.gen_range(0..contacts.len())];
+                let target = if rng.gen_bool(0.5) { self.id } else { NodeId160::random(rng) };
+                out.push(self.find_node_query(c.endpoint, target));
+            }
+        }
+        out
+    }
+
+    /// Number of queued (unvalidated) candidates — diagnostic.
+    pub fn pending_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+    use rand::SeedableRng;
+
+    fn peer() -> DhtPeer {
+        DhtPeer::new(
+            NodeId(0),
+            ip(100, 64, 0, 10),
+            6881,
+            NodeId160::from_u64(1000),
+            PeerConfig::default(),
+        )
+    }
+
+    fn remote(n: u64, last: u8) -> (NodeId160, Endpoint) {
+        (NodeId160::from_u64(n), Endpoint::new(ip(203, 0, 113, last), 6881))
+    }
+
+    #[test]
+    fn answers_ping_with_pong() {
+        let mut p = peer();
+        let (rid, rep) = remote(7, 7);
+        let q = Packet::udp(rep, p.local_endpoint(), KrpcMessage::ping(b"aa", rid).encode());
+        let out = p.handle_packet(&q);
+        assert_eq!(out.len(), 1);
+        let reply = KrpcMessage::decode(out[0].body.payload()).unwrap();
+        assert_eq!(reply, KrpcMessage::pong(b"aa", p.id));
+        assert_eq!(out[0].dst, rep);
+        assert_eq!(p.queries_received, 1);
+    }
+
+    #[test]
+    fn answers_find_node_with_closest() {
+        let mut p = peer();
+        // Preload the table.
+        for n in 1..=20u64 {
+            p.table.upsert(CompactNode::new(
+                NodeId160::from_u64(n),
+                Endpoint::new(ip(198, 51, 100, n as u8), 6881),
+            ));
+        }
+        let (rid, rep) = remote(500, 9);
+        let q = Packet::udp(
+            rep,
+            p.local_endpoint(),
+            KrpcMessage::find_node(b"bb", rid, NodeId160::from_u64(5)).encode(),
+        );
+        let out = p.handle_packet(&q);
+        let reply = KrpcMessage::decode(out[0].body.payload()).unwrap();
+        match reply {
+            KrpcMessage::Response { nodes, .. } => {
+                assert_eq!(nodes.len(), 8);
+                // Closest to 5 is 5 itself (distance 0 is impossible —
+                // the entry for 5 exists, distance 0 from target, fine).
+                assert_eq!(nodes[0].id, NodeId160::from_u64(5));
+            }
+            other => panic!("expected nodes response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn querier_is_validated_before_table_insertion() {
+        let mut p = peer();
+        let (rid, rep) = remote(7, 7);
+        let q = Packet::udp(rep, p.local_endpoint(), KrpcMessage::ping(b"aa", rid).encode());
+        p.handle_packet(&q);
+        // Not yet in the table — only a candidate.
+        assert_eq!(p.table.endpoint_of(rid), None);
+        assert_eq!(p.pending_candidates(), 1);
+        // Tick sends the validation ping.
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = p.tick(&mut rng);
+        assert!(!out.is_empty());
+        let ping = KrpcMessage::decode(out[0].body.payload()).unwrap();
+        let txn = ping.transaction().to_vec();
+        assert!(matches!(ping, KrpcMessage::Query { kind: QueryKind::Ping, .. }));
+        // Pong arrives from the candidate endpoint → inserted.
+        let pong = Packet::udp(rep, p.local_endpoint(), KrpcMessage::pong(&txn, rid).encode());
+        p.handle_packet(&pong);
+        assert_eq!(p.table.endpoint_of(rid), Some(rep));
+        assert_eq!(p.contacts_validated, 1);
+    }
+
+    #[test]
+    fn pong_from_wrong_endpoint_is_ignored() {
+        let mut p = peer();
+        let (rid, rep) = remote(7, 7);
+        let q = Packet::udp(rep, p.local_endpoint(), KrpcMessage::ping(b"aa", rid).encode());
+        p.handle_packet(&q);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = p.tick(&mut rng);
+        let txn = KrpcMessage::decode(out[0].body.payload()).unwrap().transaction().to_vec();
+        // Pong arrives from a *different* endpoint (spoof / symmetric NAT
+        // port change): not validated.
+        let wrong = Endpoint::new(ip(203, 0, 113, 99), 6881);
+        let pong = Packet::udp(wrong, p.local_endpoint(), KrpcMessage::pong(&txn, rid).encode());
+        p.handle_packet(&pong);
+        assert_eq!(p.table.endpoint_of(rid), None);
+    }
+
+    #[test]
+    fn violator_inserts_without_validation() {
+        let mut p = DhtPeer::new(
+            NodeId(0),
+            ip(100, 64, 0, 10),
+            6881,
+            NodeId160::from_u64(1000),
+            PeerConfig { validates_before_adding: false, ..PeerConfig::default() },
+        );
+        let (rid, rep) = remote(7, 7);
+        let q = Packet::udp(rep, p.local_endpoint(), KrpcMessage::ping(b"aa", rid).encode());
+        p.handle_packet(&q);
+        assert_eq!(p.table.endpoint_of(rid), Some(rep), "violator stores immediately");
+    }
+
+    #[test]
+    fn nodes_from_responses_become_candidates_not_contacts() {
+        let mut p = peer();
+        let (rid, rep) = remote(7, 7);
+        let nodes = vec![CompactNode::new(
+            NodeId160::from_u64(55),
+            Endpoint::new(ip(198, 51, 100, 55), 6881),
+        )];
+        // Unsolicited response (no pending txn): nothing enters the table;
+        // both the contained node and the (unexpected) sender endpoint
+        // become candidates.
+        let resp = Packet::udp(
+            rep,
+            p.local_endpoint(),
+            KrpcMessage::nodes_response(b"zz", rid, nodes).encode(),
+        );
+        p.handle_packet(&resp);
+        assert_eq!(p.table.len(), 0);
+        assert_eq!(p.pending_candidates(), 2);
+    }
+
+    #[test]
+    fn lpd_roundtrip_and_learning() {
+        let mut p = peer();
+        let announcer = peer_with_port(51413);
+        let payload = announcer.lpd_payload();
+        assert_eq!(DhtPeer::parse_lpd(&payload), Some(51413));
+        // Delivered via multicast to our LPD port.
+        let pkt = Packet::udp(
+            Endpoint::new(ip(100, 64, 0, 77), 51413),
+            Endpoint::new(p.addr, LPD_PORT),
+            payload,
+        );
+        p.handle_packet(&pkt);
+        assert_eq!(p.pending_candidates(), 1, "LPD source must become a candidate");
+    }
+
+    fn peer_with_port(port: u16) -> DhtPeer {
+        DhtPeer::new(NodeId(1), ip(100, 64, 0, 77), port, NodeId160::from_u64(2000), PeerConfig::default())
+    }
+
+    #[test]
+    fn lpd_disabled_ignores_announcements() {
+        let mut p = DhtPeer::new(
+            NodeId(0),
+            ip(100, 64, 0, 10),
+            6881,
+            NodeId160::from_u64(1000),
+            PeerConfig { lpd_enabled: false, ..PeerConfig::default() },
+        );
+        let pkt = Packet::udp(
+            Endpoint::new(ip(100, 64, 0, 77), 51413),
+            Endpoint::new(p.addr, LPD_PORT),
+            peer_with_port(51413).lpd_payload(),
+        );
+        p.handle_packet(&pkt);
+        assert_eq!(p.pending_candidates(), 0);
+    }
+
+    #[test]
+    fn garbage_and_foreign_packets_ignored() {
+        let mut p = peer();
+        let junk = Packet::udp(
+            Endpoint::new(ip(9, 9, 9, 9), 1),
+            p.local_endpoint(),
+            b"not bencode".to_vec(),
+        );
+        assert!(p.handle_packet(&junk).is_empty());
+        // Wrong destination port.
+        let other_port = Packet::udp(
+            Endpoint::new(ip(9, 9, 9, 9), 1),
+            Endpoint::new(p.addr, 9999),
+            KrpcMessage::ping(b"aa", NodeId160::from_u64(1)).encode(),
+        );
+        assert!(p.handle_packet(&other_port).is_empty());
+        // TCP is not KRPC.
+        let tcp = Packet::tcp(
+            Endpoint::new(ip(9, 9, 9, 9), 1),
+            p.local_endpoint(),
+            netcore::TcpFlags::SYN,
+            vec![],
+        );
+        assert!(p.handle_packet(&tcp).is_empty());
+    }
+
+    #[test]
+    fn own_endpoint_never_considered() {
+        let mut p = peer();
+        let own = p.local_endpoint();
+        let q = Packet::udp(own, own, KrpcMessage::ping(b"aa", p.id).encode());
+        p.handle_packet(&q);
+        assert_eq!(p.pending_candidates(), 0);
+    }
+
+    #[test]
+    fn tick_refreshes_via_known_contact() {
+        let mut p = peer();
+        p.table.upsert(CompactNode::new(
+            NodeId160::from_u64(5),
+            Endpoint::new(ip(198, 51, 100, 5), 6881),
+        ));
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = p.tick(&mut rng);
+        assert_eq!(out.len(), 2, "two maintenance lookups per tick");
+        for pkt in &out {
+            let msg = KrpcMessage::decode(pkt.body.payload()).unwrap();
+            assert!(matches!(msg, KrpcMessage::Query { kind: QueryKind::FindNode, .. }));
+        }
+    }
+}

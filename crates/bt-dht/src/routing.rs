@@ -1,0 +1,258 @@
+//! Kademlia k-bucket routing tables.
+//!
+//! Each node keeps up to `k = 8` contacts per distance bucket. `find_node`
+//! answers with the 8 contacts closest (XOR metric) to the target — which is
+//! how internal endpoints, once validated into a table, propagate to the
+//! paper's crawler.
+
+use crate::krpc::CompactNode;
+use crate::node_id::NodeId160;
+use netcore::Endpoint;
+
+/// Contacts per bucket (BEP-05's K).
+pub const K: usize = 8;
+
+/// A routing table keyed by XOR distance from `own_id`.
+#[derive(Debug, Clone)]
+pub struct RoutingTable160 {
+    own_id: NodeId160,
+    buckets: Vec<Vec<CompactNode>>,
+}
+
+impl RoutingTable160 {
+    pub fn new(own_id: NodeId160) -> Self {
+        RoutingTable160 { own_id, buckets: vec![Vec::new(); 160] }
+    }
+
+    pub fn own_id(&self) -> NodeId160 {
+        self.own_id
+    }
+
+    /// Total number of stored contacts.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert or update a contact.
+    ///
+    /// * Our own ID is never stored.
+    /// * A contact with a known ID has its endpoint updated in place (the
+    ///   most recently validated endpoint wins — this is how an internal
+    ///   endpoint learned via LPD or hairpin replaces the external one).
+    /// * A new contact joins its bucket unless the bucket is full, in which
+    ///   case it is discarded (the BEP-05 simplification without eviction
+    ///   pings).
+    ///
+    /// Returns true if the table changed.
+    pub fn upsert(&mut self, node: CompactNode) -> bool {
+        if node.id == self.own_id {
+            return false;
+        }
+        let d = self.own_id.distance(&node.id);
+        let idx = d.bucket_index().expect("distance nonzero");
+        let bucket = &mut self.buckets[idx];
+        if let Some(existing) = bucket.iter_mut().find(|c| c.id == node.id) {
+            if existing.endpoint == node.endpoint {
+                return false;
+            }
+            existing.endpoint = node.endpoint;
+            return true;
+        }
+        if bucket.len() >= K {
+            return false;
+        }
+        bucket.push(node);
+        true
+    }
+
+    /// Remove a contact (e.g. it stopped responding).
+    pub fn remove(&mut self, id: NodeId160) -> bool {
+        if id == self.own_id {
+            return false;
+        }
+        let d = self.own_id.distance(&id);
+        let idx = match d.bucket_index() {
+            Some(i) => i,
+            None => return false,
+        };
+        let bucket = &mut self.buckets[idx];
+        let before = bucket.len();
+        bucket.retain(|c| c.id != id);
+        bucket.len() != before
+    }
+
+    /// Whether any contact is stored at `endpoint` (any node ID).
+    pub fn knows_endpoint(&self, endpoint: Endpoint) -> bool {
+        self.iter().any(|c| c.endpoint == endpoint)
+    }
+
+    /// The endpoint stored for `id`, if any.
+    pub fn endpoint_of(&self, id: NodeId160) -> Option<Endpoint> {
+        let d = self.own_id.distance(&id);
+        let idx = d.bucket_index()?;
+        self.buckets[idx].iter().find(|c| c.id == id).map(|c| c.endpoint)
+    }
+
+    /// The `n` contacts closest to `target` — the content of a `find_node`
+    /// response.
+    pub fn closest(&self, target: NodeId160, n: usize) -> Vec<CompactNode> {
+        let mut all: Vec<CompactNode> = self.buckets.iter().flatten().copied().collect();
+        all.sort_by_key(|c| c.id.distance(&target));
+        all.truncate(n);
+        all
+    }
+
+    /// Iterate all contacts (bucket order — deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &CompactNode> {
+        self.buckets.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+    use proptest::prelude::*;
+
+    fn node(n: u64) -> CompactNode {
+        CompactNode::new(
+            NodeId160::from_u64(n),
+            Endpoint::new(ip(10, 0, (n >> 8) as u8, n as u8), 6881),
+        )
+    }
+
+    fn table() -> RoutingTable160 {
+        RoutingTable160::new(NodeId160::from_u64(0))
+    }
+
+    #[test]
+    fn upsert_and_lookup() {
+        let mut t = table();
+        assert!(t.upsert(node(5)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.endpoint_of(NodeId160::from_u64(5)), Some(node(5).endpoint));
+        assert_eq!(t.endpoint_of(NodeId160::from_u64(6)), None);
+    }
+
+    #[test]
+    fn own_id_never_stored() {
+        let mut t = table();
+        assert!(!t.upsert(CompactNode::new(NodeId160::from_u64(0), node(1).endpoint)));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn endpoint_update_in_place() {
+        let mut t = table();
+        t.upsert(node(5));
+        // The same node is later validated at an internal endpoint.
+        let internal = CompactNode::new(
+            NodeId160::from_u64(5),
+            Endpoint::new(ip(100, 64, 0, 9), 6881),
+        );
+        assert!(t.upsert(internal));
+        assert_eq!(t.len(), 1, "update must not duplicate");
+        assert_eq!(t.endpoint_of(NodeId160::from_u64(5)), Some(internal.endpoint));
+        // Idempotent.
+        assert!(!t.upsert(internal));
+    }
+
+    #[test]
+    fn bucket_capacity_enforced() {
+        let mut t = table();
+        // Node IDs 8..16 share bucket 3 (distance 8..15 from 0).
+        for n in 8..16 {
+            assert!(t.upsert(node(n)));
+        }
+        assert_eq!(t.len(), 8);
+        // Bucket 3 is full: one more in the same range is refused...
+        // (ids 8..16 fill it; no more ids exist in that bucket range, so
+        // use bucket 4: 16..32 has 16 candidates for 8 slots.)
+        for n in 16..24 {
+            assert!(t.upsert(node(n)));
+        }
+        for n in 24..32 {
+            assert!(!t.upsert(node(n)), "bucket overflow must be refused");
+        }
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn closest_orders_by_xor_distance() {
+        let mut t = table();
+        for n in [1u64, 2, 4, 8, 16, 32, 64, 128, 256] {
+            t.upsert(node(n));
+        }
+        let target = NodeId160::from_u64(5);
+        let res = t.closest(target, 3);
+        // d(4,5)=1, d(1,5)=4, d(2,5)=7 → closest three are 4, 1, 2... check:
+        // d(8,5)=13, d(16,5)=21 — so [4,1,2].
+        let ids: Vec<u64> = res
+            .iter()
+            .map(|c| {
+                let b = c.id.as_bytes();
+                u64::from_be_bytes(b[12..20].try_into().unwrap())
+            })
+            .collect();
+        assert_eq!(ids, vec![4, 1, 2]);
+    }
+
+    #[test]
+    fn closest_truncates_to_available() {
+        let mut t = table();
+        t.upsert(node(1));
+        assert_eq!(t.closest(NodeId160::from_u64(9), 8).len(), 1);
+        assert!(table().closest(NodeId160::from_u64(9), 8).is_empty());
+    }
+
+    #[test]
+    fn remove_contact() {
+        let mut t = table();
+        t.upsert(node(5));
+        assert!(t.remove(NodeId160::from_u64(5)));
+        assert!(!t.remove(NodeId160::from_u64(5)));
+        assert!(t.is_empty());
+        assert!(!t.remove(t.own_id()));
+    }
+
+    proptest! {
+        /// closest() returns contacts sorted by distance, without
+        /// duplicates, and no more than requested.
+        #[test]
+        fn prop_closest_sorted(ids in proptest::collection::hash_set(1u64..10_000, 1..64), target in 1u64..10_000) {
+            let mut t = table();
+            for id in &ids {
+                t.upsert(node(*id));
+            }
+            let target = NodeId160::from_u64(target);
+            let res = t.closest(target, K);
+            prop_assert!(res.len() <= K);
+            for w in res.windows(2) {
+                prop_assert!(w[0].id.distance(&target) <= w[1].id.distance(&target));
+            }
+            let mut seen = std::collections::HashSet::new();
+            for c in &res {
+                prop_assert!(seen.insert(c.id));
+            }
+        }
+
+        /// Table size never exceeds 160 * K and upsert is idempotent.
+        #[test]
+        fn prop_upsert_idempotent(ids in proptest::collection::vec(1u64..500, 0..128)) {
+            let mut t = table();
+            for id in &ids {
+                t.upsert(node(*id));
+            }
+            let size = t.len();
+            for id in &ids {
+                t.upsert(node(*id));
+            }
+            prop_assert_eq!(t.len(), size);
+            prop_assert!(t.len() <= 160 * K);
+        }
+    }
+}

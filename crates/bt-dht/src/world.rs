@@ -1,0 +1,583 @@
+//! Driving a population of DHT peers over the simulated network.
+//!
+//! [`DhtWorld`] owns the peer state machines and a bootstrap server, and
+//! advances the swarm through *rounds*: every round each peer validates
+//! pending candidates, refreshes its routing table with lookups, and
+//! periodically multicasts a local-peer-discovery announcement. Between
+//! rounds the virtual clock advances, so NAT mappings refresh or expire
+//! exactly as they would under real traffic.
+
+use crate::krpc::{CompactNode, KrpcMessage, QueryKind};
+use crate::node_id::NodeId160;
+use crate::peer::{DhtPeer, PeerConfig, LPD_PORT};
+use netcore::{Endpoint, Packet, PacketBody, SimDuration};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{pump, Network, NodeId};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Swarm-driving parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Rounds in which every peer (re-)contacts the bootstrap server.
+    pub bootstrap_rounds: usize,
+    /// Maintenance rounds after bootstrap.
+    pub maintenance_rounds: usize,
+    /// Virtual time between rounds.
+    pub round_gap: SimDuration,
+    /// Send LPD announcements every this many rounds (0 = never).
+    pub lpd_every: usize,
+    /// Safety bound on packet exchanges per round.
+    pub max_pump_steps: usize,
+    /// Number of tracker swarms per 100 peers (content diversity).
+    pub swarms_per_100_peers: usize,
+    /// P(a peer joins the swarm popular in its locality) — same-ISP peers
+    /// cluster on locally popular content.
+    pub p_local_swarm: f64,
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            bootstrap_rounds: 2,
+            maintenance_rounds: 12,
+            round_gap: SimDuration::from_secs(20),
+            lpd_every: 2,
+            max_pump_steps: 2_000_000,
+            swarms_per_100_peers: 6,
+            p_local_swarm: 0.6,
+            seed: 0xB17_70,
+        }
+    }
+}
+
+/// The DHT bootstrap node: a public host that accumulates the peers that
+/// contact it and hands out random samples of them.
+#[derive(Debug)]
+pub struct BootstrapServer {
+    pub sim_node: NodeId,
+    pub endpoint: Endpoint,
+    pub id: NodeId160,
+    known: Vec<CompactNode>,
+    by_endpoint: HashMap<Endpoint, usize>,
+    /// Long-lived stable nodes always included in handouts. Stable,
+    /// always-on participants (like a measurement crawler running for
+    /// weeks) end up in virtually every routing table; pinning models
+    /// that without simulating weeks of uptime.
+    pinned: Vec<CompactNode>,
+}
+
+impl BootstrapServer {
+    pub fn new(sim_node: NodeId, addr: Ipv4Addr, port: u16, id: NodeId160) -> Self {
+        BootstrapServer {
+            sim_node,
+            endpoint: Endpoint::new(addr, port),
+            id,
+            known: Vec::new(),
+            by_endpoint: HashMap::new(),
+            pinned: Vec::new(),
+        }
+    }
+
+    /// Pin a stable node into every future handout.
+    pub fn pin(&mut self, node: CompactNode) {
+        self.pinned.push(node);
+    }
+
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    fn learn(&mut self, node: CompactNode) {
+        match self.by_endpoint.get(&node.endpoint) {
+            Some(i) => self.known[*i] = node,
+            None => {
+                self.by_endpoint.insert(node.endpoint, self.known.len());
+                self.known.push(node);
+            }
+        }
+    }
+
+    /// Handle a delivered packet, emitting replies.
+    pub fn handle_packet(&mut self, pkt: &Packet, rng: &mut StdRng) -> Vec<Packet> {
+        let payload = match &pkt.body {
+            PacketBody::Udp { payload } => payload,
+            _ => return Vec::new(),
+        };
+        if pkt.dst.port != self.endpoint.port {
+            return Vec::new();
+        }
+        let msg = match KrpcMessage::decode(payload) {
+            Ok(m) => m,
+            Err(_) => return Vec::new(),
+        };
+        match msg {
+            KrpcMessage::Query { transaction, kind, sender, .. } => {
+                // Record the contact at its observed (translated) source.
+                self.learn(CompactNode::new(sender, pkt.src));
+                let reply = match kind {
+                    QueryKind::Ping => KrpcMessage::pong(&transaction, self.id),
+                    QueryKind::FindNode => {
+                        // Hand out stable nodes plus random known peers
+                        // (not the asker).
+                        let mut sample: Vec<CompactNode> = self
+                            .pinned
+                            .iter()
+                            .filter(|c| c.endpoint != pkt.src)
+                            .copied()
+                            .collect();
+                        let candidates: Vec<&CompactNode> =
+                            self.known.iter().filter(|c| c.endpoint != pkt.src).collect();
+                        if !candidates.is_empty() {
+                            for _ in 0..(candidates.len() * 2) {
+                                let c = candidates[rng.gen_range(0..candidates.len())];
+                                if !sample.contains(c) {
+                                    sample.push(*c);
+                                }
+                                if sample.len() >= 8 {
+                                    break;
+                                }
+                            }
+                        }
+                        KrpcMessage::nodes_response(&transaction, self.id, sample)
+                    }
+                };
+                vec![Packet::udp(self.endpoint, pkt.src, reply.encode())]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// A swarm tracker: peers announce a swarm id, the tracker records the
+/// observed (translated) source endpoint and answers with a random sample
+/// of the swarm's members. This is the content-locality discovery channel
+/// real BitTorrent has besides the DHT — and the reason peers behind the
+/// same CGN find each other quickly (popular local content).
+#[derive(Debug)]
+pub struct TrackerServer {
+    pub sim_node: NodeId,
+    pub endpoint: Endpoint,
+    swarms: HashMap<u32, Vec<Endpoint>>,
+}
+
+impl TrackerServer {
+    pub fn new(sim_node: NodeId, addr: Ipv4Addr, port: u16) -> Self {
+        TrackerServer { sim_node, endpoint: Endpoint::new(addr, port), swarms: HashMap::new() }
+    }
+
+    pub fn swarm_count(&self) -> usize {
+        self.swarms.len()
+    }
+
+    /// Handle an announce; reply with up to 8 random swarm members.
+    pub fn handle_packet(&mut self, pkt: &Packet, rng: &mut StdRng) -> Vec<Packet> {
+        let payload = match &pkt.body {
+            PacketBody::Udp { payload } => payload,
+            _ => return Vec::new(),
+        };
+        if pkt.dst.port != self.endpoint.port {
+            return Vec::new();
+        }
+        let Some(text) = std::str::from_utf8(payload).ok() else { return Vec::new() };
+        let Some(swarm) = text.strip_prefix("BTT ANNOUNCE ").and_then(|s| s.trim().parse::<u32>().ok())
+        else {
+            return Vec::new();
+        };
+        let members = self.swarms.entry(swarm).or_default();
+        if !members.contains(&pkt.src) {
+            members.push(pkt.src);
+        }
+        let candidates: Vec<Endpoint> =
+            members.iter().copied().filter(|e| *e != pkt.src).collect();
+        let mut sample: Vec<Endpoint> = Vec::new();
+        if !candidates.is_empty() {
+            for _ in 0..(candidates.len() * 2) {
+                let c = candidates[rng.gen_range(0..candidates.len())];
+                if !sample.contains(&c) {
+                    sample.push(c);
+                }
+                if sample.len() >= 8 {
+                    break;
+                }
+            }
+        }
+        let body = format!(
+            "BTT PEERS {}",
+            sample.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ")
+        );
+        vec![Packet::udp(self.endpoint, pkt.src, body.into_bytes())]
+    }
+}
+
+/// The peer population plus the bootstrap server and the swarm tracker.
+#[derive(Debug)]
+pub struct DhtWorld {
+    pub config: WorldConfig,
+    pub peers: Vec<DhtPeer>,
+    by_node: HashMap<NodeId, usize>,
+    pub bootstrap: BootstrapServer,
+    pub tracker: TrackerServer,
+    /// Swarm membership per peer index.
+    swarm_of: Vec<u32>,
+    rng: StdRng,
+}
+
+impl DhtWorld {
+    /// Create a world around an existing bootstrap host (a public host in
+    /// the network).
+    pub fn new(config: WorldConfig, bootstrap_node: NodeId, bootstrap_addr: Ipv4Addr) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let id = NodeId160::random(&mut rng);
+        DhtWorld {
+            config,
+            peers: Vec::new(),
+            by_node: HashMap::new(),
+            bootstrap: BootstrapServer::new(bootstrap_node, bootstrap_addr, 6881, id),
+            tracker: TrackerServer::new(bootstrap_node, bootstrap_addr, 6969),
+            swarm_of: Vec::new(),
+            rng,
+        }
+    }
+
+    /// Register a peer running on simulated host `sim_node` with address
+    /// `addr`. The node ID and DHT port are drawn from the world RNG
+    /// (BitTorrent clients randomize their listening port). `locality`
+    /// keys the peer's preferred tracker swarm — peers sharing a locality
+    /// (e.g. the same ISP's CGN zone) cluster on locally popular content.
+    pub fn add_peer_with_locality(
+        &mut self,
+        sim_node: NodeId,
+        addr: Ipv4Addr,
+        config: PeerConfig,
+        locality: u64,
+    ) -> usize {
+        let id = NodeId160::random(&mut self.rng);
+        let port = self.rng.gen_range(6881..=6999);
+        let idx = self.peers.len();
+        self.peers.push(DhtPeer::new(sim_node, addr, port, id, config));
+        self.by_node.insert(sim_node, idx);
+        // Swarm assignment is finalized lazily because the swarm count
+        // depends on the final population; store the locality for now.
+        self.swarm_of.push(locality as u32);
+        idx
+    }
+
+    /// Register a peer with a unique locality (no swarm clustering bias).
+    pub fn add_peer(&mut self, sim_node: NodeId, addr: Ipv4Addr, config: PeerConfig) -> usize {
+        let unique = 0xFFFF_0000u64 + self.peers.len() as u64;
+        self.add_peer_with_locality(sim_node, addr, config, unique)
+    }
+
+    /// Register a *service* peer at a fixed port — the crawler's DHT
+    /// presence. The paper's crawler "participates in the DHT and
+    /// therefore accepts incoming requests"; peers validate and store it,
+    /// and their outbound validation pings punch holes through restrictive
+    /// NATs that later let the crawler query them back.
+    pub fn add_service_peer(&mut self, sim_node: NodeId, addr: Ipv4Addr, port: u16) -> usize {
+        let id = NodeId160::random(&mut self.rng);
+        let idx = self.peers.len();
+        self.peers.push(DhtPeer::new(sim_node, addr, port, id, PeerConfig::default()));
+        self.by_node.insert(sim_node, idx);
+        // Unique locality: the service host announces no swarms.
+        self.swarm_of.push(0xFFFF_FF00u64 as u32 ^ idx as u32);
+        // A stable always-on node: the bootstrap hands it out to everyone.
+        self.bootstrap.pin(CompactNode::new(id, Endpoint::new(addr, port)));
+        idx
+    }
+
+    /// Retire a fraction of the population: retired peers stop answering
+    /// (BitTorrent churn — clients go offline between the swarm activity
+    /// and the crawl; the paper saw only 56% of learned peers respond).
+    /// Returns how many peers were retired. Service peers (index in
+    /// `keep`) are never retired.
+    pub fn retire_peers(&mut self, fraction: f64, keep: &[usize]) -> usize {
+        let mut retired = 0;
+        let n = self.peers.len();
+        for idx in 0..n {
+            if keep.contains(&idx) {
+                continue;
+            }
+            if self.rng.gen_bool(fraction) {
+                self.by_node.remove(&self.peers[idx].sim_node);
+                retired += 1;
+            }
+        }
+        retired
+    }
+
+    /// Resolve localities into concrete swarm ids.
+    fn assign_swarms(&mut self) {
+        let n_swarms =
+            ((self.peers.len() * self.config.swarms_per_100_peers) / 100).max(2) as u32;
+        let p_local = self.config.p_local_swarm;
+        for i in 0..self.swarm_of.len() {
+            let locality = self.swarm_of[i];
+            let local_swarm = locality.wrapping_mul(2_654_435_761) % n_swarms;
+            self.swarm_of[i] = if self.rng.gen_bool(p_local) {
+                local_swarm
+            } else {
+                self.rng.gen_range(0..n_swarms)
+            };
+        }
+    }
+
+    pub fn peer_by_node(&self, node: NodeId) -> Option<&DhtPeer> {
+        self.by_node.get(&node).map(|i| &self.peers[*i])
+    }
+
+    /// Dispatch a delivered packet to its owner (peer or bootstrap),
+    /// collecting the emissions as (origin, packet) pairs.
+    pub fn dispatch(&mut self, node: NodeId, pkt: &Packet) -> Vec<(NodeId, Packet)> {
+        if node == self.tracker.sim_node && pkt.dst.port == self.tracker.endpoint.port {
+            let out = self.tracker.handle_packet(pkt, &mut self.rng);
+            return out.into_iter().map(|p| (node, p)).collect();
+        }
+        if node == self.bootstrap.sim_node {
+            let out = self.bootstrap.handle_packet(pkt, &mut self.rng);
+            return out.into_iter().map(|p| (node, p)).collect();
+        }
+        match self.by_node.get(&node) {
+            Some(i) => {
+                let out = self.peers[*i].handle_packet(pkt);
+                out.into_iter().map(|p| (node, p)).collect()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Run the configured bootstrap + maintenance schedule.
+    pub fn run(&mut self, net: &mut Network) {
+        self.assign_swarms();
+        let rounds = self.config.bootstrap_rounds + self.config.maintenance_rounds;
+        for round in 0..rounds {
+            self.run_round(net, round);
+        }
+    }
+
+    /// One round: LPD (periodically), bootstrap contact (early rounds),
+    /// candidate validation and table refresh, then packet exchange until
+    /// quiescence, then a clock step.
+    pub fn run_round(&mut self, net: &mut Network, round: usize) {
+        let mut initial: Vec<(NodeId, Packet)> = Vec::new();
+
+        // Local peer discovery: multicast announcements; deliveries are
+        // dispatched immediately and any reactions join the initial batch.
+        if self.config.lpd_every > 0 && round % self.config.lpd_every == 0 {
+            let announcements: Vec<(NodeId, u16, Vec<u8>)> = self
+                .peers
+                .iter()
+                .filter(|p| p.config.lpd_enabled)
+                .map(|p| (p.sim_node, p.port, p.lpd_payload()))
+                .collect();
+            for (node, src_port, payload) in announcements {
+                let deliveries = net.send_multicast(node, src_port, LPD_PORT, payload);
+                for d in deliveries {
+                    initial.extend(self.dispatch(d.node, &d.pkt));
+                }
+            }
+        }
+
+        // Bootstrap contact, tracker announce and per-peer maintenance.
+        let bootstrap_ep = self.bootstrap.endpoint;
+        let tracker_ep = self.tracker.endpoint;
+        let bootstrapping = round < self.config.bootstrap_rounds;
+        for i in 0..self.peers.len() {
+            if bootstrapping {
+                let own = self.peers[i].id;
+                let q = self.peers[i].find_node_query(bootstrap_ep, own);
+                initial.push((self.peers[i].sim_node, q));
+            }
+            let swarm = self.swarm_of.get(i).copied().unwrap_or(0);
+            let ann = self.peers[i].tracker_announce(tracker_ep, swarm);
+            initial.push((self.peers[i].sim_node, ann));
+            let node = self.peers[i].sim_node;
+            for p in self.peers[i].tick(&mut self.rng) {
+                initial.push((node, p));
+            }
+        }
+
+        // Exchange packets until the swarm quiesces.
+        let max_steps = self.config.max_pump_steps;
+        let mut world = std::mem::take(&mut self.by_node);
+        // Split borrows: move the index map back after the pump.
+        let peers = &mut self.peers;
+        let bootstrap = &mut self.bootstrap;
+        let tracker = &mut self.tracker;
+        let rng = &mut self.rng;
+        pump(
+            net,
+            initial,
+            |node, pkt| {
+                if node == tracker.sim_node && pkt.dst.port == tracker.endpoint.port {
+                    return tracker
+                        .handle_packet(pkt, rng)
+                        .into_iter()
+                        .map(|p| (node, p))
+                        .collect();
+                }
+                if node == bootstrap.sim_node {
+                    return bootstrap
+                        .handle_packet(pkt, rng)
+                        .into_iter()
+                        .map(|p| (node, p))
+                        .collect();
+                }
+                match world.get(&node) {
+                    Some(i) => peers[*i]
+                        .handle_packet(pkt)
+                        .into_iter()
+                        .map(|p| (node, p))
+                        .collect(),
+                    None => Vec::new(),
+                }
+            },
+            max_steps,
+        );
+        std::mem::swap(&mut self.by_node, &mut world);
+
+        net.advance(self.config.round_gap);
+    }
+
+    /// Total contacts across all peer routing tables — convergence
+    /// diagnostic.
+    pub fn total_contacts(&self) -> usize {
+        self.peers.iter().map(|p| p.table.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nat_engine::{FilteringBehavior, NatConfig};
+    use netcore::ip;
+    use simnet::RealmId;
+
+    /// Ten public peers + bootstrap: everyone discovers several others.
+    #[test]
+    fn public_swarm_converges() {
+        let mut net = Network::new();
+        let bs = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 1), vec![ip(203, 0, 113, 254)]);
+        let mut world = DhtWorld::new(WorldConfig::default(), bs, ip(203, 0, 113, 1));
+        for i in 0..10u8 {
+            let h = net.add_host(RealmId::PUBLIC, ip(198, 51, 100, i + 1), vec![]);
+            world.add_peer(h, ip(198, 51, 100, i + 1), PeerConfig::default());
+        }
+        world.run(&mut net);
+        assert!(world.bootstrap.known_count() >= 10);
+        let avg = world.total_contacts() as f64 / 10.0;
+        assert!(avg >= 4.0, "peers should learn several contacts, avg={avg}");
+        // Every peer has been validated into someone's table.
+        for p in &world.peers {
+            assert!(p.contacts_validated > 0, "peer validated nothing");
+        }
+    }
+
+    /// Two peers behind the same full-cone CGN learn each other's internal
+    /// endpoints via LPD multicast.
+    #[test]
+    fn cgn_peers_learn_internal_endpoints_via_lpd() {
+        let mut net = Network::new();
+        let bs = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 1), vec![]);
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        let (_, realm) = net.add_nat(
+            cfg,
+            vec![ip(198, 51, 100, 1), ip(198, 51, 100, 2)],
+            RealmId::PUBLIC,
+            vec![],
+            ip(100, 64, 0, 1),
+            true, // multicast-enabled internal realm
+            1,
+        );
+        let a = net.add_host(realm, ip(100, 64, 0, 10), vec![]);
+        let b = net.add_host(realm, ip(100, 64, 0, 11), vec![]);
+        let mut world = DhtWorld::new(WorldConfig::default(), bs, ip(203, 0, 113, 1));
+        world.add_peer(a, ip(100, 64, 0, 10), PeerConfig::default());
+        world.add_peer(b, ip(100, 64, 0, 11), PeerConfig::default());
+        world.run(&mut net);
+        // Each peer's table holds the other at its *internal* endpoint.
+        let pa = &world.peers[0];
+        let pb = &world.peers[1];
+        assert_eq!(
+            pa.table.endpoint_of(pb.id).map(|e| e.ip),
+            Some(ip(100, 64, 0, 11)),
+            "A must know B internally"
+        );
+        assert_eq!(
+            pb.table.endpoint_of(pa.id).map(|e| e.ip),
+            Some(ip(100, 64, 0, 10)),
+            "B must know A internally"
+        );
+    }
+
+    /// Without multicast, the hairpin channel (internal source preserved)
+    /// still leaks internal endpoints once peers know each other's
+    /// external endpoints.
+    #[test]
+    fn cgn_peers_learn_internal_endpoints_via_hairpin() {
+        let mut net = Network::new();
+        let bs = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 1), vec![]);
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        cfg.hairpinning = true;
+        cfg.hairpin_internal_source = true;
+        let (_, realm) = net.add_nat(
+            cfg,
+            vec![ip(198, 51, 100, 1), ip(198, 51, 100, 2)],
+            RealmId::PUBLIC,
+            vec![],
+            ip(100, 64, 0, 1),
+            false, // no multicast: hairpin is the only internal channel
+            1,
+        );
+        let a = net.add_host(realm, ip(100, 64, 0, 10), vec![]);
+        let b = net.add_host(realm, ip(100, 64, 0, 11), vec![]);
+        let mut world = DhtWorld::new(
+            WorldConfig { maintenance_rounds: 10, ..WorldConfig::default() },
+            bs,
+            ip(203, 0, 113, 1),
+        );
+        world.add_peer(a, ip(100, 64, 0, 10), PeerConfig::default());
+        world.add_peer(b, ip(100, 64, 0, 11), PeerConfig::default());
+        world.run(&mut net);
+        let pa = &world.peers[0];
+        let pb = &world.peers[1];
+        let a_knows_b_internal = pa.table.endpoint_of(pb.id).map(|e| e.ip) == Some(ip(100, 64, 0, 11));
+        let b_knows_a_internal = pb.table.endpoint_of(pa.id).map(|e| e.ip) == Some(ip(100, 64, 0, 10));
+        assert!(
+            a_knows_b_internal || b_knows_a_internal,
+            "hairpin with preserved source must leak at least one internal endpoint; \
+             A sees B at {:?}, B sees A at {:?}",
+            pa.table.endpoint_of(pb.id),
+            pb.table.endpoint_of(pa.id)
+        );
+    }
+
+    /// Peers behind a port-address-restricted CGN still reach the
+    /// bootstrap and learn contacts (their outbound works), even though
+    /// they are not queryable from outside.
+    #[test]
+    fn restricted_cgn_peers_bootstrap_fine() {
+        let mut net = Network::new();
+        let bs = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 1), vec![]);
+        let (_, realm) = net.add_nat(
+            NatConfig::cgn_default(), // APDF filtering
+            vec![ip(198, 51, 100, 1)],
+            RealmId::PUBLIC,
+            vec![],
+            ip(100, 64, 0, 1),
+            false,
+            1,
+        );
+        let a = net.add_host(realm, ip(100, 64, 0, 10), vec![]);
+        let pub_peer = net.add_host(RealmId::PUBLIC, ip(198, 51, 100, 77), vec![]);
+        let mut world = DhtWorld::new(WorldConfig::default(), bs, ip(203, 0, 113, 1));
+        world.add_peer(a, ip(100, 64, 0, 10), PeerConfig::default());
+        world.add_peer(pub_peer, ip(198, 51, 100, 77), PeerConfig::default());
+        world.run(&mut net);
+        assert!(world.peers[0].table.len() >= 1, "NATed peer must learn contacts");
+    }
+}

@@ -1,0 +1,132 @@
+//! Study configuration and scale presets.
+
+use bt_dht::{CrawlConfig, WorldConfig};
+use topology::TopologyConfig;
+
+/// Everything the end-to-end study needs.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    pub seed: u64,
+    pub topology: TopologyConfig,
+    pub dht: WorldConfig,
+    pub crawl: CrawlConfig,
+    /// P(an AS has any Netalyzr users) — drives Table 5's coverage story.
+    pub p_as_netalyzr: f64,
+    /// P(a subscriber runs Netalyzr | the AS has users).
+    pub p_subscriber_netalyzr: f64,
+    /// Sessions per participating subscriber (inclusive range) — Netalyzr
+    /// users often run the tool repeatedly.
+    pub sessions_per_subscriber: (usize, usize),
+    /// Whether sessions run the TTL-driven enumeration (expensive).
+    pub run_ttl: bool,
+    /// Whether sessions run the STUN test.
+    pub run_stun: bool,
+    /// Minimum responsive queried peers for an AS to count as covered by
+    /// the BitTorrent method.
+    pub bt_coverage_min_peers: usize,
+    /// Share of DHT peers violating the validate-before-store rule
+    /// (1.3% in the paper's calibration, §4.1).
+    pub p_dht_violators: f64,
+    /// Share of peers that go offline between swarm activity and the
+    /// crawl (BitTorrent churn; the paper saw 56% of learned peers
+    /// respond to bt_ping).
+    pub p_peer_churn: f64,
+    /// Crawl passes interleaved with swarm rounds before the measured
+    /// crawl (the paper's crawl ran for a week while the DHT lived).
+    pub warm_crawl_passes: usize,
+}
+
+impl StudyConfig {
+    /// Minimal world for unit/integration tests (seconds in debug mode).
+    pub fn tiny(seed: u64) -> StudyConfig {
+        StudyConfig {
+            seed,
+            topology: TopologyConfig::tiny(seed),
+            dht: WorldConfig {
+                bootstrap_rounds: 2,
+                maintenance_rounds: 4,
+                ..WorldConfig::default()
+            },
+            crawl: CrawlConfig::default(),
+            p_as_netalyzr: 1.0,
+            p_subscriber_netalyzr: 0.9,
+            sessions_per_subscriber: (1, 2),
+            run_ttl: true,
+            run_stun: true,
+            bt_coverage_min_peers: 2,
+            p_dht_violators: 0.013,
+            p_peer_churn: 0.20,
+            warm_crawl_passes: 2,
+        }
+    }
+
+    /// A mid-size world: tens of ASes — integration tests and quick
+    /// benchmark baselines.
+    pub fn small(seed: u64) -> StudyConfig {
+        let mut topology = TopologyConfig::default_with_seed(seed);
+        topology.residential_per_rir = [2, 6, 4, 3, 7];
+        topology.cellular_per_rir = [1, 2, 2, 1, 2];
+        topology.silent_as_ratio = 10;
+        topology.subscribers_per_as = (12, 24);
+        StudyConfig {
+            seed,
+            topology,
+            dht: WorldConfig {
+                bootstrap_rounds: 2,
+                maintenance_rounds: 5,
+                ..WorldConfig::default()
+            },
+            crawl: CrawlConfig::default(),
+            p_as_netalyzr: 0.65,
+            p_subscriber_netalyzr: 0.90,
+            sessions_per_subscriber: (1, 2),
+            run_ttl: true,
+            run_stun: true,
+            bt_coverage_min_peers: 3,
+            p_dht_violators: 0.013,
+            p_peer_churn: 0.20,
+            warm_crawl_passes: 2,
+        }
+    }
+
+    /// The full study scale (~170 instrumented eyeball ASes). Intended
+    /// for release builds (the `repro` binary and benches).
+    pub fn default_with_seed(seed: u64) -> StudyConfig {
+        StudyConfig {
+            seed,
+            topology: TopologyConfig::default_with_seed(seed),
+            dht: WorldConfig::default(),
+            crawl: CrawlConfig::default(),
+            p_as_netalyzr: 0.50,
+            p_subscriber_netalyzr: 0.90,
+            sessions_per_subscriber: (1, 2),
+            run_ttl: true,
+            run_stun: true,
+            bt_coverage_min_peers: 3,
+            p_dht_violators: 0.013,
+            p_peer_churn: 0.20,
+            warm_crawl_passes: 2,
+        }
+    }
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig::default_with_seed(0x1AC_2016)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_sanely() {
+        let tiny = StudyConfig::tiny(1);
+        let small = StudyConfig::small(1);
+        let full = StudyConfig::default_with_seed(1);
+        assert!(tiny.topology.eyeball_count() < small.topology.eyeball_count());
+        assert!(small.topology.eyeball_count() < full.topology.eyeball_count());
+        assert!(full.p_dht_violators < 0.05);
+    }
+}

@@ -1,0 +1,242 @@
+//! Plot-data export: TSV series for every plottable figure.
+//!
+//! `repro -- export=DIR` writes one tab-separated file per figure, ready
+//! for gnuplot/matplotlib — the form in which a measurement-paper
+//! repository usually ships its figure data.
+
+use crate::report::StudyReport;
+use std::fmt::Write as _;
+
+/// One exported data file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportFile {
+    /// Suggested file name, e.g. `fig04_clusters.tsv`.
+    pub name: String,
+    /// Tab-separated content with a `#`-prefixed header line.
+    pub content: String,
+}
+
+/// Produce the TSV series for every plottable figure in the report.
+pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
+    let mut files = Vec::new();
+
+    // Fig. 4 — per-(AS, range) largest-cluster scatter.
+    {
+        let mut c = String::from("#as\trange\texternal_ips\tinternal_ips\tpositive\n");
+        for p in &report.fig4 {
+            let _ = writeln!(
+                c,
+                "{}\t{}\t{}\t{}\t{}",
+                p.as_id.0,
+                p.range.shorthand(),
+                p.external_ips,
+                p.internal_ips,
+                p.positive as u8
+            );
+        }
+        files.push(ExportFile { name: "fig04_clusters.tsv".into(), content: c });
+    }
+
+    // Fig. 5 — candidate sessions vs /24 diversity scatter.
+    {
+        let mut c = String::from("#as\tcandidate_sessions\tcpe_slash24s\tpositive\n");
+        for p in &report.fig5 {
+            let _ = writeln!(
+                c,
+                "{}\t{}\t{}\t{}",
+                p.as_id.0, p.candidate_sessions, p.cpe_slash24s, p.positive as u8
+            );
+        }
+        files.push(ExportFile { name: "fig05_candidates.tsv".into(), content: c });
+    }
+
+    // Fig. 6 — per-RIR rates.
+    {
+        let mut c = String::from("#rir\tcoverage_pct\tpositive_pct\tcellular_positive_pct\n");
+        for rir in netcore::Rir::ALL {
+            let _ = writeln!(
+                c,
+                "{}\t{:.2}\t{:.2}\t{:.2}",
+                rir.name(),
+                report.fig6.coverage_pct.get(&rir).copied().unwrap_or(0.0),
+                report.fig6.positive_pct.get(&rir).copied().unwrap_or(0.0),
+                report.fig6.cellular_positive_pct.get(&rir).copied().unwrap_or(0.0)
+            );
+        }
+        files.push(ExportFile { name: "fig06_rir.tsv".into(), content: c });
+    }
+
+    // Fig. 8a — the two port histograms.
+    {
+        let mut c = String::from("#port_bin_low\tpreserved_freq\ttranslated_freq\n");
+        let p = report.fig8a_preserved.normalized();
+        let t = report.fig8a_translated.normalized();
+        let w = report.fig8a_preserved.bin_width;
+        for (i, (pv, tv)) in p.iter().zip(&t).enumerate() {
+            let _ = writeln!(c, "{}\t{:.6}\t{:.6}", i as u64 * w, pv, tv);
+        }
+        files.push(ExportFile { name: "fig08a_ports.tsv".into(), content: c });
+    }
+
+    // Fig. 8b — per-model preservation.
+    {
+        let mut c = String::from("#model\tsessions\tpreserving_sessions\n");
+        for (model, (n, pres)) in &report.fig8b {
+            let _ = writeln!(c, "{model}\t{n}\t{pres}");
+        }
+        files.push(ExportFile { name: "fig08b_cpe_models.tsv".into(), content: c });
+    }
+
+    // Fig. 9 — per-AS strategy mixes (both panels).
+    {
+        let mut c = String::from("#panel\tas\tsessions\tpreservation\tsequential\trandom\tpure\n");
+        for (panel, mixes) in [
+            ("non-cellular", &report.fig9.noncellular),
+            ("cellular", &report.fig9.cellular),
+        ] {
+            for (a, m) in mixes {
+                let _ = writeln!(
+                    c,
+                    "{panel}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    a.0,
+                    m.sessions,
+                    m.preservation,
+                    m.sequential,
+                    m.random,
+                    m.is_pure() as u8
+                );
+            }
+        }
+        files.push(ExportFile { name: "fig09_strategies.tsv".into(), content: c });
+    }
+
+    // Fig. 11 — distance histograms per group.
+    {
+        let mut c = String::from("#group\thop\tfraction\n");
+        for (group, counts) in &report.fig11.per_group {
+            let total: usize = counts.iter().sum();
+            for (i, n) in counts.iter().enumerate() {
+                let _ = writeln!(
+                    c,
+                    "{group}\t{}\t{:.4}",
+                    i + 1,
+                    *n as f64 / total.max(1) as f64
+                );
+            }
+        }
+        files.push(ExportFile { name: "fig11_distance.tsv".into(), content: c });
+    }
+
+    // Fig. 12 — timeout samples per population (box plots are derived).
+    {
+        let mut c = String::from("#population\ttimeout_secs\n");
+        for v in &report.fig12.cellular_values {
+            let _ = writeln!(c, "cellular_cgn\t{v}");
+        }
+        for v in &report.fig12.noncellular_values {
+            let _ = writeln!(c, "noncellular_cgn\t{v}");
+        }
+        for v in &report.fig12.cpe_values {
+            let _ = writeln!(c, "cpe\t{v}");
+        }
+        files.push(ExportFile { name: "fig12_timeouts.tsv".into(), content: c });
+    }
+
+    // Fig. 13 — STUN distributions.
+    {
+        let mut c = String::from("#panel\tstun_type\tshare\n");
+        for (panel, d) in [
+            ("cpe_sessions", &report.fig13a),
+            ("noncellular_cgn_ases", &report.fig13b.noncellular),
+            ("cellular_cgn_ases", &report.fig13b.cellular),
+        ] {
+            for (t, share) in d.shares() {
+                let _ = writeln!(c, "{panel}\t{}\t{:.4}", t.name().replace(' ', "_"), share);
+            }
+        }
+        files.push(ExportFile { name: "fig13_stun.tsv".into(), content: c });
+    }
+
+    files
+}
+
+/// Write the exported files into a directory.
+pub fn write_to_dir(report: &StudyReport, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for f in export_figures(report) {
+        let path = dir.join(&f.name);
+        std::fs::write(&path, f.content.as_bytes())?;
+        written.push(f.name);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+    use crate::pipeline::measure;
+    use crate::results::assemble;
+
+    fn report() -> StudyReport {
+        assemble(&measure(StudyConfig::tiny(19)))
+    }
+
+    #[test]
+    fn every_plottable_figure_is_exported() {
+        let files = export_figures(&report());
+        let names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();
+        for expected in [
+            "fig04_clusters.tsv",
+            "fig05_candidates.tsv",
+            "fig06_rir.tsv",
+            "fig08a_ports.tsv",
+            "fig08b_cpe_models.tsv",
+            "fig09_strategies.tsv",
+            "fig11_distance.tsv",
+            "fig12_timeouts.tsv",
+            "fig13_stun.tsv",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing from {names:?}");
+        }
+    }
+
+    #[test]
+    fn tsv_files_are_well_formed() {
+        for f in export_figures(&report()) {
+            let mut lines = f.content.lines();
+            let header = lines.next().expect("header line");
+            assert!(header.starts_with('#'), "{}: header missing", f.name);
+            let cols = header.split('\t').count();
+            for (i, line) in lines.enumerate() {
+                assert_eq!(
+                    line.split('\t').count(),
+                    cols,
+                    "{} line {}: column count mismatch",
+                    f.name,
+                    i + 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_always_has_five_rows() {
+        let files = export_figures(&report());
+        let fig6 = files.iter().find(|f| f.name == "fig06_rir.tsv").expect("present");
+        assert_eq!(fig6.content.lines().count(), 6, "header + 5 RIRs");
+    }
+
+    #[test]
+    fn write_to_dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("cgn_export_{}", std::process::id()));
+        let written = write_to_dir(&report(), &dir).expect("write");
+        assert_eq!(written.len(), 9);
+        for name in &written {
+            let content = std::fs::read_to_string(dir.join(name)).expect("readable");
+            assert!(content.starts_with('#'));
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -1,0 +1,31 @@
+//! # cgn-study — end-to-end reproduction of the IMC 2016 CGN study
+//!
+//! This crate wires the substrates together into the paper's full
+//! pipeline:
+//!
+//! 1. **World** — build the synthetic Internet with ground truth
+//!    ([`topology`]);
+//! 2. **Measure** — run the BitTorrent DHT swarm and crawl it
+//!    ([`bt_dht`]), then run Netalyzr sessions from sampled subscribers
+//!    ([`netalyzr`]);
+//! 3. **Analyse** — feed the observations to the detection pipelines and
+//!    compute every table and figure ([`analysis`]);
+//! 4. **Report** — assemble a [`StudyReport`] and render it as text.
+//!
+//! ```no_run
+//! use cgn_study::{StudyConfig, run_study};
+//!
+//! let report = run_study(StudyConfig::small(42));
+//! println!("{}", report.render());
+//! ```
+
+pub mod config;
+pub mod export;
+pub mod pipeline;
+pub mod report;
+pub mod results;
+
+pub use config::StudyConfig;
+pub use export::{export_figures, write_to_dir, ExportFile};
+pub use pipeline::{run_study, StudyArtifacts};
+pub use report::StudyReport;

@@ -1,0 +1,289 @@
+//! The measurement pipeline: world → DHT crawl → Netalyzr sessions.
+
+use crate::config::StudyConfig;
+use analysis::obs::{BtLeakObs, FlowObs, SessionObs, TtlNatObs, TtlObs};
+use bt_dht::peer::PeerConfig;
+use bt_dht::{CrawlReport, Crawler, DhtWorld};
+use netalyzr::{run_session, ClientSpec, MeasurementLab, OsPortPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::RealmId;
+use topology::{Subscriber, Survey, SurveyConfig, World};
+
+/// Outcome of the §4.1 DHT calibration check: how many peers stored (and
+/// hence would propagate) contacts without validating reachability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CalibrationResult {
+    pub peers: usize,
+    pub peers_with_contacts: usize,
+    /// Peers that stored at least one unvalidated contact.
+    pub unvalidated_propagators: usize,
+}
+
+impl CalibrationResult {
+    /// The paper's headline: 1.3% of peers propagate without validating.
+    pub fn violation_rate(&self) -> f64 {
+        if self.peers_with_contacts == 0 {
+            0.0
+        } else {
+            self.unvalidated_propagators as f64 / self.peers_with_contacts as f64
+        }
+    }
+}
+
+/// Everything the measurement phase produced; input to the analysis.
+#[derive(Debug)]
+pub struct StudyArtifacts {
+    pub config: StudyConfig,
+    pub world: World,
+    pub lab: MeasurementLab,
+    pub crawl: CrawlReport,
+    pub leaks: Vec<BtLeakObs>,
+    pub sessions: Vec<SessionObs>,
+    pub survey: Survey,
+    pub calibration: CalibrationResult,
+    pub dht_peer_count: usize,
+}
+
+/// Derive a per-subscriber OS port policy.
+fn port_policy(sub: &Subscriber) -> OsPortPolicy {
+    let (lo, hi, sequential) = sub.os.port_policy();
+    OsPortPolicy { range: (lo, hi), sequential }
+}
+
+/// Run the full measurement phase.
+pub fn measure(config: StudyConfig) -> StudyArtifacts {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57AB_1E);
+    let mut world = World::build(config.topology.clone());
+
+    // Measurement infrastructure: echo + STUN lab, DHT bootstrap, crawler.
+    let lab_base = {
+        // Reserve three consecutive service addresses for the lab.
+        let a = world.next_service_addr();
+        let _ = world.next_service_addr();
+        let _ = world.next_service_addr();
+        a
+    };
+    let lab = MeasurementLab::install(&mut world.net, lab_base);
+    let bs_addr = world.next_service_addr();
+    let bs_node = world.net.add_host(RealmId::PUBLIC, bs_addr, vec![]);
+
+    // --- Phase 1: the BitTorrent DHT swarm. ---
+    let mut dht = DhtWorld::new(config.dht.clone(), bs_node, bs_addr);
+    for sub in &world.subscribers {
+        if !sub.runs_bittorrent {
+            continue;
+        }
+        // Locality key: peers behind the same CGN instance share a swarm
+        // bias (locally popular content), otherwise the AS itself.
+        let locality = (sub.as_id.0 as u64) << 8 | sub.cgn_instance.unwrap_or(0xFF) as u64;
+        let peer_cfg = PeerConfig {
+            validates_before_adding: !rng.gen_bool(config.p_dht_violators),
+            ..PeerConfig::default()
+        };
+        dht.add_peer_with_locality(sub.device_node, sub.device_addr, peer_cfg, locality);
+        for (node, addr) in &sub.extra_bt_devices {
+            let peer_cfg = PeerConfig {
+                validates_before_adding: !rng.gen_bool(config.p_dht_violators),
+                ..PeerConfig::default()
+            };
+            dht.add_peer_with_locality(*node, *addr, peer_cfg, locality);
+        }
+    }
+    // The crawler participates in the DHT during the swarm phase, so
+    // peers validate it and punch holes through their NATs toward it.
+    let crawler_addr = world.next_service_addr();
+    let crawler_node = world.net.add_host(RealmId::PUBLIC, crawler_addr, vec![]);
+    let crawler_presence = dht.add_service_peer(crawler_node, crawler_addr, 64_000);
+    let dht_peer_count = dht.peers.len() - 1;
+    dht.run(&mut world.net);
+
+    // Warm crawl passes: the paper's crawl ran for a week while the DHT
+    // lived. Peers queried by the crawler learn it from the query source,
+    // validate it during the next maintenance round, and thereby punch
+    // holes through restrictive NATs that let later passes reach them.
+    for extra in 0..config.warm_crawl_passes {
+        let mut warm = Crawler::new(
+            crawler_node,
+            crawler_addr,
+            bt_dht::CrawlConfig { ping_learned: false, ..config.crawl.clone() },
+        );
+        let _ = warm.crawl(&mut world.net, &mut dht);
+        dht.run_round(&mut world.net, 1000 + extra);
+    }
+
+    // Churn: a share of clients goes offline before the final crawl.
+    dht.retire_peers(config.p_peer_churn, &[crawler_presence]);
+
+    // Calibration (§4.1): which peers would propagate unvalidated
+    // contacts?
+    let calibration = CalibrationResult {
+        peers: dht_peer_count,
+        peers_with_contacts: dht
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| *i != crawler_presence && !p.table.is_empty())
+            .count(),
+        unvalidated_propagators: dht
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| *i != crawler_presence && p.contacts_inserted_unvalidated > 0)
+            .count(),
+    };
+
+    // --- Phase 2: crawl the DHT from the participating host. ---
+    let mut crawler = Crawler::new(crawler_node, crawler_addr, config.crawl.clone());
+    let crawl = crawler.crawl(&mut world.net, &mut dht);
+
+    let leaks: Vec<BtLeakObs> = crawl
+        .leaks
+        .iter()
+        .map(|l| BtLeakObs {
+            leaker_ip: l.leaker_endpoint.ip,
+            leaker_as: world.routing.origin_of(l.leaker_endpoint.ip),
+            internal_ip: l.internal.endpoint.ip,
+            range: l.range,
+        })
+        .collect();
+
+    // --- Phase 3: Netalyzr sessions. ---
+    let mut sessions: Vec<SessionObs> = Vec::new();
+    let deployments: Vec<(netcore::AsId, bool, Vec<usize>)> = world
+        .deployments
+        .iter()
+        .map(|d| (d.info.id, d.info.kind.is_cellular(), d.subscriber_ids.clone()))
+        .collect();
+    for (as_id, cellular, sub_ids) in deployments {
+        if !rng.gen_bool(config.p_as_netalyzr) {
+            continue;
+        }
+        for sub_id in sub_ids {
+            if !rng.gen_bool(config.p_subscriber_netalyzr) {
+                continue;
+            }
+            let n_sessions = rng
+                .gen_range(config.sessions_per_subscriber.0..=config.sessions_per_subscriber.1);
+            for k in 0..n_sessions {
+                let sub = &world.subscribers[sub_id];
+                let spec = ClientSpec {
+                    node: sub.device_node,
+                    addr: sub.device_addr,
+                    os_ports: port_policy(sub),
+                    upnp_cpe_external: sub
+                        .cpe
+                        .as_ref()
+                        .filter(|c| c.upnp)
+                        .map(|c| c.external_ip),
+                    upnp_model: sub
+                        .cpe
+                        .as_ref()
+                        .filter(|c| c.upnp)
+                        .map(|c| c.model_name.clone()),
+                    run_stun: config.run_stun,
+                    run_ttl: config.run_ttl,
+                    port_flows: 10,
+                };
+                let seed = config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((sub_id as u64) << 8)
+                    .wrapping_add(k as u64);
+                let report = run_session(&mut world.net, &lab, &spec, seed);
+                let ip_pub = report.ip_pub();
+                let obs_as = ip_pub
+                    .and_then(|p| world.routing.origin_of(p))
+                    .or(Some(as_id));
+                sessions.push(SessionObs {
+                    as_id: obs_as,
+                    cellular,
+                    ip_dev: report.ip_dev,
+                    ip_cpe: report.ip_cpe,
+                    cpe_model: report.cpe_model.clone(),
+                    ip_pub,
+                    multiple_public_ips: report.saw_multiple_public_ips(),
+                    flows: report
+                        .port_test
+                        .flows
+                        .iter()
+                        .map(|f| FlowObs { local_port: f.local_port, observed: f.observed })
+                        .collect(),
+                    stun_nat: report.stun.and_then(|s| s.class.nat_type()),
+                    ttl: report.ttl.as_ref().map(|t| TtlObs {
+                        path_len: t.path_len,
+                        ip_mismatch: t.ip_mismatch,
+                        detected: t
+                            .detected
+                            .iter()
+                            .map(|d| TtlNatObs {
+                                hop: d.hop,
+                                timeout_gt_secs: d.timeout_gt.as_secs(),
+                                timeout_le_secs: d.timeout_le.as_secs(),
+                            })
+                            .collect(),
+                    }),
+                });
+            }
+        }
+    }
+
+    // --- Phase 4: the operator survey (§2). ---
+    let survey = Survey::generate(&SurveyConfig { seed: config.seed ^ 0x50_50, ..SurveyConfig::default() });
+
+    StudyArtifacts {
+        config,
+        world,
+        lab,
+        crawl,
+        leaks,
+        sessions,
+        survey,
+        calibration,
+        dht_peer_count,
+    }
+}
+
+/// Run measurement and analysis end to end.
+pub fn run_study(config: StudyConfig) -> crate::report::StudyReport {
+    crate::results::assemble(&measure(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_pipeline_produces_data() {
+        let art = measure(StudyConfig::tiny(7));
+        assert!(art.dht_peer_count > 0, "some subscribers run BitTorrent");
+        assert!(!art.sessions.is_empty(), "sessions were sampled");
+        assert!(art.crawl.queries_sent > 0);
+        // Sessions carry AS attribution.
+        assert!(art.sessions.iter().all(|s| s.as_id.is_some()));
+        // Port tests completed for the overwhelming majority of sessions.
+        let with_flows = art
+            .sessions
+            .iter()
+            .filter(|s| s.observed_flows().count() >= 8)
+            .count();
+        assert!(
+            with_flows * 10 >= art.sessions.len() * 9,
+            "{} of {} sessions completed port tests",
+            with_flows,
+            art.sessions.len()
+        );
+    }
+
+    #[test]
+    fn pipeline_deterministic() {
+        let a = measure(StudyConfig::tiny(9));
+        let b = measure(StudyConfig::tiny(9));
+        assert_eq!(a.sessions.len(), b.sessions.len());
+        assert_eq!(a.leaks.len(), b.leaks.len());
+        assert_eq!(a.crawl.queries_sent, b.crawl.queries_sent);
+        for (x, y) in a.sessions.iter().zip(&b.sessions) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! The study report: one struct per table/figure plus text rendering.
+
+use analysis::addr_class::Table4;
+use analysis::coverage::{CoverageReport, Fig6};
+use analysis::distance::{Fig11, Table7};
+use analysis::graph::ClusterSummary;
+use analysis::port_alloc::{AsStrategyMix, Table6};
+use analysis::stats::Histogram;
+use analysis::stun_class::StunDistribution;
+use analysis::timeouts::Fig12;
+use analysis::baseline::PrecisionRecall;
+use crate::pipeline::CalibrationResult;
+use netcore::{AsId, ReservedRange};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Study metadata (scale indicators).
+#[derive(Debug, Clone, Default)]
+pub struct Meta {
+    pub seed: u64,
+    pub routed_ases: usize,
+    pub eyeball_ases: usize,
+    pub cellular_ases: usize,
+    pub subscribers: usize,
+    pub dht_peers: usize,
+    pub sessions: usize,
+    pub ttl_sessions: usize,
+    pub stun_sessions: usize,
+}
+
+/// Fig. 1: survey shares.
+#[derive(Debug, Clone, Default)]
+pub struct Fig1 {
+    pub respondents: usize,
+    pub cgn: (f64, f64, f64),
+    pub ipv6: (f64, f64, f64, f64),
+    pub scarcity_share: f64,
+    pub max_subs_per_address: f64,
+}
+
+/// Table 2: crawl volumes.
+#[derive(Debug, Clone, Default)]
+pub struct Table2 {
+    pub queried_peers: usize,
+    pub queried_ips: usize,
+    pub queried_ases: usize,
+    pub learned_peers: usize,
+    pub learned_ips: usize,
+    pub learned_ases: usize,
+    pub responded_peers: usize,
+    pub queries_sent: u64,
+}
+
+/// One row of Table 3 (per reserved range).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    pub range: ReservedRange,
+    pub internal_total: usize,
+    pub internal_ips: usize,
+    pub leaking_total: usize,
+    pub leaking_ips: usize,
+    pub leaking_ases: usize,
+}
+
+/// Fig. 3: contrasting leak-graph examples.
+#[derive(Debug, Clone)]
+pub struct Fig3Example {
+    pub as_id: AsId,
+    pub leakers: usize,
+    pub internals: usize,
+    pub largest: ClusterSummary,
+}
+
+/// One point of Fig. 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Point {
+    pub as_id: AsId,
+    pub range: ReservedRange,
+    pub external_ips: usize,
+    pub internal_ips: usize,
+    pub positive: bool,
+}
+
+/// One point of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Point {
+    pub as_id: AsId,
+    pub candidate_sessions: usize,
+    pub cpe_slash24s: usize,
+    pub positive: bool,
+}
+
+/// Fig. 7: internal address space usage of detected CGNs.
+#[derive(Debug, Clone, Default)]
+pub struct Fig7 {
+    /// label → AS count, for non-cellular CGN-positive ASes.
+    pub noncellular: BTreeMap<String, usize>,
+    /// label → AS count, for cellular CGN-positive ASes.
+    pub cellular: BTreeMap<String, usize>,
+    /// ASes observed using routable space internally (Fig. 7b).
+    pub routable_internal_ases: Vec<(AsId, String)>,
+}
+
+/// Fig. 8(c): one chunk-allocating AS in detail.
+#[derive(Debug, Clone)]
+pub struct Fig8c {
+    pub as_id: AsId,
+    pub estimated_chunk: u16,
+    /// Per session: (min observed port, max observed port).
+    pub session_ranges: Vec<(u16, u16)>,
+}
+
+/// Fig. 9: per-AS strategy mixes, pure ASes first.
+#[derive(Debug, Clone, Default)]
+pub struct Fig9 {
+    pub noncellular: Vec<(AsId, AsStrategyMix)>,
+    pub cellular: Vec<(AsId, AsStrategyMix)>,
+}
+
+/// Fig. 13(b) panels.
+#[derive(Debug, Clone, Default)]
+pub struct Fig13b {
+    pub cellular: StunDistribution,
+    pub noncellular: StunDistribution,
+}
+
+/// Detector scoring against ground truth (the ablation study).
+#[derive(Debug, Clone)]
+pub struct Scoring {
+    pub truth_cgn_ases: usize,
+    pub bt_paper: PrecisionRecall,
+    pub bt_any_leak: PrecisionRecall,
+    pub bt_low_threshold: PrecisionRecall,
+    pub nz_noncellular_paper: PrecisionRecall,
+    pub nz_any_mismatch: PrecisionRecall,
+    pub nz_cellular_paper: PrecisionRecall,
+    pub union_paper: PrecisionRecall,
+}
+
+/// IP pooling summary (§6.2).
+#[derive(Debug, Clone, Default)]
+pub struct PoolingSummary {
+    pub cgn_ases_observed: usize,
+    pub arbitrary_pooling_ases: usize,
+}
+
+/// IETF-requirement violation census over the detected CGNs (§7:
+/// "which, incidentally, many of our identified CGNs violate").
+#[derive(Debug, Clone, Default)]
+pub struct ComplianceCensus {
+    pub cgn_instances: usize,
+    pub noncompliant: usize,
+    pub per_requirement: Vec<(String, usize)>,
+}
+
+/// The full study report.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    pub meta: Meta,
+    pub fig1: Fig1,
+    pub table2: Table2,
+    pub table3: Vec<Table3Row>,
+    pub fig3_isolated: Option<Fig3Example>,
+    pub fig3_clustered: Option<Fig3Example>,
+    pub fig4: Vec<Fig4Point>,
+    pub bt_positive: BTreeSet<AsId>,
+    pub calibration: CalibrationResult,
+    pub table4: Table4,
+    pub fig5: Vec<Fig5Point>,
+    pub nz_noncellular_positive: BTreeSet<AsId>,
+    pub nz_cellular_positive: BTreeSet<AsId>,
+    pub table5: CoverageReport,
+    pub fig6: Fig6,
+    pub fig7: Fig7,
+    pub fig8a_preserved: Histogram,
+    pub fig8a_translated: Histogram,
+    pub fig8b: BTreeMap<String, (usize, usize)>,
+    pub fig8c: Option<Fig8c>,
+    pub fig9: Fig9,
+    pub table6_noncellular: Table6,
+    pub table6_cellular: Table6,
+    pub pooling: PoolingSummary,
+    pub table7: Table7,
+    pub fig11: Fig11,
+    pub fig12: Fig12,
+    pub fig13a: StunDistribution,
+    pub fig13b: Fig13b,
+    pub scoring: Scoring,
+    pub compliance: ComplianceCensus,
+}
+
+fn hbar(out: &mut String, title: &str) {
+    let _ = writeln!(out, "\n==== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+}
+
+impl StudyReport {
+    /// Render the whole report as text (the content of EXPERIMENTS.md's
+    /// "measured" columns).
+    pub fn render(&self) -> String {
+        let mut o = String::new();
+        let m = &self.meta;
+        let _ = writeln!(
+            o,
+            "CGN study reproduction — seed {} | {} routed ASes ({} eyeball, {} cellular), \
+             {} subscribers, {} DHT peers, {} Netalyzr sessions ({} TTL, {} STUN)",
+            m.seed,
+            m.routed_ases,
+            m.eyeball_ases,
+            m.cellular_ases,
+            m.subscribers,
+            m.dht_peers,
+            m.sessions,
+            m.ttl_sessions,
+            m.stun_sessions
+        );
+
+        hbar(&mut o, "Fig 1 — operator survey");
+        let f = &self.fig1;
+        let _ = writeln!(
+            o,
+            "CGN:  deployed {:.0}% | considering {:.0}% | no plans {:.0}%   (paper: 38/12/50)",
+            100.0 * f.cgn.0,
+            100.0 * f.cgn.1,
+            100.0 * f.cgn.2
+        );
+        let _ = writeln!(
+            o,
+            "IPv6: most/all {:.0}% | some {:.0}% | soon {:.0}% | none {:.0}%  (paper: 32/35/11/22)",
+            100.0 * f.ipv6.0,
+            100.0 * f.ipv6.1,
+            100.0 * f.ipv6.2,
+            100.0 * f.ipv6.3
+        );
+        let _ = writeln!(
+            o,
+            "scarcity now: {:.0}% (paper >40%); max subscriber:address ratio {:.0}:1 (paper 20:1)",
+            100.0 * f.scarcity_share,
+            f.max_subs_per_address
+        );
+
+        hbar(&mut o, "Table 1 — address space reserved for internal use");
+        let _ = writeln!(o, "{:<18} {:<10} {:<6} {}", "Range", "Shorthand", "RFC", "Comments");
+        for r in ReservedRange::ALL {
+            let comment = match r {
+                ReservedRange::R192 => "commonly used in CPE",
+                ReservedRange::R100 => "for CGN deployments",
+                _ => "",
+            };
+            let _ = writeln!(
+                o,
+                "{:<18} {:<10} {:<6} {}",
+                r.prefix().to_string(),
+                r.shorthand(),
+                r.rfc(),
+                comment
+            );
+        }
+
+        hbar(&mut o, "Table 2 — DHT crawl volumes");
+        let t = &self.table2;
+        let _ = writeln!(o, "{:<12} {:>10} {:>12} {:>8}", "", "Peers", "Unique IPs", "ASes");
+        let _ = writeln!(
+            o,
+            "{:<12} {:>10} {:>12} {:>8}",
+            "Queried", t.queried_peers, t.queried_ips, t.queried_ases
+        );
+        let _ = writeln!(
+            o,
+            "{:<12} {:>10} {:>12} {:>8}",
+            "Learned", t.learned_peers, t.learned_ips, t.learned_ases
+        );
+        let _ = writeln!(
+            o,
+            "responded to bt_ping: {} ({:.0}% of learned); find_nodes sent: {}",
+            t.responded_peers,
+            100.0 * t.responded_peers as f64 / t.learned_peers.max(1) as f64,
+            t.queries_sent
+        );
+
+        hbar(&mut o, "Table 3 — internal peers and leaking peers per range");
+        let _ = writeln!(
+            o,
+            "{:<6} {:>14} {:>14} {:>14} {:>14} {:>8}",
+            "Range", "internal tot", "internal IPs", "leaking tot", "leaking IPs", "ASes"
+        );
+        for r in &self.table3 {
+            let _ = writeln!(
+                o,
+                "{:<6} {:>14} {:>14} {:>14} {:>14} {:>8}",
+                r.range.shorthand(),
+                r.internal_total,
+                r.internal_ips,
+                r.leaking_total,
+                r.leaking_ips,
+                r.leaking_ases
+            );
+        }
+
+        hbar(&mut o, "Fig 3 — leak-graph contrast");
+        match (&self.fig3_isolated, &self.fig3_clustered) {
+            (Some(i), Some(c)) => {
+                let _ = writeln!(
+                    o,
+                    "isolated  ({}): {} leakers, {} internals, largest cluster {}x{}",
+                    i.as_id, i.leakers, i.internals, i.largest.external_ips, i.largest.internal_ips
+                );
+                let _ = writeln!(
+                    o,
+                    "clustered ({}): {} leakers, {} internals, largest cluster {}x{}",
+                    c.as_id, c.leakers, c.internals, c.largest.external_ips, c.largest.internal_ips
+                );
+            }
+            _ => {
+                let _ = writeln!(o, "(insufficient leakage for contrasting examples)");
+            }
+        }
+
+        hbar(&mut o, "Fig 4 — largest cluster per AS and range (boundary: >=5 ext, >=5 int)");
+        let positive = self.fig4.iter().filter(|p| p.positive).count();
+        let _ = writeln!(
+            o,
+            "{} (AS, range) points; {} cross the detection boundary; {} distinct CGN-positive ASes",
+            self.fig4.len(),
+            positive,
+            self.bt_positive.len()
+        );
+        for range in ReservedRange::ALL {
+            let pts: Vec<&Fig4Point> = self.fig4.iter().filter(|p| p.range == range).collect();
+            let pos = pts.iter().filter(|p| p.positive).count();
+            let _ = writeln!(o, "  {:<5} {:>4} ASes with clusters, {:>3} positive", range.shorthand(), pts.len(), pos);
+        }
+
+        hbar(&mut o, "DHT calibration (par. 4.1)");
+        let _ = writeln!(
+            o,
+            "{} peers, {} with contacts; {} would propagate unvalidated contacts ({:.1}%, paper: 1.3%)",
+            self.calibration.peers,
+            self.calibration.peers_with_contacts,
+            self.calibration.unvalidated_propagators,
+            100.0 * self.calibration.violation_rate()
+        );
+
+        hbar(&mut o, "Table 4 — IPdev / IPcpe classification");
+        let _ = writeln!(o, "cellular IPdev (N={}):", self.table4.cellular_dev.n);
+        for (l, p) in self.table4.cellular_dev.percentages() {
+            let _ = writeln!(o, "  {l:<16} {p:5.1}%");
+        }
+        let _ = writeln!(o, "non-cellular IPdev (N={}):", self.table4.noncellular_dev.n);
+        for (l, p) in self.table4.noncellular_dev.percentages() {
+            let _ = writeln!(o, "  {l:<16} {p:5.1}%");
+        }
+        let _ = writeln!(o, "non-cellular IPcpe (N={}):", self.table4.noncellular_cpe.n);
+        for (l, p) in self.table4.noncellular_cpe.percentages() {
+            let _ = writeln!(o, "  {l:<16} {p:5.1}%");
+        }
+
+        hbar(&mut o, "Fig 5 — Netalyzr non-cellular candidates (cutoff 0.4*N, N>=10)");
+        let pos5 = self.fig5.iter().filter(|p| p.positive).count();
+        let _ = writeln!(
+            o,
+            "{} candidate ASes, {} CGN-positive; cellular detector: {} positive ASes",
+            self.fig5.len(),
+            pos5,
+            self.nz_cellular_positive.len()
+        );
+        for p in self.fig5.iter().filter(|p| p.positive).take(12) {
+            let _ = writeln!(
+                o,
+                "  {}: {} candidate sessions over {} /24s",
+                p.as_id, p.candidate_sessions, p.cpe_slash24s
+            );
+        }
+
+        hbar(&mut o, "Table 5 — coverage and detection rates");
+        let t5 = &self.table5;
+        let _ = writeln!(
+            o,
+            "populations: routed {} | eyeball (PBL) {} | eyeball (APNIC) {}",
+            t5.routed_total, t5.pbl_total, t5.apnic_total
+        );
+        let _ = writeln!(
+            o,
+            "{:<24} {:>18} {:>22} {:>22}",
+            "method", "routed cov/pos", "PBL cov%/pos%", "APNIC cov%/pos%"
+        );
+        for row in &t5.rows {
+            let _ = writeln!(
+                o,
+                "{:<24} {:>8} /{:>7} {:>11.1}%/{:>7.1}% {:>11.1}%/{:>7.1}%",
+                row.method,
+                row.routed.0,
+                row.routed.2,
+                row.pbl.1,
+                row.pbl.3,
+                row.apnic.1,
+                row.apnic.3
+            );
+        }
+
+        hbar(&mut o, "Fig 6 — per-RIR eyeball coverage and CGN penetration");
+        let _ = writeln!(
+            o,
+            "{:<9} {:>10} {:>14} {:>18}",
+            "RIR", "coverage%", "CGN-positive%", "cellular positive%"
+        );
+        for rir in netcore::Rir::ALL {
+            let _ = writeln!(
+                o,
+                "{:<9} {:>9.1}% {:>13.1}% {:>17.1}%",
+                rir.name(),
+                self.fig6.coverage_pct.get(&rir).copied().unwrap_or(0.0),
+                self.fig6.positive_pct.get(&rir).copied().unwrap_or(0.0),
+                self.fig6.cellular_positive_pct.get(&rir).copied().unwrap_or(0.0)
+            );
+        }
+
+        hbar(&mut o, "Fig 7 — internal address space of detected CGNs");
+        let _ = writeln!(o, "non-cellular: {:?}", self.fig7.noncellular);
+        let _ = writeln!(o, "cellular:     {:?}", self.fig7.cellular);
+        let _ = writeln!(o, "routable-internal ASes: {:?}", self.fig7.routable_internal_ases);
+
+        hbar(&mut o, "Fig 8a — source ports seen by the server (bin = 4096)");
+        let _ = writeln!(o, "preserved sessions (OS ephemeral): {}", sparkline(&self.fig8a_preserved));
+        let _ = writeln!(o, "translated sessions (CGN):         {}", sparkline(&self.fig8a_translated));
+
+        hbar(&mut o, "Fig 8b — port preservation per CPE model");
+        let preserving_models = self
+            .fig8b
+            .values()
+            .filter(|(n, p)| *p * 2 > *n)
+            .count();
+        let total_sessions: usize = self.fig8b.values().map(|(n, _)| n).sum();
+        let preserved_sessions: usize = self
+            .fig8b
+            .iter()
+            .filter(|(_, (n, p))| *p * 2 > *n)
+            .map(|(_, (n, _))| n)
+            .sum();
+        let _ = writeln!(
+            o,
+            "{} models, {} predominantly preserving; {:.0}% of sessions behind preserving models (paper: 92%)",
+            self.fig8b.len(),
+            preserving_models,
+            100.0 * preserved_sessions as f64 / total_sessions.max(1) as f64
+        );
+
+        hbar(&mut o, "Fig 8c — chunk-based allocation example");
+        match &self.fig8c {
+            Some(c) => {
+                let _ = writeln!(
+                    o,
+                    "{}: estimated chunk {} ports -> {} subscribers per IP; {} sessions",
+                    c.as_id,
+                    c.estimated_chunk,
+                    65536 / c.estimated_chunk.max(1) as u32,
+                    c.session_ranges.len()
+                );
+                for (lo, hi) in c.session_ranges.iter().take(8) {
+                    let _ = writeln!(o, "  ports [{lo:>5}..{hi:>5}] spread {}", hi - lo);
+                }
+            }
+            None => {
+                let _ = writeln!(o, "(no chunk-allocating AS detected at this scale)");
+            }
+        }
+
+        hbar(&mut o, "Fig 9 / Table 6 — port allocation strategies per CGN AS");
+        let render_mixes = |o: &mut String, label: &str, v: &[(AsId, AsStrategyMix)], t: &Table6| {
+            let pure = v.iter().filter(|(_, m)| m.is_pure()).count();
+            let _ = writeln!(
+                o,
+                "{label}: {} ASes ({} pure); dominant: preservation {:.1}% | sequential {:.1}% | random {:.1}%",
+                t.ases, pure, t.preservation_pct, t.sequential_pct, t.random_pct
+            );
+            let _ = writeln!(o, "  chunked ASes: {:?}", t.chunked);
+        };
+        render_mixes(&mut o, "non-cellular", &self.fig9.noncellular, &self.table6_noncellular);
+        render_mixes(&mut o, "cellular    ", &self.fig9.cellular, &self.table6_cellular);
+        let _ = writeln!(
+            o,
+            "IP pooling: {} of {} CGN ASes show arbitrary pooling ({:.0}%, paper: 21%)",
+            self.pooling.arbitrary_pooling_ases,
+            self.pooling.cgn_ases_observed,
+            100.0 * self.pooling.arbitrary_pooling_ases as f64
+                / self.pooling.cgn_ases_observed.max(1) as f64
+        );
+
+        hbar(&mut o, "Table 7 — TTL-driven enumeration detection rates");
+        for (label, rate) in self.table7.rates() {
+            let _ = writeln!(o, "  {label:<32} {rate:5.1}%");
+        }
+        let _ = writeln!(o, "  (paper: 67.6 / 30.9 / 0.5 / 0.9)");
+
+        hbar(&mut o, "Fig 11 — most distant NAT per AS");
+        for (group, counts) in &self.fig11.per_group {
+            let total: usize = counts.iter().sum();
+            let bars: Vec<String> =
+                counts.iter().map(|c| format!("{:.0}", 100.0 * *c as f64 / total.max(1) as f64)).collect();
+            let _ = writeln!(o, "  {group:<22} hops 1..10+: [{}]%", bars.join(" "));
+        }
+
+        hbar(&mut o, "Fig 12 — UDP mapping timeouts (seconds)");
+        let bp = |s: &Option<analysis::stats::BoxplotStats>| match s {
+            Some(b) => format!(
+                "min {:.0} | q1 {:.0} | median {:.0} | q3 {:.0} | max {:.0} (n={})",
+                b.min, b.q1, b.median, b.q3, b.max, b.n
+            ),
+            None => "(no data)".to_string(),
+        };
+        let _ = writeln!(o, "  cellular CGN (per AS):     {}", bp(&self.fig12.cellular_cgn_per_as));
+        let _ = writeln!(o, "  non-cellular CGN (per AS): {}", bp(&self.fig12.noncellular_cgn_per_as));
+        let _ = writeln!(o, "  CPE (per session):         {}", bp(&self.fig12.cpe_per_session));
+
+        hbar(&mut o, "Fig 13 — STUN mapping types");
+        let dist = |d: &StunDistribution| {
+            d.shares()
+                .iter()
+                .map(|(t, v)| format!("{} {:.0}%", t.name(), 100.0 * v))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        let _ = writeln!(o, "  CPE sessions (13a):        {}", dist(&self.fig13a));
+        let _ = writeln!(o, "  non-cellular CGN ASes:     {}", dist(&self.fig13b.noncellular));
+        let _ = writeln!(o, "  cellular CGN ASes:         {}", dist(&self.fig13b.cellular));
+
+        hbar(&mut o, "IETF compliance of detected CGNs (par. 7)");
+        let cc = &self.compliance;
+        let _ = writeln!(
+            o,
+            "{} of {} detected CGN middleboxes violate at least one requirement",
+            cc.noncompliant, cc.cgn_instances
+        );
+        for (req, n) in &cc.per_requirement {
+            if *n > 0 {
+                let _ = writeln!(o, "  {req:<52} {n:>4}");
+            }
+        }
+
+        hbar(&mut o, "Ground-truth scoring (ablation)");
+        let s = &self.scoring;
+        let _ = writeln!(o, "true CGN ASes (ground truth): {}", s.truth_cgn_ases);
+        let pr = |p: &PrecisionRecall| {
+            format!(
+                "precision {:.2} recall {:.2} f1 {:.2} (tp {} fp {} fn {})",
+                p.precision, p.recall, p.f1, p.true_positives, p.false_positives, p.false_negatives
+            )
+        };
+        let _ = writeln!(o, "  BT paper (5x5 clusters):   {}", pr(&s.bt_paper));
+        let _ = writeln!(o, "  BT any-leak baseline:      {}", pr(&s.bt_any_leak));
+        let _ = writeln!(o, "  BT 2x2-cluster baseline:   {}", pr(&s.bt_low_threshold));
+        let _ = writeln!(o, "  NZ non-cellular paper:     {}", pr(&s.nz_noncellular_paper));
+        let _ = writeln!(o, "  NZ any-mismatch baseline:  {}", pr(&s.nz_any_mismatch));
+        let _ = writeln!(o, "  NZ cellular paper:         {}", pr(&s.nz_cellular_paper));
+        let _ = writeln!(o, "  BT ∪ NZ (paper):           {}", pr(&s.union_paper));
+
+        o
+    }
+}
+
+/// Tiny ASCII sparkline of a histogram.
+fn sparkline(h: &Histogram) -> String {
+    const LEVELS: [char; 8] = ['.', ':', '-', '=', '+', '*', '#', '@'];
+    let max = h.bins.iter().copied().max().unwrap_or(0).max(1);
+    h.bins
+        .iter()
+        .map(|c| {
+            if *c == 0 {
+                ' '
+            } else {
+                LEVELS[((*c as f64 / max as f64) * 7.0).round() as usize]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        let mut h = Histogram::new(10, 100);
+        for v in [5, 5, 5, 5, 95] {
+            h.add(v);
+        }
+        let s = sparkline(&h);
+        assert_eq!(s.chars().next(), Some('@'), "dominant bin at max level");
+        assert!(s.contains(' '), "empty bins blank");
+    }
+}

@@ -1,0 +1,491 @@
+//! Assembling the report: run every analysis over the artifacts.
+
+use crate::pipeline::StudyArtifacts;
+use crate::report::*;
+use analysis::addr_class::{classify_addr, table4, AddrClass};
+use analysis::baseline;
+use analysis::bt_detect::BtDetector;
+use analysis::coverage::{fig6, table5, MethodCoverage, Populations};
+use analysis::distance::{fig11, table7};
+use analysis::graph::LeakGraph;
+use analysis::nz_detect::{NzCellularDetector, NzNonCellularDetector};
+use analysis::obs::SessionObs;
+use analysis::port_alloc::{
+    arbitrary_pooling_ases, fig8a_histograms, fig8b_cpe_preservation, strategy_mix_per_as,
+    table6, ChunkDetector, PortClassifier,
+};
+use analysis::stun_class::{distribution_over_ases, fig13a_cpe_sessions, fig13b_most_permissive_per_as};
+use analysis::timeouts::fig12;
+use netcore::{AsId, ReservedRange};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Run all analyses and build the report.
+pub fn assemble(art: &StudyArtifacts) -> StudyReport {
+    let world = &art.world;
+    let routing = &world.routing;
+    let sessions = &art.sessions;
+
+    // ------------------------------------------------------------------
+    // BitTorrent pipeline (Tables 2/3, Figs 3/4).
+    // ------------------------------------------------------------------
+    let bt_det = BtDetector::default().detect(&art.leaks);
+    let bt_positive = bt_det.positive_ases();
+
+    let as_of = |ip: std::net::Ipv4Addr| routing.origin_of(ip);
+    let queried_ases: BTreeSet<AsId> =
+        art.crawl.queried.iter().filter_map(|(e, _)| as_of(e.ip)).collect();
+    let learned_ases: BTreeSet<AsId> =
+        art.crawl.learned.iter().filter_map(|(e, _)| as_of(e.ip)).collect();
+    let table2 = Table2 {
+        queried_peers: art.crawl.queried.len(),
+        queried_ips: art.crawl.queried_unique_ips(),
+        queried_ases: queried_ases.len(),
+        learned_peers: art.crawl.learned.len(),
+        learned_ips: art.crawl.learned_unique_ips(),
+        learned_ases: learned_ases.len(),
+        responded_peers: art.crawl.ping_responders.len(),
+        queries_sent: art.crawl.queries_sent,
+    };
+
+    let internal_by_range = art.crawl.internal_peers_by_range();
+    let leaking_by_range = art.crawl.leaking_peers_by_range();
+    let table3: Vec<Table3Row> = ReservedRange::ALL
+        .into_iter()
+        .map(|range| {
+            let leaking_ases: BTreeSet<AsId> = art
+                .leaks
+                .iter()
+                .filter(|l| l.range == range)
+                .filter_map(|l| l.leaker_as)
+                .collect();
+            let (int_tot, int_ips) = internal_by_range.get(&range).copied().unwrap_or((0, 0));
+            let (leak_tot, leak_ips) = leaking_by_range.get(&range).copied().unwrap_or((0, 0));
+            Table3Row {
+                range,
+                internal_total: int_tot,
+                internal_ips: int_ips,
+                leaking_total: leak_tot,
+                leaking_ips: leak_ips,
+                leaking_ases: leaking_ases.len(),
+            }
+        })
+        .collect();
+
+    // Fig 3: pick the best isolated (largest leaker count among ASes with
+    // only 1x1 clusters) and clustered (largest positive cluster) examples.
+    let mut fig3_isolated: Option<Fig3Example> = None;
+    let mut fig3_clustered: Option<Fig3Example> = None;
+    for (as_id, a) in &bt_det.per_as {
+        let largest = a
+            .largest_per_range
+            .values()
+            .max_by_key(|c| (c.external_ips, c.internal_ips))
+            .copied()
+            .unwrap_or(analysis::graph::ClusterSummary { external_ips: 0, internal_ips: 0 });
+        let ex = Fig3Example {
+            as_id: *as_id,
+            leakers: a.leaking_ips,
+            internals: a.internal_ips,
+            largest,
+        };
+        if largest.external_ips <= 1 {
+            if fig3_isolated.as_ref().map(|e| e.leakers < ex.leakers).unwrap_or(true) {
+                fig3_isolated = Some(ex);
+            }
+        } else if a.cgn_positive
+            && fig3_clustered
+                .as_ref()
+                .map(|e| e.largest.external_ips < largest.external_ips)
+                .unwrap_or(true)
+        {
+            fig3_clustered = Some(ex);
+        }
+    }
+
+    let fig4: Vec<Fig4Point> = bt_det
+        .per_as
+        .iter()
+        .flat_map(|(as_id, a)| {
+            a.largest_per_range.iter().map(|(range, c)| Fig4Point {
+                as_id: *as_id,
+                range: *range,
+                external_ips: c.external_ips,
+                internal_ips: c.internal_ips,
+                positive: a.positive_ranges.contains(range),
+            })
+        })
+        .collect();
+
+    // ------------------------------------------------------------------
+    // Netalyzr pipeline (Tables 4/7, Figs 5/8/9/11/12/13).
+    // ------------------------------------------------------------------
+    let t4 = table4(sessions, routing);
+    let nz_cell = NzCellularDetector::default().detect(sessions, routing);
+    let nz_noncell = NzNonCellularDetector::default().detect(sessions, routing);
+    let nz_cellular_positive: BTreeSet<AsId> = nz_cell
+        .iter()
+        .filter(|(_, r)| r.cgn_positive)
+        .map(|(a, _)| *a)
+        .collect();
+    let nz_noncellular_positive: BTreeSet<AsId> = nz_noncell
+        .iter()
+        .filter(|(_, r)| r.cgn_positive)
+        .map(|(a, _)| *a)
+        .collect();
+    let fig5: Vec<Fig5Point> = nz_noncell
+        .iter()
+        .filter(|(_, r)| r.candidate_sessions > 0)
+        .map(|(a, r)| Fig5Point {
+            as_id: *a,
+            candidate_sessions: r.candidate_sessions,
+            cpe_slash24s: r.cpe_slash24s,
+            positive: r.cgn_positive,
+        })
+        .collect();
+
+    // ------------------------------------------------------------------
+    // Coverage (Table 5, Fig 6).
+    // ------------------------------------------------------------------
+    let mut queried_per_as: HashMap<AsId, usize> = HashMap::new();
+    for (e, _) in &art.crawl.queried {
+        if let Some(a) = as_of(e.ip) {
+            *queried_per_as.entry(a).or_insert(0) += 1;
+        }
+    }
+    let bt_covered: BTreeSet<AsId> = queried_per_as
+        .iter()
+        .filter(|(_, n)| **n >= art.config.bt_coverage_min_peers)
+        .map(|(a, _)| *a)
+        .collect();
+    let bt_cov = MethodCoverage {
+        covered: bt_covered.union(&bt_positive).copied().collect(),
+        positive: bt_positive.clone(),
+    };
+
+    let nz_nc_covered: BTreeSet<AsId> = sessions
+        .iter()
+        .filter(|s| !s.cellular)
+        .filter_map(|s| s.as_id)
+        .collect();
+    let nz_nc_cov = MethodCoverage {
+        covered: nz_nc_covered.union(&nz_noncellular_positive).copied().collect(),
+        positive: nz_noncellular_positive.clone(),
+    };
+
+    let nz_cell_covered: BTreeSet<AsId> = nz_cell.keys().copied().collect();
+    let nz_cell_cov = MethodCoverage {
+        covered: nz_cell_covered.union(&nz_cellular_positive).copied().collect(),
+        positive: nz_cellular_positive.clone(),
+    };
+
+    let pops = Populations {
+        routed: world.registry.iter().map(|a| a.id).collect(),
+        pbl: world.pbl.iter().copied().collect(),
+        apnic: world.apnic_list.iter().copied().collect(),
+        cellular: world
+            .registry
+            .iter()
+            .filter(|a| a.kind.is_cellular())
+            .map(|a| a.id)
+            .collect(),
+        rir_of: world.registry.iter().map(|a| (a.id, a.rir)).collect(),
+    };
+    let t5 = table5(&bt_cov, &nz_nc_cov, &nz_cell_cov, &pops);
+    let union_cov = bt_cov.union(&nz_nc_cov);
+    let f6 = fig6(&union_cov, &nz_cell_cov, &pops);
+
+    // The union of all positives, for downstream per-AS filters.
+    let all_positive: BTreeSet<AsId> = bt_positive
+        .union(&nz_noncellular_positive)
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .union(&nz_cellular_positive)
+        .copied()
+        .collect();
+    let cellular_set: BTreeSet<AsId> = pops.cellular.clone();
+    let is_cgn = |a: AsId| all_positive.contains(&a);
+    let is_cellular = |a: AsId| cellular_set.contains(&a);
+
+    // ------------------------------------------------------------------
+    // Fig 7 — measured internal address space of detected CGNs.
+    // ------------------------------------------------------------------
+    let mut fig7 = Fig7::default();
+    for a in &all_positive {
+        let mut labels: BTreeSet<String> = BTreeSet::new();
+        // BT evidence.
+        if let Some(analysis) = bt_det.per_as.get(a) {
+            for r in analysis.largest_per_range.keys() {
+                labels.insert(r.shorthand().to_string());
+            }
+        }
+        // Netalyzr evidence: cellular IPdev classes; non-cellular IPcpe
+        // ranges.
+        for s in sessions.iter().filter(|s| s.as_id == Some(*a)) {
+            if s.cellular {
+                match classify_addr(s.ip_dev, s.ip_pub, routing) {
+                    AddrClass::Private(r) => {
+                        labels.insert(r.shorthand().to_string());
+                    }
+                    AddrClass::Unrouted => {
+                        labels.insert("routable (unrouted)".to_string());
+                    }
+                    AddrClass::RoutedMismatch => {
+                        labels.insert("routable (routed)".to_string());
+                    }
+                    AddrClass::RoutedMatch => {}
+                }
+            }
+        }
+        if let Some(r) = nz_noncell.get(a) {
+            for range in &r.ranges {
+                labels.insert(range.shorthand().to_string());
+            }
+        }
+        if labels.is_empty() {
+            continue;
+        }
+        let key = if labels.len() > 1 { "multiple".to_string() } else { labels.iter().next().expect("nonempty").clone() };
+        let bucket = if is_cellular(*a) { &mut fig7.cellular } else { &mut fig7.noncellular };
+        *bucket.entry(key).or_insert(0) += 1;
+        for l in &labels {
+            if l.starts_with("routable") {
+                fig7.routable_internal_ases.push((*a, l.clone()));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Port allocation (Figs 8/9, Table 6) + pooling.
+    // ------------------------------------------------------------------
+    let classifier = PortClassifier::default();
+    let (fig8a_preserved, fig8a_translated) = fig8a_histograms(sessions, &classifier, 4096);
+    let fig8b = fig8b_cpe_preservation(sessions, &classifier, is_cgn);
+
+    let noncell_sessions: Vec<SessionObs> =
+        sessions.iter().filter(|s| !s.cellular).cloned().collect();
+    let cell_sessions: Vec<SessionObs> =
+        sessions.iter().filter(|s| s.cellular).cloned().collect();
+    let mixes_noncell = strategy_mix_per_as(&noncell_sessions, &classifier, is_cgn);
+    let mixes_cell = strategy_mix_per_as(&cell_sessions, &classifier, is_cgn);
+
+    let chunks_noncell = ChunkDetector::default().detect(&noncell_sessions, &classifier, is_cgn);
+    let chunks_cell = ChunkDetector::default().detect(&cell_sessions, &classifier, is_cgn);
+    let t6_noncell = table6(&mixes_noncell, &chunks_noncell);
+    let t6_cell = table6(&mixes_cell, &chunks_cell);
+
+    // Fig 8c: showcase the chunked AS with the most sessions.
+    let fig8c = chunks_noncell
+        .iter()
+        .chain(chunks_cell.iter())
+        .map(|(a, c)| {
+            let ranges: Vec<(u16, u16)> = sessions
+                .iter()
+                .filter(|s| s.as_id == Some(*a))
+                .filter_map(|s| {
+                    let ports: Vec<u16> = s.observed_flows().map(|(_, o)| o.port).collect();
+                    if ports.len() < 4 {
+                        return None;
+                    }
+                    Some((
+                        *ports.iter().min().expect("nonempty"),
+                        *ports.iter().max().expect("nonempty"),
+                    ))
+                })
+                .collect();
+            (*a, *c, ranges)
+        })
+        .max_by_key(|(_, _, r)| r.len())
+        .map(|(as_id, estimated_chunk, session_ranges)| Fig8c {
+            as_id,
+            estimated_chunk,
+            session_ranges,
+        });
+
+    let sort_mixes = |m: &BTreeMap<AsId, analysis::port_alloc::AsStrategyMix>| {
+        let mut v: Vec<(AsId, analysis::port_alloc::AsStrategyMix)> =
+            m.iter().map(|(a, x)| (*a, x.clone())).collect();
+        v.sort_by_key(|(a, m)| (!m.is_pure(), a.0));
+        v
+    };
+    let fig9 = Fig9 {
+        noncellular: sort_mixes(&mixes_noncell),
+        cellular: sort_mixes(&mixes_cell),
+    };
+
+    let pooling_map = arbitrary_pooling_ases(sessions, is_cgn, 0.6);
+    let pooling = PoolingSummary {
+        cgn_ases_observed: pooling_map.len(),
+        arbitrary_pooling_ases: pooling_map.values().filter(|v| **v).count(),
+    };
+
+    // ------------------------------------------------------------------
+    // Topology & timeouts (Table 7, Figs 11/12) and STUN (Fig 13).
+    // ------------------------------------------------------------------
+    let t7 = table7(sessions);
+    let f11 = fig11(sessions, is_cgn);
+    let f12 = fig12(
+        sessions,
+        |a| is_cellular(a) && is_cgn(a),
+        |a| !is_cellular(a) && is_cgn(a),
+    );
+    let f13a = fig13a_cpe_sessions(sessions, is_cgn);
+    let f13b_cell = fig13b_most_permissive_per_as(&cell_sessions, |a| is_cgn(a) && is_cellular(a));
+    let f13b_noncell =
+        fig13b_most_permissive_per_as(&noncell_sessions, |a| is_cgn(a) && !is_cellular(a));
+
+    // ------------------------------------------------------------------
+    // Ground-truth scoring (ablation).
+    // ------------------------------------------------------------------
+    let truth: BTreeSet<AsId> = world
+        .deployments
+        .iter()
+        .filter(|d| d.has_cgn())
+        .map(|d| d.info.id)
+        .collect();
+    let nz_nc_universe: BTreeSet<AsId> = nz_noncell.keys().copied().collect();
+    let union_detected: BTreeSet<AsId> = all_positive.clone();
+    let union_universe: BTreeSet<AsId> =
+        bt_cov.covered.union(&nz_nc_cov.covered).copied().collect::<BTreeSet<_>>()
+            .union(&nz_cell_cov.covered)
+            .copied()
+            .collect();
+    let scoring = Scoring {
+        truth_cgn_ases: truth.len(),
+        bt_paper: baseline::score(&bt_positive, &truth, &bt_cov.covered),
+        bt_any_leak: baseline::score(&baseline::bt_any_leak(&art.leaks), &truth, &bt_cov.covered),
+        bt_low_threshold: baseline::score(
+            &baseline::bt_low_threshold(&art.leaks),
+            &truth,
+            &bt_cov.covered,
+        ),
+        nz_noncellular_paper: baseline::score(&nz_noncellular_positive, &truth, &nz_nc_universe),
+        nz_any_mismatch: baseline::score(
+            &baseline::nz_any_mismatch(sessions),
+            &truth,
+            &nz_nc_universe,
+        ),
+        nz_cellular_paper: baseline::score(&nz_cellular_positive, &truth, &nz_cell_cov.covered),
+        union_paper: baseline::score(&union_detected, &truth, &union_universe),
+    };
+
+    // ------------------------------------------------------------------
+    // IETF compliance census over detected CGNs (§7).
+    // ------------------------------------------------------------------
+    let detected_configs: Vec<nat_engine::NatConfig> = world
+        .deployments
+        .iter()
+        .filter(|d| all_positive.contains(&d.info.id))
+        .flat_map(|d| d.cgn_instances.iter())
+        .map(|ci| world.net.nat(ci.nat_node).config().clone())
+        .collect();
+    let (cgn_instances, noncompliant, counts) =
+        nat_engine::compliance::violation_census(detected_configs.iter());
+    let compliance = ComplianceCensus {
+        cgn_instances,
+        noncompliant,
+        per_requirement: counts
+            .into_iter()
+            .map(|(r, n)| (r.label().to_string(), n))
+            .collect(),
+    };
+
+    // ------------------------------------------------------------------
+    // Survey & meta.
+    // ------------------------------------------------------------------
+    let fig1 = Fig1 {
+        respondents: art.survey.len(),
+        cgn: art.survey.cgn_shares(),
+        ipv6: art.survey.ipv6_shares(),
+        scarcity_share: art.survey.scarcity_share(),
+        max_subs_per_address: art.survey.max_subs_per_address(),
+    };
+
+    let meta = Meta {
+        seed: art.config.seed,
+        routed_ases: world.registry.len(),
+        eyeball_ases: world.registry.eyeballs().count(),
+        cellular_ases: world.registry.cellular().count(),
+        subscribers: world.subscribers.len(),
+        dht_peers: art.dht_peer_count,
+        sessions: sessions.len(),
+        ttl_sessions: sessions.iter().filter(|s| s.ttl.is_some()).count(),
+        stun_sessions: sessions.iter().filter(|s| s.stun_nat.is_some()).count(),
+    };
+
+    // Consistency guard: leak graphs per AS never contradict the raw
+    // crawl (every positive AS has leakage).
+    for a in &bt_positive {
+        debug_assert!(
+            art.leaks.iter().any(|l| l.leaker_as == Some(*a)),
+            "positive AS {a} without leak records"
+        );
+    }
+    let _ = LeakGraph::new(); // keep the import obviously used in release
+
+    StudyReport {
+        meta,
+        fig1,
+        table2,
+        table3,
+        fig3_isolated,
+        fig3_clustered,
+        fig4,
+        bt_positive,
+        calibration: art.calibration,
+        table4: t4,
+        fig5,
+        nz_noncellular_positive,
+        nz_cellular_positive,
+        table5: t5,
+        fig6: f6,
+        fig7,
+        fig8a_preserved,
+        fig8a_translated,
+        fig8b,
+        fig8c,
+        fig9,
+        table6_noncellular: t6_noncell,
+        table6_cellular: t6_cell,
+        pooling,
+        table7: t7,
+        fig11: f11,
+        fig12: f12,
+        fig13a: f13a,
+        fig13b: Fig13b {
+            cellular: distribution_over_ases(&f13b_cell),
+            noncellular: distribution_over_ases(&f13b_noncell),
+        },
+        scoring,
+        compliance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StudyConfig;
+    use crate::pipeline::measure;
+
+    #[test]
+    fn tiny_study_assembles_full_report() {
+        let art = measure(StudyConfig::tiny(3));
+        let report = assemble(&art);
+        // Every section renders.
+        let text = report.render();
+        assert!(text.contains("Table 5"));
+        assert!(text.contains("Fig 12"));
+        assert!(text.contains("Ground-truth scoring"));
+        // Meta matches artifacts.
+        assert_eq!(report.meta.sessions, art.sessions.len());
+        assert!(report.meta.routed_ases > report.meta.eyeball_ases);
+        // Table 5 population sanity.
+        assert_eq!(report.table5.pbl_total, art.world.pbl.len());
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let r1 = assemble(&measure(StudyConfig::tiny(5))).render();
+        let r2 = assemble(&measure(StudyConfig::tiny(5))).render();
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,292 @@
+//! NAT behaviour configuration.
+
+use netcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Mapping (re-)use behaviour, RFC 4787 §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MappingBehavior {
+    /// One mapping per internal endpoint, reused for every destination
+    /// (the IETF-required behaviour; all "cone" NATs).
+    EndpointIndependent,
+    /// New mapping per destination IP.
+    AddressDependent,
+    /// New mapping per destination endpoint — the paper's *symmetric* NAT.
+    AddressAndPortDependent,
+}
+
+/// Inbound filtering behaviour, RFC 4787 §5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilteringBehavior {
+    /// Any external host may send to an established mapping (*full cone*).
+    EndpointIndependent,
+    /// Only previously-contacted IPs (*address restricted*).
+    AddressDependent,
+    /// Only previously-contacted IP:port endpoints (*port-address
+    /// restricted*).
+    AddressAndPortDependent,
+}
+
+/// External-port selection strategy (§3 "Port Allocation", §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortAllocation {
+    /// Try to keep `portext == portint`; fall back to sequential search on
+    /// collision.
+    Preserve,
+    /// Strictly increasing allocation from the bottom of the port range.
+    Sequential,
+    /// Uniformly random free port.
+    Random,
+    /// Each internal host gets a fixed block of `chunk_size` ports; ports
+    /// are drawn randomly inside the block (Fig. 8c; Cisco StarOS-style
+    /// "NAT port chunks").
+    RandomChunk {
+        /// Ports per subscriber block. The paper observes 512..16K.
+        chunk_size: u16,
+    },
+}
+
+/// External-IP selection for NATs with multiple public addresses (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pooling {
+    /// A given internal IP always maps to the same external IP.
+    Paired,
+    /// Any external IP may be used for any new mapping (discouraged by the
+    /// IETF; observed in 21% of detected CGNs, §6.2).
+    Arbitrary,
+}
+
+/// The classic STUN (RFC 3489) NAT taxonomy used in §6.5 / Fig. 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum StunNatType {
+    /// Most restrictive: mapping depends on the destination.
+    Symmetric,
+    PortAddressRestricted,
+    AddressRestricted,
+    /// Most permissive.
+    FullCone,
+}
+
+impl StunNatType {
+    /// Paper ordering from most restrictive to most permissive.
+    pub const ORDERED: [StunNatType; 4] = [
+        StunNatType::Symmetric,
+        StunNatType::PortAddressRestricted,
+        StunNatType::AddressRestricted,
+        StunNatType::FullCone,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            StunNatType::Symmetric => "symmetric",
+            StunNatType::PortAddressRestricted => "port-address restricted",
+            StunNatType::AddressRestricted => "address restricted",
+            StunNatType::FullCone => "full cone",
+        }
+    }
+
+    /// The *most restrictive* of two cascaded NATs dominates what STUN (and
+    /// NAT traversal) observes end to end (§6.5: "when multiple NAT devices
+    /// reside on the path, STUN reports the most restrictive behavior").
+    pub fn combine_cascade(self, other: StunNatType) -> StunNatType {
+        self.min(other)
+    }
+}
+
+/// Full behavioural configuration of one NAT device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NatConfig {
+    pub mapping: MappingBehavior,
+    pub filtering: FilteringBehavior,
+    pub port_alloc: PortAllocation,
+    pub pooling: Pooling,
+    /// Idle timeout for UDP mappings. RFC 4787 recommends ≥ 120 s; the
+    /// paper measures 10–200 s in deployed CGNs (Fig. 12).
+    pub udp_timeout: SimDuration,
+    /// Idle timeout for established TCP connections (RFC 5382 recommends
+    /// ≥ 2 h 4 min).
+    pub tcp_established_timeout: SimDuration,
+    /// Timeout for half-open / closing TCP connections.
+    pub tcp_transitory_timeout: SimDuration,
+    /// Whether internal→external-pool traffic is looped back (§3).
+    pub hairpinning: bool,
+    /// If hairpinning, whether the internal source endpoint is left in
+    /// place (the internal-endpoint leak mechanism of §4.1).
+    pub hairpin_internal_source: bool,
+    /// Whether inbound packets refresh the mapping timer (common, but not
+    /// universal; RFC 4787 REQ-6 only mandates outbound refresh).
+    pub refresh_inbound: bool,
+    /// External port range available to the allocator.
+    pub port_range: (u16, u16),
+    /// Optional cap on concurrent mappings per internal host (operators
+    /// report limits as low as 512 sessions per customer, §2).
+    pub max_sessions_per_host: Option<u32>,
+    /// Stateful firewall mode: keep per-flow state and filter inbound
+    /// packets, but do **not** translate addresses. The paper's TTL-driven
+    /// enumeration cannot distinguish these from NATs by state expiry
+    /// alone (§6.3, Table 7: 0.5% of sessions show a stateful middlebox
+    /// without an address mismatch).
+    pub transparent: bool,
+}
+
+impl NatConfig {
+    /// Classify this configuration in the classic STUN taxonomy.
+    pub fn stun_type(&self) -> StunNatType {
+        if self.mapping != MappingBehavior::EndpointIndependent {
+            return StunNatType::Symmetric;
+        }
+        match self.filtering {
+            FilteringBehavior::EndpointIndependent => StunNatType::FullCone,
+            FilteringBehavior::AddressDependent => StunNatType::AddressRestricted,
+            FilteringBehavior::AddressAndPortDependent => StunNatType::PortAddressRestricted,
+        }
+    }
+
+    /// A typical home CPE NAT: port preserving, port-restricted cone,
+    /// hairpinning without source rewrite (uTorrent/Transmission learn
+    /// internal endpoints through exactly this, §4.1 calibration), 65 s UDP
+    /// timeout (the paper's dominant CPE value, Fig. 12).
+    pub fn home_cpe() -> NatConfig {
+        NatConfig {
+            mapping: MappingBehavior::EndpointIndependent,
+            filtering: FilteringBehavior::AddressAndPortDependent,
+            port_alloc: PortAllocation::Preserve,
+            pooling: Pooling::Paired,
+            udp_timeout: SimDuration::from_secs(65),
+            tcp_established_timeout: SimDuration::from_secs(2 * 3600),
+            tcp_transitory_timeout: SimDuration::from_secs(240),
+            hairpinning: true,
+            hairpin_internal_source: true,
+            refresh_inbound: true,
+            port_range: (1024, 65535),
+            max_sessions_per_host: None,
+            transparent: false,
+        }
+    }
+
+    /// A baseline carrier-grade NAT: endpoint-independent mapping with
+    /// port-restricted filtering, random allocation over the full port
+    /// space, paired pooling, 60 s UDP timeout.
+    pub fn cgn_default() -> NatConfig {
+        NatConfig {
+            mapping: MappingBehavior::EndpointIndependent,
+            filtering: FilteringBehavior::AddressAndPortDependent,
+            port_alloc: PortAllocation::Random,
+            pooling: Pooling::Paired,
+            udp_timeout: SimDuration::from_secs(60),
+            tcp_established_timeout: SimDuration::from_secs(2 * 3600),
+            tcp_transitory_timeout: SimDuration::from_secs(240),
+            hairpinning: true,
+            hairpin_internal_source: true,
+            refresh_inbound: true,
+            port_range: (1024, 65535),
+            max_sessions_per_host: Some(4096),
+            transparent: false,
+        }
+    }
+
+    /// A stateful firewall: per-flow state with port-restricted filtering
+    /// but no address translation. Install with the protected hosts'
+    /// public addresses as the "pool".
+    pub fn stateful_firewall() -> NatConfig {
+        NatConfig {
+            mapping: MappingBehavior::EndpointIndependent,
+            filtering: FilteringBehavior::AddressAndPortDependent,
+            port_alloc: PortAllocation::Preserve,
+            pooling: Pooling::Paired,
+            udp_timeout: SimDuration::from_secs(60),
+            tcp_established_timeout: SimDuration::from_secs(2 * 3600),
+            tcp_transitory_timeout: SimDuration::from_secs(240),
+            hairpinning: false,
+            hairpin_internal_source: false,
+            refresh_inbound: true,
+            port_range: (1, 65535),
+            max_sessions_per_host: None,
+            transparent: true,
+        }
+    }
+
+    /// A restrictive cellular CGN: symmetric mapping (observed for 40% of
+    /// cellular CGN ASes, Fig. 13b) with per-subscriber port chunks.
+    pub fn cgn_symmetric_cellular() -> NatConfig {
+        NatConfig {
+            mapping: MappingBehavior::AddressAndPortDependent,
+            filtering: FilteringBehavior::AddressAndPortDependent,
+            port_alloc: PortAllocation::RandomChunk { chunk_size: 2048 },
+            pooling: Pooling::Paired,
+            udp_timeout: SimDuration::from_secs(65),
+            tcp_established_timeout: SimDuration::from_secs(3600),
+            tcp_transitory_timeout: SimDuration::from_secs(120),
+            hairpinning: false,
+            hairpin_internal_source: false,
+            refresh_inbound: true,
+            port_range: (1024, 65535),
+            max_sessions_per_host: Some(512),
+            transparent: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stun_classification_matrix() {
+        let mut c = NatConfig::home_cpe();
+        c.mapping = MappingBehavior::EndpointIndependent;
+        c.filtering = FilteringBehavior::EndpointIndependent;
+        assert_eq!(c.stun_type(), StunNatType::FullCone);
+        c.filtering = FilteringBehavior::AddressDependent;
+        assert_eq!(c.stun_type(), StunNatType::AddressRestricted);
+        c.filtering = FilteringBehavior::AddressAndPortDependent;
+        assert_eq!(c.stun_type(), StunNatType::PortAddressRestricted);
+        // Any destination-dependent mapping is symmetric regardless of
+        // filtering.
+        c.mapping = MappingBehavior::AddressDependent;
+        c.filtering = FilteringBehavior::EndpointIndependent;
+        assert_eq!(c.stun_type(), StunNatType::Symmetric);
+        c.mapping = MappingBehavior::AddressAndPortDependent;
+        assert_eq!(c.stun_type(), StunNatType::Symmetric);
+    }
+
+    #[test]
+    fn cascade_takes_most_restrictive() {
+        use StunNatType::*;
+        assert_eq!(FullCone.combine_cascade(Symmetric), Symmetric);
+        assert_eq!(PortAddressRestricted.combine_cascade(AddressRestricted), PortAddressRestricted);
+        assert_eq!(FullCone.combine_cascade(FullCone), FullCone);
+    }
+
+    #[test]
+    fn restrictiveness_ordering() {
+        use StunNatType::*;
+        assert!(Symmetric < PortAddressRestricted);
+        assert!(PortAddressRestricted < AddressRestricted);
+        assert!(AddressRestricted < FullCone);
+        assert_eq!(StunNatType::ORDERED[0], Symmetric);
+        assert_eq!(StunNatType::ORDERED[3], FullCone);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let cpe = NatConfig::home_cpe();
+        assert_eq!(cpe.stun_type(), StunNatType::PortAddressRestricted);
+        assert!(cpe.hairpinning && cpe.hairpin_internal_source);
+        assert!(cpe.max_sessions_per_host.is_none());
+
+        let cgn = NatConfig::cgn_default();
+        assert_eq!(cgn.udp_timeout.as_secs(), 60);
+        assert!(cgn.max_sessions_per_host.is_some());
+
+        let cell = NatConfig::cgn_symmetric_cellular();
+        assert_eq!(cell.stun_type(), StunNatType::Symmetric);
+        assert_eq!(cell.max_sessions_per_host, Some(512));
+    }
+
+    #[test]
+    fn stun_type_names() {
+        assert_eq!(StunNatType::Symmetric.name(), "symmetric");
+        assert_eq!(StunNatType::FullCone.name(), "full cone");
+    }
+}

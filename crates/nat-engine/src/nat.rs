@@ -1,0 +1,992 @@
+//! The NAT device: translation state machine.
+//!
+//! A [`Nat`] owns a pool of external IPs, per-IP port allocators and a table
+//! of [`Mapping`]s with idle timeouts. The two entry points mirror how the
+//! simulator hands packets to an on-path middlebox:
+//!
+//! * [`Nat::process_outbound`] — packet travelling from the internal realm
+//!   toward the core;
+//! * [`Nat::process_inbound`] — packet arriving at one of the NAT's
+//!   external addresses.
+//!
+//! Both return a [`NatVerdict`]: forward the translated packet, loop it back
+//! into the internal realm (hairpinning), or drop it with a reason that the
+//! stats record — the observable that the paper's measurements build on.
+
+use crate::config::{FilteringBehavior, MappingBehavior, NatConfig, Pooling, StunNatType};
+use crate::ports::{PortAllocator, PortError};
+use netcore::{Endpoint, Packet, PacketBody, Protocol, SimDuration, SimTime, TcpFlags};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Lifecycle of a tracked TCP connection (simplified RFC 5382 view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TcpConnState {
+    /// SYN seen, handshake incomplete — transitory timeout applies.
+    Transitory,
+    /// Handshake completed — long established timeout applies.
+    Established,
+    /// FIN or RST seen — transitory timeout applies again.
+    Closing,
+}
+
+/// One translation table entry.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    pub proto: Protocol,
+    /// The subscriber-side endpoint (`IPint:portint`).
+    pub internal: Endpoint,
+    /// The public-side endpoint (`IPext:portext`).
+    pub external: Endpoint,
+    /// Destination endpoints contacted through this mapping — the filter
+    /// state for restricted NATs.
+    pub contacted: HashSet<Endpoint>,
+    pub created: SimTime,
+    pub last_refresh: SimTime,
+    pub expiry: SimTime,
+    tcp: Option<TcpConnState>,
+}
+
+impl Mapping {
+    pub fn expired(&self, now: SimTime) -> bool {
+        self.expiry <= now
+    }
+
+    /// Remaining idle budget at `now` (zero if expired).
+    pub fn remaining(&self, now: SimTime) -> SimDuration {
+        self.expiry.saturating_since(now)
+    }
+}
+
+/// Outcome of processing one packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NatVerdict {
+    /// Translated; continue along the path (outbound: toward the core,
+    /// inbound: into the internal realm).
+    Forward(Packet),
+    /// Outbound packet addressed to this NAT's own pool was looped back;
+    /// deliver to the internal destination in `Packet::dst`.
+    Hairpin(Packet),
+    /// Dropped.
+    Drop(DropReason),
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Inbound packet without a matching mapping (or the mapping idled out
+    /// — exactly what the TTL-driven enumeration test detects).
+    NoMapping,
+    /// Inbound packet rejected by the filtering policy.
+    Filtered,
+    /// External port space exhausted.
+    PortExhausted,
+    /// Per-subscriber session limit reached (§2: operators report limits
+    /// down to 512 sessions per customer).
+    SessionLimit,
+    /// Hairpinning disabled but the packet targeted the external pool.
+    NoHairpin,
+    /// ICMP error that could not be matched to a flow.
+    UnmatchedIcmp,
+}
+
+/// Observable counters.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct NatStats {
+    pub out_packets: u64,
+    pub in_packets: u64,
+    pub hairpins: u64,
+    pub mappings_created: u64,
+    pub mappings_expired: u64,
+    pub drops: u64,
+    pub drop_no_mapping: u64,
+    pub drop_filtered: u64,
+    pub drop_port_exhausted: u64,
+    pub drop_session_limit: u64,
+    pub drop_no_hairpin: u64,
+    pub drop_unmatched_icmp: u64,
+}
+
+impl NatStats {
+    fn record_drop(&mut self, r: DropReason) {
+        self.drops += 1;
+        match r {
+            DropReason::NoMapping => self.drop_no_mapping += 1,
+            DropReason::Filtered => self.drop_filtered += 1,
+            DropReason::PortExhausted => self.drop_port_exhausted += 1,
+            DropReason::SessionLimit => self.drop_session_limit += 1,
+            DropReason::NoHairpin => self.drop_no_hairpin += 1,
+            DropReason::UnmatchedIcmp => self.drop_unmatched_icmp += 1,
+        }
+    }
+}
+
+/// Key for outbound mapping reuse, shaped by the mapping behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OutKey {
+    /// Endpoint-independent: keyed by internal endpoint only.
+    Eim(Protocol, Endpoint),
+    /// Address-dependent: plus destination IP.
+    Adm(Protocol, Endpoint, Ipv4Addr),
+    /// Address-and-port-dependent (symmetric): plus destination endpoint.
+    Apdm(Protocol, Endpoint, Endpoint),
+}
+
+/// A NAT device instance.
+#[derive(Debug)]
+pub struct Nat {
+    config: NatConfig,
+    external_ips: Vec<Ipv4Addr>,
+    rng: StdRng,
+    allocators: HashMap<(Ipv4Addr, Protocol), PortAllocator>,
+    mappings: HashMap<u64, Mapping>,
+    out_index: HashMap<OutKey, u64>,
+    ext_index: HashMap<(Protocol, Endpoint), u64>,
+    /// Sticky internal-host → external-IP assignment for paired pooling.
+    paired: HashMap<Ipv4Addr, Ipv4Addr>,
+    sessions_per_host: HashMap<Ipv4Addr, u32>,
+    /// Reverse index for expiry cleanup.
+    keys_by_id: HashMap<u64, OutKey>,
+    next_id: u64,
+    stats: NatStats,
+}
+
+impl Nat {
+    /// Create a NAT with the given behaviour, external address pool and RNG
+    /// seed (the engine is deterministic given the seed).
+    ///
+    /// Panics if `external_ips` is empty.
+    pub fn new(config: NatConfig, external_ips: Vec<Ipv4Addr>, seed: u64) -> Self {
+        assert!(!external_ips.is_empty(), "NAT needs at least one external IP");
+        Nat {
+            config,
+            external_ips,
+            rng: StdRng::seed_from_u64(seed),
+            allocators: HashMap::new(),
+            mappings: HashMap::new(),
+            out_index: HashMap::new(),
+            ext_index: HashMap::new(),
+            paired: HashMap::new(),
+            sessions_per_host: HashMap::new(),
+            keys_by_id: HashMap::new(),
+            next_id: 0,
+            stats: NatStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &NatConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> &NatStats {
+        &self.stats
+    }
+
+    pub fn external_ips(&self) -> &[Ipv4Addr] {
+        &self.external_ips
+    }
+
+    /// Whether `ip` belongs to this NAT's external pool.
+    pub fn is_external_ip(&self, ip: Ipv4Addr) -> bool {
+        self.external_ips.contains(&ip)
+    }
+
+    /// The STUN taxonomy class of this device.
+    pub fn stun_type(&self) -> StunNatType {
+        self.config.stun_type()
+    }
+
+    /// Number of live (possibly stale-but-unswept) mappings.
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Current external endpoint for an internal endpoint, if an unexpired
+    /// endpoint-independent-style view exists. Test/diagnostic helper: for
+    /// symmetric NATs there may be several; this returns any one.
+    pub fn external_for(&self, proto: Protocol, internal: Endpoint, now: SimTime) -> Option<Endpoint> {
+        self.mappings
+            .values()
+            .find(|m| m.proto == proto && m.internal == internal && !m.expired(now))
+            .map(|m| m.external)
+    }
+
+    /// Remove all mappings whose idle timer has run out.
+    pub fn sweep(&mut self, now: SimTime) {
+        let dead: Vec<u64> = self
+            .mappings
+            .iter()
+            .filter(|(_, m)| m.expired(now))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            self.remove_mapping(id);
+            self.stats.mappings_expired += 1;
+        }
+    }
+
+    fn remove_mapping(&mut self, id: u64) {
+        if let Some(m) = self.mappings.remove(&id) {
+            self.ext_index.remove(&(m.proto, m.external));
+            if let Some(k) = self.keys_by_id.remove(&id) {
+                self.out_index.remove(&k);
+            }
+            if let Some(a) = self.allocators.get_mut(&(m.external.ip, m.proto)) {
+                a.release(m.external.port);
+            }
+            if let Some(c) = self.sessions_per_host.get_mut(&m.internal.ip) {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+
+    fn timeout_for(&self, proto: Protocol, tcp: Option<TcpConnState>) -> SimDuration {
+        match proto {
+            Protocol::Udp => self.config.udp_timeout,
+            Protocol::Tcp => match tcp {
+                Some(TcpConnState::Established) => self.config.tcp_established_timeout,
+                _ => self.config.tcp_transitory_timeout,
+            },
+        }
+    }
+
+    fn out_key(&self, proto: Protocol, internal: Endpoint, dst: Endpoint) -> OutKey {
+        match self.config.mapping {
+            MappingBehavior::EndpointIndependent => OutKey::Eim(proto, internal),
+            MappingBehavior::AddressDependent => OutKey::Adm(proto, internal, dst.ip),
+            MappingBehavior::AddressAndPortDependent => OutKey::Apdm(proto, internal, dst),
+        }
+    }
+
+    fn pick_external_ip(&mut self, internal_host: Ipv4Addr) -> Ipv4Addr {
+        match self.config.pooling {
+            Pooling::Paired => {
+                if let Some(ip) = self.paired.get(&internal_host) {
+                    return *ip;
+                }
+                let idx = self.rng.gen_range(0..self.external_ips.len());
+                let ip = self.external_ips[idx];
+                self.paired.insert(internal_host, ip);
+                ip
+            }
+            Pooling::Arbitrary => {
+                let idx = self.rng.gen_range(0..self.external_ips.len());
+                self.external_ips[idx]
+            }
+        }
+    }
+
+    fn tcp_update(state: Option<TcpConnState>, flags: TcpFlags, from_inside: bool) -> Option<TcpConnState> {
+        let _ = from_inside;
+        Some(match (state, flags) {
+            (_, f) if f.rst || f.fin => TcpConnState::Closing,
+            (None, f) if f.syn && !f.ack => TcpConnState::Transitory,
+            (Some(TcpConnState::Transitory), f) if f.ack => TcpConnState::Established,
+            (Some(s), _) => s,
+            (None, _) => TcpConnState::Transitory,
+        })
+    }
+
+    /// Process a packet leaving the internal realm.
+    pub fn process_outbound(&mut self, pkt: Packet, now: SimTime) -> NatVerdict {
+        self.stats.out_packets += 1;
+        let (proto, flags) = match &pkt.body {
+            PacketBody::Udp { .. } => (Protocol::Udp, None),
+            PacketBody::Tcp { flags, .. } => (Protocol::Tcp, Some(*flags)),
+            PacketBody::Icmp { .. } => {
+                // Router-originated ICMP (e.g. TTL exceeded inside the
+                // access network) passes unmodified: the classic
+                // "private IP in traceroute" artifact.
+                return NatVerdict::Forward(pkt);
+            }
+        };
+
+        let internal = pkt.src;
+        let dst = pkt.dst;
+        let key = self.out_key(proto, internal, dst);
+
+        // Reuse an existing mapping if present and fresh.
+        let id = match self.out_index.get(&key) {
+            Some(id) if !self.mappings[id].expired(now) => Some(*id),
+            Some(id) => {
+                let id = *id;
+                self.remove_mapping(id);
+                self.stats.mappings_expired += 1;
+                None
+            }
+            None => None,
+        };
+
+        let id = match id {
+            Some(id) => id,
+            None => match self.create_mapping(key, proto, internal, now) {
+                Ok(id) => id,
+                Err(reason) => {
+                    self.stats.record_drop(reason);
+                    return NatVerdict::Drop(reason);
+                }
+            },
+        };
+
+        // Refresh + filter state + TCP tracking.
+        let external;
+        {
+            let m = self.mappings.get_mut(&id).expect("mapping just ensured");
+            m.contacted.insert(dst);
+            if let Some(f) = flags {
+                m.tcp = Self::tcp_update(m.tcp, f, true);
+            }
+            m.last_refresh = now;
+            let t = match proto {
+                Protocol::Udp => self.config.udp_timeout,
+                Protocol::Tcp => match m.tcp {
+                    Some(TcpConnState::Established) => self.config.tcp_established_timeout,
+                    _ => self.config.tcp_transitory_timeout,
+                },
+            };
+            m.expiry = now + t;
+            external = m.external;
+        }
+
+        let mut out = pkt;
+        out.src = external;
+
+        if self.is_external_ip(dst.ip) {
+            return self.hairpin(out, internal, now);
+        }
+        NatVerdict::Forward(out)
+    }
+
+    fn create_mapping(
+        &mut self,
+        key: OutKey,
+        proto: Protocol,
+        internal: Endpoint,
+        now: SimTime,
+    ) -> Result<u64, DropReason> {
+        if let Some(cap) = self.config.max_sessions_per_host {
+            let used = self.sessions_per_host.get(&internal.ip).copied().unwrap_or(0);
+            if used >= cap {
+                return Err(DropReason::SessionLimit);
+            }
+        }
+        let external = if self.config.transparent {
+            // Stateful firewall: state is kept, addresses are not touched.
+            internal
+        } else {
+            let ext_ip = self.pick_external_ip(internal.ip);
+            let strategy = self.config.port_alloc;
+            let range = self.config.port_range;
+            let alloc = self
+                .allocators
+                .entry((ext_ip, proto))
+                .or_insert_with(|| PortAllocator::new(strategy, range));
+            let port = alloc
+                .allocate(internal.ip, internal.port, proto, &mut self.rng)
+                .map_err(|e| match e {
+                    PortError::Exhausted | PortError::ChunkFull | PortError::NoFreeChunk => {
+                        DropReason::PortExhausted
+                    }
+                })?;
+            Endpoint::new(ext_ip, port)
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let timeout = self.timeout_for(proto, None);
+        let m = Mapping {
+            proto,
+            internal,
+            external,
+            contacted: HashSet::new(),
+            created: now,
+            last_refresh: now,
+            expiry: now + timeout,
+            tcp: None,
+        };
+        self.mappings.insert(id, m);
+        self.out_index.insert(key, id);
+        self.keys_by_id.insert(id, key);
+        self.ext_index.insert((proto, external), id);
+        *self.sessions_per_host.entry(internal.ip).or_insert(0) += 1;
+        self.stats.mappings_created += 1;
+        Ok(id)
+    }
+
+    fn hairpin(&mut self, translated: Packet, original_src: Endpoint, now: SimTime) -> NatVerdict {
+        if !self.config.hairpinning {
+            self.stats.record_drop(DropReason::NoHairpin);
+            return NatVerdict::Drop(DropReason::NoHairpin);
+        }
+        // `translated` already has its source rewritten to the external
+        // endpoint; its destination is one of our pool addresses. Find the
+        // target mapping, apply the target's filtering policy against the
+        // (translated) source, then deliver internally. If the NAT is
+        // configured to leave the internal source in place — the leak
+        // mechanism of §4.1 — the delivered packet carries `original_src`.
+        let proto = translated.protocol().expect("hairpin only for UDP/TCP");
+        let target_id = match self.ext_index.get(&(proto, translated.dst)) {
+            Some(id) if !self.mappings[id].expired(now) => *id,
+            _ => {
+                self.stats.record_drop(DropReason::NoMapping);
+                return NatVerdict::Drop(DropReason::NoMapping);
+            }
+        };
+        if !self.filter_admits(target_id, translated.src) {
+            self.stats.record_drop(DropReason::Filtered);
+            return NatVerdict::Drop(DropReason::Filtered);
+        }
+        let (internal_dst, refresh) = {
+            let m = self.mappings.get_mut(&target_id).expect("checked above");
+            (m.internal, self.config.refresh_inbound)
+        };
+        if refresh {
+            let t = {
+                let m = &self.mappings[&target_id];
+                self.timeout_for(proto, m.tcp)
+            };
+            let m = self.mappings.get_mut(&target_id).expect("checked above");
+            m.last_refresh = now;
+            m.expiry = now + t;
+        }
+        let mut delivered = translated;
+        delivered.dst = internal_dst;
+        if self.config.hairpin_internal_source {
+            delivered.src = original_src;
+        }
+        self.stats.hairpins += 1;
+        NatVerdict::Hairpin(delivered)
+    }
+
+    fn filter_admits(&self, id: u64, remote: Endpoint) -> bool {
+        let m = &self.mappings[&id];
+        match self.config.filtering {
+            FilteringBehavior::EndpointIndependent => true,
+            FilteringBehavior::AddressDependent => {
+                m.contacted.iter().any(|e| e.ip == remote.ip)
+            }
+            FilteringBehavior::AddressAndPortDependent => m.contacted.contains(&remote),
+        }
+    }
+
+    /// Process a packet arriving from the core at one of the external IPs.
+    pub fn process_inbound(&mut self, pkt: Packet, now: SimTime) -> NatVerdict {
+        self.stats.in_packets += 1;
+        let (proto, flags) = match &pkt.body {
+            PacketBody::Udp { .. } => (Protocol::Udp, None),
+            PacketBody::Tcp { flags, .. } => (Protocol::Tcp, Some(*flags)),
+            PacketBody::Icmp { original_src, .. } => {
+                return self.inbound_icmp(pkt.clone(), *original_src, now);
+            }
+        };
+
+        let id = match self.ext_index.get(&(proto, pkt.dst)) {
+            Some(id) if !self.mappings[id].expired(now) => *id,
+            Some(id) => {
+                let id = *id;
+                self.remove_mapping(id);
+                self.stats.mappings_expired += 1;
+                self.stats.record_drop(DropReason::NoMapping);
+                return NatVerdict::Drop(DropReason::NoMapping);
+            }
+            None => {
+                self.stats.record_drop(DropReason::NoMapping);
+                return NatVerdict::Drop(DropReason::NoMapping);
+            }
+        };
+
+        if !self.filter_admits(id, pkt.src) {
+            self.stats.record_drop(DropReason::Filtered);
+            return NatVerdict::Drop(DropReason::Filtered);
+        }
+
+        let internal = {
+            let m = self.mappings.get_mut(&id).expect("checked above");
+            if let Some(f) = flags {
+                m.tcp = Self::tcp_update(m.tcp, f, false);
+            }
+            m.internal
+        };
+        if self.config.refresh_inbound {
+            let t = {
+                let m = &self.mappings[&id];
+                self.timeout_for(proto, m.tcp)
+            };
+            let m = self.mappings.get_mut(&id).expect("checked above");
+            m.last_refresh = now;
+            m.expiry = now + t;
+        }
+
+        let mut delivered = pkt;
+        delivered.dst = internal;
+        NatVerdict::Forward(delivered)
+    }
+
+    /// Translate an inbound ICMP error referring to a flow we translated:
+    /// the quoted original source is the mapping's external endpoint.
+    fn inbound_icmp(&mut self, pkt: Packet, original_src: Endpoint, _now: SimTime) -> NatVerdict {
+        for proto in [Protocol::Udp, Protocol::Tcp] {
+            if let Some(id) = self.ext_index.get(&(proto, original_src)) {
+                let m = &self.mappings[id];
+                let mut delivered = pkt;
+                delivered.dst = Endpoint::new(m.internal.ip, 0);
+                if let PacketBody::Icmp { original_src: os, .. } = &mut delivered.body {
+                    *os = m.internal;
+                }
+                return NatVerdict::Forward(delivered);
+            }
+        }
+        self.stats.record_drop(DropReason::UnmatchedIcmp);
+        NatVerdict::Drop(DropReason::UnmatchedIcmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn internal_host(last: u8) -> Endpoint {
+        Endpoint::new(ip(100, 64, 0, last), 40000)
+    }
+
+    fn server() -> Endpoint {
+        Endpoint::new(ip(203, 0, 113, 10), 8000)
+    }
+
+    fn pool() -> Vec<Ipv4Addr> {
+        vec![ip(198, 51, 100, 1), ip(198, 51, 100, 2), ip(198, 51, 100, 3)]
+    }
+
+    fn nat(config: NatConfig) -> Nat {
+        Nat::new(config, pool(), 7)
+    }
+
+    fn udp_out(nat: &mut Nat, src: Endpoint, dst: Endpoint, now: SimTime) -> Packet {
+        match nat.process_outbound(Packet::udp(src, dst, vec![1]), now) {
+            NatVerdict::Forward(p) => p,
+            v => panic!("expected Forward, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn outbound_rewrites_source_to_pool() {
+        let mut n = nat(NatConfig::cgn_default());
+        let p = udp_out(&mut n, internal_host(1), server(), t(0));
+        assert!(n.is_external_ip(p.src.ip));
+        assert_eq!(p.dst, server());
+        assert_eq!(n.mapping_count(), 1);
+    }
+
+    #[test]
+    fn eim_reuses_mapping_across_destinations() {
+        let mut n = nat(NatConfig::cgn_default());
+        let a = udp_out(&mut n, internal_host(1), server(), t(0));
+        let other = Endpoint::new(ip(203, 0, 113, 99), 9999);
+        let b = udp_out(&mut n, internal_host(1), other, t(1));
+        assert_eq!(a.src, b.src, "endpoint-independent mapping must be reused");
+        assert_eq!(n.mapping_count(), 1);
+    }
+
+    #[test]
+    fn symmetric_creates_mapping_per_destination() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.mapping = MappingBehavior::AddressAndPortDependent;
+        let mut n = nat(cfg);
+        let a = udp_out(&mut n, internal_host(1), server(), t(0));
+        let other = Endpoint::new(ip(203, 0, 113, 99), 9999);
+        let b = udp_out(&mut n, internal_host(1), other, t(1));
+        assert_ne!(a.src, b.src, "symmetric NAT must allocate a fresh mapping");
+        assert_eq!(n.mapping_count(), 2);
+    }
+
+    #[test]
+    fn address_dependent_mapping_keyed_by_dst_ip() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.mapping = MappingBehavior::AddressDependent;
+        let mut n = nat(cfg);
+        let a = udp_out(&mut n, internal_host(1), server(), t(0));
+        // Same IP, different port: reuse.
+        let b = udp_out(&mut n, internal_host(1), Endpoint::new(server().ip, 1234), t(0));
+        assert_eq!(a.src, b.src);
+        // Different IP: new mapping.
+        let c = udp_out(&mut n, internal_host(1), Endpoint::new(ip(203, 0, 113, 99), 8000), t(0));
+        assert_ne!(a.src, c.src);
+    }
+
+    #[test]
+    fn inbound_requires_mapping() {
+        let mut n = nat(NatConfig::cgn_default());
+        let stray = Packet::udp(server(), Endpoint::new(ip(198, 51, 100, 1), 5555), vec![]);
+        assert_eq!(
+            n.process_inbound(stray, t(0)),
+            NatVerdict::Drop(DropReason::NoMapping)
+        );
+        assert_eq!(n.stats().drop_no_mapping, 1);
+    }
+
+    #[test]
+    fn full_cone_admits_any_source() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        let mut n = nat(cfg);
+        let out = udp_out(&mut n, internal_host(1), server(), t(0));
+        let stranger = Endpoint::new(ip(9, 9, 9, 9), 53);
+        let inbound = Packet::udp(stranger, out.src, vec![2]);
+        match n.process_inbound(inbound, t(1)) {
+            NatVerdict::Forward(p) => assert_eq!(p.dst, internal_host(1)),
+            v => panic!("full cone must forward, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn address_restricted_requires_contacted_ip() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::AddressDependent;
+        let mut n = nat(cfg);
+        let out = udp_out(&mut n, internal_host(1), server(), t(0));
+        // Same IP, different port: admitted.
+        let same_ip = Packet::udp(Endpoint::new(server().ip, 999), out.src, vec![]);
+        assert!(matches!(n.process_inbound(same_ip, t(1)), NatVerdict::Forward(_)));
+        // Different IP: filtered.
+        let stranger = Packet::udp(Endpoint::new(ip(9, 9, 9, 9), 8000), out.src, vec![]);
+        assert_eq!(n.process_inbound(stranger, t(1)), NatVerdict::Drop(DropReason::Filtered));
+    }
+
+    #[test]
+    fn port_restricted_requires_exact_endpoint() {
+        let mut n = nat(NatConfig::cgn_default()); // APDF by default
+        let out = udp_out(&mut n, internal_host(1), server(), t(0));
+        let exact = Packet::udp(server(), out.src, vec![]);
+        assert!(matches!(n.process_inbound(exact, t(1)), NatVerdict::Forward(_)));
+        let same_ip_other_port = Packet::udp(Endpoint::new(server().ip, 999), out.src, vec![]);
+        assert_eq!(
+            n.process_inbound(same_ip_other_port, t(1)),
+            NatVerdict::Drop(DropReason::Filtered)
+        );
+    }
+
+    #[test]
+    fn udp_mapping_expires_after_idle_timeout() {
+        let mut n = nat(NatConfig::cgn_default()); // 60 s UDP timeout
+        let out = udp_out(&mut n, internal_host(1), server(), t(0));
+        // Just before expiry: inbound passes (and refreshes).
+        let back = Packet::udp(server(), out.src, vec![]);
+        assert!(matches!(n.process_inbound(back.clone(), t(59)), NatVerdict::Forward(_)));
+        // 59 + 60 = 119 s is the refreshed deadline; at 120 s it is gone.
+        assert_eq!(n.process_inbound(back, t(120)), NatVerdict::Drop(DropReason::NoMapping));
+    }
+
+    #[test]
+    fn outbound_refresh_keeps_mapping_alive() {
+        let mut n = nat(NatConfig::cgn_default());
+        let first = udp_out(&mut n, internal_host(1), server(), t(0));
+        for k in 1..=10 {
+            let p = udp_out(&mut n, internal_host(1), server(), t(30 * k));
+            assert_eq!(p.src, first.src, "refreshed mapping must be stable");
+        }
+        assert_eq!(n.stats().mappings_created, 1);
+    }
+
+    #[test]
+    fn no_inbound_refresh_when_disabled() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.refresh_inbound = false;
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        let mut n = nat(cfg);
+        let out = udp_out(&mut n, internal_host(1), server(), t(0));
+        let back = Packet::udp(server(), out.src, vec![]);
+        assert!(matches!(n.process_inbound(back.clone(), t(30)), NatVerdict::Forward(_)));
+        // Inbound at 30 s did not refresh; the mapping dies at 60 s.
+        assert_eq!(n.process_inbound(back, t(61)), NatVerdict::Drop(DropReason::NoMapping));
+    }
+
+    #[test]
+    fn sweep_releases_ports_and_counts() {
+        let mut n = nat(NatConfig::cgn_default());
+        for h in 1..=5 {
+            udp_out(&mut n, internal_host(h), server(), t(0));
+        }
+        assert_eq!(n.mapping_count(), 5);
+        n.sweep(t(61));
+        assert_eq!(n.mapping_count(), 0);
+        assert_eq!(n.stats().mappings_expired, 5);
+    }
+
+    #[test]
+    fn paired_pooling_is_sticky() {
+        let mut n = nat(NatConfig::cgn_default());
+        let mut ips = HashSet::new();
+        for flow in 0..20 {
+            let src = Endpoint::new(ip(100, 64, 0, 1), 40000 + flow);
+            let p = match n.process_outbound(Packet::udp(src, server(), vec![]), t(0)) {
+                NatVerdict::Forward(p) => p,
+                v => panic!("{v:?}"),
+            };
+            ips.insert(p.src.ip);
+        }
+        assert_eq!(ips.len(), 1, "paired pooling must keep one external IP per host");
+    }
+
+    #[test]
+    fn arbitrary_pooling_spreads_across_pool() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.pooling = Pooling::Arbitrary;
+        cfg.mapping = MappingBehavior::AddressAndPortDependent; // force fresh mappings
+        let mut n = nat(cfg);
+        let mut ips = HashSet::new();
+        for flow in 0..30u16 {
+            let dst = Endpoint::new(ip(203, 0, 113, 10), 1000 + flow);
+            let src = Endpoint::new(ip(100, 64, 0, 1), 40000);
+            let p = match n.process_outbound(Packet::udp(src, dst, vec![]), t(0)) {
+                NatVerdict::Forward(p) => p,
+                v => panic!("{v:?}"),
+            };
+            ips.insert(p.src.ip);
+        }
+        assert!(ips.len() > 1, "arbitrary pooling should use several pool IPs");
+    }
+
+    #[test]
+    fn session_limit_enforced() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.max_sessions_per_host = Some(3);
+        cfg.mapping = MappingBehavior::AddressAndPortDependent;
+        let mut n = nat(cfg);
+        let src = internal_host(1);
+        for f in 0..3u16 {
+            let dst = Endpoint::new(ip(203, 0, 113, 10), 1000 + f);
+            assert!(matches!(
+                n.process_outbound(Packet::udp(src, dst, vec![]), t(0)),
+                NatVerdict::Forward(_)
+            ));
+        }
+        let dst = Endpoint::new(ip(203, 0, 113, 10), 2000);
+        assert_eq!(
+            n.process_outbound(Packet::udp(src, dst, vec![]), t(0)),
+            NatVerdict::Drop(DropReason::SessionLimit)
+        );
+        // Expiry frees budget.
+        n.sweep(t(120));
+        assert!(matches!(
+            n.process_outbound(Packet::udp(src, dst, vec![]), t(120)),
+            NatVerdict::Forward(_)
+        ));
+    }
+
+    #[test]
+    fn hairpin_delivers_to_internal_target() {
+        // A sends toward B's external endpoint; APDF filtering would reject
+        // a source B never contacted, so use full-cone filtering here.
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        let mut n = nat(cfg);
+        // B opens a mapping first so A can reach it via its external endpoint.
+        let b_out = udp_out(&mut n, internal_host(2), server(), t(0)).src;
+        let a_pkt = Packet::udp(internal_host(1), b_out, vec![7]);
+        match n.process_outbound(a_pkt, t(1)) {
+            NatVerdict::Hairpin(p) => {
+                assert_eq!(p.dst, internal_host(2), "hairpin must reach B's internal endpoint");
+                // cgn_default leaves the internal source in place — the
+                // §4.1 leak channel: B learns A's internal endpoint.
+                assert_eq!(p.src, internal_host(1));
+            }
+            v => panic!("expected hairpin, got {v:?}"),
+        }
+        assert_eq!(n.stats().hairpins, 1);
+    }
+
+    #[test]
+    fn hairpin_with_source_rewrite_hides_internal_endpoint() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        cfg.hairpin_internal_source = false;
+        let mut n = nat(cfg);
+        let b_out = udp_out(&mut n, internal_host(2), server(), t(0)).src;
+        let a_pkt = Packet::udp(internal_host(1), b_out, vec![7]);
+        match n.process_outbound(a_pkt, t(1)) {
+            NatVerdict::Hairpin(p) => {
+                assert!(n.is_external_ip(p.src.ip), "source must be the external mapping");
+                assert_ne!(p.src, internal_host(1));
+            }
+            v => panic!("expected hairpin, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn hairpin_disabled_drops() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.hairpinning = false;
+        let mut n = nat(cfg);
+        let b_ext = udp_out(&mut n, internal_host(2), server(), t(0)).src;
+        let a_pkt = Packet::udp(internal_host(1), b_ext, vec![]);
+        assert_eq!(n.process_outbound(a_pkt, t(1)), NatVerdict::Drop(DropReason::NoHairpin));
+    }
+
+    #[test]
+    fn tcp_established_outlives_udp_timeout() {
+        let mut n = nat(NatConfig::cgn_default());
+        let src = internal_host(1);
+        // SYN out.
+        let syn = Packet::tcp(src, server(), TcpFlags::SYN, vec![]);
+        let out = match n.process_outbound(syn, t(0)) {
+            NatVerdict::Forward(p) => p,
+            v => panic!("{v:?}"),
+        };
+        // SYN-ACK in.
+        let synack = Packet::tcp(server(), out.src, TcpFlags::SYN_ACK, vec![]);
+        assert!(matches!(n.process_inbound(synack, t(0)), NatVerdict::Forward(_)));
+        // ACK out completes the handshake.
+        let ack = Packet::tcp(src, server(), TcpFlags::ACK, vec![]);
+        assert!(matches!(n.process_outbound(ack, t(0)), NatVerdict::Forward(_)));
+        // Hours later (beyond transitory & UDP timeouts) the mapping lives.
+        let data = Packet::tcp(server(), out.src, TcpFlags::ACK, vec![1]);
+        assert!(matches!(n.process_inbound(data, t(3600)), NatVerdict::Forward(_)));
+    }
+
+    #[test]
+    fn tcp_transitory_times_out_quickly() {
+        let mut n = nat(NatConfig::cgn_default()); // transitory 240 s
+        let syn = Packet::tcp(internal_host(1), server(), TcpFlags::SYN, vec![]);
+        let out = match n.process_outbound(syn, t(0)) {
+            NatVerdict::Forward(p) => p,
+            v => panic!("{v:?}"),
+        };
+        // Handshake never completes; at 241 s inbound finds no state.
+        let synack = Packet::tcp(server(), out.src, TcpFlags::SYN_ACK, vec![]);
+        assert_eq!(n.process_inbound(synack, t(241)), NatVerdict::Drop(DropReason::NoMapping));
+    }
+
+    #[test]
+    fn tcp_fin_moves_to_transitory_timeout() {
+        let mut n = nat(NatConfig::cgn_default());
+        let src = internal_host(1);
+        let out = match n.process_outbound(Packet::tcp(src, server(), TcpFlags::SYN, vec![]), t(0)) {
+            NatVerdict::Forward(p) => p,
+            v => panic!("{v:?}"),
+        };
+        assert!(matches!(
+            n.process_inbound(Packet::tcp(server(), out.src, TcpFlags::SYN_ACK, vec![]), t(0)),
+            NatVerdict::Forward(_)
+        ));
+        assert!(matches!(
+            n.process_outbound(Packet::tcp(src, server(), TcpFlags::ACK, vec![]), t(0)),
+            NatVerdict::Forward(_)
+        ));
+        // FIN puts the mapping on the short clock.
+        assert!(matches!(
+            n.process_outbound(Packet::tcp(src, server(), TcpFlags::FIN, vec![]), t(10)),
+            NatVerdict::Forward(_)
+        ));
+        let late = Packet::tcp(server(), out.src, TcpFlags::ACK, vec![]);
+        assert_eq!(n.process_inbound(late, t(10 + 241)), NatVerdict::Drop(DropReason::NoMapping));
+    }
+
+    #[test]
+    fn port_preservation_visible_through_nat() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.port_alloc = crate::config::PortAllocation::Preserve;
+        let mut n = nat(cfg);
+        let p = udp_out(&mut n, internal_host(1), server(), t(0));
+        assert_eq!(p.src.port, 40000, "preserving NAT keeps the source port");
+    }
+
+    #[test]
+    fn icmp_outbound_passes_through() {
+        let mut n = nat(NatConfig::cgn_default());
+        let orig = Packet::udp(internal_host(1), server(), vec![]).with_ttl(1);
+        let icmp = orig.ttl_exceeded_reply(ip(100, 64, 255, 1));
+        // Re-point at an external destination as a router inside would.
+        let mut icmp_to_server = icmp;
+        icmp_to_server.dst = server();
+        assert!(matches!(n.process_outbound(icmp_to_server, t(0)), NatVerdict::Forward(_)));
+    }
+
+    #[test]
+    fn icmp_inbound_translated_to_internal_host() {
+        let mut n = nat(NatConfig::cgn_default());
+        let out = udp_out(&mut n, internal_host(1), server(), t(0));
+        // A router near the server reports TTL exceeded for the translated flow.
+        let mut icmp = Packet::udp(out.src, server(), vec![]).ttl_exceeded_reply(ip(203, 0, 113, 1));
+        icmp.dst = out.src; // routed back to the external endpoint
+        match n.process_inbound(icmp, t(1)) {
+            NatVerdict::Forward(p) => assert_eq!(p.dst.ip, internal_host(1).ip),
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn unmatched_icmp_dropped() {
+        let mut n = nat(NatConfig::cgn_default());
+        let mut icmp = Packet::udp(Endpoint::new(ip(198, 51, 100, 1), 1234), server(), vec![])
+            .ttl_exceeded_reply(ip(203, 0, 113, 1));
+        icmp.dst = Endpoint::new(ip(198, 51, 100, 1), 1234);
+        assert_eq!(n.process_inbound(icmp, t(0)), NatVerdict::Drop(DropReason::UnmatchedIcmp));
+    }
+
+    #[test]
+    fn port_exhaustion_reported() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.port_range = (5000, 5002);
+        cfg.mapping = MappingBehavior::AddressAndPortDependent;
+        let mut n = Nat::new(cfg, vec![ip(198, 51, 100, 1)], 1);
+        let src = internal_host(1);
+        let mut drops = 0;
+        for f in 0..6u16 {
+            let dst = Endpoint::new(ip(203, 0, 113, 10), 1000 + f);
+            if let NatVerdict::Drop(DropReason::PortExhausted) =
+                n.process_outbound(Packet::udp(src, dst, vec![]), t(0))
+            {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 3, "3 ports then exhaustion");
+        assert_eq!(n.stats().drop_port_exhausted, 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_allocation() {
+        let run = || {
+            let mut n = Nat::new(NatConfig::cgn_default(), pool(), 99);
+            let mut seen = Vec::new();
+            for h in 1..=10 {
+                let p = udp_out(&mut n, internal_host(h), server(), t(0));
+                seen.push(p.src);
+            }
+            seen
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn transparent_firewall_keeps_addresses_but_filters() {
+        let protected = internal_host(1);
+        let mut n = Nat::new(NatConfig::stateful_firewall(), vec![protected.ip], 3);
+        let out = udp_out(&mut n, protected, server(), t(0));
+        assert_eq!(out.src, protected, "no translation");
+        // Solicited inbound passes.
+        let back = Packet::udp(server(), protected, vec![]);
+        assert!(matches!(n.process_inbound(back.clone(), t(1)), NatVerdict::Forward(_)));
+        // Unsolicited source is filtered.
+        let stranger = Packet::udp(Endpoint::new(ip(9, 9, 9, 9), 1), protected, vec![]);
+        assert_eq!(n.process_inbound(stranger, t(1)), NatVerdict::Drop(DropReason::Filtered));
+        // State expires like any NAT mapping.
+        assert_eq!(n.process_inbound(back, t(120)), NatVerdict::Drop(DropReason::NoMapping));
+    }
+
+    #[test]
+    fn external_for_diagnostic() {
+        let mut n = nat(NatConfig::cgn_default());
+        let p = udp_out(&mut n, internal_host(1), server(), t(0));
+        assert_eq!(
+            n.external_for(Protocol::Udp, internal_host(1), t(1)),
+            Some(p.src)
+        );
+        assert_eq!(n.external_for(Protocol::Udp, internal_host(1), t(120)), None);
+    }
+}

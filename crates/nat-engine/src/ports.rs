@@ -1,0 +1,406 @@
+//! External port allocation.
+//!
+//! A [`PortAllocator`] manages the free external port space of **one
+//! external IP address** for **one transport protocol**. The NAT engine owns
+//! one allocator per (external IP, protocol) pair.
+//!
+//! The allocator implements the four strategies of §6.2:
+//! preservation, sequential, random, and random-within-chunk.
+
+use crate::config::PortAllocation;
+use netcore::Protocol;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Why a port could not be allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortError {
+    /// The whole configured range is in use.
+    Exhausted,
+    /// The subscriber's chunk is full (chunk allocation only).
+    ChunkFull,
+    /// No free chunk is left for a new subscriber.
+    NoFreeChunk,
+}
+
+/// Free-port bookkeeping for one (external IP, protocol).
+#[derive(Debug)]
+pub struct PortAllocator {
+    strategy: PortAllocation,
+    range: (u16, u16),
+    in_use: HashSet<u16>,
+    /// Next candidate for sequential allocation.
+    next_seq: u16,
+    /// Chunk assignment per internal host (chunk strategies only).
+    chunks: HashMap<Ipv4Addr, u16>, // host -> chunk index
+    chunks_taken: HashSet<u16>,
+}
+
+impl PortAllocator {
+    pub fn new(strategy: PortAllocation, range: (u16, u16)) -> Self {
+        assert!(range.0 < range.1, "invalid port range {range:?}");
+        PortAllocator {
+            strategy,
+            range,
+            in_use: HashSet::new(),
+            next_seq: range.0,
+            chunks: HashMap::new(),
+            chunks_taken: HashSet::new(),
+        }
+    }
+
+    /// Number of ports currently allocated.
+    pub fn allocated(&self) -> usize {
+        self.in_use.len()
+    }
+
+    /// Total ports in the managed range.
+    pub fn capacity(&self) -> usize {
+        (self.range.1 - self.range.0) as usize + 1
+    }
+
+    /// The chunk (index, size) assigned to `host`, if any.
+    pub fn chunk_of(&self, host: Ipv4Addr) -> Option<(u16, u16)> {
+        match self.strategy {
+            PortAllocation::RandomChunk { chunk_size } => {
+                self.chunks.get(&host).map(|idx| (*idx, chunk_size))
+            }
+            _ => None,
+        }
+    }
+
+    /// Allocate an external port for a flow from `internal_host` whose
+    /// internal source port is `internal_port`.
+    pub fn allocate(
+        &mut self,
+        internal_host: Ipv4Addr,
+        internal_port: u16,
+        _proto: Protocol,
+        rng: &mut StdRng,
+    ) -> Result<u16, PortError> {
+        match self.strategy {
+            PortAllocation::Preserve => self.alloc_preserve(internal_port),
+            PortAllocation::Sequential => self.alloc_sequential(),
+            PortAllocation::Random => self.alloc_random(rng),
+            PortAllocation::RandomChunk { chunk_size } => {
+                self.alloc_chunk(internal_host, chunk_size, rng)
+            }
+        }
+    }
+
+    /// Release a previously allocated port (mapping expiry).
+    pub fn release(&mut self, port: u16) {
+        self.in_use.remove(&port);
+    }
+
+    fn in_range(&self, p: u16) -> bool {
+        p >= self.range.0 && p <= self.range.1
+    }
+
+    fn alloc_preserve(&mut self, wanted: u16) -> Result<u16, PortError> {
+        if self.in_range(wanted) && self.in_use.insert(wanted) {
+            return Ok(wanted);
+        }
+        // Collision (or out of range): sequential scan upward from the
+        // wanted port, wrapping once — "an alternate port must be chosen".
+        let start = if self.in_range(wanted) { wanted } else { self.range.0 };
+        let span = self.capacity() as u32;
+        for off in 1..=span {
+            let p = self.range.0
+                + (((start - self.range.0) as u32 + off) % span) as u16;
+            if self.in_use.insert(p) {
+                return Ok(p);
+            }
+        }
+        Err(PortError::Exhausted)
+    }
+
+    fn alloc_sequential(&mut self) -> Result<u16, PortError> {
+        let span = self.capacity() as u32;
+        for off in 0..span {
+            let p = self.range.0
+                + (((self.next_seq - self.range.0) as u32 + off) % span) as u16;
+            if self.in_use.insert(p) {
+                self.next_seq = if p == self.range.1 { self.range.0 } else { p + 1 };
+                return Ok(p);
+            }
+        }
+        Err(PortError::Exhausted)
+    }
+
+    fn alloc_random(&mut self, rng: &mut StdRng) -> Result<u16, PortError> {
+        if self.in_use.len() >= self.capacity() {
+            return Err(PortError::Exhausted);
+        }
+        // Rejection sampling with a deterministic linear-scan fallback so
+        // allocation terminates even when the range is nearly full.
+        for _ in 0..64 {
+            let p = rng.gen_range(self.range.0..=self.range.1);
+            if self.in_use.insert(p) {
+                return Ok(p);
+            }
+        }
+        let start = rng.gen_range(self.range.0..=self.range.1);
+        let span = self.capacity() as u32;
+        for off in 0..span {
+            let p = self.range.0 + (((start - self.range.0) as u32 + off) % span) as u16;
+            if self.in_use.insert(p) {
+                return Ok(p);
+            }
+        }
+        Err(PortError::Exhausted)
+    }
+
+    fn alloc_chunk(
+        &mut self,
+        host: Ipv4Addr,
+        chunk_size: u16,
+        rng: &mut StdRng,
+    ) -> Result<u16, PortError> {
+        assert!(chunk_size > 0);
+        let n_chunks = (self.capacity() / chunk_size as usize).max(1) as u16;
+        let chunk = match self.chunks.get(&host) {
+            Some(c) => *c,
+            None => {
+                // Pick a random free chunk for this subscriber.
+                let free: Vec<u16> =
+                    (0..n_chunks).filter(|c| !self.chunks_taken.contains(c)).collect();
+                if free.is_empty() {
+                    return Err(PortError::NoFreeChunk);
+                }
+                let c = free[rng.gen_range(0..free.len())];
+                self.chunks.insert(host, c);
+                self.chunks_taken.insert(c);
+                c
+            }
+        };
+        let lo = self.range.0 + chunk * chunk_size;
+        let hi_exclusive = (lo as u32 + chunk_size as u32).min(self.range.1 as u32 + 1);
+        if (hi_exclusive - lo as u32) == 0 {
+            return Err(PortError::ChunkFull);
+        }
+        for _ in 0..64 {
+            let p = rng.gen_range(lo as u32..hi_exclusive) as u16;
+            if self.in_use.insert(p) {
+                return Ok(p);
+            }
+        }
+        for p in lo as u32..hi_exclusive {
+            if self.in_use.insert(p as u16) {
+                return Ok(p as u16);
+            }
+        }
+        Err(PortError::ChunkFull)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn host() -> Ipv4Addr {
+        ip(100, 64, 0, 10)
+    }
+
+    #[test]
+    fn preserve_keeps_port_when_free() {
+        let mut a = PortAllocator::new(PortAllocation::Preserve, (1024, 65535));
+        let p = a.allocate(host(), 50000, Protocol::Tcp, &mut rng()).unwrap();
+        assert_eq!(p, 50000);
+    }
+
+    #[test]
+    fn preserve_falls_back_on_collision() {
+        let mut a = PortAllocator::new(PortAllocation::Preserve, (1024, 65535));
+        let mut r = rng();
+        assert_eq!(a.allocate(host(), 50000, Protocol::Tcp, &mut r).unwrap(), 50000);
+        let p2 = a.allocate(ip(100, 64, 0, 11), 50000, Protocol::Tcp, &mut r).unwrap();
+        assert_ne!(p2, 50000);
+        // Fallback is the next sequential port.
+        assert_eq!(p2, 50001);
+    }
+
+    #[test]
+    fn preserve_out_of_range_request() {
+        let mut a = PortAllocator::new(PortAllocation::Preserve, (2000, 3000));
+        let p = a.allocate(host(), 80, Protocol::Tcp, &mut rng()).unwrap();
+        assert!((2000..=3000).contains(&p));
+    }
+
+    #[test]
+    fn sequential_is_monotone_with_small_gaps() {
+        let mut a = PortAllocator::new(PortAllocation::Sequential, (1024, 65535));
+        let mut r = rng();
+        let ports: Vec<u16> =
+            (0..10).map(|_| a.allocate(host(), 9999, Protocol::Tcp, &mut r).unwrap()).collect();
+        assert_eq!(ports, (1024..1034).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn sequential_wraps_after_release() {
+        let mut a = PortAllocator::new(PortAllocation::Sequential, (10, 12));
+        let mut r = rng();
+        assert_eq!(a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap(), 10);
+        assert_eq!(a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap(), 11);
+        assert_eq!(a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap(), 12);
+        assert_eq!(
+            a.allocate(host(), 0, Protocol::Udp, &mut r),
+            Err(PortError::Exhausted)
+        );
+        a.release(11);
+        assert_eq!(a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap(), 11);
+    }
+
+    #[test]
+    fn random_spans_whole_space() {
+        // Fig. 8a: CGNs with port translation utilize the entire port space,
+        // unlike OS ephemeral ranges.
+        let mut a = PortAllocator::new(PortAllocation::Random, (1024, 65535));
+        let mut r = rng();
+        let ports: Vec<u16> =
+            (0..2000).map(|_| a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap()).collect();
+        let min = *ports.iter().min().unwrap();
+        let max = *ports.iter().max().unwrap();
+        assert!(min < 4000, "random allocation should reach low ports, min={min}");
+        assert!(max > 62000, "random allocation should reach high ports, max={max}");
+    }
+
+    #[test]
+    fn random_exhaustion() {
+        let mut a = PortAllocator::new(PortAllocation::Random, (1, 4));
+        let mut r = rng();
+        for _ in 0..4 {
+            a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap();
+        }
+        assert_eq!(a.allocate(host(), 0, Protocol::Udp, &mut r), Err(PortError::Exhausted));
+    }
+
+    #[test]
+    fn chunk_allocation_confines_subscriber() {
+        let chunk_size = 4096u16;
+        let mut a =
+            PortAllocator::new(PortAllocation::RandomChunk { chunk_size }, (1024, 65535));
+        let mut r = rng();
+        let mut ports = Vec::new();
+        for _ in 0..100 {
+            ports.push(a.allocate(host(), 0, Protocol::Tcp, &mut r).unwrap());
+        }
+        let (idx, size) = a.chunk_of(host()).unwrap();
+        assert_eq!(size, chunk_size);
+        let lo = 1024 + idx * chunk_size;
+        for p in &ports {
+            assert!(*p >= lo && (*p as u32) < lo as u32 + chunk_size as u32, "port {p} outside chunk");
+        }
+        // All observed ports of one subscriber fall within a range smaller
+        // than the chunk size — the paper's chunk-detection signal.
+        let spread = *ports.iter().max().unwrap() - *ports.iter().min().unwrap();
+        assert!(spread < chunk_size);
+    }
+
+    #[test]
+    fn chunks_differ_between_subscribers() {
+        let mut a = PortAllocator::new(
+            PortAllocation::RandomChunk { chunk_size: 1024 },
+            (1024, 65535),
+        );
+        let mut r = rng();
+        a.allocate(ip(10, 0, 0, 1), 0, Protocol::Udp, &mut r).unwrap();
+        a.allocate(ip(10, 0, 0, 2), 0, Protocol::Udp, &mut r).unwrap();
+        let c1 = a.chunk_of(ip(10, 0, 0, 1)).unwrap().0;
+        let c2 = a.chunk_of(ip(10, 0, 0, 2)).unwrap().0;
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn chunk_capacity_limits_subscribers() {
+        // 64 subscribers per IP with 1K chunks (§6.2: "we find 64 subscribers
+        // per IP address in the case of a 1K port chunk").
+        let mut a = PortAllocator::new(
+            PortAllocation::RandomChunk { chunk_size: 1024 },
+            (0, 65535),
+        );
+        let mut r = rng();
+        let mut ok = 0;
+        for i in 0..70u32 {
+            let h = Ipv4Addr::from(0x0a000000u32 + i);
+            if a.allocate(h, 0, Protocol::Udp, &mut r).is_ok() {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 64);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut a = PortAllocator::new(PortAllocation::Random, (1, 2));
+        let mut r = rng();
+        let p1 = a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap();
+        let _p2 = a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap();
+        assert_eq!(a.allocated(), 2);
+        a.release(p1);
+        assert_eq!(a.allocated(), 1);
+        assert_eq!(a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap(), p1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid port range")]
+    fn invalid_range_panics() {
+        let _ = PortAllocator::new(PortAllocation::Random, (5, 5));
+    }
+
+    proptest! {
+        /// No strategy ever returns an out-of-range or duplicate port.
+        #[test]
+        fn prop_no_duplicates_in_range(
+            strat in 0usize..4,
+            lo in 1024u16..2000,
+            span in 100u16..1000,
+            n in 1usize..80,
+            seed in any::<u64>(),
+        ) {
+            let strategy = match strat {
+                0 => PortAllocation::Preserve,
+                1 => PortAllocation::Sequential,
+                2 => PortAllocation::Random,
+                _ => PortAllocation::RandomChunk { chunk_size: 64 },
+            };
+            let range = (lo, lo + span);
+            let mut a = PortAllocator::new(strategy, range);
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                match a.allocate(host(), 40000 + i as u16, Protocol::Udp, &mut r) {
+                    Ok(p) => {
+                        prop_assert!(p >= range.0 && p <= range.1, "port {} out of range", p);
+                        prop_assert!(seen.insert(p), "duplicate port {}", p);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+
+        /// Allocate-then-release returns the allocator to its prior size.
+        #[test]
+        fn prop_release_inverse(seed in any::<u64>(), n in 1usize..50) {
+            let mut a = PortAllocator::new(PortAllocation::Random, (1024, 65535));
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut ports = Vec::new();
+            for _ in 0..n {
+                ports.push(a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap());
+            }
+            for p in ports {
+                a.release(p);
+            }
+            prop_assert_eq!(a.allocated(), 0);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # netalyzr — the active measurement suite of the study
+//!
+//! Re-implements the Netalyzr-based methodology of §4.2 and §6 against the
+//! simulated network:
+//!
+//! * [`stun`] — STUN (RFC 5389 wire format) with the classic RFC 3489
+//!   NAT-type classification driven by CHANGE-REQUEST probes against a
+//!   two-address/two-port server (§6.3, Fig. 13);
+//! * [`servers`] — the measurement servers: a TCP echo service that
+//!   reports the observed source endpoint (the `IPpub`/port-test oracle)
+//!   and a UDP responder;
+//! * [`ttl_enum`] — the TTL-driven NAT enumeration test of Fig. 10:
+//!   TTL-limited keepalives hold state alive at every hop except the hop
+//!   under test; a post-idle server probe reveals whether that hop is a
+//!   stateful middlebox and bounds its mapping timeout (§6.3–§6.5);
+//! * [`session`] — one full Netalyzr session: device/CPE/public address
+//!   collection (Table 4), the 10-flow sequential TCP port test (Fig. 8),
+//!   IP pooling observation (§6.2), STUN, and TTL enumeration.
+
+pub mod servers;
+pub mod session;
+pub mod stun;
+pub mod ttl_enum;
+
+pub use servers::{EchoServer, MeasurementLab};
+pub use session::{run_session, ClientSpec, OsPortPolicy, PortTestResult, SessionReport};
+pub use stun::{StunClass, StunMessage, StunService};
+pub use ttl_enum::{DetectedNat, TtlEnumConfig, TtlEnumResult};

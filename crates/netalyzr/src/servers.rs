@@ -1,0 +1,240 @@
+//! Measurement servers.
+//!
+//! [`EchoServer`] is the custom test server the Netalyzr suite talks to:
+//!
+//! * **TCP echo** on a high port "unlikely to be proxied" (§6.2): the
+//!   client completes a handshake and sends `WHOAMI`; the server answers
+//!   with the source endpoint it observed — that is how the client learns
+//!   `IPpub` and the translated source port of each flow.
+//! * **UDP responder**: answers `PING` with `PONG <observed endpoint>`;
+//!   ignores `KA` keepalives (so TTL-limited keepalives never generate
+//!   reverse traffic that would refresh the hop under test from the wrong
+//!   side).
+//!
+//! [`MeasurementLab`] bundles the echo server and the two-host
+//! [STUN service](crate::stun::StunService) and provides the packet
+//! dispatch used by drivers.
+
+use crate::stun::StunService;
+use netcore::{Endpoint, Packet, PacketBody, TcpFlags};
+use simnet::{Network, NodeId, RealmId};
+use std::net::Ipv4Addr;
+
+/// The TCP/UDP echo server.
+#[derive(Debug, Clone)]
+pub struct EchoServer {
+    pub node: NodeId,
+    pub ip: Ipv4Addr,
+    /// High TCP port for the port test.
+    pub tcp_port: u16,
+    /// UDP port for reachability experiments.
+    pub udp_port: u16,
+}
+
+impl EchoServer {
+    pub const DEFAULT_TCP_PORT: u16 = 49_402;
+    pub const DEFAULT_UDP_PORT: u16 = 49_403;
+
+    pub fn new(node: NodeId, ip: Ipv4Addr) -> EchoServer {
+        EchoServer {
+            node,
+            ip,
+            tcp_port: Self::DEFAULT_TCP_PORT,
+            udp_port: Self::DEFAULT_UDP_PORT,
+        }
+    }
+
+    pub fn tcp_endpoint(&self) -> Endpoint {
+        Endpoint::new(self.ip, self.tcp_port)
+    }
+
+    pub fn udp_endpoint(&self) -> Endpoint {
+        Endpoint::new(self.ip, self.udp_port)
+    }
+
+    /// Render the observed-endpoint report.
+    pub fn format_addr_reply(src: Endpoint) -> Vec<u8> {
+        format!("ADDR {}:{}", src.ip, src.port).into_bytes()
+    }
+
+    /// Parse an `ADDR ip:port` report.
+    pub fn parse_addr_reply(payload: &[u8]) -> Option<Endpoint> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let rest = text.strip_prefix("ADDR ")?;
+        let (ip, port) = rest.rsplit_once(':')?;
+        Some(Endpoint::new(ip.parse().ok()?, port.parse().ok()?))
+    }
+
+    /// Handle a delivered packet, emitting replies from this server.
+    pub fn handle_packet(&self, pkt: &Packet) -> Vec<Packet> {
+        match &pkt.body {
+            PacketBody::Tcp { flags, payload } if pkt.dst == self.tcp_endpoint() => {
+                if flags.syn && !flags.ack {
+                    return vec![Packet::tcp(
+                        self.tcp_endpoint(),
+                        pkt.src,
+                        TcpFlags::SYN_ACK,
+                        vec![],
+                    )];
+                }
+                if payload == b"WHOAMI" {
+                    return vec![Packet::tcp(
+                        self.tcp_endpoint(),
+                        pkt.src,
+                        TcpFlags::ACK,
+                        Self::format_addr_reply(pkt.src),
+                    )];
+                }
+                if flags.fin {
+                    return vec![Packet::tcp(self.tcp_endpoint(), pkt.src, TcpFlags::FIN, vec![])];
+                }
+                Vec::new()
+            }
+            PacketBody::Udp { payload } if pkt.dst == self.udp_endpoint() => {
+                if payload == b"PING" {
+                    let mut reply = b"PONG ".to_vec();
+                    reply.extend_from_slice(&Self::format_addr_reply(pkt.src));
+                    return vec![Packet::udp(self.udp_endpoint(), pkt.src, reply)];
+                }
+                // Keepalives ("KA") and anything else: silence.
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// The whole measurement infrastructure: echo server + STUN service.
+#[derive(Debug, Clone)]
+pub struct MeasurementLab {
+    pub echo: EchoServer,
+    pub stun: StunService,
+}
+
+impl MeasurementLab {
+    /// Install the lab's hosts in the public realm behind short core
+    /// chains (so server-side hop counts are realistic).
+    pub fn install(net: &mut Network, base: Ipv4Addr) -> MeasurementLab {
+        let o = u32::from(base);
+        let echo_ip = Ipv4Addr::from(o);
+        let stun1_ip = Ipv4Addr::from(o + 1);
+        let stun2_ip = Ipv4Addr::from(o + 2);
+        let core_router = Ipv4Addr::from(o + 200);
+        let echo_node = net.add_host(RealmId::PUBLIC, echo_ip, vec![core_router]);
+        let stun1 = net.add_host(RealmId::PUBLIC, stun1_ip, vec![core_router]);
+        let stun2 = net.add_host(RealmId::PUBLIC, stun2_ip, vec![core_router]);
+        MeasurementLab {
+            echo: EchoServer::new(echo_node, echo_ip),
+            stun: StunService::new(stun1, stun1_ip, stun2, stun2_ip),
+        }
+    }
+
+    /// Dispatch a delivered packet to whichever server owns the node.
+    pub fn dispatch(&self, node: NodeId, pkt: &Packet) -> Vec<(NodeId, Packet)> {
+        if node == self.echo.node {
+            return self
+                .echo
+                .handle_packet(pkt)
+                .into_iter()
+                .map(|p| (node, p))
+                .collect();
+        }
+        self.stun.handle_packet(node, pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+    use simnet::pump;
+
+    #[test]
+    fn addr_reply_roundtrip() {
+        let ep = Endpoint::new(ip(198, 51, 100, 7), 54321);
+        let reply = EchoServer::format_addr_reply(ep);
+        assert_eq!(EchoServer::parse_addr_reply(&reply), Some(ep));
+        assert_eq!(EchoServer::parse_addr_reply(b"garbage"), None);
+        assert_eq!(EchoServer::parse_addr_reply(b"ADDR nope"), None);
+    }
+
+    #[test]
+    fn tcp_flow_reports_observed_source() {
+        let mut net = Network::new();
+        let lab = MeasurementLab::install(&mut net, ip(203, 0, 113, 10));
+        let client = net.add_host(RealmId::PUBLIC, ip(198, 51, 100, 9), vec![]);
+        let cep = Endpoint::new(ip(198, 51, 100, 9), 40000);
+
+        let mut reported = None;
+        pump(
+            &mut net,
+            vec![(client, Packet::tcp(cep, lab.echo.tcp_endpoint(), TcpFlags::SYN, vec![]))],
+            |node, pkt| {
+                if node == client {
+                    match &pkt.body {
+                        PacketBody::Tcp { flags, payload } => {
+                            if flags.syn && flags.ack {
+                                return vec![(
+                                    client,
+                                    Packet::tcp(
+                                        cep,
+                                        lab.echo.tcp_endpoint(),
+                                        TcpFlags::ACK,
+                                        b"WHOAMI".to_vec(),
+                                    ),
+                                )];
+                            }
+                            if let Some(ep) = EchoServer::parse_addr_reply(payload) {
+                                reported = Some(ep);
+                            }
+                            Vec::new()
+                        }
+                        _ => Vec::new(),
+                    }
+                } else {
+                    lab.dispatch(node, pkt)
+                }
+            },
+            100,
+        );
+        assert_eq!(reported, Some(cep), "public client sees its own endpoint");
+    }
+
+    #[test]
+    fn udp_ping_pong_and_silent_keepalive() {
+        let mut net = Network::new();
+        let lab = MeasurementLab::install(&mut net, ip(203, 0, 113, 10));
+        let client = net.add_host(RealmId::PUBLIC, ip(198, 51, 100, 9), vec![]);
+        let cep = Endpoint::new(ip(198, 51, 100, 9), 40001);
+
+        let mut pongs = 0;
+        pump(
+            &mut net,
+            vec![
+                (client, Packet::udp(cep, lab.echo.udp_endpoint(), b"PING".to_vec())),
+                (client, Packet::udp(cep, lab.echo.udp_endpoint(), b"KA".to_vec())),
+            ],
+            |node, pkt| {
+                if node == client {
+                    if pkt.body.payload().starts_with(b"PONG ") {
+                        pongs += 1;
+                    }
+                    Vec::new()
+                } else {
+                    lab.dispatch(node, pkt)
+                }
+            },
+            100,
+        );
+        assert_eq!(pongs, 1, "PING answered once, KA ignored");
+    }
+
+    #[test]
+    fn wrong_port_ignored() {
+        let mut net = Network::new();
+        let lab = MeasurementLab::install(&mut net, ip(203, 0, 113, 10));
+        let src = Endpoint::new(ip(9, 9, 9, 9), 1);
+        let to_wrong = Packet::udp(src, Endpoint::new(lab.echo.ip, 1234), b"PING".to_vec());
+        assert!(lab.echo.handle_packet(&to_wrong).is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! IPv4 CIDR prefixes.
+//!
+//! A [`Prefix`] is the unit of address allocation throughout the study: ASes
+//! announce prefixes into the [routing table](crate::routing::RoutingTable),
+//! CGNs draw their internal realms from reserved prefixes, and the Netalyzr
+//! analysis buckets CPE addresses by `/24`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An IPv4 CIDR prefix, e.g. `100.64.0.0/10`.
+///
+/// Invariant: the host bits of `base` are always zero (enforced by all
+/// constructors), so two prefixes are equal iff they denote the same range.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix {
+    base: u32,
+    len: u8,
+}
+
+/// Error produced when parsing a prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixParseError(pub String);
+
+impl fmt::Display for PrefixParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for PrefixParseError {}
+
+impl Prefix {
+    /// Create a prefix; host bits of `addr` below `len` are masked off.
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} out of range");
+        let raw = u32::from(addr);
+        Prefix {
+            base: raw & Self::mask_bits(len),
+            len,
+        }
+    }
+
+    fn mask_bits(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// The (masked) network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.base)
+    }
+
+    /// The prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// The netmask as an address, e.g. `255.255.255.0` for a /24.
+    pub fn netmask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(Self::mask_bits(self.len))
+    }
+
+    /// Number of addresses covered. A /0 covers 2^32 which does not fit in
+    /// `u32`, hence `u64`.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len as u32)
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask_bits(self.len) == self.base
+    }
+
+    /// Whether `other` is entirely inside this prefix.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        other.len >= self.len && self.contains(other.network())
+    }
+
+    /// The `i`-th address of the prefix (0 = network address).
+    ///
+    /// Panics if `i` is out of range.
+    pub fn addr(&self, i: u64) -> Ipv4Addr {
+        assert!(i < self.size(), "host index {i} out of prefix {self}");
+        Ipv4Addr::from(self.base + i as u32)
+    }
+
+    /// Iterate over all addresses in the prefix (careful with short prefixes).
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        (0..self.size()).map(move |i| self.addr(i))
+    }
+
+    /// Split this prefix into consecutive sub-prefixes of length `sublen`.
+    ///
+    /// Used by the topology generator to carve per-AS pools out of larger
+    /// allocations. Panics if `sublen < self.len()`.
+    pub fn subnets(&self, sublen: u8) -> impl Iterator<Item = Prefix> + '_ {
+        assert!(sublen >= self.len, "cannot split {self} into /{sublen}");
+        assert!(sublen <= 32);
+        let count = 1u64 << (sublen - self.len) as u32;
+        let step = 1u64 << (32 - sublen as u32);
+        (0..count).map(move |i| Prefix {
+            base: self.base + (i * step) as u32,
+            len: sublen,
+        })
+    }
+
+    /// The /24 containing `addr` — the granularity at which the paper
+    /// measures CPE-address diversity (Fig. 5).
+    pub fn slash24_of(addr: Ipv4Addr) -> Prefix {
+        Prefix::new(addr, 24)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| PrefixParseError(s.to_string()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| PrefixParseError(s.to_string()))?;
+        let len: u8 = len.parse().map_err(|_| PrefixParseError(s.to_string()))?;
+        if len > 32 {
+            return Err(PrefixParseError(s.to_string()));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip;
+    use proptest::prelude::*;
+
+    #[test]
+    fn masks_host_bits() {
+        let p = Prefix::new(ip(192, 168, 1, 77), 24);
+        assert_eq!(p.network(), ip(192, 168, 1, 0));
+        assert_eq!(p.to_string(), "192.168.1.0/24");
+    }
+
+    #[test]
+    fn contains_boundaries() {
+        let p: Prefix = "100.64.0.0/10".parse().unwrap();
+        assert!(p.contains(ip(100, 64, 0, 0)));
+        assert!(p.contains(ip(100, 127, 255, 255)));
+        assert!(!p.contains(ip(100, 128, 0, 0)));
+        assert!(!p.contains(ip(100, 63, 255, 255)));
+    }
+
+    #[test]
+    fn zero_length_prefix_contains_everything() {
+        let p = Prefix::new(ip(0, 0, 0, 0), 0);
+        assert!(p.contains(ip(255, 255, 255, 255)));
+        assert!(p.contains(ip(0, 0, 0, 0)));
+        assert_eq!(p.size(), 1u64 << 32);
+    }
+
+    #[test]
+    fn host_prefix() {
+        let p = Prefix::new(ip(8, 8, 8, 8), 32);
+        assert_eq!(p.size(), 1);
+        assert!(p.contains(ip(8, 8, 8, 8)));
+        assert!(!p.contains(ip(8, 8, 8, 9)));
+    }
+
+    #[test]
+    fn covers_nesting() {
+        let big: Prefix = "10.0.0.0/8".parse().unwrap();
+        let small: Prefix = "10.42.0.0/16".parse().unwrap();
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(big.covers(&big));
+    }
+
+    #[test]
+    fn addr_indexing() {
+        let p: Prefix = "192.0.2.0/24".parse().unwrap();
+        assert_eq!(p.addr(0), ip(192, 0, 2, 0));
+        assert_eq!(p.addr(255), ip(192, 0, 2, 255));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of prefix")]
+    fn addr_out_of_range_panics() {
+        let p: Prefix = "192.0.2.0/24".parse().unwrap();
+        let _ = p.addr(256);
+    }
+
+    #[test]
+    fn subnets_partition() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        let subs: Vec<Prefix> = p.subnets(10).collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[0].to_string(), "10.0.0.0/10");
+        assert_eq!(subs[3].to_string(), "10.192.0.0/10");
+        // Subnets tile the parent without overlap.
+        for w in subs.windows(2) {
+            assert!(!w[0].contains(w[1].network()));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Prefix>().is_err());
+        assert!("banana/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn netmask_values() {
+        assert_eq!(
+            "0.0.0.0/0".parse::<Prefix>().unwrap().netmask(),
+            ip(0, 0, 0, 0)
+        );
+        assert_eq!(
+            "10.0.0.0/8".parse::<Prefix>().unwrap().netmask(),
+            ip(255, 0, 0, 0)
+        );
+        assert_eq!(
+            "1.2.3.4/32".parse::<Prefix>().unwrap().netmask(),
+            ip(255, 255, 255, 255)
+        );
+    }
+
+    #[test]
+    fn slash24_bucketing() {
+        assert_eq!(
+            Prefix::slash24_of(ip(100, 64, 3, 200)).to_string(),
+            "100.64.3.0/24"
+        );
+    }
+
+    proptest! {
+        /// Round trip: display then parse yields the same prefix.
+        #[test]
+        fn prop_display_parse_roundtrip(a in any::<u32>(), len in 0u8..=32) {
+            let p = Prefix::new(Ipv4Addr::from(a), len);
+            let back: Prefix = p.to_string().parse().unwrap();
+            prop_assert_eq!(p, back);
+        }
+
+        /// Every address produced by `iter` is contained in the prefix.
+        #[test]
+        fn prop_iter_contained(a in any::<u32>(), len in 20u8..=32) {
+            let p = Prefix::new(Ipv4Addr::from(a), len);
+            for addr in p.iter().take(64) {
+                prop_assert!(p.contains(addr));
+            }
+        }
+
+        /// Containment agrees with the numeric range check.
+        #[test]
+        fn prop_contains_matches_range(a in any::<u32>(), len in 0u8..=32, x in any::<u32>()) {
+            let p = Prefix::new(Ipv4Addr::from(a), len);
+            let lo = u32::from(p.network()) as u64;
+            let hi = lo + p.size() - 1;
+            let inside = (x as u64) >= lo && (x as u64) <= hi;
+            prop_assert_eq!(p.contains(Ipv4Addr::from(x)), inside);
+        }
+
+        /// Subnets of a prefix are disjoint, covered, and tile the full size.
+        #[test]
+        fn prop_subnets_tile(a in any::<u32>(), len in 4u8..=16) {
+            let p = Prefix::new(Ipv4Addr::from(a), len);
+            let sublen = len + 4;
+            let subs: Vec<Prefix> = p.subnets(sublen).collect();
+            prop_assert_eq!(subs.len(), 16);
+            let total: u64 = subs.iter().map(|s| s.size()).sum();
+            prop_assert_eq!(total, p.size());
+            for s in &subs {
+                prop_assert!(p.covers(s));
+            }
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Autonomous systems, RIR regions and AS populations.
+//!
+//! The paper reports results against three AS populations (Table 5): all
+//! routed ASes, "eyeball" ASes from the Spamhaus PBL, and eyeball ASes from
+//! the APNIC Labs population list. Regional breakdowns (Fig. 6) use the five
+//! Regional Internet Registries.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An autonomous system number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AsId(pub u32);
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// The five Regional Internet Registries (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Rir {
+    Afrinic,
+    Apnic,
+    Arin,
+    Lacnic,
+    Ripe,
+}
+
+impl Rir {
+    /// All RIRs in the paper's alphabetical plotting order.
+    pub const ALL: [Rir; 5] = [Rir::Afrinic, Rir::Apnic, Rir::Arin, Rir::Lacnic, Rir::Ripe];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rir::Afrinic => "AFRINIC",
+            Rir::Apnic => "APNIC",
+            Rir::Arin => "ARIN",
+            Rir::Lacnic => "LACNIC",
+            Rir::Ripe => "RIPE",
+        }
+    }
+
+    /// Whether the registry had exhausted its freely-allocatable IPv4 pool at
+    /// the time of the study (all but AFRINIC). Drives the scarcity model in
+    /// the topology generator: exhausted regions deploy more CGN.
+    pub fn ipv4_exhausted(self) -> bool {
+        !matches!(self, Rir::Afrinic)
+    }
+}
+
+impl fmt::Display for Rir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Broad functional classification of an AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AsKind {
+    /// Residential/fixed-line eyeball network (connects end users).
+    EyeballResidential,
+    /// Cellular eyeball network.
+    EyeballCellular,
+    /// Transit/backbone network — no end users of its own.
+    Transit,
+    /// Content/hosting network (where measurement servers live).
+    Content,
+}
+
+impl AsKind {
+    /// Eyeball ASes are the denominator of the paper's headline rates.
+    pub fn is_eyeball(self) -> bool {
+        matches!(self, AsKind::EyeballResidential | AsKind::EyeballCellular)
+    }
+
+    pub fn is_cellular(self) -> bool {
+        matches!(self, AsKind::EyeballCellular)
+    }
+}
+
+/// Static metadata about one AS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsInfo {
+    pub id: AsId,
+    pub name: String,
+    pub rir: Rir,
+    pub kind: AsKind,
+    /// Rough subscriber count; drives sampling weight for eyeball lists.
+    pub subscribers: u32,
+}
+
+/// Registry of every AS in the simulated Internet.
+///
+/// Deterministically ordered (BTreeMap) so iteration order — and hence every
+/// downstream sample — is stable across runs.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct AsRegistry {
+    entries: BTreeMap<AsId, AsInfo>,
+}
+
+impl AsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an AS. Returns the previous entry if the id was already
+    /// registered (callers treat that as a generator bug).
+    pub fn insert(&mut self, info: AsInfo) -> Option<AsInfo> {
+        self.entries.insert(info.id, info)
+    }
+
+    pub fn get(&self, id: AsId) -> Option<&AsInfo> {
+        self.entries.get(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &AsInfo> {
+        self.entries.values()
+    }
+
+    /// All eyeball ASes (PBL/APNIC-style population lists are sampled from
+    /// these in the topology crate).
+    pub fn eyeballs(&self) -> impl Iterator<Item = &AsInfo> {
+        self.iter().filter(|a| a.kind.is_eyeball())
+    }
+
+    pub fn cellular(&self) -> impl Iterator<Item = &AsInfo> {
+        self.iter().filter(|a| a.kind.is_cellular())
+    }
+
+    /// Count ASes per RIR, restricted by a predicate — the workhorse of the
+    /// Fig. 6 per-region breakdowns.
+    pub fn count_per_rir<F: Fn(&AsInfo) -> bool>(&self, pred: F) -> BTreeMap<Rir, usize> {
+        let mut out: BTreeMap<Rir, usize> = Rir::ALL.iter().map(|r| (*r, 0)).collect();
+        for a in self.iter().filter(|a| pred(a)) {
+            *out.get_mut(&a.rir).expect("all RIRs pre-seeded") += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(id: u32, rir: Rir, kind: AsKind) -> AsInfo {
+        AsInfo {
+            id: AsId(id),
+            name: format!("AS{id}"),
+            rir,
+            kind,
+            subscribers: 1000,
+        }
+    }
+
+    #[test]
+    fn registry_insert_get() {
+        let mut reg = AsRegistry::new();
+        assert!(reg
+            .insert(info(7922, Rir::Arin, AsKind::EyeballResidential))
+            .is_none());
+        assert_eq!(reg.get(AsId(7922)).unwrap().rir, Rir::Arin);
+        assert!(reg.get(AsId(1)).is_none());
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_returns_previous() {
+        let mut reg = AsRegistry::new();
+        reg.insert(info(1, Rir::Ripe, AsKind::Transit));
+        let prev = reg.insert(info(1, Rir::Ripe, AsKind::Content));
+        assert!(prev.is_some());
+        assert_eq!(reg.get(AsId(1)).unwrap().kind, AsKind::Content);
+    }
+
+    #[test]
+    fn eyeball_filtering() {
+        let mut reg = AsRegistry::new();
+        reg.insert(info(1, Rir::Ripe, AsKind::EyeballResidential));
+        reg.insert(info(2, Rir::Ripe, AsKind::EyeballCellular));
+        reg.insert(info(3, Rir::Ripe, AsKind::Transit));
+        reg.insert(info(4, Rir::Ripe, AsKind::Content));
+        assert_eq!(reg.eyeballs().count(), 2);
+        assert_eq!(reg.cellular().count(), 1);
+    }
+
+    #[test]
+    fn per_rir_counts_include_empty_regions() {
+        let mut reg = AsRegistry::new();
+        reg.insert(info(1, Rir::Apnic, AsKind::EyeballResidential));
+        reg.insert(info(2, Rir::Apnic, AsKind::EyeballResidential));
+        reg.insert(info(3, Rir::Lacnic, AsKind::EyeballCellular));
+        let counts = reg.count_per_rir(|a| a.kind.is_eyeball());
+        assert_eq!(counts[&Rir::Apnic], 2);
+        assert_eq!(counts[&Rir::Lacnic], 1);
+        assert_eq!(counts[&Rir::Afrinic], 0);
+        assert_eq!(counts.len(), 5);
+    }
+
+    #[test]
+    fn iteration_is_ordered_by_as_id() {
+        let mut reg = AsRegistry::new();
+        reg.insert(info(30, Rir::Ripe, AsKind::Transit));
+        reg.insert(info(10, Rir::Ripe, AsKind::Transit));
+        reg.insert(info(20, Rir::Ripe, AsKind::Transit));
+        let ids: Vec<u32> = reg.iter().map(|a| a.id.0).collect();
+        assert_eq!(ids, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn rir_exhaustion_model() {
+        assert!(!Rir::Afrinic.ipv4_exhausted());
+        assert!(Rir::Apnic.ipv4_exhausted());
+        assert!(Rir::Ripe.ipv4_exhausted());
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(AsId(12874).to_string(), "AS12874");
+        assert_eq!(Rir::Apnic.to_string(), "APNIC");
+    }
+}

@@ -1,0 +1,114 @@
+//! Transport endpoints and flow identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Transport protocol of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Protocol {
+    Udp,
+    Tcp,
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Protocol::Udp => "UDP",
+            Protocol::Tcp => "TCP",
+        })
+    }
+}
+
+/// An `IP:port` pair — the paper's `IPint:portint` / `IPext:portext`
+/// notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Endpoint {
+    pub ip: Ipv4Addr,
+    pub port: u16,
+}
+
+impl Endpoint {
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        Endpoint { ip, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+impl From<(Ipv4Addr, u16)> for Endpoint {
+    fn from((ip, port): (Ipv4Addr, u16)) -> Self {
+        Endpoint { ip, port }
+    }
+}
+
+/// A directed five-tuple identifying a flow at one observation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    pub proto: Protocol,
+    pub src: Endpoint,
+    pub dst: Endpoint,
+}
+
+impl FlowKey {
+    pub fn new(proto: Protocol, src: Endpoint, dst: Endpoint) -> Self {
+        FlowKey { proto, src, dst }
+    }
+
+    /// The same flow seen from the other direction.
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            proto: self.proto,
+            src: self.dst,
+            dst: self.src,
+        }
+    }
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} -> {}", self.proto, self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip;
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(Endpoint::new(ip(10, 0, 0, 1), 6881).to_string(), "10.0.0.1:6881");
+    }
+
+    #[test]
+    fn endpoint_from_tuple() {
+        let e: Endpoint = (ip(1, 2, 3, 4), 80).into();
+        assert_eq!(e.port, 80);
+    }
+
+    #[test]
+    fn flow_reversal_is_involution() {
+        let k = FlowKey::new(
+            Protocol::Tcp,
+            Endpoint::new(ip(10, 0, 0, 1), 1234),
+            Endpoint::new(ip(8, 8, 8, 8), 80),
+        );
+        assert_eq!(k.reversed().reversed(), k);
+        assert_eq!(k.reversed().src, k.dst);
+    }
+
+    #[test]
+    fn flow_display() {
+        let k = FlowKey::new(
+            Protocol::Udp,
+            Endpoint::new(ip(10, 0, 0, 1), 53),
+            Endpoint::new(ip(9, 9, 9, 9), 53),
+        );
+        assert_eq!(k.to_string(), "UDP 10.0.0.1:53 -> 9.9.9.9:53");
+    }
+}

@@ -1,0 +1,252 @@
+//! The simulated IPv4 packet.
+//!
+//! The simulator forwards [`Packet`]s hop by hop; NATs rewrite source or
+//! destination endpoints; routers decrement the TTL and emit ICMP
+//! time-exceeded errors — the mechanism the paper's TTL-driven NAT
+//! enumeration test (Fig. 10) is built on.
+//!
+//! Application payloads are opaque byte strings (`Vec<u8>`); the DHT and
+//! Netalyzr crates serialize real wire formats (bencode/KRPC, STUN) into
+//! them.
+
+use crate::endpoint::{Endpoint, Protocol};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default initial TTL used by simulated hosts (Linux-like).
+pub const DEFAULT_TTL: u8 = 64;
+
+/// TCP header flags we model (enough for NAT state tracking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags {
+    pub syn: bool,
+    pub ack: bool,
+    pub fin: bool,
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false };
+    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
+    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
+    pub const FIN: TcpFlags = TcpFlags { syn: false, ack: false, fin: true, rst: false };
+    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true };
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.syn { parts.push("SYN"); }
+        if self.ack { parts.push("ACK"); }
+        if self.fin { parts.push("FIN"); }
+        if self.rst { parts.push("RST"); }
+        if parts.is_empty() { parts.push("-"); }
+        f.write_str(&parts.join("|"))
+    }
+}
+
+/// ICMP messages the simulator generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IcmpKind {
+    /// TTL expired in transit (type 11). Carries no quoted packet here; the
+    /// simulator delivers it to the original sender directly.
+    TtlExceeded,
+    /// Destination unreachable (type 3) — emitted when no route exists or a
+    /// NAT refuses an inbound packet and is configured to signal it.
+    DestinationUnreachable,
+}
+
+/// Transport-specific part of a packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketBody {
+    Udp {
+        payload: Vec<u8>,
+    },
+    Tcp {
+        flags: TcpFlags,
+        payload: Vec<u8>,
+    },
+    Icmp {
+        kind: IcmpKind,
+        /// The flow the error refers to (src/dst of the original packet).
+        original_src: Endpoint,
+        original_dst: Endpoint,
+    },
+}
+
+impl PacketBody {
+    pub fn protocol(&self) -> Option<Protocol> {
+        match self {
+            PacketBody::Udp { .. } => Some(Protocol::Udp),
+            PacketBody::Tcp { .. } => Some(Protocol::Tcp),
+            PacketBody::Icmp { .. } => None,
+        }
+    }
+
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            PacketBody::Udp { payload } | PacketBody::Tcp { payload, .. } => payload,
+            PacketBody::Icmp { .. } => &[],
+        }
+    }
+}
+
+/// A simulated IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    pub src: Endpoint,
+    pub dst: Endpoint,
+    pub ttl: u8,
+    pub body: PacketBody,
+}
+
+impl Packet {
+    /// A UDP packet with the default TTL.
+    pub fn udp(src: Endpoint, dst: Endpoint, payload: Vec<u8>) -> Packet {
+        Packet {
+            src,
+            dst,
+            ttl: DEFAULT_TTL,
+            body: PacketBody::Udp { payload },
+        }
+    }
+
+    /// A TCP packet with the default TTL.
+    pub fn tcp(src: Endpoint, dst: Endpoint, flags: TcpFlags, payload: Vec<u8>) -> Packet {
+        Packet {
+            src,
+            dst,
+            ttl: DEFAULT_TTL,
+            body: PacketBody::Tcp { flags, payload },
+        }
+    }
+
+    /// Set an explicit TTL (used by TTL-limited keepalive probes).
+    pub fn with_ttl(mut self, ttl: u8) -> Packet {
+        self.ttl = ttl;
+        self
+    }
+
+    /// The transport protocol, if not ICMP.
+    pub fn protocol(&self) -> Option<Protocol> {
+        self.body.protocol()
+    }
+
+    /// Decrement the TTL as a router would. Returns `false` if the packet
+    /// must be dropped (TTL reached zero).
+    pub fn decrement_ttl(&mut self) -> bool {
+        if self.ttl <= 1 {
+            self.ttl = 0;
+            false
+        } else {
+            self.ttl -= 1;
+            true
+        }
+    }
+
+    /// Build the ICMP time-exceeded error a router at `router_ip` would send
+    /// back to this packet's source.
+    pub fn ttl_exceeded_reply(&self, router_ip: std::net::Ipv4Addr) -> Packet {
+        Packet {
+            src: Endpoint::new(router_ip, 0),
+            dst: self.src,
+            ttl: DEFAULT_TTL,
+            body: PacketBody::Icmp {
+                kind: IcmpKind::TtlExceeded,
+                original_src: self.src,
+                original_dst: self.dst,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.body {
+            PacketBody::Udp { payload } => {
+                write!(f, "UDP {} -> {} ttl={} ({}B)", self.src, self.dst, self.ttl, payload.len())
+            }
+            PacketBody::Tcp { flags, payload } => write!(
+                f,
+                "TCP {} -> {} ttl={} [{}] ({}B)",
+                self.src, self.dst, self.ttl, flags, payload.len()
+            ),
+            PacketBody::Icmp { kind, .. } => {
+                write!(f, "ICMP {:?} {} -> {} ttl={}", kind, self.src, self.dst, self.ttl)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip;
+
+    fn ep(last: u8, port: u16) -> Endpoint {
+        Endpoint::new(ip(10, 0, 0, last), port)
+    }
+
+    #[test]
+    fn udp_constructor_defaults() {
+        let p = Packet::udp(ep(1, 1000), ep(2, 2000), vec![1, 2, 3]);
+        assert_eq!(p.ttl, DEFAULT_TTL);
+        assert_eq!(p.protocol(), Some(Protocol::Udp));
+        assert_eq!(p.body.payload(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn ttl_decrement_semantics() {
+        let mut p = Packet::udp(ep(1, 1), ep(2, 2), vec![]).with_ttl(2);
+        assert!(p.decrement_ttl());
+        assert_eq!(p.ttl, 1);
+        assert!(!p.decrement_ttl());
+        assert_eq!(p.ttl, 0);
+        // Further decrements stay at zero and keep failing.
+        assert!(!p.decrement_ttl());
+    }
+
+    #[test]
+    fn ttl_one_dies_at_first_router() {
+        let mut p = Packet::udp(ep(1, 1), ep(2, 2), vec![]).with_ttl(1);
+        assert!(!p.decrement_ttl());
+    }
+
+    #[test]
+    fn icmp_reply_targets_original_source() {
+        let p = Packet::udp(ep(1, 1111), ep(2, 2222), vec![]).with_ttl(1);
+        let reply = p.ttl_exceeded_reply(ip(192, 0, 2, 1));
+        assert_eq!(reply.dst, p.src);
+        assert_eq!(reply.src.ip, ip(192, 0, 2, 1));
+        match reply.body {
+            PacketBody::Icmp { kind, original_src, original_dst } => {
+                assert_eq!(kind, IcmpKind::TtlExceeded);
+                assert_eq!(original_src, p.src);
+                assert_eq!(original_dst, p.dst);
+            }
+            _ => panic!("expected ICMP"),
+        }
+    }
+
+    #[test]
+    fn tcp_flag_display() {
+        assert_eq!(TcpFlags::SYN.to_string(), "SYN");
+        assert_eq!(TcpFlags::SYN_ACK.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+    }
+
+    #[test]
+    fn icmp_has_no_protocol_or_payload() {
+        let p = Packet::udp(ep(1, 1), ep(2, 2), vec![9]).ttl_exceeded_reply(ip(1, 1, 1, 1));
+        assert_eq!(p.protocol(), None);
+        assert!(p.body.payload().is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = Packet::tcp(ep(1, 1), ep(2, 80), TcpFlags::SYN, vec![]);
+        let s = p.to_string();
+        assert!(s.contains("TCP"), "{s}");
+        assert!(s.contains("[SYN]"), "{s}");
+    }
+}

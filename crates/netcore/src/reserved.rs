@@ -1,0 +1,165 @@
+//! Reserved address space — Table 1 of the paper.
+//!
+//! | Range            | Shorthand | RFC  | Comments                 |
+//! |------------------|-----------|------|--------------------------|
+//! | 192.168.0.0/16   | 192X      | 1918 | Commonly used in CPE     |
+//! | 172.16.0.0/12    | 172X      | 1918 |                          |
+//! | 10.0.0.0/8       | 10X       | 1918 |                          |
+//! | 100.64.0.0/10    | 100X      | 6598 | for CGN deployments      |
+//!
+//! The paper's detection pipelines bucket *internal* peers and addresses by
+//! these four ranges (Figures 4, 5, 7; Tables 3, 4).
+
+use crate::addr::Prefix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// One of the four reserved ranges the study tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ReservedRange {
+    /// `192.168.0.0/16` (RFC 1918) — dominant in home CPE deployments.
+    R192,
+    /// `172.16.0.0/12` (RFC 1918).
+    R172,
+    /// `10.0.0.0/8` (RFC 1918) — the most common CGN internal range.
+    R10,
+    /// `100.64.0.0/10` (RFC 6598) — shared address space allocated
+    /// specifically for CGN deployments.
+    R100,
+}
+
+impl ReservedRange {
+    /// All four ranges in the paper's canonical order (192X, 172X, 10X, 100X).
+    pub const ALL: [ReservedRange; 4] = [
+        ReservedRange::R192,
+        ReservedRange::R172,
+        ReservedRange::R10,
+        ReservedRange::R100,
+    ];
+
+    /// The CIDR prefix of this range.
+    pub fn prefix(self) -> Prefix {
+        match self {
+            ReservedRange::R192 => Prefix::new(Ipv4Addr::new(192, 168, 0, 0), 16),
+            ReservedRange::R172 => Prefix::new(Ipv4Addr::new(172, 16, 0, 0), 12),
+            ReservedRange::R10 => Prefix::new(Ipv4Addr::new(10, 0, 0, 0), 8),
+            ReservedRange::R100 => Prefix::new(Ipv4Addr::new(100, 64, 0, 0), 10),
+        }
+    }
+
+    /// The paper's shorthand name ("192X", "172X", "10X", "100X").
+    pub fn shorthand(self) -> &'static str {
+        match self {
+            ReservedRange::R192 => "192X",
+            ReservedRange::R172 => "172X",
+            ReservedRange::R10 => "10X",
+            ReservedRange::R100 => "100X",
+        }
+    }
+
+    /// The RFC that reserves this range.
+    pub fn rfc(self) -> u16 {
+        match self {
+            ReservedRange::R100 => 6598,
+            _ => 1918,
+        }
+    }
+
+    /// Whether `addr` falls inside this range.
+    pub fn contains(self, addr: Ipv4Addr) -> bool {
+        self.prefix().contains(addr)
+    }
+}
+
+impl fmt::Display for ReservedRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.shorthand())
+    }
+}
+
+/// Classify an address into one of the four tracked reserved ranges, or
+/// `None` if it is nominally public.
+///
+/// Note the ranges are mutually disjoint, so order does not matter.
+pub fn classify_reserved(addr: Ipv4Addr) -> Option<ReservedRange> {
+    ReservedRange::ALL.into_iter().find(|r| r.contains(addr))
+}
+
+/// Whether the address is *reserved for internal use* per Table 1. The paper
+/// calls such addresses "reserved"; all others are "routable" by value
+/// (whether they are *routed* is a separate question answered by the
+/// routing table).
+pub fn is_reserved(addr: Ipv4Addr) -> bool {
+    classify_reserved(addr).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table1_prefixes() {
+        assert_eq!(ReservedRange::R192.prefix().to_string(), "192.168.0.0/16");
+        assert_eq!(ReservedRange::R172.prefix().to_string(), "172.16.0.0/12");
+        assert_eq!(ReservedRange::R10.prefix().to_string(), "10.0.0.0/8");
+        assert_eq!(ReservedRange::R100.prefix().to_string(), "100.64.0.0/10");
+    }
+
+    #[test]
+    fn table1_rfcs() {
+        assert_eq!(ReservedRange::R192.rfc(), 1918);
+        assert_eq!(ReservedRange::R172.rfc(), 1918);
+        assert_eq!(ReservedRange::R10.rfc(), 1918);
+        assert_eq!(ReservedRange::R100.rfc(), 6598);
+    }
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(classify_reserved(ip(192, 168, 0, 1)), Some(ReservedRange::R192));
+        assert_eq!(classify_reserved(ip(192, 169, 0, 1)), None);
+        assert_eq!(classify_reserved(ip(172, 16, 0, 1)), Some(ReservedRange::R172));
+        assert_eq!(classify_reserved(ip(172, 31, 255, 255)), Some(ReservedRange::R172));
+        assert_eq!(classify_reserved(ip(172, 32, 0, 0)), None);
+        assert_eq!(classify_reserved(ip(10, 255, 0, 1)), Some(ReservedRange::R10));
+        assert_eq!(classify_reserved(ip(11, 0, 0, 1)), None);
+        assert_eq!(classify_reserved(ip(100, 64, 0, 1)), Some(ReservedRange::R100));
+        assert_eq!(classify_reserved(ip(100, 128, 0, 1)), None);
+        // Routable-but-unannounced space used internally by some ISPs
+        // (Fig. 7b) is *not* reserved.
+        assert_eq!(classify_reserved(ip(25, 0, 0, 1)), None);
+        assert_eq!(classify_reserved(ip(1, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn shorthand_names() {
+        let names: Vec<&str> = ReservedRange::ALL.iter().map(|r| r.shorthand()).collect();
+        assert_eq!(names, vec!["192X", "172X", "10X", "100X"]);
+    }
+
+    proptest! {
+        /// The four ranges are mutually disjoint: at most one matches.
+        #[test]
+        fn prop_ranges_disjoint(a in any::<u32>()) {
+            let addr = Ipv4Addr::from(a);
+            let n = ReservedRange::ALL.iter().filter(|r| r.contains(addr)).count();
+            prop_assert!(n <= 1);
+        }
+
+        /// classify agrees with per-range contains.
+        #[test]
+        fn prop_classify_consistent(a in any::<u32>()) {
+            let addr = Ipv4Addr::from(a);
+            match classify_reserved(addr) {
+                Some(r) => prop_assert!(r.contains(addr)),
+                None => {
+                    for r in ReservedRange::ALL {
+                        prop_assert!(!r.contains(addr));
+                    }
+                }
+            }
+        }
+    }
+}

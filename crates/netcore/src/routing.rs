@@ -1,0 +1,264 @@
+//! The simulated global routing table.
+//!
+//! The paper classifies observed addresses against the BGP routing table:
+//! an address may be *reserved* (Table 1), *unrouted* (nominally public but
+//! absent from the table), or *routed* (present). Routed addresses are then
+//! compared to the public address seen by the server ("routed match" /
+//! "routed mismatch", Table 4).
+//!
+//! The implementation is a flat longest-prefix-match table over sorted
+//! `(prefix, origin)` entries: simple, deterministic and fast enough for the
+//! table sizes of the study (tens of thousands of prefixes). Lookups walk
+//! candidate lengths from most- to least-specific using a per-length index,
+//! the classic "binary search on prefix lengths" simplification.
+
+use crate::addr::Prefix;
+use crate::asn::AsId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+/// One announcement in the routing table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteEntry {
+    pub prefix: Prefix,
+    /// Origin AS of the announcement.
+    pub origin: AsId,
+}
+
+/// Longest-prefix-match routing table.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct RoutingTable {
+    /// Exact-prefix entries per length; `HashMap<masked base, origin>`.
+    /// Serialized as a sorted map for determinism.
+    #[serde(with = "per_len_serde")]
+    per_len: Vec<HashMap<u32, AsId>>,
+    len_count: usize,
+}
+
+mod per_len_serde {
+    use super::*;
+    use serde::ser::SerializeSeq;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        v: &[HashMap<u32, AsId>],
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut seq = s.serialize_seq(Some(v.len()))?;
+        for m in v {
+            let ordered: BTreeMap<u32, AsId> = m.iter().map(|(k, v)| (*k, *v)).collect();
+            seq.serialize_element(&ordered)?;
+        }
+        seq.end()
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<Vec<HashMap<u32, AsId>>, D::Error> {
+        let v: Vec<BTreeMap<u32, AsId>> = serde::Deserialize::deserialize(d)?;
+        Ok(v.into_iter()
+            .map(|m| m.into_iter().collect())
+            .collect())
+    }
+}
+
+impl RoutingTable {
+    pub fn new() -> Self {
+        RoutingTable {
+            per_len: (0..=32).map(|_| HashMap::new()).collect(),
+            len_count: 0,
+        }
+    }
+
+    /// Announce a prefix. Later announcements of the identical prefix
+    /// overwrite earlier ones (as a route replacement would).
+    pub fn announce(&mut self, prefix: Prefix, origin: AsId) {
+        if self.per_len.is_empty() {
+            *self = RoutingTable::new();
+        }
+        let m = &mut self.per_len[prefix.len() as usize];
+        if m.insert(u32::from(prefix.network()), origin).is_none() {
+            self.len_count += 1;
+        }
+    }
+
+    /// Withdraw a prefix; returns true if it was present.
+    pub fn withdraw(&mut self, prefix: Prefix) -> bool {
+        if self.per_len.is_empty() {
+            return false;
+        }
+        let removed = self.per_len[prefix.len() as usize]
+            .remove(&u32::from(prefix.network()))
+            .is_some();
+        if removed {
+            self.len_count -= 1;
+        }
+        removed
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<RouteEntry> {
+        if self.per_len.is_empty() {
+            return None;
+        }
+        let raw = u32::from(addr);
+        for len in (0..=32u8).rev() {
+            let m = &self.per_len[len as usize];
+            if m.is_empty() {
+                continue;
+            }
+            let mask = if len == 0 { 0 } else { u32::MAX << (32 - len as u32) };
+            if let Some(origin) = m.get(&(raw & mask)) {
+                return Some(RouteEntry {
+                    prefix: Prefix::new(addr, len),
+                    origin: *origin,
+                });
+            }
+        }
+        None
+    }
+
+    /// Whether the address appears in the routing table at all.
+    pub fn is_routed(&self, addr: Ipv4Addr) -> bool {
+        self.lookup(addr).is_some()
+    }
+
+    /// The origin AS for an address, if routed.
+    pub fn origin_of(&self, addr: Ipv4Addr) -> Option<AsId> {
+        self.lookup(addr).map(|e| e.origin)
+    }
+
+    /// Number of announced prefixes.
+    pub fn len(&self) -> usize {
+        self.len_count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len_count == 0
+    }
+
+    /// Iterate all entries in (length, base) order — deterministic.
+    pub fn entries(&self) -> Vec<RouteEntry> {
+        let mut out = Vec::with_capacity(self.len_count);
+        for (len, m) in self.per_len.iter().enumerate() {
+            let mut keys: Vec<(&u32, &AsId)> = m.iter().collect();
+            keys.sort_by_key(|(k, _)| **k);
+            for (base, origin) in keys {
+                out.push(RouteEntry {
+                    prefix: Prefix::new(Ipv4Addr::from(*base), len as u8),
+                    origin: *origin,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip;
+    use proptest::prelude::*;
+
+    fn table() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.announce("8.0.0.0/8".parse().unwrap(), AsId(3356));
+        t.announce("8.8.8.0/24".parse().unwrap(), AsId(15169));
+        t.announce("100.0.0.0/8".parse().unwrap(), AsId(100));
+        t
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let t = table();
+        assert_eq!(t.origin_of(ip(8, 8, 8, 8)), Some(AsId(15169)));
+        assert_eq!(t.origin_of(ip(8, 8, 9, 1)), Some(AsId(3356)));
+        assert_eq!(t.origin_of(ip(9, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn lookup_reports_matching_prefix() {
+        let t = table();
+        let e = t.lookup(ip(8, 8, 8, 200)).unwrap();
+        assert_eq!(e.prefix.to_string(), "8.8.8.0/24");
+        let e = t.lookup(ip(8, 1, 2, 3)).unwrap();
+        assert_eq!(e.prefix.to_string(), "8.0.0.0/8");
+    }
+
+    #[test]
+    fn reserved_space_unrouted_unless_announced() {
+        // "Technically some reserved addresses are in fact routable" — the
+        // table does not special-case them; whoever builds the table decides.
+        let mut t = table();
+        assert!(!t.is_routed(ip(10, 1, 2, 3)));
+        t.announce("10.0.0.0/8".parse().unwrap(), AsId(666));
+        assert!(t.is_routed(ip(10, 1, 2, 3)));
+    }
+
+    #[test]
+    fn withdraw_removes() {
+        let mut t = table();
+        assert!(t.withdraw("8.8.8.0/24".parse().unwrap()));
+        assert_eq!(t.origin_of(ip(8, 8, 8, 8)), Some(AsId(3356)));
+        assert!(!t.withdraw("8.8.8.0/24".parse().unwrap()));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn replacement_keeps_count() {
+        let mut t = RoutingTable::new();
+        t.announce("1.0.0.0/8".parse().unwrap(), AsId(1));
+        t.announce("1.0.0.0/8".parse().unwrap(), AsId(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.origin_of(ip(1, 2, 3, 4)), Some(AsId(2)));
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = RoutingTable::new();
+        t.announce("0.0.0.0/0".parse().unwrap(), AsId(42));
+        assert_eq!(t.origin_of(ip(203, 0, 113, 7)), Some(AsId(42)));
+    }
+
+    #[test]
+    fn entries_sorted_and_complete() {
+        let t = table();
+        let es = t.entries();
+        assert_eq!(es.len(), 3);
+        // Sorted by (len, base): /8s first.
+        assert_eq!(es[0].prefix.len(), 8);
+        assert_eq!(es[2].prefix.len(), 24);
+    }
+
+    #[test]
+    fn empty_default_table_lookups() {
+        let t = RoutingTable::default();
+        assert!(t.lookup(ip(1, 1, 1, 1)).is_none());
+        assert!(t.is_empty());
+    }
+
+    proptest! {
+        /// Any address inside an announced prefix (and no more-specific
+        /// announcement) resolves to that origin.
+        #[test]
+        fn prop_lookup_within_prefix(base in any::<u32>(), len in 8u8..=24, host in any::<u32>()) {
+            let p = Prefix::new(Ipv4Addr::from(base), len);
+            let mut t = RoutingTable::new();
+            t.announce(p, AsId(7));
+            let addr = Ipv4Addr::from(u32::from(p.network()) | (host & !u32::from(p.netmask())));
+            prop_assert_eq!(t.origin_of(addr), Some(AsId(7)));
+        }
+
+        /// announce + withdraw is the identity on lookups.
+        #[test]
+        fn prop_withdraw_restores(base in any::<u32>(), len in 0u8..=32, probe in any::<u32>()) {
+            let p = Prefix::new(Ipv4Addr::from(base), len);
+            let mut t = table();
+            let before = t.lookup(Ipv4Addr::from(probe));
+            t.announce(p, AsId(999));
+            t.withdraw(p);
+            prop_assert_eq!(t.lookup(Ipv4Addr::from(probe)), before);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Virtual time for the deterministic simulation.
+//!
+//! All components of the study share one virtual clock. Time is measured in
+//! milliseconds since the start of the simulation. Using virtual time (rather
+//! than `std::time::Instant`) makes the TTL-driven NAT-enumeration and
+//! mapping-timeout experiments exactly reproducible: a NAT mapping with a
+//! 65 s timeout expires after *exactly* 65 000 virtual milliseconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (milliseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of virtual time (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Raw milliseconds since epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since epoch (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// The duration elapsed since `earlier`. Saturates at zero rather than
+    /// panicking, since measurement code frequently computes "age" values
+    /// for events that may share a timestamp.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Scalar multiply, used when computing keepalive schedules.
+    pub const fn mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0 * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics if `rhs` is later than `self`; use [`SimTime::saturating_since`]
+    /// when the ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1000, self.0 % 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = SimTime::from_secs(3);
+        assert_eq!(t.as_millis(), 3000);
+        assert_eq!(t.as_secs(), 3);
+        let d = SimDuration::from_millis(1500);
+        assert_eq!(d.as_secs(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(100) + SimDuration::from_millis(50);
+        assert_eq!(t.as_millis(), 150);
+        assert_eq!((t - SimTime::from_millis(100)).as_millis(), 50);
+        let mut t2 = SimTime::ZERO;
+        t2 += SimDuration::from_secs(2);
+        assert_eq!(t2.as_secs(), 2);
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let early = SimTime::from_millis(10);
+        let late = SimTime::from_millis(20);
+        assert_eq!(late.saturating_since(early).as_millis(), 10);
+        assert_eq!(early.saturating_since(late).as_millis(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_panics_on_underflow() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn duration_scalar_mul() {
+        assert_eq!(SimDuration::from_secs(10).mul(3).as_secs(), 30);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_millis(5) < SimTime::from_millis(6));
+        assert!(SimDuration::from_secs(1) > SimDuration::from_millis(999));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_millis(65_250).to_string(), "t+65.250s");
+        assert_eq!(SimDuration::from_millis(999).to_string(), "0.999s");
+    }
+}

@@ -1,0 +1,137 @@
+//! Driving request/response protocols over the network.
+//!
+//! Application state machines (DHT peers, measurement servers) are owned by
+//! the crates that define them; `simnet` only forwards packets. [`pump`]
+//! is the generic driver loop that connects the two: it feeds deliveries to
+//! a handler closure, sends whatever packets the handler emits, and repeats
+//! until the exchange quiesces.
+//!
+//! The handler receives `(receiving node, packet)` and returns packets to
+//! transmit as `(origin node, packet)` pairs — usually replies from the
+//! receiving node, but relays and multi-party protocols fit too.
+
+use crate::network::{Delivery, Network, NodeId};
+use netcore::Packet;
+use std::collections::VecDeque;
+
+/// Counters describing one pump run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Packets handed to the handler.
+    pub deliveries: u64,
+    /// Packets the handler emitted.
+    pub emissions: u64,
+    /// True if the loop hit `max_steps` before quiescing.
+    pub truncated: bool,
+}
+
+/// Run an exchange to quiescence (or `max_steps` deliveries).
+///
+/// `initial` seeds the loop with packets to send; every resulting delivery
+/// is passed to `handle`, whose returned packets are sent in turn.
+pub fn pump<F>(
+    net: &mut Network,
+    initial: Vec<(NodeId, Packet)>,
+    mut handle: F,
+    max_steps: usize,
+) -> PumpStats
+where
+    F: FnMut(NodeId, &Packet) -> Vec<(NodeId, Packet)>,
+{
+    let mut stats = PumpStats::default();
+    let mut queue: VecDeque<Delivery> = VecDeque::new();
+    for (origin, pkt) in initial {
+        for d in net.send(origin, pkt) {
+            queue.push_back(d);
+        }
+    }
+    while let Some(d) = queue.pop_front() {
+        if stats.deliveries as usize >= max_steps {
+            stats.truncated = true;
+            break;
+        }
+        stats.deliveries += 1;
+        for (origin, pkt) in handle(d.node, &d.pkt) {
+            stats.emissions += 1;
+            for nd in net.send(origin, pkt) {
+                queue.push_back(nd);
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::RealmId;
+    use netcore::{ip, Endpoint};
+
+    #[test]
+    fn ping_pong_quiesces() {
+        let mut net = Network::new();
+        let a = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 1), vec![]);
+        let b = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 2), vec![]);
+        let ea = Endpoint::new(ip(203, 0, 113, 1), 1000);
+        let eb = Endpoint::new(ip(203, 0, 113, 2), 2000);
+
+        // b echoes once; a stays silent on the echo.
+        let initial = vec![(a, Packet::udp(ea, eb, b"ping".to_vec()))];
+        let stats = pump(
+            &mut net,
+            initial,
+            |node, pkt| {
+                if node == b && pkt.body.payload() == b"ping" {
+                    vec![(b, Packet::udp(eb, ea, b"pong".to_vec()))]
+                } else {
+                    vec![]
+                }
+            },
+            100,
+        );
+        assert_eq!(stats.deliveries, 2);
+        assert_eq!(stats.emissions, 1);
+        assert!(!stats.truncated);
+    }
+
+    #[test]
+    fn max_steps_truncates_chatter() {
+        let mut net = Network::new();
+        let a = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 1), vec![]);
+        let b = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 2), vec![]);
+        let ea = Endpoint::new(ip(203, 0, 113, 1), 1000);
+        let eb = Endpoint::new(ip(203, 0, 113, 2), 2000);
+
+        // Infinite ping-pong: bounded by max_steps.
+        let stats = pump(
+            &mut net,
+            vec![(a, Packet::udp(ea, eb, b"x".to_vec()))],
+            |node, _pkt| {
+                if node == b {
+                    vec![(b, Packet::udp(eb, ea, b"x".to_vec()))]
+                } else {
+                    vec![(a, Packet::udp(ea, eb, b"x".to_vec()))]
+                }
+            },
+            10,
+        );
+        assert!(stats.truncated);
+        assert_eq!(stats.deliveries, 10);
+    }
+
+    #[test]
+    fn drops_do_not_stall_the_loop() {
+        let mut net = Network::new();
+        let a = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 1), vec![]);
+        let ea = Endpoint::new(ip(203, 0, 113, 1), 1000);
+        let nowhere = Endpoint::new(ip(192, 0, 2, 1), 9);
+        let stats = pump(
+            &mut net,
+            vec![(a, Packet::udp(ea, nowhere, b"x".to_vec()))],
+            |_, _| vec![],
+            10,
+        );
+        assert_eq!(stats.deliveries, 0);
+        assert!(!stats.truncated);
+    }
+}

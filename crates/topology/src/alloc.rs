@@ -1,0 +1,202 @@
+//! Address-space allocation for the synthetic Internet.
+
+use netcore::{Prefix, ReservedRange};
+use std::net::Ipv4Addr;
+
+/// Hands out public /16 blocks, skipping reserved and special-purpose
+/// space. Each eyeball AS gets one block for subscribers, CPE WAN
+/// addresses and CGN pools.
+#[derive(Debug)]
+pub struct PublicSpaceAllocator {
+    /// The next candidate /16 index (high 16 bits of the base address).
+    next: u32,
+}
+
+impl Default for PublicSpaceAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PublicSpaceAllocator {
+    pub fn new() -> Self {
+        // Start above the historically special low space.
+        PublicSpaceAllocator { next: 20 << 8 }
+    }
+
+    fn is_usable(base: Ipv4Addr) -> bool {
+        let first = base.octets()[0];
+        // Skip loopback, reserved-for-internal, shared space (the whole
+        // 100/8 to be safe), link local, TEST-NETs, benchmark space and
+        // multicast/class E. Also keep 25/8 unannounced (the MoD-style
+        // routable-but-unrouted block some CGNs use internally, Fig. 7b)
+        // and 1/8 for the foreign announcer.
+        if first == 0
+            || first == 1
+            || first == 10
+            || first == 25
+            || first == 100
+            || first == 127
+            || first >= 224
+        {
+            return false;
+        }
+        let p16 = Prefix::new(base, 16);
+        let special: [Prefix; 5] = [
+            "172.16.0.0/12".parse().unwrap(),
+            "192.168.0.0/16".parse().unwrap(),
+            "169.254.0.0/16".parse().unwrap(),
+            "198.18.0.0/15".parse().unwrap(),
+            "192.0.0.0/16".parse().unwrap(),
+        ];
+        !special.iter().any(|s| s.covers(&p16) || p16.covers(s) || s.contains(base))
+    }
+
+    /// The next free public /16.
+    pub fn next_slash16(&mut self) -> Prefix {
+        loop {
+            let base = Ipv4Addr::from(self.next << 16);
+            self.next += 1;
+            assert!(self.next < (223 << 8), "public space exhausted");
+            if Self::is_usable(base) {
+                return Prefix::new(base, 16);
+            }
+        }
+    }
+}
+
+/// What address space a CGN uses internally (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InternalRangeChoice {
+    /// One of the reserved ranges of Table 1.
+    Reserved(ReservedRange),
+    /// Nominally public space that is not announced anywhere
+    /// (e.g. 25.0.0.0/8, allocated to the UK MoD — Fig. 7b).
+    RoutableUnrouted,
+    /// Public space that *other* ASes actually announce (the 1.0.0.0/8
+    /// case of Fig. 7b) — colliding with real destinations.
+    RoutableRouted,
+}
+
+impl InternalRangeChoice {
+    /// A human-readable label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            InternalRangeChoice::Reserved(r) => r.shorthand(),
+            InternalRangeChoice::RoutableUnrouted => "routable (unrouted)",
+            InternalRangeChoice::RoutableRouted => "routable (routed)",
+        }
+    }
+
+    /// The base prefix this choice draws subnets from.
+    pub fn base_prefix(self) -> Prefix {
+        match self {
+            InternalRangeChoice::Reserved(r) => r.prefix(),
+            InternalRangeChoice::RoutableUnrouted => "25.0.0.0/8".parse().unwrap(),
+            InternalRangeChoice::RoutableRouted => "1.0.0.0/8".parse().unwrap(),
+        }
+    }
+}
+
+/// Hands out disjoint subnets of the internal ranges. One allocator per
+/// AS — different ASes may reuse the same internal space (that is the
+/// point of reserved ranges), but realms inside one AS must not collide.
+#[derive(Debug, Default)]
+pub struct InternalSpaceAllocator {
+    /// Next subnet index per base range.
+    counters: std::collections::HashMap<Prefix, u64>,
+}
+
+impl InternalSpaceAllocator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the next `/len` subnet of `choice`'s base range.
+    pub fn next_subnet(&mut self, choice: InternalRangeChoice, len: u8) -> Prefix {
+        let base = choice.base_prefix();
+        assert!(len >= base.len(), "subnet length {len} shorter than base {base}");
+        let idx = self.counters.entry(base).or_insert(0);
+        let count = 1u64 << (len - base.len());
+        assert!(*idx < count, "internal space of {base} exhausted");
+        let step = 1u64 << (32 - len as u32);
+        let net = Ipv4Addr::from(u32::from(base.network()) + (*idx * step) as u32);
+        *idx += 1;
+        Prefix::new(net, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::{classify_reserved, ip};
+
+    #[test]
+    fn public_allocator_skips_reserved() {
+        let mut a = PublicSpaceAllocator::new();
+        for _ in 0..500 {
+            let p = a.next_slash16();
+            assert!(
+                classify_reserved(p.network()).is_none(),
+                "{p} overlaps reserved space"
+            );
+            let first = p.network().octets()[0];
+            assert!(first != 127 && first != 100 && first < 224, "{p} is special");
+        }
+    }
+
+    #[test]
+    fn public_allocator_is_disjoint() {
+        let mut a = PublicSpaceAllocator::new();
+        let blocks: Vec<Prefix> = (0..200).map(|_| a.next_slash16()).collect();
+        for (i, x) in blocks.iter().enumerate() {
+            for y in &blocks[i + 1..] {
+                assert!(!x.covers(y) && !y.covers(x), "{x} and {y} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn internal_allocator_disjoint_within_range() {
+        let mut a = InternalSpaceAllocator::new();
+        let r = InternalRangeChoice::Reserved(ReservedRange::R100);
+        let p1 = a.next_subnet(r, 16);
+        let p2 = a.next_subnet(r, 16);
+        assert_ne!(p1, p2);
+        assert!(r.base_prefix().covers(&p1));
+        assert!(r.base_prefix().covers(&p2));
+        assert!(!p1.contains(p2.network()));
+    }
+
+    #[test]
+    fn internal_allocator_tracks_ranges_independently() {
+        let mut a = InternalSpaceAllocator::new();
+        let p10 = a.next_subnet(InternalRangeChoice::Reserved(ReservedRange::R10), 16);
+        let p100 = a.next_subnet(InternalRangeChoice::Reserved(ReservedRange::R100), 16);
+        assert_eq!(p10.network(), ip(10, 0, 0, 0));
+        assert_eq!(p100.network(), ip(100, 64, 0, 0));
+    }
+
+    #[test]
+    fn routable_choices_have_public_bases() {
+        assert!(classify_reserved(
+            InternalRangeChoice::RoutableUnrouted.base_prefix().network()
+        )
+        .is_none());
+        assert!(classify_reserved(
+            InternalRangeChoice::RoutableRouted.base_prefix().network()
+        )
+        .is_none());
+        assert_eq!(InternalRangeChoice::Reserved(ReservedRange::R10).label(), "10X");
+        assert_eq!(InternalRangeChoice::RoutableUnrouted.label(), "routable (unrouted)");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn internal_exhaustion_detected() {
+        let mut a = InternalSpaceAllocator::new();
+        let r = InternalRangeChoice::Reserved(ReservedRange::R192); // /16 base
+        a.next_subnet(r, 16);
+        a.next_subnet(r, 16); // only one /16 fits in a /16
+    }
+}

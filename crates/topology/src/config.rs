@@ -1,0 +1,227 @@
+//! Generator configuration: how much world to build and with which
+//! behaviour distributions.
+
+use netcore::Rir;
+
+/// A CGN instance's behavioural profile drawn per deployment. The
+/// distributions below are calibrated to §6 of the paper; see each field's
+/// sampling site in [`crate::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgnBehaviorProfile {
+    /// P(symmetric mapping) — Fig. 13b: ~11% of non-cellular CGN ASes,
+    /// ~40% of cellular ones.
+    pub p_symmetric: f64,
+    /// P(full-cone filtering | not symmetric).
+    pub p_full_cone: f64,
+    /// P(address-restricted | not symmetric, not full cone).
+    pub p_addr_restricted: f64,
+    /// Port allocation mix (preservation, sequential, random) — Table 6.
+    pub p_port_preserve: f64,
+    pub p_port_sequential: f64,
+    /// P(chunked allocation | random) — Table 6 finds 17 chunked ASes.
+    pub p_chunk_given_random: f64,
+    /// P(arbitrary pooling) — §6.2 finds 21%.
+    pub p_arbitrary_pooling: f64,
+    /// UDP timeout median (seconds); drawn log-normal-ish around this.
+    pub udp_timeout_median_secs: u64,
+    /// P(timeout beyond the 200 s detection horizon).
+    pub p_timeout_unmeasurable: f64,
+    /// Aggregation hop range between subscriber and CGN (inclusive),
+    /// before the CGN itself: distance = hops + 1 (+1 more behind a CPE).
+    pub agg_hops: (usize, usize),
+}
+
+impl CgnBehaviorProfile {
+    /// Non-cellular eyeball CGNs (§6: Figs 12/13, Table 6).
+    pub fn non_cellular() -> Self {
+        CgnBehaviorProfile {
+            p_symmetric: 0.11,
+            p_full_cone: 0.30,
+            p_addr_restricted: 0.30,
+            p_port_preserve: 0.41,
+            p_port_sequential: 0.22,
+            p_chunk_given_random: 0.13,
+            p_arbitrary_pooling: 0.21,
+            udp_timeout_median_secs: 35,
+            p_timeout_unmeasurable: 0.28,
+            agg_hops: (1, 4),
+        }
+    }
+
+    /// Cellular CGNs: bimodal mapping types (40% symmetric / 20% full
+    /// cone), longer timeouts (median 65 s), CGN up to 12 hops deep.
+    pub fn cellular() -> Self {
+        CgnBehaviorProfile {
+            p_symmetric: 0.40,
+            p_full_cone: 0.33,
+            p_addr_restricted: 0.25,
+            p_port_preserve: 0.28,
+            p_port_sequential: 0.26,
+            p_chunk_given_random: 0.08,
+            p_arbitrary_pooling: 0.21,
+            udp_timeout_median_secs: 65,
+            p_timeout_unmeasurable: 0.30,
+            agg_hops: (0, 11),
+        }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    pub seed: u64,
+    /// Residential (non-cellular) eyeball AS count per RIR
+    /// [AFRINIC, APNIC, ARIN, LACNIC, RIPE].
+    pub residential_per_rir: [usize; 5],
+    /// Cellular eyeball AS count per RIR.
+    pub cellular_per_rir: [usize; 5],
+    /// Non-eyeball (transit/stub) ASes per eyeball AS — registry/routing
+    /// entries only, no hosts (the Table 5 "routed ASes" denominator).
+    pub silent_as_ratio: usize,
+    /// Subscribers per eyeball AS (uniform range).
+    pub subscribers_per_as: (usize, usize),
+    /// Ground-truth CGN deployment probability for residential ASes per
+    /// RIR. Calibrated so *detected* rates match Fig. 6b (APNIC/RIPE more
+    /// than twice the others).
+    pub p_cgn_residential_per_rir: [f64; 5],
+    /// Ground-truth CGN deployment probability for cellular ASes per RIR
+    /// (AFRINIC lower — Fig. 6c).
+    pub p_cgn_cellular_per_rir: [f64; 5],
+    /// Fraction of subscribers behind the CGN when one is deployed
+    /// (partial deployments, §2) — residential ASes.
+    pub partial_deployment: (f64, f64),
+    /// Same for cellular ASes (mostly full deployments; Table 4 shows
+    /// only 5.7% of cellular sessions with public device addresses).
+    pub partial_deployment_cellular: (f64, f64),
+    /// P(a residential ISP hands out bridged modems instead of routing
+    /// CPEs) — FastWEB-style ASes whose subscribers sit directly in the
+    /// CGN realm (the strong-cluster case of Fig. 3b).
+    pub p_bridged_modem_isp: f64,
+    /// P(a residential subscriber has a CPE router).
+    pub p_cpe_residential: f64,
+    /// P(an AS has a BitTorrent user community at all) — ASes without
+    /// one are invisible to the DHT crawl (part of Table 5's coverage
+    /// story).
+    pub p_as_bittorrent: f64,
+    /// P(a subscriber device runs BitTorrent | the AS has a community).
+    pub p_bittorrent: f64,
+    /// P(a BitTorrent home has a second active BitTorrent device).
+    pub p_second_bt_device: f64,
+    /// P(CGN internal realm allows multicast) — one of the two §4.1
+    /// internal-endpoint learning channels.
+    pub p_cgn_multicast: f64,
+    /// P(CGN hairpins) and P(hairpin keeps internal source | hairpins).
+    pub p_cgn_hairpin: f64,
+    pub p_hairpin_internal_src: f64,
+    /// Number of distinct CPE models on the market.
+    pub cpe_models: usize,
+    /// P(an AS with CGN runs several distinct CGN instances) — the source
+    /// of the mixed per-AS port-allocation strategies in Fig. 9.
+    pub p_distributed_cgn: f64,
+    /// Eyeball-list synthesis: coverage of the PBL- and APNIC-style lists.
+    pub pbl_coverage: f64,
+    pub apnic_coverage: f64,
+    /// P(a cellular CGN uses routable space internally) — Fig. 7b.
+    pub p_routable_internal_cellular: f64,
+}
+
+impl TopologyConfig {
+    /// A small world for unit tests (a handful of ASes).
+    pub fn tiny(seed: u64) -> Self {
+        TopologyConfig {
+            seed,
+            residential_per_rir: [1, 2, 1, 1, 2],
+            cellular_per_rir: [0, 1, 1, 0, 1],
+            silent_as_ratio: 3,
+            subscribers_per_as: (6, 10),
+            ..Self::default_with_seed(seed)
+        }
+    }
+
+    /// The default study scale: ~170 instrumented eyeball ASes.
+    pub fn default_with_seed(seed: u64) -> Self {
+        TopologyConfig {
+            seed,
+            residential_per_rir: [12, 30, 24, 16, 38],
+            cellular_per_rir: [5, 9, 7, 5, 9],
+            silent_as_ratio: 15,
+            subscribers_per_as: (40, 80),
+            p_cgn_residential_per_rir: [0.12, 0.40, 0.18, 0.20, 0.38],
+            p_cgn_cellular_per_rir: [0.70, 0.97, 0.95, 0.93, 0.96],
+            partial_deployment: (0.35, 1.0),
+            partial_deployment_cellular: (0.80, 1.0),
+            p_bridged_modem_isp: 0.18,
+            p_cpe_residential: 0.95,
+            p_as_bittorrent: 0.85,
+            p_bittorrent: 0.62,
+            p_second_bt_device: 0.25,
+            p_cgn_multicast: 0.50,
+            p_cgn_hairpin: 0.65,
+            p_hairpin_internal_src: 0.75,
+            cpe_models: 40,
+            p_distributed_cgn: 0.55,
+            pbl_coverage: 0.93,
+            apnic_coverage: 0.95,
+            p_routable_internal_cellular: 0.08,
+        }
+    }
+
+    /// Index of a RIR in the per-RIR arrays.
+    pub fn rir_index(rir: Rir) -> usize {
+        match rir {
+            Rir::Afrinic => 0,
+            Rir::Apnic => 1,
+            Rir::Arin => 2,
+            Rir::Lacnic => 3,
+            Rir::Ripe => 4,
+        }
+    }
+
+    /// Total eyeball ASes this config will build.
+    pub fn eyeball_count(&self) -> usize {
+        self.residential_per_rir.iter().sum::<usize>()
+            + self.cellular_per_rir.iter().sum::<usize>()
+    }
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self::default_with_seed(0xC6_1516)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rir_indexing_covers_all() {
+        let mut seen = [false; 5];
+        for r in Rir::ALL {
+            seen[TopologyConfig::rir_index(r)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn default_scale_counts() {
+        let c = TopologyConfig::default();
+        assert_eq!(c.eyeball_count(), 12 + 30 + 24 + 16 + 38 + 5 + 9 + 7 + 5 + 9);
+        assert!(c.p_cgn_residential_per_rir[1] > 2.0 * c.p_cgn_residential_per_rir[0]);
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let c = TopologyConfig::tiny(1);
+        assert!(c.eyeball_count() <= 12);
+    }
+
+    #[test]
+    fn profiles_match_paper_shapes() {
+        let nc = CgnBehaviorProfile::non_cellular();
+        let cell = CgnBehaviorProfile::cellular();
+        assert!(cell.p_symmetric > 3.0 * nc.p_symmetric);
+        assert!(cell.udp_timeout_median_secs > nc.udp_timeout_median_secs);
+        assert!(cell.agg_hops.1 > nc.agg_hops.1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # topology — the synthetic Internet the study measures
+//!
+//! The paper measures the real Internet from BitTorrent and Netalyzr
+//! vantage points. This crate builds the equivalent *world with known
+//! ground truth*: autonomous systems across the five RIR regions, public
+//! address space and a global routing table, subscribers in the three
+//! deployment scenarios of Fig. 2 (public + CPE, CGN-only, NAT444),
+//! CPE models and carrier-grade NAT deployments whose behaviour
+//! distributions are calibrated to the paper's findings (§6), plus the
+//! operator survey of §2.
+//!
+//! Everything is generated deterministically from a seed, so detection
+//! results are exactly reproducible and can be scored against the ground
+//! truth.
+
+pub mod alloc;
+pub mod build;
+pub mod config;
+pub mod models;
+pub mod survey;
+
+pub use alloc::{InternalRangeChoice, PublicSpaceAllocator};
+pub use build::{AsDeployment, CgnInstance, CpeInfo, Scenario, Subscriber, World};
+pub use config::{CgnBehaviorProfile, TopologyConfig};
+pub use models::{CpeModel, OsKind};
+pub use survey::{Survey, SurveyConfig};

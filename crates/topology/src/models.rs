@@ -1,0 +1,238 @@
+//! Device and CPE behaviour models.
+
+use nat_engine::{FilteringBehavior, MappingBehavior, NatConfig, PortAllocation, Pooling};
+use netcore::{Prefix, SimDuration};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Client operating systems and their ephemeral-port behaviour
+/// (Fig. 8a's "OS ephemeral ports" histogram is the mixture of these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsKind {
+    Linux,
+    Windows,
+    MacOs,
+    Android,
+}
+
+impl OsKind {
+    /// Draw an OS for a subscriber device (cellular devices are Android-
+    /// heavy; desktop mix otherwise).
+    pub fn draw(rng: &mut StdRng, cellular: bool) -> OsKind {
+        let x: f64 = rng.gen();
+        if cellular {
+            if x < 0.85 {
+                OsKind::Android
+            } else {
+                OsKind::MacOs
+            }
+        } else if x < 0.55 {
+            OsKind::Windows
+        } else if x < 0.80 {
+            OsKind::MacOs
+        } else {
+            OsKind::Linux
+        }
+    }
+
+    /// The OS ephemeral port range and selection style.
+    pub fn port_policy(self) -> (u16, u16, bool) {
+        match self {
+            // (lo, hi, sequential)
+            OsKind::Linux | OsKind::Android => (32_768, 60_999, true),
+            OsKind::Windows => (49_152, 65_535, false),
+            OsKind::MacOs => (49_152, 65_535, true),
+        }
+    }
+}
+
+/// A CPE (customer premises equipment) router model. Netalyzr infers the
+/// model via UPnP and the paper groups port-preservation behaviour per
+/// model (Fig. 8b).
+#[derive(Debug, Clone)]
+pub struct CpeModel {
+    pub name: String,
+    /// Whether the model answers UPnP (provides `IPcpe`, Table 4).
+    pub upnp: bool,
+    /// Whether it preserves source ports (92% of sessions in Fig. 8b).
+    pub preserves_ports: bool,
+    /// The internal /24 the model assigns from ("top ten /24 blocks ...
+    /// covering 95% of assignments", §4.2).
+    pub lan_prefix: Prefix,
+    /// NAT behaviour.
+    pub mapping: MappingBehavior,
+    pub filtering: FilteringBehavior,
+    pub udp_timeout: SimDuration,
+}
+
+impl CpeModel {
+    /// The canonical LAN /24s CPE vendors ship with, most common first.
+    pub fn common_lan_prefixes() -> Vec<Prefix> {
+        [
+            "192.168.1.0/24",
+            "192.168.0.0/24",
+            "192.168.2.0/24",
+            "192.168.100.0/24",
+            "192.168.178.0/24", // Fritz!Box
+            "192.168.10.0/24",
+            "10.0.0.0/24",
+            "10.0.1.0/24",
+            "172.16.0.0/24",
+            "192.168.8.0/24",
+        ]
+        .iter()
+        .map(|s| s.parse().expect("static prefixes parse"))
+        .collect()
+    }
+
+    /// Generate the market of CPE models. Distributions follow the
+    /// paper's observations: ~92% of sessions behind port-preserving
+    /// models (Fig. 8b), <2% symmetric, roughly half at permissive
+    /// filtering (Fig. 13a), UPnP available for ~40–50% of sessions
+    /// (Table 4), LAN space dominated by 192X with a small 10X/172X share
+    /// (Table 4 column 3).
+    pub fn generate_market(rng: &mut StdRng, count: usize) -> Vec<CpeModel> {
+        let vendors = ["Acme", "RiverLink", "HomeGate", "NetBox", "Speedy", "AirWave"];
+        let lans = Self::common_lan_prefixes();
+        (0..count)
+            .map(|i| {
+                let vendor = vendors[rng.gen_range(0..vendors.len())];
+                let preserves_ports = rng.gen_bool(0.92);
+                let upnp = rng.gen_bool(0.55);
+                // LAN prefix: the handful of vendor defaults dominates;
+                // 10X/172X LANs are the single-digit-percent tail
+                // (Table 4 column 3: 92.4% of device addresses in 192X).
+                let lan_prefix = {
+                    let x: f64 = rng.gen();
+                    if x < 0.72 {
+                        lans[rng.gen_range(0..3)] // 192.168.{1,0,2}
+                    } else if x < 0.90 {
+                        lans[rng.gen_range(3..6)] // other 192X defaults
+                    } else if x < 0.95 {
+                        Prefix::new(netcore::ip(192, 168, rng.gen_range(3..=250), 0), 24)
+                    } else {
+                        lans[rng.gen_range(6..lans.len())] // 10X / 172X tail
+                    }
+                };
+                let mapping = if rng.gen_bool(0.02) {
+                    MappingBehavior::AddressAndPortDependent
+                } else {
+                    MappingBehavior::EndpointIndependent
+                };
+                let filtering = match rng.gen_range(0..100) {
+                    0..=44 => FilteringBehavior::EndpointIndependent,
+                    45..=64 => FilteringBehavior::AddressDependent,
+                    _ => FilteringBehavior::AddressAndPortDependent,
+                };
+                let udp_timeout = SimDuration::from_secs(match rng.gen_range(0..100) {
+                    0..=59 => 65,
+                    60..=74 => 30,
+                    75..=84 => 45,
+                    85..=94 => 100,
+                    _ => 150,
+                });
+                CpeModel {
+                    name: format!("{vendor} CPE-{:03}", i + 1),
+                    upnp,
+                    preserves_ports,
+                    lan_prefix,
+                    mapping,
+                    filtering,
+                    udp_timeout,
+                }
+            })
+            .collect()
+    }
+
+    /// The NAT configuration this model runs.
+    pub fn nat_config(&self) -> NatConfig {
+        let mut cfg = NatConfig::home_cpe();
+        cfg.mapping = self.mapping;
+        cfg.filtering = self.filtering;
+        cfg.udp_timeout = self.udp_timeout;
+        cfg.port_alloc = if self.preserves_ports {
+            PortAllocation::Preserve
+        } else {
+            PortAllocation::Random
+        };
+        cfg.pooling = Pooling::Paired;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::classify_reserved;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn market_distributions_roughly_match_paper() {
+        let market = CpeModel::generate_market(&mut rng(), 400);
+        let preserving = market.iter().filter(|m| m.preserves_ports).count() as f64 / 400.0;
+        assert!((0.85..=0.97).contains(&preserving), "preserving: {preserving}");
+        let upnp = market.iter().filter(|m| m.upnp).count() as f64 / 400.0;
+        assert!((0.45..=0.65).contains(&upnp), "upnp: {upnp}");
+        let symmetric = market
+            .iter()
+            .filter(|m| m.mapping == MappingBehavior::AddressAndPortDependent)
+            .count() as f64
+            / 400.0;
+        assert!(symmetric < 0.05, "symmetric CPEs must be rare: {symmetric}");
+    }
+
+    #[test]
+    fn lan_prefixes_are_reserved_space() {
+        let market = CpeModel::generate_market(&mut rng(), 100);
+        for m in &market {
+            assert!(
+                classify_reserved(m.lan_prefix.network()).is_some(),
+                "{} has public LAN {}",
+                m.name,
+                m.lan_prefix
+            );
+            assert_eq!(m.lan_prefix.len(), 24);
+        }
+    }
+
+    #[test]
+    fn lan_prefixes_mostly_192x() {
+        let market = CpeModel::generate_market(&mut rng(), 400);
+        let r192 = market
+            .iter()
+            .filter(|m| m.lan_prefix.network().octets()[0] == 192)
+            .count() as f64
+            / 400.0;
+        assert!(r192 > 0.75, "192X should dominate CPE LANs: {r192}");
+    }
+
+    #[test]
+    fn nat_config_reflects_model() {
+        let mut m = CpeModel::generate_market(&mut rng(), 1).remove(0);
+        m.preserves_ports = true;
+        assert_eq!(m.nat_config().port_alloc, PortAllocation::Preserve);
+        m.preserves_ports = false;
+        assert_eq!(m.nat_config().port_alloc, PortAllocation::Random);
+    }
+
+    #[test]
+    fn os_port_policies_sane() {
+        let (lo, hi, seq) = OsKind::Linux.port_policy();
+        assert!(lo < hi && seq);
+        let (lo, hi, seq) = OsKind::Windows.port_policy();
+        assert!(lo >= 49_152 && hi == 65_535 && !seq);
+    }
+
+    #[test]
+    fn cellular_devices_mostly_android() {
+        let mut r = rng();
+        let android = (0..200)
+            .filter(|_| OsKind::draw(&mut r, true) == OsKind::Android)
+            .count();
+        assert!(android > 140);
+    }
+}

@@ -1,0 +1,226 @@
+//! The operator survey of §2 (75 ISPs) and Fig. 1.
+//!
+//! The paper's published aggregates are encoded as a response-probability
+//! model; a synthetic respondent pool drawn from it reproduces Fig. 1 and
+//! the §2 headline numbers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Answer to "do you deploy Carrier-Grade NAT?" (Fig. 1a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CgnAnswer {
+    /// 38% — "yes, already deployed".
+    AlreadyDeployed,
+    /// 12% — "considering deployment".
+    Considering,
+    /// 50% — "no plans to deploy".
+    NoPlans,
+}
+
+/// Answer to "do you deploy IPv6?" (Fig. 1b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ipv6Answer {
+    /// 32% — most/all subscribers.
+    MostOrAll,
+    /// 35% — some subscribers.
+    Some,
+    /// 11% — plans to deploy soon.
+    PlansSoon,
+    /// 22% — no plans.
+    NoPlans,
+}
+
+/// One synthetic survey respondent.
+#[derive(Debug, Clone)]
+pub struct Respondent {
+    pub cgn: CgnAnswer,
+    pub ipv6: Ipv6Answer,
+    /// Faces IPv4 scarcity today (>40% of respondents).
+    pub faces_scarcity: bool,
+    /// Expects scarcity soon (another ~10%).
+    pub scarcity_looming: bool,
+    /// Has bought (3 ISPs) or considered buying (15) IPv4 space.
+    pub bought_space: bool,
+    pub considered_buying: bool,
+    /// Faces scarcity of *internal* address space (3 ISPs).
+    pub internal_scarcity: bool,
+    /// Subscriber-to-IPv4-address ratio (up to 20:1 reported).
+    pub subs_per_address: f64,
+}
+
+/// Survey generation parameters (the paper's percentages).
+#[derive(Debug, Clone)]
+pub struct SurveyConfig {
+    pub respondents: usize,
+    pub seed: u64,
+    pub p_cgn_deployed: f64,
+    pub p_cgn_considering: f64,
+    pub p_ipv6_most: f64,
+    pub p_ipv6_some: f64,
+    pub p_ipv6_soon: f64,
+    pub p_scarcity: f64,
+    pub p_scarcity_looming: f64,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> Self {
+        SurveyConfig {
+            respondents: 75,
+            seed: 0x5u64,
+            p_cgn_deployed: 0.38,
+            p_cgn_considering: 0.12,
+            p_ipv6_most: 0.32,
+            p_ipv6_some: 0.35,
+            p_ipv6_soon: 0.11,
+            p_scarcity: 0.42,
+            p_scarcity_looming: 0.10,
+        }
+    }
+}
+
+/// The survey dataset plus its aggregations.
+#[derive(Debug, Clone)]
+pub struct Survey {
+    pub respondents: Vec<Respondent>,
+}
+
+impl Survey {
+    /// Draw a synthetic respondent pool.
+    pub fn generate(config: &SurveyConfig) -> Survey {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let respondents = (0..config.respondents)
+            .map(|_| {
+                let x: f64 = rng.gen();
+                let cgn = if x < config.p_cgn_deployed {
+                    CgnAnswer::AlreadyDeployed
+                } else if x < config.p_cgn_deployed + config.p_cgn_considering {
+                    CgnAnswer::Considering
+                } else {
+                    CgnAnswer::NoPlans
+                };
+                let y: f64 = rng.gen();
+                let ipv6 = if y < config.p_ipv6_most {
+                    Ipv6Answer::MostOrAll
+                } else if y < config.p_ipv6_most + config.p_ipv6_some {
+                    Ipv6Answer::Some
+                } else if y < config.p_ipv6_most + config.p_ipv6_some + config.p_ipv6_soon {
+                    Ipv6Answer::PlansSoon
+                } else {
+                    Ipv6Answer::NoPlans
+                };
+                let faces_scarcity = rng.gen_bool(config.p_scarcity);
+                let scarcity_looming = !faces_scarcity && rng.gen_bool(config.p_scarcity_looming);
+                let bought_space = rng.gen_bool(3.0 / 75.0);
+                let considered_buying = !bought_space && rng.gen_bool(15.0 / 75.0);
+                let internal_scarcity = rng.gen_bool(3.0 / 75.0);
+                let subs_per_address = if faces_scarcity {
+                    // Heavy NATers report up to 20:1.
+                    1.0 + rng.gen::<f64>().powi(2) * 19.0
+                } else {
+                    1.0
+                };
+                Respondent {
+                    cgn,
+                    ipv6,
+                    faces_scarcity,
+                    scarcity_looming,
+                    bought_space,
+                    considered_buying,
+                    internal_scarcity,
+                    subs_per_address,
+                }
+            })
+            .collect();
+        Survey { respondents }
+    }
+
+    pub fn len(&self) -> usize {
+        self.respondents.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.respondents.is_empty()
+    }
+
+    fn share<F: Fn(&Respondent) -> bool>(&self, f: F) -> f64 {
+        self.respondents.iter().filter(|r| f(r)).count() as f64 / self.len().max(1) as f64
+    }
+
+    /// Fig. 1a shares: (deployed, considering, no plans).
+    pub fn cgn_shares(&self) -> (f64, f64, f64) {
+        (
+            self.share(|r| r.cgn == CgnAnswer::AlreadyDeployed),
+            self.share(|r| r.cgn == CgnAnswer::Considering),
+            self.share(|r| r.cgn == CgnAnswer::NoPlans),
+        )
+    }
+
+    /// Fig. 1b shares: (most/all, some, plans soon, no plans).
+    pub fn ipv6_shares(&self) -> (f64, f64, f64, f64) {
+        (
+            self.share(|r| r.ipv6 == Ipv6Answer::MostOrAll),
+            self.share(|r| r.ipv6 == Ipv6Answer::Some),
+            self.share(|r| r.ipv6 == Ipv6Answer::PlansSoon),
+            self.share(|r| r.ipv6 == Ipv6Answer::NoPlans),
+        )
+    }
+
+    /// §2 scarcity headline: share facing scarcity now.
+    pub fn scarcity_share(&self) -> f64 {
+        self.share(|r| r.faces_scarcity)
+    }
+
+    /// Highest reported subscriber-to-address ratio.
+    pub fn max_subs_per_address(&self) -> f64 {
+        self.respondents.iter().map(|r| r.subs_per_address).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_survey_matches_fig1_within_tolerance() {
+        // 75 respondents is a small sample; allow a loose band.
+        let s = Survey::generate(&SurveyConfig::default());
+        assert_eq!(s.len(), 75);
+        let (dep, cons, none) = s.cgn_shares();
+        assert!((0.28..=0.48).contains(&dep), "deployed {dep}");
+        assert!((0.04..=0.20).contains(&cons), "considering {cons}");
+        assert!((0.40..=0.60).contains(&none), "no plans {none}");
+        assert!((dep + cons + none - 1.0).abs() < 1e-9);
+        let (most, some, soon, nop) = s.ipv6_shares();
+        assert!((most + some + soon + nop - 1.0).abs() < 1e-9);
+        assert!((0.22..=0.42).contains(&most));
+    }
+
+    #[test]
+    fn larger_samples_converge() {
+        let s = Survey::generate(&SurveyConfig {
+            respondents: 20_000,
+            ..SurveyConfig::default()
+        });
+        let (dep, cons, _) = s.cgn_shares();
+        assert!((dep - 0.38).abs() < 0.02, "deployed {dep}");
+        assert!((cons - 0.12).abs() < 0.02, "considering {cons}");
+        assert!((s.scarcity_share() - 0.42).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Survey::generate(&SurveyConfig::default());
+        let b = Survey::generate(&SurveyConfig::default());
+        assert_eq!(a.cgn_shares(), b.cgn_shares());
+    }
+
+    #[test]
+    fn heavy_nat_ratios_reported() {
+        let s = Survey::generate(&SurveyConfig {
+            respondents: 5_000,
+            ..SurveyConfig::default()
+        });
+        assert!(s.max_subs_per_address() > 15.0, "someone reports near 20:1");
+    }
+}

@@ -1,0 +1,107 @@
+//! NAT engine lab: the behaviour taxonomy of §3, demonstrated directly.
+//!
+//! Shows, without any measurement pipeline in between, how the engine
+//! realizes the paper's vocabulary: mapping vs filtering behaviour (the
+//! STUN taxonomy), the four port-allocation strategies, IP pooling,
+//! hairpinning (with and without internal-source preservation) and
+//! mapping timeouts.
+//!
+//! ```text
+//! cargo run --release --example nat_lab
+//! ```
+
+use nat_engine::{
+    FilteringBehavior, MappingBehavior, Nat, NatConfig, NatVerdict, PortAllocation, Pooling,
+};
+use netcore::{ip, Endpoint, Packet, SimTime};
+
+fn server(port: u16) -> Endpoint {
+    Endpoint::new(ip(203, 0, 113, 10), port)
+}
+
+fn subscriber(last: u8, port: u16) -> Endpoint {
+    Endpoint::new(ip(100, 64, 0, last), port)
+}
+
+fn out(nat: &mut Nat, src: Endpoint, dst: Endpoint, at: u64) -> Endpoint {
+    match nat.process_outbound(Packet::udp(src, dst, vec![]), SimTime::from_secs(at)) {
+        NatVerdict::Forward(p) => p.src,
+        v => panic!("expected forward, got {v:?}"),
+    }
+}
+
+fn main() {
+    println!("=== STUN taxonomy (mapping × filtering) ===");
+    for (mapping, filtering) in [
+        (MappingBehavior::EndpointIndependent, FilteringBehavior::EndpointIndependent),
+        (MappingBehavior::EndpointIndependent, FilteringBehavior::AddressDependent),
+        (MappingBehavior::EndpointIndependent, FilteringBehavior::AddressAndPortDependent),
+        (MappingBehavior::AddressAndPortDependent, FilteringBehavior::AddressAndPortDependent),
+    ] {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.mapping = mapping;
+        cfg.filtering = filtering;
+        println!("  {mapping:?} + {filtering:?} → {}", cfg.stun_type().name());
+    }
+
+    println!("\n=== port allocation strategies (§6.2) ===");
+    for (name, strategy) in [
+        ("preservation", PortAllocation::Preserve),
+        ("sequential", PortAllocation::Sequential),
+        ("random", PortAllocation::Random),
+        ("chunk (4K)", PortAllocation::RandomChunk { chunk_size: 4096 }),
+    ] {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.port_alloc = strategy;
+        let mut nat = Nat::new(cfg, vec![ip(198, 51, 100, 1)], 9);
+        let ports: Vec<u16> = (0..6)
+            .map(|i| out(&mut nat, subscriber(1, 40_000 + i), server(80 + i), 0).port)
+            .collect();
+        println!("  {name:<13} local 40000..40005 → external {ports:?}");
+    }
+
+    println!("\n=== IP pooling (§3) ===");
+    for (name, pooling) in [("paired", Pooling::Paired), ("arbitrary", Pooling::Arbitrary)] {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.pooling = pooling;
+        cfg.mapping = MappingBehavior::AddressAndPortDependent; // force fresh mappings
+        let pool: Vec<_> = (1..=4).map(|i| ip(198, 51, 100, i)).collect();
+        let mut nat = Nat::new(cfg, pool, 9);
+        let ips: Vec<String> = (0..5)
+            .map(|i| out(&mut nat, subscriber(1, 40_000), server(1000 + i), 0).ip.to_string())
+            .collect();
+        println!("  {name:<10} five flows of one subscriber → {ips:?}");
+    }
+
+    println!("\n=== hairpinning and the §4.1 leak (Fig. 2 inside one CGN) ===");
+    for (name, keep_src) in [("source rewritten", false), ("internal source kept", true)] {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        cfg.hairpin_internal_source = keep_src;
+        let mut nat = Nat::new(cfg, vec![ip(198, 51, 100, 1)], 9);
+        // B opens a mapping; A sends to B's external endpoint.
+        let b_ext = out(&mut nat, subscriber(2, 7000), server(80), 0);
+        let verdict =
+            nat.process_outbound(Packet::udp(subscriber(1, 7001), b_ext, vec![]), SimTime::ZERO);
+        match verdict {
+            NatVerdict::Hairpin(p) => println!(
+                "  {name:<22} B sees the packet from {} {}",
+                p.src,
+                if keep_src { "→ internal endpoint LEAKED" } else { "(no leak)" }
+            ),
+            v => panic!("expected hairpin, got {v:?}"),
+        }
+    }
+
+    println!("\n=== mapping timeouts (Fig. 12) ===");
+    let mut cfg = NatConfig::cgn_default();
+    cfg.udp_timeout = netcore::SimDuration::from_secs(35);
+    let mut nat = Nat::new(cfg, vec![ip(198, 51, 100, 1)], 9);
+    let ext = out(&mut nat, subscriber(1, 9000), server(80), 0);
+    let back = Packet::udp(server(80), ext, vec![]);
+    let fresh = nat.process_inbound(back.clone(), SimTime::from_secs(30));
+    let stale = nat.process_inbound(back, SimTime::from_secs(30 + 36));
+    println!("  inbound at t+30 s: {}", if matches!(fresh, NatVerdict::Forward(_)) { "delivered" } else { "dropped" });
+    println!("  inbound at t+66 s: {} (35 s idle timeout elapsed)",
+        if matches!(stale, NatVerdict::Forward(_)) { "delivered" } else { "dropped" });
+}

@@ -1,0 +1,20 @@
+//! Quickstart: run the whole study on a small world and print the report.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cgn_study::{run_study, StudyConfig};
+
+fn main() {
+    // A mid-size world (~30 instrumented eyeball ASes). Seeded: the same
+    // seed always yields the same Internet, the same measurements and the
+    // same report.
+    let config = StudyConfig::small(42);
+    let report = run_study(config);
+    println!("{}", report.render());
+    println!(
+        "\nDetected CGN-positive ASes — BitTorrent: {:?}, Netalyzr non-cellular: {:?}, cellular: {:?}",
+        report.bt_positive, report.nz_noncellular_positive, report.nz_cellular_positive
+    );
+}

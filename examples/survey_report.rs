@@ -1,0 +1,45 @@
+//! Reproduce Fig. 1 and the §2 operator-survey headlines.
+//!
+//! ```text
+//! cargo run --release --example survey_report
+//! ```
+
+use topology::{Survey, SurveyConfig};
+
+fn bar(label: &str, share: f64) {
+    let n = (share * 50.0).round() as usize;
+    println!("  {label:<22} {:>5.1}% {}", share * 100.0, "█".repeat(n));
+}
+
+fn main() {
+    let survey = Survey::generate(&SurveyConfig::default());
+    println!("operator survey — {} respondents\n", survey.len());
+
+    println!("Fig. 1a — Carrier-Grade NAT deployment (paper: 38 / 12 / 50):");
+    let (deployed, considering, none) = survey.cgn_shares();
+    bar("already deployed", deployed);
+    bar("considering", considering);
+    bar("no plans", none);
+
+    println!("\nFig. 1b — IPv6 deployment (paper: 32 / 35 / 11 / 22):");
+    let (most, some, soon, nope) = survey.ipv6_shares();
+    bar("most/all subscribers", most);
+    bar("some subscribers", some);
+    bar("plans to deploy soon", soon);
+    bar("no plans", nope);
+
+    println!("\n§2 headlines:");
+    println!(
+        "  facing IPv4 scarcity now: {:.0}%  (paper: >40%)",
+        survey.scarcity_share() * 100.0
+    );
+    println!(
+        "  highest subscriber-to-address ratio: {:.0}:1  (paper: 20:1)",
+        survey.max_subs_per_address()
+    );
+    let internal = survey.respondents.iter().filter(|r| r.internal_scarcity).count();
+    println!("  ISPs short of *internal* address space: {internal}  (paper: 3)");
+    let bought = survey.respondents.iter().filter(|r| r.bought_space).count();
+    let considered = survey.respondents.iter().filter(|r| r.considered_buying).count();
+    println!("  bought IPv4 space: {bought}; considered buying: {considered}  (paper: 3 / 15)");
+}

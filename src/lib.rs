@@ -1,0 +1,14 @@
+//! Umbrella crate for the CGN-study reproduction workspace.
+//!
+//! The substance lives in the member crates; this root package hosts the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`). Re-exports give examples and tests one import surface.
+
+pub use analysis;
+pub use bt_dht;
+pub use cgn_study as study;
+pub use nat_engine;
+pub use netalyzr;
+pub use netcore;
+pub use simnet;
+pub use topology;

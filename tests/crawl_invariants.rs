@@ -1,0 +1,67 @@
+//! Invariants of the DHT crawl, checked on the real pipeline output.
+
+use cgn_study::{pipeline, StudyConfig};
+use netcore::classify_reserved;
+
+#[test]
+fn crawl_sets_are_consistent() {
+    let art = pipeline::measure(StudyConfig::tiny(13));
+    let crawl = &art.crawl;
+
+    // Ping responders are a subset of learned peers.
+    for r in &crawl.ping_responders {
+        assert!(crawl.learned.contains(r), "responder {r:?} not learned");
+    }
+    // Queried (responsive) and unresponsive endpoints are disjoint.
+    for (e, _) in &crawl.queried {
+        assert!(
+            !crawl.unresponsive.contains(e),
+            "{e} both responsive and unresponsive"
+        );
+    }
+    // Every leak edge references a reserved internal address and a
+    // routable leaker endpoint.
+    for l in &crawl.leaks {
+        assert!(classify_reserved(l.internal.endpoint.ip).is_some());
+        assert!(
+            classify_reserved(l.leaker_endpoint.ip).is_none(),
+            "leakers are queried at routable endpoints"
+        );
+    }
+    // Learned-record multiplicity at least covers the unique set.
+    assert!(crawl.learned_records as usize >= crawl.learned.len());
+}
+
+#[test]
+fn churn_keeps_a_responsive_core() {
+    let art = pipeline::measure(StudyConfig::tiny(13));
+    let crawl = &art.crawl;
+    assert!(!crawl.ping_responders.is_empty(), "someone must answer pings");
+    // With 25% churn, responders are well below the learned population —
+    // the Table 2 shape (the paper saw 56%).
+    assert!(crawl.ping_responders.len() < crawl.learned.len());
+}
+
+#[test]
+fn calibration_matches_configured_violator_rate() {
+    let mut config = StudyConfig::tiny(13);
+    config.p_dht_violators = 0.2; // exaggerate for a tiny population
+    let art = pipeline::measure(config);
+    let rate = art.calibration.violation_rate();
+    assert!(
+        rate > 0.02 && rate < 0.5,
+        "violation rate {rate} should reflect the configured 20% ± sampling noise"
+    );
+}
+
+#[test]
+fn leak_graph_matches_raw_records() {
+    use analysis::bt_detect::BtDetector;
+    let art = pipeline::measure(StudyConfig::tiny(13));
+    let det = BtDetector { exclusive_single_as: false, ..BtDetector::default() }
+        .detect(&art.leaks);
+    // Every AS in the detection output has at least one raw leak record.
+    for a in det.per_as.keys() {
+        assert!(art.leaks.iter().any(|l| l.leaker_as == Some(*a)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Invariants of the Netalyzr sessions against topology ground truth.
+
+use cgn_study::{pipeline, StudyConfig};
+use netcore::classify_reserved;
+use topology::Scenario;
+
+#[test]
+fn sessions_agree_with_ground_truth_scenarios() {
+    let art = pipeline::measure(StudyConfig::tiny(17));
+    // Index sessions by device address (unique per subscriber at tiny
+    // scale within an AS; collisions across home LANs are fine because we
+    // compare classes, not identities).
+    for s in &art.sessions {
+        let Some(pub_ip) = s.ip_pub else { continue };
+        // The public address must be routable and routed.
+        assert!(classify_reserved(pub_ip).is_none(), "public {pub_ip} is reserved");
+        assert!(art.world.routing.is_routed(pub_ip));
+        // If the device address is reserved, some translator was on the
+        // path, so the server must have seen a different address.
+        if classify_reserved(s.ip_dev).is_some() {
+            assert_ne!(pub_ip, s.ip_dev);
+        }
+        // UPnP data implies a CPE, which implies a non-cellular session.
+        if s.ip_cpe.is_some() {
+            assert!(!s.cellular, "cellular subscribers have no CPE");
+        }
+    }
+}
+
+#[test]
+fn ttl_results_match_topology_distances() {
+    let art = pipeline::measure(StudyConfig::tiny(17));
+    // For scenario-A subscribers with a CPE, the most distant NAT must be
+    // the CPE at hop 1 (no carrier NAT exists on their path). Sessions
+    // are joined on the CPE's *public* WAN address, which is unique —
+    // device addresses collide across home LANs by design.
+    let mut checked = 0;
+    for sub in &art.world.subscribers {
+        if sub.scenario != Scenario::A {
+            continue;
+        }
+        let Some(cpe) = &sub.cpe else { continue };
+        for s in art.sessions.iter().filter(|s| s.ip_pub == Some(cpe.external_ip)) {
+            let Some(ttl) = &s.ttl else { continue };
+            for d in &ttl.detected {
+                assert!(
+                    d.hop <= 2,
+                    "scenario A found a NAT at hop {} — only the CPE exists",
+                    d.hop
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "at least one scenario-A session must exist");
+}
+
+#[test]
+fn port_flows_complete_for_nearly_all_sessions() {
+    let art = pipeline::measure(StudyConfig::tiny(17));
+    let mut complete = 0;
+    for s in &art.sessions {
+        if s.observed_flows().count() == 10 {
+            complete += 1;
+        }
+    }
+    assert!(
+        complete * 10 >= art.sessions.len() * 9,
+        "{complete}/{} sessions completed all flows",
+        art.sessions.len()
+    );
+}
+
+#[test]
+fn stun_never_reports_nat_for_public_naked_devices() {
+    let art = pipeline::measure(StudyConfig::tiny(17));
+    for sub in &art.world.subscribers {
+        if sub.scenario != Scenario::A || sub.cpe.is_some() {
+            continue;
+        }
+        // Naked public devices have globally unique addresses, so joining
+        // on the device address is sound here.
+        for s in art.sessions.iter().filter(|s| {
+            s.ip_dev == sub.device_addr && s.ip_pub == Some(sub.device_addr)
+        }) {
+            assert!(
+                s.stun_nat.is_none(),
+                "naked public device {} classified as NATed",
+                sub.device_addr
+            );
+        }
+    }
+}
