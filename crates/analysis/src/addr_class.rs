@@ -160,12 +160,24 @@ mod tests {
             AddrClass::Private(ReservedRange::R100)
         );
         // 25/8 is public by value but absent from the table.
-        assert_eq!(classify_addr(ip(25, 0, 0, 1), public, &r), AddrClass::Unrouted);
-        assert_eq!(classify_addr(ip(50, 1, 2, 3), public, &r), AddrClass::RoutedMatch);
-        assert_eq!(classify_addr(ip(50, 9, 9, 9), public, &r), AddrClass::RoutedMismatch);
+        assert_eq!(
+            classify_addr(ip(25, 0, 0, 1), public, &r),
+            AddrClass::Unrouted
+        );
+        assert_eq!(
+            classify_addr(ip(50, 1, 2, 3), public, &r),
+            AddrClass::RoutedMatch
+        );
+        assert_eq!(
+            classify_addr(ip(50, 9, 9, 9), public, &r),
+            AddrClass::RoutedMismatch
+        );
         // Without a public observation, routable addresses count as
         // mismatch (translation state unknown but address not confirmed).
-        assert_eq!(classify_addr(ip(50, 1, 2, 3), None, &r), AddrClass::RoutedMismatch);
+        assert_eq!(
+            classify_addr(ip(50, 1, 2, 3), None, &r),
+            AddrClass::RoutedMismatch
+        );
     }
 
     #[test]

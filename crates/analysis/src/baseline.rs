@@ -35,11 +35,28 @@ pub fn score(
     truth: &BTreeSet<AsId>,
     covered: &BTreeSet<AsId>,
 ) -> PrecisionRecall {
-    let tp = detected.iter().filter(|a| truth.contains(a) && covered.contains(a)).count();
-    let fp = detected.iter().filter(|a| !truth.contains(a) && covered.contains(a)).count();
-    let fn_ = covered.iter().filter(|a| truth.contains(a) && !detected.contains(a)).count();
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let tp = detected
+        .iter()
+        .filter(|a| truth.contains(a) && covered.contains(a))
+        .count();
+    let fp = detected
+        .iter()
+        .filter(|a| !truth.contains(a) && covered.contains(a))
+        .count();
+    let fn_ = covered
+        .iter()
+        .filter(|a| truth.contains(a) && !detected.contains(a))
+        .count();
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
@@ -65,7 +82,10 @@ pub fn bt_low_threshold(leaks: &[BtLeakObs]) -> BTreeSet<AsId> {
     let mut graphs: BTreeMap<AsId, LeakGraph> = BTreeMap::new();
     for l in leaks {
         if let Some(a) = l.leaker_as {
-            graphs.entry(a).or_default().add_edge(l.leaker_ip, l.internal_ip);
+            graphs
+                .entry(a)
+                .or_default()
+                .add_edge(l.leaker_ip, l.internal_ip);
         }
     }
     graphs
@@ -149,7 +169,12 @@ mod tests {
         // A home whose public IP changed once: the same internal peers
         // now appear behind two external IPs — a 2×2 cluster. The loose
         // baseline flags it; the paper's 5×5 boundary would not.
-        let leaks = vec![leak(1, 1, 100), leak(1, 1, 101), leak(1, 2, 100), leak(1, 2, 101)];
+        let leaks = vec![
+            leak(1, 1, 100),
+            leak(1, 1, 101),
+            leak(1, 2, 100),
+            leak(1, 2, 101),
+        ];
         assert_eq!(bt_low_threshold(&leaks), ids(&[1]));
     }
 

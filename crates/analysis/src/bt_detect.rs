@@ -27,7 +27,11 @@ pub struct BtDetector {
 
 impl Default for BtDetector {
     fn default() -> Self {
-        BtDetector { min_external_ips: 5, min_internal_ips: 5, exclusive_single_as: true }
+        BtDetector {
+            min_external_ips: 5,
+            min_internal_ips: 5,
+            exclusive_single_as: true,
+        }
     }
 }
 
@@ -76,7 +80,10 @@ impl BtDetector {
         let mut leaked_by: HashMap<(ReservedRange, Ipv4Addr), BTreeSet<AsId>> = HashMap::new();
         for l in leaks {
             if let Some(a) = l.leaker_as {
-                leaked_by.entry((l.range, l.internal_ip)).or_default().insert(a);
+                leaked_by
+                    .entry((l.range, l.internal_ip))
+                    .or_default()
+                    .insert(a);
             }
         }
         let multi_as: HashSet<(ReservedRange, Ipv4Addr)> = leaked_by
@@ -99,14 +106,18 @@ impl BtDetector {
                 .or_default()
                 .add_edge(l.leaker_ip, l.internal_ip);
             leakers_per_as.entry(as_id).or_default().insert(l.leaker_ip);
-            internals_per_as.entry(as_id).or_default().insert(l.internal_ip);
+            internals_per_as
+                .entry(as_id)
+                .or_default()
+                .insert(l.internal_ip);
         }
 
         let mut per_as: BTreeMap<AsId, AsLeakAnalysis> = BTreeMap::new();
         for ((as_id, range), graph) in &graphs {
-            let largest = graph
-                .largest_component()
-                .unwrap_or(ClusterSummary { external_ips: 0, internal_ips: 0 });
+            let largest = graph.largest_component().unwrap_or(ClusterSummary {
+                external_ips: 0,
+                internal_ips: 0,
+            });
             let entry = per_as.entry(*as_id).or_insert_with(|| AsLeakAnalysis {
                 largest_per_range: BTreeMap::new(),
                 leaking_ips: leakers_per_as.get(as_id).map(|s| s.len()).unwrap_or(0),
@@ -206,7 +217,10 @@ mod tests {
         let det = BtDetector::default().detect(&leaks);
         assert!(det.per_as.get(&AsId(1)).is_none_or(|a| !a.cgn_positive));
         // Disabling the filter restores the detection.
-        let loose = BtDetector { exclusive_single_as: false, ..BtDetector::default() };
+        let loose = BtDetector {
+            exclusive_single_as: false,
+            ..BtDetector::default()
+        };
         let det = loose.detect(&leaks);
         assert!(det.per_as[&AsId(1)].cgn_positive);
     }
@@ -228,7 +242,10 @@ mod tests {
         }
         let det = BtDetector::default().detect(&leaks);
         let a = &det.per_as[&AsId(9)];
-        assert!(!a.cgn_positive, "3 external IPs per range is under the boundary");
+        assert!(
+            !a.cgn_positive,
+            "3 external IPs per range is under the boundary"
+        );
         assert_eq!(a.largest_per_range.len(), 2);
     }
 

@@ -121,11 +121,7 @@ pub struct Fig6 {
     pub cellular_positive_pct: BTreeMap<Rir, f64>,
 }
 
-pub fn fig6(
-    eyeball_union: &MethodCoverage,
-    cellular: &MethodCoverage,
-    pops: &Populations,
-) -> Fig6 {
+pub fn fig6(eyeball_union: &MethodCoverage, cellular: &MethodCoverage, pops: &Populations) -> Fig6 {
     let mut coverage = BTreeMap::new();
     let mut positive = BTreeMap::new();
     let mut cell_positive = BTreeMap::new();
@@ -141,14 +137,21 @@ pub fn fig6(
         coverage.insert(rir, pct(covered.len(), eyeballs.len()));
         positive.insert(rir, pct(pos, covered.len()));
 
-        let cell: BTreeSet<AsId> =
-            pops.cellular.iter().filter(|a| in_rir(a)).copied().collect();
-        let cell_cov: BTreeSet<AsId> =
-            cellular.covered.intersection(&cell).copied().collect();
+        let cell: BTreeSet<AsId> = pops
+            .cellular
+            .iter()
+            .filter(|a| in_rir(a))
+            .copied()
+            .collect();
+        let cell_cov: BTreeSet<AsId> = cellular.covered.intersection(&cell).copied().collect();
         let cell_pos = cellular.positive.intersection(&cell_cov).count();
         cell_positive.insert(rir, pct(cell_pos, cell_cov.len()));
     }
-    Fig6 { coverage_pct: coverage, positive_pct: positive, cellular_positive_pct: cell_positive }
+    Fig6 {
+        coverage_pct: coverage,
+        positive_pct: positive,
+        cellular_positive_pct: cell_positive,
+    }
 }
 
 #[cfg(test)]

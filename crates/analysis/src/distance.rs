@@ -56,7 +56,9 @@ pub fn fig11(sessions: &[SessionObs], cgn_positive: impl Fn(AsId) -> bool) -> Fi
     for s in sessions {
         let Some(a) = s.as_id else { continue };
         let Some(ttl) = &s.ttl else { continue };
-        let Some(max_hop) = ttl.detected.iter().map(|d| d.hop).max() else { continue };
+        let Some(max_hop) = ttl.detected.iter().map(|d| d.hop).max() else {
+            continue;
+        };
         let e = per_as.entry(a).or_insert((s.cellular, 0));
         e.1 = e.1.max(max_hop);
     }
@@ -72,7 +74,9 @@ pub fn fig11(sessions: &[SessionObs], cgn_positive: impl Fn(AsId) -> bool) -> Fi
             AsGroup::NonCellularNoCgn
         };
         let bucket = hop.clamp(1, 10) - 1;
-        fig.per_group.entry(group.label().to_string()).or_insert([0; 10])[bucket] += 1;
+        fig.per_group
+            .entry(group.label().to_string())
+            .or_insert([0; 10])[bucket] += 1;
     }
     fig
 }
@@ -96,13 +100,22 @@ impl Table7 {
     pub fn rates(&self) -> [(String, f64); 4] {
         let n = self.sessions.max(1) as f64;
         [
-            ("IP mismatch, NAT detected".into(), 100.0 * self.mismatch_detected as f64 / n),
+            (
+                "IP mismatch, NAT detected".into(),
+                100.0 * self.mismatch_detected as f64 / n,
+            ),
             (
                 "IP mismatch, no NAT detected".into(),
                 100.0 * self.mismatch_not_detected as f64 / n,
             ),
-            ("IP match, NAT detected".into(), 100.0 * self.match_detected as f64 / n),
-            ("IP match, no NAT detected".into(), 100.0 * self.match_not_detected as f64 / n),
+            (
+                "IP match, NAT detected".into(),
+                100.0 * self.match_detected as f64 / n,
+            ),
+            (
+                "IP match, no NAT detected".into(),
+                100.0 * self.match_not_detected as f64 / n,
+            ),
         ]
     }
 }
@@ -136,7 +149,11 @@ mod tests {
             ip_mismatch: mismatch,
             detected: hops
                 .iter()
-                .map(|h| TtlNatObs { hop: *h, timeout_gt_secs: 60, timeout_le_secs: 70 })
+                .map(|h| TtlNatObs {
+                    hop: *h,
+                    timeout_gt_secs: 60,
+                    timeout_le_secs: 70,
+                })
                 .collect(),
         });
         s
@@ -145,10 +162,10 @@ mod tests {
     #[test]
     fn fig11_groups_and_max_distance() {
         let sessions = vec![
-            session(1, false, true, &[1]),        // no-CGN AS, CPE at hop 1
-            session(2, false, true, &[1, 4]),     // CGN AS, most distant 4
-            session(2, false, true, &[1, 3]),     // same AS, smaller — max stays 4
-            session(3, true, true, &[7]),         // cellular
+            session(1, false, true, &[1]),    // no-CGN AS, CPE at hop 1
+            session(2, false, true, &[1, 4]), // CGN AS, most distant 4
+            session(2, false, true, &[1, 3]), // same AS, smaller — max stays 4
+            session(3, true, true, &[7]),     // cellular
         ];
         let f = fig11(&sessions, |a| a == AsId(2));
         let no_cgn = f.fractions(AsGroup::NonCellularNoCgn).unwrap();

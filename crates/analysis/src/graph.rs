@@ -20,7 +20,10 @@ pub struct UnionFind {
 
 impl UnionFind {
     pub fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n).collect(), rank: vec![0; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
     }
 
     pub fn find(&mut self, x: usize) -> usize {
@@ -176,7 +179,10 @@ mod tests {
         }
         assert_eq!(
             g.largest_component().unwrap(),
-            ClusterSummary { external_ips: 1, internal_ips: 1 }
+            ClusterSummary {
+                external_ips: 1,
+                internal_ips: 1
+            }
         );
     }
 
@@ -193,7 +199,13 @@ mod tests {
         }
         let comps = g.components();
         assert_eq!(comps.len(), 1);
-        assert_eq!(comps[0], ClusterSummary { external_ips: 6, internal_ips: 8 });
+        assert_eq!(
+            comps[0],
+            ClusterSummary {
+                external_ips: 6,
+                internal_ips: 8
+            }
+        );
     }
 
     /// Overlap only via a shared internal peer still merges clusters.
@@ -206,7 +218,13 @@ mod tests {
         g.add_edge(ip(1, 0, 0, 3), ip(10, 0, 0, 2)); // shares internal .2
         let comps = g.components();
         assert_eq!(comps.len(), 1);
-        assert_eq!(comps[0], ClusterSummary { external_ips: 3, internal_ips: 2 });
+        assert_eq!(
+            comps[0],
+            ClusterSummary {
+                external_ips: 3,
+                internal_ips: 2
+            }
+        );
     }
 
     #[test]
@@ -219,7 +237,10 @@ mod tests {
         assert_eq!(g.internal_count(), 1);
         assert_eq!(
             g.largest_component().unwrap(),
-            ClusterSummary { external_ips: 1, internal_ips: 1 }
+            ClusterSummary {
+                external_ips: 1,
+                internal_ips: 1
+            }
         );
     }
 
@@ -232,7 +253,13 @@ mod tests {
         assert_eq!(g.leaker_count(), 1);
         assert_eq!(g.internal_count(), 1);
         let c = g.largest_component().unwrap();
-        assert_eq!(c, ClusterSummary { external_ips: 1, internal_ips: 1 });
+        assert_eq!(
+            c,
+            ClusterSummary {
+                external_ips: 1,
+                internal_ips: 1
+            }
+        );
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   detection-rate table (Table 7);
 //! * [`coverage`] — coverage and CGN-penetration rates across AS
 //!   populations (Table 5, Fig. 6);
+//! * [`port_demand`] — operator-side dimensioning: port/state capacity
+//!   needed for a subscriber population, chunk-size vs. blocking
+//!   probability (the capacity question behind §6.2's findings);
 //! * [`baseline`] — naive detector baselines and precision/recall scoring
 //!   against ground truth (the ablation study);
 //! * [`stats`] — histograms, quantiles and box-plot summaries.
@@ -34,6 +37,7 @@ pub mod graph;
 pub mod nz_detect;
 pub mod obs;
 pub mod port_alloc;
+pub mod port_demand;
 pub mod stats;
 pub mod stun_class;
 pub mod timeouts;
@@ -43,4 +47,5 @@ pub use coverage::{CoverageReport, Populations};
 pub use graph::{ClusterSummary, LeakGraph};
 pub use nz_detect::{NzCellularDetector, NzNonCellularDetector};
 pub use obs::{BtLeakObs, FlowObs, SessionObs, TtlNatObs, TtlObs};
+pub use port_demand::{ChunkBlockingRow, DemandSample, DemandSeries, PortDemandReport};
 pub use stats::{BoxplotStats, Histogram};

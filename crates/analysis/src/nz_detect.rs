@@ -103,7 +103,11 @@ pub struct NzNonCellularDetector {
 
 impl Default for NzNonCellularDetector {
     fn default() -> Self {
-        NzNonCellularDetector { min_sessions: 10, diversity_factor: 0.4, top_blocks: 10 }
+        NzNonCellularDetector {
+            min_sessions: 10,
+            diversity_factor: 0.4,
+            top_blocks: 10,
+        }
     }
 }
 
@@ -133,7 +137,11 @@ impl NzNonCellularDetector {
         }
         let mut blocks: Vec<(Prefix, usize)> = counts.into_iter().collect();
         blocks.sort_by_key(|(p, c)| (std::cmp::Reverse(*c), *p));
-        blocks.into_iter().take(self.top_blocks).map(|(p, _)| p).collect()
+        blocks
+            .into_iter()
+            .take(self.top_blocks)
+            .map(|(p, _)| p)
+            .collect()
     }
 
     pub fn detect(
@@ -143,7 +151,10 @@ impl NzNonCellularDetector {
     ) -> BTreeMap<AsId, NonCellularAsResult> {
         let top = self.top_device_blocks(sessions);
         let mut per_as: BTreeMap<AsId, Vec<&SessionObs>> = BTreeMap::new();
-        for s in sessions.iter().filter(|s| !s.cellular && s.ip_cpe.is_some()) {
+        for s in sessions
+            .iter()
+            .filter(|s| !s.cellular && s.ip_cpe.is_some())
+        {
             if let Some(a) = s.as_id {
                 per_as.entry(a).or_default().push(s);
             }
@@ -198,7 +209,11 @@ impl NzNonCellularDetector {
 
 /// Positive AS set from either detector's per-AS map.
 pub fn positive_set<R, F: Fn(&R) -> bool>(per_as: &BTreeMap<AsId, R>, f: F) -> BTreeSet<AsId> {
-    per_as.iter().filter(|(_, r)| f(r)).map(|(a, _)| *a).collect()
+    per_as
+        .iter()
+        .filter(|(_, r)| f(r))
+        .map(|(a, _)| *a)
+        .collect()
 }
 
 #[cfg(test)]
@@ -304,7 +319,14 @@ mod tests {
         // 12 candidates all in one /24 — a single-site deployment, not
         // enough diversity for the conservative call.
         let sessions: Vec<SessionObs> = (0..12u8)
-            .map(|i| nc_session(2, ip(192, 168, 1, 100), ip(100, 64, 0, 10 + i), ip(60, 0, 0, 9)))
+            .map(|i| {
+                nc_session(
+                    2,
+                    ip(192, 168, 1, 100),
+                    ip(100, 64, 0, 10 + i),
+                    ip(60, 0, 0, 9),
+                )
+            })
             .collect();
         let det = NzNonCellularDetector::default().detect(&sessions, &r);
         assert!(!det[&AsId(2)].cgn_positive);
@@ -316,8 +338,7 @@ mod tests {
         // The device corpus makes 192.168.1/24 a top block…
         let mut sessions: Vec<SessionObs> = (0..30u8)
             .map(|i| {
-                let mut s =
-                    SessionObs::skeleton(AsId(2), false, ip(192, 168, 1, 100 + (i % 100)));
+                let mut s = SessionObs::skeleton(AsId(2), false, ip(192, 168, 1, 100 + (i % 100)));
                 s.ip_pub = Some(ip(60, 0, 0, i));
                 s
             })
@@ -325,11 +346,19 @@ mod tests {
         // …so 12 double-home-NAT sessions whose "IPcpe" is another home
         // router in 192.168.1/24 are not candidates.
         sessions.extend((0..12u8).map(|i| {
-            nc_session(2, ip(192, 168, 0, 100), ip(192, 168, 1, 1 + i), ip(60, 0, 1, i))
+            nc_session(
+                2,
+                ip(192, 168, 0, 100),
+                ip(192, 168, 1, 1 + i),
+                ip(60, 0, 1, i),
+            )
         }));
         let det = NzNonCellularDetector::default().detect(&sessions, &r);
         let a = &det[&AsId(2)];
-        assert_eq!(a.candidate_sessions, 0, "home-cascade sessions must be filtered");
+        assert_eq!(
+            a.candidate_sessions, 0,
+            "home-cascade sessions must be filtered"
+        );
         assert!(!a.cgn_positive);
     }
 

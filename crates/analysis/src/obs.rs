@@ -91,7 +91,9 @@ impl SessionObs {
 
     /// Completed flows as (local port, observed endpoint).
     pub fn observed_flows(&self) -> impl Iterator<Item = (u16, Endpoint)> + '_ {
-        self.flows.iter().filter_map(|f| f.observed.map(|o| (f.local_port, o)))
+        self.flows
+            .iter()
+            .filter_map(|f| f.observed.map(|o| (f.local_port, o)))
     }
 }
 
@@ -104,7 +106,10 @@ mod tests {
     fn skeleton_and_flows() {
         let mut s = SessionObs::skeleton(AsId(1), false, ip(192, 168, 1, 100));
         assert_eq!(s.observed_flows().count(), 0);
-        s.flows.push(FlowObs { local_port: 1000, observed: None });
+        s.flows.push(FlowObs {
+            local_port: 1000,
+            observed: None,
+        });
         s.flows.push(FlowObs {
             local_port: 1001,
             observed: Some(Endpoint::new(ip(5, 5, 5, 5), 777)),

@@ -37,7 +37,11 @@ pub struct PortClassifier {
 
 impl Default for PortClassifier {
     fn default() -> Self {
-        PortClassifier { preservation_fraction: 0.20, sequential_max_gap: 50, min_flows: 4 }
+        PortClassifier {
+            preservation_fraction: 0.20,
+            sequential_max_gap: 50,
+            min_flows: 4,
+        }
     }
 }
 
@@ -183,7 +187,10 @@ pub struct ChunkDetector {
 
 impl Default for ChunkDetector {
     fn default() -> Self {
-        ChunkDetector { min_sessions: 20, max_spread: 16_384 }
+        ChunkDetector {
+            min_sessions: 20,
+            max_spread: 16_384,
+        }
     }
 }
 
@@ -208,18 +215,19 @@ impl ChunkDetector {
             if ports.len() < classifier.min_flows {
                 continue;
             }
-            let spread = ports.iter().max().expect("nonempty")
-                - ports.iter().min().expect("nonempty");
+            let spread =
+                ports.iter().max().expect("nonempty") - ports.iter().min().expect("nonempty");
             spreads.entry(a).or_default().push(spread);
         }
         spreads
             .into_iter()
-            .filter(|(_, v)| {
-                v.len() >= self.min_sessions && v.iter().all(|s| *s < self.max_spread)
-            })
+            .filter(|(_, v)| v.len() >= self.min_sessions && v.iter().all(|s| *s < self.max_spread))
             .map(|(a, v)| {
                 let widest = *v.iter().max().expect("nonempty");
-                (a, (widest as u32 + 1).next_power_of_two().min(65_536) as u16)
+                (
+                    a,
+                    (widest as u32 + 1).next_power_of_two().min(65_536) as u16,
+                )
             })
             .collect()
     }
@@ -271,7 +279,9 @@ pub fn fig8b_cpe_preservation(
             }
         }
         let Some(model) = &s.cpe_model else { continue };
-        let Some(strategy) = classifier.classify_session(s) else { continue };
+        let Some(strategy) = classifier.classify_session(s) else {
+            continue;
+        };
         let e = out.entry(model.clone()).or_insert((0, 0));
         e.0 += 1;
         if strategy == PortStrategy::Preservation {
@@ -330,15 +340,20 @@ mod tests {
                 }
             })
             .collect();
-        assert_eq!(classifier().classify(&flows), Some(PortStrategy::Preservation));
+        assert_eq!(
+            classifier().classify(&flows),
+            Some(PortStrategy::Preservation)
+        );
     }
 
     #[test]
     fn sequential_classified_with_gaps() {
         // Strictly increasing with small gaps (collisions skip a few).
-        let flows: Vec<(u16, u16)> =
-            (0..10).map(|i| (40_000 + i, 5_000 + i * 3)).collect();
-        assert_eq!(classifier().classify(&flows), Some(PortStrategy::Sequential));
+        let flows: Vec<(u16, u16)> = (0..10).map(|i| (40_000 + i, 5_000 + i * 3)).collect();
+        assert_eq!(
+            classifier().classify(&flows),
+            Some(PortStrategy::Sequential)
+        );
     }
 
     #[test]
@@ -410,8 +425,7 @@ mod tests {
                 .collect();
             sessions.push(session_with_ports(5, &ports));
         }
-        let chunks =
-            ChunkDetector::default().detect(&sessions, &classifier(), |a| a == AsId(5));
+        let chunks = ChunkDetector::default().detect(&sessions, &classifier(), |a| a == AsId(5));
         assert_eq!(chunks.get(&AsId(5)), Some(&4_096));
     }
 
@@ -419,14 +433,10 @@ mod tests {
     fn chunk_detection_needs_enough_sessions() {
         let sessions: Vec<SessionObs> = (0..10u16)
             .map(|_| {
-                session_with_ports(
-                    5,
-                    &[(1, 3_001), (2, 777), (3, 2_222), (4, 3_900), (5, 150)],
-                )
+                session_with_ports(5, &[(1, 3_001), (2, 777), (3, 2_222), (4, 3_900), (5, 150)])
             })
             .collect();
-        let chunks =
-            ChunkDetector::default().detect(&sessions, &classifier(), |_| true);
+        let chunks = ChunkDetector::default().detect(&sessions, &classifier(), |_| true);
         assert!(chunks.is_empty(), "10 < 20 sessions");
     }
 
@@ -436,11 +446,16 @@ mod tests {
         for _ in 0..25 {
             sessions.push(session_with_ports(
                 5,
-                &[(1, 1_000), (2, 60_000), (3, 30_000), (4, 45_000), (5, 5_000)],
+                &[
+                    (1, 1_000),
+                    (2, 60_000),
+                    (3, 30_000),
+                    (4, 45_000),
+                    (5, 5_000),
+                ],
             ));
         }
-        let chunks =
-            ChunkDetector::default().detect(&sessions, &classifier(), |_| true);
+        let chunks = ChunkDetector::default().detect(&sessions, &classifier(), |_| true);
         assert!(chunks.is_empty(), "full-space sessions are not chunked");
     }
 
@@ -471,11 +486,21 @@ mod tests {
     fn fig8a_separates_populations() {
         let preserved = session_with_ports(
             1,
-            &[(33_000, 33_000), (33_001, 33_001), (33_002, 33_002), (33_003, 33_003)],
+            &[
+                (33_000, 33_000),
+                (33_001, 33_001),
+                (33_002, 33_002),
+                (33_003, 33_003),
+            ],
         );
         let translated = session_with_ports(
             1,
-            &[(33_000, 100), (33_001, 60_000), (33_002, 20_000), (33_003, 41_111)],
+            &[
+                (33_000, 100),
+                (33_001, 60_000),
+                (33_002, 20_000),
+                (33_003, 41_111),
+            ],
         );
         let (p, t) = fig8a_histograms(&[preserved, translated], &classifier(), 4_096);
         assert_eq!(p.total, 4);
@@ -490,12 +515,22 @@ mod tests {
     fn fig8b_groups_by_model() {
         let mut a = session_with_ports(
             1,
-            &[(1_000, 1_000), (1_001, 1_001), (1_002, 1_002), (1_003, 1_003)],
+            &[
+                (1_000, 1_000),
+                (1_001, 1_001),
+                (1_002, 1_002),
+                (1_003, 1_003),
+            ],
         );
         a.cpe_model = Some("Acme CPE-001".into());
         let mut b = session_with_ports(
             1,
-            &[(1_000, 9_111), (1_001, 61_222), (1_002, 23_333), (1_003, 44_444)],
+            &[
+                (1_000, 9_111),
+                (1_001, 61_222),
+                (1_002, 23_333),
+                (1_003, 44_444),
+            ],
         );
         b.cpe_model = Some("Acme CPE-001".into());
         let grouped = fig8b_cpe_preservation(&[a, b], &classifier(), |_| false);
@@ -507,11 +542,7 @@ mod tests {
         let mut multi = session_with_ports(1, &[(1, 2), (2, 3), (3, 4), (4, 5)]);
         multi.multiple_public_ips = true;
         let single = session_with_ports(1, &[(1, 2), (2, 3), (3, 4), (4, 5)]);
-        let pools = arbitrary_pooling_ases(
-            &[multi.clone(), multi.clone(), single],
-            |_| true,
-            0.6,
-        );
-        assert_eq!(pools[&AsId(1)], true, "2/3 > 0.6 sessions saw multiple IPs");
+        let pools = arbitrary_pooling_ases(&[multi.clone(), multi.clone(), single], |_| true, 0.6);
+        assert!(pools[&AsId(1)], "2/3 > 0.6 sessions saw multiple IPs");
     }
 }

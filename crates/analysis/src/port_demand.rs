@@ -1,0 +1,343 @@
+//! Port-demand dimensioning analysis (the operator-side view of §6.2).
+//!
+//! The paper infers CGN internals — per-subscriber port chunks of
+//! 512..16K ports (Fig. 8c, Table 6), NAT pooling, short UDP timeouts
+//! (Fig. 12) — from the outside. This module asks the question those
+//! findings imply for the operator: **how much port and state capacity
+//! does a CGN need for a given subscriber population and traffic mix?**
+//!
+//! Input is a time series of [`DemandSample`]s captured while a workload
+//! drives a `nat_engine::Nat` (the `cgn-traffic` crate produces these),
+//! plus the full ports-per-subscriber distribution at the observed peak.
+//! Output is a [`PortDemandReport`]:
+//!
+//! * peak / percentile concurrent mappings and ports per subscriber,
+//! * external-IP multiplexing factor (subscribers and peak ports per
+//!   public address — the address-sharing ratio the survey of §2 asks
+//!   operators about),
+//! * a chunk-size vs. subscriber-blocking-probability curve that
+//!   connects directly to the chunk sizes inferred in §6.2: for each
+//!   candidate chunk size, the share of subscribers whose peak demand
+//!   would not fit ("demand blocked") and the number of subscribers one
+//!   external IP can host ("64 subscribers per IP address in the case of
+//!   a 1K port chunk").
+
+use crate::stats::quantile_sorted;
+use serde::{Deserialize, Serialize};
+
+/// One snapshot of CGN state while a workload runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandSample {
+    /// Virtual time of the snapshot, in seconds since run start.
+    pub t_secs: u64,
+    /// Live (unexpired) mappings across all CGN instances.
+    pub mappings: u64,
+    /// Subscribers with at least one live mapping.
+    pub active_subscribers: u64,
+    /// Ports-per-active-subscriber percentiles at this instant.
+    pub ports_p50: f64,
+    pub ports_p95: f64,
+    pub ports_p99: f64,
+    pub ports_max: u64,
+    /// Highest allocator fill level across (external IP, protocol)
+    /// pairs, in `[0, 1]`.
+    pub worst_ip_utilization: f64,
+    /// Cumulative drop counters at this instant (monotone).
+    pub drops_port_exhausted: u64,
+    pub drops_session_limit: u64,
+}
+
+/// The full time series of one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DemandSeries {
+    pub samples: Vec<DemandSample>,
+}
+
+impl DemandSeries {
+    pub fn push(&mut self, s: DemandSample) {
+        self.samples.push(s);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The sample with the most live mappings (ties: earliest).
+    pub fn peak(&self) -> Option<&DemandSample> {
+        self.samples
+            .iter()
+            .max_by_key(|s| (s.mappings, u64::MAX - s.t_secs))
+    }
+
+    /// Quantile of concurrent mappings across the whole run.
+    pub fn mappings_quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.samples.iter().map(|s| s.mappings as f64).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("counts are finite"));
+        quantile_sorted(&v, q)
+    }
+}
+
+/// One row of the chunk-size vs. blocking-probability curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkBlockingRow {
+    /// Ports reserved per subscriber (the §6.2 chunk size).
+    pub chunk_size: u16,
+    /// Subscribers one external IP can host at this chunk size
+    /// (`usable_ports / chunk_size`).
+    pub subscribers_per_ip: u32,
+    /// Share of subscribers whose observed **peak** demand exceeds the
+    /// chunk — they would see new-flow failures at the worst moment.
+    pub p_demand_blocked: f64,
+    /// Share of the port space the population actually used at peak,
+    /// had each subscriber owned a chunk this size
+    /// (`total peak demand / (subscribers * chunk_size)`, capped at 1).
+    pub chunk_utilization: f64,
+}
+
+/// Dimensioning summary of one workload run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortDemandReport {
+    /// Subscribers configured for the run.
+    pub subscribers: u64,
+    /// External (public) IPs in the CGN pool.
+    pub external_ips: u64,
+    /// Peak live mappings (state-table high-water mark).
+    pub peak_mappings: u64,
+    /// Median of the per-sample mapping counts (steady-state load).
+    pub median_mappings: f64,
+    /// 99th percentile of the per-sample mapping counts.
+    pub p99_mappings: f64,
+    /// Peak-sample ports-per-subscriber percentiles.
+    pub peak_ports_p50: f64,
+    pub peak_ports_p95: f64,
+    pub peak_ports_p99: f64,
+    pub peak_ports_max: u64,
+    /// Subscribers per external IP (the address-sharing ratio of §2).
+    pub subscribers_per_external_ip: f64,
+    /// Peak live mappings per external IP — how many ports of each
+    /// public address were simultaneously committed.
+    pub peak_ports_per_external_ip: f64,
+    /// Highest allocator fill level seen at any sample.
+    pub worst_ip_utilization: f64,
+    /// Total new-flow drops due to port/chunk exhaustion.
+    pub drops_port_exhausted: u64,
+    /// Total new-flow drops due to the per-subscriber session limit.
+    pub drops_session_limit: u64,
+    /// Chunk-size sweep (ascending chunk size).
+    pub chunk_curve: Vec<ChunkBlockingRow>,
+}
+
+/// Chunk sizes swept by [`build_report`] — the powers of two spanning
+/// the 512..16K range the paper observed, extended downward so the
+/// sweep also shows where undersized chunks start blocking subscribers.
+pub const CHUNK_SIZES: [u16; 11] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384];
+
+/// Usable external ports per (IP, protocol) under the engine's default
+/// configurations (the 1024..65535 range). Runs with a different
+/// `NatConfig::port_range` pass their own usable-port count.
+pub const USABLE_PORTS_PER_IP: u32 = 64_512;
+
+/// Compute the chunk-size sweep from the peak ports-per-subscriber
+/// distribution. `peak_ports_per_subscriber` holds one entry per
+/// subscriber that was active at the peak sample; fully idle
+/// subscribers contribute zero demand and are represented by
+/// `subscribers - distribution.len()` implicit zeros.
+/// `usable_ports_per_ip` is the width of the run's configured port
+/// range (per external IP and protocol).
+pub fn chunk_curve(
+    peak_ports_per_subscriber: &[u32],
+    subscribers: u64,
+    usable_ports_per_ip: u32,
+) -> Vec<ChunkBlockingRow> {
+    let total_demand: u64 = peak_ports_per_subscriber.iter().map(|p| *p as u64).sum();
+    CHUNK_SIZES
+        .iter()
+        .map(|&chunk| {
+            let blocked = peak_ports_per_subscriber
+                .iter()
+                .filter(|&&p| p > chunk as u32)
+                .count();
+            let p_demand_blocked = if subscribers == 0 {
+                0.0
+            } else {
+                blocked as f64 / subscribers as f64
+            };
+            let chunk_utilization = if subscribers == 0 {
+                0.0
+            } else {
+                (total_demand as f64 / (subscribers as f64 * chunk as f64)).min(1.0)
+            };
+            ChunkBlockingRow {
+                chunk_size: chunk,
+                subscribers_per_ip: usable_ports_per_ip / chunk as u32,
+                p_demand_blocked,
+                chunk_utilization,
+            }
+        })
+        .collect()
+}
+
+/// Assemble the report from a run's series and peak distribution.
+pub fn build_report(
+    series: &DemandSeries,
+    peak_ports_per_subscriber: &[u32],
+    subscribers: u64,
+    external_ips: u64,
+    usable_ports_per_ip: u32,
+) -> PortDemandReport {
+    let peak = series.peak().copied().unwrap_or(DemandSample {
+        t_secs: 0,
+        mappings: 0,
+        active_subscribers: 0,
+        ports_p50: 0.0,
+        ports_p95: 0.0,
+        ports_p99: 0.0,
+        ports_max: 0,
+        worst_ip_utilization: 0.0,
+        drops_port_exhausted: 0,
+        drops_session_limit: 0,
+    });
+    let last = series.samples.last().copied().unwrap_or(peak);
+    let ips = external_ips.max(1) as f64;
+    PortDemandReport {
+        subscribers,
+        external_ips,
+        peak_mappings: peak.mappings,
+        median_mappings: series.mappings_quantile(0.5),
+        p99_mappings: series.mappings_quantile(0.99),
+        peak_ports_p50: peak.ports_p50,
+        peak_ports_p95: peak.ports_p95,
+        peak_ports_p99: peak.ports_p99,
+        peak_ports_max: peak.ports_max,
+        subscribers_per_external_ip: subscribers as f64 / ips,
+        peak_ports_per_external_ip: peak.mappings as f64 / ips,
+        worst_ip_utilization: series
+            .samples
+            .iter()
+            .map(|s| s.worst_ip_utilization)
+            .fold(0.0, f64::max),
+        drops_port_exhausted: last.drops_port_exhausted,
+        drops_session_limit: last.drops_session_limit,
+        chunk_curve: chunk_curve(peak_ports_per_subscriber, subscribers, usable_ports_per_ip),
+    }
+}
+
+/// Percentiles of a ports-per-subscriber distribution, padded with
+/// zeros for subscribers not present in the map (idle ones).
+pub fn ports_percentiles(mut active_ports: Vec<u32>, subscribers: u64) -> (f64, f64, f64, u64) {
+    let idle = (subscribers as usize).saturating_sub(active_ports.len());
+    active_ports.sort_unstable();
+    let max = active_ports.last().copied().unwrap_or(0) as u64;
+    if subscribers == 0 {
+        return (0.0, 0.0, 0.0, 0);
+    }
+    // Quantiles over the padded distribution without materializing the
+    // zeros: index into [0-padding | sorted active].
+    let total = idle + active_ports.len();
+    let q = |frac: f64| -> f64 {
+        if total == 1 {
+            return active_ports.first().copied().unwrap_or(0) as f64;
+        }
+        let pos = frac * (total - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let val = |i: usize| -> f64 {
+            if i < idle {
+                0.0
+            } else {
+                active_ports[i - idle] as f64
+            }
+        };
+        let fracpart = pos - lo as f64;
+        val(lo) * (1.0 - fracpart) + val(hi) * fracpart
+    };
+    (q(0.5), q(0.95), q(0.99), max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64, mappings: u64) -> DemandSample {
+        DemandSample {
+            t_secs: t,
+            mappings,
+            active_subscribers: mappings.min(10),
+            ports_p50: 1.0,
+            ports_p95: 2.0,
+            ports_p99: 3.0,
+            ports_max: mappings,
+            worst_ip_utilization: mappings as f64 / 100.0,
+            drops_port_exhausted: t / 10,
+            drops_session_limit: 0,
+        }
+    }
+
+    #[test]
+    fn peak_finds_max_earliest() {
+        let mut s = DemandSeries::default();
+        for (t, m) in [(0, 5), (60, 40), (120, 40), (180, 10)] {
+            s.push(sample(t, m));
+        }
+        let p = s.peak().expect("nonempty");
+        assert_eq!(p.mappings, 40);
+        assert_eq!(p.t_secs, 60, "ties resolve to the earliest sample");
+    }
+
+    #[test]
+    fn chunk_curve_monotone_and_calibrated() {
+        // 100 subscribers; 10 of them need 600 ports, the rest 50.
+        let mut dist = vec![600u32; 10];
+        dist.extend(vec![50u32; 90]);
+        let curve = chunk_curve(&dist, 100, USABLE_PORTS_PER_IP);
+        assert_eq!(curve.len(), CHUNK_SIZES.len());
+        // Blocking probability must fall as chunks grow.
+        for w in curve.windows(2) {
+            assert!(w[0].p_demand_blocked >= w[1].p_demand_blocked);
+            assert!(w[0].subscribers_per_ip >= w[1].subscribers_per_ip);
+        }
+        // 512-port chunks block exactly the 10 heavy subscribers.
+        let r512 = curve.iter().find(|r| r.chunk_size == 512).expect("swept");
+        assert!((r512.p_demand_blocked - 0.10).abs() < 1e-9);
+        // 1K chunks host 63 subscribers per IP (64512/1024).
+        let r1k = curve.iter().find(|r| r.chunk_size == 1024).expect("swept");
+        assert_eq!(r1k.subscribers_per_ip, 63);
+        assert!((r1k.p_demand_blocked - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ports_percentiles_pad_idle_subscribers() {
+        // 2 active of 100 subscribers: median is zero, max is 20.
+        let (p50, p95, p99, max) = ports_percentiles(vec![10, 20], 100);
+        assert_eq!(p50, 0.0);
+        assert_eq!(max, 20);
+        assert!(p95 >= 0.0); // quantiles well-defined
+        assert!(p99 <= 20.0);
+    }
+
+    #[test]
+    fn report_assembles() {
+        let mut s = DemandSeries::default();
+        for t in 0..50 {
+            s.push(sample(t * 60, t % 7 * 10));
+        }
+        let dist = vec![5u32; 40];
+        let r = build_report(&s, &dist, 200, 4, USABLE_PORTS_PER_IP);
+        assert_eq!(r.peak_mappings, 60);
+        assert_eq!(r.subscribers_per_external_ip, 50.0);
+        assert!(r.p99_mappings >= r.median_mappings);
+        assert_eq!(r.chunk_curve.len(), CHUNK_SIZES.len());
+        assert!(r.worst_ip_utilization > 0.0);
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let r = build_report(&DemandSeries::default(), &[], 0, 0, USABLE_PORTS_PER_IP);
+        assert_eq!(r.peak_mappings, 0);
+        assert_eq!(r.chunk_curve.len(), CHUNK_SIZES.len());
+        assert_eq!(r.chunk_curve[0].p_demand_blocked, 0.0);
+    }
+}

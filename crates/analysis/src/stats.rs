@@ -15,7 +15,11 @@ impl Histogram {
     pub fn new(bin_width: u64, max_value: u64) -> Histogram {
         assert!(bin_width > 0);
         let n = (max_value / bin_width + 1) as usize;
-        Histogram { bin_width, bins: vec![0; n], total: 0 }
+        Histogram {
+            bin_width,
+            bins: vec![0; n],
+            total: 0,
+        }
     }
 
     pub fn add(&mut self, v: u64) {
@@ -25,7 +29,11 @@ impl Histogram {
         self.total += 1;
     }
 
-    pub fn from_values(bin_width: u64, max_value: u64, values: impl IntoIterator<Item = u64>) -> Histogram {
+    pub fn from_values(
+        bin_width: u64,
+        max_value: u64,
+        values: impl IntoIterator<Item = u64>,
+    ) -> Histogram {
         let mut h = Histogram::new(bin_width, max_value);
         for v in values {
             h.add(v);
@@ -38,7 +46,10 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.bins.len()];
         }
-        self.bins.iter().map(|c| *c as f64 / self.total as f64).collect()
+        self.bins
+            .iter()
+            .map(|c| *c as f64 / self.total as f64)
+            .collect()
     }
 
     /// The most frequent bin's lower edge.
@@ -140,7 +151,7 @@ mod tests {
         assert_eq!(h.bins[0], 3); // 0,5,9
         assert_eq!(h.bins[1], 1); // 10
         assert_eq!(h.bins[9], 1); // 95
-        // 100 and 150 clamp into the last bin (index 10).
+                                  // 100 and 150 clamp into the last bin (index 10).
         assert_eq!(h.bins[10], 2);
         assert_eq!(h.total, 7);
     }

@@ -32,8 +32,14 @@ impl StunDistribution {
         let n = self.total.max(1) as f64;
         [
             (StunNatType::Symmetric, self.symmetric as f64 / n),
-            (StunNatType::PortAddressRestricted, self.port_address_restricted as f64 / n),
-            (StunNatType::AddressRestricted, self.address_restricted as f64 / n),
+            (
+                StunNatType::PortAddressRestricted,
+                self.port_address_restricted as f64 / n,
+            ),
+            (
+                StunNatType::AddressRestricted,
+                self.address_restricted as f64 / n,
+            ),
             (StunNatType::FullCone, self.full_cone as f64 / n),
         ]
     }
@@ -136,7 +142,7 @@ mod tests {
             session(1, false, Some(StunNatType::PortAddressRestricted)),
             session(2, false, Some(StunNatType::Symmetric)), // CGN AS → excluded
             session(3, true, Some(StunNatType::FullCone)),   // cellular → excluded
-            session(1, false, None),                          // no STUN → ignored
+            session(1, false, None),                         // no STUN → ignored
         ];
         let d = fig13a_cpe_sessions(&sessions, |a| a == AsId(2));
         assert_eq!(d.total, 1);
@@ -156,7 +162,11 @@ mod tests {
         ];
         let per_as = fig13b_most_permissive_per_as(&sessions, |_| true);
         assert_eq!(per_as[&AsId(1)], StunNatType::AddressRestricted);
-        assert_eq!(per_as[&AsId(2)], StunNatType::Symmetric, "all-symmetric AS stays symmetric");
+        assert_eq!(
+            per_as[&AsId(2)],
+            StunNatType::Symmetric,
+            "all-symmetric AS stays symmetric"
+        );
         let d = distribution_over_ases(&per_as);
         assert_eq!(d.total, 2);
         assert_eq!(d.symmetric, 1);

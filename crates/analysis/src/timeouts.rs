@@ -84,19 +84,31 @@ pub fn fig12(
     noncellular_cgn: impl Fn(AsId) -> bool,
 ) -> Fig12 {
     let cell: Vec<u64> = cgn_timeouts_per_as(
-        &sessions.iter().filter(|s| s.cellular).cloned().collect::<Vec<_>>(),
+        &sessions
+            .iter()
+            .filter(|s| s.cellular)
+            .cloned()
+            .collect::<Vec<_>>(),
         &cellular_cgn,
     )
     .into_values()
     .collect();
     let noncell: Vec<u64> = cgn_timeouts_per_as(
-        &sessions.iter().filter(|s| !s.cellular).cloned().collect::<Vec<_>>(),
+        &sessions
+            .iter()
+            .filter(|s| !s.cellular)
+            .cloned()
+            .collect::<Vec<_>>(),
         &noncellular_cgn,
     )
     .into_values()
     .collect();
     let cpe = cpe_timeouts_per_session(
-        &sessions.iter().filter(|s| !s.cellular).cloned().collect::<Vec<_>>(),
+        &sessions
+            .iter()
+            .filter(|s| !s.cellular)
+            .cloned()
+            .collect::<Vec<_>>(),
         |a| noncellular_cgn(a) || cellular_cgn(a),
     );
     let to_f = |v: &[u64]| v.iter().map(|x| *x as f64).collect::<Vec<f64>>();
@@ -118,12 +130,20 @@ mod tests {
 
     fn session(as_n: u32, cellular: bool, detected: Vec<TtlNatObs>) -> SessionObs {
         let mut s = SessionObs::skeleton(AsId(as_n), cellular, ip(100, 64, 0, 5));
-        s.ttl = Some(TtlObs { path_len: 6, ip_mismatch: true, detected });
+        s.ttl = Some(TtlObs {
+            path_len: 6,
+            ip_mismatch: true,
+            detected,
+        });
         s
     }
 
     fn nat(hop: usize, gt: u64, le: u64) -> TtlNatObs {
-        TtlNatObs { hop, timeout_gt_secs: gt, timeout_le_secs: le }
+        TtlNatObs {
+            hop,
+            timeout_gt_secs: gt,
+            timeout_le_secs: le,
+        }
     }
 
     #[test]
@@ -179,9 +199,7 @@ mod tests {
         assert_eq!(f.noncellular_cgn_per_as.unwrap().median, 35.0);
         assert_eq!(f.cpe_per_session.unwrap().median, 65.0);
         // The paper's headline: cellular CGN median above non-cellular.
-        assert!(
-            f.cellular_cgn_per_as.unwrap().median > f.noncellular_cgn_per_as.unwrap().median
-        );
+        assert!(f.cellular_cgn_per_as.unwrap().median > f.noncellular_cgn_per_as.unwrap().median);
     }
 
     #[test]

@@ -62,7 +62,9 @@ fn bench_nz_ablation(c: &mut Criterion) {
     let art = artifacts();
     let mut g = c.benchmark_group("nz_detector");
     g.bench_function("paper_diversity_rule", |b| {
-        b.iter(|| black_box(NzNonCellularDetector::default().detect(&art.sessions, &art.world.routing)))
+        b.iter(|| {
+            black_box(NzNonCellularDetector::default().detect(&art.sessions, &art.world.routing))
+        })
     });
     g.bench_function("baseline_any_mismatch", |b| {
         b.iter(|| black_box(baseline::nz_any_mismatch(&art.sessions)))
@@ -72,8 +74,11 @@ fn bench_nz_ablation(c: &mut Criterion) {
     let truth = truth_set();
     let nc = NzNonCellularDetector::default().detect(&art.sessions, &art.world.routing);
     let covered: BTreeSet<AsId> = nc.keys().copied().collect();
-    let paper: BTreeSet<AsId> =
-        nc.iter().filter(|(_, r)| r.cgn_positive).map(|(a, _)| *a).collect();
+    let paper: BTreeSet<AsId> = nc
+        .iter()
+        .filter(|(_, r)| r.cgn_positive)
+        .map(|(a, _)| *a)
+        .collect();
     let any = baseline::nz_any_mismatch(&art.sessions);
     for (name, det) in [("paper", &paper), ("any-mismatch", &any)] {
         let s = score(det, &truth, &covered);

@@ -12,7 +12,9 @@ use analysis::addr_class::table4;
 use analysis::bt_detect::BtDetector;
 use analysis::distance::{fig11, table7};
 use analysis::nz_detect::{NzCellularDetector, NzNonCellularDetector};
-use analysis::port_alloc::{fig8a_histograms, strategy_mix_per_as, table6, ChunkDetector, PortClassifier};
+use analysis::port_alloc::{
+    fig8a_histograms, strategy_mix_per_as, table6, ChunkDetector, PortClassifier,
+};
 use analysis::stun_class::{fig13a_cpe_sessions, fig13b_most_permissive_per_as};
 use analysis::timeouts::fig12;
 use cgn_study::pipeline::{measure, StudyArtifacts};
@@ -38,8 +40,12 @@ fn bench_fig1_survey(c: &mut Criterion) {
     });
     let s = Survey::generate(&SurveyConfig::default());
     let (d, co, n) = s.cgn_shares();
-    println!("[fig1] CGN deployed/considering/none = {:.0}/{:.0}/{:.0}% (paper 38/12/50)",
-        100.0 * d, 100.0 * co, 100.0 * n);
+    println!(
+        "[fig1] CGN deployed/considering/none = {:.0}/{:.0}/{:.0}% (paper 38/12/50)",
+        100.0 * d,
+        100.0 * co,
+        100.0 * n
+    );
 }
 
 fn bench_tables23_fig34_bt(c: &mut Criterion) {
@@ -54,7 +60,11 @@ fn bench_tables23_fig34_bt(c: &mut Criterion) {
         art.crawl.learned.len(),
         art.crawl.ping_responders.len()
     );
-    println!("[fig4] {} leaking ASes, {} CGN-positive", det.per_as.len(), det.positive_ases().len());
+    println!(
+        "[fig4] {} leaking ASes, {} CGN-positive",
+        det.per_as.len(),
+        det.positive_ases().len()
+    );
 }
 
 fn bench_table4(c: &mut Criterion) {
@@ -100,7 +110,11 @@ fn bench_fig89_table6_ports(c: &mut Criterion) {
     let t = table6(&m, &ch);
     println!(
         "[tab6] {} CGN ASes: preservation {:.0}% sequential {:.0}% random {:.0}%, {} chunked",
-        t.ases, t.preservation_pct, t.sequential_pct, t.random_pct, t.chunked.len()
+        t.ases,
+        t.preservation_pct,
+        t.sequential_pct,
+        t.random_pct,
+        t.chunked.len()
     );
 }
 
@@ -112,7 +126,11 @@ fn bench_table7_fig11(c: &mut Criterion) {
     let t = table7(&art.sessions);
     println!(
         "[tab7] sessions {}: mismatch+found {} mismatch-only {} match+found {} neither {}",
-        t.sessions, t.mismatch_detected, t.mismatch_not_detected, t.match_detected, t.match_not_detected
+        t.sessions,
+        t.mismatch_detected,
+        t.mismatch_not_detected,
+        t.match_detected,
+        t.match_not_detected
     );
 }
 

@@ -49,14 +49,19 @@ fn bench_codecs(c: &mut Criterion) {
         use bt_dht::{CompactNode, KrpcMessage, NodeId160};
         let nodes: Vec<CompactNode> = (0..8)
             .map(|i| {
-                CompactNode::new(NodeId160::from_u64(i), Endpoint::new(ip(10, 0, 0, i as u8), 6881))
+                CompactNode::new(
+                    NodeId160::from_u64(i),
+                    Endpoint::new(ip(10, 0, 0, i as u8), 6881),
+                )
             })
             .collect();
         KrpcMessage::nodes_response(b"tt", NodeId160::from_u64(9), nodes)
     };
     let wire = msg.encode();
     g.throughput(Throughput::Bytes(wire.len() as u64));
-    g.bench_function("krpc_encode_nodes_response", |b| b.iter(|| black_box(msg.encode())));
+    g.bench_function("krpc_encode_nodes_response", |b| {
+        b.iter(|| black_box(msg.encode()))
+    });
     g.bench_function("krpc_decode_nodes_response", |b| {
         b.iter(|| black_box(bt_dht::KrpcMessage::decode(&wire).expect("valid")))
     });
@@ -67,7 +72,9 @@ fn bench_codecs(c: &mut Criterion) {
         Endpoint::new(ip(203, 0, 113, 51), 3479),
     );
     let stun_wire = stun.encode();
-    g.bench_function("stun_encode_response", |b| b.iter(|| black_box(stun.encode())));
+    g.bench_function("stun_encode_response", |b| {
+        b.iter(|| black_box(stun.encode()))
+    });
     g.bench_function("stun_decode_response", |b| {
         b.iter(|| black_box(netalyzr::StunMessage::decode(&stun_wire).expect("valid")))
     });

@@ -5,6 +5,7 @@
 //! cargo run --release -p cgn-bench --bin repro -- small   # smaller world
 //! cargo run --release -p cgn-bench --bin repro -- seed=7  # other seed
 //! cargo run --release -p cgn-bench --bin repro -- export=plots/  # + TSV figure data
+//! cargo run --release -p cgn-bench --bin repro -- dimensioning   # + CGN port-demand sweep
 //! ```
 //!
 //! The output is the "measured" side of EXPERIMENTS.md: every section is
@@ -16,16 +17,19 @@ fn main() {
     let mut scale = "default".to_string();
     let mut seed: u64 = 2016;
     let mut export_dir: Option<std::path::PathBuf> = None;
+    let mut dimensioning = false;
     for arg in std::env::args().skip(1) {
         if let Some(s) = arg.strip_prefix("seed=") {
             seed = s.parse().expect("seed must be an integer");
         } else if let Some(d) = arg.strip_prefix("export=") {
             export_dir = Some(d.into());
+        } else if arg == "dimensioning" {
+            dimensioning = true;
         } else {
             scale = arg;
         }
     }
-    let config = match scale.as_str() {
+    let mut config = match scale.as_str() {
         "tiny" => StudyConfig::tiny(seed),
         "small" => StudyConfig::small(seed),
         "default" => StudyConfig::default_with_seed(seed),
@@ -34,13 +38,23 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if dimensioning {
+        config.dimensioning = Some(match scale.as_str() {
+            "tiny" | "small" => cgn_study::DimensioningConfig::small(seed),
+            _ => cgn_study::DimensioningConfig::release(seed),
+        });
+    }
     let t0 = std::time::Instant::now();
     let report = run_study(config);
     let elapsed = t0.elapsed();
     println!("{}", report.render());
     if let Some(dir) = export_dir {
         let written = cgn_study::write_to_dir(&report, &dir).expect("figure export");
-        println!("\nexported {} figure data files to {}", written.len(), dir.display());
+        println!(
+            "\nexported {} figure data files to {}",
+            written.len(),
+            dir.display()
+        );
     }
     println!("\n(reproduced in {elapsed:.2?} at scale '{scale}', seed {seed})");
 }

@@ -118,7 +118,10 @@ impl Value {
         let mut d = Decoder { data, pos: 0 };
         let v = d.value(0)?;
         if d.pos != data.len() {
-            return Err(DecodeError { offset: d.pos, message: "trailing bytes" });
+            return Err(DecodeError {
+                offset: d.pos,
+                message: "trailing bytes",
+            });
         }
         Ok(v)
     }
@@ -139,7 +142,10 @@ const MAX_DEPTH: usize = 16;
 
 impl<'a> Decoder<'a> {
     fn err(&self, message: &'static str) -> DecodeError {
-        DecodeError { offset: self.pos, message }
+        DecodeError {
+            offset: self.pos,
+            message,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -182,13 +188,18 @@ impl<'a> Decoder<'a> {
         // Canonical form: no leading zeros (except "0" itself), no "-0".
         let digits = &self.data[digits_start..self.pos];
         if digits.len() > 1 && digits[0] == b'0' {
-            return Err(DecodeError { offset: digits_start, message: "leading zero" });
+            return Err(DecodeError {
+                offset: digits_start,
+                message: "leading zero",
+            });
         }
         if negative && digits == b"0" {
-            return Err(DecodeError { offset: start, message: "negative zero" });
+            return Err(DecodeError {
+                offset: start,
+                message: "negative zero",
+            });
         }
-        let text = std::str::from_utf8(&self.data[start..self.pos])
-            .expect("digits are ASCII");
+        let text = std::str::from_utf8(&self.data[start..self.pos]).expect("digits are ASCII");
         let n: i64 = text.parse().map_err(|_| self.err("integer overflow"))?;
         if self.take()? != b'e' {
             return Err(self.err("expected 'e' after integer"));
@@ -206,7 +217,10 @@ impl<'a> Decoder<'a> {
         }
         let len_digits = &self.data[start..self.pos];
         if len_digits.len() > 1 && len_digits[0] == b'0' {
-            return Err(DecodeError { offset: start, message: "leading zero in length" });
+            return Err(DecodeError {
+                offset: start,
+                message: "leading zero in length",
+            });
         }
         let len: usize = std::str::from_utf8(len_digits)
             .expect("digits are ASCII")
@@ -299,7 +313,9 @@ mod tests {
     fn decode_nested() {
         let v = Value::decode(b"d1:ad2:id2:XYe1:q4:ping1:t2:aa1:y1:qe").unwrap();
         assert_eq!(
-            v.get(b"a").and_then(|a| a.get(b"id")).and_then(|i| i.as_bytes()),
+            v.get(b"a")
+                .and_then(|a| a.get(b"id"))
+                .and_then(|i| i.as_bytes()),
             Some(&b"XY"[..])
         );
         assert_eq!(v.get(b"q").and_then(|q| q.as_bytes()), Some(&b"ping"[..]));
@@ -308,20 +324,20 @@ mod tests {
     #[test]
     fn reject_malformed() {
         for bad in [
-            &b"i42"[..],        // unterminated int
-            b"ie",              // empty int
-            b"i-0e",            // negative zero
-            b"i042e",           // leading zero
-            b"4:spa",           // short string
-            b"04:spam",         // leading zero in length
-            b"l1:a",            // unterminated list
-            b"d1:ae",           // key without value
-            b"di1e1:ae",        // non-string key
-            b"d1:bi1e1:ai2ee",  // unsorted keys
-            b"d1:ai1e1:ai2ee",  // duplicate keys
-            b"x",               // invalid prefix
-            b"",                // empty
-            b"i1ei2e",          // trailing bytes
+            &b"i42"[..],       // unterminated int
+            b"ie",             // empty int
+            b"i-0e",           // negative zero
+            b"i042e",          // leading zero
+            b"4:spa",          // short string
+            b"04:spam",        // leading zero in length
+            b"l1:a",           // unterminated list
+            b"d1:ae",          // key without value
+            b"di1e1:ae",       // non-string key
+            b"d1:bi1e1:ai2ee", // unsorted keys
+            b"d1:ai1e1:ai2ee", // duplicate keys
+            b"x",              // invalid prefix
+            b"",               // empty
+            b"i1ei2e",         // trailing bytes
         ] {
             assert!(Value::decode(bad).is_err(), "should reject {:?}", bad);
         }
@@ -338,13 +354,8 @@ mod tests {
 
     #[test]
     fn depth_limit_enforced() {
-        let mut attack = Vec::new();
-        for _ in 0..100 {
-            attack.push(b'l');
-        }
-        for _ in 0..100 {
-            attack.push(b'e');
-        }
+        let mut attack = vec![b'l'; 100];
+        attack.extend(std::iter::repeat_n(b'e', 100));
         assert!(Value::decode(&attack).is_err());
     }
 

@@ -87,11 +87,19 @@ pub struct CrawlReport {
 
 impl CrawlReport {
     pub fn queried_unique_ips(&self) -> usize {
-        self.queried.iter().map(|(e, _)| e.ip).collect::<HashSet<_>>().len()
+        self.queried
+            .iter()
+            .map(|(e, _)| e.ip)
+            .collect::<HashSet<_>>()
+            .len()
     }
 
     pub fn learned_unique_ips(&self) -> usize {
-        self.learned.iter().map(|(e, _)| e.ip).collect::<HashSet<_>>().len()
+        self.learned
+            .iter()
+            .map(|(e, _)| e.ip)
+            .collect::<HashSet<_>>()
+            .len()
     }
 
     /// Internal peers per reserved range: (total tuples, unique IPs) —
@@ -100,8 +108,13 @@ impl CrawlReport {
         let mut tuples: HashMap<ReservedRange, HashSet<(Endpoint, NodeId160)>> = HashMap::new();
         let mut ips: HashMap<ReservedRange, HashSet<Ipv4Addr>> = HashMap::new();
         for l in &self.leaks {
-            tuples.entry(l.range).or_default().insert((l.internal.endpoint, l.internal.id));
-            ips.entry(l.range).or_default().insert(l.internal.endpoint.ip);
+            tuples
+                .entry(l.range)
+                .or_default()
+                .insert((l.internal.endpoint, l.internal.id));
+            ips.entry(l.range)
+                .or_default()
+                .insert(l.internal.endpoint.ip);
         }
         ReservedRange::ALL
             .into_iter()
@@ -123,7 +136,10 @@ impl CrawlReport {
         let mut tuples: HashMap<ReservedRange, HashSet<(Endpoint, NodeId160)>> = HashMap::new();
         let mut ips: HashMap<ReservedRange, HashSet<Ipv4Addr>> = HashMap::new();
         for l in &self.leaks {
-            tuples.entry(l.range).or_default().insert((l.leaker_endpoint, l.leaker_id));
+            tuples
+                .entry(l.range)
+                .or_default()
+                .insert((l.leaker_endpoint, l.leaker_id));
             ips.entry(l.range).or_default().insert(l.leaker_endpoint.ip);
         }
         ReservedRange::ALL
@@ -461,7 +477,11 @@ mod tests {
         let mut crawler = Crawler::new(
             cnode,
             ip(203, 0, 113, 100),
-            CrawlConfig { max_peers: 2, ping_learned: false, ..CrawlConfig::default() },
+            CrawlConfig {
+                max_peers: 2,
+                ping_learned: false,
+                ..CrawlConfig::default()
+            },
         );
         let report = crawler.crawl(&mut net, &mut world);
         let attempted = report.queried.len() + report.unresponsive.len();
@@ -475,7 +495,12 @@ mod tests {
             let cnode = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 100), vec![]);
             let mut crawler = Crawler::new(cnode, ip(203, 0, 113, 100), CrawlConfig::default());
             let r = crawler.crawl(&mut net, &mut world);
-            (r.queried.len(), r.learned.len(), r.leaks.len(), r.queries_sent)
+            (
+                r.queried.len(),
+                r.learned.len(),
+                r.leaks.len(),
+                r.queries_sent,
+            )
         };
         assert_eq!(run(), run());
     }

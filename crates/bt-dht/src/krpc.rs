@@ -42,15 +42,20 @@ impl CompactNode {
         let id = NodeId160::from_bytes(&b[..20])?;
         let ip = Ipv4Addr::new(b[20], b[21], b[22], b[23]);
         let port = u16::from_be_bytes([b[24], b[25]]);
-        Some(CompactNode { id, endpoint: Endpoint::new(ip, port) })
+        Some(CompactNode {
+            id,
+            endpoint: Endpoint::new(ip, port),
+        })
     }
 
     /// Parse a concatenated "nodes" blob.
     pub fn parse_list(blob: &[u8]) -> Option<Vec<CompactNode>> {
-        if blob.len() % Self::WIRE_LEN != 0 {
+        if !blob.len().is_multiple_of(Self::WIRE_LEN) {
             return None;
         }
-        blob.chunks(Self::WIRE_LEN).map(CompactNode::from_wire).collect()
+        blob.chunks(Self::WIRE_LEN)
+            .map(CompactNode::from_wire)
+            .collect()
     }
 
     /// Serialize a list into a "nodes" blob.
@@ -134,7 +139,11 @@ impl KrpcMessage {
     }
 
     pub fn pong(transaction: &[u8], sender: NodeId160) -> KrpcMessage {
-        KrpcMessage::Response { transaction: transaction.to_vec(), sender, nodes: Vec::new() }
+        KrpcMessage::Response {
+            transaction: transaction.to_vec(),
+            sender,
+            nodes: Vec::new(),
+        }
     }
 
     pub fn nodes_response(
@@ -142,13 +151,22 @@ impl KrpcMessage {
         sender: NodeId160,
         nodes: Vec<CompactNode>,
     ) -> KrpcMessage {
-        KrpcMessage::Response { transaction: transaction.to_vec(), sender, nodes }
+        KrpcMessage::Response {
+            transaction: transaction.to_vec(),
+            sender,
+            nodes,
+        }
     }
 
     /// Encode to the bencoded wire form.
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            KrpcMessage::Query { transaction, kind, sender, target } => {
+            KrpcMessage::Query {
+                transaction,
+                kind,
+                sender,
+                target,
+            } => {
                 let mut args = vec![(&b"id"[..], Value::bytes(sender.as_bytes()))];
                 if let Some(t) = target {
                     args.push((&b"target"[..], Value::bytes(t.as_bytes())));
@@ -161,7 +179,11 @@ impl KrpcMessage {
                 ])
                 .encode()
             }
-            KrpcMessage::Response { transaction, sender, nodes } => {
+            KrpcMessage::Response {
+                transaction,
+                sender,
+                nodes,
+            } => {
                 let mut ret = vec![(&b"id"[..], Value::bytes(sender.as_bytes()))];
                 if !nodes.is_empty() {
                     ret.push((&b"nodes"[..], Value::Bytes(CompactNode::encode_list(nodes))));
@@ -173,7 +195,11 @@ impl KrpcMessage {
                 ])
                 .encode()
             }
-            KrpcMessage::Error { transaction, code, message } => dict(vec![
+            KrpcMessage::Error {
+                transaction,
+                code,
+                message,
+            } => dict(vec![
                 (
                     b"e",
                     Value::List(vec![Value::Int(*code), Value::str(message)]),
@@ -195,7 +221,10 @@ impl KrpcMessage {
             .to_vec();
         match v.get(b"y").and_then(|y| y.as_bytes()) {
             Some(b"q") => {
-                let q = v.get(b"q").and_then(|q| q.as_bytes()).ok_or(KrpcError("missing q"))?;
+                let q = v
+                    .get(b"q")
+                    .and_then(|q| q.as_bytes())
+                    .ok_or(KrpcError("missing q"))?;
                 let kind = match q {
                     b"ping" => QueryKind::Ping,
                     b"find_node" => QueryKind::FindNode,
@@ -216,7 +245,12 @@ impl KrpcMessage {
                     ),
                     QueryKind::Ping => None,
                 };
-                Ok(KrpcMessage::Query { transaction: t, kind, sender, target })
+                Ok(KrpcMessage::Query {
+                    transaction: t,
+                    kind,
+                    sender,
+                    target,
+                })
             }
             Some(b"r") => {
                 let ret = v.get(b"r").ok_or(KrpcError("missing return"))?;
@@ -226,20 +260,36 @@ impl KrpcMessage {
                     .and_then(NodeId160::from_bytes)
                     .ok_or(KrpcError("bad responder id"))?;
                 let nodes = match ret.get(b"nodes").and_then(|n| n.as_bytes()) {
-                    Some(blob) => CompactNode::parse_list(blob).ok_or(KrpcError("bad nodes blob"))?,
+                    Some(blob) => {
+                        CompactNode::parse_list(blob).ok_or(KrpcError("bad nodes blob"))?
+                    }
                     None => Vec::new(),
                 };
-                Ok(KrpcMessage::Response { transaction: t, sender, nodes })
+                Ok(KrpcMessage::Response {
+                    transaction: t,
+                    sender,
+                    nodes,
+                })
             }
             Some(b"e") => {
-                let e = v.get(b"e").and_then(|e| e.as_list()).ok_or(KrpcError("bad error"))?;
-                let code = e.first().and_then(|c| c.as_int()).ok_or(KrpcError("bad error code"))?;
+                let e = v
+                    .get(b"e")
+                    .and_then(|e| e.as_list())
+                    .ok_or(KrpcError("bad error"))?;
+                let code = e
+                    .first()
+                    .and_then(|c| c.as_int())
+                    .ok_or(KrpcError("bad error code"))?;
                 let message = e
                     .get(1)
                     .and_then(|m| m.as_bytes())
                     .map(|m| String::from_utf8_lossy(m).into_owned())
                     .unwrap_or_default();
-                Ok(KrpcMessage::Error { transaction: t, code, message })
+                Ok(KrpcMessage::Error {
+                    transaction: t,
+                    code,
+                    message,
+                })
             }
             _ => Err(KrpcError("missing/unknown message type")),
         }
@@ -283,7 +333,12 @@ mod tests {
     #[test]
     fn compact_list_roundtrip() {
         let nodes: Vec<CompactNode> = (0..8)
-            .map(|i| CompactNode::new(nid(i), Endpoint::new(ip(10, 0, 0, i as u8), 6881 + i as u16)))
+            .map(|i| {
+                CompactNode::new(
+                    nid(i),
+                    Endpoint::new(ip(10, 0, 0, i as u8), 6881 + i as u16),
+                )
+            })
             .collect();
         let blob = CompactNode::encode_list(&nodes);
         assert_eq!(blob.len(), 8 * 26);
@@ -342,7 +397,11 @@ mod tests {
     fn wire_format_matches_bep05_example_shape() {
         // d1:ad2:id20:...e1:q4:ping1:t2:aa1:y1:qe
         let wire = KrpcMessage::ping(b"aa", nid(0)).encode();
-        assert!(wire.starts_with(b"d1:ad2:id20:"), "{:?}", String::from_utf8_lossy(&wire));
+        assert!(
+            wire.starts_with(b"d1:ad2:id20:"),
+            "{:?}",
+            String::from_utf8_lossy(&wire)
+        );
         assert!(wire.ends_with(b"1:q4:ping1:t2:aa1:y1:qe"));
     }
 
@@ -351,7 +410,7 @@ mod tests {
         assert!(KrpcMessage::decode(b"").is_err());
         assert!(KrpcMessage::decode(b"i42e").is_err());
         assert!(KrpcMessage::decode(b"d1:y1:qe").is_err()); // missing t/q/a
-        // Bad sender id length.
+                                                            // Bad sender id length.
         let bad = dict(vec![
             (b"a", dict(vec![(&b"id"[..], Value::str("short"))])),
             (b"q", Value::str("ping")),

@@ -29,8 +29,8 @@ impl NodeId160 {
     /// The XOR distance to `other`, itself a 160-bit value.
     pub fn distance(&self, other: &NodeId160) -> NodeId160 {
         let mut d = [0u8; 20];
-        for i in 0..20 {
-            d[i] = self.0[i] ^ other.0[i];
+        for (i, b) in d.iter_mut().enumerate() {
+            *b = self.0[i] ^ other.0[i];
         }
         NodeId160(d)
     }

@@ -44,7 +44,11 @@ pub struct PeerConfig {
 
 impl Default for PeerConfig {
     fn default() -> Self {
-        PeerConfig { validates_before_adding: true, lpd_enabled: true, validations_per_tick: 8 }
+        PeerConfig {
+            validates_before_adding: true,
+            lpd_enabled: true,
+            validations_per_tick: 8,
+        }
     }
 }
 
@@ -232,7 +236,12 @@ impl DhtPeer {
             Err(_) => return Vec::new(),
         };
         match msg {
-            KrpcMessage::Query { transaction, kind, sender, target } => {
+            KrpcMessage::Query {
+                transaction,
+                kind,
+                sender,
+                target,
+            } => {
                 self.queries_received += 1;
                 // The querier becomes a candidate at its observed source
                 // endpoint — the hairpin-leak channel when that source is
@@ -252,7 +261,11 @@ impl DhtPeer {
                 self.responses_sent += 1;
                 vec![self.udp_to(pkt.src, reply.encode())]
             }
-            KrpcMessage::Response { transaction, sender, nodes } => {
+            KrpcMessage::Response {
+                transaction,
+                sender,
+                nodes,
+            } => {
                 // Validation pong?
                 if let Some(expected) = self.pending_pings.remove(&transaction) {
                     if expected == pkt.src {
@@ -289,7 +302,9 @@ impl DhtPeer {
     pub fn tick(&mut self, rng: &mut StdRng) -> Vec<Packet> {
         let mut out = Vec::new();
         for _ in 0..self.config.validations_per_tick {
-            let Some(c) = self.candidates.pop_front() else { break };
+            let Some(c) = self.candidates.pop_front() else {
+                break;
+            };
             self.seen_candidates.remove(&c.endpoint);
             let t = self.txn();
             self.pending_pings.insert(t.clone(), c.endpoint);
@@ -303,7 +318,11 @@ impl DhtPeer {
         if !contacts.is_empty() {
             for _ in 0..2 {
                 let c = contacts[rng.gen_range(0..contacts.len())];
-                let target = if rng.gen_bool(0.5) { self.id } else { NodeId160::random(rng) };
+                let target = if rng.gen_bool(0.5) {
+                    self.id
+                } else {
+                    NodeId160::random(rng)
+                };
                 out.push(self.find_node_query(c.endpoint, target));
             }
         }
@@ -333,14 +352,21 @@ mod tests {
     }
 
     fn remote(n: u64, last: u8) -> (NodeId160, Endpoint) {
-        (NodeId160::from_u64(n), Endpoint::new(ip(203, 0, 113, last), 6881))
+        (
+            NodeId160::from_u64(n),
+            Endpoint::new(ip(203, 0, 113, last), 6881),
+        )
     }
 
     #[test]
     fn answers_ping_with_pong() {
         let mut p = peer();
         let (rid, rep) = remote(7, 7);
-        let q = Packet::udp(rep, p.local_endpoint(), KrpcMessage::ping(b"aa", rid).encode());
+        let q = Packet::udp(
+            rep,
+            p.local_endpoint(),
+            KrpcMessage::ping(b"aa", rid).encode(),
+        );
         let out = p.handle_packet(&q);
         assert_eq!(out.len(), 1);
         let reply = KrpcMessage::decode(out[0].body.payload()).unwrap();
@@ -382,7 +408,11 @@ mod tests {
     fn querier_is_validated_before_table_insertion() {
         let mut p = peer();
         let (rid, rep) = remote(7, 7);
-        let q = Packet::udp(rep, p.local_endpoint(), KrpcMessage::ping(b"aa", rid).encode());
+        let q = Packet::udp(
+            rep,
+            p.local_endpoint(),
+            KrpcMessage::ping(b"aa", rid).encode(),
+        );
         p.handle_packet(&q);
         // Not yet in the table — only a candidate.
         assert_eq!(p.table.endpoint_of(rid), None);
@@ -393,9 +423,19 @@ mod tests {
         assert!(!out.is_empty());
         let ping = KrpcMessage::decode(out[0].body.payload()).unwrap();
         let txn = ping.transaction().to_vec();
-        assert!(matches!(ping, KrpcMessage::Query { kind: QueryKind::Ping, .. }));
+        assert!(matches!(
+            ping,
+            KrpcMessage::Query {
+                kind: QueryKind::Ping,
+                ..
+            }
+        ));
         // Pong arrives from the candidate endpoint → inserted.
-        let pong = Packet::udp(rep, p.local_endpoint(), KrpcMessage::pong(&txn, rid).encode());
+        let pong = Packet::udp(
+            rep,
+            p.local_endpoint(),
+            KrpcMessage::pong(&txn, rid).encode(),
+        );
         p.handle_packet(&pong);
         assert_eq!(p.table.endpoint_of(rid), Some(rep));
         assert_eq!(p.contacts_validated, 1);
@@ -405,15 +445,26 @@ mod tests {
     fn pong_from_wrong_endpoint_is_ignored() {
         let mut p = peer();
         let (rid, rep) = remote(7, 7);
-        let q = Packet::udp(rep, p.local_endpoint(), KrpcMessage::ping(b"aa", rid).encode());
+        let q = Packet::udp(
+            rep,
+            p.local_endpoint(),
+            KrpcMessage::ping(b"aa", rid).encode(),
+        );
         p.handle_packet(&q);
         let mut rng = StdRng::seed_from_u64(0);
         let out = p.tick(&mut rng);
-        let txn = KrpcMessage::decode(out[0].body.payload()).unwrap().transaction().to_vec();
+        let txn = KrpcMessage::decode(out[0].body.payload())
+            .unwrap()
+            .transaction()
+            .to_vec();
         // Pong arrives from a *different* endpoint (spoof / symmetric NAT
         // port change): not validated.
         let wrong = Endpoint::new(ip(203, 0, 113, 99), 6881);
-        let pong = Packet::udp(wrong, p.local_endpoint(), KrpcMessage::pong(&txn, rid).encode());
+        let pong = Packet::udp(
+            wrong,
+            p.local_endpoint(),
+            KrpcMessage::pong(&txn, rid).encode(),
+        );
         p.handle_packet(&pong);
         assert_eq!(p.table.endpoint_of(rid), None);
     }
@@ -425,12 +476,23 @@ mod tests {
             ip(100, 64, 0, 10),
             6881,
             NodeId160::from_u64(1000),
-            PeerConfig { validates_before_adding: false, ..PeerConfig::default() },
+            PeerConfig {
+                validates_before_adding: false,
+                ..PeerConfig::default()
+            },
         );
         let (rid, rep) = remote(7, 7);
-        let q = Packet::udp(rep, p.local_endpoint(), KrpcMessage::ping(b"aa", rid).encode());
+        let q = Packet::udp(
+            rep,
+            p.local_endpoint(),
+            KrpcMessage::ping(b"aa", rid).encode(),
+        );
         p.handle_packet(&q);
-        assert_eq!(p.table.endpoint_of(rid), Some(rep), "violator stores immediately");
+        assert_eq!(
+            p.table.endpoint_of(rid),
+            Some(rep),
+            "violator stores immediately"
+        );
     }
 
     #[test]
@@ -467,11 +529,21 @@ mod tests {
             payload,
         );
         p.handle_packet(&pkt);
-        assert_eq!(p.pending_candidates(), 1, "LPD source must become a candidate");
+        assert_eq!(
+            p.pending_candidates(),
+            1,
+            "LPD source must become a candidate"
+        );
     }
 
     fn peer_with_port(port: u16) -> DhtPeer {
-        DhtPeer::new(NodeId(1), ip(100, 64, 0, 77), port, NodeId160::from_u64(2000), PeerConfig::default())
+        DhtPeer::new(
+            NodeId(1),
+            ip(100, 64, 0, 77),
+            port,
+            NodeId160::from_u64(2000),
+            PeerConfig::default(),
+        )
     }
 
     #[test]
@@ -481,7 +553,10 @@ mod tests {
             ip(100, 64, 0, 10),
             6881,
             NodeId160::from_u64(1000),
-            PeerConfig { lpd_enabled: false, ..PeerConfig::default() },
+            PeerConfig {
+                lpd_enabled: false,
+                ..PeerConfig::default()
+            },
         );
         let pkt = Packet::udp(
             Endpoint::new(ip(100, 64, 0, 77), 51413),
@@ -539,7 +614,13 @@ mod tests {
         assert_eq!(out.len(), 2, "two maintenance lookups per tick");
         for pkt in &out {
             let msg = KrpcMessage::decode(pkt.body.payload()).unwrap();
-            assert!(matches!(msg, KrpcMessage::Query { kind: QueryKind::FindNode, .. }));
+            assert!(matches!(
+                msg,
+                KrpcMessage::Query {
+                    kind: QueryKind::FindNode,
+                    ..
+                }
+            ));
         }
     }
 }

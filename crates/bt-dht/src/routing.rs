@@ -21,7 +21,10 @@ pub struct RoutingTable160 {
 
 impl RoutingTable160 {
     pub fn new(own_id: NodeId160) -> Self {
-        RoutingTable160 { own_id, buckets: vec![Vec::new(); 160] }
+        RoutingTable160 {
+            own_id,
+            buckets: vec![Vec::new(); 160],
+        }
     }
 
     pub fn own_id(&self) -> NodeId160 {
@@ -94,7 +97,10 @@ impl RoutingTable160 {
     pub fn endpoint_of(&self, id: NodeId160) -> Option<Endpoint> {
         let d = self.own_id.distance(&id);
         let idx = d.bucket_index()?;
-        self.buckets[idx].iter().find(|c| c.id == id).map(|c| c.endpoint)
+        self.buckets[idx]
+            .iter()
+            .find(|c| c.id == id)
+            .map(|c| c.endpoint)
     }
 
     /// The `n` contacts closest to `target` — the content of a `find_node`
@@ -134,7 +140,10 @@ mod tests {
         let mut t = table();
         assert!(t.upsert(node(5)));
         assert_eq!(t.len(), 1);
-        assert_eq!(t.endpoint_of(NodeId160::from_u64(5)), Some(node(5).endpoint));
+        assert_eq!(
+            t.endpoint_of(NodeId160::from_u64(5)),
+            Some(node(5).endpoint)
+        );
         assert_eq!(t.endpoint_of(NodeId160::from_u64(6)), None);
     }
 
@@ -156,7 +165,10 @@ mod tests {
         );
         assert!(t.upsert(internal));
         assert_eq!(t.len(), 1, "update must not duplicate");
-        assert_eq!(t.endpoint_of(NodeId160::from_u64(5)), Some(internal.endpoint));
+        assert_eq!(
+            t.endpoint_of(NodeId160::from_u64(5)),
+            Some(internal.endpoint)
+        );
         // Idempotent.
         assert!(!t.upsert(internal));
     }

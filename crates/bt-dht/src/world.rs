@@ -48,7 +48,7 @@ impl Default for WorldConfig {
             max_pump_steps: 2_000_000,
             swarms_per_100_peers: 6,
             p_local_swarm: 0.6,
-            seed: 0xB17_70,
+            seed: 0x000B_1770,
         }
     }
 }
@@ -114,7 +114,12 @@ impl BootstrapServer {
             Err(_) => return Vec::new(),
         };
         match msg {
-            KrpcMessage::Query { transaction, kind, sender, .. } => {
+            KrpcMessage::Query {
+                transaction,
+                kind,
+                sender,
+                ..
+            } => {
                 // Record the contact at its observed (translated) source.
                 self.learn(CompactNode::new(sender, pkt.src));
                 let reply = match kind {
@@ -128,8 +133,11 @@ impl BootstrapServer {
                             .filter(|c| c.endpoint != pkt.src)
                             .copied()
                             .collect();
-                        let candidates: Vec<&CompactNode> =
-                            self.known.iter().filter(|c| c.endpoint != pkt.src).collect();
+                        let candidates: Vec<&CompactNode> = self
+                            .known
+                            .iter()
+                            .filter(|c| c.endpoint != pkt.src)
+                            .collect();
                         if !candidates.is_empty() {
                             for _ in 0..(candidates.len() * 2) {
                                 let c = candidates[rng.gen_range(0..candidates.len())];
@@ -165,7 +173,11 @@ pub struct TrackerServer {
 
 impl TrackerServer {
     pub fn new(sim_node: NodeId, addr: Ipv4Addr, port: u16) -> Self {
-        TrackerServer { sim_node, endpoint: Endpoint::new(addr, port), swarms: HashMap::new() }
+        TrackerServer {
+            sim_node,
+            endpoint: Endpoint::new(addr, port),
+            swarms: HashMap::new(),
+        }
     }
 
     pub fn swarm_count(&self) -> usize {
@@ -181,8 +193,12 @@ impl TrackerServer {
         if pkt.dst.port != self.endpoint.port {
             return Vec::new();
         }
-        let Some(text) = std::str::from_utf8(payload).ok() else { return Vec::new() };
-        let Some(swarm) = text.strip_prefix("BTT ANNOUNCE ").and_then(|s| s.trim().parse::<u32>().ok())
+        let Some(text) = std::str::from_utf8(payload).ok() else {
+            return Vec::new();
+        };
+        let Some(swarm) = text
+            .strip_prefix("BTT ANNOUNCE ")
+            .and_then(|s| s.trim().parse::<u32>().ok())
         else {
             return Vec::new();
         };
@@ -190,8 +206,7 @@ impl TrackerServer {
         if !members.contains(&pkt.src) {
             members.push(pkt.src);
         }
-        let candidates: Vec<Endpoint> =
-            members.iter().copied().filter(|e| *e != pkt.src).collect();
+        let candidates: Vec<Endpoint> = members.iter().copied().filter(|e| *e != pkt.src).collect();
         let mut sample: Vec<Endpoint> = Vec::new();
         if !candidates.is_empty() {
             for _ in 0..(candidates.len() * 2) {
@@ -206,7 +221,11 @@ impl TrackerServer {
         }
         let body = format!(
             "BTT PEERS {}",
-            sample.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" ")
+            sample
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
         );
         vec![Packet::udp(self.endpoint, pkt.src, body.into_bytes())]
     }
@@ -257,7 +276,8 @@ impl DhtWorld {
         let id = NodeId160::random(&mut self.rng);
         let port = self.rng.gen_range(6881..=6999);
         let idx = self.peers.len();
-        self.peers.push(DhtPeer::new(sim_node, addr, port, id, config));
+        self.peers
+            .push(DhtPeer::new(sim_node, addr, port, id, config));
         self.by_node.insert(sim_node, idx);
         // Swarm assignment is finalized lazily because the swarm count
         // depends on the final population; store the locality for now.
@@ -279,12 +299,19 @@ impl DhtWorld {
     pub fn add_service_peer(&mut self, sim_node: NodeId, addr: Ipv4Addr, port: u16) -> usize {
         let id = NodeId160::random(&mut self.rng);
         let idx = self.peers.len();
-        self.peers.push(DhtPeer::new(sim_node, addr, port, id, PeerConfig::default()));
+        self.peers.push(DhtPeer::new(
+            sim_node,
+            addr,
+            port,
+            id,
+            PeerConfig::default(),
+        ));
         self.by_node.insert(sim_node, idx);
         // Unique locality: the service host announces no swarms.
         self.swarm_of.push(0xFFFF_FF00u64 as u32 ^ idx as u32);
         // A stable always-on node: the bootstrap hands it out to everyone.
-        self.bootstrap.pin(CompactNode::new(id, Endpoint::new(addr, port)));
+        self.bootstrap
+            .pin(CompactNode::new(id, Endpoint::new(addr, port)));
         idx
     }
 
@@ -310,8 +337,7 @@ impl DhtWorld {
 
     /// Resolve localities into concrete swarm ids.
     fn assign_swarms(&mut self) {
-        let n_swarms =
-            ((self.peers.len() * self.config.swarms_per_100_peers) / 100).max(2) as u32;
+        let n_swarms = ((self.peers.len() * self.config.swarms_per_100_peers) / 100).max(2) as u32;
         let p_local = self.config.p_local_swarm;
         for i in 0..self.swarm_of.len() {
             let locality = self.swarm_of[i];
@@ -365,7 +391,7 @@ impl DhtWorld {
 
         // Local peer discovery: multicast announcements; deliveries are
         // dispatched immediately and any reactions join the initial batch.
-        if self.config.lpd_every > 0 && round % self.config.lpd_every == 0 {
+        if self.config.lpd_every > 0 && round.is_multiple_of(self.config.lpd_every) {
             let announcements: Vec<(NodeId, u16, Vec<u8>)> = self
                 .peers
                 .iter()
@@ -459,7 +485,11 @@ mod tests {
     #[test]
     fn public_swarm_converges() {
         let mut net = Network::new();
-        let bs = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 1), vec![ip(203, 0, 113, 254)]);
+        let bs = net.add_host(
+            RealmId::PUBLIC,
+            ip(203, 0, 113, 1),
+            vec![ip(203, 0, 113, 254)],
+        );
         let mut world = DhtWorld::new(WorldConfig::default(), bs, ip(203, 0, 113, 1));
         for i in 0..10u8 {
             let h = net.add_host(RealmId::PUBLIC, ip(198, 51, 100, i + 1), vec![]);
@@ -536,7 +566,10 @@ mod tests {
         let a = net.add_host(realm, ip(100, 64, 0, 10), vec![]);
         let b = net.add_host(realm, ip(100, 64, 0, 11), vec![]);
         let mut world = DhtWorld::new(
-            WorldConfig { maintenance_rounds: 10, ..WorldConfig::default() },
+            WorldConfig {
+                maintenance_rounds: 10,
+                ..WorldConfig::default()
+            },
             bs,
             ip(203, 0, 113, 1),
         );
@@ -545,8 +578,10 @@ mod tests {
         world.run(&mut net);
         let pa = &world.peers[0];
         let pb = &world.peers[1];
-        let a_knows_b_internal = pa.table.endpoint_of(pb.id).map(|e| e.ip) == Some(ip(100, 64, 0, 11));
-        let b_knows_a_internal = pb.table.endpoint_of(pa.id).map(|e| e.ip) == Some(ip(100, 64, 0, 10));
+        let a_knows_b_internal =
+            pa.table.endpoint_of(pb.id).map(|e| e.ip) == Some(ip(100, 64, 0, 11));
+        let b_knows_a_internal =
+            pb.table.endpoint_of(pa.id).map(|e| e.ip) == Some(ip(100, 64, 0, 10));
         assert!(
             a_knows_b_internal || b_knows_a_internal,
             "hairpin with preserved source must leak at least one internal endpoint; \
@@ -578,6 +613,9 @@ mod tests {
         world.add_peer(a, ip(100, 64, 0, 10), PeerConfig::default());
         world.add_peer(pub_peer, ip(198, 51, 100, 77), PeerConfig::default());
         world.run(&mut net);
-        assert!(world.peers[0].table.len() >= 1, "NATed peer must learn contacts");
+        assert!(
+            !world.peers[0].table.is_empty(),
+            "NATed peer must learn contacts"
+        );
     }
 }

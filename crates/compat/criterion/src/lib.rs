@@ -1,0 +1,276 @@
+//! # criterion (offline compat)
+//!
+//! A small wall-clock benchmark harness with the `criterion` API surface
+//! this workspace uses: [`Criterion`], [`Criterion::benchmark_group`],
+//! [`Throughput`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. The build environment has no crates.io
+//! access, so the workspace ships its own harness.
+//!
+//! Measurement model: per benchmark, a short calibration pass sizes a
+//! batch to ~`target_batch_ms`, then `sample_size` batches are timed and
+//! the median per-iteration time is reported (median is robust to
+//! scheduler noise, which matters more than confidence intervals here).
+//! A `BENCH_FILTER` environment variable (or the first CLI argument)
+//! restricts which benchmarks run, substring-matched like upstream.
+
+use std::time::Instant;
+
+/// Defeat constant propagation around a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Per-iteration timer handle passed to `bench_function` closures.
+pub struct Bencher {
+    /// Iterations per timed batch (set by calibration).
+    batch: u64,
+    /// Median seconds per iteration, filled by [`Bencher::iter`].
+    secs_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..self.batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() / self.batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.secs_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    target_batch_ms: f64,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::var("BENCH_FILTER")
+            .ok()
+            .or_else(|| {
+                // Skip flags cargo/libtest pass through (--bench etc).
+                std::env::args().skip(1).find(|a| !a.starts_with('-'))
+            })
+            .filter(|s| !s.is_empty());
+        Criterion {
+            sample_size: 20,
+            target_batch_ms: 20.0,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark (builder style, like
+    /// upstream's `Criterion::default().sample_size(n)`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, None, name, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.name.clone();
+        let throughput = self.throughput;
+        run_one(self.parent, Some(&group), name, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:8.2} s ")
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:7.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:7.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:7.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:7.1} {unit}/s")
+    }
+}
+
+fn run_one<F>(c: &mut Criterion, group: Option<&str>, name: &str, tp: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let full = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_string(),
+    };
+    if let Some(filter) = &c.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Calibration: grow the batch until one batch costs ~target_batch_ms.
+    let mut bench = Bencher {
+        batch: 1,
+        secs_per_iter: 0.0,
+        sample_size: 1,
+    };
+    f(&mut bench);
+    let mut per_iter = bench.secs_per_iter.max(1e-9);
+    let target = c.target_batch_ms / 1e3;
+    let batch = ((target / per_iter).clamp(1.0, 1e9)) as u64;
+
+    bench = Bencher {
+        batch,
+        secs_per_iter: 0.0,
+        sample_size: c.sample_size,
+    };
+    f(&mut bench);
+    per_iter = bench.secs_per_iter.max(1e-12);
+
+    let mut line = format!("{full:<48} time: {}", human_time(per_iter));
+    match tp {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!(
+                "   thrpt: {}",
+                human_rate(n as f64 / per_iter, "elem")
+            ));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!(
+                "   thrpt: {}",
+                human_rate(n as f64 / per_iter, "B")
+            ));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Declare a benchmark group function, upstream-style (both the plain
+/// and the `name = …; config = …; targets = …` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_smoke() {
+        let mut c = Criterion::default().sample_size(3);
+        // Keep the smoke test fast: tiny batches.
+        c.target_batch_ms = 0.05;
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            ran = true;
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(1));
+                x
+            });
+        });
+        assert!(ran);
+
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_function("mul", |b| {
+            let mut x = 1u64;
+            b.iter(|| {
+                x = x.wrapping_mul(black_box(3));
+                x
+            });
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human_time(5e-9).contains("ns"));
+        assert!(human_time(5e-5).contains("µs"));
+        assert!(human_time(5e-2).contains("ms"));
+        assert!(human_rate(2e9, "elem").contains("Gelem/s"));
+        assert!(human_rate(3.5e6, "B").contains("MB/s"));
+    }
+}

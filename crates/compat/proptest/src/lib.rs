@@ -1,0 +1,478 @@
+//! # proptest (offline compat)
+//!
+//! A minimal, dependency-light re-implementation of the subset of the
+//! `proptest` API this workspace uses. The build environment has no
+//! crates.io access, so the workspace ships its own property-testing
+//! harness with the same spelling: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map` / `prop_recursive`, [`prop_oneof!`],
+//! [`any`], range strategies, and the `collection::{vec, btree_map,
+//! hash_set}` constructors.
+//!
+//! Differences from upstream, by design:
+//! * cases are generated from a **fixed seed** (deterministic CI;
+//!   reproducing a failure never needs a persisted regression file);
+//! * no shrinking — the failing input is printed as-is by the panic;
+//! * `prop_assert!` / `prop_assert_eq!` panic immediately instead of
+//!   returning `Err`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng, Standard};
+use std::collections::{BTreeMap, HashSet};
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// Runner configuration, honoring `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite quick while still
+        // exploring the space (the generator is seeded, so every run
+        // covers the same 64 inputs).
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Type-erase for storage in unions / recursion.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut StdRng| self.sample(rng)))
+    }
+
+    /// Recursive structures: `depth` levels of `f` stacked on the leaf
+    /// strategy, mixing in leaves at every level so generation always
+    /// terminates. `_size`/`_branch` are accepted for source
+    /// compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let rec = f(cur).boxed();
+            cur = BoxedStrategy::union(vec![leaf.clone(), rec]);
+        }
+        cur
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Uniform choice among alternatives (the engine of [`prop_oneof!`]).
+    pub fn union(options: Vec<BoxedStrategy<T>>) -> Self
+    where
+        T: 'static,
+    {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        BoxedStrategy(Rc::new(move |rng: &mut StdRng| {
+            let idx = rng.gen_range(0..options.len());
+            options[idx].sample(rng)
+        }))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Full-range values of `T` (`any::<u64>()` etc.).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+impl<T: SampleUniform + 'static> Strategy for std::ops::Range<T>
+where
+    std::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform + 'static> Strategy for std::ops::RangeInclusive<T>
+where
+    std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_range_from {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+impl_strategy_range_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple!((0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+
+/// Collection strategies (`proptest::collection::*`).
+pub mod collection {
+    use super::*;
+
+    /// Sizes accepted by collection constructors.
+    pub trait IntoSizeRange {
+        /// Inclusive `(lo, hi)` length bounds.
+        fn size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.size_bounds();
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.lo..=self.hi);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        val: V,
+        lo: usize,
+        hi: usize,
+    }
+
+    pub fn btree_map<K, V>(key: K, val: V, size: impl IntoSizeRange) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        let (lo, hi) = size.size_bounds();
+        BTreeMapStrategy { key, val, lo, hi }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+            let target = rng.gen_range(self.lo..=self.hi);
+            let mut out = BTreeMap::new();
+            // Duplicate keys shrink the result, as upstream allows.
+            for _ in 0..target.saturating_mul(2) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.sample(rng), self.val.sample(rng));
+            }
+            out
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    pub fn hash_set<S>(elem: S, size: impl IntoSizeRange) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        let (lo, hi) = size.size_bounds();
+        HashSetStrategy { elem, lo, hi }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = rng.gen_range(self.lo..=self.hi);
+            let mut out = HashSet::new();
+            for _ in 0..target.saturating_mul(2) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.elem.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Deterministic per-case RNG: every run explores the same inputs.
+pub fn case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15u64 ^ ((case as u64) << 17) ^ 0x5EED)
+}
+
+/// The property-test harness macro.
+#[macro_export]
+macro_rules! proptest {
+    // Argument-list muncher: one `let` binding per `pat in strategy` pair.
+    (@let $rng:ident;) => {};
+    (@let $rng:ident; mut $argn:ident in $strat:expr) => {
+        let mut $argn = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    (@let $rng:ident; mut $argn:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $argn = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::proptest! { @let $rng; $($rest)* }
+    };
+    (@let $rng:ident; $argn:ident in $strat:expr) => {
+        let $argn = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    (@let $rng:ident; $argn:ident in $strat:expr, $($rest:tt)*) => {
+        let $argn = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::proptest! { @let $rng; $($rest)* }
+    };
+    (@cfg($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($args:tt)*) $body:block
+     )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::case_rng(__case);
+                    $crate::proptest! { @let __rng; $($args)* }
+                    $body
+                }
+            }
+        )+
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)+) => {
+        $crate::proptest! { @cfg($crate::ProptestConfig::default()) $($rest)+ }
+    };
+}
+
+/// Immediate-panic stand-in for upstream's `Err`-returning assertion.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::BoxedStrategy::union(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, BoxedStrategy,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 10u16..20, y in 0usize..=4, f in -1.0f64..1.0) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 4);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size(v in collection::vec(0u8..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|b| *b < 10));
+        }
+
+        #[test]
+        fn map_and_tuple(pair in (0u8..4, 100u32..200).prop_map(|(a, b)| (b, a))) {
+            prop_assert!((100..200).contains(&pair.0));
+            prop_assert!(pair.1 < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_form_accepted(mut n in 1u64..100) {
+            n += 1;
+            prop_assert!(n >= 2);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        let leaf = prop_oneof![(0u8..255).prop_map(Tree::Leaf)];
+        let strat = leaf.prop_recursive(3, 16, 4, |inner| {
+            collection::vec(inner, 0..3).prop_map(Tree::Node)
+        });
+        let mut rng = super::case_rng(1);
+        for _ in 0..200 {
+            let _ = strat.sample(&mut rng);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = collection::vec(0u32..1000, 0..10);
+        let once: Vec<_> = (0..5)
+            .map(|c| strat.sample(&mut super::case_rng(c)))
+            .collect();
+        let twice: Vec<_> = (0..5)
+            .map(|c| strat.sample(&mut super::case_rng(c)))
+            .collect();
+        assert_eq!(once, twice);
+    }
+}

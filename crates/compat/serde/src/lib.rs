@@ -1,0 +1,691 @@
+//! # serde (offline compat)
+//!
+//! A minimal, dependency-free re-implementation of the subset of the
+//! `serde` API this workspace uses. The build environment has no access
+//! to crates.io, so the workspace ships its own serialization framework
+//! with the same spelling: [`Serialize`] / [`Deserialize`] traits, the
+//! derive macros (from the sibling `serde_derive` crate, re-exported
+//! here), [`Serializer`] / [`Deserializer`] driver traits and the
+//! `#[serde(with = "module")]` field attribute.
+//!
+//! Unlike upstream serde's 29-type data model, this implementation routes
+//! everything through one self-describing [`Value`] tree (null / bool /
+//! integers / float / string / sequence / string-keyed map). That is
+//! exactly what a JSON-shaped pipeline needs and keeps hand-written
+//! `Serializer` bounds in the workspace (e.g. the routing-table's
+//! `per_len_serde` module) source-compatible with upstream.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::net::Ipv4Addr;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing serialized form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered string-keyed map (non-string keys are rendered
+    /// to strings, as JSON object keys are).
+    Map(Vec<(String, Value)>),
+}
+
+/// Error type shared by every driver in this compat layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerdeError(pub String);
+
+impl fmt::Display for SerdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerdeError {}
+
+pub mod ser {
+    use super::fmt;
+
+    /// Serialization error constraint.
+    pub trait Error: Sized + fmt::Display {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Sequence sub-serializer returned by `Serializer::serialize_seq`.
+    pub trait SerializeSeq {
+        type Ok;
+        type Error;
+        fn serialize_element<T: ?Sized + super::Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    use super::fmt;
+
+    /// Deserialization error constraint.
+    pub trait Error: Sized + fmt::Display {
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for SerdeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerdeError(msg.to_string())
+    }
+}
+
+impl de::Error for SerdeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerdeError(msg.to_string())
+    }
+}
+
+/// A format driver on the serialization side.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Accept a fully-built [`Value`] tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Begin a sequence of `len` elements.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+}
+
+/// A format driver on the deserialization side.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    /// Surrender the input as a [`Value`] tree.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Types serializable into the data model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types reconstructible from the data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// The Value-tree driver: the one concrete Serializer/Deserializer pair.
+// ---------------------------------------------------------------------------
+
+/// Serializer that produces a [`Value`] tree.
+pub struct ValueSerializer;
+
+/// Sequence builder for [`ValueSerializer`].
+pub struct ValueSeqSerializer {
+    items: Vec<Value>,
+}
+
+impl ser::SerializeSeq for ValueSeqSerializer {
+    type Ok = Value;
+    type Error = SerdeError;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), SerdeError> {
+        self.items.push(to_value(value));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, SerdeError> {
+        Ok(Value::Seq(self.items))
+    }
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerdeError;
+    type SerializeSeq = ValueSeqSerializer;
+
+    fn serialize_value(self, v: Value) -> Result<Value, SerdeError> {
+        Ok(v)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeqSerializer, SerdeError> {
+        Ok(ValueSeqSerializer {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+}
+
+/// Deserializer that consumes a [`Value`] tree.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = SerdeError;
+
+    fn take_value(self) -> Result<Value, SerdeError> {
+        Ok(self.value)
+    }
+}
+
+/// Serialize `value` into a [`Value`] tree.
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Value {
+    value
+        .serialize(ValueSerializer)
+        .expect("ValueSerializer is infallible")
+}
+
+/// Serialize through a `#[serde(with = …)]`-style function pair.
+pub fn to_value_with<F>(f: F) -> Value
+where
+    F: FnOnce(ValueSerializer) -> Result<Value, SerdeError>,
+{
+    f(ValueSerializer).expect("ValueSerializer is infallible")
+}
+
+/// Reconstruct a `T` from a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, SerdeError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Remove `name` from a derive-generated struct map, `Null` if absent
+/// (`Option` fields treat that as `None`; anything else reports the miss).
+pub fn take_field(map: &mut Vec<(String, Value)>, name: &str) -> Value {
+    match map.iter().position(|(k, _)| k == name) {
+        Some(i) => map.remove(i).1,
+        None => Value::Null,
+    }
+}
+
+/// Typed variant of [`take_field`] with the field name in the error.
+pub fn field_from_map<'de, T: Deserialize<'de>>(
+    map: &mut Vec<(String, Value)>,
+    name: &str,
+) -> Result<T, SerdeError> {
+    from_value(take_field(map, name)).map_err(|e| SerdeError(format!("field `{name}`: {e}")))
+}
+
+/// Render a key [`Value`] as a map-key string (JSON object-key style).
+pub fn value_to_key(v: Value) -> Result<String, SerdeError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(SerdeError(format!("unrepresentable map key: {other:?}"))),
+    }
+}
+
+/// Parse a map-key string back into the most specific key [`Value`].
+pub fn key_to_value(s: String) -> Value {
+    if let Ok(n) = s.parse::<u64>() {
+        return Value::U64(n);
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        return Value::I64(n);
+    }
+    Value::Str(s)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::I64(*self as i64))
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq as _;
+        let mut seq = s.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Seq(vec![$(to_value(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+impl_serialize_tuple!((0 T0) (0 T0, 1 T1) (0 T0, 1 T1, 2 T2) (0 T0, 1 T1, 2 T2, 3 T3));
+
+fn serialize_map_entries<'a, S, K, V, I>(s: S, entries: I, sorted: bool) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    let mut out: Vec<(String, Value)> = entries
+        .map(|(k, v)| {
+            let key = value_to_key(to_value(k)).map_err(ser::Error::custom)?;
+            Ok((key, to_value(v)))
+        })
+        .collect::<Result<_, S::Error>>()?;
+    if sorted {
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+    s.serialize_value(Value::Map(out))
+}
+
+impl<K: Serialize, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Sorted for output determinism across runs.
+        serialize_map_entries(s, self.iter(), true)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        serialize_map_entries(s, self.iter(), false)
+    }
+}
+
+impl<T: Serialize, H> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items: Vec<Value> = self.iter().map(|v| to_value(v)).collect();
+        items.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        s.serialize_value(Value::Seq(items))
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(|v| to_value(v)).collect()))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types.
+// ---------------------------------------------------------------------------
+
+fn type_err<T>(want: &str, got: &Value) -> Result<T, SerdeError> {
+    Err(SerdeError(format!("expected {want}, got {got:?}")))
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n: u64 = match v {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    other => return type_err("unsigned integer", &other).map_err(de::Error::custom),
+                };
+                <$t>::try_from(n).map_err(|_| de::Error::custom(format!(
+                    "{} out of range for {}", n, stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let n: i64 = match v {
+                    Value::I64(n) => n,
+                    Value::U64(n) if n <= i64::MAX as u64 => n as i64,
+                    other => return type_err("integer", &other).map_err(de::Error::custom),
+                };
+                <$t>::try_from(n).map_err(|_| de::Error::custom(format!(
+                    "{} out of range for {}", n, stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::F64(x) => Ok(x),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => type_err("float", &other).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => type_err("bool", &other).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => type_err("string", &other).map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom(format!(
+                "expected single char, got {s:?}"
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Ipv4Addr {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        s.parse()
+            .map_err(|_| de::Error::custom(format!("invalid IPv4 address {s:?}")))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(de::Error::custom),
+        }
+    }
+}
+
+fn seq_items<'de, D: Deserializer<'de>>(d: D, want: &str) -> Result<Vec<Value>, D::Error> {
+    match d.take_value()? {
+        Value::Seq(items) => Ok(items),
+        other => type_err(want, &other).map_err(de::Error::custom),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        seq_items(d, "sequence")?
+            .into_iter()
+            .map(|v| from_value(v).map_err(de::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+fn map_entries<'de, D, K, V>(d: D) -> Result<Vec<(K, V)>, D::Error>
+where
+    D: Deserializer<'de>,
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+{
+    match d.take_value()? {
+        Value::Map(entries) => entries
+            .into_iter()
+            .map(|(k, v)| {
+                let key: K = from_value(key_to_value(k)).map_err(de::Error::custom)?;
+                let val: V = from_value(v).map_err(de::Error::custom)?;
+                Ok((key, val))
+            })
+            .collect(),
+        other => type_err("map", &other).map_err(de::Error::custom),
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        map_entries(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        map_entries(d).map(|v| v.into_iter().collect())
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let items = seq_items(d, concat!("tuple of ", $len))?;
+                if items.len() != $len {
+                    return Err(de::Error::custom(format!(
+                        "expected tuple of {}, got {} elements", $len, items.len()
+                    )));
+                }
+                let mut it = items.into_iter();
+                Ok(($({
+                    let _ = $n;
+                    from_value::<$t>(it.next().expect("length checked"))
+                        .map_err(de::Error::custom)?
+                },)+))
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple!((1; 0 T0) (2; 0 T0, 1 T1) (3; 0 T0, 1 T1, 2 T2) (4; 0 T0, 1 T1, 2 T2, 3 T3));
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_value::<u16>(to_value(&7u16)).unwrap(), 7);
+        assert_eq!(from_value::<i32>(to_value(&-3i32)).unwrap(), -3);
+        assert!(from_value::<bool>(to_value(&true)).unwrap());
+        assert_eq!(from_value::<String>(to_value("hi")).unwrap(), "hi");
+        assert_eq!(from_value::<f64>(to_value(&1.5f64)).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(from_value::<Vec<u32>>(to_value(&v)).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert(4u32, "x".to_string());
+        assert_eq!(
+            from_value::<BTreeMap<u32, String>>(to_value(&m)).unwrap(),
+            m
+        );
+        let mut h = HashMap::new();
+        h.insert("k".to_string(), 9u64);
+        assert_eq!(from_value::<HashMap<String, u64>>(to_value(&h)).unwrap(), h);
+    }
+
+    #[test]
+    fn ip_and_option_and_tuple() {
+        let ip: Ipv4Addr = "100.64.0.1".parse().unwrap();
+        assert_eq!(from_value::<Ipv4Addr>(to_value(&ip)).unwrap(), ip);
+        assert_eq!(from_value::<Option<u8>>(Value::Null).unwrap(), None);
+        assert_eq!(
+            from_value::<Option<u8>>(to_value(&Some(3u8))).unwrap(),
+            Some(3)
+        );
+        let t = (1u8, "a".to_string());
+        assert_eq!(from_value::<(u8, String)>(to_value(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut h = HashMap::new();
+        for k in [9u32, 1, 5] {
+            h.insert(k, k);
+        }
+        match to_value(&h) {
+            Value::Map(entries) => {
+                let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["1", "5", "9"]);
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_type_reports_error() {
+        assert!(from_value::<u8>(Value::Str("x".into())).is_err());
+        assert!(from_value::<String>(Value::U64(1)).is_err());
+        assert!(from_value::<u8>(Value::U64(999)).is_err());
+    }
+}

@@ -1,0 +1,516 @@
+//! # serde_derive (offline compat)
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! for the workspace's offline `serde` compat layer. The build
+//! environment has no crates.io access, so there is no `syn`/`quote`;
+//! the item is parsed directly from the `proc_macro` token stream.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields, tuple/newtype structs, unit structs;
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, like upstream serde's default);
+//! * the `#[serde(with = "module")]` field attribute.
+//!
+//! Generic parameters are intentionally rejected: no serialized type in
+//! this repository is generic, and supporting them without `syn` would
+//! add complexity with no user.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+/// Extract `with = "module"` from a `#[serde(...)]` attribute body; any
+/// other serde attribute is a hard error (silent divergence from real
+/// serde behaviour would be worse than a loud one).
+fn parse_serde_attr(body: TokenStream) -> Option<String> {
+    let mut it = body.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "with" => {}
+        Some(other) => panic!("unsupported #[serde(...)] attribute: {other}"),
+        None => return None,
+    }
+    match it.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+        other => panic!("expected `=` after serde(with): {other:?}"),
+    }
+    match it.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        other => panic!("expected string literal in serde(with = ...): {other:?}"),
+    }
+}
+
+/// Consume one leading attribute (`#[...]`) if present; returns the
+/// `with`-path when it was a `#[serde(with = "...")]` attribute.
+fn skip_attrs<I: Iterator<Item = TokenTree>>(toks: &mut Peekable<I>) -> Option<String> {
+    let mut with = None;
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(id)) = inner.next() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            if let Some(w) = parse_serde_attr(args.stream()) {
+                                with = Some(w);
+                            }
+                        }
+                    }
+                }
+            }
+            other => panic!("malformed attribute: {other:?}"),
+        }
+    }
+    with
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis<I: Iterator<Item = TokenTree>>(toks: &mut Peekable<I>) {
+    if let Some(TokenTree::Ident(id)) = toks.peek() {
+        if id.to_string() == "pub" {
+            toks.next();
+            if let Some(TokenTree::Group(g)) = toks.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skip one field's type (or one discriminant expression): everything up
+/// to a comma at angle-bracket depth zero. Groups are single tokens, so
+/// only `<`/`>` need explicit tracking.
+fn skip_until_comma<I: Iterator<Item = TokenTree>>(toks: &mut Peekable<I>) {
+    let mut angle: i32 = 0;
+    while let Some(tok) = toks.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    toks.next();
+                    return;
+                }
+                _ => {}
+            }
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut toks = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let with = skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field {name}, got {other:?}"),
+        }
+        skip_until_comma(&mut toks);
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut toks = ts.into_iter().peekable();
+    let mut count = 0;
+    while toks.peek().is_some() {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        if toks.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_until_comma(&mut toks);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut toks = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let body = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantBody::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantBody::Tuple(n)
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an optional `= discriminant` and the separating comma.
+        skip_until_comma(&mut toks);
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> (String, Body) {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    let name = match toks.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => panic!("expected item name, got {other:?}"),
+                    };
+                    if let Some(TokenTree::Punct(p)) = toks.peek() {
+                        if p.as_char() == '<' {
+                            panic!(
+                                "derive(Serialize/Deserialize) compat does not support \
+                                 generic type `{name}`"
+                            );
+                        }
+                    }
+                    let body = if kw == "enum" {
+                        match toks.next() {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                Body::Enum(parse_variants(g.stream()))
+                            }
+                            other => panic!("expected enum body, got {other:?}"),
+                        }
+                    } else {
+                        match toks.next() {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                                Body::NamedStruct(parse_named_fields(g.stream()))
+                            }
+                            Some(TokenTree::Group(g))
+                                if g.delimiter() == Delimiter::Parenthesis =>
+                            {
+                                Body::TupleStruct(count_tuple_fields(g.stream()))
+                            }
+                            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+                            other => panic!("expected struct body, got {other:?}"),
+                        }
+                    };
+                    return (name, body);
+                }
+                // `union`, or stray tokens before the keyword: keep looking.
+            }
+            Some(_) => {}
+            None => panic!("no struct/enum found in derive input"),
+        }
+    }
+}
+
+const ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let fn_body = match body {
+        Body::NamedStruct(fields) => {
+            let mut out = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let n = &f.name;
+                match &f.with {
+                    Some(w) => out.push_str(&format!(
+                        "__m.push((\"{n}\".to_string(), ::serde::to_value_with(\
+                         |__ser| {w}::serialize(&self.{n}, __ser))));\n"
+                    )),
+                    None => out.push_str(&format!(
+                        "__m.push((\"{n}\".to_string(), ::serde::to_value(&self.{n})));\n"
+                    )),
+                }
+            }
+            out.push_str("__s.serialize_value(::serde::Value::Map(__m))");
+            out
+        }
+        Body::TupleStruct(1) => "__s.serialize_value(::serde::to_value(&self.0))".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "__s.serialize_value(::serde::Value::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Body::UnitStruct => "__s.serialize_value(::serde::Value::Null)".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => __s.serialize_value(\
+                         ::serde::Value::Str(\"{vn}\".to_string())),\n"
+                    )),
+                    VariantBody::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => __s.serialize_value(::serde::Value::Map(vec![\
+                         (\"{vn}\".to_string(), ::serde::to_value(__f0))])),\n"
+                    )),
+                    VariantBody::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::to_value(__f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => __s.serialize_value(::serde::Value::Map(vec![\
+                             (\"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantBody::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            let fname = &f.name;
+                            pushes.push_str(&format!(
+                                "__fm.push((\"{fname}\".to_string(), \
+                                 ::serde::to_value({fname})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n\
+                             let mut __fm: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n\
+                             {pushes}\
+                             __s.serialize_value(::serde::Value::Map(vec![\
+                             (\"{vn}\".to_string(), ::serde::Value::Map(__fm))]))\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         {fn_body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_named_field_inits(fields: &[Field], map_var: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        match &f.with {
+            Some(w) => out.push_str(&format!(
+                "{n}: {w}::deserialize(::serde::ValueDeserializer::new(\
+                 ::serde::take_field(&mut {map_var}, \"{n}\"))).map_err({ERR})?,\n"
+            )),
+            None => out.push_str(&format!(
+                "{n}: ::serde::field_from_map(&mut {map_var}, \"{n}\").map_err({ERR})?,\n"
+            )),
+        }
+    }
+    out
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let fn_body = match body {
+        Body::NamedStruct(fields) => {
+            let inits = gen_named_field_inits(fields, "__m");
+            format!(
+                "let mut __m = match __d.take_value()? {{\n\
+                 ::serde::Value::Map(m) => m,\n\
+                 __other => return ::std::result::Result::Err({ERR}(::std::format!(\
+                 \"{name}: expected map, got {{:?}}\", __other))),\n\
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::from_value(__d.take_value()?).map_err({ERR})?))"
+        ),
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|_| {
+                    format!(
+                        "::serde::from_value(__it.next().expect(\"length checked\"))\
+                         .map_err({ERR})?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = match __d.take_value()? {{\n\
+                 ::serde::Value::Seq(v) => v,\n\
+                 __other => return ::std::result::Result::Err({ERR}(::std::format!(\
+                 \"{name}: expected sequence, got {{:?}}\", __other))),\n\
+                 }};\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err({ERR}(::std::format!(\
+                 \"{name}: expected {n} elements, got {{}}\", __items.len())));\n\
+                 }}\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Body::UnitStruct => {
+            format!("let _ = __d.take_value()?;\n::std::result::Result::Ok({name})")
+        }
+        Body::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    VariantBody::Unit => str_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantBody::Tuple(1) => map_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::from_value(__val).map_err({ERR})?)),\n"
+                    )),
+                    VariantBody::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|_| {
+                                format!(
+                                    "::serde::from_value(__it.next().expect(\"len checked\"))\
+                                     .map_err({ERR})?"
+                                )
+                            })
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = match __val {{\n\
+                             ::serde::Value::Seq(v) => v,\n\
+                             __other => return ::std::result::Result::Err({ERR}(\
+                             ::std::format!(\"{name}::{vn}: expected sequence, got {{:?}}\", \
+                             __other))),\n\
+                             }};\n\
+                             if __items.len() != {n} {{\n\
+                             return ::std::result::Result::Err({ERR}(::std::format!(\
+                             \"{name}::{vn}: expected {n} elements, got {{}}\", \
+                             __items.len())));\n\
+                             }}\n\
+                             let mut __it = __items.into_iter();\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantBody::Named(fields) => {
+                        let inits = gen_named_field_inits(fields, "__fm");
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let mut __fm = match __val {{\n\
+                             ::serde::Value::Map(m) => m,\n\
+                             __other => return ::std::result::Result::Err({ERR}(\
+                             ::std::format!(\"{name}::{vn}: expected map, got {{:?}}\", \
+                             __other))),\n\
+                             }};\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }}\n",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __d.take_value()? {{\n\
+                 ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                 {str_arms}\
+                 __other => ::std::result::Result::Err({ERR}(::std::format!(\
+                 \"{name}: unknown variant {{}}\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Map(mut __m_) if __m_.len() == 1 => {{\n\
+                 let (__tag, __val) = __m_.remove(0);\n\
+                 match __tag.as_str() {{\n\
+                 {map_arms}\
+                 __other => ::std::result::Result::Err({ERR}(::std::format!(\
+                 \"{name}: unknown variant {{}}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err({ERR}(::std::format!(\
+                 \"{name}: expected variant tag, got {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n\
+         {fn_body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_serialize(&name, &body)
+        .parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, body) = parse_item(input);
+    gen_deserialize(&name, &body)
+        .parse()
+        .expect("derive(Deserialize): generated code must parse")
+}

@@ -1,0 +1,429 @@
+//! # serde_json (offline compat)
+//!
+//! JSON rendering/parsing over the workspace's offline `serde` compat
+//! layer. Provides the spellings the workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`]/[`from_value`] and a
+//! [`Value`] alias (the compat serde's own value tree).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::Value;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serialize `value` into the [`Value`] tree.
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(serde::to_value(value))
+}
+
+/// Reconstruct a `T` from a [`Value`] tree.
+pub fn from_value<'de, T: Deserialize<'de>>(value: Value) -> Result<T, Error> {
+    serde::from_value(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Compact JSON text for `value`.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&serde::to_value(value), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Pretty-printed JSON text (two-space indent) for `value`.
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&serde::to_value(value), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Parse JSON text into a `T`.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    serde::from_value(v).map_err(|e| Error(e.to_string()))
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    let pad = |out: &mut String, d: usize| {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * d));
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Keep a decimal point so the value re-parses as a float.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                render(item, indent, depth + 1, out);
+            }
+            pad(out, depth);
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, depth + 1);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, depth + 1, out);
+            }
+            pad(out, depth);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected ',' or ']' at byte {}, found {other:?}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "expected ',' or '}}' at byte {}, found {other:?}",
+                                self.pos
+                            )))
+                        }
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pair handling for non-BMP chars.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error("lone high surrogate".into()));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error("invalid low surrogate".into()));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| Error("invalid codepoint".into()))?);
+                        }
+                        other => return Err(Error(format!("invalid escape \\{}", other as char))),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Multi-byte UTF-8: re-decode from the source slice.
+                    let start = self.pos - 1;
+                    let s = &self.bytes[start..];
+                    let width = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = s
+                        .get(..width)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| Error("invalid UTF-8 in string".into()))?;
+                    out.push_str(chunk);
+                    self.pos = start + width;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|c| std::str::from_utf8(c).ok())
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        self.pos += 4;
+        u32::from_str_radix(chunk, 16).map_err(|_| Error(format!("bad \\u escape {chunk:?}")))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .map(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("bad number".into()))?;
+        if !text.contains(['.', 'e', 'E']) {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if stripped.parse::<u64>().is_ok() || stripped.parse::<i64>().is_ok() {
+                    return text
+                        .parse::<i64>()
+                        .map(Value::I64)
+                        .map_err(|_| Error(format!("integer out of range: {text}")));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number: {text}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn render_compact_and_pretty() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1u32, 2]);
+        let compact = to_string(&m).unwrap();
+        assert_eq!(compact, r#"{"a":[1,2]}"#);
+        let pretty = to_string_pretty(&m).unwrap();
+        assert!(pretty.contains("\n  \"a\": ["));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let m: BTreeMap<String, Vec<u32>> = from_str(r#"{"a": [1, 2], "b": []}"#).unwrap();
+        assert_eq!(m["a"], vec![1, 2]);
+        assert!(m["b"].is_empty());
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(from_str::<i64>("-5").unwrap(), -5);
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s: String = from_str(r#""line\nquote\" A 😀""#).unwrap();
+        assert_eq!(s, "line\nquote\" A 😀");
+        let back = to_string(&"tab\there").unwrap();
+        assert_eq!(back, r#""tab\there""#);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("12 34").is_err());
+        assert!(from_str::<u32>("{").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_pass_through() {
+        let s: String = from_str("\"héllo → 世界\"").unwrap();
+        assert_eq!(s, "héllo → 世界");
+        let rendered = to_string(&s).unwrap();
+        let back: String = from_str(&rendered).unwrap();
+        assert_eq!(back, s);
+    }
+}

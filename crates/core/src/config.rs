@@ -1,5 +1,6 @@
 //! Study configuration and scale presets.
 
+use crate::dimensioning::DimensioningConfig;
 use bt_dht::{CrawlConfig, WorldConfig};
 use topology::TopologyConfig;
 
@@ -34,6 +35,9 @@ pub struct StudyConfig {
     /// Crawl passes interleaved with swarm rounds before the measured
     /// crawl (the paper's crawl ran for a week while the DHT lived).
     pub warm_crawl_passes: usize,
+    /// Optional operator-side dimensioning sweep appended to the study
+    /// (drives `cgn-traffic` workloads through a CGN build-out).
+    pub dimensioning: Option<DimensioningConfig>,
 }
 
 impl StudyConfig {
@@ -57,6 +61,7 @@ impl StudyConfig {
             p_dht_violators: 0.013,
             p_peer_churn: 0.20,
             warm_crawl_passes: 2,
+            dimensioning: None,
         }
     }
 
@@ -86,6 +91,7 @@ impl StudyConfig {
             p_dht_violators: 0.013,
             p_peer_churn: 0.20,
             warm_crawl_passes: 2,
+            dimensioning: None,
         }
     }
 
@@ -106,6 +112,7 @@ impl StudyConfig {
             p_dht_violators: 0.013,
             p_peer_churn: 0.20,
             warm_crawl_passes: 2,
+            dimensioning: None,
         }
     }
 }

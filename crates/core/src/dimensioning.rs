@@ -1,0 +1,261 @@
+//! The dimensioning pipeline: drive every workload mix through a CGN
+//! and render the operator-side capacity report.
+//!
+//! This is the forward direction of §6.2: instead of inferring chunk
+//! sizes and pooling from outside probes, fix a CGN configuration, push
+//! a synthetic subscriber population's flows through it (`cgn-traffic`)
+//! and read off how much port/state capacity each traffic mix demands —
+//! including the chunk-size vs. blocking-probability trade-off behind
+//! the 512..16K chunks the paper observed.
+
+use cgn_traffic::{DriverConfig, Modulation, RunSummary, WorkloadMix};
+use nat_engine::NatConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Configuration of one dimensioning study (a set of workload mixes
+/// run against the same CGN build-out).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimensioningConfig {
+    pub seed: u64,
+    /// Subscribers behind the CGN deployment.
+    pub subscribers: u32,
+    /// Independent CGN instances sharing the load.
+    pub cgn_instances: u16,
+    /// Public IPs per instance.
+    pub external_ips_per_instance: u16,
+    /// Behaviour of every instance.
+    pub nat: NatConfig,
+    /// Workload mixes to sweep (each gets its own fresh CGN).
+    pub mixes: Vec<WorkloadMix>,
+    /// Diurnal/flash-crowd modulation applied to every mix.
+    pub modulation: Modulation,
+    /// Simulated seconds per mix.
+    pub duration_secs: u64,
+    /// Demand-sampling cadence in seconds.
+    pub sample_secs: u64,
+    /// Mapping-sweep cadence in seconds.
+    pub sweep_secs: u64,
+}
+
+impl DimensioningConfig {
+    /// Quick preset for tests: a few hundred subscribers, minutes of
+    /// virtual time.
+    pub fn small(seed: u64) -> DimensioningConfig {
+        DimensioningConfig {
+            seed,
+            subscribers: 400,
+            cgn_instances: 1,
+            external_ips_per_instance: 2,
+            nat: NatConfig::cgn_default(),
+            mixes: WorkloadMix::all(),
+            modulation: Modulation::none(),
+            duration_secs: 300,
+            sample_secs: 30,
+            sweep_secs: 20,
+        }
+    }
+
+    /// Release-scale preset: drives millions of flows per full sweep
+    /// (the `dimensioning` example's default).
+    pub fn release(seed: u64) -> DimensioningConfig {
+        DimensioningConfig {
+            seed,
+            subscribers: 10_000,
+            cgn_instances: 4,
+            external_ips_per_instance: 4,
+            nat: NatConfig::cgn_default(),
+            mixes: WorkloadMix::all(),
+            modulation: Modulation::none(),
+            duration_secs: 900,
+            sample_secs: 60,
+            sweep_secs: 30,
+        }
+    }
+
+    fn driver_config(&self, mix: WorkloadMix) -> DriverConfig {
+        DriverConfig {
+            subscribers: self.subscribers,
+            cgn_instances: self.cgn_instances,
+            external_ips_per_instance: self.external_ips_per_instance,
+            nat: self.nat.clone(),
+            mix,
+            modulation: self.modulation,
+            duration_secs: self.duration_secs,
+            sample_secs: self.sample_secs,
+            sweep_secs: self.sweep_secs,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Outcome of a dimensioning study: one [`RunSummary`] per mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DimensioningReport {
+    pub config: DimensioningConfig,
+    pub runs: Vec<RunSummary>,
+}
+
+/// Run every configured mix against a fresh CGN deployment.
+pub fn run_dimensioning(config: &DimensioningConfig) -> DimensioningReport {
+    let runs = config
+        .mixes
+        .iter()
+        .map(|mix| cgn_traffic::run(&config.driver_config(mix.clone())))
+        .collect();
+    DimensioningReport {
+        config: config.clone(),
+        runs,
+    }
+}
+
+impl DimensioningReport {
+    /// Total flows pushed through NATs across all mixes.
+    pub fn total_flows(&self) -> u64 {
+        self.runs.iter().map(|r| r.flows_started).sum()
+    }
+
+    /// Deterministic fingerprint over every run.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in &self.runs {
+            let d = r.digest();
+            for b in d.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Render the report as text (per-mix demand summary plus the
+    /// chunk-size vs. blocking-probability table).
+    pub fn render(&self) -> String {
+        let mut o = String::new();
+        let c = &self.config;
+        let _ = writeln!(
+            o,
+            "CGN dimensioning — seed {} | {} subscribers behind {} instance(s) × {} external IP(s), \
+             {} s per mix, {} mixes, {} flows total",
+            c.seed,
+            c.subscribers,
+            c.cgn_instances,
+            c.external_ips_per_instance,
+            c.duration_secs,
+            self.runs.len(),
+            self.total_flows(),
+        );
+
+        for r in &self.runs {
+            let rep = &r.report;
+            let _ = writeln!(
+                o,
+                "\n---- mix: {} {}",
+                r.mix_name,
+                "-".repeat(58usize.saturating_sub(r.mix_name.len()))
+            );
+            let _ = writeln!(
+                o,
+                "flows: {} started | {} blocked | {} completed | {} packets",
+                r.flows_started, r.flows_blocked, r.flows_completed, r.packets_sent
+            );
+            let _ = writeln!(
+                o,
+                "mappings: peak {} | median {:.0} | p99 {:.0} | created {} | expired {}",
+                rep.peak_mappings,
+                rep.median_mappings,
+                rep.p99_mappings,
+                r.stats.mappings_created,
+                r.stats.mappings_expired
+            );
+            let _ = writeln!(
+                o,
+                "ports/subscriber at peak: p50 {:.1} | p95 {:.1} | p99 {:.1} | max {}",
+                rep.peak_ports_p50, rep.peak_ports_p95, rep.peak_ports_p99, rep.peak_ports_max
+            );
+            let _ = writeln!(
+                o,
+                "multiplexing: {:.1} subscribers/external-IP | {:.0} peak ports/external-IP | worst allocator fill {:.1}%",
+                rep.subscribers_per_external_ip,
+                rep.peak_ports_per_external_ip,
+                100.0 * rep.worst_ip_utilization
+            );
+            let _ = writeln!(
+                o,
+                "drops: {} port-exhausted | {} session-limit",
+                rep.drops_port_exhausted, rep.drops_session_limit
+            );
+            let _ = writeln!(
+                o,
+                "chunk-size sweep (paper §6.2 observes 512..16K chunks; 64 subs/IP at 1K):"
+            );
+            let _ = writeln!(
+                o,
+                "  chunk   subs/IP   P(demand blocked)   chunk utilization"
+            );
+            for row in &rep.chunk_curve {
+                let _ = writeln!(
+                    o,
+                    "  {:>5}   {:>7}   {:>16.4}%   {:>16.2}%",
+                    row.chunk_size,
+                    row.subscribers_per_ip,
+                    100.0 * row.p_demand_blocked,
+                    100.0 * row.chunk_utilization
+                );
+            }
+        }
+        o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(seed: u64) -> DimensioningConfig {
+        DimensioningConfig {
+            subscribers: 120,
+            duration_secs: 120,
+            mixes: vec![WorkloadMix::residential_evening(), WorkloadMix::iot_fleet()],
+            ..DimensioningConfig::small(seed)
+        }
+    }
+
+    #[test]
+    fn sweep_runs_every_mix() {
+        let rep = run_dimensioning(&tiny(3));
+        assert_eq!(rep.runs.len(), 2);
+        assert!(rep.total_flows() > 0);
+        assert!(rep.runs.iter().all(|r| !r.series.is_empty()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run_dimensioning(&tiny(11));
+        let b = run_dimensioning(&tiny(11));
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a.digest(), run_dimensioning(&tiny(12)).digest());
+    }
+
+    #[test]
+    fn render_contains_chunk_table_and_mix_names() {
+        let rep = run_dimensioning(&tiny(5));
+        let text = rep.render();
+        assert!(text.contains("chunk-size sweep"));
+        assert!(text.contains("residential-evening"));
+        assert!(text.contains("iot-fleet"));
+        assert!(text.contains("subs/IP"));
+        for chunk in analysis::port_demand::CHUNK_SIZES {
+            assert!(text.contains(&format!("{chunk}")), "chunk {chunk} missing");
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rep = run_dimensioning(&tiny(7));
+        let json = serde_json::to_string_pretty(&rep).expect("serializable");
+        let back: DimensioningReport = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(rep, back);
+    }
+}

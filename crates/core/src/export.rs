@@ -34,7 +34,10 @@ pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
                 p.positive as u8
             );
         }
-        files.push(ExportFile { name: "fig04_clusters.tsv".into(), content: c });
+        files.push(ExportFile {
+            name: "fig04_clusters.tsv".into(),
+            content: c,
+        });
     }
 
     // Fig. 5 — candidate sessions vs /24 diversity scatter.
@@ -47,7 +50,10 @@ pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
                 p.as_id.0, p.candidate_sessions, p.cpe_slash24s, p.positive as u8
             );
         }
-        files.push(ExportFile { name: "fig05_candidates.tsv".into(), content: c });
+        files.push(ExportFile {
+            name: "fig05_candidates.tsv".into(),
+            content: c,
+        });
     }
 
     // Fig. 6 — per-RIR rates.
@@ -60,10 +66,18 @@ pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
                 rir.name(),
                 report.fig6.coverage_pct.get(&rir).copied().unwrap_or(0.0),
                 report.fig6.positive_pct.get(&rir).copied().unwrap_or(0.0),
-                report.fig6.cellular_positive_pct.get(&rir).copied().unwrap_or(0.0)
+                report
+                    .fig6
+                    .cellular_positive_pct
+                    .get(&rir)
+                    .copied()
+                    .unwrap_or(0.0)
             );
         }
-        files.push(ExportFile { name: "fig06_rir.tsv".into(), content: c });
+        files.push(ExportFile {
+            name: "fig06_rir.tsv".into(),
+            content: c,
+        });
     }
 
     // Fig. 8a — the two port histograms.
@@ -75,7 +89,10 @@ pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
         for (i, (pv, tv)) in p.iter().zip(&t).enumerate() {
             let _ = writeln!(c, "{}\t{:.6}\t{:.6}", i as u64 * w, pv, tv);
         }
-        files.push(ExportFile { name: "fig08a_ports.tsv".into(), content: c });
+        files.push(ExportFile {
+            name: "fig08a_ports.tsv".into(),
+            content: c,
+        });
     }
 
     // Fig. 8b — per-model preservation.
@@ -84,7 +101,10 @@ pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
         for (model, (n, pres)) in &report.fig8b {
             let _ = writeln!(c, "{model}\t{n}\t{pres}");
         }
-        files.push(ExportFile { name: "fig08b_cpe_models.tsv".into(), content: c });
+        files.push(ExportFile {
+            name: "fig08b_cpe_models.tsv".into(),
+            content: c,
+        });
     }
 
     // Fig. 9 — per-AS strategy mixes (both panels).
@@ -107,7 +127,10 @@ pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
                 );
             }
         }
-        files.push(ExportFile { name: "fig09_strategies.tsv".into(), content: c });
+        files.push(ExportFile {
+            name: "fig09_strategies.tsv".into(),
+            content: c,
+        });
     }
 
     // Fig. 11 — distance histograms per group.
@@ -124,7 +147,10 @@ pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
                 );
             }
         }
-        files.push(ExportFile { name: "fig11_distance.tsv".into(), content: c });
+        files.push(ExportFile {
+            name: "fig11_distance.tsv".into(),
+            content: c,
+        });
     }
 
     // Fig. 12 — timeout samples per population (box plots are derived).
@@ -139,7 +165,10 @@ pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
         for v in &report.fig12.cpe_values {
             let _ = writeln!(c, "cpe\t{v}");
         }
-        files.push(ExportFile { name: "fig12_timeouts.tsv".into(), content: c });
+        files.push(ExportFile {
+            name: "fig12_timeouts.tsv".into(),
+            content: c,
+        });
     }
 
     // Fig. 13 — STUN distributions.
@@ -154,7 +183,85 @@ pub fn export_figures(report: &StudyReport) -> Vec<ExportFile> {
                 let _ = writeln!(c, "{panel}\t{}\t{:.4}", t.name().replace(' ', "_"), share);
             }
         }
-        files.push(ExportFile { name: "fig13_stun.tsv".into(), content: c });
+        files.push(ExportFile {
+            name: "fig13_stun.tsv".into(),
+            content: c,
+        });
+    }
+
+    // Dimensioning (when the study ran the operator-side sweep).
+    if let Some(dim) = &report.dimensioning {
+        files.extend(export_dimensioning(dim));
+    }
+
+    files
+}
+
+/// TSV series + JSON dump for a dimensioning sweep.
+pub fn export_dimensioning(dim: &crate::dimensioning::DimensioningReport) -> Vec<ExportFile> {
+    let mut files = Vec::new();
+
+    // Demand time series: one row per (mix, sample).
+    {
+        let mut c = String::from(
+            "#mix\tt_secs\tmappings\tactive_subscribers\tports_p50\tports_p95\tports_p99\
+             \tports_max\tworst_ip_utilization\tdrops_port_exhausted\tdrops_session_limit\n",
+        );
+        for r in &dim.runs {
+            for s in &r.series.samples {
+                let _ = writeln!(
+                    c,
+                    "{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{}\t{:.4}\t{}\t{}",
+                    r.mix_name,
+                    s.t_secs,
+                    s.mappings,
+                    s.active_subscribers,
+                    s.ports_p50,
+                    s.ports_p95,
+                    s.ports_p99,
+                    s.ports_max,
+                    s.worst_ip_utilization,
+                    s.drops_port_exhausted,
+                    s.drops_session_limit
+                );
+            }
+        }
+        files.push(ExportFile {
+            name: "dim_demand_series.tsv".into(),
+            content: c,
+        });
+    }
+
+    // Chunk-size vs. blocking-probability curve per mix (§6.2's knob).
+    {
+        let mut c = String::from(
+            "#mix\tchunk_size\tsubscribers_per_ip\tp_demand_blocked\tchunk_utilization\n",
+        );
+        for r in &dim.runs {
+            for row in &r.report.chunk_curve {
+                let _ = writeln!(
+                    c,
+                    "{}\t{}\t{}\t{:.6}\t{:.6}",
+                    r.mix_name,
+                    row.chunk_size,
+                    row.subscribers_per_ip,
+                    row.p_demand_blocked,
+                    row.chunk_utilization
+                );
+            }
+        }
+        files.push(ExportFile {
+            name: "dim_chunk_blocking.tsv".into(),
+            content: c,
+        });
+    }
+
+    // Full machine-readable report.
+    if let Ok(json) = serde_json::to_string_pretty(dim) {
+        files.push(ExportFile {
+            name: "dim_report.json".into(),
+            content: json,
+        });
     }
 
     files
@@ -198,7 +305,10 @@ mod tests {
             "fig12_timeouts.tsv",
             "fig13_stun.tsv",
         ] {
-            assert!(names.contains(&expected), "{expected} missing from {names:?}");
+            assert!(
+                names.contains(&expected),
+                "{expected} missing from {names:?}"
+            );
         }
     }
 
@@ -224,8 +334,40 @@ mod tests {
     #[test]
     fn fig6_always_has_five_rows() {
         let files = export_figures(&report());
-        let fig6 = files.iter().find(|f| f.name == "fig06_rir.tsv").expect("present");
+        let fig6 = files
+            .iter()
+            .find(|f| f.name == "fig06_rir.tsv")
+            .expect("present");
         assert_eq!(fig6.content.lines().count(), 6, "header + 5 RIRs");
+    }
+
+    #[test]
+    fn dimensioning_export_has_series_curve_and_json() {
+        use crate::dimensioning::{run_dimensioning, DimensioningConfig};
+        let mut cfg = DimensioningConfig::small(3);
+        cfg.subscribers = 100;
+        cfg.duration_secs = 90;
+        cfg.mixes.truncate(2);
+        let dim = run_dimensioning(&cfg);
+        let files = export_dimensioning(&dim);
+        let names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "dim_demand_series.tsv",
+                "dim_chunk_blocking.tsv",
+                "dim_report.json"
+            ]
+        );
+        let series = &files[0].content;
+        assert!(series.lines().count() > 2, "series has data rows");
+        let curve = &files[1].content;
+        assert_eq!(
+            curve.lines().count(),
+            1 + 2 * analysis::port_demand::CHUNK_SIZES.len(),
+            "one curve row per (mix, chunk size)"
+        );
+        assert!(files[2].content.trim_start().starts_with('{'));
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!    compute every table and figure ([`analysis`]);
 //! 4. **Report** — assemble a [`StudyReport`] and render it as text.
 //!
+//! A second, operator-side pipeline lives in [`dimensioning`]: drive
+//! flow-level workloads (`cgn-traffic`) through a CGN build-out and
+//! report the port/state capacity each traffic mix demands.
+//!
 //! ```no_run
 //! use cgn_study::{StudyConfig, run_study};
 //!
@@ -20,12 +24,14 @@
 //! ```
 
 pub mod config;
+pub mod dimensioning;
 pub mod export;
 pub mod pipeline;
 pub mod report;
 pub mod results;
 
 pub use config::StudyConfig;
+pub use dimensioning::{run_dimensioning, DimensioningConfig, DimensioningReport};
 pub use export::{export_figures, write_to_dir, ExportFile};
 pub use pipeline::{run_study, StudyArtifacts};
 pub use report::StudyReport;

@@ -48,12 +48,15 @@ pub struct StudyArtifacts {
 /// Derive a per-subscriber OS port policy.
 fn port_policy(sub: &Subscriber) -> OsPortPolicy {
     let (lo, hi, sequential) = sub.os.port_policy();
-    OsPortPolicy { range: (lo, hi), sequential }
+    OsPortPolicy {
+        range: (lo, hi),
+        sequential,
+    }
 }
 
 /// Run the full measurement phase.
 pub fn measure(config: StudyConfig) -> StudyArtifacts {
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57AB_1E);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0057_AB1E);
     let mut world = World::build(config.topology.clone());
 
     // Measurement infrastructure: echo + STUN lab, DHT bootstrap, crawler.
@@ -106,7 +109,10 @@ pub fn measure(config: StudyConfig) -> StudyArtifacts {
         let mut warm = Crawler::new(
             crawler_node,
             crawler_addr,
-            bt_dht::CrawlConfig { ping_learned: false, ..config.crawl.clone() },
+            bt_dht::CrawlConfig {
+                ping_learned: false,
+                ..config.crawl.clone()
+            },
         );
         let _ = warm.crawl(&mut world.net, &mut dht);
         dht.run_round(&mut world.net, 1000 + extra);
@@ -153,7 +159,13 @@ pub fn measure(config: StudyConfig) -> StudyArtifacts {
     let deployments: Vec<(netcore::AsId, bool, Vec<usize>)> = world
         .deployments
         .iter()
-        .map(|d| (d.info.id, d.info.kind.is_cellular(), d.subscriber_ids.clone()))
+        .map(|d| {
+            (
+                d.info.id,
+                d.info.kind.is_cellular(),
+                d.subscriber_ids.clone(),
+            )
+        })
         .collect();
     for (as_id, cellular, sub_ids) in deployments {
         if !rng.gen_bool(config.p_as_netalyzr) {
@@ -163,19 +175,15 @@ pub fn measure(config: StudyConfig) -> StudyArtifacts {
             if !rng.gen_bool(config.p_subscriber_netalyzr) {
                 continue;
             }
-            let n_sessions = rng
-                .gen_range(config.sessions_per_subscriber.0..=config.sessions_per_subscriber.1);
+            let n_sessions =
+                rng.gen_range(config.sessions_per_subscriber.0..=config.sessions_per_subscriber.1);
             for k in 0..n_sessions {
                 let sub = &world.subscribers[sub_id];
                 let spec = ClientSpec {
                     node: sub.device_node,
                     addr: sub.device_addr,
                     os_ports: port_policy(sub),
-                    upnp_cpe_external: sub
-                        .cpe
-                        .as_ref()
-                        .filter(|c| c.upnp)
-                        .map(|c| c.external_ip),
+                    upnp_cpe_external: sub.cpe.as_ref().filter(|c| c.upnp).map(|c| c.external_ip),
                     upnp_model: sub
                         .cpe
                         .as_ref()
@@ -207,7 +215,10 @@ pub fn measure(config: StudyConfig) -> StudyArtifacts {
                         .port_test
                         .flows
                         .iter()
-                        .map(|f| FlowObs { local_port: f.local_port, observed: f.observed })
+                        .map(|f| FlowObs {
+                            local_port: f.local_port,
+                            observed: f.observed,
+                        })
                         .collect(),
                     stun_nat: report.stun.and_then(|s| s.class.nat_type()),
                     ttl: report.ttl.as_ref().map(|t| TtlObs {
@@ -229,7 +240,10 @@ pub fn measure(config: StudyConfig) -> StudyArtifacts {
     }
 
     // --- Phase 4: the operator survey (§2). ---
-    let survey = Survey::generate(&SurveyConfig { seed: config.seed ^ 0x50_50, ..SurveyConfig::default() });
+    let survey = Survey::generate(&SurveyConfig {
+        seed: config.seed ^ 0x50_50,
+        ..SurveyConfig::default()
+    });
 
     StudyArtifacts {
         config,
@@ -244,9 +258,16 @@ pub fn measure(config: StudyConfig) -> StudyArtifacts {
     }
 }
 
-/// Run measurement and analysis end to end.
+/// Run measurement and analysis end to end; when the config carries a
+/// [`crate::dimensioning::DimensioningConfig`], the operator-side
+/// dimensioning sweep runs afterwards and lands in the report.
 pub fn run_study(config: StudyConfig) -> crate::report::StudyReport {
-    crate::results::assemble(&measure(config))
+    let dimensioning = config.dimensioning.clone();
+    let mut report = crate::results::assemble(&measure(config));
+    if let Some(d) = &dimensioning {
+        report.dimensioning = Some(crate::dimensioning::run_dimensioning(d));
+    }
+    report
 }
 
 #[cfg(test)]

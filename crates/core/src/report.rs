@@ -1,6 +1,8 @@
 //! The study report: one struct per table/figure plus text rendering.
 
+use crate::pipeline::CalibrationResult;
 use analysis::addr_class::Table4;
+use analysis::baseline::PrecisionRecall;
 use analysis::coverage::{CoverageReport, Fig6};
 use analysis::distance::{Fig11, Table7};
 use analysis::graph::ClusterSummary;
@@ -8,8 +10,6 @@ use analysis::port_alloc::{AsStrategyMix, Table6};
 use analysis::stats::Histogram;
 use analysis::stun_class::StunDistribution;
 use analysis::timeouts::Fig12;
-use analysis::baseline::PrecisionRecall;
-use crate::pipeline::CalibrationResult;
 use netcore::{AsId, ReservedRange};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -187,10 +187,17 @@ pub struct StudyReport {
     pub fig13b: Fig13b,
     pub scoring: Scoring,
     pub compliance: ComplianceCensus,
+    /// Present when the study also ran the operator-side dimensioning
+    /// sweep (`StudyConfig::dimensioning`).
+    pub dimensioning: Option<crate::dimensioning::DimensioningReport>,
 }
 
 fn hbar(out: &mut String, title: &str) {
-    let _ = writeln!(out, "\n==== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+    let _ = writeln!(
+        out,
+        "\n==== {title} {}",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    );
 }
 
 impl StudyReport {
@@ -239,7 +246,11 @@ impl StudyReport {
         );
 
         hbar(&mut o, "Table 1 — address space reserved for internal use");
-        let _ = writeln!(o, "{:<18} {:<10} {:<6} {}", "Range", "Shorthand", "RFC", "Comments");
+        let _ = writeln!(
+            o,
+            "{:<18} {:<10} {:<6} Comments",
+            "Range", "Shorthand", "RFC"
+        );
         for r in ReservedRange::ALL {
             let comment = match r {
                 ReservedRange::R192 => "commonly used in CPE",
@@ -258,7 +269,11 @@ impl StudyReport {
 
         hbar(&mut o, "Table 2 — DHT crawl volumes");
         let t = &self.table2;
-        let _ = writeln!(o, "{:<12} {:>10} {:>12} {:>8}", "", "Peers", "Unique IPs", "ASes");
+        let _ = writeln!(
+            o,
+            "{:<12} {:>10} {:>12} {:>8}",
+            "", "Peers", "Unique IPs", "ASes"
+        );
         let _ = writeln!(
             o,
             "{:<12} {:>10} {:>12} {:>8}",
@@ -277,7 +292,10 @@ impl StudyReport {
             t.queries_sent
         );
 
-        hbar(&mut o, "Table 3 — internal peers and leaking peers per range");
+        hbar(
+            &mut o,
+            "Table 3 — internal peers and leaking peers per range",
+        );
         let _ = writeln!(
             o,
             "{:<6} {:>14} {:>14} {:>14} {:>14} {:>8}",
@@ -315,7 +333,10 @@ impl StudyReport {
             }
         }
 
-        hbar(&mut o, "Fig 4 — largest cluster per AS and range (boundary: >=5 ext, >=5 int)");
+        hbar(
+            &mut o,
+            "Fig 4 — largest cluster per AS and range (boundary: >=5 ext, >=5 int)",
+        );
         let positive = self.fig4.iter().filter(|p| p.positive).count();
         let _ = writeln!(
             o,
@@ -327,7 +348,13 @@ impl StudyReport {
         for range in ReservedRange::ALL {
             let pts: Vec<&Fig4Point> = self.fig4.iter().filter(|p| p.range == range).collect();
             let pos = pts.iter().filter(|p| p.positive).count();
-            let _ = writeln!(o, "  {:<5} {:>4} ASes with clusters, {:>3} positive", range.shorthand(), pts.len(), pos);
+            let _ = writeln!(
+                o,
+                "  {:<5} {:>4} ASes with clusters, {:>3} positive",
+                range.shorthand(),
+                pts.len(),
+                pos
+            );
         }
 
         hbar(&mut o, "DHT calibration (par. 4.1)");
@@ -345,16 +372,27 @@ impl StudyReport {
         for (l, p) in self.table4.cellular_dev.percentages() {
             let _ = writeln!(o, "  {l:<16} {p:5.1}%");
         }
-        let _ = writeln!(o, "non-cellular IPdev (N={}):", self.table4.noncellular_dev.n);
+        let _ = writeln!(
+            o,
+            "non-cellular IPdev (N={}):",
+            self.table4.noncellular_dev.n
+        );
         for (l, p) in self.table4.noncellular_dev.percentages() {
             let _ = writeln!(o, "  {l:<16} {p:5.1}%");
         }
-        let _ = writeln!(o, "non-cellular IPcpe (N={}):", self.table4.noncellular_cpe.n);
+        let _ = writeln!(
+            o,
+            "non-cellular IPcpe (N={}):",
+            self.table4.noncellular_cpe.n
+        );
         for (l, p) in self.table4.noncellular_cpe.percentages() {
             let _ = writeln!(o, "  {l:<16} {p:5.1}%");
         }
 
-        hbar(&mut o, "Fig 5 — Netalyzr non-cellular candidates (cutoff 0.4*N, N>=10)");
+        hbar(
+            &mut o,
+            "Fig 5 — Netalyzr non-cellular candidates (cutoff 0.4*N, N>=10)",
+        );
         let pos5 = self.fig5.iter().filter(|p| p.positive).count();
         let _ = writeln!(
             o,
@@ -397,7 +435,10 @@ impl StudyReport {
             );
         }
 
-        hbar(&mut o, "Fig 6 — per-RIR eyeball coverage and CGN penetration");
+        hbar(
+            &mut o,
+            "Fig 6 — per-RIR eyeball coverage and CGN penetration",
+        );
         let _ = writeln!(
             o,
             "{:<9} {:>10} {:>14} {:>18}",
@@ -410,25 +451,40 @@ impl StudyReport {
                 rir.name(),
                 self.fig6.coverage_pct.get(&rir).copied().unwrap_or(0.0),
                 self.fig6.positive_pct.get(&rir).copied().unwrap_or(0.0),
-                self.fig6.cellular_positive_pct.get(&rir).copied().unwrap_or(0.0)
+                self.fig6
+                    .cellular_positive_pct
+                    .get(&rir)
+                    .copied()
+                    .unwrap_or(0.0)
             );
         }
 
         hbar(&mut o, "Fig 7 — internal address space of detected CGNs");
         let _ = writeln!(o, "non-cellular: {:?}", self.fig7.noncellular);
         let _ = writeln!(o, "cellular:     {:?}", self.fig7.cellular);
-        let _ = writeln!(o, "routable-internal ASes: {:?}", self.fig7.routable_internal_ases);
+        let _ = writeln!(
+            o,
+            "routable-internal ASes: {:?}",
+            self.fig7.routable_internal_ases
+        );
 
-        hbar(&mut o, "Fig 8a — source ports seen by the server (bin = 4096)");
-        let _ = writeln!(o, "preserved sessions (OS ephemeral): {}", sparkline(&self.fig8a_preserved));
-        let _ = writeln!(o, "translated sessions (CGN):         {}", sparkline(&self.fig8a_translated));
+        hbar(
+            &mut o,
+            "Fig 8a — source ports seen by the server (bin = 4096)",
+        );
+        let _ = writeln!(
+            o,
+            "preserved sessions (OS ephemeral): {}",
+            sparkline(&self.fig8a_preserved)
+        );
+        let _ = writeln!(
+            o,
+            "translated sessions (CGN):         {}",
+            sparkline(&self.fig8a_translated)
+        );
 
         hbar(&mut o, "Fig 8b — port preservation per CPE model");
-        let preserving_models = self
-            .fig8b
-            .values()
-            .filter(|(n, p)| *p * 2 > *n)
-            .count();
+        let preserving_models = self.fig8b.values().filter(|(n, p)| *p * 2 > *n).count();
         let total_sessions: usize = self.fig8b.values().map(|(n, _)| n).sum();
         let preserved_sessions: usize = self
             .fig8b
@@ -464,8 +520,14 @@ impl StudyReport {
             }
         }
 
-        hbar(&mut o, "Fig 9 / Table 6 — port allocation strategies per CGN AS");
-        let render_mixes = |o: &mut String, label: &str, v: &[(AsId, AsStrategyMix)], t: &Table6| {
+        hbar(
+            &mut o,
+            "Fig 9 / Table 6 — port allocation strategies per CGN AS",
+        );
+        let render_mixes = |o: &mut String,
+                            label: &str,
+                            v: &[(AsId, AsStrategyMix)],
+                            t: &Table6| {
             let pure = v.iter().filter(|(_, m)| m.is_pure()).count();
             let _ = writeln!(
                 o,
@@ -474,8 +536,18 @@ impl StudyReport {
             );
             let _ = writeln!(o, "  chunked ASes: {:?}", t.chunked);
         };
-        render_mixes(&mut o, "non-cellular", &self.fig9.noncellular, &self.table6_noncellular);
-        render_mixes(&mut o, "cellular    ", &self.fig9.cellular, &self.table6_cellular);
+        render_mixes(
+            &mut o,
+            "non-cellular",
+            &self.fig9.noncellular,
+            &self.table6_noncellular,
+        );
+        render_mixes(
+            &mut o,
+            "cellular    ",
+            &self.fig9.cellular,
+            &self.table6_cellular,
+        );
         let _ = writeln!(
             o,
             "IP pooling: {} of {} CGN ASes show arbitrary pooling ({:.0}%, paper: 21%)",
@@ -494,8 +566,10 @@ impl StudyReport {
         hbar(&mut o, "Fig 11 — most distant NAT per AS");
         for (group, counts) in &self.fig11.per_group {
             let total: usize = counts.iter().sum();
-            let bars: Vec<String> =
-                counts.iter().map(|c| format!("{:.0}", 100.0 * *c as f64 / total.max(1) as f64)).collect();
+            let bars: Vec<String> = counts
+                .iter()
+                .map(|c| format!("{:.0}", 100.0 * *c as f64 / total.max(1) as f64))
+                .collect();
             let _ = writeln!(o, "  {group:<22} hops 1..10+: [{}]%", bars.join(" "));
         }
 
@@ -507,9 +581,21 @@ impl StudyReport {
             ),
             None => "(no data)".to_string(),
         };
-        let _ = writeln!(o, "  cellular CGN (per AS):     {}", bp(&self.fig12.cellular_cgn_per_as));
-        let _ = writeln!(o, "  non-cellular CGN (per AS): {}", bp(&self.fig12.noncellular_cgn_per_as));
-        let _ = writeln!(o, "  CPE (per session):         {}", bp(&self.fig12.cpe_per_session));
+        let _ = writeln!(
+            o,
+            "  cellular CGN (per AS):     {}",
+            bp(&self.fig12.cellular_cgn_per_as)
+        );
+        let _ = writeln!(
+            o,
+            "  non-cellular CGN (per AS): {}",
+            bp(&self.fig12.noncellular_cgn_per_as)
+        );
+        let _ = writeln!(
+            o,
+            "  CPE (per session):         {}",
+            bp(&self.fig12.cpe_per_session)
+        );
 
         hbar(&mut o, "Fig 13 — STUN mapping types");
         let dist = |d: &StunDistribution| {
@@ -520,8 +606,16 @@ impl StudyReport {
                 .join(" | ")
         };
         let _ = writeln!(o, "  CPE sessions (13a):        {}", dist(&self.fig13a));
-        let _ = writeln!(o, "  non-cellular CGN ASes:     {}", dist(&self.fig13b.noncellular));
-        let _ = writeln!(o, "  cellular CGN ASes:         {}", dist(&self.fig13b.cellular));
+        let _ = writeln!(
+            o,
+            "  non-cellular CGN ASes:     {}",
+            dist(&self.fig13b.noncellular)
+        );
+        let _ = writeln!(
+            o,
+            "  cellular CGN ASes:         {}",
+            dist(&self.fig13b.cellular)
+        );
 
         hbar(&mut o, "IETF compliance of detected CGNs (par. 7)");
         let cc = &self.compliance;
@@ -547,11 +641,28 @@ impl StudyReport {
         };
         let _ = writeln!(o, "  BT paper (5x5 clusters):   {}", pr(&s.bt_paper));
         let _ = writeln!(o, "  BT any-leak baseline:      {}", pr(&s.bt_any_leak));
-        let _ = writeln!(o, "  BT 2x2-cluster baseline:   {}", pr(&s.bt_low_threshold));
-        let _ = writeln!(o, "  NZ non-cellular paper:     {}", pr(&s.nz_noncellular_paper));
+        let _ = writeln!(
+            o,
+            "  BT 2x2-cluster baseline:   {}",
+            pr(&s.bt_low_threshold)
+        );
+        let _ = writeln!(
+            o,
+            "  NZ non-cellular paper:     {}",
+            pr(&s.nz_noncellular_paper)
+        );
         let _ = writeln!(o, "  NZ any-mismatch baseline:  {}", pr(&s.nz_any_mismatch));
-        let _ = writeln!(o, "  NZ cellular paper:         {}", pr(&s.nz_cellular_paper));
+        let _ = writeln!(
+            o,
+            "  NZ cellular paper:         {}",
+            pr(&s.nz_cellular_paper)
+        );
         let _ = writeln!(o, "  BT ∪ NZ (paper):           {}", pr(&s.union_paper));
+
+        if let Some(dim) = &self.dimensioning {
+            hbar(&mut o, "Dimensioning — operator-side port demand");
+            o.push_str(&dim.render());
+        }
 
         o
     }

@@ -11,10 +11,12 @@ use analysis::graph::LeakGraph;
 use analysis::nz_detect::{NzCellularDetector, NzNonCellularDetector};
 use analysis::obs::SessionObs;
 use analysis::port_alloc::{
-    arbitrary_pooling_ases, fig8a_histograms, fig8b_cpe_preservation, strategy_mix_per_as,
-    table6, ChunkDetector, PortClassifier,
+    arbitrary_pooling_ases, fig8a_histograms, fig8b_cpe_preservation, strategy_mix_per_as, table6,
+    ChunkDetector, PortClassifier,
 };
-use analysis::stun_class::{distribution_over_ases, fig13a_cpe_sessions, fig13b_most_permissive_per_as};
+use analysis::stun_class::{
+    distribution_over_ases, fig13a_cpe_sessions, fig13b_most_permissive_per_as,
+};
 use analysis::timeouts::fig12;
 use netcore::{AsId, ReservedRange};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -32,10 +34,18 @@ pub fn assemble(art: &StudyArtifacts) -> StudyReport {
     let bt_positive = bt_det.positive_ases();
 
     let as_of = |ip: std::net::Ipv4Addr| routing.origin_of(ip);
-    let queried_ases: BTreeSet<AsId> =
-        art.crawl.queried.iter().filter_map(|(e, _)| as_of(e.ip)).collect();
-    let learned_ases: BTreeSet<AsId> =
-        art.crawl.learned.iter().filter_map(|(e, _)| as_of(e.ip)).collect();
+    let queried_ases: BTreeSet<AsId> = art
+        .crawl
+        .queried
+        .iter()
+        .filter_map(|(e, _)| as_of(e.ip))
+        .collect();
+    let learned_ases: BTreeSet<AsId> = art
+        .crawl
+        .learned
+        .iter()
+        .filter_map(|(e, _)| as_of(e.ip))
+        .collect();
     let table2 = Table2 {
         queried_peers: art.crawl.queried.len(),
         queried_ips: art.crawl.queried_unique_ips(),
@@ -81,7 +91,10 @@ pub fn assemble(art: &StudyArtifacts) -> StudyReport {
             .values()
             .max_by_key(|c| (c.external_ips, c.internal_ips))
             .copied()
-            .unwrap_or(analysis::graph::ClusterSummary { external_ips: 0, internal_ips: 0 });
+            .unwrap_or(analysis::graph::ClusterSummary {
+                external_ips: 0,
+                internal_ips: 0,
+            });
         let ex = Fig3Example {
             as_id: *as_id,
             leakers: a.leaking_ips,
@@ -89,7 +102,11 @@ pub fn assemble(art: &StudyArtifacts) -> StudyReport {
             largest,
         };
         if largest.external_ips <= 1 {
-            if fig3_isolated.as_ref().map(|e| e.leakers < ex.leakers).unwrap_or(true) {
+            if fig3_isolated
+                .as_ref()
+                .map(|e| e.leakers < ex.leakers)
+                .unwrap_or(true)
+            {
                 fig3_isolated = Some(ex);
             }
         } else if a.cgn_positive
@@ -168,13 +185,19 @@ pub fn assemble(art: &StudyArtifacts) -> StudyReport {
         .filter_map(|s| s.as_id)
         .collect();
     let nz_nc_cov = MethodCoverage {
-        covered: nz_nc_covered.union(&nz_noncellular_positive).copied().collect(),
+        covered: nz_nc_covered
+            .union(&nz_noncellular_positive)
+            .copied()
+            .collect(),
         positive: nz_noncellular_positive.clone(),
     };
 
     let nz_cell_covered: BTreeSet<AsId> = nz_cell.keys().copied().collect();
     let nz_cell_cov = MethodCoverage {
-        covered: nz_cell_covered.union(&nz_cellular_positive).copied().collect(),
+        covered: nz_cell_covered
+            .union(&nz_cellular_positive)
+            .copied()
+            .collect(),
         positive: nz_cellular_positive.clone(),
     };
 
@@ -244,8 +267,16 @@ pub fn assemble(art: &StudyArtifacts) -> StudyReport {
         if labels.is_empty() {
             continue;
         }
-        let key = if labels.len() > 1 { "multiple".to_string() } else { labels.iter().next().expect("nonempty").clone() };
-        let bucket = if is_cellular(*a) { &mut fig7.cellular } else { &mut fig7.noncellular };
+        let key = if labels.len() > 1 {
+            "multiple".to_string()
+        } else {
+            labels.iter().next().expect("nonempty").clone()
+        };
+        let bucket = if is_cellular(*a) {
+            &mut fig7.cellular
+        } else {
+            &mut fig7.noncellular
+        };
         *bucket.entry(key).or_insert(0) += 1;
         for l in &labels {
             if l.starts_with("routable") {
@@ -263,8 +294,7 @@ pub fn assemble(art: &StudyArtifacts) -> StudyReport {
 
     let noncell_sessions: Vec<SessionObs> =
         sessions.iter().filter(|s| !s.cellular).cloned().collect();
-    let cell_sessions: Vec<SessionObs> =
-        sessions.iter().filter(|s| s.cellular).cloned().collect();
+    let cell_sessions: Vec<SessionObs> = sessions.iter().filter(|s| s.cellular).cloned().collect();
     let mixes_noncell = strategy_mix_per_as(&noncell_sessions, &classifier, is_cgn);
     let mixes_cell = strategy_mix_per_as(&cell_sessions, &classifier, is_cgn);
 
@@ -344,11 +374,14 @@ pub fn assemble(art: &StudyArtifacts) -> StudyReport {
         .collect();
     let nz_nc_universe: BTreeSet<AsId> = nz_noncell.keys().copied().collect();
     let union_detected: BTreeSet<AsId> = all_positive.clone();
-    let union_universe: BTreeSet<AsId> =
-        bt_cov.covered.union(&nz_nc_cov.covered).copied().collect::<BTreeSet<_>>()
-            .union(&nz_cell_cov.covered)
-            .copied()
-            .collect();
+    let union_universe: BTreeSet<AsId> = bt_cov
+        .covered
+        .union(&nz_nc_cov.covered)
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .union(&nz_cell_cov.covered)
+        .copied()
+        .collect();
     let scoring = Scoring {
         truth_cgn_ases: truth.len(),
         bt_paper: baseline::score(&bt_positive, &truth, &bt_cov.covered),
@@ -457,6 +490,9 @@ pub fn assemble(art: &StudyArtifacts) -> StudyReport {
         },
         scoring,
         compliance,
+        // The dimensioning sweep is attached by `pipeline::run_study`
+        // when the study config requests it.
+        dimensioning: None,
     }
 }
 

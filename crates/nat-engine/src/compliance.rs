@@ -129,9 +129,7 @@ pub fn check(config: &NatConfig) -> ComplianceReport {
     }
     let budget = match config.port_alloc {
         crate::config::PortAllocation::RandomChunk { chunk_size } => chunk_size as u32,
-        _ => config
-            .max_sessions_per_host
-            .unwrap_or(u32::MAX),
+        _ => config.max_sessions_per_host.unwrap_or(u32::MAX),
     };
     if budget < 1024 {
         violations.push(Requirement::Rfc6888AdequatePortBudget);
@@ -146,8 +144,7 @@ pub fn violation_census<'a>(
 ) -> (usize, usize, Vec<(Requirement, usize)>) {
     let mut total = 0;
     let mut noncompliant = 0;
-    let mut counts: Vec<(Requirement, usize)> =
-        Requirement::ALL.iter().map(|r| (*r, 0)).collect();
+    let mut counts: Vec<(Requirement, usize)> = Requirement::ALL.iter().map(|r| (*r, 0)).collect();
     for cfg in configs {
         total += 1;
         let rep = check(cfg);

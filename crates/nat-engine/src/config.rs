@@ -94,7 +94,7 @@ impl StunNatType {
 }
 
 /// Full behavioural configuration of one NAT device.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NatConfig {
     pub mapping: MappingBehavior,
     pub filtering: FilteringBehavior,
@@ -254,7 +254,10 @@ mod tests {
     fn cascade_takes_most_restrictive() {
         use StunNatType::*;
         assert_eq!(FullCone.combine_cascade(Symmetric), Symmetric);
-        assert_eq!(PortAddressRestricted.combine_cascade(AddressRestricted), PortAddressRestricted);
+        assert_eq!(
+            PortAddressRestricted.combine_cascade(AddressRestricted),
+            PortAddressRestricted
+        );
         assert_eq!(FullCone.combine_cascade(FullCone), FullCone);
     }
 

@@ -35,5 +35,5 @@ pub use compliance::{check as check_compliance, ComplianceReport, Requirement};
 pub use config::{
     FilteringBehavior, MappingBehavior, NatConfig, Pooling, PortAllocation, StunNatType,
 };
-pub use nat::{DropReason, Mapping, Nat, NatStats, NatVerdict};
+pub use nat::{DropReason, Mapping, Nat, NatStats, NatVerdict, PortOccupancy};
 pub use ports::PortAllocator;

@@ -18,6 +18,7 @@ use crate::ports::{PortAllocator, PortError};
 use netcore::{Endpoint, Packet, PacketBody, Protocol, SimDuration, SimTime, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
@@ -93,13 +94,16 @@ pub enum DropReason {
 }
 
 /// Observable counters.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NatStats {
     pub out_packets: u64,
     pub in_packets: u64,
     pub hairpins: u64,
     pub mappings_created: u64,
     pub mappings_expired: u64,
+    /// High-water mark of concurrent mappings — the state-table size a
+    /// real CGN must provision for (the dimensioning question of §6.2).
+    pub peak_mappings: u64,
     pub drops: u64,
     pub drop_no_mapping: u64,
     pub drop_filtered: u64,
@@ -110,6 +114,29 @@ pub struct NatStats {
 }
 
 impl NatStats {
+    /// Fold another device's counters into this one (used when several
+    /// CGN instances serve one subscriber population). All counters
+    /// add, including `peak_mappings`: instances hold disjoint state
+    /// tables, so the sum of per-device peaks is a conservative upper
+    /// bound on fleet-wide concurrent state (per-device peaks need not
+    /// coincide in time; the sampled demand series gives the exact
+    /// simultaneous peak).
+    pub fn merge(&mut self, other: &NatStats) {
+        self.out_packets += other.out_packets;
+        self.in_packets += other.in_packets;
+        self.hairpins += other.hairpins;
+        self.mappings_created += other.mappings_created;
+        self.mappings_expired += other.mappings_expired;
+        self.peak_mappings += other.peak_mappings;
+        self.drops += other.drops;
+        self.drop_no_mapping += other.drop_no_mapping;
+        self.drop_filtered += other.drop_filtered;
+        self.drop_port_exhausted += other.drop_port_exhausted;
+        self.drop_session_limit += other.drop_session_limit;
+        self.drop_no_hairpin += other.drop_no_hairpin;
+        self.drop_unmatched_icmp += other.drop_unmatched_icmp;
+    }
+
     fn record_drop(&mut self, r: DropReason) {
         self.drops += 1;
         match r {
@@ -132,6 +159,22 @@ enum OutKey {
     Adm(Protocol, Endpoint, Ipv4Addr),
     /// Address-and-port-dependent (symmetric): plus destination endpoint.
     Apdm(Protocol, Endpoint, Endpoint),
+}
+
+/// Fill level of one (external IP, protocol) port allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortOccupancy {
+    pub ext_ip: Ipv4Addr,
+    pub proto: Protocol,
+    pub allocated: usize,
+    pub capacity: usize,
+}
+
+impl PortOccupancy {
+    /// Fraction of the port range in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        self.allocated as f64 / self.capacity.max(1) as f64
+    }
 }
 
 /// A NAT device instance.
@@ -159,7 +202,10 @@ impl Nat {
     ///
     /// Panics if `external_ips` is empty.
     pub fn new(config: NatConfig, external_ips: Vec<Ipv4Addr>, seed: u64) -> Self {
-        assert!(!external_ips.is_empty(), "NAT needs at least one external IP");
+        assert!(
+            !external_ips.is_empty(),
+            "NAT needs at least one external IP"
+        );
         Nat {
             config,
             external_ips,
@@ -206,11 +252,47 @@ impl Nat {
     /// Current external endpoint for an internal endpoint, if an unexpired
     /// endpoint-independent-style view exists. Test/diagnostic helper: for
     /// symmetric NATs there may be several; this returns any one.
-    pub fn external_for(&self, proto: Protocol, internal: Endpoint, now: SimTime) -> Option<Endpoint> {
+    pub fn external_for(
+        &self,
+        proto: Protocol,
+        internal: Endpoint,
+        now: SimTime,
+    ) -> Option<Endpoint> {
         self.mappings
             .values()
             .find(|m| m.proto == proto && m.internal == internal && !m.expired(now))
             .map(|m| m.external)
+    }
+
+    /// Unexpired-mapping count per internal host at `now` — the
+    /// ports-per-subscriber observable that drives port-demand
+    /// dimensioning (one external port is held per mapping).
+    pub fn ports_by_host(&self, now: SimTime) -> HashMap<Ipv4Addr, u32> {
+        let mut out: HashMap<Ipv4Addr, u32> = HashMap::new();
+        for m in self.mappings.values() {
+            if !m.expired(now) {
+                *out.entry(m.internal.ip).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Allocator fill level per (external IP, protocol), sorted for
+    /// deterministic iteration. `allocated` counts ports currently held
+    /// (including ones whose mapping is stale but unswept).
+    pub fn port_occupancy(&self) -> Vec<PortOccupancy> {
+        let mut out: Vec<PortOccupancy> = self
+            .allocators
+            .iter()
+            .map(|((ip, proto), a)| PortOccupancy {
+                ext_ip: *ip,
+                proto: *proto,
+                allocated: a.allocated(),
+                capacity: a.capacity(),
+            })
+            .collect();
+        out.sort_by_key(|o| (o.ext_ip, o.proto));
+        out
     }
 
     /// Remove all mappings whose idle timer has run out.
@@ -278,7 +360,11 @@ impl Nat {
         }
     }
 
-    fn tcp_update(state: Option<TcpConnState>, flags: TcpFlags, from_inside: bool) -> Option<TcpConnState> {
+    fn tcp_update(
+        state: Option<TcpConnState>,
+        flags: TcpFlags,
+        from_inside: bool,
+    ) -> Option<TcpConnState> {
         let _ = from_inside;
         Some(match (state, flags) {
             (_, f) if f.rst || f.fin => TcpConnState::Closing,
@@ -367,7 +453,11 @@ impl Nat {
         now: SimTime,
     ) -> Result<u64, DropReason> {
         if let Some(cap) = self.config.max_sessions_per_host {
-            let used = self.sessions_per_host.get(&internal.ip).copied().unwrap_or(0);
+            let used = self
+                .sessions_per_host
+                .get(&internal.ip)
+                .copied()
+                .unwrap_or(0);
             if used >= cap {
                 return Err(DropReason::SessionLimit);
             }
@@ -411,6 +501,7 @@ impl Nat {
         self.ext_index.insert((proto, external), id);
         *self.sessions_per_host.entry(internal.ip).or_insert(0) += 1;
         self.stats.mappings_created += 1;
+        self.stats.peak_mappings = self.stats.peak_mappings.max(self.mappings.len() as u64);
         Ok(id)
     }
 
@@ -463,9 +554,7 @@ impl Nat {
         let m = &self.mappings[&id];
         match self.config.filtering {
             FilteringBehavior::EndpointIndependent => true,
-            FilteringBehavior::AddressDependent => {
-                m.contacted.iter().any(|e| e.ip == remote.ip)
-            }
+            FilteringBehavior::AddressDependent => m.contacted.iter().any(|e| e.ip == remote.ip),
             FilteringBehavior::AddressAndPortDependent => m.contacted.contains(&remote),
         }
     }
@@ -531,7 +620,10 @@ impl Nat {
                 let m = &self.mappings[id];
                 let mut delivered = pkt;
                 delivered.dst = Endpoint::new(m.internal.ip, 0);
-                if let PacketBody::Icmp { original_src: os, .. } = &mut delivered.body {
+                if let PacketBody::Icmp {
+                    original_src: os, ..
+                } = &mut delivered.body
+                {
                     *os = m.internal;
                 }
                 return NatVerdict::Forward(delivered);
@@ -560,7 +652,11 @@ mod tests {
     }
 
     fn pool() -> Vec<Ipv4Addr> {
-        vec![ip(198, 51, 100, 1), ip(198, 51, 100, 2), ip(198, 51, 100, 3)]
+        vec![
+            ip(198, 51, 100, 1),
+            ip(198, 51, 100, 2),
+            ip(198, 51, 100, 3),
+        ]
     }
 
     fn nat(config: NatConfig) -> Nat {
@@ -612,10 +708,20 @@ mod tests {
         let mut n = nat(cfg);
         let a = udp_out(&mut n, internal_host(1), server(), t(0));
         // Same IP, different port: reuse.
-        let b = udp_out(&mut n, internal_host(1), Endpoint::new(server().ip, 1234), t(0));
+        let b = udp_out(
+            &mut n,
+            internal_host(1),
+            Endpoint::new(server().ip, 1234),
+            t(0),
+        );
         assert_eq!(a.src, b.src);
         // Different IP: new mapping.
-        let c = udp_out(&mut n, internal_host(1), Endpoint::new(ip(203, 0, 113, 99), 8000), t(0));
+        let c = udp_out(
+            &mut n,
+            internal_host(1),
+            Endpoint::new(ip(203, 0, 113, 99), 8000),
+            t(0),
+        );
         assert_ne!(a.src, c.src);
     }
 
@@ -652,10 +758,16 @@ mod tests {
         let out = udp_out(&mut n, internal_host(1), server(), t(0));
         // Same IP, different port: admitted.
         let same_ip = Packet::udp(Endpoint::new(server().ip, 999), out.src, vec![]);
-        assert!(matches!(n.process_inbound(same_ip, t(1)), NatVerdict::Forward(_)));
+        assert!(matches!(
+            n.process_inbound(same_ip, t(1)),
+            NatVerdict::Forward(_)
+        ));
         // Different IP: filtered.
         let stranger = Packet::udp(Endpoint::new(ip(9, 9, 9, 9), 8000), out.src, vec![]);
-        assert_eq!(n.process_inbound(stranger, t(1)), NatVerdict::Drop(DropReason::Filtered));
+        assert_eq!(
+            n.process_inbound(stranger, t(1)),
+            NatVerdict::Drop(DropReason::Filtered)
+        );
     }
 
     #[test]
@@ -663,7 +775,10 @@ mod tests {
         let mut n = nat(NatConfig::cgn_default()); // APDF by default
         let out = udp_out(&mut n, internal_host(1), server(), t(0));
         let exact = Packet::udp(server(), out.src, vec![]);
-        assert!(matches!(n.process_inbound(exact, t(1)), NatVerdict::Forward(_)));
+        assert!(matches!(
+            n.process_inbound(exact, t(1)),
+            NatVerdict::Forward(_)
+        ));
         let same_ip_other_port = Packet::udp(Endpoint::new(server().ip, 999), out.src, vec![]);
         assert_eq!(
             n.process_inbound(same_ip_other_port, t(1)),
@@ -677,9 +792,15 @@ mod tests {
         let out = udp_out(&mut n, internal_host(1), server(), t(0));
         // Just before expiry: inbound passes (and refreshes).
         let back = Packet::udp(server(), out.src, vec![]);
-        assert!(matches!(n.process_inbound(back.clone(), t(59)), NatVerdict::Forward(_)));
+        assert!(matches!(
+            n.process_inbound(back.clone(), t(59)),
+            NatVerdict::Forward(_)
+        ));
         // 59 + 60 = 119 s is the refreshed deadline; at 120 s it is gone.
-        assert_eq!(n.process_inbound(back, t(120)), NatVerdict::Drop(DropReason::NoMapping));
+        assert_eq!(
+            n.process_inbound(back, t(120)),
+            NatVerdict::Drop(DropReason::NoMapping)
+        );
     }
 
     #[test]
@@ -701,9 +822,15 @@ mod tests {
         let mut n = nat(cfg);
         let out = udp_out(&mut n, internal_host(1), server(), t(0));
         let back = Packet::udp(server(), out.src, vec![]);
-        assert!(matches!(n.process_inbound(back.clone(), t(30)), NatVerdict::Forward(_)));
+        assert!(matches!(
+            n.process_inbound(back.clone(), t(30)),
+            NatVerdict::Forward(_)
+        ));
         // Inbound at 30 s did not refresh; the mapping dies at 60 s.
-        assert_eq!(n.process_inbound(back, t(61)), NatVerdict::Drop(DropReason::NoMapping));
+        assert_eq!(
+            n.process_inbound(back, t(61)),
+            NatVerdict::Drop(DropReason::NoMapping)
+        );
     }
 
     #[test]
@@ -730,7 +857,11 @@ mod tests {
             };
             ips.insert(p.src.ip);
         }
-        assert_eq!(ips.len(), 1, "paired pooling must keep one external IP per host");
+        assert_eq!(
+            ips.len(),
+            1,
+            "paired pooling must keep one external IP per host"
+        );
     }
 
     #[test]
@@ -749,7 +880,10 @@ mod tests {
             };
             ips.insert(p.src.ip);
         }
-        assert!(ips.len() > 1, "arbitrary pooling should use several pool IPs");
+        assert!(
+            ips.len() > 1,
+            "arbitrary pooling should use several pool IPs"
+        );
     }
 
     #[test]
@@ -791,7 +925,11 @@ mod tests {
         let a_pkt = Packet::udp(internal_host(1), b_out, vec![7]);
         match n.process_outbound(a_pkt, t(1)) {
             NatVerdict::Hairpin(p) => {
-                assert_eq!(p.dst, internal_host(2), "hairpin must reach B's internal endpoint");
+                assert_eq!(
+                    p.dst,
+                    internal_host(2),
+                    "hairpin must reach B's internal endpoint"
+                );
                 // cgn_default leaves the internal source in place — the
                 // §4.1 leak channel: B learns A's internal endpoint.
                 assert_eq!(p.src, internal_host(1));
@@ -811,7 +949,10 @@ mod tests {
         let a_pkt = Packet::udp(internal_host(1), b_out, vec![7]);
         match n.process_outbound(a_pkt, t(1)) {
             NatVerdict::Hairpin(p) => {
-                assert!(n.is_external_ip(p.src.ip), "source must be the external mapping");
+                assert!(
+                    n.is_external_ip(p.src.ip),
+                    "source must be the external mapping"
+                );
                 assert_ne!(p.src, internal_host(1));
             }
             v => panic!("expected hairpin, got {v:?}"),
@@ -825,7 +966,10 @@ mod tests {
         let mut n = nat(cfg);
         let b_ext = udp_out(&mut n, internal_host(2), server(), t(0)).src;
         let a_pkt = Packet::udp(internal_host(1), b_ext, vec![]);
-        assert_eq!(n.process_outbound(a_pkt, t(1)), NatVerdict::Drop(DropReason::NoHairpin));
+        assert_eq!(
+            n.process_outbound(a_pkt, t(1)),
+            NatVerdict::Drop(DropReason::NoHairpin)
+        );
     }
 
     #[test]
@@ -840,13 +984,22 @@ mod tests {
         };
         // SYN-ACK in.
         let synack = Packet::tcp(server(), out.src, TcpFlags::SYN_ACK, vec![]);
-        assert!(matches!(n.process_inbound(synack, t(0)), NatVerdict::Forward(_)));
+        assert!(matches!(
+            n.process_inbound(synack, t(0)),
+            NatVerdict::Forward(_)
+        ));
         // ACK out completes the handshake.
         let ack = Packet::tcp(src, server(), TcpFlags::ACK, vec![]);
-        assert!(matches!(n.process_outbound(ack, t(0)), NatVerdict::Forward(_)));
+        assert!(matches!(
+            n.process_outbound(ack, t(0)),
+            NatVerdict::Forward(_)
+        ));
         // Hours later (beyond transitory & UDP timeouts) the mapping lives.
         let data = Packet::tcp(server(), out.src, TcpFlags::ACK, vec![1]);
-        assert!(matches!(n.process_inbound(data, t(3600)), NatVerdict::Forward(_)));
+        assert!(matches!(
+            n.process_inbound(data, t(3600)),
+            NatVerdict::Forward(_)
+        ));
     }
 
     #[test]
@@ -859,19 +1012,26 @@ mod tests {
         };
         // Handshake never completes; at 241 s inbound finds no state.
         let synack = Packet::tcp(server(), out.src, TcpFlags::SYN_ACK, vec![]);
-        assert_eq!(n.process_inbound(synack, t(241)), NatVerdict::Drop(DropReason::NoMapping));
+        assert_eq!(
+            n.process_inbound(synack, t(241)),
+            NatVerdict::Drop(DropReason::NoMapping)
+        );
     }
 
     #[test]
     fn tcp_fin_moves_to_transitory_timeout() {
         let mut n = nat(NatConfig::cgn_default());
         let src = internal_host(1);
-        let out = match n.process_outbound(Packet::tcp(src, server(), TcpFlags::SYN, vec![]), t(0)) {
+        let out = match n.process_outbound(Packet::tcp(src, server(), TcpFlags::SYN, vec![]), t(0))
+        {
             NatVerdict::Forward(p) => p,
             v => panic!("{v:?}"),
         };
         assert!(matches!(
-            n.process_inbound(Packet::tcp(server(), out.src, TcpFlags::SYN_ACK, vec![]), t(0)),
+            n.process_inbound(
+                Packet::tcp(server(), out.src, TcpFlags::SYN_ACK, vec![]),
+                t(0)
+            ),
             NatVerdict::Forward(_)
         ));
         assert!(matches!(
@@ -884,7 +1044,10 @@ mod tests {
             NatVerdict::Forward(_)
         ));
         let late = Packet::tcp(server(), out.src, TcpFlags::ACK, vec![]);
-        assert_eq!(n.process_inbound(late, t(10 + 241)), NatVerdict::Drop(DropReason::NoMapping));
+        assert_eq!(
+            n.process_inbound(late, t(10 + 241)),
+            NatVerdict::Drop(DropReason::NoMapping)
+        );
     }
 
     #[test]
@@ -904,7 +1067,10 @@ mod tests {
         // Re-point at an external destination as a router inside would.
         let mut icmp_to_server = icmp;
         icmp_to_server.dst = server();
-        assert!(matches!(n.process_outbound(icmp_to_server, t(0)), NatVerdict::Forward(_)));
+        assert!(matches!(
+            n.process_outbound(icmp_to_server, t(0)),
+            NatVerdict::Forward(_)
+        ));
     }
 
     #[test]
@@ -912,7 +1078,8 @@ mod tests {
         let mut n = nat(NatConfig::cgn_default());
         let out = udp_out(&mut n, internal_host(1), server(), t(0));
         // A router near the server reports TTL exceeded for the translated flow.
-        let mut icmp = Packet::udp(out.src, server(), vec![]).ttl_exceeded_reply(ip(203, 0, 113, 1));
+        let mut icmp =
+            Packet::udp(out.src, server(), vec![]).ttl_exceeded_reply(ip(203, 0, 113, 1));
         icmp.dst = out.src; // routed back to the external endpoint
         match n.process_inbound(icmp, t(1)) {
             NatVerdict::Forward(p) => assert_eq!(p.dst.ip, internal_host(1).ip),
@@ -926,7 +1093,10 @@ mod tests {
         let mut icmp = Packet::udp(Endpoint::new(ip(198, 51, 100, 1), 1234), server(), vec![])
             .ttl_exceeded_reply(ip(203, 0, 113, 1));
         icmp.dst = Endpoint::new(ip(198, 51, 100, 1), 1234);
-        assert_eq!(n.process_inbound(icmp, t(0)), NatVerdict::Drop(DropReason::UnmatchedIcmp));
+        assert_eq!(
+            n.process_inbound(icmp, t(0)),
+            NatVerdict::Drop(DropReason::UnmatchedIcmp)
+        );
     }
 
     #[test]
@@ -971,12 +1141,21 @@ mod tests {
         assert_eq!(out.src, protected, "no translation");
         // Solicited inbound passes.
         let back = Packet::udp(server(), protected, vec![]);
-        assert!(matches!(n.process_inbound(back.clone(), t(1)), NatVerdict::Forward(_)));
+        assert!(matches!(
+            n.process_inbound(back.clone(), t(1)),
+            NatVerdict::Forward(_)
+        ));
         // Unsolicited source is filtered.
         let stranger = Packet::udp(Endpoint::new(ip(9, 9, 9, 9), 1), protected, vec![]);
-        assert_eq!(n.process_inbound(stranger, t(1)), NatVerdict::Drop(DropReason::Filtered));
+        assert_eq!(
+            n.process_inbound(stranger, t(1)),
+            NatVerdict::Drop(DropReason::Filtered)
+        );
         // State expires like any NAT mapping.
-        assert_eq!(n.process_inbound(back, t(120)), NatVerdict::Drop(DropReason::NoMapping));
+        assert_eq!(
+            n.process_inbound(back, t(120)),
+            NatVerdict::Drop(DropReason::NoMapping)
+        );
     }
 
     #[test]
@@ -987,6 +1166,9 @@ mod tests {
             n.external_for(Protocol::Udp, internal_host(1), t(1)),
             Some(p.src)
         );
-        assert_eq!(n.external_for(Protocol::Udp, internal_host(1), t(120)), None);
+        assert_eq!(
+            n.external_for(Protocol::Udp, internal_host(1), t(120)),
+            None
+        );
     }
 }

@@ -105,11 +105,14 @@ impl PortAllocator {
         }
         // Collision (or out of range): sequential scan upward from the
         // wanted port, wrapping once — "an alternate port must be chosen".
-        let start = if self.in_range(wanted) { wanted } else { self.range.0 };
+        let start = if self.in_range(wanted) {
+            wanted
+        } else {
+            self.range.0
+        };
         let span = self.capacity() as u32;
         for off in 1..=span {
-            let p = self.range.0
-                + (((start - self.range.0) as u32 + off) % span) as u16;
+            let p = self.range.0 + (((start - self.range.0) as u32 + off) % span) as u16;
             if self.in_use.insert(p) {
                 return Ok(p);
             }
@@ -120,10 +123,13 @@ impl PortAllocator {
     fn alloc_sequential(&mut self) -> Result<u16, PortError> {
         let span = self.capacity() as u32;
         for off in 0..span {
-            let p = self.range.0
-                + (((self.next_seq - self.range.0) as u32 + off) % span) as u16;
+            let p = self.range.0 + (((self.next_seq - self.range.0) as u32 + off) % span) as u16;
             if self.in_use.insert(p) {
-                self.next_seq = if p == self.range.1 { self.range.0 } else { p + 1 };
+                self.next_seq = if p == self.range.1 {
+                    self.range.0
+                } else {
+                    p + 1
+                };
                 return Ok(p);
             }
         }
@@ -165,8 +171,9 @@ impl PortAllocator {
             Some(c) => *c,
             None => {
                 // Pick a random free chunk for this subscriber.
-                let free: Vec<u16> =
-                    (0..n_chunks).filter(|c| !self.chunks_taken.contains(c)).collect();
+                let free: Vec<u16> = (0..n_chunks)
+                    .filter(|c| !self.chunks_taken.contains(c))
+                    .collect();
                 if free.is_empty() {
                     return Err(PortError::NoFreeChunk);
                 }
@@ -214,7 +221,9 @@ mod tests {
     #[test]
     fn preserve_keeps_port_when_free() {
         let mut a = PortAllocator::new(PortAllocation::Preserve, (1024, 65535));
-        let p = a.allocate(host(), 50000, Protocol::Tcp, &mut rng()).unwrap();
+        let p = a
+            .allocate(host(), 50000, Protocol::Tcp, &mut rng())
+            .unwrap();
         assert_eq!(p, 50000);
     }
 
@@ -222,8 +231,13 @@ mod tests {
     fn preserve_falls_back_on_collision() {
         let mut a = PortAllocator::new(PortAllocation::Preserve, (1024, 65535));
         let mut r = rng();
-        assert_eq!(a.allocate(host(), 50000, Protocol::Tcp, &mut r).unwrap(), 50000);
-        let p2 = a.allocate(ip(100, 64, 0, 11), 50000, Protocol::Tcp, &mut r).unwrap();
+        assert_eq!(
+            a.allocate(host(), 50000, Protocol::Tcp, &mut r).unwrap(),
+            50000
+        );
+        let p2 = a
+            .allocate(ip(100, 64, 0, 11), 50000, Protocol::Tcp, &mut r)
+            .unwrap();
         assert_ne!(p2, 50000);
         // Fallback is the next sequential port.
         assert_eq!(p2, 50001);
@@ -240,8 +254,9 @@ mod tests {
     fn sequential_is_monotone_with_small_gaps() {
         let mut a = PortAllocator::new(PortAllocation::Sequential, (1024, 65535));
         let mut r = rng();
-        let ports: Vec<u16> =
-            (0..10).map(|_| a.allocate(host(), 9999, Protocol::Tcp, &mut r).unwrap()).collect();
+        let ports: Vec<u16> = (0..10)
+            .map(|_| a.allocate(host(), 9999, Protocol::Tcp, &mut r).unwrap())
+            .collect();
         assert_eq!(ports, (1024..1034).collect::<Vec<u16>>());
     }
 
@@ -266,12 +281,19 @@ mod tests {
         // unlike OS ephemeral ranges.
         let mut a = PortAllocator::new(PortAllocation::Random, (1024, 65535));
         let mut r = rng();
-        let ports: Vec<u16> =
-            (0..2000).map(|_| a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap()).collect();
+        let ports: Vec<u16> = (0..2000)
+            .map(|_| a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap())
+            .collect();
         let min = *ports.iter().min().unwrap();
         let max = *ports.iter().max().unwrap();
-        assert!(min < 4000, "random allocation should reach low ports, min={min}");
-        assert!(max > 62000, "random allocation should reach high ports, max={max}");
+        assert!(
+            min < 4000,
+            "random allocation should reach low ports, min={min}"
+        );
+        assert!(
+            max > 62000,
+            "random allocation should reach high ports, max={max}"
+        );
     }
 
     #[test]
@@ -281,14 +303,16 @@ mod tests {
         for _ in 0..4 {
             a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap();
         }
-        assert_eq!(a.allocate(host(), 0, Protocol::Udp, &mut r), Err(PortError::Exhausted));
+        assert_eq!(
+            a.allocate(host(), 0, Protocol::Udp, &mut r),
+            Err(PortError::Exhausted)
+        );
     }
 
     #[test]
     fn chunk_allocation_confines_subscriber() {
         let chunk_size = 4096u16;
-        let mut a =
-            PortAllocator::new(PortAllocation::RandomChunk { chunk_size }, (1024, 65535));
+        let mut a = PortAllocator::new(PortAllocation::RandomChunk { chunk_size }, (1024, 65535));
         let mut r = rng();
         let mut ports = Vec::new();
         for _ in 0..100 {
@@ -298,7 +322,10 @@ mod tests {
         assert_eq!(size, chunk_size);
         let lo = 1024 + idx * chunk_size;
         for p in &ports {
-            assert!(*p >= lo && (*p as u32) < lo as u32 + chunk_size as u32, "port {p} outside chunk");
+            assert!(
+                *p >= lo && (*p as u32) < lo as u32 + chunk_size as u32,
+                "port {p} outside chunk"
+            );
         }
         // All observed ports of one subscriber fall within a range smaller
         // than the chunk size — the paper's chunk-detection signal.
@@ -313,8 +340,10 @@ mod tests {
             (1024, 65535),
         );
         let mut r = rng();
-        a.allocate(ip(10, 0, 0, 1), 0, Protocol::Udp, &mut r).unwrap();
-        a.allocate(ip(10, 0, 0, 2), 0, Protocol::Udp, &mut r).unwrap();
+        a.allocate(ip(10, 0, 0, 1), 0, Protocol::Udp, &mut r)
+            .unwrap();
+        a.allocate(ip(10, 0, 0, 2), 0, Protocol::Udp, &mut r)
+            .unwrap();
         let c1 = a.chunk_of(ip(10, 0, 0, 1)).unwrap().0;
         let c2 = a.chunk_of(ip(10, 0, 0, 2)).unwrap().0;
         assert_ne!(c1, c2);
@@ -324,10 +353,8 @@ mod tests {
     fn chunk_capacity_limits_subscribers() {
         // 64 subscribers per IP with 1K chunks (§6.2: "we find 64 subscribers
         // per IP address in the case of a 1K port chunk").
-        let mut a = PortAllocator::new(
-            PortAllocation::RandomChunk { chunk_size: 1024 },
-            (0, 65535),
-        );
+        let mut a =
+            PortAllocator::new(PortAllocation::RandomChunk { chunk_size: 1024 }, (0, 65535));
         let mut r = rng();
         let mut ok = 0;
         for i in 0..70u32 {
@@ -401,6 +428,110 @@ mod tests {
                 a.release(p);
             }
             prop_assert_eq!(a.allocated(), 0);
+        }
+
+        /// Interleaved allocate/release never double-allocates: a port
+        /// handed out is never handed out again until it was released,
+        /// under every strategy.
+        #[test]
+        fn prop_no_double_allocation_with_churn(
+            strat in 0usize..4,
+            seed in any::<u64>(),
+            ops in proptest::collection::vec((any::<u8>(), 0u16..200), 1..120),
+        ) {
+            let strategy = match strat {
+                0 => PortAllocation::Preserve,
+                1 => PortAllocation::Sequential,
+                2 => PortAllocation::Random,
+                _ => PortAllocation::RandomChunk { chunk_size: 32 },
+            };
+            let mut a = PortAllocator::new(strategy, (2000, 2400));
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut live = std::collections::HashSet::new();
+            for (op, arg) in ops {
+                if op % 3 != 0 || live.is_empty() {
+                    if let Ok(p) = a.allocate(host(), 30000 + arg, Protocol::Udp, &mut r) {
+                        prop_assert!(
+                            live.insert(p),
+                            "port {} double-allocated while still live", p
+                        );
+                    }
+                } else {
+                    // Release an arbitrary live port (deterministic pick).
+                    let p = *live.iter().min().expect("nonempty");
+                    live.remove(&p);
+                    a.release(p);
+                }
+                prop_assert_eq!(a.allocated(), live.len());
+            }
+        }
+
+        /// Chunk allocation confines every subscriber to one fixed
+        /// `chunk_size`-aligned block for the allocator's lifetime.
+        #[test]
+        fn prop_chunk_bound_containment(
+            chunk_exp in 4u32..9, // chunk sizes 16..256
+            hosts in 1u32..8,
+            per_host in 1usize..24,
+            seed in any::<u64>(),
+        ) {
+            let chunk_size = 2u16.pow(chunk_exp);
+            let mut a = PortAllocator::new(
+                PortAllocation::RandomChunk { chunk_size },
+                (1024, 65535),
+            );
+            let mut r = StdRng::seed_from_u64(seed);
+            for h in 0..hosts {
+                let host_ip = Ipv4Addr::from(0x0a00_0000u32 + h);
+                let mut observed = Vec::new();
+                for _ in 0..per_host {
+                    match a.allocate(host_ip, 0, Protocol::Udp, &mut r) {
+                        Ok(p) => observed.push(p),
+                        Err(PortError::ChunkFull) => break,
+                        Err(e) => prop_assert!(false, "unexpected error {:?}", e),
+                    }
+                }
+                let (idx, size) = a.chunk_of(host_ip).expect("chunk assigned");
+                prop_assert_eq!(size, chunk_size);
+                let lo = 1024 + idx as u32 * chunk_size as u32;
+                for p in observed {
+                    prop_assert!(
+                        (p as u32) >= lo && (p as u32) < lo + chunk_size as u32,
+                        "port {} escaped chunk [{}, {})", p, lo, lo + chunk_size as u32
+                    );
+                }
+            }
+        }
+
+        /// A released port becomes allocatable again (the sweep path:
+        /// mapping expiry must return capacity), for every strategy.
+        #[test]
+        fn prop_port_reuse_after_release(
+            strat in 0usize..4,
+            seed in any::<u64>(),
+        ) {
+            let strategy = match strat {
+                0 => PortAllocation::Preserve,
+                1 => PortAllocation::Sequential,
+                2 => PortAllocation::Random,
+                _ => PortAllocation::RandomChunk { chunk_size: 8 },
+            };
+            // A range exactly one 8-port chunk wide: full exhaustion is
+            // reachable under every strategy.
+            let mut a = PortAllocator::new(strategy, (5000, 5007));
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut ports = Vec::new();
+            while let Ok(p) = a.allocate(host(), 5000, Protocol::Udp, &mut r) {
+                ports.push(p);
+            }
+            prop_assert_eq!(ports.len(), 8, "whole range must be allocatable");
+            // Exhausted now; releasing any port makes exactly it available.
+            for &p in &ports {
+                a.release(p);
+                let again = a.allocate(host(), 5000, Protocol::Udp, &mut r);
+                prop_assert_eq!(again, Ok(p), "released port must be reusable");
+            }
+            prop_assert!(a.allocate(host(), 5000, Protocol::Udp, &mut r).is_err());
         }
     }
 }

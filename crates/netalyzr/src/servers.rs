@@ -86,7 +86,12 @@ impl EchoServer {
                     )];
                 }
                 if flags.fin {
-                    return vec![Packet::tcp(self.tcp_endpoint(), pkt.src, TcpFlags::FIN, vec![])];
+                    return vec![Packet::tcp(
+                        self.tcp_endpoint(),
+                        pkt.src,
+                        TcpFlags::FIN,
+                        vec![],
+                    )];
                 }
                 Vec::new()
             }
@@ -168,7 +173,10 @@ mod tests {
         let mut reported = None;
         pump(
             &mut net,
-            vec![(client, Packet::tcp(cep, lab.echo.tcp_endpoint(), TcpFlags::SYN, vec![]))],
+            vec![(
+                client,
+                Packet::tcp(cep, lab.echo.tcp_endpoint(), TcpFlags::SYN, vec![]),
+            )],
             |node, pkt| {
                 if node == client {
                     match &pkt.body {
@@ -211,8 +219,14 @@ mod tests {
         pump(
             &mut net,
             vec![
-                (client, Packet::udp(cep, lab.echo.udp_endpoint(), b"PING".to_vec())),
-                (client, Packet::udp(cep, lab.echo.udp_endpoint(), b"KA".to_vec())),
+                (
+                    client,
+                    Packet::udp(cep, lab.echo.udp_endpoint(), b"PING".to_vec()),
+                ),
+                (
+                    client,
+                    Packet::udp(cep, lab.echo.udp_endpoint(), b"KA".to_vec()),
+                ),
             ],
             |node, pkt| {
                 if node == client {

@@ -33,12 +33,18 @@ pub struct OsPortPolicy {
 impl OsPortPolicy {
     /// Linux-style: sequential within `32768..=60999`.
     pub fn linux() -> OsPortPolicy {
-        OsPortPolicy { range: (32_768, 60_999), sequential: true }
+        OsPortPolicy {
+            range: (32_768, 60_999),
+            sequential: true,
+        }
     }
 
     /// Windows-style: random within `49152..=65535`.
     pub fn windows() -> OsPortPolicy {
-        OsPortPolicy { range: (49_152, 65_535), sequential: false }
+        OsPortPolicy {
+            range: (49_152, 65_535),
+            sequential: false,
+        }
     }
 
     /// Draw `n` source ports.
@@ -50,7 +56,9 @@ impl OsPortPolicy {
                 .map(|i| self.range.0 + ((start + i) % span) as u16)
                 .collect()
         } else {
-            (0..n).map(|_| rng.gen_range(self.range.0..=self.range.1)).collect()
+            (0..n)
+                .map(|_| rng.gen_range(self.range.0..=self.range.1))
+                .collect()
         }
     }
 }
@@ -92,7 +100,9 @@ pub struct PortTestResult {
 impl PortTestResult {
     /// Flows that completed.
     pub fn observed_flows(&self) -> impl Iterator<Item = (u16, Endpoint)> + '_ {
-        self.flows.iter().filter_map(|f| f.observed.map(|o| (f.local_port, o)))
+        self.flows
+            .iter()
+            .filter_map(|f| f.observed.map(|o| (f.local_port, o)))
     }
 
     /// Count of flows whose source port survived translation.
@@ -188,7 +198,10 @@ pub fn run_session(
     let mut flows = Vec::with_capacity(ports.len());
     for p in ports {
         let observed = run_tcp_flow(net, lab, spec.node, Endpoint::new(spec.addr, p));
-        flows.push(PortFlow { local_port: p, observed });
+        flows.push(PortFlow {
+            local_port: p,
+            observed,
+        });
         // Flows are sequential, not simultaneous: a short pause between
         // them (keeps NAT state realistic without expiring anything).
         net.advance(SimDuration::from_millis(500));
@@ -198,7 +211,12 @@ pub fn run_session(
     // --- STUN classification. ---
     let stun = if spec.run_stun {
         let sport = spec.os_ports.draw(1, &mut rng)[0];
-        Some(classify(net, &lab.stun, spec.node, Endpoint::new(spec.addr, sport)))
+        Some(classify(
+            net,
+            &lab.stun,
+            spec.node,
+            Endpoint::new(spec.addr, sport),
+        ))
     } else {
         None
     };
@@ -271,7 +289,11 @@ mod tests {
         let c = net.add_host(RealmId::PUBLIC, ip(198, 51, 100, 9), vec![]);
         let report = run_session(&mut net, &lab, &spec(c, ip(198, 51, 100, 9)), 42);
         assert_eq!(report.port_test.flows.len(), 10);
-        assert_eq!(report.port_test.preserved_count(), 10, "no NAT, all ports preserved");
+        assert_eq!(
+            report.port_test.preserved_count(),
+            10,
+            "no NAT, all ports preserved"
+        );
         assert_eq!(report.ip_pub(), Some(ip(198, 51, 100, 9)));
         assert!(!report.saw_multiple_public_ips());
         assert_eq!(
@@ -351,7 +373,11 @@ mod tests {
         s.upnp_cpe_external = Some(ip(198, 51, 100, 77));
         s.upnp_model = Some("AcmeRouter 3000".into());
         let report = run_session(&mut net, &lab, &s, 42);
-        assert_eq!(report.port_test.preserved_count(), 10, "CPE preserves ports");
+        assert_eq!(
+            report.port_test.preserved_count(),
+            10,
+            "CPE preserves ports"
+        );
         assert_eq!(report.ip_cpe, Some(ip(198, 51, 100, 77)));
         assert_eq!(report.ip_pub(), Some(ip(198, 51, 100, 77)));
     }
@@ -363,7 +389,11 @@ mod tests {
             let lab = MeasurementLab::install(&mut net, ip(203, 0, 113, 10));
             let c = net.add_host(RealmId::PUBLIC, ip(198, 51, 100, 9), vec![]);
             let r = run_session(&mut net, &lab, &spec(c, ip(198, 51, 100, 9)), seed);
-            r.port_test.flows.iter().map(|f| f.local_port).collect::<Vec<_>>()
+            r.port_test
+                .flows
+                .iter()
+                .map(|f| f.local_port)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

@@ -56,11 +56,7 @@ impl StunMessage {
         }
     }
 
-    pub fn response(
-        transaction: [u8; 12],
-        mapped: Endpoint,
-        other: Endpoint,
-    ) -> StunMessage {
+    pub fn response(transaction: [u8; 12], mapped: Endpoint, other: Endpoint) -> StunMessage {
         StunMessage {
             msg_type: BINDING_RESPONSE,
             transaction,
@@ -76,7 +72,7 @@ impl StunMessage {
         out.extend_from_slice(&(value.len() as u16).to_be_bytes());
         out.extend_from_slice(value);
         // Pad to 32-bit boundary.
-        while out.len() % 4 != 0 {
+        while !out.len().is_multiple_of(4) {
             out.push(0);
         }
     }
@@ -104,15 +100,22 @@ impl StunMessage {
     pub fn encode(&self) -> Vec<u8> {
         let mut attrs = Vec::new();
         if self.change_ip || self.change_port {
-            let flags: u32 =
-                (u32::from(self.change_ip) << 2) | (u32::from(self.change_port) << 1);
+            let flags: u32 = (u32::from(self.change_ip) << 2) | (u32::from(self.change_port) << 1);
             Self::push_attr(&mut attrs, ATTR_CHANGE_REQUEST, &flags.to_be_bytes());
         }
         if let Some(ep) = self.xor_mapped {
-            Self::push_attr(&mut attrs, ATTR_XOR_MAPPED_ADDRESS, &Self::xor_endpoint_bytes(ep));
+            Self::push_attr(
+                &mut attrs,
+                ATTR_XOR_MAPPED_ADDRESS,
+                &Self::xor_endpoint_bytes(ep),
+            );
         }
         if let Some(ep) = self.other_address {
-            Self::push_attr(&mut attrs, ATTR_OTHER_ADDRESS, &Self::plain_endpoint_bytes(ep));
+            Self::push_attr(
+                &mut attrs,
+                ATTR_OTHER_ADDRESS,
+                &Self::plain_endpoint_bytes(ep),
+            );
         }
         let mut out = Vec::with_capacity(20 + attrs.len());
         out.extend_from_slice(&self.msg_type.to_be_bytes());
@@ -368,9 +371,14 @@ pub fn classify(
         StunMessage::request(txn_from(&mut seed), false, false),
     );
     let Some(t1) = t1 else {
-        return StunOutcome { class: StunClass::UdpBlocked, mapped: None };
+        return StunOutcome {
+            class: StunClass::UdpBlocked,
+            mapped: None,
+        };
     };
-    let mapped = t1.xor_mapped.expect("server always includes XOR-MAPPED-ADDRESS");
+    let mapped = t1
+        .xor_mapped
+        .expect("server always includes XOR-MAPPED-ADDRESS");
 
     // Test II: ask for an answer from the other IP *and* port.
     let t2 = transact(
@@ -389,11 +397,17 @@ pub fn classify(
         } else {
             StunClass::SymmetricFirewall
         };
-        return StunOutcome { class, mapped: Some(mapped) };
+        return StunOutcome {
+            class,
+            mapped: Some(mapped),
+        };
     }
 
     if t2.is_some() {
-        return StunOutcome { class: StunClass::Nat(StunNatType::FullCone), mapped: Some(mapped) };
+        return StunOutcome {
+            class: StunClass::Nat(StunNatType::FullCone),
+            mapped: Some(mapped),
+        };
     }
 
     // Test I': binding request to the alternate address; a different
@@ -429,7 +443,10 @@ pub fn classify(
     } else {
         StunClass::Nat(StunNatType::PortAddressRestricted)
     };
-    StunOutcome { class, mapped: Some(mapped) }
+    StunOutcome {
+        class,
+        mapped: Some(mapped),
+    }
 }
 
 #[cfg(test)]
@@ -461,8 +478,14 @@ mod tests {
         );
         let enc = resp.encode();
         let dec = StunMessage::decode(&enc).unwrap();
-        assert_eq!(dec.xor_mapped, Some(Endpoint::new(ip(198, 51, 100, 7), 54321)));
-        assert_eq!(dec.other_address, Some(Endpoint::new(ip(203, 0, 113, 51), 3479)));
+        assert_eq!(
+            dec.xor_mapped,
+            Some(Endpoint::new(ip(198, 51, 100, 7), 54321))
+        );
+        assert_eq!(
+            dec.other_address,
+            Some(Endpoint::new(ip(203, 0, 113, 51), 3479))
+        );
     }
 
     #[test]
@@ -497,7 +520,12 @@ mod tests {
         let mut net = Network::new();
         let service = lab(&mut net);
         let c = net.add_host(RealmId::PUBLIC, ip(198, 51, 100, 9), vec![]);
-        let out = classify(&mut net, &service, c, Endpoint::new(ip(198, 51, 100, 9), 5000));
+        let out = classify(
+            &mut net,
+            &service,
+            c,
+            Endpoint::new(ip(198, 51, 100, 9), 5000),
+        );
         assert_eq!(out.class, StunClass::OpenInternet);
         assert_eq!(out.mapped, Some(Endpoint::new(ip(198, 51, 100, 9), 5000)));
     }
@@ -560,7 +588,10 @@ mod tests {
             FilteringBehavior::AddressAndPortDependent,
         );
         let out = classify(&mut net, &service, c, ep);
-        assert_eq!(out.class, StunClass::Nat(StunNatType::PortAddressRestricted));
+        assert_eq!(
+            out.class,
+            StunClass::Nat(StunNatType::PortAddressRestricted)
+        );
     }
 
     #[test]
@@ -652,7 +683,12 @@ mod tests {
             5,
         );
         let c = net.add_host(home, ip(192, 168, 1, 50), vec![]);
-        let out = classify(&mut net, &service, c, Endpoint::new(ip(192, 168, 1, 50), 5000));
+        let out = classify(
+            &mut net,
+            &service,
+            c,
+            Endpoint::new(ip(192, 168, 1, 50), 5000),
+        );
         assert_eq!(out.class, StunClass::Nat(StunNatType::Symmetric));
     }
 }

@@ -152,7 +152,11 @@ pub fn run_ttl_enumeration(
     client_ep: Endpoint,
     config: &TtlEnumConfig,
 ) -> TtlEnumResult {
-    let mut ctx = Ctx { net, lab, client_node };
+    let mut ctx = Ctx {
+        net,
+        lab,
+        client_node,
+    };
     let udp_dst = lab.echo.udp_endpoint();
 
     // Baseline: does a plain exchange work, and what does the server see?
@@ -179,9 +183,9 @@ pub fn run_ttl_enumeration(
         )
         .with_ttl(t);
         let replies = ctx.client_exchange(probe);
-        let answered = replies
-            .iter()
-            .any(|p| matches!(&p.body, PacketBody::Udp { payload } if payload.starts_with(b"PONG")));
+        let answered = replies.iter().any(
+            |p| matches!(&p.body, PacketBody::Udp { payload } if payload.starts_with(b"PONG")),
+        );
         if answered {
             path_len = (t - 1) as usize;
             break;
@@ -293,7 +297,11 @@ fn reachability_experiment(
     let server_ttl = (path_len + 1 - hop) as u8;
     let mut elapsed = SimDuration::ZERO;
     while elapsed < tidle {
-        let step = if tidle - elapsed < probe_interval { tidle - elapsed } else { probe_interval };
+        let step = if tidle - elapsed < probe_interval {
+            tidle - elapsed
+        } else {
+            probe_interval
+        };
         ctx.net.advance(step);
         elapsed = elapsed + step;
         if elapsed >= tidle {
@@ -326,7 +334,11 @@ mod tests {
     fn public_client_clean_path() {
         let mut net = Network::new();
         let lab = MeasurementLab::install(&mut net, ip(203, 0, 113, 10));
-        let c = net.add_host(RealmId::PUBLIC, ip(198, 51, 100, 9), vec![ip(198, 19, 0, 1)]);
+        let c = net.add_host(
+            RealmId::PUBLIC,
+            ip(198, 51, 100, 9),
+            vec![ip(198, 19, 0, 1)],
+        );
         let r = run_ttl_enumeration(
             &mut net,
             &lab,
@@ -374,7 +386,12 @@ mod tests {
         assert!(r.ip_mismatch);
         // Path: r1, r2, CGN, ext router, server core router = 5 hops.
         assert_eq!(r.path_len, 5);
-        assert_eq!(r.detected.len(), 1, "exactly one stateful hop: {:?}", r.detected);
+        assert_eq!(
+            r.detected.len(),
+            1,
+            "exactly one stateful hop: {:?}",
+            r.detected
+        );
         let d = r.detected[0];
         assert_eq!(d.hop, 3, "CGN sits at hop 3");
         // True timeout 65 s must be bracketed by (60, 70].

@@ -59,6 +59,7 @@ impl Prefix {
     }
 
     /// The prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a /0 prefix is not "empty"
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -138,9 +139,7 @@ impl FromStr for Prefix {
         let (addr, len) = s
             .split_once('/')
             .ok_or_else(|| PrefixParseError(s.to_string()))?;
-        let addr: Ipv4Addr = addr
-            .parse()
-            .map_err(|_| PrefixParseError(s.to_string()))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| PrefixParseError(s.to_string()))?;
         let len: u8 = len.parse().map_err(|_| PrefixParseError(s.to_string()))?;
         if len > 32 {
             return Err(PrefixParseError(s.to_string()));

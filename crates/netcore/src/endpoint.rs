@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn endpoint_display() {
-        assert_eq!(Endpoint::new(ip(10, 0, 0, 1), 6881).to_string(), "10.0.0.1:6881");
+        assert_eq!(
+            Endpoint::new(ip(10, 0, 0, 1), 6881).to_string(),
+            "10.0.0.1:6881"
+        );
     }
 
     #[test]

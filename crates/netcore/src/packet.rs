@@ -26,21 +26,56 @@ pub struct TcpFlags {
 }
 
 impl TcpFlags {
-    pub const SYN: TcpFlags = TcpFlags { syn: true, ack: false, fin: false, rst: false };
-    pub const SYN_ACK: TcpFlags = TcpFlags { syn: true, ack: true, fin: false, rst: false };
-    pub const ACK: TcpFlags = TcpFlags { syn: false, ack: true, fin: false, rst: false };
-    pub const FIN: TcpFlags = TcpFlags { syn: false, ack: false, fin: true, rst: false };
-    pub const RST: TcpFlags = TcpFlags { syn: false, ack: false, fin: false, rst: true };
+    pub const SYN: TcpFlags = TcpFlags {
+        syn: true,
+        ack: false,
+        fin: false,
+        rst: false,
+    };
+    pub const SYN_ACK: TcpFlags = TcpFlags {
+        syn: true,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    pub const ACK: TcpFlags = TcpFlags {
+        syn: false,
+        ack: true,
+        fin: false,
+        rst: false,
+    };
+    pub const FIN: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: true,
+        rst: false,
+    };
+    pub const RST: TcpFlags = TcpFlags {
+        syn: false,
+        ack: false,
+        fin: false,
+        rst: true,
+    };
 }
 
 impl fmt::Display for TcpFlags {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut parts = Vec::new();
-        if self.syn { parts.push("SYN"); }
-        if self.ack { parts.push("ACK"); }
-        if self.fin { parts.push("FIN"); }
-        if self.rst { parts.push("RST"); }
-        if parts.is_empty() { parts.push("-"); }
+        if self.syn {
+            parts.push("SYN");
+        }
+        if self.ack {
+            parts.push("ACK");
+        }
+        if self.fin {
+            parts.push("FIN");
+        }
+        if self.rst {
+            parts.push("RST");
+        }
+        if parts.is_empty() {
+            parts.push("-");
+        }
         f.write_str(&parts.join("|"))
     }
 }
@@ -164,15 +199,30 @@ impl fmt::Display for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.body {
             PacketBody::Udp { payload } => {
-                write!(f, "UDP {} -> {} ttl={} ({}B)", self.src, self.dst, self.ttl, payload.len())
+                write!(
+                    f,
+                    "UDP {} -> {} ttl={} ({}B)",
+                    self.src,
+                    self.dst,
+                    self.ttl,
+                    payload.len()
+                )
             }
             PacketBody::Tcp { flags, payload } => write!(
                 f,
                 "TCP {} -> {} ttl={} [{}] ({}B)",
-                self.src, self.dst, self.ttl, flags, payload.len()
+                self.src,
+                self.dst,
+                self.ttl,
+                flags,
+                payload.len()
             ),
             PacketBody::Icmp { kind, .. } => {
-                write!(f, "ICMP {:?} {} -> {} ttl={}", kind, self.src, self.dst, self.ttl)
+                write!(
+                    f,
+                    "ICMP {:?} {} -> {} ttl={}",
+                    kind, self.src, self.dst, self.ttl
+                )
             }
         }
     }
@@ -219,7 +269,11 @@ mod tests {
         assert_eq!(reply.dst, p.src);
         assert_eq!(reply.src.ip, ip(192, 0, 2, 1));
         match reply.body {
-            PacketBody::Icmp { kind, original_src, original_dst } => {
+            PacketBody::Icmp {
+                kind,
+                original_src,
+                original_dst,
+            } => {
                 assert_eq!(kind, IcmpKind::TtlExceeded);
                 assert_eq!(original_src, p.src);
                 assert_eq!(original_dst, p.dst);

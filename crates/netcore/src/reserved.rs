@@ -118,14 +118,29 @@ mod tests {
 
     #[test]
     fn classification_boundaries() {
-        assert_eq!(classify_reserved(ip(192, 168, 0, 1)), Some(ReservedRange::R192));
+        assert_eq!(
+            classify_reserved(ip(192, 168, 0, 1)),
+            Some(ReservedRange::R192)
+        );
         assert_eq!(classify_reserved(ip(192, 169, 0, 1)), None);
-        assert_eq!(classify_reserved(ip(172, 16, 0, 1)), Some(ReservedRange::R172));
-        assert_eq!(classify_reserved(ip(172, 31, 255, 255)), Some(ReservedRange::R172));
+        assert_eq!(
+            classify_reserved(ip(172, 16, 0, 1)),
+            Some(ReservedRange::R172)
+        );
+        assert_eq!(
+            classify_reserved(ip(172, 31, 255, 255)),
+            Some(ReservedRange::R172)
+        );
         assert_eq!(classify_reserved(ip(172, 32, 0, 0)), None);
-        assert_eq!(classify_reserved(ip(10, 255, 0, 1)), Some(ReservedRange::R10));
+        assert_eq!(
+            classify_reserved(ip(10, 255, 0, 1)),
+            Some(ReservedRange::R10)
+        );
         assert_eq!(classify_reserved(ip(11, 0, 0, 1)), None);
-        assert_eq!(classify_reserved(ip(100, 64, 0, 1)), Some(ReservedRange::R100));
+        assert_eq!(
+            classify_reserved(ip(100, 64, 0, 1)),
+            Some(ReservedRange::R100)
+        );
         assert_eq!(classify_reserved(ip(100, 128, 0, 1)), None);
         // Routable-but-unannounced space used internally by some ISPs
         // (Fig. 7b) is *not* reserved.

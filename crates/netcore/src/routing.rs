@@ -41,10 +41,7 @@ mod per_len_serde {
     use serde::ser::SerializeSeq;
     use serde::{Deserializer, Serializer};
 
-    pub fn serialize<S: Serializer>(
-        v: &[HashMap<u32, AsId>],
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
+    pub fn serialize<S: Serializer>(v: &[HashMap<u32, AsId>], s: S) -> Result<S::Ok, S::Error> {
         let mut seq = s.serialize_seq(Some(v.len()))?;
         for m in v {
             let ordered: BTreeMap<u32, AsId> = m.iter().map(|(k, v)| (*k, *v)).collect();
@@ -57,9 +54,7 @@ mod per_len_serde {
         d: D,
     ) -> Result<Vec<HashMap<u32, AsId>>, D::Error> {
         let v: Vec<BTreeMap<u32, AsId>> = serde::Deserialize::deserialize(d)?;
-        Ok(v.into_iter()
-            .map(|m| m.into_iter().collect())
-            .collect())
+        Ok(v.into_iter().map(|m| m.into_iter().collect()).collect())
     }
 }
 
@@ -108,7 +103,11 @@ impl RoutingTable {
             if m.is_empty() {
                 continue;
             }
-            let mask = if len == 0 { 0 } else { u32::MAX << (32 - len as u32) };
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - len as u32)
+            };
             if let Some(origin) = m.get(&(raw & mask)) {
                 return Some(RouteEntry {
                     prefix: Prefix::new(addr, len),

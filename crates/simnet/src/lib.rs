@@ -28,7 +28,5 @@
 pub mod network;
 pub mod pump;
 
-pub use network::{
-    Delivery, DropSite, HopInfo, HopKind, Network, NodeId, RealmId, SendOutcome,
-};
+pub use network::{Delivery, DropSite, HopInfo, HopKind, Network, NodeId, RealmId, SendOutcome};
 pub use pump::{pump, PumpStats};

@@ -87,6 +87,7 @@ struct NatNode {
 }
 
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // Nat nodes are few; boxing would cost every packet hop
 enum Node {
     Host(HostNode),
     Nat(NatNode),
@@ -220,7 +221,10 @@ impl Network {
         let id = NodeId(self.nodes.len() as u32);
         let r = &mut self.realms[realm.0 as usize];
         let prev = r.addrs.insert(addr, RealmTarget::Host(id));
-        assert!(prev.is_none(), "address {addr} already in use in realm {realm:?}");
+        assert!(
+            prev.is_none(),
+            "address {addr} already in use in realm {realm:?}"
+        );
         r.hosts.push(id);
         self.nodes.push(Node::Host(HostNode { realm, addr, chain }));
         id
@@ -229,6 +233,7 @@ impl Network {
     /// Install a NAT whose external interface (pool `external_ips`) attaches
     /// to `external_realm` behind `external_chain`. Creates and returns the
     /// NAT's internal realm.
+    #[allow(clippy::too_many_arguments)] // mirrors the full NAT install tuple
     pub fn add_nat(
         &mut self,
         config: NatConfig,
@@ -322,7 +327,10 @@ impl Network {
         let h = self.host(from);
         let mut hops = Vec::new();
         for r in &h.chain {
-            hops.push(HopInfo { kind: HopKind::Router, addr: *r });
+            hops.push(HopInfo {
+                kind: HopKind::Router,
+                addr: *r,
+            });
         }
         let mut realm = h.realm;
         let mut guard = 0;
@@ -335,7 +343,10 @@ impl Network {
                     RealmTarget::Host(hid) => {
                         let th = self.host(*hid);
                         for router in th.chain.iter().rev() {
-                            hops.push(HopInfo { kind: HopKind::Router, addr: *router });
+                            hops.push(HopInfo {
+                                kind: HopKind::Router,
+                                addr: *router,
+                            });
                         }
                         return Some(hops);
                     }
@@ -345,9 +356,15 @@ impl Network {
                             Node::Host(_) => unreachable!(),
                         };
                         for router in nn.external_chain.iter().rev() {
-                            hops.push(HopInfo { kind: HopKind::Router, addr: *router });
+                            hops.push(HopInfo {
+                                kind: HopKind::Router,
+                                addr: *router,
+                            });
                         }
-                        hops.push(HopInfo { kind: HopKind::Nat, addr: dst });
+                        hops.push(HopInfo {
+                            kind: HopKind::Nat,
+                            addr: dst,
+                        });
                         // Translation happens here; the true path continues
                         // inside, but externally visible topology ends at
                         // the NAT.
@@ -361,9 +378,15 @@ impl Network {
                         Node::Nat(n) => n,
                         Node::Host(_) => unreachable!(),
                     };
-                    hops.push(HopInfo { kind: HopKind::Nat, addr: nn.internal_addr });
+                    hops.push(HopInfo {
+                        kind: HopKind::Nat,
+                        addr: nn.internal_addr,
+                    });
                     for router in &nn.external_chain {
-                        hops.push(HopInfo { kind: HopKind::Router, addr: *router });
+                        hops.push(HopInfo {
+                            kind: HopKind::Router,
+                            addr: *router,
+                        });
                     }
                     realm = nn.external_realm;
                 }
@@ -398,7 +421,10 @@ impl Network {
         match &outcome {
             SendOutcome::Delivered { node, pkt } => {
                 self.stats.delivered += 1;
-                out.push(Delivery { node: *node, pkt: pkt.clone() });
+                out.push(Delivery {
+                    node: *node,
+                    pkt: pkt.clone(),
+                });
             }
             SendOutcome::Dropped(site) => {
                 match site {
@@ -408,7 +434,10 @@ impl Network {
                 }
                 if let Some(err) = icmp {
                     self.stats.icmp_generated += 1;
-                    out.push(Delivery { node: origin, pkt: err });
+                    out.push(Delivery {
+                        node: origin,
+                        pkt: err,
+                    });
                 }
             }
         }
@@ -418,7 +447,13 @@ impl Network {
     /// Deliver a link-local multicast datagram to every other host in the
     /// origin's realm, if the realm permits multicast. Models BitTorrent
     /// local peer discovery. TTL is irrelevant (scope = one realm).
-    pub fn send_multicast(&mut self, origin: NodeId, src_port: u16, dst_port: u16, payload: Vec<u8>) -> Vec<Delivery> {
+    pub fn send_multicast(
+        &mut self,
+        origin: NodeId,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Vec<Delivery> {
         let (realm, src_addr) = {
             let h = self.host(origin);
             (h.realm, h.addr)
@@ -462,7 +497,10 @@ impl Network {
         for router in &up_chain {
             if !pkt.decrement_ttl() {
                 let err = pkt.ttl_exceeded_reply(*router);
-                return (SendOutcome::Dropped(DropSite::TtlExpired(*router)), Some(err));
+                return (
+                    SendOutcome::Dropped(DropSite::TtlExpired(*router)),
+                    Some(err),
+                );
             }
         }
 
@@ -471,7 +509,10 @@ impl Network {
             guard += 1;
             assert!(guard < 64, "forwarding loop");
             // At the hub of `realm`: local lookup first.
-            let target = self.realms[realm.0 as usize].addrs.get(&pkt.dst.ip).copied();
+            let target = self.realms[realm.0 as usize]
+                .addrs
+                .get(&pkt.dst.ip)
+                .copied();
             match target {
                 Some(RealmTarget::Host(hid)) => {
                     // Descend the target's chain.
@@ -571,9 +612,7 @@ impl Network {
                                         if !pkt.decrement_ttl() {
                                             let err = pkt.ttl_exceeded_reply(*router);
                                             return (
-                                                SendOutcome::Dropped(DropSite::TtlExpired(
-                                                    *router,
-                                                )),
+                                                SendOutcome::Dropped(DropSite::TtlExpired(*router)),
                                                 Some(err),
                                             );
                                         }
@@ -674,7 +713,15 @@ mod tests {
         );
         let dev_c = net.add_host(home_c, ip(192, 168, 1, 50), vec![]);
 
-        Fig2 { net, server, dev_a, dev_b, dev_c, cgn, cpe_c }
+        Fig2 {
+            net,
+            server,
+            dev_a,
+            dev_b,
+            dev_c,
+            cgn,
+            cpe_c,
+        }
     }
 
     fn udp(src: Endpoint, dst: Endpoint) -> Packet {
@@ -742,14 +789,19 @@ mod tests {
         let mut f = fig2();
         let stray = udp(server_ep(), Endpoint::new(ip(198, 51, 100, 1), 12345));
         let ds = f.net.send(f.server, stray);
-        assert!(ds.is_empty(), "no mapping, no delivery, no ICMP for NAT drops");
+        assert!(
+            ds.is_empty(),
+            "no mapping, no delivery, no ICMP for NAT drops"
+        );
     }
 
     #[test]
     fn no_route_drop() {
         let mut f = fig2();
         let src = Endpoint::new(ip(203, 0, 113, 10), 9);
-        let ds = f.net.send(f.server, udp(src, Endpoint::new(ip(192, 0, 2, 99), 1)));
+        let ds = f
+            .net
+            .send(f.server, udp(src, Endpoint::new(ip(192, 0, 2, 99), 1)));
         assert!(ds.is_empty());
         assert_eq!(f.net.stats().dropped_no_route, 1);
     }
@@ -801,7 +853,9 @@ mod tests {
         // hops + 1.
         let d1 = f.net.send(f.dev_b, udp(src, server_ep()).with_ttl(hops));
         assert!(matches!(d1[0].pkt.body, PacketBody::Icmp { .. }));
-        let d2 = f.net.send(f.dev_b, udp(src, server_ep()).with_ttl(hops + 1));
+        let d2 = f
+            .net
+            .send(f.dev_b, udp(src, server_ep()).with_ttl(hops + 1));
         assert_eq!(d2[0].node, f.server);
     }
 
@@ -814,9 +868,13 @@ mod tests {
         // First, C's device opens a mapping on its CPE toward B so the
         // CPE admits B's packet (hole punching).
         let c_src = Endpoint::new(ip(192, 168, 1, 50), 6881);
-        let _ = f.net.send(f.dev_c, udp(c_src, Endpoint::new(ip(100, 64, 0, 20), 6881)));
+        let _ = f
+            .net
+            .send(f.dev_c, udp(c_src, Endpoint::new(ip(100, 64, 0, 20), 6881)));
         let cgn_out_before = f.net.nat_stats(f.cgn).out_packets;
-        let ds = f.net.send(f.dev_b, udp(src, Endpoint::new(ip(100, 64, 0, 30), 6881)));
+        let ds = f
+            .net
+            .send(f.dev_b, udp(src, Endpoint::new(ip(100, 64, 0, 30), 6881)));
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].node, f.dev_c);
         assert_eq!(
@@ -848,10 +906,14 @@ mod tests {
         // Device B multicasts in the CGN realm: the only other member is
         // CPE C's... no — CPE WAN interfaces are not hosts. Realm hosts:
         // just dev_b. So nothing is delivered.
-        let ds = f.net.send_multicast(f.dev_b, 6771, 6771, b"BT-SEARCH".to_vec());
+        let ds = f
+            .net
+            .send_multicast(f.dev_b, 6771, 6771, b"BT-SEARCH".to_vec());
         assert!(ds.is_empty());
         // Home realm of A has one host; no other members either.
-        let ds = f.net.send_multicast(f.dev_a, 6771, 6771, b"BT-SEARCH".to_vec());
+        let ds = f
+            .net
+            .send_multicast(f.dev_a, 6771, 6771, b"BT-SEARCH".to_vec());
         assert!(ds.is_empty());
     }
 
@@ -941,7 +1003,11 @@ mod tests {
         let ds = f.net.send(f.server, udp(server_ep(), ext));
         assert!(ds.is_empty(), "server probe must die at the CGN");
         assert!(f.net.nat_stats(f.cgn).drop_no_mapping >= 1);
-        assert_eq!(f.net.nat(f.cpe_c).mapping_count(), 1, "CPE state kept alive");
+        assert_eq!(
+            f.net.nat(f.cpe_c).mapping_count(),
+            1,
+            "CPE state kept alive"
+        );
     }
 
     #[test]
@@ -971,7 +1037,9 @@ mod tests {
         let mut f = fig2();
         let src = Endpoint::new(ip(100, 64, 0, 20), 7500);
         let _ = f.net.send(f.dev_b, udp(src, server_ep()));
-        let _ = f.net.send(f.dev_b, udp(src, Endpoint::new(ip(192, 0, 2, 1), 1)));
+        let _ = f
+            .net
+            .send(f.dev_b, udp(src, Endpoint::new(ip(192, 0, 2, 1), 1)));
         assert_eq!(f.net.stats().sent, 2);
         assert_eq!(f.net.stats().delivered, 1);
         assert_eq!(f.net.stats().dropped_no_route, 1);
@@ -990,7 +1058,9 @@ mod prop_tests {
     /// external routers.
     fn world(agg: usize, ext: usize, server_chain: usize) -> (Network, NodeId, NodeId) {
         let mut net = Network::new();
-        let schain: Vec<_> = (0..server_chain).map(|i| ip(198, 18, 10, i as u8)).collect();
+        let schain: Vec<_> = (0..server_chain)
+            .map(|i| ip(198, 18, 10, i as u8))
+            .collect();
         let server = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 10), schain);
         let mut cfg = NatConfig::cgn_default();
         cfg.filtering = FilteringBehavior::EndpointIndependent;

@@ -49,7 +49,9 @@ impl PublicSpaceAllocator {
             "198.18.0.0/15".parse().unwrap(),
             "192.0.0.0/16".parse().unwrap(),
         ];
-        !special.iter().any(|s| s.covers(&p16) || p16.covers(s) || s.contains(base))
+        !special
+            .iter()
+            .any(|s| s.covers(&p16) || p16.covers(s) || s.contains(base))
     }
 
     /// The next free public /16.
@@ -115,7 +117,10 @@ impl InternalSpaceAllocator {
     /// Allocate the next `/len` subnet of `choice`'s base range.
     pub fn next_subnet(&mut self, choice: InternalRangeChoice, len: u8) -> Prefix {
         let base = choice.base_prefix();
-        assert!(len >= base.len(), "subnet length {len} shorter than base {base}");
+        assert!(
+            len >= base.len(),
+            "subnet length {len} shorter than base {base}"
+        );
         let idx = self.counters.entry(base).or_insert(0);
         let count = 1u64 << (len - base.len());
         assert!(*idx < count, "internal space of {base} exhausted");
@@ -141,7 +146,10 @@ mod tests {
                 "{p} overlaps reserved space"
             );
             let first = p.network().octets()[0];
-            assert!(first != 127 && first != 100 && first < 224, "{p} is special");
+            assert!(
+                first != 127 && first != 100 && first < 224,
+                "{p} is special"
+            );
         }
     }
 
@@ -180,15 +188,23 @@ mod tests {
     #[test]
     fn routable_choices_have_public_bases() {
         assert!(classify_reserved(
-            InternalRangeChoice::RoutableUnrouted.base_prefix().network()
+            InternalRangeChoice::RoutableUnrouted
+                .base_prefix()
+                .network()
         )
         .is_none());
-        assert!(classify_reserved(
-            InternalRangeChoice::RoutableRouted.base_prefix().network()
-        )
-        .is_none());
-        assert_eq!(InternalRangeChoice::Reserved(ReservedRange::R10).label(), "10X");
-        assert_eq!(InternalRangeChoice::RoutableUnrouted.label(), "routable (unrouted)");
+        assert!(
+            classify_reserved(InternalRangeChoice::RoutableRouted.base_prefix().network())
+                .is_none()
+        );
+        assert_eq!(
+            InternalRangeChoice::Reserved(ReservedRange::R10).label(),
+            "10X"
+        );
+        assert_eq!(
+            InternalRangeChoice::RoutableUnrouted.label(),
+            "routable (unrouted)"
+        );
     }
 
     #[test]

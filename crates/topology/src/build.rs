@@ -6,7 +6,9 @@ use crate::models::{CpeModel, OsKind};
 use nat_engine::{
     FilteringBehavior, MappingBehavior, NatConfig, Pooling, PortAllocation, StunNatType,
 };
-use netcore::{AsId, AsInfo, AsKind, AsRegistry, Prefix, ReservedRange, Rir, RoutingTable, SimDuration};
+use netcore::{
+    AsId, AsInfo, AsKind, AsRegistry, Prefix, ReservedRange, Rir, RoutingTable, SimDuration,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::{Network, NodeId, RealmId};
@@ -148,7 +150,11 @@ struct HostAddrGen {
 
 impl HostAddrGen {
     fn new(prefix: Prefix, start: u64) -> Self {
-        HostAddrGen { prefix, next: start, stride: 1 }
+        HostAddrGen {
+            prefix,
+            next: start,
+            stride: 1,
+        }
     }
 
     /// Scattered variant: a stride coprime to the usable size walks the
@@ -156,7 +162,11 @@ impl HostAddrGen {
     /// hosts land in different /24s (the diversity Fig. 5 keys on), not
     /// in a handful of aliased blocks.
     fn scattered(prefix: Prefix, start: u64) -> Self {
-        HostAddrGen { prefix, next: start, stride: 2561 }
+        HostAddrGen {
+            prefix,
+            next: start,
+            stride: 2561,
+        }
     }
 
     fn next(&mut self) -> Ipv4Addr {
@@ -255,8 +265,12 @@ impl World {
             let id = asn();
             let p = pub_alloc.next_slash16();
             routing.announce(p, id);
-            let rir = Rir::ALL[rng.gen_range(0..5)];
-            let kind = if rng.gen_bool(0.3) { AsKind::Transit } else { AsKind::Content };
+            let rir = Rir::ALL[rng.gen_range(0..5usize)];
+            let kind = if rng.gen_bool(0.3) {
+                AsKind::Transit
+            } else {
+                AsKind::Content
+            };
             registry.insert(AsInfo {
                 id,
                 name: format!("Silent-{i}"),
@@ -322,7 +336,9 @@ impl World {
 
     /// All subscriber indices of an AS.
     pub fn subscribers_of(&self, as_id: AsId) -> Vec<usize> {
-        self.deployment(as_id).map(|d| d.subscriber_ids.clone()).unwrap_or_default()
+        self.deployment(as_id)
+            .map(|d| d.subscriber_ids.clone())
+            .unwrap_or_default()
     }
 }
 
@@ -374,13 +390,25 @@ fn draw_cgn_behavior(
     profile: &CgnBehaviorProfile,
 ) -> (NatConfig, PortAllocation, StunNatType, u64, Pooling) {
     let (mapping, filtering) = if rng.gen_bool(profile.p_symmetric) {
-        (MappingBehavior::AddressAndPortDependent, FilteringBehavior::AddressAndPortDependent)
+        (
+            MappingBehavior::AddressAndPortDependent,
+            FilteringBehavior::AddressAndPortDependent,
+        )
     } else if rng.gen_bool(profile.p_full_cone) {
-        (MappingBehavior::EndpointIndependent, FilteringBehavior::EndpointIndependent)
+        (
+            MappingBehavior::EndpointIndependent,
+            FilteringBehavior::EndpointIndependent,
+        )
     } else if rng.gen_bool(profile.p_addr_restricted) {
-        (MappingBehavior::EndpointIndependent, FilteringBehavior::AddressDependent)
+        (
+            MappingBehavior::EndpointIndependent,
+            FilteringBehavior::AddressDependent,
+        )
     } else {
-        (MappingBehavior::EndpointIndependent, FilteringBehavior::AddressAndPortDependent)
+        (
+            MappingBehavior::EndpointIndependent,
+            FilteringBehavior::AddressAndPortDependent,
+        )
     };
 
     let port_alloc = {
@@ -392,7 +420,9 @@ fn draw_cgn_behavior(
         } else if rng.gen_bool(profile.p_chunk_given_random) {
             // Chunk sizes per Table 6: ≤1K, 1–4K, 4–16K in similar shares.
             let sizes = [512u16, 1024, 2048, 4096, 8192, 16384];
-            PortAllocation::RandomChunk { chunk_size: sizes[rng.gen_range(0..sizes.len())] }
+            PortAllocation::RandomChunk {
+                chunk_size: sizes[rng.gen_range(0..sizes.len())],
+            }
         } else {
             PortAllocation::Random
         }
@@ -400,7 +430,9 @@ fn draw_cgn_behavior(
 
     let udp_timeout_secs = if rng.gen_bool(profile.p_timeout_unmeasurable) {
         // Beyond the 200 s detection horizon.
-        *[250u64, 300, 600].get(rng.gen_range(0..3)).expect("static")
+        *[250u64, 300, 600]
+            .get(rng.gen_range(0..3usize))
+            .expect("static")
     } else {
         // Spread around the profile median on a coarse grid; the paper
         // observes 10–200 s with medians 35 s (fixed) / 65 s (cellular).
@@ -451,7 +483,13 @@ fn build_as(
     routers: &mut RouterIpGen,
     subscribers: &mut Vec<Subscriber>,
 ) -> AsDeployment {
-    let BuildAsArgs { id, rir, cellular, config, cpe_models } = args;
+    let BuildAsArgs {
+        id,
+        rir,
+        cellular,
+        config,
+        cpe_models,
+    } = args;
     let public_prefix = pub_alloc.next_slash16();
     routing.announce(public_prefix, id);
 
@@ -465,7 +503,11 @@ fn build_as(
             id.0
         ),
         rir,
-        kind: if cellular { AsKind::EyeballCellular } else { AsKind::EyeballResidential },
+        kind: if cellular {
+            AsKind::EyeballCellular
+        } else {
+            AsKind::EyeballResidential
+        },
         subscribers: n_subs as u32,
     });
 
@@ -479,8 +521,11 @@ fn build_as(
         config.p_cgn_residential_per_rir[rir_idx]
     };
     let deploys_cgn = rng.gen_bool(p_cgn);
-    let profile =
-        if cellular { CgnBehaviorProfile::cellular() } else { CgnBehaviorProfile::non_cellular() };
+    let profile = if cellular {
+        CgnBehaviorProfile::cellular()
+    } else {
+        CgnBehaviorProfile::non_cellular()
+    };
 
     let mut internal_alloc = InternalSpaceAllocator::new();
     let mut cgn_instances: Vec<CgnInstance> = Vec::new();
@@ -609,15 +654,8 @@ fn build_as(
                 // Scenario C: NAT444.
                 let wan_ip = internal_hosts[inst_idx].next();
                 let second_bt = runs_bittorrent && rng.gen_bool(config.p_second_bt_device);
-                let (cpe, device, device_addr, extra) = install_home(
-                    net,
-                    rng,
-                    cpe_models,
-                    inst.realm,
-                    wan_ip,
-                    chain,
-                    second_bt,
-                );
+                let (cpe, device, device_addr, extra) =
+                    install_home(net, rng, cpe_models, inst.realm, wan_ip, chain, second_bt);
                 Subscriber {
                     id: sub_id,
                     as_id: id,
@@ -643,7 +681,8 @@ fn build_as(
                     os,
                     cpe: None,
                     cgn_instance: Some(inst_idx),
-                    runs_bittorrent: runs_bittorrent || (cellular && as_has_bt && rng.gen_bool(0.02)),
+                    runs_bittorrent: runs_bittorrent
+                        || (cellular && as_has_bt && rng.gen_bool(0.02)),
                     extra_bt_devices: Vec::new(),
                 }
             }
@@ -705,7 +744,8 @@ fn build_as(
                     os,
                     cpe: None,
                     cgn_instance: None,
-                    runs_bittorrent: runs_bittorrent || (cellular && as_has_bt && rng.gen_bool(0.02)),
+                    runs_bittorrent: runs_bittorrent
+                        || (cellular && as_has_bt && rng.gen_bool(0.02)),
                     extra_bt_devices: Vec::new(),
                 }
             }
@@ -795,7 +835,10 @@ mod tests {
         let w = world();
         // Every instrumented AS announces its prefix.
         for d in &w.deployments {
-            assert_eq!(w.routing.origin_of(d.public_prefix.addr(100)), Some(d.info.id));
+            assert_eq!(
+                w.routing.origin_of(d.public_prefix.addr(100)),
+                Some(d.info.id)
+            );
         }
         // Silent ASes pad the denominator.
         let eyeballs = w.registry.eyeballs().count();
@@ -870,18 +913,23 @@ mod tests {
                 delivered += 1;
             }
         }
-        assert_eq!(delivered, total, "every subscriber must reach a public server");
+        assert_eq!(
+            delivered, total,
+            "every subscriber must reach a public server"
+        );
     }
 
     #[test]
     fn cgn_instances_have_detectable_shape() {
         let w = World::build(TopologyConfig::default_with_seed(7));
-        let with_cgn: Vec<&AsDeployment> =
-            w.deployments.iter().filter(|d| d.has_cgn()).collect();
+        let with_cgn: Vec<&AsDeployment> = w.deployments.iter().filter(|d| d.has_cgn()).collect();
         assert!(!with_cgn.is_empty(), "default world must deploy CGNs");
         for d in with_cgn {
             for ci in &d.cgn_instances {
-                assert!(ci.pool.len() >= 5, "pool must allow the ≥5-IP cluster boundary");
+                assert!(
+                    ci.pool.len() >= 5,
+                    "pool must allow the ≥5-IP cluster boundary"
+                );
                 for ip in &ci.pool {
                     assert_eq!(w.routing.origin_of(*ip), Some(d.info.id));
                 }
@@ -898,7 +946,11 @@ mod tests {
             .iter()
             .filter(|d| d.info.kind.is_cellular())
             .count() as f64;
-        assert!(cell_cgn / cell_total > 0.75, "cellular CGN rate {}", cell_cgn / cell_total);
+        assert!(
+            cell_cgn / cell_total > 0.75,
+            "cellular CGN rate {}",
+            cell_cgn / cell_total
+        );
     }
 
     #[test]

@@ -179,8 +179,7 @@ impl TopologyConfig {
 
     /// Total eyeball ASes this config will build.
     pub fn eyeball_count(&self) -> usize {
-        self.residential_per_rir.iter().sum::<usize>()
-            + self.cellular_per_rir.iter().sum::<usize>()
+        self.residential_per_rir.iter().sum::<usize>() + self.cellular_per_rir.iter().sum::<usize>()
     }
 }
 
@@ -206,7 +205,10 @@ mod tests {
     #[test]
     fn default_scale_counts() {
         let c = TopologyConfig::default();
-        assert_eq!(c.eyeball_count(), 12 + 30 + 24 + 16 + 38 + 5 + 9 + 7 + 5 + 9);
+        assert_eq!(
+            c.eyeball_count(),
+            12 + 30 + 24 + 16 + 38 + 5 + 9 + 7 + 5 + 9
+        );
         assert!(c.p_cgn_residential_per_rir[1] > 2.0 * c.p_cgn_residential_per_rir[0]);
     }
 

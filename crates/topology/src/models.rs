@@ -1,6 +1,6 @@
 //! Device and CPE behaviour models.
 
-use nat_engine::{FilteringBehavior, MappingBehavior, NatConfig, PortAllocation, Pooling};
+use nat_engine::{FilteringBehavior, MappingBehavior, NatConfig, Pooling, PortAllocation};
 use netcore::{Prefix, SimDuration};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -92,7 +92,14 @@ impl CpeModel {
     /// (Table 4), LAN space dominated by 192X with a small 10X/172X share
     /// (Table 4 column 3).
     pub fn generate_market(rng: &mut StdRng, count: usize) -> Vec<CpeModel> {
-        let vendors = ["Acme", "RiverLink", "HomeGate", "NetBox", "Speedy", "AirWave"];
+        let vendors = [
+            "Acme",
+            "RiverLink",
+            "HomeGate",
+            "NetBox",
+            "Speedy",
+            "AirWave",
+        ];
         let lans = Self::common_lan_prefixes();
         (0..count)
             .map(|i| {
@@ -105,9 +112,9 @@ impl CpeModel {
                 let lan_prefix = {
                     let x: f64 = rng.gen();
                     if x < 0.72 {
-                        lans[rng.gen_range(0..3)] // 192.168.{1,0,2}
+                        lans[rng.gen_range(0..3usize)] // 192.168.{1,0,2}
                     } else if x < 0.90 {
-                        lans[rng.gen_range(3..6)] // other 192X defaults
+                        lans[rng.gen_range(3..6usize)] // other 192X defaults
                     } else if x < 0.95 {
                         Prefix::new(netcore::ip(192, 168, rng.gen_range(3..=250), 0), 24)
                     } else {
@@ -174,7 +181,10 @@ mod tests {
     fn market_distributions_roughly_match_paper() {
         let market = CpeModel::generate_market(&mut rng(), 400);
         let preserving = market.iter().filter(|m| m.preserves_ports).count() as f64 / 400.0;
-        assert!((0.85..=0.97).contains(&preserving), "preserving: {preserving}");
+        assert!(
+            (0.85..=0.97).contains(&preserving),
+            "preserving: {preserving}"
+        );
         let upnp = market.iter().filter(|m| m.upnp).count() as f64 / 400.0;
         assert!((0.45..=0.65).contains(&upnp), "upnp: {upnp}");
         let symmetric = market

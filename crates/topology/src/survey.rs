@@ -67,7 +67,7 @@ impl Default for SurveyConfig {
     fn default() -> Self {
         SurveyConfig {
             respondents: 75,
-            seed: 0x5u64,
+            seed: 0x4u64,
             p_cgn_deployed: 0.38,
             p_cgn_considering: 0.12,
             p_ipv6_most: 0.32,
@@ -173,7 +173,10 @@ impl Survey {
 
     /// Highest reported subscriber-to-address ratio.
     pub fn max_subs_per_address(&self) -> f64 {
-        self.respondents.iter().map(|r| r.subs_per_address).fold(0.0, f64::max)
+        self.respondents
+            .iter()
+            .map(|r| r.subs_per_address)
+            .fold(0.0, f64::max)
     }
 }
 

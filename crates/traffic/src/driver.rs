@@ -1,0 +1,602 @@
+//! The flow scheduler: a time-ordered event engine that pushes
+//! generated flows through one or more [`nat_engine::Nat`] instances.
+//!
+//! The engine is a binary heap of events — subscriber flow arrivals,
+//! per-flow keepalive packets, flow teardowns, periodic mapping sweeps
+//! and demand samples — processed in `(time, sequence)` order, so a run
+//! is fully deterministic given its seed. Every packet goes through
+//! `Nat::process_outbound`, exercising the same mapping-creation,
+//! refresh, timeout-sweep and drop paths the study's measurements
+//! depend on, at millions-of-flows scale.
+
+use crate::modulation::Modulation;
+use crate::workload::{AppProfile, WorkloadMix};
+use analysis::port_demand::{self, DemandSample, DemandSeries, PortDemandReport};
+use nat_engine::{Nat, NatConfig, NatStats, NatVerdict};
+use netcore::{Endpoint, Packet, SimTime, TcpFlags};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Everything one dimensioning run needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriverConfig {
+    /// Subscriber population across all CGN instances.
+    pub subscribers: u32,
+    /// Independent CGN instances; subscribers are assigned round-robin.
+    pub cgn_instances: u16,
+    /// Public addresses in each instance's pool.
+    pub external_ips_per_instance: u16,
+    /// Behaviour of every instance.
+    pub nat: NatConfig,
+    /// Application mix of the population.
+    pub mix: WorkloadMix,
+    /// Diurnal / flash-crowd modulation.
+    pub modulation: Modulation,
+    /// Simulated run length.
+    pub duration_secs: u64,
+    /// Demand-sampling cadence.
+    pub sample_secs: u64,
+    /// Mapping-sweep cadence (exercises `Nat::sweep` at scale).
+    pub sweep_secs: u64,
+    pub seed: u64,
+}
+
+impl DriverConfig {
+    /// A mid-size default: 8k subscribers behind one instance.
+    pub fn new(mix: WorkloadMix, seed: u64) -> DriverConfig {
+        DriverConfig {
+            subscribers: 8_000,
+            cgn_instances: 1,
+            external_ips_per_instance: 8,
+            nat: NatConfig::cgn_default(),
+            mix,
+            modulation: Modulation::none(),
+            duration_secs: 1_200,
+            sample_secs: 60,
+            sweep_secs: 30,
+            seed,
+        }
+    }
+}
+
+/// Aggregated outcome of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    pub mix_name: String,
+    pub subscribers: u32,
+    pub cgn_instances: u16,
+    pub duration_secs: u64,
+    /// New-flow attempts handed to the NAT.
+    pub flows_started: u64,
+    /// Attempts dropped at the first packet (port/chunk/session limits).
+    pub flows_blocked: u64,
+    /// Flows that reached their scheduled end.
+    pub flows_completed: u64,
+    /// Outbound packets processed (arrivals + keepalives + teardowns).
+    pub packets_sent: u64,
+    /// NAT counters summed across instances.
+    pub stats: NatStats,
+    /// Demand time series (aggregated across instances).
+    pub series: DemandSeries,
+    /// Ports-per-subscriber distribution at the peak sample (sorted).
+    pub peak_ports_per_subscriber: Vec<u32>,
+    /// The dimensioning report derived from the series.
+    pub report: PortDemandReport,
+}
+
+impl RunSummary {
+    /// Order-independent fingerprint for determinism checks.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over the debug rendering: every field is plain data
+        // with deterministic Debug output.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{self:?}").bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    /// Next flow arrival for a subscriber.
+    Arrival {
+        sub: u32,
+    },
+    /// Keepalive packet for a live flow.
+    Packet {
+        flow: u64,
+    },
+    /// Scheduled flow teardown.
+    End {
+        flow: u64,
+    },
+    Sample,
+    Sweep,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    at_ms: u64,
+    seq: u64,
+    kind: Kind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_ms, self.seq) == (other.at_ms, other.seq)
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_ms, self.seq).cmp(&(other.at_ms, other.seq))
+    }
+}
+
+struct FlowState {
+    instance: u16,
+    src: Endpoint,
+    dst: Endpoint,
+    udp: bool,
+    end_ms: u64,
+    refresh_ms: u64,
+}
+
+/// Shared address plan: subscriber internal IPs in `100.64/10`
+/// (RFC 6598), pool IPs in `198.18/15` (benchmark range).
+fn subscriber_ip(idx: u32) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(Ipv4Addr::new(100, 64, 0, 0)) + idx)
+}
+
+fn pool_ip(instance: u16, k: u16) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(Ipv4Addr::new(198, 18, 0, 0)) + (instance as u32) * 256 + k as u32)
+}
+
+/// Per-class destination universes live in distinct public /8-ish
+/// bases so flows are visibly attributable in traces.
+fn dest_ip(profile: AppProfile, idx: u32) -> Ipv4Addr {
+    let base = match profile {
+        AppProfile::Web => Ipv4Addr::new(23, 0, 0, 0),
+        AppProfile::Streaming => Ipv4Addr::new(151, 101, 0, 0),
+        AppProfile::P2p => Ipv4Addr::new(85, 0, 0, 0),
+        AppProfile::Gaming => Ipv4Addr::new(162, 254, 0, 0),
+        AppProfile::Iot => Ipv4Addr::new(52, 32, 0, 0),
+    };
+    Ipv4Addr::from(u32::from(base) + idx)
+}
+
+/// Mix a subscriber's per-pool slot into a universe index so each
+/// subscriber keeps a stable `fanout`-sized destination pool.
+fn pool_slot_to_universe(sub: u32, slot: u16, universe: u32) -> u32 {
+    let mut z = ((sub as u64) << 16 | slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 29;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 32;
+    (z as u32) % universe.max(1)
+}
+
+/// Run one workload against freshly-built CGN instances.
+pub fn run(config: &DriverConfig) -> RunSummary {
+    assert!(config.subscribers > 0, "need at least one subscriber");
+    assert!(config.cgn_instances > 0, "need at least one CGN instance");
+    assert!(
+        config.external_ips_per_instance <= 256,
+        "pool addressing assigns each instance a /24-sized stride: \
+         external_ips_per_instance must be <= 256"
+    );
+    assert!(config.duration_secs > 0 && config.sample_secs > 0 && config.sweep_secs > 0);
+
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD1_3E_25_10);
+    let mut nats: Vec<Nat> = (0..config.cgn_instances)
+        .map(|i| {
+            let pool: Vec<Ipv4Addr> = (0..config.external_ips_per_instance.max(1))
+                .map(|k| pool_ip(i, k))
+                .collect();
+            Nat::new(config.nat.clone(), pool, config.seed.wrapping_add(i as u64))
+        })
+        .collect();
+
+    // Subscriber state: profile assignment plus a rolling source port.
+    let profiles: Vec<AppProfile> = (0..config.subscribers)
+        .map(|i| config.mix.assign(i))
+        .collect();
+    let mut next_src_port: Vec<u16> = vec![0; config.subscribers as usize];
+
+    let horizon_ms = config.duration_secs * 1000;
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let push = |heap: &mut BinaryHeap<Reverse<Ev>>, seq: &mut u64, at_ms: u64, kind: Kind| {
+        *seq += 1;
+        heap.push(Reverse(Ev {
+            at_ms,
+            seq: *seq,
+            kind,
+        }));
+    };
+
+    // Prime the engine: staggered first arrivals, plus the periodic
+    // sample/sweep clocks.
+    for sub in 0..config.subscribers {
+        let offset = rng.gen_range(0..1000u64);
+        push(&mut heap, &mut seq, offset, Kind::Arrival { sub });
+    }
+    push(&mut heap, &mut seq, config.sample_secs * 1000, Kind::Sample);
+    push(&mut heap, &mut seq, config.sweep_secs * 1000, Kind::Sweep);
+
+    let mut flows: HashMap<u64, FlowState> = HashMap::new();
+    let mut next_flow_id: u64 = 0;
+
+    let mut flows_started = 0u64;
+    let mut flows_blocked = 0u64;
+    let mut flows_completed = 0u64;
+    let mut packets_sent = 0u64;
+
+    let mut series = DemandSeries::default();
+    let mut peak_live = 0u64;
+    let mut peak_dist: Vec<u32> = Vec::new();
+
+    while let Some(Reverse(ev)) = heap.pop() {
+        if ev.at_ms > horizon_ms {
+            break;
+        }
+        let now = SimTime::from_millis(ev.at_ms);
+        let t_secs = ev.at_ms / 1000;
+        match ev.kind {
+            Kind::Arrival { sub } => {
+                let profile = profiles[sub as usize];
+                let params = profile.params();
+
+                // Schedule the next arrival first (non-homogeneous
+                // Poisson, rate modulated at the current instant).
+                let rate_per_sec = params.flows_per_min / 60.0
+                    * config.modulation.factor(t_secs, params.flash_sensitive);
+                if rate_per_sec > 1e-12 {
+                    let u: f64 = rng.gen::<f64>().max(1e-12);
+                    let gap_ms = (-u.ln() / rate_per_sec * 1000.0).clamp(1.0, 1e12) as u64;
+                    let at = ev.at_ms + gap_ms;
+                    if at <= horizon_ms {
+                        push(&mut heap, &mut seq, at, Kind::Arrival { sub });
+                    }
+                }
+
+                // Build the flow.
+                let sp = &mut next_src_port[sub as usize];
+                let src_port = 20_000 + (*sp % 45_000);
+                *sp = sp.wrapping_add(1) % 45_000;
+                let src = Endpoint::new(subscriber_ip(sub), src_port);
+                let slot = rng.gen_range(0..params.fanout);
+                let universe_idx = pool_slot_to_universe(sub, slot, params.dest_universe);
+                // Popularity skew: collapse high slots onto the popular
+                // end of the universe now and then.
+                let universe_idx = if rng.gen_bool(0.3) {
+                    params.sample_dest(&mut rng)
+                } else {
+                    universe_idx
+                };
+                let dst = Endpoint::new(
+                    dest_ip(profile, universe_idx),
+                    params.sample_dst_port(&mut rng),
+                );
+                let udp = rng.gen_bool(params.udp_share);
+                let duration_ms = (params.sample_duration_secs(&mut rng) * 1000.0) as u64;
+                let end_ms = ev.at_ms + duration_ms.max(1000);
+                let instance = (sub % config.cgn_instances as u32) as u16;
+
+                let first = if udp {
+                    Packet::udp(src, dst, vec![])
+                } else {
+                    Packet::tcp(src, dst, TcpFlags::SYN, vec![])
+                };
+                packets_sent += 1;
+                flows_started += 1;
+                match nats[instance as usize].process_outbound(first, now) {
+                    NatVerdict::Forward(_) | NatVerdict::Hairpin(_) => {
+                        let refresh_ms = params.refresh_secs * 1000;
+                        let id = next_flow_id;
+                        next_flow_id += 1;
+                        flows.insert(
+                            id,
+                            FlowState {
+                                instance,
+                                src,
+                                dst,
+                                udp,
+                                end_ms,
+                                refresh_ms,
+                            },
+                        );
+                        let next = ev.at_ms + refresh_ms;
+                        if next < end_ms.min(horizon_ms) {
+                            push(&mut heap, &mut seq, next, Kind::Packet { flow: id });
+                        } else if end_ms <= horizon_ms {
+                            push(&mut heap, &mut seq, end_ms, Kind::End { flow: id });
+                        }
+                    }
+                    NatVerdict::Drop(_) => {
+                        // Port/chunk exhaustion or the per-subscriber
+                        // session limit; the engine's stats record which.
+                        flows_blocked += 1;
+                    }
+                }
+            }
+            Kind::Packet { flow } => {
+                let Some(f) = flows.get(&flow) else { continue };
+                let pkt = if f.udp {
+                    Packet::udp(f.src, f.dst, vec![])
+                } else {
+                    Packet::tcp(f.src, f.dst, TcpFlags::ACK, vec![])
+                };
+                packets_sent += 1;
+                let verdict = nats[f.instance as usize].process_outbound(pkt, now);
+                if matches!(verdict, NatVerdict::Drop(_)) {
+                    // Keepalive failed (e.g. port space gone after an
+                    // expiry); the flow dies here.
+                    flows.remove(&flow);
+                    continue;
+                }
+                let (end_ms, refresh_ms) = (f.end_ms, f.refresh_ms);
+                let next = ev.at_ms + refresh_ms;
+                if next < end_ms.min(horizon_ms) {
+                    push(&mut heap, &mut seq, next, Kind::Packet { flow });
+                } else if end_ms <= horizon_ms {
+                    push(&mut heap, &mut seq, end_ms, Kind::End { flow });
+                }
+            }
+            Kind::End { flow } => {
+                let Some(f) = flows.remove(&flow) else {
+                    continue;
+                };
+                if !f.udp {
+                    // Polite TCP teardown moves the mapping onto the
+                    // short transitory clock (RFC 5382 behaviour the
+                    // engine models).
+                    let fin = Packet::tcp(f.src, f.dst, TcpFlags::FIN, vec![]);
+                    packets_sent += 1;
+                    let _ = nats[f.instance as usize].process_outbound(fin, now);
+                }
+                flows_completed += 1;
+            }
+            Kind::Sweep => {
+                for nat in &mut nats {
+                    nat.sweep(now);
+                }
+                let at = ev.at_ms + config.sweep_secs * 1000;
+                if at <= horizon_ms {
+                    push(&mut heap, &mut seq, at, Kind::Sweep);
+                }
+            }
+            Kind::Sample => {
+                let sample = collect_sample(
+                    &nats,
+                    now,
+                    config.subscribers,
+                    &mut peak_live,
+                    &mut peak_dist,
+                );
+                series.push(sample);
+                let at = ev.at_ms + config.sample_secs * 1000;
+                if at <= horizon_ms {
+                    push(&mut heap, &mut seq, at, Kind::Sample);
+                }
+            }
+        }
+    }
+
+    // Final bookkeeping at the horizon: sweep and take a closing sample.
+    let end = SimTime::from_millis(horizon_ms);
+    for nat in &mut nats {
+        nat.sweep(end);
+    }
+    let closing = collect_sample(
+        &nats,
+        end,
+        config.subscribers,
+        &mut peak_live,
+        &mut peak_dist,
+    );
+    series.push(closing);
+
+    let mut stats = NatStats::default();
+    for nat in &nats {
+        stats.merge(nat.stats());
+    }
+
+    let external_ips = config.cgn_instances as u64 * config.external_ips_per_instance.max(1) as u64;
+    let usable_ports_per_ip = (config.nat.port_range.1 - config.nat.port_range.0) as u32 + 1;
+    let report = port_demand::build_report(
+        &series,
+        &peak_dist,
+        config.subscribers as u64,
+        external_ips,
+        usable_ports_per_ip,
+    );
+
+    RunSummary {
+        mix_name: config.mix.name.clone(),
+        subscribers: config.subscribers,
+        cgn_instances: config.cgn_instances,
+        duration_secs: config.duration_secs,
+        flows_started,
+        flows_blocked,
+        flows_completed,
+        packets_sent,
+        stats,
+        series,
+        peak_ports_per_subscriber: peak_dist,
+        report,
+    }
+}
+
+fn collect_sample(
+    nats: &[Nat],
+    now: SimTime,
+    subscribers: u32,
+    peak_live: &mut u64,
+    peak_dist: &mut Vec<u32>,
+) -> DemandSample {
+    let mut ports: Vec<u32> = Vec::new();
+    let mut live = 0u64;
+    let mut worst_util = 0.0f64;
+    let mut drops_ports = 0u64;
+    let mut drops_sessions = 0u64;
+    for nat in nats {
+        for (_, n) in nat.ports_by_host(now) {
+            ports.push(n);
+            live += n as u64;
+        }
+        for occ in nat.port_occupancy() {
+            worst_util = worst_util.max(occ.utilization());
+        }
+        drops_ports += nat.stats().drop_port_exhausted;
+        drops_sessions += nat.stats().drop_session_limit;
+    }
+    ports.sort_unstable();
+    if live > *peak_live {
+        *peak_live = live;
+        *peak_dist = ports.clone();
+    }
+    let active = ports.len() as u64;
+    let (p50, p95, p99, max) = port_demand::ports_percentiles(ports, subscribers as u64);
+    DemandSample {
+        t_secs: now.as_secs(),
+        mappings: live,
+        active_subscribers: active,
+        ports_p50: p50,
+        ports_p95: p95,
+        ports_p99: p99,
+        ports_max: max,
+        worst_ip_utilization: worst_util,
+        drops_port_exhausted: drops_ports,
+        drops_session_limit: drops_sessions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulation::{DiurnalCurve, FlashCrowd};
+
+    fn small(mix: WorkloadMix, seed: u64) -> DriverConfig {
+        DriverConfig {
+            subscribers: 300,
+            cgn_instances: 2,
+            external_ips_per_instance: 2,
+            duration_secs: 240,
+            sample_secs: 30,
+            sweep_secs: 20,
+            ..DriverConfig::new(mix, seed)
+        }
+    }
+
+    #[test]
+    fn run_produces_flows_and_samples() {
+        let s = run(&small(WorkloadMix::residential_evening(), 7));
+        assert!(s.flows_started > 1_000, "started {}", s.flows_started);
+        assert!(s.packets_sent > s.flows_started);
+        assert!(!s.series.is_empty());
+        assert!(s.stats.mappings_created > 0);
+        assert!(s.stats.peak_mappings > 0);
+        assert!(s.report.peak_mappings > 0);
+        assert_eq!(s.report.subscribers, 300);
+    }
+
+    #[test]
+    fn same_seed_same_summary() {
+        let a = run(&small(WorkloadMix::p2p_heavy(), 42));
+        let b = run(&small(WorkloadMix::p2p_heavy(), 42));
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(&small(WorkloadMix::p2p_heavy(), 1));
+        let b = run(&small(WorkloadMix::p2p_heavy(), 2));
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn p2p_demands_more_ports_than_iot() {
+        let p2p = run(&small(WorkloadMix::p2p_heavy(), 9));
+        let iot = run(&small(WorkloadMix::iot_fleet(), 9));
+        assert!(
+            p2p.report.peak_mappings > iot.report.peak_mappings * 3,
+            "p2p {} vs iot {}",
+            p2p.report.peak_mappings,
+            iot.report.peak_mappings
+        );
+    }
+
+    #[test]
+    fn flash_crowd_raises_peak() {
+        let mix = WorkloadMix::gaming_event;
+        let calm = run(&small(mix(), 5));
+        let mut cfg = small(mix(), 5);
+        cfg.modulation.flash = Some(FlashCrowd::new(60, 180, 4.0));
+        let stormy = run(&cfg);
+        assert!(
+            stormy.report.peak_mappings as f64 > calm.report.peak_mappings as f64 * 1.5,
+            "calm {} stormy {}",
+            calm.report.peak_mappings,
+            stormy.report.peak_mappings
+        );
+    }
+
+    #[test]
+    fn diurnal_trough_lowers_load() {
+        let mix = WorkloadMix::residential_evening;
+        // Flat vs. a curve whose trough covers the whole short run.
+        let flat = run(&small(mix(), 3));
+        let mut cfg = small(mix(), 3);
+        cfg.modulation.diurnal = Some(DiurnalCurve {
+            day_secs: 86_400,
+            amplitude: 0.45,
+            // Run [0, 240 s] sits right at the trough.
+            peak_phase: 0.5,
+        });
+        let quiet = run(&cfg);
+        assert!(
+            (quiet.flows_started as f64) < flat.flows_started as f64 * 0.75,
+            "flat {} quiet {}",
+            flat.flows_started,
+            quiet.flows_started
+        );
+    }
+
+    #[test]
+    fn session_limit_blocks_flows() {
+        let mut cfg = small(WorkloadMix::p2p_heavy(), 8);
+        cfg.nat.max_sessions_per_host = Some(4);
+        let s = run(&cfg);
+        assert!(s.flows_blocked > 0, "limit must bite");
+        assert!(s.stats.drop_session_limit > 0);
+        assert_eq!(
+            s.report.drops_session_limit, s.stats.drop_session_limit,
+            "report mirrors engine counters"
+        );
+    }
+
+    #[test]
+    fn tiny_port_range_exhausts() {
+        let mut cfg = small(WorkloadMix::p2p_heavy(), 8);
+        cfg.external_ips_per_instance = 1;
+        cfg.nat.port_range = (1024, 1024 + 255);
+        let s = run(&cfg);
+        assert!(
+            s.stats.drop_port_exhausted > 0,
+            "256 ports cannot hold p2p load"
+        );
+        assert!(s.report.worst_ip_utilization > 0.95);
+    }
+}

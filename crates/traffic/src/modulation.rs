@@ -1,0 +1,155 @@
+//! Population-level arrival-rate modulation: diurnal curve and flash
+//! crowds.
+//!
+//! CGN port demand is dominated by the daily peak, not the mean — an
+//! operator provisions for the evening maximum (§2's survey asks for
+//! subscriber-to-address ratios, which only make sense at peak). The
+//! [`DiurnalCurve`] scales every profile's arrival rate over a
+//! (compressible) virtual day; a [`FlashCrowd`] multiplies
+//! flash-sensitive profiles (web, streaming, gaming — not P2P or IoT)
+//! inside a window, modelling a release night or a broadcast event.
+
+use serde::{Deserialize, Serialize};
+
+/// Sinusoidal day/night load curve with mean 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCurve {
+    /// Length of one virtual day in simulated seconds. Runs shorter
+    /// than a real day compress the curve so a run still sweeps trough
+    /// and peak.
+    pub day_secs: u64,
+    /// Peak-to-mean excess in `[0, 1)`: rate swings between `1 - amp`
+    /// and `1 + amp`.
+    pub amplitude: f64,
+    /// Where in the day the peak sits, as a fraction of `day_secs`
+    /// (0.875 = 21:00 of a 24 h day, the residential evening peak).
+    pub peak_phase: f64,
+}
+
+impl DiurnalCurve {
+    /// A 24 h day with a 21:00 peak and ±45% swing.
+    pub fn standard() -> DiurnalCurve {
+        DiurnalCurve {
+            day_secs: 86_400,
+            amplitude: 0.45,
+            peak_phase: 0.875,
+        }
+    }
+
+    /// Compress the standard day into `day_secs` simulated seconds.
+    pub fn compressed(day_secs: u64) -> DiurnalCurve {
+        DiurnalCurve {
+            day_secs: day_secs.max(1),
+            ..DiurnalCurve::standard()
+        }
+    }
+
+    /// Rate multiplier at simulated second `t`.
+    pub fn factor(&self, t_secs: u64) -> f64 {
+        let phase = (t_secs % self.day_secs) as f64 / self.day_secs as f64;
+        let angle = std::f64::consts::TAU * (phase - self.peak_phase);
+        1.0 + self.amplitude * angle.cos()
+    }
+}
+
+/// A multiplicative burst on flash-sensitive profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Burst window `[start_secs, end_secs)` in simulated time.
+    pub start_secs: u64,
+    pub end_secs: u64,
+    /// Arrival-rate multiplier inside the window (≥ 1).
+    pub factor: f64,
+}
+
+impl FlashCrowd {
+    pub fn new(start_secs: u64, end_secs: u64, factor: f64) -> FlashCrowd {
+        assert!(start_secs < end_secs, "empty flash-crowd window");
+        assert!(factor >= 1.0, "a flash crowd cannot reduce load");
+        FlashCrowd {
+            start_secs,
+            end_secs,
+            factor,
+        }
+    }
+
+    pub fn factor_at(&self, t_secs: u64, profile_is_sensitive: bool) -> f64 {
+        if profile_is_sensitive && (self.start_secs..self.end_secs).contains(&t_secs) {
+            self.factor
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Combined modulation applied to every subscriber's arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Modulation {
+    pub diurnal: Option<DiurnalCurve>,
+    pub flash: Option<FlashCrowd>,
+}
+
+impl Modulation {
+    /// Flat load (factor 1 everywhere).
+    pub fn none() -> Modulation {
+        Modulation::default()
+    }
+
+    /// Rate multiplier for a profile at `t`.
+    pub fn factor(&self, t_secs: u64, profile_is_sensitive: bool) -> f64 {
+        let d = self.diurnal.map_or(1.0, |c| c.factor(t_secs));
+        let f = self
+            .flash
+            .map_or(1.0, |fc| fc.factor_at(t_secs, profile_is_sensitive));
+        d * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diurnal_peak_and_trough() {
+        let c = DiurnalCurve::standard();
+        let peak_t = (0.875 * 86_400.0) as u64;
+        let trough_t = (0.375 * 86_400.0) as u64;
+        assert!((c.factor(peak_t) - 1.45).abs() < 0.01);
+        assert!((c.factor(trough_t) - 0.55).abs() < 0.01);
+        // Mean over the day is ~1.
+        let mean: f64 = (0..24).map(|h| c.factor(h * 3600)).sum::<f64>() / 24.0;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn compressed_day_wraps() {
+        let c = DiurnalCurve::compressed(1200);
+        assert_eq!(c.factor(0), c.factor(1200));
+        assert_eq!(c.factor(300), c.factor(1500));
+    }
+
+    #[test]
+    fn flash_crowd_only_hits_sensitive_profiles_in_window() {
+        let f = FlashCrowd::new(100, 200, 3.0);
+        assert_eq!(f.factor_at(150, true), 3.0);
+        assert_eq!(f.factor_at(150, false), 1.0);
+        assert_eq!(f.factor_at(99, true), 1.0);
+        assert_eq!(f.factor_at(200, true), 1.0, "window is half-open");
+    }
+
+    #[test]
+    fn modulation_composes() {
+        let m = Modulation {
+            diurnal: Some(DiurnalCurve {
+                day_secs: 1000,
+                amplitude: 0.5,
+                peak_phase: 0.0,
+            }),
+            flash: Some(FlashCrowd::new(0, 10, 2.0)),
+        };
+        // At t=0: diurnal peak (1.5) times flash (2.0).
+        assert!((m.factor(0, true) - 3.0).abs() < 1e-9);
+        assert!((m.factor(0, false) - 1.5).abs() < 1e-9);
+        assert_eq!(Modulation::none().factor(123, true), 1.0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Per-subscriber application workload models.
+//!
+//! Each [`AppProfile`] is a small parametric model of one application
+//! class: a flow-arrival rate, a destination fan-out, a protocol split,
+//! a flow-duration distribution and a keepalive cadence. A
+//! [`WorkloadMix`] assigns profiles to a subscriber population by
+//! weight. The parameters are stylized (they are not fitted to a packet
+//! trace) but are chosen so each class stresses a different CGN
+//! resource, mirroring what the paper measures from the outside:
+//!
+//! * **Web** — many short flows to a broad set of servers: mapping-table
+//!   churn, the regime where short UDP/TCP-transitory timeouts (Fig. 12)
+//!   decide table size;
+//! * **Streaming** — few long-lived TCP flows: established-TCP state
+//!   that survives the 2h-plus RFC 5382 timeout;
+//! * **P2P / BitTorrent** — high fan-out to hundreds of peers: the port
+//!   consumer that per-subscriber chunks (Fig. 8c, Table 6) and session
+//!   limits (§2: down to 512 per customer) exist to contain;
+//! * **Gaming / VoIP** — sparse long-lived UDP with aggressive
+//!   keepalives: the flows that 10–200 s UDP timeouts (Fig. 12) would
+//!   otherwise kill;
+//! * **IoT / idle** — rare telemetry beacons: near-zero demand, the
+//!   population that makes high subscriber-to-address multiplexing
+//!   ratios (§2's 20:1 reports) feasible.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Application classes modelled by the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AppProfile {
+    Web,
+    Streaming,
+    P2p,
+    Gaming,
+    Iot,
+}
+
+impl AppProfile {
+    pub const ALL: [AppProfile; 5] = [
+        AppProfile::Web,
+        AppProfile::Streaming,
+        AppProfile::P2p,
+        AppProfile::Gaming,
+        AppProfile::Iot,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AppProfile::Web => "web",
+            AppProfile::Streaming => "streaming",
+            AppProfile::P2p => "p2p",
+            AppProfile::Gaming => "gaming",
+            AppProfile::Iot => "iot",
+        }
+    }
+
+    /// Model parameters for this class.
+    pub fn params(self) -> AppParams {
+        match self {
+            AppProfile::Web => AppParams {
+                flows_per_min: 6.0,
+                udp_share: 0.15,
+                fanout: 24,
+                dest_universe: 4096,
+                mean_flow_secs: 12.0,
+                refresh_secs: 5,
+                dst_ports: &[80, 443, 443, 443],
+                flash_sensitive: true,
+            },
+            AppProfile::Streaming => AppParams {
+                flows_per_min: 1.2,
+                udp_share: 0.30,
+                fanout: 6,
+                dest_universe: 256,
+                mean_flow_secs: 180.0,
+                refresh_secs: 20,
+                dst_ports: &[443],
+                flash_sensitive: true,
+            },
+            AppProfile::P2p => AppParams {
+                // A live torrent client holds on the order of a hundred
+                // concurrent peer connections (rate x mean duration here
+                // sustains ~50): the port consumer chunk allocation is
+                // sized against.
+                flows_per_min: 24.0,
+                udp_share: 0.80,
+                fanout: 200,
+                dest_universe: 65536,
+                mean_flow_secs: 120.0,
+                refresh_secs: 20,
+                dst_ports: &[6881, 6882, 6889, 51413],
+                flash_sensitive: false,
+            },
+            AppProfile::Gaming => AppParams {
+                flows_per_min: 2.0,
+                udp_share: 0.90,
+                fanout: 8,
+                dest_universe: 512,
+                mean_flow_secs: 300.0,
+                refresh_secs: 10,
+                dst_ports: &[3478, 3479, 27015],
+                flash_sensitive: true,
+            },
+            AppProfile::Iot => AppParams {
+                flows_per_min: 0.3,
+                udp_share: 0.70,
+                fanout: 3,
+                dest_universe: 64,
+                mean_flow_secs: 8.0,
+                refresh_secs: 4,
+                dst_ports: &[8883, 5683],
+                flash_sensitive: false,
+            },
+        }
+    }
+}
+
+/// Parameters of one application class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppParams {
+    /// Mean new flows per subscriber-minute at modulation factor 1.0.
+    pub flows_per_min: f64,
+    /// Probability a flow is UDP (the rest are TCP).
+    pub udp_share: f64,
+    /// Distinct destination hosts one subscriber talks to.
+    pub fanout: u16,
+    /// Size of the class's global server/peer universe that per-
+    /// subscriber destination pools are drawn from.
+    pub dest_universe: u32,
+    /// Mean of the exponential flow-duration distribution.
+    pub mean_flow_secs: f64,
+    /// Keepalive cadence while a flow lives.
+    pub refresh_secs: u64,
+    /// Destination ports the class uses (drawn uniformly).
+    pub dst_ports: &'static [u16],
+    /// Whether a flash-crowd event multiplies this class's arrivals.
+    pub flash_sensitive: bool,
+}
+
+impl AppParams {
+    /// Draw a flow duration (exponential, floored at one second).
+    pub fn sample_duration_secs(&self, rng: &mut StdRng) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        (-u.ln() * self.mean_flow_secs).max(1.0)
+    }
+
+    /// Draw a destination index into the class universe with a mild
+    /// popularity skew (squaring a uniform biases toward low indices —
+    /// popular servers/peers get most flows).
+    pub fn sample_dest(&self, rng: &mut StdRng) -> u32 {
+        let u: f64 = rng.gen();
+        ((u * u) * self.dest_universe as f64) as u32 % self.dest_universe.max(1)
+    }
+
+    pub fn sample_dst_port(&self, rng: &mut StdRng) -> u16 {
+        self.dst_ports[rng.gen_range(0..self.dst_ports.len())]
+    }
+}
+
+/// A weighted assignment of application classes to the population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    pub name: String,
+    /// `(profile, weight)` pairs; weights need not sum to one (they are
+    /// normalized at assignment time).
+    pub weights: Vec<(AppProfile, f64)>,
+}
+
+impl WorkloadMix {
+    pub fn new(name: &str, weights: &[(AppProfile, f64)]) -> WorkloadMix {
+        assert!(!weights.is_empty(), "a mix needs at least one profile");
+        assert!(
+            weights.iter().all(|(_, w)| *w >= 0.0) && weights.iter().any(|(_, w)| *w > 0.0),
+            "mix weights must be non-negative and not all zero"
+        );
+        WorkloadMix {
+            name: name.to_string(),
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Typical fixed-line residential evening traffic.
+    pub fn residential_evening() -> WorkloadMix {
+        WorkloadMix::new(
+            "residential-evening",
+            &[
+                (AppProfile::Web, 0.45),
+                (AppProfile::Streaming, 0.30),
+                (AppProfile::P2p, 0.10),
+                (AppProfile::Gaming, 0.10),
+                (AppProfile::Iot, 0.05),
+            ],
+        )
+    }
+
+    /// Cellular daytime: web-dominated, no P2P (§6.2 finds cellular
+    /// CGNs the most restrictive — this is the load they see).
+    pub fn cellular_daytime() -> WorkloadMix {
+        WorkloadMix::new(
+            "cellular-daytime",
+            &[
+                (AppProfile::Web, 0.60),
+                (AppProfile::Streaming, 0.20),
+                (AppProfile::Gaming, 0.10),
+                (AppProfile::Iot, 0.10),
+            ],
+        )
+    }
+
+    /// BitTorrent-heavy population: the port-demand worst case that
+    /// chunk allocation (Fig. 8c) has to absorb.
+    pub fn p2p_heavy() -> WorkloadMix {
+        WorkloadMix::new(
+            "p2p-heavy",
+            &[
+                (AppProfile::P2p, 0.50),
+                (AppProfile::Web, 0.30),
+                (AppProfile::Streaming, 0.15),
+                (AppProfile::Iot, 0.05),
+            ],
+        )
+    }
+
+    /// Mostly-idle device fleet: maximal address multiplexing.
+    pub fn iot_fleet() -> WorkloadMix {
+        WorkloadMix::new(
+            "iot-fleet",
+            &[
+                (AppProfile::Iot, 0.85),
+                (AppProfile::Web, 0.10),
+                (AppProfile::Gaming, 0.05),
+            ],
+        )
+    }
+
+    /// Launch-night gaming event: long-lived UDP plus a flash crowd.
+    pub fn gaming_event() -> WorkloadMix {
+        WorkloadMix::new(
+            "gaming-event",
+            &[
+                (AppProfile::Gaming, 0.40),
+                (AppProfile::Streaming, 0.30),
+                (AppProfile::Web, 0.30),
+            ],
+        )
+    }
+
+    /// Every built-in mix, in a stable order.
+    pub fn all() -> Vec<WorkloadMix> {
+        vec![
+            WorkloadMix::residential_evening(),
+            WorkloadMix::cellular_daytime(),
+            WorkloadMix::p2p_heavy(),
+            WorkloadMix::iot_fleet(),
+            WorkloadMix::gaming_event(),
+        ]
+    }
+
+    /// Deterministically assign a profile to subscriber `idx` (weighted
+    /// round-robin via a fixed hash of the index — independent of the
+    /// driver RNG so the same population is generated for every mix
+    /// seed).
+    pub fn assign(&self, idx: u32) -> AppProfile {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        // SplitMix64 of the index gives a uniform in [0,1).
+        let mut z = (idx as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let mut u = (z >> 11) as f64 / (1u64 << 53) as f64 * total;
+        for (p, w) in &self.weights {
+            if u < *w {
+                return *p;
+            }
+            u -= w;
+        }
+        self.weights.last().expect("nonempty").0
+    }
+
+    /// Mean offered new-flow rate per subscriber-second at modulation
+    /// 1.0, for sizing runs.
+    pub fn mean_flow_rate_per_sec(&self) -> f64 {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        self.weights
+            .iter()
+            .map(|(p, w)| w / total * p.params().flows_per_min / 60.0)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_sane_params() {
+        for p in AppProfile::ALL {
+            let a = p.params();
+            assert!(a.flows_per_min > 0.0, "{}", p.name());
+            assert!((0.0..=1.0).contains(&a.udp_share));
+            assert!(a.fanout > 0 && a.dest_universe as u64 >= a.fanout as u64);
+            assert!(a.mean_flow_secs >= 1.0);
+            assert!(a.refresh_secs > 0);
+            assert!(!a.dst_ports.is_empty());
+        }
+    }
+
+    #[test]
+    fn all_mixes_are_distinct_and_at_least_four() {
+        let mixes = WorkloadMix::all();
+        assert!(mixes.len() >= 4);
+        let names: std::collections::HashSet<&str> =
+            mixes.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names.len(), mixes.len());
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_roughly_weighted() {
+        let mix = WorkloadMix::residential_evening();
+        let n = 20_000u32;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..n {
+            assert_eq!(mix.assign(i), mix.assign(i), "assignment must be stable");
+            *counts.entry(mix.assign(i)).or_insert(0u32) += 1;
+        }
+        let web_share = counts[&AppProfile::Web] as f64 / n as f64;
+        assert!((web_share - 0.45).abs() < 0.03, "web share {web_share}");
+        let iot_share = counts[&AppProfile::Iot] as f64 / n as f64;
+        assert!((iot_share - 0.05).abs() < 0.02, "iot share {iot_share}");
+    }
+
+    #[test]
+    fn duration_sampling_matches_mean() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = AppProfile::Web.params();
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| p.sample_duration_secs(&mut rng)).sum();
+        let mean = total / n as f64;
+        // Exponential with floor at 1 s: mean a touch above 12.
+        assert!((mean - p.mean_flow_secs).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn dest_sampling_is_skewed_toward_popular() {
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = AppProfile::P2p.params();
+        let n = 10_000;
+        let low = (0..n)
+            .filter(|_| p.sample_dest(&mut rng) < p.dest_universe / 4)
+            .count();
+        // Squared-uniform puts half the mass in the first quarter.
+        assert!(
+            low as f64 / n as f64 > 0.40,
+            "low-index share {}",
+            low as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn mean_rate_reflects_weights() {
+        let p2p = WorkloadMix::p2p_heavy().mean_flow_rate_per_sec();
+        let iot = WorkloadMix::iot_fleet().mean_flow_rate_per_sec();
+        assert!(p2p > iot * 5.0, "p2p {p2p} vs iot {iot}");
+    }
+}

@@ -111,16 +111,26 @@ fn main() {
                 "  {range}: largest cluster = {} external x {} internal IPs {}",
                 cluster.external_ips,
                 cluster.internal_ips,
-                if a.positive_ranges.contains(range) { "→ CGN DETECTED" } else { "" }
+                if a.positive_ranges.contains(range) {
+                    "→ CGN DETECTED"
+                } else {
+                    ""
+                }
             );
         }
     }
     assert!(
-        det.per_as.get(&AsId(12874)).map(|a| a.cgn_positive).unwrap_or(false),
+        det.per_as
+            .get(&AsId(12874))
+            .map(|a| a.cgn_positive)
+            .unwrap_or(false),
         "the FastWEB-like AS should be detected"
     );
     assert!(
-        !det.per_as.get(&AsId(7922)).map(|a| a.cgn_positive).unwrap_or(false),
+        !det.per_as
+            .get(&AsId(7922))
+            .map(|a| a.cgn_positive)
+            .unwrap_or(false),
         "the Comcast-like AS should NOT be detected"
     );
     println!("\nhome-NAT leakage stays below the boundary; CGN pooling crosses it. ✓");

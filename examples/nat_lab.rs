@@ -11,7 +11,7 @@
 //! ```
 
 use nat_engine::{
-    FilteringBehavior, MappingBehavior, Nat, NatConfig, NatVerdict, PortAllocation, Pooling,
+    FilteringBehavior, MappingBehavior, Nat, NatConfig, NatVerdict, Pooling, PortAllocation,
 };
 use netcore::{ip, Endpoint, Packet, SimTime};
 
@@ -33,10 +33,22 @@ fn out(nat: &mut Nat, src: Endpoint, dst: Endpoint, at: u64) -> Endpoint {
 fn main() {
     println!("=== STUN taxonomy (mapping × filtering) ===");
     for (mapping, filtering) in [
-        (MappingBehavior::EndpointIndependent, FilteringBehavior::EndpointIndependent),
-        (MappingBehavior::EndpointIndependent, FilteringBehavior::AddressDependent),
-        (MappingBehavior::EndpointIndependent, FilteringBehavior::AddressAndPortDependent),
-        (MappingBehavior::AddressAndPortDependent, FilteringBehavior::AddressAndPortDependent),
+        (
+            MappingBehavior::EndpointIndependent,
+            FilteringBehavior::EndpointIndependent,
+        ),
+        (
+            MappingBehavior::EndpointIndependent,
+            FilteringBehavior::AddressDependent,
+        ),
+        (
+            MappingBehavior::EndpointIndependent,
+            FilteringBehavior::AddressAndPortDependent,
+        ),
+        (
+            MappingBehavior::AddressAndPortDependent,
+            FilteringBehavior::AddressAndPortDependent,
+        ),
     ] {
         let mut cfg = NatConfig::cgn_default();
         cfg.mapping = mapping;
@@ -49,7 +61,10 @@ fn main() {
         ("preservation", PortAllocation::Preserve),
         ("sequential", PortAllocation::Sequential),
         ("random", PortAllocation::Random),
-        ("chunk (4K)", PortAllocation::RandomChunk { chunk_size: 4096 }),
+        (
+            "chunk (4K)",
+            PortAllocation::RandomChunk { chunk_size: 4096 },
+        ),
     ] {
         let mut cfg = NatConfig::cgn_default();
         cfg.port_alloc = strategy;
@@ -61,14 +76,21 @@ fn main() {
     }
 
     println!("\n=== IP pooling (§3) ===");
-    for (name, pooling) in [("paired", Pooling::Paired), ("arbitrary", Pooling::Arbitrary)] {
+    for (name, pooling) in [
+        ("paired", Pooling::Paired),
+        ("arbitrary", Pooling::Arbitrary),
+    ] {
         let mut cfg = NatConfig::cgn_default();
         cfg.pooling = pooling;
         cfg.mapping = MappingBehavior::AddressAndPortDependent; // force fresh mappings
         let pool: Vec<_> = (1..=4).map(|i| ip(198, 51, 100, i)).collect();
         let mut nat = Nat::new(cfg, pool, 9);
         let ips: Vec<String> = (0..5)
-            .map(|i| out(&mut nat, subscriber(1, 40_000), server(1000 + i), 0).ip.to_string())
+            .map(|i| {
+                out(&mut nat, subscriber(1, 40_000), server(1000 + i), 0)
+                    .ip
+                    .to_string()
+            })
             .collect();
         println!("  {name:<10} five flows of one subscriber → {ips:?}");
     }
@@ -81,13 +103,19 @@ fn main() {
         let mut nat = Nat::new(cfg, vec![ip(198, 51, 100, 1)], 9);
         // B opens a mapping; A sends to B's external endpoint.
         let b_ext = out(&mut nat, subscriber(2, 7000), server(80), 0);
-        let verdict =
-            nat.process_outbound(Packet::udp(subscriber(1, 7001), b_ext, vec![]), SimTime::ZERO);
+        let verdict = nat.process_outbound(
+            Packet::udp(subscriber(1, 7001), b_ext, vec![]),
+            SimTime::ZERO,
+        );
         match verdict {
             NatVerdict::Hairpin(p) => println!(
                 "  {name:<22} B sees the packet from {} {}",
                 p.src,
-                if keep_src { "→ internal endpoint LEAKED" } else { "(no leak)" }
+                if keep_src {
+                    "→ internal endpoint LEAKED"
+                } else {
+                    "(no leak)"
+                }
             ),
             v => panic!("expected hairpin, got {v:?}"),
         }
@@ -101,7 +129,20 @@ fn main() {
     let back = Packet::udp(server(80), ext, vec![]);
     let fresh = nat.process_inbound(back.clone(), SimTime::from_secs(30));
     let stale = nat.process_inbound(back, SimTime::from_secs(30 + 36));
-    println!("  inbound at t+30 s: {}", if matches!(fresh, NatVerdict::Forward(_)) { "delivered" } else { "dropped" });
-    println!("  inbound at t+66 s: {} (35 s idle timeout elapsed)",
-        if matches!(stale, NatVerdict::Forward(_)) { "delivered" } else { "dropped" });
+    println!(
+        "  inbound at t+30 s: {}",
+        if matches!(fresh, NatVerdict::Forward(_)) {
+            "delivered"
+        } else {
+            "dropped"
+        }
+    );
+    println!(
+        "  inbound at t+66 s: {} (35 s idle timeout elapsed)",
+        if matches!(stale, NatVerdict::Forward(_)) {
+            "delivered"
+        } else {
+            "dropped"
+        }
+    );
 }

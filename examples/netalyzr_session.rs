@@ -62,9 +62,7 @@ fn main() {
     println!("IPdev (device):        {}", report.ip_dev);
     println!("IPcpe (UPnP):          {:?}", report.ip_cpe);
     println!("IPpub (server view):   {:?}", report.ip_pub());
-    println!(
-        "→ IPcpe ≠ IPpub: a second translator hides behind the home router (NAT444)\n"
-    );
+    println!("→ IPcpe ≠ IPpub: a second translator hides behind the home router (NAT444)\n");
 
     println!("=== port test (Fig. 8) ===");
     for f in &report.port_test.flows {
@@ -79,11 +77,17 @@ fn main() {
     );
 
     println!("=== STUN (Fig. 13) ===");
-    println!("classification: {:?}\n", report.stun.expect("stun ran").class);
+    println!(
+        "classification: {:?}\n",
+        report.stun.expect("stun ran").class
+    );
 
     println!("=== TTL-driven NAT enumeration (Fig. 10) ===");
     let ttl = report.ttl.expect("ttl ran");
-    println!("path length: {} hops; address mismatch: {}", ttl.path_len, ttl.ip_mismatch);
+    println!(
+        "path length: {} hops; address mismatch: {}",
+        ttl.path_len, ttl.ip_mismatch
+    );
     for d in &ttl.detected {
         println!(
             "  stateful middlebox at hop {}: mapping timeout in ({} s, {} s] (≈{} s)",

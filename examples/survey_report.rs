@@ -37,9 +37,17 @@ fn main() {
         "  highest subscriber-to-address ratio: {:.0}:1  (paper: 20:1)",
         survey.max_subs_per_address()
     );
-    let internal = survey.respondents.iter().filter(|r| r.internal_scarcity).count();
+    let internal = survey
+        .respondents
+        .iter()
+        .filter(|r| r.internal_scarcity)
+        .count();
     println!("  ISPs short of *internal* address space: {internal}  (paper: 3)");
     let bought = survey.respondents.iter().filter(|r| r.bought_space).count();
-    let considered = survey.respondents.iter().filter(|r| r.considered_buying).count();
+    let considered = survey
+        .respondents
+        .iter()
+        .filter(|r| r.considered_buying)
+        .count();
     println!("  bought IPv4 space: {bought}; considered buying: {considered}  (paper: 3 / 15)");
 }

@@ -36,7 +36,10 @@ fn crawl_sets_are_consistent() {
 fn churn_keeps_a_responsive_core() {
     let art = pipeline::measure(StudyConfig::tiny(13));
     let crawl = &art.crawl;
-    assert!(!crawl.ping_responders.is_empty(), "someone must answer pings");
+    assert!(
+        !crawl.ping_responders.is_empty(),
+        "someone must answer pings"
+    );
     // With 25% churn, responders are well below the learned population —
     // the Table 2 shape (the paper saw 56%).
     assert!(crawl.ping_responders.len() < crawl.learned.len());
@@ -58,8 +61,11 @@ fn calibration_matches_configured_violator_rate() {
 fn leak_graph_matches_raw_records() {
     use analysis::bt_detect::BtDetector;
     let art = pipeline::measure(StudyConfig::tiny(13));
-    let det = BtDetector { exclusive_single_as: false, ..BtDetector::default() }
-        .detect(&art.leaks);
+    let det = BtDetector {
+        exclusive_single_as: false,
+        ..BtDetector::default()
+    }
+    .detect(&art.leaks);
     // Every AS in the detection output has at least one raw leak record.
     for a in det.per_as.keys() {
         assert!(art.leaks.iter().any(|l| l.leaker_as == Some(*a)));

@@ -41,7 +41,10 @@ fn nz_detectors_have_no_false_positives() {
     let nc = NzNonCellularDetector::default().detect(&art.sessions, &art.world.routing);
     for (a, r) in &nc {
         if r.cgn_positive {
-            assert!(truth.contains(a), "{a} flagged by non-cellular NZ without CGN");
+            assert!(
+                truth.contains(a),
+                "{a} flagged by non-cellular NZ without CGN"
+            );
         }
     }
 }
@@ -55,8 +58,11 @@ fn cellular_detection_recall_is_high() {
     let truth = truth(&art);
     let cell = NzCellularDetector::default().detect(&art.sessions, &art.world.routing);
     let covered: BTreeSet<AsId> = cell.keys().copied().collect();
-    let detected: BTreeSet<AsId> =
-        cell.iter().filter(|(_, r)| r.cgn_positive).map(|(a, _)| *a).collect();
+    let detected: BTreeSet<AsId> = cell
+        .iter()
+        .filter(|(_, r)| r.cgn_positive)
+        .map(|(a, _)| *a)
+        .collect();
     let s = score(&detected, &truth, &covered);
     assert!(
         s.recall >= 0.8,

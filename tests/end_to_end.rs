@@ -16,9 +16,13 @@ fn full_study_assembles_and_is_consistent() {
     // Table 5 percentages are percentages.
     for row in &report.table5.rows {
         for (cov, covp, pos, posp) in [row.routed, row.pbl, row.apnic] {
-            assert!(covp >= 0.0 && covp <= 100.0);
-            assert!(posp >= 0.0 && posp <= 100.0);
-            assert!(pos <= cov, "{}: positives {pos} exceed covered {cov}", row.method);
+            assert!((0.0..=100.0).contains(&covp));
+            assert!((0.0..=100.0).contains(&posp));
+            assert!(
+                pos <= cov,
+                "{}: positives {pos} exceed covered {cov}",
+                row.method
+            );
         }
     }
     // Table 7 quadrants sum to the session count.
@@ -30,15 +34,33 @@ fn full_study_assembles_and_is_consistent() {
     // Table 4 breakdowns are complete.
     let t4 = &report.table4;
     for b in [&t4.cellular_dev, &t4.noncellular_dev, &t4.noncellular_cpe] {
-        let sum = b.r192 + b.r172 + b.r10 + b.r100 + b.unrouted + b.routed_match + b.routed_mismatch;
+        let sum =
+            b.r192 + b.r172 + b.r10 + b.r100 + b.unrouted + b.routed_match + b.routed_mismatch;
         assert_eq!(sum, b.n);
     }
     // The rendered report mentions every experiment.
     let text = report.render();
     for needle in [
-        "Fig 1", "Table 1", "Table 2", "Table 3", "Fig 3", "Fig 4", "Table 4", "Fig 5", "Table 5",
-        "Fig 6", "Fig 7", "Fig 8a", "Fig 8b", "Fig 8c", "Fig 9", "Table 7", "Fig 11",
-        "Fig 12", "Fig 13", "calibration",
+        "Fig 1",
+        "Table 1",
+        "Table 2",
+        "Table 3",
+        "Fig 3",
+        "Fig 4",
+        "Table 4",
+        "Fig 5",
+        "Table 5",
+        "Fig 6",
+        "Fig 7",
+        "Fig 8a",
+        "Fig 8b",
+        "Fig 8c",
+        "Fig 9",
+        "Table 7",
+        "Fig 11",
+        "Fig 12",
+        "Fig 13",
+        "calibration",
     ] {
         assert!(text.contains(needle), "report must cover {needle}");
     }

@@ -38,7 +38,13 @@ fn build(cgn_timeout_secs: u64) -> Nat444 {
         8,
     );
     let device = net.add_host(home, ip(192, 168, 1, 50), vec![]);
-    Nat444 { net, lab, device, cgn, cpe }
+    Nat444 {
+        net,
+        lab,
+        device,
+        cgn,
+        cpe,
+    }
 }
 
 #[test]
@@ -46,7 +52,9 @@ fn double_translation_and_reply_path() {
     let mut w = build(60);
     let src = Endpoint::new(ip(192, 168, 1, 50), 40_000);
     let dst = w.lab.echo.udp_endpoint();
-    let out = w.net.send(w.device, Packet::udp(src, dst, b"PING".to_vec()));
+    let out = w
+        .net
+        .send(w.device, Packet::udp(src, dst, b"PING".to_vec()));
     assert_eq!(out.len(), 1, "packet must reach the echo server");
     let seen = out[0].pkt.src;
     assert!(
@@ -57,7 +65,9 @@ fn double_translation_and_reply_path() {
     assert_eq!(w.net.nat(w.cpe).mapping_count(), 1);
     assert_eq!(w.net.nat(w.cgn).mapping_count(), 1);
     // The reply fully de-translates.
-    let back = w.net.send(out[0].node, Packet::udp(dst, seen, b"PONG".to_vec()));
+    let back = w
+        .net
+        .send(out[0].node, Packet::udp(dst, seen, b"PONG".to_vec()));
     assert_eq!(back.len(), 1);
     assert_eq!(back[0].node, w.device);
     assert_eq!(back[0].pkt.dst, src);
@@ -90,7 +100,10 @@ fn session_measures_what_the_topology_says() {
 
     // STUN reports the most restrictive on-path behaviour.
     let stun = report.stun.expect("stun ran");
-    assert!(stun.class.nat_type().is_some(), "a NAT must be classified: {stun:?}");
+    assert!(
+        stun.class.nat_type().is_some(),
+        "a NAT must be classified: {stun:?}"
+    );
 
     // TTL enumeration finds both layers at the right hops with the right
     // timeouts: CPE at hop 1 (65 s), CGN at hop 3 (35 s).
@@ -103,7 +116,10 @@ fn session_measures_what_the_topology_says() {
 
     // Ground truth agrees: the true path has the NATs where the test
     // found them.
-    let truth = w.net.path_hops(w.device, w.lab.echo.ip).expect("path exists");
+    let truth = w
+        .net
+        .path_hops(w.device, w.lab.echo.ip)
+        .expect("path exists");
     let nat_positions: Vec<usize> = truth
         .iter()
         .enumerate()
@@ -118,13 +134,17 @@ fn expired_cgn_blocks_inbound_but_cpe_state_survives() {
     let mut w = build(30);
     let src = Endpoint::new(ip(192, 168, 1, 50), 41_000);
     let dst = w.lab.echo.udp_endpoint();
-    let out = w.net.send(w.device, Packet::udp(src, dst, b"PING".to_vec()));
+    let out = w
+        .net
+        .send(w.device, Packet::udp(src, dst, b"PING".to_vec()));
     let ext = out[0].pkt.src;
 
     // 40 s idle: the CGN (30 s) expired, the CPE (65 s) did not.
     w.net.advance(SimDuration::from_secs(40));
     let echo_node = w.lab.echo.node;
-    let probe = w.net.send(echo_node, Packet::udp(dst, ext, b"PROBE".to_vec()));
+    let probe = w
+        .net
+        .send(echo_node, Packet::udp(dst, ext, b"PROBE".to_vec()));
     assert!(probe.is_empty(), "probe must die at the expired CGN");
     assert!(w.net.nat_stats(w.cgn).drop_no_mapping >= 1);
     assert_eq!(w.net.nat(w.cpe).mapping_count(), 1, "CPE state survives");

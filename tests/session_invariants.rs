@@ -13,7 +13,10 @@ fn sessions_agree_with_ground_truth_scenarios() {
     for s in &art.sessions {
         let Some(pub_ip) = s.ip_pub else { continue };
         // The public address must be routable and routed.
-        assert!(classify_reserved(pub_ip).is_none(), "public {pub_ip} is reserved");
+        assert!(
+            classify_reserved(pub_ip).is_none(),
+            "public {pub_ip} is reserved"
+        );
         assert!(art.world.routing.is_routed(pub_ip));
         // If the device address is reserved, some translator was on the
         // path, so the server must have seen a different address.
@@ -40,7 +43,11 @@ fn ttl_results_match_topology_distances() {
             continue;
         }
         let Some(cpe) = &sub.cpe else { continue };
-        for s in art.sessions.iter().filter(|s| s.ip_pub == Some(cpe.external_ip)) {
+        for s in art
+            .sessions
+            .iter()
+            .filter(|s| s.ip_pub == Some(cpe.external_ip))
+        {
             let Some(ttl) = &s.ttl else { continue };
             for d in &ttl.detected {
                 assert!(
@@ -80,9 +87,11 @@ fn stun_never_reports_nat_for_public_naked_devices() {
         }
         // Naked public devices have globally unique addresses, so joining
         // on the device address is sound here.
-        for s in art.sessions.iter().filter(|s| {
-            s.ip_dev == sub.device_addr && s.ip_pub == Some(sub.device_addr)
-        }) {
+        for s in art
+            .sessions
+            .iter()
+            .filter(|s| s.ip_dev == sub.device_addr && s.ip_pub == Some(sub.device_addr))
+        {
             assert!(
                 s.stun_nat.is_none(),
                 "naked public device {} classified as NATed",
