@@ -80,6 +80,63 @@ impl DemandSeries {
     }
 }
 
+/// One shard's slice of a demand snapshot, produced in parallel by the
+/// sharded engine's workers and merged by [`merge_shard_demand`].
+/// Internal hosts are partitioned across shards, so the per-shard
+/// `ports` vectors are disjoint subscriber populations.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardDemand {
+    /// Ports held per active subscriber behind this shard (unsorted).
+    pub ports: Vec<u32>,
+    /// Highest allocator fill level across this shard's
+    /// (external IP, protocol) pairs.
+    pub worst_ip_utilization: f64,
+    /// Cumulative drop counters of this shard at the snapshot.
+    pub drops_port_exhausted: u64,
+    pub drops_session_limit: u64,
+}
+
+/// Merge per-shard snapshot slices into one global [`DemandSample`]
+/// plus the sorted merged ports-per-subscriber distribution (the input
+/// to [`chunk_curve`] when this snapshot turns out to be the peak).
+///
+/// Deterministic: the merged distribution is fully sorted, so shard
+/// order does not matter; drop counters add, utilization takes the
+/// worst shard.
+pub fn merge_shard_demand(
+    t_secs: u64,
+    subscribers: u64,
+    shards: &[ShardDemand],
+) -> (DemandSample, Vec<u32>) {
+    let mut ports: Vec<u32> = Vec::with_capacity(shards.iter().map(|s| s.ports.len()).sum());
+    let mut worst_util = 0.0f64;
+    let mut drops_ports = 0u64;
+    let mut drops_sessions = 0u64;
+    for shard in shards {
+        ports.extend_from_slice(&shard.ports);
+        worst_util = worst_util.max(shard.worst_ip_utilization);
+        drops_ports += shard.drops_port_exhausted;
+        drops_sessions += shard.drops_session_limit;
+    }
+    ports.sort_unstable();
+    let live: u64 = ports.iter().map(|p| *p as u64).sum();
+    let active = ports.len() as u64;
+    let (p50, p95, p99, max) = ports_percentiles_sorted(&ports, subscribers);
+    let sample = DemandSample {
+        t_secs,
+        mappings: live,
+        active_subscribers: active,
+        ports_p50: p50,
+        ports_p95: p95,
+        ports_p99: p99,
+        ports_max: max,
+        worst_ip_utilization: worst_util,
+        drops_port_exhausted: drops_ports,
+        drops_session_limit: drops_sessions,
+    };
+    (sample, ports)
+}
+
 /// One row of the chunk-size vs. blocking-probability curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChunkBlockingRow {
@@ -228,8 +285,16 @@ pub fn build_report(
 /// Percentiles of a ports-per-subscriber distribution, padded with
 /// zeros for subscribers not present in the map (idle ones).
 pub fn ports_percentiles(mut active_ports: Vec<u32>, subscribers: u64) -> (f64, f64, f64, u64) {
-    let idle = (subscribers as usize).saturating_sub(active_ports.len());
     active_ports.sort_unstable();
+    ports_percentiles_sorted(&active_ports, subscribers)
+}
+
+/// [`ports_percentiles`] for an **already-sorted** distribution — the
+/// per-barrier hot path of the sharded driver, which has just sorted
+/// the merged vector and should not pay for a clone and a re-sort.
+pub fn ports_percentiles_sorted(active_ports: &[u32], subscribers: u64) -> (f64, f64, f64, u64) {
+    debug_assert!(active_ports.windows(2).all(|w| w[0] <= w[1]));
+    let idle = (subscribers as usize).saturating_sub(active_ports.len());
     let max = active_ports.last().copied().unwrap_or(0) as u64;
     if subscribers == 0 {
         return (0.0, 0.0, 0.0, 0);
@@ -306,6 +371,50 @@ mod tests {
         let r1k = curve.iter().find(|r| r.chunk_size == 1024).expect("swept");
         assert_eq!(r1k.subscribers_per_ip, 63);
         assert!((r1k.p_demand_blocked - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shard_merge_is_order_independent_and_adds_up() {
+        let a = ShardDemand {
+            ports: vec![3, 1, 7],
+            worst_ip_utilization: 0.4,
+            drops_port_exhausted: 2,
+            drops_session_limit: 1,
+        };
+        let b = ShardDemand {
+            ports: vec![2, 5],
+            worst_ip_utilization: 0.9,
+            drops_port_exhausted: 3,
+            drops_session_limit: 0,
+        };
+        let (s1, d1) = merge_shard_demand(60, 100, &[a.clone(), b.clone()]);
+        let (s2, d2) = merge_shard_demand(60, 100, &[b, a]);
+        assert_eq!(s1, s2, "shard order must not matter");
+        assert_eq!(d1, d2);
+        assert_eq!(d1, vec![1, 2, 3, 5, 7]);
+        assert_eq!(s1.mappings, 18);
+        assert_eq!(s1.active_subscribers, 5);
+        assert_eq!(s1.ports_max, 7);
+        assert_eq!(s1.worst_ip_utilization, 0.9);
+        assert_eq!(s1.drops_port_exhausted, 5);
+        assert_eq!(s1.drops_session_limit, 1);
+        // Percentiles match computing them over the merged distribution.
+        let (p50, p95, p99, _) = ports_percentiles(d1, 100);
+        assert_eq!((s1.ports_p50, s1.ports_p95, s1.ports_p99), (p50, p95, p99));
+    }
+
+    #[test]
+    fn single_shard_merge_matches_direct_sample() {
+        let shard = ShardDemand {
+            ports: vec![4, 4, 2],
+            worst_ip_utilization: 0.25,
+            drops_port_exhausted: 0,
+            drops_session_limit: 0,
+        };
+        let (s, dist) = merge_shard_demand(30, 10, std::slice::from_ref(&shard));
+        assert_eq!(s.t_secs, 30);
+        assert_eq!(s.mappings, 10);
+        assert_eq!(dist, vec![2, 4, 4]);
     }
 
     #[test]

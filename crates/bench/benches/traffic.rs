@@ -14,13 +14,43 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 fn slice_config(mix: WorkloadMix) -> DriverConfig {
     DriverConfig {
         subscribers: 400,
-        cgn_instances: 1,
-        external_ips_per_instance: 4,
+        shards: 1,
+        external_ips_per_shard: 4,
         duration_secs: 120,
         sample_secs: 60,
         sweep_secs: 30,
         ..DriverConfig::new(mix, 0xBE9C)
     }
+}
+
+/// The same slice across shard counts, sequential vs. worker threads —
+/// the bench-visible view of the scaling axis this crate's perf
+/// harness (`--bin perf`) measures end to end.
+fn sharded_config(shards: u16, threads: usize) -> DriverConfig {
+    DriverConfig {
+        subscribers: 800,
+        shards,
+        external_ips_per_shard: 2,
+        threads,
+        duration_secs: 120,
+        sample_secs: 60,
+        sweep_secs: 30,
+        ..DriverConfig::new(WorkloadMix::residential_evening(), 0xBE9C)
+    }
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic");
+    for (name, cfg) in [
+        ("sharded/1x1", sharded_config(1, 1)),
+        ("sharded/4x1", sharded_config(4, 1)),
+        ("sharded/4xN", sharded_config(4, 0)),
+    ] {
+        let flows = cgn_traffic::run(&cfg).flows_started;
+        g.throughput(Throughput::Elements(flows));
+        g.bench_function(name, |b| b.iter(|| black_box(cgn_traffic::run(&cfg))));
+    }
+    g.finish();
 }
 
 fn bench_workload_mixes(c: &mut Criterion) {
@@ -54,6 +84,6 @@ fn bench_packet_hot_path(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_workload_mixes, bench_packet_hot_path
+    targets = bench_workload_mixes, bench_packet_hot_path, bench_sharding
 }
 criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Perf harness CLI: time the dimensioning sweep on the sharded engine
+//! and write the machine-readable `BENCH_dimensioning.json`.
+//!
+//! ```text
+//! cargo run --release -p cgn-bench --bin perf                    # 1x/4x/16x sweep
+//! cargo run --release -p cgn-bench --bin perf -- quick           # seconds-scale smoke
+//! cargo run --release -p cgn-bench --bin perf -- threads=4      # fixed worker count
+//! cargo run --release -p cgn-bench --bin perf -- out=PATH       # report destination
+//! cargo run --release -p cgn-bench --bin perf -- check=bench/baseline.json
+//! ```
+//!
+//! With `check=`, the run exits nonzero when flows/sec regresses more
+//! than 20% (override with `tolerance=0.3`) against the committed
+//! baseline — the contract of the CI `perf` job.
+
+use cgn_bench::perf::{
+    check_against_baseline, run_perf, PerfReport, PerfSettings, DEFAULT_TOLERANCE,
+};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let mut settings = PerfSettings::standard();
+    let mut out = PathBuf::from("BENCH_dimensioning.json");
+    let mut check: Option<PathBuf> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    for arg in std::env::args().skip(1) {
+        if arg == "quick" {
+            let threads = settings.threads;
+            settings = PerfSettings::quick();
+            settings.threads = threads;
+        } else if let Some(v) = arg.strip_prefix("seed=") {
+            settings.seed = v.parse().expect("seed must be an integer");
+        } else if let Some(v) = arg.strip_prefix("threads=") {
+            settings.threads = v.parse().expect("threads must be an integer");
+        } else if let Some(v) = arg.strip_prefix("out=") {
+            out = v.into();
+        } else if let Some(v) = arg.strip_prefix("check=") {
+            check = Some(v.into());
+        } else if let Some(v) = arg.strip_prefix("tolerance=") {
+            tolerance = v.parse().expect("tolerance must be a float");
+        } else {
+            eprintln!(
+                "unknown argument '{arg}' \
+                 (use quick, seed=N, threads=N, out=PATH, check=PATH, tolerance=F)"
+            );
+            exit(2);
+        }
+    }
+
+    let report = run_perf(&settings);
+
+    println!(
+        "dimensioning perf — seed {} | {} shard(s), {} worker thread(s) of {} core(s), {} s per mix",
+        report.seed, report.shards, report.threads, report.available_cores, report.duration_secs
+    );
+    for s in &report.scales {
+        println!(
+            "  scale {:>2}x: {:>7} subscribers | {:>9} flows | {:>7.2} s wall | {:>10.0} flows/s | peak {} mappings",
+            s.scale, s.subscribers, s.flows, s.wall_secs, s.flows_per_sec, s.peak_mappings
+        );
+    }
+    println!(
+        "  speedup: {:.2}x ({:.0} parallel vs {:.0} sequential flows/s; digest {})",
+        report.parallel_speedup,
+        report.parallel_flows_per_sec,
+        report.sequential_flows_per_sec,
+        report.digest
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json.as_bytes()) {
+        eprintln!("failed to write {}: {e}", out.display());
+        exit(1);
+    }
+    println!("wrote {}", out.display());
+
+    if let Some(path) = check {
+        let baseline: PerfReport = match std::fs::read_to_string(&path) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("failed to parse baseline {}: {e:?}", path.display());
+                    exit(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("failed to read baseline {}: {e}", path.display());
+                exit(2);
+            }
+        };
+        match check_against_baseline(&report, &baseline, tolerance) {
+            Ok(notes) => {
+                for n in notes {
+                    println!("{n}");
+                }
+                println!(
+                    "baseline check passed (tolerance {:.0}%)",
+                    tolerance * 100.0
+                );
+            }
+            Err(failures) => {
+                for f in failures {
+                    eprintln!("{f}");
+                }
+                eprintln!(
+                    "baseline check FAILED (tolerance {:.0}%)",
+                    tolerance * 100.0
+                );
+                exit(1);
+            }
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! cargo run --release -p cgn-bench --bin repro -- seed=7  # other seed
 //! cargo run --release -p cgn-bench --bin repro -- export=plots/  # + TSV figure data
 //! cargo run --release -p cgn-bench --bin repro -- dimensioning   # + CGN port-demand sweep
+//! cargo run --release -p cgn-bench --bin repro -- dimensioning --threads 4
 //! ```
 //!
 //! The output is the "measured" side of EXPERIMENTS.md: every section is
@@ -18,13 +19,23 @@ fn main() {
     let mut seed: u64 = 2016;
     let mut export_dir: Option<std::path::PathBuf> = None;
     let mut dimensioning = false;
-    for arg in std::env::args().skip(1) {
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if let Some(s) = arg.strip_prefix("seed=") {
             seed = s.parse().expect("seed must be an integer");
         } else if let Some(d) = arg.strip_prefix("export=") {
             export_dir = Some(d.into());
         } else if arg == "dimensioning" {
             dimensioning = true;
+        } else if arg == "--threads" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--threads needs a value (worker count; 0 = one per core)");
+                std::process::exit(2);
+            });
+            threads = Some(v.parse().expect("--threads must be an integer"));
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            threads = Some(v.parse().expect("--threads must be an integer"));
         } else {
             scale = arg;
         }
@@ -39,22 +50,63 @@ fn main() {
         }
     };
     if dimensioning {
-        config.dimensioning = Some(match scale.as_str() {
+        let mut dim = match scale.as_str() {
             "tiny" | "small" => cgn_study::DimensioningConfig::small(seed),
             _ => cgn_study::DimensioningConfig::release(seed),
-        });
+        };
+        if let Some(t) = threads {
+            dim.threads = t;
+        }
+        config.dimensioning = Some(dim);
     }
     let t0 = std::time::Instant::now();
     let report = run_study(config);
     let elapsed = t0.elapsed();
     println!("{}", report.render());
+    if dimensioning {
+        print_perf_reference();
+    }
     if let Some(dir) = export_dir {
-        let written = cgn_study::write_to_dir(&report, &dir).expect("figure export");
-        println!(
-            "\nexported {} figure data files to {}",
-            written.len(),
-            dir.display()
-        );
+        match cgn_study::write_to_dir(&report, &dir) {
+            Ok(written) => println!(
+                "\nexported {} figure data files to {}",
+                written.len(),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("figure export to {} failed: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
     }
     println!("\n(reproduced in {elapsed:.2?} at scale '{scale}', seed {seed})");
+}
+
+/// Surface the perf harness's machine-readable trajectory next to the
+/// dimensioning report, so a repro run shows the throughput the same
+/// sweep achieved on the reference machine (`--bin perf` refreshes it).
+fn print_perf_reference() {
+    for path in ["BENCH_dimensioning.json", "bench/baseline.json"] {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let Ok(p) = serde_json::from_str::<cgn_bench::perf::PerfReport>(&text) else {
+            continue;
+        };
+        println!("\nperf reference ({path}):");
+        for s in &p.scales {
+            println!(
+                "  scale {:>2}x ({} subscribers): {:.0} flows/s, peak {} mappings",
+                s.scale, s.subscribers, s.flows_per_sec, s.peak_mappings
+            );
+        }
+        println!(
+            "  {} worker thread(s); parallel speedup {:.2}x over sequential",
+            p.threads, p.parallel_speedup
+        );
+        return;
+    }
+    println!(
+        "\n(no BENCH_dimensioning.json yet — run `cargo run --release -p cgn-bench --bin perf`)"
+    );
 }

@@ -2,10 +2,15 @@
 //!
 //! * `src/bin/repro.rs` — regenerates every table and figure of the paper
 //!   (`cargo run --release -p cgn-bench --bin repro`);
+//! * `src/bin/perf.rs` — the [`perf`] harness: times the dimensioning
+//!   sweep at 1×/4×/16× subscriber scale on the sharded engine and
+//!   writes `BENCH_dimensioning.json` (the CI regression artifact);
 //! * `benches/` — Criterion micro- and macro-benchmarks: NAT translation
 //!   throughput, bencode/KRPC/STUN codecs, routing-table lookups, DHT
 //!   crawl, detection pipelines, and the per-experiment regeneration
 //!   benches (one per table/figure group) plus detector ablations.
+
+pub mod perf;
 
 /// Shared scale used by the experiment benches so their numbers are
 /// comparable across runs.

@@ -1,0 +1,340 @@
+//! Machine-readable perf harness for the CGN dimensioning sweep.
+//!
+//! This is the BENCH-trajectory instrument for the sharded engine: it
+//! runs the dimensioning sweep at 1×/4×/16× subscriber scale, times
+//! every workload mix, and emits a [`PerfReport`] that serializes to
+//! `BENCH_dimensioning.json` — the artifact the CI `perf` job uploads
+//! and diffs against the committed `bench/baseline.json`
+//! ([`check_against_baseline`]).
+//!
+//! Two cross-cutting measurements ride along:
+//!
+//! * **speedup** — the middle scale is run twice, sequentially
+//!   (`threads = 1`) and with worker threads, and the flows/sec ratio
+//!   is reported (`parallel_speedup`);
+//! * **determinism** — the two passes must produce bit-identical
+//!   [`cgn_traffic::RunSummary`] digests per mix; the harness panics
+//!   otherwise, so every perf run doubles as a sequential-vs-sharded
+//!   cross-check.
+
+use cgn_study::dimensioning::DimensioningConfig;
+use cgn_traffic::WorkloadMix;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema tag stamped into every report, for forward compatibility of
+/// the committed baseline.
+pub const SCHEMA: &str = "cgn-dimensioning-perf/1";
+
+/// Default regression tolerance: fail when flows/sec drops by more
+/// than 20% against the baseline.
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Knobs of one harness run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfSettings {
+    pub seed: u64,
+    /// Subscribers at scale 1×.
+    pub base_subscribers: u32,
+    /// Scale multipliers to sweep (the middle one also measures the
+    /// sequential-vs-parallel speedup).
+    pub scales: Vec<u32>,
+    /// Simulated seconds per mix.
+    pub duration_secs: u64,
+    /// NAT state shards (the parallelism axis).
+    pub shards: u16,
+    /// Worker threads: `0` = one per available core.
+    pub threads: usize,
+}
+
+impl PerfSettings {
+    /// The configuration behind the committed baseline.
+    pub fn standard() -> PerfSettings {
+        PerfSettings {
+            seed: 2016,
+            base_subscribers: 1_000,
+            scales: vec![1, 4, 16],
+            duration_secs: 240,
+            shards: 4,
+            threads: 0,
+        }
+    }
+
+    /// A seconds-scale smoke configuration (CI sanity, unit tests).
+    pub fn quick() -> PerfSettings {
+        PerfSettings {
+            seed: 2016,
+            base_subscribers: 150,
+            scales: vec![1, 4],
+            duration_secs: 90,
+            shards: 4,
+            threads: 0,
+        }
+    }
+
+    fn dimensioning(&self, subscribers: u32, threads: usize) -> DimensioningConfig {
+        let mut c = DimensioningConfig::small(self.seed);
+        c.subscribers = subscribers;
+        c.shards = self.shards;
+        c.external_ips_per_shard = 2;
+        c.threads = threads;
+        c.duration_secs = self.duration_secs;
+        c.sample_secs = 30;
+        c.sweep_secs = 20;
+        c.mixes = WorkloadMix::all();
+        c
+    }
+}
+
+/// Timing of one workload mix at one scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixPerf {
+    pub mix: String,
+    pub flows: u64,
+    pub packets: u64,
+    pub peak_mappings: u64,
+    pub wall_secs: f64,
+    pub flows_per_sec: f64,
+}
+
+/// One scale step of the sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalePerf {
+    pub scale: u32,
+    pub subscribers: u32,
+    pub flows: u64,
+    pub peak_mappings: u64,
+    pub wall_secs: f64,
+    pub flows_per_sec: f64,
+    pub mixes: Vec<MixPerf>,
+}
+
+/// The full machine-readable report (`BENCH_dimensioning.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    pub schema: String,
+    pub seed: u64,
+    pub shards: u16,
+    /// Resolved worker-thread count used for the scale sweep.
+    pub threads: usize,
+    pub available_cores: usize,
+    pub duration_secs: u64,
+    pub scales: Vec<ScalePerf>,
+    /// Flows/sec of the middle scale run with `threads = 1`.
+    pub sequential_flows_per_sec: f64,
+    /// Flows/sec of the middle scale run with worker threads.
+    pub parallel_flows_per_sec: f64,
+    /// `parallel / sequential`; 1.0 when only one core is available.
+    pub parallel_speedup: f64,
+    /// Folded per-mix digest of the speedup scale — equal between the
+    /// sequential and parallel pass by construction (the harness
+    /// asserts it), and useful to diff across machines.
+    pub digest: String,
+}
+
+fn measure_scale(settings: &PerfSettings, scale: u32, threads: usize) -> (ScalePerf, u64) {
+    let subscribers = settings.base_subscribers * scale;
+    let config = settings.dimensioning(subscribers, threads);
+    let mut mixes = Vec::new();
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let t0 = Instant::now();
+    for mix in &config.mixes {
+        let m0 = Instant::now();
+        let summary = cgn_traffic::run(&config.driver_config(mix.clone()));
+        let wall = m0.elapsed().as_secs_f64();
+        digest ^= summary.digest();
+        digest = digest.wrapping_mul(0x1000_0000_01b3);
+        mixes.push(MixPerf {
+            mix: summary.mix_name.clone(),
+            flows: summary.flows_started,
+            packets: summary.packets_sent,
+            peak_mappings: summary.report.peak_mappings,
+            wall_secs: wall,
+            flows_per_sec: summary.flows_started as f64 / wall.max(1e-9),
+        });
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let flows: u64 = mixes.iter().map(|m| m.flows).sum();
+    (
+        ScalePerf {
+            scale,
+            subscribers,
+            flows,
+            peak_mappings: mixes.iter().map(|m| m.peak_mappings).max().unwrap_or(0),
+            wall_secs: wall,
+            flows_per_sec: flows as f64 / wall.max(1e-9),
+            mixes,
+        },
+        digest,
+    )
+}
+
+/// Run the harness: the scale sweep with worker threads, plus the
+/// sequential pass of the middle scale for the speedup and determinism
+/// cross-check.
+pub fn run_perf(settings: &PerfSettings) -> PerfReport {
+    assert!(!settings.scales.is_empty(), "need at least one scale");
+    let available_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = match settings.threads {
+        0 => available_cores,
+        n => n,
+    };
+
+    let mut scales = Vec::new();
+    let mut digests = Vec::new();
+    for &scale in &settings.scales {
+        let (perf, digest) = measure_scale(settings, scale, threads);
+        scales.push(perf);
+        digests.push(digest);
+    }
+
+    // Speedup + determinism cross-check on the middle scale.
+    let mid = settings.scales.len() / 2;
+    let parallel_flows_per_sec = scales[mid].flows_per_sec;
+    let (sequential_flows_per_sec, digest) = if threads <= 1 {
+        (parallel_flows_per_sec, digests[mid])
+    } else {
+        let (seq, seq_digest) = measure_scale(settings, settings.scales[mid], 1);
+        assert_eq!(
+            seq_digest, digests[mid],
+            "sequential and parallel runs must be bit-identical"
+        );
+        (seq.flows_per_sec, seq_digest)
+    };
+
+    PerfReport {
+        schema: SCHEMA.to_string(),
+        seed: settings.seed,
+        shards: settings.shards,
+        threads,
+        available_cores,
+        duration_secs: settings.duration_secs,
+        scales,
+        sequential_flows_per_sec,
+        parallel_flows_per_sec,
+        parallel_speedup: parallel_flows_per_sec / sequential_flows_per_sec.max(1e-9),
+        digest: format!("{digest:016x}"),
+    }
+}
+
+/// Compare a fresh report against the committed baseline.
+///
+/// Returns `Ok(notes)` when every scale present in the baseline holds
+/// within `tolerance` (fractional allowed drop in flows/sec), and
+/// `Err(failures)` otherwise. Faster-than-baseline runs always pass.
+pub fn check_against_baseline(
+    current: &PerfReport,
+    baseline: &PerfReport,
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut notes = Vec::new();
+    let mut failures = Vec::new();
+    if baseline.schema != current.schema {
+        failures.push(format!(
+            "schema mismatch: baseline {} vs current {}",
+            baseline.schema, current.schema
+        ));
+        return Err(failures);
+    }
+    for base in &baseline.scales {
+        let Some(cur) = current.scales.iter().find(|s| s.scale == base.scale) else {
+            failures.push(format!("scale {}x missing from current run", base.scale));
+            continue;
+        };
+        if cur.subscribers != base.subscribers {
+            failures.push(format!(
+                "scale {}x configuration mismatch: {} subscribers vs baseline {} \
+                 (flows/sec are not comparable — e.g. a `quick` run against the standard baseline)",
+                base.scale, cur.subscribers, base.subscribers
+            ));
+            continue;
+        }
+        let floor = base.flows_per_sec * (1.0 - tolerance);
+        let line = format!(
+            "scale {:>2}x: {:>10.0} flows/s vs baseline {:>10.0} (floor {:>10.0})",
+            base.scale, cur.flows_per_sec, base.flows_per_sec, floor
+        );
+        if cur.flows_per_sec < floor {
+            failures.push(format!("REGRESSION {line}"));
+        } else {
+            notes.push(format!("ok {line}"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(notes)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PerfSettings {
+        PerfSettings {
+            seed: 7,
+            base_subscribers: 60,
+            scales: vec![1, 2],
+            duration_secs: 60,
+            shards: 2,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn harness_reports_every_scale_and_mix() {
+        let r = run_perf(&tiny());
+        assert_eq!(r.schema, SCHEMA);
+        assert_eq!(r.scales.len(), 2);
+        for s in &r.scales {
+            assert_eq!(s.mixes.len(), WorkloadMix::all().len());
+            assert!(s.flows > 0);
+            assert!(s.flows_per_sec > 0.0);
+        }
+        assert!(r.parallel_speedup > 0.0);
+        assert_eq!(r.scales[1].subscribers, 120);
+        // The sequential cross-check inside run_perf did not panic:
+        // parallel and sequential digests agreed.
+        assert_eq!(r.digest.len(), 16);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = run_perf(&PerfSettings {
+            scales: vec![1],
+            ..tiny()
+        });
+        let json = serde_json::to_string_pretty(&r).expect("serializable");
+        let back: PerfReport = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn baseline_check_flags_regressions_only() {
+        let base = run_perf(&PerfSettings {
+            scales: vec![1],
+            ..tiny()
+        });
+        // Identical run: passes.
+        assert!(check_against_baseline(&base, &base, 0.2).is_ok());
+        // 10x faster baseline: current run is a regression.
+        let mut fast = base.clone();
+        for s in &mut fast.scales {
+            s.flows_per_sec *= 10.0;
+        }
+        let err = check_against_baseline(&base, &fast, 0.2).unwrap_err();
+        assert!(err.iter().all(|m| m.contains("REGRESSION")));
+        // Missing scale in the current run fails too.
+        let mut extra = base.clone();
+        extra.scales[0].scale = 99;
+        assert!(check_against_baseline(&base, &extra, 0.2).is_err());
+        // A differently-sized population is incomparable, not a pass.
+        let mut resized = base.clone();
+        resized.scales[0].subscribers += 1;
+        let err = check_against_baseline(&resized, &base, 0.2).unwrap_err();
+        assert!(err.iter().any(|m| m.contains("configuration mismatch")));
+    }
+}

@@ -50,7 +50,7 @@ impl CompactNode {
 
     /// Parse a concatenated "nodes" blob.
     pub fn parse_list(blob: &[u8]) -> Option<Vec<CompactNode>> {
-        if !blob.len().is_multiple_of(Self::WIRE_LEN) {
+        if blob.len() % Self::WIRE_LEN != 0 {
             return None;
         }
         blob.chunks(Self::WIRE_LEN)

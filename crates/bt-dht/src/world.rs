@@ -391,7 +391,7 @@ impl DhtWorld {
 
         // Local peer discovery: multicast announcements; deliveries are
         // dispatched immediately and any reactions join the initial batch.
-        if self.config.lpd_every > 0 && round.is_multiple_of(self.config.lpd_every) {
+        if self.config.lpd_every > 0 && round % self.config.lpd_every == 0 {
             let announcements: Vec<(NodeId, u16, Vec<u8>)> = self
                 .peers
                 .iter()

@@ -20,11 +20,16 @@ pub struct DimensioningConfig {
     pub seed: u64,
     /// Subscribers behind the CGN deployment.
     pub subscribers: u32,
-    /// Independent CGN instances sharing the load.
-    pub cgn_instances: u16,
-    /// Public IPs per instance.
-    pub external_ips_per_instance: u16,
-    /// Behaviour of every instance.
+    /// NAT state shards sharing the load (subscribers are hashed to
+    /// shards at admission).
+    pub shards: u16,
+    /// Public IPs owned by each shard.
+    pub external_ips_per_shard: u16,
+    /// Worker threads for the epoch-parallel engine: `0` = one per
+    /// available core, `1` = sequential. Never changes the results,
+    /// only the wall time.
+    pub threads: usize,
+    /// Behaviour of every shard.
     pub nat: NatConfig,
     /// Workload mixes to sweep (each gets its own fresh CGN).
     pub mixes: Vec<WorkloadMix>,
@@ -45,8 +50,9 @@ impl DimensioningConfig {
         DimensioningConfig {
             seed,
             subscribers: 400,
-            cgn_instances: 1,
-            external_ips_per_instance: 2,
+            shards: 1,
+            external_ips_per_shard: 2,
+            threads: 1,
             nat: NatConfig::cgn_default(),
             mixes: WorkloadMix::all(),
             modulation: Modulation::none(),
@@ -62,8 +68,9 @@ impl DimensioningConfig {
         DimensioningConfig {
             seed,
             subscribers: 10_000,
-            cgn_instances: 4,
-            external_ips_per_instance: 4,
+            shards: 4,
+            external_ips_per_shard: 4,
+            threads: 0,
             nat: NatConfig::cgn_default(),
             mixes: WorkloadMix::all(),
             modulation: Modulation::none(),
@@ -73,11 +80,15 @@ impl DimensioningConfig {
         }
     }
 
-    fn driver_config(&self, mix: WorkloadMix) -> DriverConfig {
+    /// The per-mix driver configuration this study hands to
+    /// `cgn_traffic::run` (public so the perf harness can time mixes
+    /// individually).
+    pub fn driver_config(&self, mix: WorkloadMix) -> DriverConfig {
         DriverConfig {
             subscribers: self.subscribers,
-            cgn_instances: self.cgn_instances,
-            external_ips_per_instance: self.external_ips_per_instance,
+            shards: self.shards,
+            external_ips_per_shard: self.external_ips_per_shard,
+            threads: self.threads,
             nat: self.nat.clone(),
             mix,
             modulation: self.modulation,
@@ -135,12 +146,12 @@ impl DimensioningReport {
         let c = &self.config;
         let _ = writeln!(
             o,
-            "CGN dimensioning — seed {} | {} subscribers behind {} instance(s) × {} external IP(s), \
+            "CGN dimensioning — seed {} | {} subscribers behind {} shard(s) × {} external IP(s), \
              {} s per mix, {} mixes, {} flows total",
             c.seed,
             c.subscribers,
-            c.cgn_instances,
-            c.external_ips_per_instance,
+            c.shards,
+            c.external_ips_per_shard,
             c.duration_secs,
             self.runs.len(),
             self.total_flows(),
@@ -236,6 +247,18 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.digest(), b.digest());
         assert_ne!(a.digest(), run_dimensioning(&tiny(12)).digest());
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let mut cfg = tiny(9);
+        cfg.shards = 2;
+        cfg.threads = 1;
+        let seq = run_dimensioning(&cfg);
+        cfg.threads = 4;
+        let par = run_dimensioning(&cfg);
+        assert_eq!(seq.runs, par.runs, "threads are an execution detail");
+        assert_eq!(seq.digest(), par.digest());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod compliance;
 pub mod config;
 pub mod nat;
 pub mod ports;
+pub mod sharded;
 
 pub use compliance::{check as check_compliance, ComplianceReport, Requirement};
 pub use config::{
@@ -37,3 +38,4 @@ pub use config::{
 };
 pub use nat::{DropReason, Mapping, Nat, NatStats, NatVerdict, PortOccupancy};
 pub use ports::PortAllocator;
+pub use sharded::ShardedNat;

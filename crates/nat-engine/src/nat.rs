@@ -104,6 +104,12 @@ pub struct NatStats {
     /// High-water mark of concurrent mappings — the state-table size a
     /// real CGN must provision for (the dimensioning question of §6.2).
     pub peak_mappings: u64,
+    /// Calls to [`Nat::sweep`].
+    pub sweeps: u64,
+    /// Sweeps that actually scanned the mapping table. The difference
+    /// to `sweeps` counts invocations short-circuited by the
+    /// earliest-expiry watermark (no mapping could have expired).
+    pub sweep_scans: u64,
     pub drops: u64,
     pub drop_no_mapping: u64,
     pub drop_filtered: u64,
@@ -128,6 +134,8 @@ impl NatStats {
         self.mappings_created += other.mappings_created;
         self.mappings_expired += other.mappings_expired;
         self.peak_mappings += other.peak_mappings;
+        self.sweeps += other.sweeps;
+        self.sweep_scans += other.sweep_scans;
         self.drops += other.drops;
         self.drop_no_mapping += other.drop_no_mapping;
         self.drop_filtered += other.drop_filtered;
@@ -193,6 +201,13 @@ pub struct Nat {
     /// Reverse index for expiry cleanup.
     keys_by_id: HashMap<u64, OutKey>,
     next_id: u64,
+    /// Lower bound on the earliest expiry among live mappings; `None`
+    /// while the table is empty. Every write to a mapping's `expiry`
+    /// folds the new value in via [`Nat::note_expiry`] — necessary
+    /// because a TCP FIN/RST *shortens* an established mapping's
+    /// expiry — so the bound only drifts conservative (too low) until
+    /// the next full scan recomputes it exactly.
+    expiry_floor: Option<SimTime>,
     stats: NatStats,
 }
 
@@ -218,6 +233,7 @@ impl Nat {
             sessions_per_host: HashMap::new(),
             keys_by_id: HashMap::new(),
             next_id: 0,
+            expiry_floor: None,
             stats: NatStats::default(),
         }
     }
@@ -296,7 +312,20 @@ impl Nat {
     }
 
     /// Remove all mappings whose idle timer has run out.
+    ///
+    /// Cheap when called often: the engine tracks a lower bound on the
+    /// earliest expiry among live mappings and skips the table scan
+    /// entirely while `now` has not reached it (see
+    /// [`NatStats::sweep_scans`] vs [`NatStats::sweeps`]).
     pub fn sweep(&mut self, now: SimTime) {
+        self.stats.sweeps += 1;
+        match self.expiry_floor {
+            // Empty table, or no mapping can have expired yet.
+            None => return,
+            Some(floor) if now < floor => return,
+            Some(_) => {}
+        }
+        self.stats.sweep_scans += 1;
         let dead: Vec<u64> = self
             .mappings
             .iter()
@@ -307,6 +336,20 @@ impl Nat {
             self.remove_mapping(id);
             self.stats.mappings_expired += 1;
         }
+        // The scan saw every survivor: recompute the exact floor.
+        self.expiry_floor = self.mappings.values().map(|m| m.expiry).min();
+    }
+
+    /// Fold a newly-(re)assigned expiry into the sweep watermark.
+    /// Refreshes usually push expiries later (the floor just stays a
+    /// conservative bound), but a TCP FIN/RST moves an established
+    /// mapping back onto the short transitory clock — the floor must
+    /// follow downward or the sweep fast path would skip the reap.
+    fn note_expiry(&mut self, expiry: SimTime) {
+        self.expiry_floor = Some(match self.expiry_floor {
+            Some(floor) => floor.min(expiry),
+            None => expiry,
+        });
     }
 
     fn remove_mapping(&mut self, id: u64) {
@@ -418,6 +461,7 @@ impl Nat {
 
         // Refresh + filter state + TCP tracking.
         let external;
+        let new_expiry;
         {
             let m = self.mappings.get_mut(&id).expect("mapping just ensured");
             m.contacted.insert(dst);
@@ -433,8 +477,10 @@ impl Nat {
                 },
             };
             m.expiry = now + t;
+            new_expiry = m.expiry;
             external = m.external;
         }
+        self.note_expiry(new_expiry);
 
         let mut out = pkt;
         out.src = external;
@@ -495,6 +541,7 @@ impl Nat {
             expiry: now + timeout,
             tcp: None,
         };
+        self.note_expiry(m.expiry);
         self.mappings.insert(id, m);
         self.out_index.insert(key, id);
         self.keys_by_id.insert(id, key);
@@ -540,6 +587,7 @@ impl Nat {
             let m = self.mappings.get_mut(&target_id).expect("checked above");
             m.last_refresh = now;
             m.expiry = now + t;
+            self.note_expiry(now + t);
         }
         let mut delivered = translated;
         delivered.dst = internal_dst;
@@ -605,6 +653,7 @@ impl Nat {
             let m = self.mappings.get_mut(&id).expect("checked above");
             m.last_refresh = now;
             m.expiry = now + t;
+            self.note_expiry(now + t);
         }
 
         let mut delivered = pkt;
@@ -843,6 +892,93 @@ mod tests {
         n.sweep(t(61));
         assert_eq!(n.mapping_count(), 0);
         assert_eq!(n.stats().mappings_expired, 5);
+    }
+
+    #[test]
+    fn sweep_fast_path_skips_scan_before_watermark() {
+        let mut n = nat(NatConfig::cgn_default()); // 60 s UDP timeout
+        n.sweep(t(5));
+        assert_eq!(n.stats().sweeps, 1);
+        assert_eq!(n.stats().sweep_scans, 0, "empty table never scans");
+        udp_out(&mut n, internal_host(1), server(), t(0)); // expiry 60
+        for s in [10, 30, 59] {
+            n.sweep(t(s));
+        }
+        assert_eq!(n.stats().sweeps, 4);
+        assert_eq!(
+            n.stats().sweep_scans,
+            0,
+            "no mapping can expire before the watermark"
+        );
+        assert_eq!(n.mapping_count(), 1);
+        n.sweep(t(60)); // expiry <= now: the mapping is dead
+        assert_eq!(n.stats().sweep_scans, 1);
+        assert_eq!(n.mapping_count(), 0);
+        assert_eq!(n.stats().mappings_expired, 1);
+        n.sweep(t(1000)); // empty again: back on the fast path
+        assert_eq!(n.stats().sweep_scans, 1);
+    }
+
+    #[test]
+    fn sweep_watermark_survives_refresh() {
+        let mut n = nat(NatConfig::cgn_default());
+        udp_out(&mut n, internal_host(1), server(), t(0)); // expiry 60
+                                                           // Refresh pushes the expiry to 110 but leaves the floor at 60:
+                                                           // the stale floor forces one scan that finds nothing and
+                                                           // recomputes the exact floor.
+        udp_out(&mut n, internal_host(1), server(), t(50));
+        n.sweep(t(70));
+        assert_eq!(n.mapping_count(), 1, "refreshed mapping must survive");
+        assert_eq!(n.stats().sweep_scans, 1);
+        // Fast path resumes against the recomputed floor…
+        n.sweep(t(109));
+        assert_eq!(n.stats().sweep_scans, 1);
+        // …and expiry is still detected on time.
+        n.sweep(t(110));
+        assert_eq!(n.mapping_count(), 0);
+        assert_eq!(n.stats().sweep_scans, 2);
+    }
+
+    #[test]
+    fn sweep_watermark_follows_tcp_fin_shortened_expiry() {
+        let mut n = nat(NatConfig::cgn_default()); // established 7440 s, transitory 240 s
+        let src = internal_host(1);
+        // Full handshake: the mapping moves onto the established clock.
+        let out = match n.process_outbound(Packet::tcp(src, server(), TcpFlags::SYN, vec![]), t(0))
+        {
+            NatVerdict::Forward(p) => p,
+            v => panic!("{v:?}"),
+        };
+        assert!(matches!(
+            n.process_inbound(
+                Packet::tcp(server(), out.src, TcpFlags::SYN_ACK, vec![]),
+                t(0)
+            ),
+            NatVerdict::Forward(_)
+        ));
+        assert!(matches!(
+            n.process_outbound(Packet::tcp(src, server(), TcpFlags::ACK, vec![]), t(0)),
+            NatVerdict::Forward(_)
+        ));
+        // A scan past the stale (transitory) floor recomputes the floor
+        // to the established expiry (7440 s).
+        n.sweep(t(241));
+        assert_eq!(n.mapping_count(), 1);
+        // FIN moves the mapping back onto the transitory clock: expiry
+        // 300 + 240 = 540 s, far below the recomputed floor. The
+        // watermark must follow, or this sweep would fast-skip and leak
+        // the port for the rest of the established timeout.
+        assert!(matches!(
+            n.process_outbound(Packet::tcp(src, server(), TcpFlags::FIN, vec![]), t(300)),
+            NatVerdict::Forward(_)
+        ));
+        n.sweep(t(600));
+        assert_eq!(
+            n.mapping_count(),
+            0,
+            "closed connection must be reaped on the transitory clock"
+        );
+        assert_eq!(n.stats().mappings_expired, 1);
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! Sharded NAT engine: translation state partitioned by external IP.
+//!
+//! A [`ShardedNat`] splits a CGN's external address pool across N
+//! shards; each shard is a complete [`Nat`] owning its own port
+//! allocators, mapping tables and [`NatStats`]. Internal hosts are
+//! **hashed to a shard at admission** ([`ShardedNat::shard_of`]), so a
+//! subscriber's whole flow history lives in exactly one shard — the
+//! per-external-IP state partitioning that lets a CGN scale across
+//! cores (and, in real deployments, across chassis).
+//!
+//! Because shards share no mutable state, batches of packets that were
+//! pre-partitioned by shard can be processed on worker threads with no
+//! synchronization beyond the final join ([`ShardedNat::process_batches`]),
+//! and the outcome is bit-identical to processing the same batches
+//! sequentially shard-by-shard.
+//!
+//! One behavioural difference to a monolithic [`Nat`] is intentional:
+//! **hairpinning only resolves within a shard**. An outbound packet
+//! addressed to an external IP owned by a *different* shard is
+//! forwarded toward the core like any other packet — the same thing
+//! happens between the chassis of a multi-box CGN deployment.
+
+use crate::config::NatConfig;
+use crate::nat::{Nat, NatStats, NatVerdict, PortOccupancy};
+use netcore::{Packet, SimTime};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// SplitMix64 finalizer — the shard hash must be stable across runs and
+/// platforms, so it is spelled out here rather than borrowed from
+/// `std::hash` (whose output is not guaranteed across releases).
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run `f` over a list of mutually independent work items on up to
+/// `threads` scoped worker threads (`threads <= 1` runs in place on
+/// the caller's thread). Items are split into contiguous groups, one
+/// per worker, so results come back **in item order** regardless of
+/// scheduling — the scatter/gather primitive behind
+/// [`ShardedNat::process_batches`] and the traffic driver's epoch
+/// engine.
+pub fn scatter<T, R, F>(work: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if threads <= 1 || work.len() <= 1 {
+        return work.into_iter().map(f).collect();
+    }
+    let chunk = work.len().div_ceil(threads.min(work.len()));
+    let mut groups: Vec<Vec<T>> = Vec::new();
+    let mut work = work.into_iter();
+    loop {
+        let group: Vec<T> = work.by_ref().take(chunk).collect();
+        if group.is_empty() {
+            break;
+        }
+        groups.push(group);
+    }
+    let f = &f;
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|group| scope.spawn(move || group.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("scatter worker panicked"));
+        }
+    });
+    out
+}
+
+/// A CGN whose state is partitioned into independent [`Nat`] shards.
+#[derive(Debug)]
+pub struct ShardedNat {
+    shards: Vec<Nat>,
+    /// External IP → owning shard, for inbound routing.
+    ext_owner: HashMap<Ipv4Addr, usize>,
+}
+
+impl ShardedNat {
+    /// Partition `external_ips` round-robin across `shards` shards, each
+    /// seeded deterministically from `seed` and its shard index.
+    ///
+    /// Panics if `shards == 0` or there are fewer external IPs than
+    /// shards (every shard must own at least one public address).
+    pub fn new(config: NatConfig, external_ips: Vec<Ipv4Addr>, shards: u16, seed: u64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            external_ips.len() >= shards as usize,
+            "each shard needs at least one external IP ({} IPs for {} shards)",
+            external_ips.len(),
+            shards
+        );
+        let mut pools: Vec<Vec<Ipv4Addr>> = vec![Vec::new(); shards as usize];
+        let mut ext_owner = HashMap::new();
+        for (i, ip) in external_ips.into_iter().enumerate() {
+            let shard = i % shards as usize;
+            pools[shard].push(ip);
+            ext_owner.insert(ip, shard);
+        }
+        let shards = pools
+            .into_iter()
+            .enumerate()
+            .map(|(i, pool)| Nat::new(config.clone(), pool, seed.wrapping_add(mix64(i as u64 + 1))))
+            .collect();
+        ShardedNat { shards, ext_owner }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an internal host is admitted to. Stable for the
+    /// lifetime of the engine: depends only on the host address and the
+    /// shard count.
+    pub fn shard_of(&self, internal: Ipv4Addr) -> usize {
+        (mix64(u32::from(internal) as u64) % self.shards.len() as u64) as usize
+    }
+
+    pub fn shards(&self) -> &[Nat] {
+        &self.shards
+    }
+
+    /// Mutable access to the shards, for callers that drive per-shard
+    /// work on their own worker threads (e.g. the traffic driver's
+    /// epoch engine).
+    pub fn shards_mut(&mut self) -> &mut [Nat] {
+        &mut self.shards
+    }
+
+    /// Whether `ip` belongs to any shard's external pool.
+    pub fn is_external_ip(&self, ip: Ipv4Addr) -> bool {
+        self.ext_owner.contains_key(&ip)
+    }
+
+    /// Every external IP across all shards, in shard order.
+    pub fn external_ips(&self) -> Vec<Ipv4Addr> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.external_ips().iter().copied())
+            .collect()
+    }
+
+    /// Route one outbound packet to its owner shard.
+    pub fn process_outbound(&mut self, pkt: Packet, now: SimTime) -> NatVerdict {
+        let shard = self.shard_of(pkt.src.ip);
+        self.shards[shard].process_outbound(pkt, now)
+    }
+
+    /// Route one inbound packet to the shard owning its destination
+    /// external IP (shard 0 records the drop for strays addressed to an
+    /// IP no shard owns).
+    pub fn process_inbound(&mut self, pkt: Packet, now: SimTime) -> NatVerdict {
+        let shard = self.ext_owner.get(&pkt.dst.ip).copied().unwrap_or(0);
+        self.shards[shard].process_inbound(pkt, now)
+    }
+
+    /// Sweep every shard's expired mappings.
+    pub fn sweep(&mut self, now: SimTime) {
+        for shard in &mut self.shards {
+            shard.sweep(now);
+        }
+    }
+
+    /// Live mappings across all shards.
+    pub fn mapping_count(&self) -> usize {
+        self.shards.iter().map(|s| s.mapping_count()).sum()
+    }
+
+    /// Counters folded across shards in shard order.
+    pub fn merged_stats(&self) -> NatStats {
+        let mut out = NatStats::default();
+        for shard in &self.shards {
+            out.merge(shard.stats());
+        }
+        out
+    }
+
+    /// Unexpired-mapping count per internal host across all shards.
+    /// Hosts are partitioned, so this is a disjoint union.
+    pub fn ports_by_host(&self, now: SimTime) -> HashMap<Ipv4Addr, u32> {
+        let mut out = HashMap::new();
+        for shard in &self.shards {
+            out.extend(shard.ports_by_host(now));
+        }
+        out
+    }
+
+    /// Allocator fill levels across all shards, sorted for
+    /// deterministic iteration.
+    pub fn port_occupancy(&self) -> Vec<PortOccupancy> {
+        let mut out: Vec<PortOccupancy> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.port_occupancy())
+            .collect();
+        out.sort_by_key(|o| (o.ext_ip, o.proto));
+        out
+    }
+
+    /// Split an outbound packet stream into per-shard batches, in
+    /// arrival order within each batch — the input format of
+    /// [`ShardedNat::process_batches`].
+    pub fn partition_outbound(&self, pkts: impl IntoIterator<Item = Packet>) -> Vec<Vec<Packet>> {
+        let mut batches: Vec<Vec<Packet>> = vec![Vec::new(); self.shards.len()];
+        for pkt in pkts {
+            batches[self.shard_of(pkt.src.ip)].push(pkt);
+        }
+        batches
+    }
+
+    /// Process one pre-partitioned batch per shard on up to `threads`
+    /// scoped worker threads (`threads <= 1` runs in place on the
+    /// caller's thread). Returns the verdicts per shard, in batch
+    /// order.
+    ///
+    /// Shards are mutually independent, so the result is bit-identical
+    /// for every thread count.
+    ///
+    /// Panics if `batches.len() != self.shard_count()`.
+    pub fn process_batches(
+        &mut self,
+        batches: Vec<Vec<Packet>>,
+        now: SimTime,
+        threads: usize,
+    ) -> Vec<Vec<NatVerdict>> {
+        assert_eq!(
+            batches.len(),
+            self.shards.len(),
+            "one batch per shard required"
+        );
+        let work: Vec<(&mut Nat, Vec<Packet>)> = self.shards.iter_mut().zip(batches).collect();
+        scatter(work, threads, |(shard, batch)| {
+            batch
+                .into_iter()
+                .map(|pkt| shard.process_outbound(pkt, now))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Pooling;
+    use netcore::{ip, Endpoint};
+    use proptest::prelude::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn pool(n: u8) -> Vec<Ipv4Addr> {
+        (0..n).map(|k| ip(198, 51, 100, k + 1)).collect()
+    }
+
+    fn server() -> Endpoint {
+        Endpoint::new(ip(203, 0, 113, 10), 8000)
+    }
+
+    fn host(k: u32) -> Endpoint {
+        Endpoint::new(Ipv4Addr::from(u32::from(ip(100, 64, 0, 0)) + k), 40000)
+    }
+
+    #[test]
+    fn external_pool_partitions_without_overlap() {
+        let s = ShardedNat::new(NatConfig::cgn_default(), pool(7), 3, 1);
+        assert_eq!(s.shard_count(), 3);
+        let mut all: Vec<Ipv4Addr> = s.external_ips();
+        assert_eq!(all.len(), 7);
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 7, "no IP owned by two shards");
+        for ip in all {
+            assert!(s.is_external_ip(ip));
+        }
+        for shard in s.shards() {
+            assert!(!shard.external_ips().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one external IP")]
+    fn more_shards_than_ips_rejected() {
+        let _ = ShardedNat::new(NatConfig::cgn_default(), pool(2), 3, 1);
+    }
+
+    #[test]
+    fn outbound_lands_in_owner_shard_and_inbound_routes_back() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = crate::config::FilteringBehavior::EndpointIndependent;
+        let mut s = ShardedNat::new(cfg, pool(4), 4, 7);
+        for k in 0..32 {
+            let shard = s.shard_of(host(k).ip);
+            let out = match s.process_outbound(Packet::udp(host(k), server(), vec![]), t(0)) {
+                NatVerdict::Forward(p) => p,
+                v => panic!("expected Forward, got {v:?}"),
+            };
+            assert!(
+                s.shards()[shard].is_external_ip(out.src.ip),
+                "mapping must use the owner shard's pool"
+            );
+            // The reply finds its way back through the same shard.
+            let back = Packet::udp(server(), out.src, vec![]);
+            match s.process_inbound(back, t(1)) {
+                NatVerdict::Forward(p) => assert_eq!(p.dst, host(k)),
+                v => panic!("expected Forward back, got {v:?}"),
+            }
+        }
+        assert_eq!(s.mapping_count() as u64, s.merged_stats().mappings_created);
+    }
+
+    #[test]
+    fn stray_inbound_dropped_deterministically() {
+        let mut s = ShardedNat::new(NatConfig::cgn_default(), pool(2), 2, 3);
+        let stray = Packet::udp(server(), Endpoint::new(ip(9, 9, 9, 9), 1), vec![]);
+        assert!(matches!(
+            s.process_inbound(stray, t(0)),
+            NatVerdict::Drop(crate::nat::DropReason::NoMapping)
+        ));
+        assert_eq!(s.merged_stats().drop_no_mapping, 1);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_spreads_hosts() {
+        let s = ShardedNat::new(NatConfig::cgn_default(), pool(8), 8, 1);
+        let mut counts = vec![0usize; 8];
+        for k in 0..4_000 {
+            let a = s.shard_of(host(k).ip);
+            assert_eq!(a, s.shard_of(host(k).ip), "hash must be stable");
+            counts[a] += 1;
+        }
+        let (min, max) = (
+            counts.iter().min().copied().unwrap(),
+            counts.iter().max().copied().unwrap(),
+        );
+        assert!(
+            min * 2 > max,
+            "hosts should spread roughly evenly: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn paired_pooling_sticky_within_shard() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.pooling = Pooling::Paired;
+        let mut s = ShardedNat::new(cfg, pool(6), 3, 5);
+        for k in 0..10 {
+            let mut ips = std::collections::HashSet::new();
+            for flow in 0..8u16 {
+                let src = Endpoint::new(host(k).ip, 40000 + flow);
+                if let NatVerdict::Forward(p) =
+                    s.process_outbound(Packet::udp(src, server(), vec![]), t(0))
+                {
+                    ips.insert(p.src.ip);
+                }
+            }
+            assert_eq!(ips.len(), 1, "pairing must hold across a host's flows");
+        }
+    }
+
+    #[test]
+    fn sweep_expires_across_all_shards() {
+        let mut s = ShardedNat::new(NatConfig::cgn_default(), pool(4), 4, 2);
+        for k in 0..64 {
+            let _ = s.process_outbound(Packet::udp(host(k), server(), vec![]), t(0));
+        }
+        assert_eq!(s.mapping_count(), 64);
+        s.sweep(t(61));
+        assert_eq!(s.mapping_count(), 0);
+        assert_eq!(s.merged_stats().mappings_expired, 64);
+        assert_eq!(s.ports_by_host(t(61)).len(), 0);
+    }
+
+    /// Build the identical workload twice and compare batch-parallel
+    /// against packet-at-a-time sequential processing.
+    fn batch_equivalence(shards: u16, threads: usize, hosts: u32, flows_per_host: u16, seed: u64) {
+        let mk = || ShardedNat::new(NatConfig::cgn_default(), pool(8), shards, seed);
+        let pkts: Vec<Packet> = (0..hosts)
+            .flat_map(|k| {
+                (0..flows_per_host).map(move |f| {
+                    Packet::udp(
+                        Endpoint::new(host(k).ip, 40000 + f),
+                        Endpoint::new(ip(203, 0, 113, (k % 200) as u8), 1000 + f),
+                        vec![],
+                    )
+                })
+            })
+            .collect();
+
+        let mut seq = mk();
+        let seq_verdicts: Vec<Vec<NatVerdict>> = {
+            let batches = seq.partition_outbound(pkts.clone());
+            batches
+                .into_iter()
+                .enumerate()
+                .map(|(i, batch)| {
+                    batch
+                        .into_iter()
+                        .map(|p| seq.shards_mut()[i].process_outbound(p, t(0)))
+                        .collect()
+                })
+                .collect()
+        };
+
+        let mut par = mk();
+        let batches = par.partition_outbound(pkts);
+        let par_verdicts = par.process_batches(batches, t(0), threads);
+
+        assert_eq!(seq_verdicts, par_verdicts);
+        assert_eq!(seq.merged_stats(), par.merged_stats());
+        assert_eq!(seq.ports_by_host(t(0)), par.ports_by_host(t(0)));
+        assert_eq!(seq.port_occupancy(), par.port_occupancy());
+    }
+
+    #[test]
+    fn batches_match_sequential_processing() {
+        batch_equivalence(4, 4, 100, 6, 11);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Worker-thread batch processing is bit-identical to
+        /// sequential shard-by-shard processing for arbitrary
+        /// workload shapes, shard and thread counts.
+        #[test]
+        fn prop_batches_equal_sequential(
+            shards in 1u16..=8,
+            threads in 1usize..=6,
+            hosts in 1u32..60,
+            flows_per_host in 1u16..6,
+            seed in any::<u64>(),
+        ) {
+            batch_equivalence(shards, threads, hosts, flows_per_host, seed);
+        }
+    }
+}

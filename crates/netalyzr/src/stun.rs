@@ -72,7 +72,7 @@ impl StunMessage {
         out.extend_from_slice(&(value.len() as u16).to_be_bytes());
         out.extend_from_slice(value);
         // Pad to 32-bit boundary.
-        while !out.len().is_multiple_of(4) {
+        while out.len() % 4 != 0 {
             out.push(0);
         }
     }

@@ -1,36 +1,51 @@
-//! The flow scheduler: a time-ordered event engine that pushes
-//! generated flows through one or more [`nat_engine::Nat`] instances.
+//! The flow scheduler: a sharded, epoch-parallel event engine that
+//! pushes generated flows through a [`nat_engine::ShardedNat`].
 //!
-//! The engine is a binary heap of events — subscriber flow arrivals,
-//! per-flow keepalive packets, flow teardowns, periodic mapping sweeps
-//! and demand samples — processed in `(time, sequence)` order, so a run
-//! is fully deterministic given its seed. Every packet goes through
-//! `Nat::process_outbound`, exercising the same mapping-creation,
-//! refresh, timeout-sweep and drop paths the study's measurements
-//! depend on, at millions-of-flows scale.
+//! Subscribers are hashed to NAT shards at admission
+//! ([`ShardedNat::shard_of`]); each shard owns a complete NAT state
+//! slice (port allocators, mapping tables, stats), its own binary-heap
+//! event queue, and the RNG streams of its subscribers. Between two
+//! *epoch barriers* — the sweep and demand-sample ticks — shards share
+//! nothing, so worker threads (`std::thread::scope`) advance them
+//! concurrently; at each barrier the coordinator merges the per-shard
+//! demand slices (`analysis::port_demand::merge_shard_demand`).
+//!
+//! **Determinism.** Every subscriber draws from its own seeded RNG
+//! stream and every shard's events are processed in `(time, sequence)`
+//! order, so a run is bit-identical for *any* worker-thread count —
+//! `threads` is an execution detail, never an input to the result (see
+//! the `parallel_matches_sequential` tests). Shard count, on the other
+//! hand, is topology: it decides which allocator serves a subscriber
+//! and therefore (like `external_ips_per_shard`) is part of the
+//! configuration a digest depends on.
 
 use crate::modulation::Modulation;
 use crate::workload::{AppProfile, WorkloadMix};
-use analysis::port_demand::{self, DemandSample, DemandSeries, PortDemandReport};
-use nat_engine::{Nat, NatConfig, NatStats, NatVerdict};
+use analysis::port_demand::{self, DemandSeries, PortDemandReport, ShardDemand};
+use nat_engine::sharded::{mix64, scatter};
+use nat_engine::{Nat, NatConfig, NatStats, NatVerdict, ShardedNat};
 use netcore::{Endpoint, Packet, SimTime, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Everything one dimensioning run needs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DriverConfig {
-    /// Subscriber population across all CGN instances.
+    /// Subscriber population across all shards.
     pub subscribers: u32,
-    /// Independent CGN instances; subscribers are assigned round-robin.
-    pub cgn_instances: u16,
-    /// Public addresses in each instance's pool.
-    pub external_ips_per_instance: u16,
-    /// Behaviour of every instance.
+    /// NAT state shards; subscribers are hashed to shards at admission.
+    pub shards: u16,
+    /// Public addresses owned by each shard.
+    pub external_ips_per_shard: u16,
+    /// Worker threads for the epoch engine: `0` = one per available
+    /// core, `1` = sequential in place. Results are identical for every
+    /// value.
+    pub threads: usize,
+    /// Behaviour of every shard.
     pub nat: NatConfig,
     /// Application mix of the population.
     pub mix: WorkloadMix,
@@ -38,20 +53,22 @@ pub struct DriverConfig {
     pub modulation: Modulation,
     /// Simulated run length.
     pub duration_secs: u64,
-    /// Demand-sampling cadence.
+    /// Demand-sampling cadence (an epoch barrier).
     pub sample_secs: u64,
-    /// Mapping-sweep cadence (exercises `Nat::sweep` at scale).
+    /// Mapping-sweep cadence (an epoch barrier exercising `Nat::sweep`
+    /// at scale).
     pub sweep_secs: u64,
     pub seed: u64,
 }
 
 impl DriverConfig {
-    /// A mid-size default: 8k subscribers behind one instance.
+    /// A mid-size default: 8k subscribers behind one shard, sequential.
     pub fn new(mix: WorkloadMix, seed: u64) -> DriverConfig {
         DriverConfig {
             subscribers: 8_000,
-            cgn_instances: 1,
-            external_ips_per_instance: 8,
+            shards: 1,
+            external_ips_per_shard: 8,
+            threads: 1,
             nat: NatConfig::cgn_default(),
             mix,
             modulation: Modulation::none(),
@@ -64,11 +81,15 @@ impl DriverConfig {
 }
 
 /// Aggregated outcome of one run.
+///
+/// Deliberately excludes the worker-thread count: summaries produced
+/// with different `threads` settings but otherwise identical
+/// configurations compare equal.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
     pub mix_name: String,
     pub subscribers: u32,
-    pub cgn_instances: u16,
+    pub shards: u16,
     pub duration_secs: u64,
     /// New-flow attempts handed to the NAT.
     pub flows_started: u64,
@@ -78,9 +99,9 @@ pub struct RunSummary {
     pub flows_completed: u64,
     /// Outbound packets processed (arrivals + keepalives + teardowns).
     pub packets_sent: u64,
-    /// NAT counters summed across instances.
+    /// NAT counters merged across shards.
     pub stats: NatStats,
-    /// Demand time series (aggregated across instances).
+    /// Demand time series (merged across shards at each barrier).
     pub series: DemandSeries,
     /// Ports-per-subscriber distribution at the peak sample (sorted).
     pub peak_ports_per_subscriber: Vec<u32>,
@@ -105,19 +126,11 @@ impl RunSummary {
 #[derive(Debug, Clone, Copy)]
 enum Kind {
     /// Next flow arrival for a subscriber.
-    Arrival {
-        sub: u32,
-    },
+    Arrival { sub: u32 },
     /// Keepalive packet for a live flow.
-    Packet {
-        flow: u64,
-    },
+    Packet { flow: u64 },
     /// Scheduled flow teardown.
-    End {
-        flow: u64,
-    },
-    Sample,
-    Sweep,
+    End { flow: u64 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -145,12 +158,59 @@ impl Ord for Ev {
 }
 
 struct FlowState {
-    instance: u16,
     src: Endpoint,
     dst: Endpoint,
     udp: bool,
     end_ms: u64,
     refresh_ms: u64,
+}
+
+/// One subscriber's generator state. Each subscriber owns an
+/// independent RNG stream, which is what makes the run independent of
+/// shard processing order.
+struct SubState {
+    rng: StdRng,
+    profile: AppProfile,
+    next_src_port: u16,
+}
+
+/// Shard-local driver state: the event queue and the flow/subscriber
+/// tables of the hosts admitted to this shard.
+struct ShardState {
+    heap: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    subs: HashMap<u32, SubState>,
+    flows: HashMap<u64, FlowState>,
+    next_flow_id: u64,
+    flows_started: u64,
+    flows_blocked: u64,
+    flows_completed: u64,
+    packets_sent: u64,
+}
+
+impl ShardState {
+    fn new() -> ShardState {
+        ShardState {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            subs: HashMap::new(),
+            flows: HashMap::new(),
+            next_flow_id: 0,
+            flows_started: 0,
+            flows_blocked: 0,
+            flows_completed: 0,
+            packets_sent: 0,
+        }
+    }
+
+    fn push(&mut self, at_ms: u64, kind: Kind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Ev {
+            at_ms,
+            seq: self.seq,
+            kind,
+        }));
+    }
 }
 
 /// Shared address plan: subscriber internal IPs in `100.64/10`
@@ -159,8 +219,8 @@ fn subscriber_ip(idx: u32) -> Ipv4Addr {
     Ipv4Addr::from(u32::from(Ipv4Addr::new(100, 64, 0, 0)) + idx)
 }
 
-fn pool_ip(instance: u16, k: u16) -> Ipv4Addr {
-    Ipv4Addr::from(u32::from(Ipv4Addr::new(198, 18, 0, 0)) + (instance as u32) * 256 + k as u32)
+fn pool_ip(shard: u16, k: u16) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(Ipv4Addr::new(198, 18, 0, 0)) + (shard as u32) * 256 + k as u32)
 }
 
 /// Per-class destination universes live in distinct public /8-ish
@@ -186,129 +246,95 @@ fn pool_slot_to_universe(sub: u32, slot: u16, universe: u32) -> u32 {
     (z as u32) % universe.max(1)
 }
 
-/// Run one workload against freshly-built CGN instances.
-pub fn run(config: &DriverConfig) -> RunSummary {
-    assert!(config.subscribers > 0, "need at least one subscriber");
-    assert!(config.cgn_instances > 0, "need at least one CGN instance");
-    assert!(
-        config.external_ips_per_instance <= 256,
-        "pool addressing assigns each instance a /24-sized stride: \
-         external_ips_per_instance must be <= 256"
-    );
-    assert!(config.duration_secs > 0 && config.sample_secs > 0 && config.sweep_secs > 0);
-
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD1_3E_25_10);
-    let mut nats: Vec<Nat> = (0..config.cgn_instances)
-        .map(|i| {
-            let pool: Vec<Ipv4Addr> = (0..config.external_ips_per_instance.max(1))
-                .map(|k| pool_ip(i, k))
-                .collect();
-            Nat::new(config.nat.clone(), pool, config.seed.wrapping_add(i as u64))
-        })
-        .collect();
-
-    // Subscriber state: profile assignment plus a rolling source port.
-    let profiles: Vec<AppProfile> = (0..config.subscribers)
-        .map(|i| config.mix.assign(i))
-        .collect();
-    let mut next_src_port: Vec<u16> = vec![0; config.subscribers as usize];
-
-    let horizon_ms = config.duration_secs * 1000;
-    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
-    let mut seq: u64 = 0;
-    let push = |heap: &mut BinaryHeap<Reverse<Ev>>, seq: &mut u64, at_ms: u64, kind: Kind| {
-        *seq += 1;
-        heap.push(Reverse(Ev {
-            at_ms,
-            seq: *seq,
-            kind,
-        }));
-    };
-
-    // Prime the engine: staggered first arrivals, plus the periodic
-    // sample/sweep clocks.
-    for sub in 0..config.subscribers {
-        let offset = rng.gen_range(0..1000u64);
-        push(&mut heap, &mut seq, offset, Kind::Arrival { sub });
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
     }
-    push(&mut heap, &mut seq, config.sample_secs * 1000, Kind::Sample);
-    push(&mut heap, &mut seq, config.sweep_secs * 1000, Kind::Sweep);
+}
 
-    let mut flows: HashMap<u64, FlowState> = HashMap::new();
-    let mut next_flow_id: u64 = 0;
-
-    let mut flows_started = 0u64;
-    let mut flows_blocked = 0u64;
-    let mut flows_completed = 0u64;
-    let mut packets_sent = 0u64;
-
-    let mut series = DemandSeries::default();
-    let mut peak_live = 0u64;
-    let mut peak_dist: Vec<u32> = Vec::new();
-
-    while let Some(Reverse(ev)) = heap.pop() {
-        if ev.at_ms > horizon_ms {
-            break;
-        }
+/// Advance one shard's event queue up to (and including) `boundary_ms`,
+/// then run its barrier duties: sweep expired mappings and/or capture
+/// this shard's slice of the demand snapshot.
+fn advance_shard(
+    nat: &mut Nat,
+    st: &mut ShardState,
+    modulation: &Modulation,
+    horizon_ms: u64,
+    boundary_ms: u64,
+    do_sweep: bool,
+    do_sample: bool,
+) -> Option<ShardDemand> {
+    while st
+        .heap
+        .peek()
+        .is_some_and(|Reverse(e)| e.at_ms <= boundary_ms)
+    {
+        let Reverse(ev) = st.heap.pop().expect("peeked");
         let now = SimTime::from_millis(ev.at_ms);
-        let t_secs = ev.at_ms / 1000;
         match ev.kind {
             Kind::Arrival { sub } => {
-                let profile = profiles[sub as usize];
-                let params = profile.params();
+                let (profile, next_arrival, src, dst, udp, end_ms);
+                {
+                    let ss = st.subs.get_mut(&sub).expect("sub admitted to this shard");
+                    profile = ss.profile;
+                    let params = profile.params();
 
-                // Schedule the next arrival first (non-homogeneous
-                // Poisson, rate modulated at the current instant).
-                let rate_per_sec = params.flows_per_min / 60.0
-                    * config.modulation.factor(t_secs, params.flash_sensitive);
-                if rate_per_sec > 1e-12 {
-                    let u: f64 = rng.gen::<f64>().max(1e-12);
-                    let gap_ms = (-u.ln() / rate_per_sec * 1000.0).clamp(1.0, 1e12) as u64;
-                    let at = ev.at_ms + gap_ms;
-                    if at <= horizon_ms {
-                        push(&mut heap, &mut seq, at, Kind::Arrival { sub });
-                    }
+                    // Schedule the next arrival first (non-homogeneous
+                    // Poisson, rate modulated at the current instant).
+                    let rate_per_sec = params.flows_per_min / 60.0
+                        * modulation.factor(ev.at_ms / 1000, params.flash_sensitive);
+                    next_arrival = if rate_per_sec > 1e-12 {
+                        let u: f64 = ss.rng.gen::<f64>().max(1e-12);
+                        let gap_ms = (-u.ln() / rate_per_sec * 1000.0).clamp(1.0, 1e12) as u64;
+                        Some(ev.at_ms + gap_ms).filter(|at| *at <= horizon_ms)
+                    } else {
+                        None
+                    };
+
+                    // Build the flow.
+                    let src_port = 20_000 + (ss.next_src_port % 45_000);
+                    ss.next_src_port = ss.next_src_port.wrapping_add(1) % 45_000;
+                    src = Endpoint::new(subscriber_ip(sub), src_port);
+                    let slot = ss.rng.gen_range(0..params.fanout);
+                    let universe_idx = pool_slot_to_universe(sub, slot, params.dest_universe);
+                    // Popularity skew: collapse high slots onto the popular
+                    // end of the universe now and then.
+                    let universe_idx = if ss.rng.gen_bool(0.3) {
+                        params.sample_dest(&mut ss.rng)
+                    } else {
+                        universe_idx
+                    };
+                    dst = Endpoint::new(
+                        dest_ip(profile, universe_idx),
+                        params.sample_dst_port(&mut ss.rng),
+                    );
+                    udp = ss.rng.gen_bool(params.udp_share);
+                    let duration_ms = (params.sample_duration_secs(&mut ss.rng) * 1000.0) as u64;
+                    end_ms = ev.at_ms + duration_ms.max(1000);
                 }
-
-                // Build the flow.
-                let sp = &mut next_src_port[sub as usize];
-                let src_port = 20_000 + (*sp % 45_000);
-                *sp = sp.wrapping_add(1) % 45_000;
-                let src = Endpoint::new(subscriber_ip(sub), src_port);
-                let slot = rng.gen_range(0..params.fanout);
-                let universe_idx = pool_slot_to_universe(sub, slot, params.dest_universe);
-                // Popularity skew: collapse high slots onto the popular
-                // end of the universe now and then.
-                let universe_idx = if rng.gen_bool(0.3) {
-                    params.sample_dest(&mut rng)
-                } else {
-                    universe_idx
-                };
-                let dst = Endpoint::new(
-                    dest_ip(profile, universe_idx),
-                    params.sample_dst_port(&mut rng),
-                );
-                let udp = rng.gen_bool(params.udp_share);
-                let duration_ms = (params.sample_duration_secs(&mut rng) * 1000.0) as u64;
-                let end_ms = ev.at_ms + duration_ms.max(1000);
-                let instance = (sub % config.cgn_instances as u32) as u16;
+                if let Some(at) = next_arrival {
+                    st.push(at, Kind::Arrival { sub });
+                }
 
                 let first = if udp {
                     Packet::udp(src, dst, vec![])
                 } else {
                     Packet::tcp(src, dst, TcpFlags::SYN, vec![])
                 };
-                packets_sent += 1;
-                flows_started += 1;
-                match nats[instance as usize].process_outbound(first, now) {
+                st.packets_sent += 1;
+                st.flows_started += 1;
+                match nat.process_outbound(first, now) {
                     NatVerdict::Forward(_) | NatVerdict::Hairpin(_) => {
-                        let refresh_ms = params.refresh_secs * 1000;
-                        let id = next_flow_id;
-                        next_flow_id += 1;
-                        flows.insert(
+                        let refresh_ms = profile.params().refresh_secs * 1000;
+                        let id = st.next_flow_id;
+                        st.next_flow_id += 1;
+                        st.flows.insert(
                             id,
                             FlowState {
-                                instance,
                                 src,
                                 dst,
                                 udp,
@@ -318,43 +344,45 @@ pub fn run(config: &DriverConfig) -> RunSummary {
                         );
                         let next = ev.at_ms + refresh_ms;
                         if next < end_ms.min(horizon_ms) {
-                            push(&mut heap, &mut seq, next, Kind::Packet { flow: id });
+                            st.push(next, Kind::Packet { flow: id });
                         } else if end_ms <= horizon_ms {
-                            push(&mut heap, &mut seq, end_ms, Kind::End { flow: id });
+                            st.push(end_ms, Kind::End { flow: id });
                         }
                     }
                     NatVerdict::Drop(_) => {
                         // Port/chunk exhaustion or the per-subscriber
-                        // session limit; the engine's stats record which.
-                        flows_blocked += 1;
+                        // session limit; the shard's stats record which.
+                        st.flows_blocked += 1;
                     }
                 }
             }
             Kind::Packet { flow } => {
-                let Some(f) = flows.get(&flow) else { continue };
+                let Some(f) = st.flows.get(&flow) else {
+                    continue;
+                };
                 let pkt = if f.udp {
                     Packet::udp(f.src, f.dst, vec![])
                 } else {
                     Packet::tcp(f.src, f.dst, TcpFlags::ACK, vec![])
                 };
-                packets_sent += 1;
-                let verdict = nats[f.instance as usize].process_outbound(pkt, now);
+                let (end_ms, refresh_ms) = (f.end_ms, f.refresh_ms);
+                st.packets_sent += 1;
+                let verdict = nat.process_outbound(pkt, now);
                 if matches!(verdict, NatVerdict::Drop(_)) {
                     // Keepalive failed (e.g. port space gone after an
                     // expiry); the flow dies here.
-                    flows.remove(&flow);
+                    st.flows.remove(&flow);
                     continue;
                 }
-                let (end_ms, refresh_ms) = (f.end_ms, f.refresh_ms);
                 let next = ev.at_ms + refresh_ms;
                 if next < end_ms.min(horizon_ms) {
-                    push(&mut heap, &mut seq, next, Kind::Packet { flow });
+                    st.push(next, Kind::Packet { flow });
                 } else if end_ms <= horizon_ms {
-                    push(&mut heap, &mut seq, end_ms, Kind::End { flow });
+                    st.push(end_ms, Kind::End { flow });
                 }
             }
             Kind::End { flow } => {
-                let Some(f) = flows.remove(&flow) else {
+                let Some(f) = st.flows.remove(&flow) else {
                     continue;
                 };
                 if !f.udp {
@@ -362,57 +390,159 @@ pub fn run(config: &DriverConfig) -> RunSummary {
                     // short transitory clock (RFC 5382 behaviour the
                     // engine models).
                     let fin = Packet::tcp(f.src, f.dst, TcpFlags::FIN, vec![]);
-                    packets_sent += 1;
-                    let _ = nats[f.instance as usize].process_outbound(fin, now);
+                    st.packets_sent += 1;
+                    let _ = nat.process_outbound(fin, now);
                 }
-                flows_completed += 1;
-            }
-            Kind::Sweep => {
-                for nat in &mut nats {
-                    nat.sweep(now);
-                }
-                let at = ev.at_ms + config.sweep_secs * 1000;
-                if at <= horizon_ms {
-                    push(&mut heap, &mut seq, at, Kind::Sweep);
-                }
-            }
-            Kind::Sample => {
-                let sample = collect_sample(
-                    &nats,
-                    now,
-                    config.subscribers,
-                    &mut peak_live,
-                    &mut peak_dist,
-                );
-                series.push(sample);
-                let at = ev.at_ms + config.sample_secs * 1000;
-                if at <= horizon_ms {
-                    push(&mut heap, &mut seq, at, Kind::Sample);
-                }
+                st.flows_completed += 1;
             }
         }
     }
 
-    // Final bookkeeping at the horizon: sweep and take a closing sample.
-    let end = SimTime::from_millis(horizon_ms);
-    for nat in &mut nats {
-        nat.sweep(end);
+    let now = SimTime::from_millis(boundary_ms);
+    if do_sweep {
+        nat.sweep(now);
     }
-    let closing = collect_sample(
-        &nats,
-        end,
-        config.subscribers,
-        &mut peak_live,
-        &mut peak_dist,
+    if do_sample {
+        let ports: Vec<u32> = nat.ports_by_host(now).into_values().collect();
+        let worst = nat
+            .port_occupancy()
+            .iter()
+            .map(|o| o.utilization())
+            .fold(0.0, f64::max);
+        Some(ShardDemand {
+            ports,
+            worst_ip_utilization: worst,
+            drops_port_exhausted: nat.stats().drop_port_exhausted,
+            drops_session_limit: nat.stats().drop_session_limit,
+        })
+    } else {
+        None
+    }
+}
+
+/// Run `f` over every (shard NAT, shard driver state) pair, on up to
+/// `threads` scoped worker threads — a thin zip over the engine's
+/// [`scatter`] primitive, which returns results in shard order.
+fn for_shards_parallel<R, F>(
+    nats: &mut [Nat],
+    states: &mut [ShardState],
+    threads: usize,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut Nat, &mut ShardState) -> R + Sync,
+{
+    debug_assert_eq!(nats.len(), states.len());
+    let work: Vec<(&mut Nat, &mut ShardState)> = nats.iter_mut().zip(states.iter_mut()).collect();
+    scatter(work, threads, |(nat, st)| f(nat, st))
+}
+
+/// Run one workload against a freshly-built sharded CGN.
+pub fn run(config: &DriverConfig) -> RunSummary {
+    assert!(config.subscribers > 0, "need at least one subscriber");
+    assert!(config.shards > 0, "need at least one shard");
+    assert!(
+        config.external_ips_per_shard >= 1 && config.external_ips_per_shard <= 256,
+        "pool addressing assigns each shard a /24-sized stride: \
+         external_ips_per_shard must be in 1..=256"
     );
-    series.push(closing);
+    assert!(config.duration_secs > 0 && config.sample_secs > 0 && config.sweep_secs > 0);
 
-    let mut stats = NatStats::default();
-    for nat in &nats {
-        stats.merge(nat.stats());
+    let threads = resolve_threads(config.threads);
+    let horizon_ms = config.duration_secs * 1000;
+
+    // k-major ordering + round-robin partitioning inside ShardedNat
+    // puts pool_ip(s, k) into shard s for all k.
+    let mut pool: Vec<Ipv4Addr> = Vec::new();
+    for k in 0..config.external_ips_per_shard {
+        for s in 0..config.shards {
+            pool.push(pool_ip(s, k));
+        }
+    }
+    let mut sharded = ShardedNat::new(config.nat.clone(), pool, config.shards, config.seed);
+
+    // Admit every subscriber to its shard with a fresh RNG stream and
+    // a staggered first arrival.
+    let mut states: Vec<ShardState> = (0..config.shards).map(|_| ShardState::new()).collect();
+    for sub in 0..config.subscribers {
+        let shard = sharded.shard_of(subscriber_ip(sub));
+        let mut rng = StdRng::seed_from_u64(mix64(config.seed ^ mix64(sub as u64 + 1)));
+        let offset = rng.gen_range(0..1000u64);
+        let st = &mut states[shard];
+        st.subs.insert(
+            sub,
+            SubState {
+                rng,
+                profile: config.mix.assign(sub),
+                next_src_port: 0,
+            },
+        );
+        st.push(offset, Kind::Arrival { sub });
     }
 
-    let external_ips = config.cgn_instances as u64 * config.external_ips_per_instance.max(1) as u64;
+    // Epoch barriers: the union of sweep and sample ticks, plus the
+    // horizon so the final epoch drains every remaining event.
+    let mut ticks: BTreeMap<u64, (bool, bool)> = BTreeMap::new();
+    let mut t = config.sweep_secs * 1000;
+    while t <= horizon_ms {
+        ticks.entry(t).or_insert((false, false)).0 = true;
+        t += config.sweep_secs * 1000;
+    }
+    let mut t = config.sample_secs * 1000;
+    while t <= horizon_ms {
+        ticks.entry(t).or_insert((false, false)).1 = true;
+        t += config.sample_secs * 1000;
+    }
+    // The horizon is always a full barrier: drain every remaining
+    // event, sweep, and take the closing sample — exactly once, even
+    // when it coincides with a periodic tick.
+    ticks.insert(horizon_ms, (true, true));
+
+    let mut series = DemandSeries::default();
+    let mut peak_live = 0u64;
+    let mut peak_dist: Vec<u32> = Vec::new();
+    let modulation = &config.modulation;
+
+    let mut barrier = |sharded: &mut ShardedNat,
+                       states: &mut Vec<ShardState>,
+                       boundary: u64,
+                       do_sweep: bool,
+                       do_sample: bool| {
+        let demands = for_shards_parallel(sharded.shards_mut(), states, threads, |nat, st| {
+            advance_shard(
+                nat, st, modulation, horizon_ms, boundary, do_sweep, do_sample,
+            )
+        });
+        if do_sample {
+            let parts: Vec<ShardDemand> = demands.into_iter().flatten().collect();
+            let (sample, dist) =
+                port_demand::merge_shard_demand(boundary / 1000, config.subscribers as u64, &parts);
+            if sample.mappings > peak_live {
+                peak_live = sample.mappings;
+                peak_dist = dist;
+            }
+            series.push(sample);
+        }
+    };
+
+    for (&boundary, &(do_sweep, do_sample)) in &ticks {
+        barrier(&mut sharded, &mut states, boundary, do_sweep, do_sample);
+    }
+
+    let mut flows_started = 0u64;
+    let mut flows_blocked = 0u64;
+    let mut flows_completed = 0u64;
+    let mut packets_sent = 0u64;
+    for st in &states {
+        flows_started += st.flows_started;
+        flows_blocked += st.flows_blocked;
+        flows_completed += st.flows_completed;
+        packets_sent += st.packets_sent;
+    }
+    let stats = sharded.merged_stats();
+
+    let external_ips = config.shards as u64 * config.external_ips_per_shard as u64;
     let usable_ports_per_ip = (config.nat.port_range.1 - config.nat.port_range.0) as u32 + 1;
     let report = port_demand::build_report(
         &series,
@@ -425,7 +555,7 @@ pub fn run(config: &DriverConfig) -> RunSummary {
     RunSummary {
         mix_name: config.mix.name.clone(),
         subscribers: config.subscribers,
-        cgn_instances: config.cgn_instances,
+        shards: config.shards,
         duration_secs: config.duration_secs,
         flows_started,
         flows_blocked,
@@ -438,60 +568,17 @@ pub fn run(config: &DriverConfig) -> RunSummary {
     }
 }
 
-fn collect_sample(
-    nats: &[Nat],
-    now: SimTime,
-    subscribers: u32,
-    peak_live: &mut u64,
-    peak_dist: &mut Vec<u32>,
-) -> DemandSample {
-    let mut ports: Vec<u32> = Vec::new();
-    let mut live = 0u64;
-    let mut worst_util = 0.0f64;
-    let mut drops_ports = 0u64;
-    let mut drops_sessions = 0u64;
-    for nat in nats {
-        for (_, n) in nat.ports_by_host(now) {
-            ports.push(n);
-            live += n as u64;
-        }
-        for occ in nat.port_occupancy() {
-            worst_util = worst_util.max(occ.utilization());
-        }
-        drops_ports += nat.stats().drop_port_exhausted;
-        drops_sessions += nat.stats().drop_session_limit;
-    }
-    ports.sort_unstable();
-    if live > *peak_live {
-        *peak_live = live;
-        *peak_dist = ports.clone();
-    }
-    let active = ports.len() as u64;
-    let (p50, p95, p99, max) = port_demand::ports_percentiles(ports, subscribers as u64);
-    DemandSample {
-        t_secs: now.as_secs(),
-        mappings: live,
-        active_subscribers: active,
-        ports_p50: p50,
-        ports_p95: p95,
-        ports_p99: p99,
-        ports_max: max,
-        worst_ip_utilization: worst_util,
-        drops_port_exhausted: drops_ports,
-        drops_session_limit: drops_sessions,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::modulation::{DiurnalCurve, FlashCrowd};
+    use proptest::prelude::*;
 
     fn small(mix: WorkloadMix, seed: u64) -> DriverConfig {
         DriverConfig {
             subscribers: 300,
-            cgn_instances: 2,
-            external_ips_per_instance: 2,
+            shards: 2,
+            external_ips_per_shard: 2,
             duration_secs: 240,
             sample_secs: 30,
             sweep_secs: 20,
@@ -507,8 +594,16 @@ mod tests {
         assert!(!s.series.is_empty());
         assert!(s.stats.mappings_created > 0);
         assert!(s.stats.peak_mappings > 0);
+        assert!(s.stats.sweeps > 0, "sweep barriers must run");
         assert!(s.report.peak_mappings > 0);
         assert_eq!(s.report.subscribers, 300);
+        assert!(
+            s.series
+                .samples
+                .windows(2)
+                .all(|w| w[0].t_secs < w[1].t_secs),
+            "exactly one sample per barrier, even at the horizon"
+        );
     }
 
     #[test]
@@ -524,6 +619,32 @@ mod tests {
         let a = run(&small(WorkloadMix::p2p_heavy(), 1));
         let b = run(&small(WorkloadMix::p2p_heavy(), 2));
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // The determinism cross-check: worker threads are an execution
+        // detail, the summary is bit-identical for every thread count.
+        let mut cfg = small(WorkloadMix::residential_evening(), 21);
+        cfg.shards = 4;
+        cfg.threads = 1;
+        let seq = run(&cfg);
+        for threads in [2, 4, 7] {
+            cfg.threads = threads;
+            let par = run(&cfg);
+            assert_eq!(seq, par, "threads={threads} diverged from sequential");
+            assert_eq!(seq.digest(), par.digest());
+        }
+    }
+
+    #[test]
+    fn auto_threads_match_sequential() {
+        let mut cfg = small(WorkloadMix::gaming_event(), 33);
+        cfg.shards = 3;
+        cfg.threads = 1;
+        let seq = run(&cfg);
+        cfg.threads = 0; // one worker per available core
+        assert_eq!(seq, run(&cfg));
     }
 
     #[test]
@@ -590,7 +711,8 @@ mod tests {
     #[test]
     fn tiny_port_range_exhausts() {
         let mut cfg = small(WorkloadMix::p2p_heavy(), 8);
-        cfg.external_ips_per_instance = 1;
+        cfg.shards = 1;
+        cfg.external_ips_per_shard = 1;
         cfg.nat.port_range = (1024, 1024 + 255);
         let s = run(&cfg);
         assert!(
@@ -598,5 +720,44 @@ mod tests {
             "256 ports cannot hold p2p load"
         );
         assert!(s.report.worst_ip_utilization > 0.95);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The satellite property: for random seeds, mixes and shard
+        /// counts, the sharded engine's merged `NatStats` and per-host
+        /// port counts under worker threads are identical to the
+        /// sequential engine's.
+        #[test]
+        fn prop_parallel_run_equals_sequential(
+            seed in any::<u64>(),
+            mix_idx in 0usize..8,
+            shards in 1u16..=4,
+            threads in 2usize..=5,
+            subscribers in 60u32..240,
+        ) {
+            let mixes = WorkloadMix::all();
+            let mix = mixes[mix_idx % mixes.len()].clone();
+            let mut cfg = DriverConfig {
+                subscribers,
+                shards,
+                external_ips_per_shard: 2,
+                duration_secs: 120,
+                sample_secs: 40,
+                sweep_secs: 25,
+                ..DriverConfig::new(mix, seed)
+            };
+            cfg.threads = 1;
+            let seq = run(&cfg);
+            cfg.threads = threads;
+            let par = run(&cfg);
+            prop_assert_eq!(&seq.stats, &par.stats);
+            prop_assert_eq!(
+                &seq.peak_ports_per_subscriber,
+                &par.peak_ports_per_subscriber
+            );
+            prop_assert_eq!(seq, par);
+        }
     }
 }

@@ -26,10 +26,13 @@
 //!
 //!   plus population [`modulation`] (diurnal curve, flash crowds) —
 //!   demand peaks are what operators provision for;
-//! * [`driver`] — a deterministic binary-heap event engine that pushes
-//!   the generated flows (millions per release run) through one or more
-//!   [`nat_engine::Nat`] instances, exercising mapping creation,
-//!   refresh, sweep/timeout and drop paths at scale;
+//! * [`driver`] — a deterministic, sharded, epoch-parallel event
+//!   engine: subscribers are hashed to the shards of a
+//!   [`nat_engine::ShardedNat`], each shard runs its own binary-heap
+//!   event loop between sweep/sample barriers, and worker threads
+//!   advance shards concurrently with bit-identical results for every
+//!   thread count — exercising mapping creation, refresh,
+//!   sweep/timeout and drop paths at millions-of-flows scale;
 //! * `analysis::port_demand` (in the `analysis` crate) — consumes the
 //!   sampled [`analysis::port_demand::DemandSeries`] and produces the
 //!   dimensioning report: peak/percentile port demand, external-IP

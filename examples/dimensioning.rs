@@ -7,6 +7,7 @@
 //! cargo run --release --example dimensioning              # full sweep
 //! cargo run --release --example dimensioning -- seed=7    # other seed
 //! cargo run --release --example dimensioning -- flash     # + flash crowd
+//! cargo run --release --example dimensioning -- threads=4 # worker threads
 //! cargo run --release --example dimensioning -- export=plots/
 //! ```
 //!
@@ -22,20 +23,26 @@ fn main() {
     let mut seed: u64 = 2016;
     let mut export_dir: Option<std::path::PathBuf> = None;
     let mut flash = false;
+    let mut threads: Option<usize> = None;
     for arg in std::env::args().skip(1) {
         if let Some(s) = arg.strip_prefix("seed=") {
             seed = s.parse().expect("seed must be an integer");
         } else if let Some(d) = arg.strip_prefix("export=") {
             export_dir = Some(d.into());
+        } else if let Some(t) = arg.strip_prefix("threads=") {
+            threads = Some(t.parse().expect("threads must be an integer"));
         } else if arg == "flash" {
             flash = true;
         } else {
-            eprintln!("unknown argument '{arg}' (use seed=N, export=DIR, flash)");
+            eprintln!("unknown argument '{arg}' (use seed=N, threads=N, export=DIR, flash)");
             std::process::exit(2);
         }
     }
 
     let mut config = DimensioningConfig::release(seed);
+    if let Some(t) = threads {
+        config.threads = t;
+    }
     // Compress a day's diurnal curve into the run so the sweep crosses
     // trough and peak; optionally add a flash crowd in the middle.
     config.modulation.diurnal = Some(DiurnalCurve::compressed(config.duration_secs));
