@@ -137,6 +137,49 @@ pub fn merge_shard_demand(
     (sample, ports)
 }
 
+/// Per-shard load distribution of one run — makes heavy-tailed shard
+/// skew visible (subscribers are hashed to shards, so a few heavy
+/// hitters can pile onto one shard; ROADMAP tracks this as the trigger
+/// for load-aware admission). `imbalance` factors are `max / mean`,
+/// `1.0` when perfectly balanced, and `0.0` only for a degenerate run
+/// with no load at all.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardLoad {
+    /// New-flow attempts started per shard, in shard order.
+    pub flows_per_shard: Vec<u64>,
+    /// Per-shard high-water marks of concurrent mappings, in shard
+    /// order.
+    pub peak_mappings_per_shard: Vec<u64>,
+    /// `max(flows_per_shard) / mean(flows_per_shard)`.
+    pub flow_imbalance: f64,
+    /// `max(peak_mappings_per_shard) / mean(peak_mappings_per_shard)`.
+    pub mapping_imbalance: f64,
+}
+
+fn max_over_mean(values: &[u64]) -> f64 {
+    let total: u64 = values.iter().sum();
+    if values.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let mean = total as f64 / values.len() as f64;
+    values.iter().max().copied().unwrap_or(0) as f64 / mean
+}
+
+impl ShardLoad {
+    /// Build the metric from per-shard flow and peak-mapping counts
+    /// (parallel vectors in shard order).
+    pub fn from_per_shard(flows: Vec<u64>, peak_mappings: Vec<u64>) -> ShardLoad {
+        let flow_imbalance = max_over_mean(&flows);
+        let mapping_imbalance = max_over_mean(&peak_mappings);
+        ShardLoad {
+            flows_per_shard: flows,
+            peak_mappings_per_shard: peak_mappings,
+            flow_imbalance,
+            mapping_imbalance,
+        }
+    }
+}
+
 /// One row of the chunk-size vs. blocking-probability curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ChunkBlockingRow {
@@ -425,6 +468,18 @@ mod tests {
         assert_eq!(max, 20);
         assert!(p95 >= 0.0); // quantiles well-defined
         assert!(p99 <= 20.0);
+    }
+
+    #[test]
+    fn shard_load_imbalance_is_max_over_mean() {
+        let l = ShardLoad::from_per_shard(vec![100, 100, 100, 100], vec![30, 10, 10, 10]);
+        assert!((l.flow_imbalance - 1.0).abs() < 1e-12, "balanced flows");
+        assert!((l.mapping_imbalance - 2.0).abs() < 1e-12, "30 vs mean 15");
+        let empty = ShardLoad::from_per_shard(vec![], vec![0, 0]);
+        assert_eq!(empty.flow_imbalance, 0.0);
+        assert_eq!(empty.mapping_imbalance, 0.0, "no load: well-defined zero");
+        let single = ShardLoad::from_per_shard(vec![7], vec![7]);
+        assert!((single.flow_imbalance - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -9,9 +9,14 @@
 //! cargo run --release -p cgn-bench --bin perf -- check=bench/baseline.json
 //! ```
 //!
-//! With `check=`, the run exits nonzero when flows/sec regresses more
-//! than 20% (override with `tolerance=0.3`) against the committed
-//! baseline — the contract of the CI `perf` job.
+//! With `check=`, the run exits nonzero when a **machine-relative**
+//! ratio regresses more than 20% (override with `tolerance=0.3`)
+//! against the committed baseline — the contract of the CI `perf`
+//! job. Gated ratios: each scale's flows/sec relative to the smallest
+//! scale of the same run (state-table scaling), and the parallel
+//! speedup (only when both machines are multi-core). Absolute
+//! flows/sec are informational, so a CI-runner hardware change cannot
+//! trip the gate.
 
 use cgn_bench::perf::{
     check_against_baseline, run_perf, PerfReport, PerfSettings, DEFAULT_TOLERANCE,
@@ -66,6 +71,12 @@ fn main() {
         report.parallel_flows_per_sec,
         report.sequential_flows_per_sec,
         report.digest
+    );
+    println!(
+        "  scaling ratio (largest/smallest scale flows/s): {:.3} | worst shard imbalance: flows {:.3}, mappings {:.3}",
+        report.scaling_ratio,
+        report.scales.iter().map(|s| s.flow_imbalance).fold(0.0, f64::max),
+        report.scales.iter().map(|s| s.mapping_imbalance).fold(0.0, f64::max),
     );
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -23,11 +23,13 @@ use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Schema tag stamped into every report, for forward compatibility of
-/// the committed baseline.
-pub const SCHEMA: &str = "cgn-dimensioning-perf/1";
+/// the committed baseline. `/2` added per-shard imbalance metrics and
+/// the machine-relative `scaling_ratio`.
+pub const SCHEMA: &str = "cgn-dimensioning-perf/2";
 
-/// Default regression tolerance: fail when flows/sec drops by more
-/// than 20% against the baseline.
+/// Default regression tolerance: fail when a machine-relative ratio
+/// (scaling ratio, parallel speedup) drops by more than 20% against
+/// the baseline.
 pub const DEFAULT_TOLERANCE: f64 = 0.20;
 
 /// Knobs of one harness run.
@@ -95,6 +97,10 @@ pub struct MixPerf {
     pub peak_mappings: u64,
     pub wall_secs: f64,
     pub flows_per_sec: f64,
+    /// Per-shard flow skew (`max/mean`, 1.0 = balanced).
+    pub flow_imbalance: f64,
+    /// Per-shard peak-mapping skew (`max/mean`, 1.0 = balanced).
+    pub mapping_imbalance: f64,
 }
 
 /// One scale step of the sweep.
@@ -106,6 +112,10 @@ pub struct ScalePerf {
     pub peak_mappings: u64,
     pub wall_secs: f64,
     pub flows_per_sec: f64,
+    /// Worst per-shard flow skew across the mixes of this scale.
+    pub flow_imbalance: f64,
+    /// Worst per-shard peak-mapping skew across the mixes.
+    pub mapping_imbalance: f64,
     pub mixes: Vec<MixPerf>,
 }
 
@@ -126,6 +136,10 @@ pub struct PerfReport {
     pub parallel_flows_per_sec: f64,
     /// `parallel / sequential`; 1.0 when only one core is available.
     pub parallel_speedup: f64,
+    /// Flows/sec of the largest scale over the smallest — the
+    /// state-table-growth degradation the slab store exists to fight.
+    /// Self-measured per run, so it compares across machines.
+    pub scaling_ratio: f64,
     /// Folded per-mix digest of the speedup scale — equal between the
     /// sequential and parallel pass by construction (the harness
     /// asserts it), and useful to diff across machines.
@@ -151,6 +165,8 @@ fn measure_scale(settings: &PerfSettings, scale: u32, threads: usize) -> (ScaleP
             peak_mappings: summary.report.peak_mappings,
             wall_secs: wall,
             flows_per_sec: summary.flows_started as f64 / wall.max(1e-9),
+            flow_imbalance: summary.shard_load.flow_imbalance,
+            mapping_imbalance: summary.shard_load.mapping_imbalance,
         });
     }
     let wall = t0.elapsed().as_secs_f64();
@@ -163,6 +179,11 @@ fn measure_scale(settings: &PerfSettings, scale: u32, threads: usize) -> (ScaleP
             peak_mappings: mixes.iter().map(|m| m.peak_mappings).max().unwrap_or(0),
             wall_secs: wall,
             flows_per_sec: flows as f64 / wall.max(1e-9),
+            flow_imbalance: mixes.iter().map(|m| m.flow_imbalance).fold(0.0, f64::max),
+            mapping_imbalance: mixes
+                .iter()
+                .map(|m| m.mapping_imbalance)
+                .fold(0.0, f64::max),
             mixes,
         },
         digest,
@@ -204,6 +225,13 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         (seq.flows_per_sec, seq_digest)
     };
 
+    let scaling_ratio = match (scales.first(), scales.last()) {
+        (Some(first), Some(last)) if first.flows_per_sec > 0.0 => {
+            last.flows_per_sec / first.flows_per_sec
+        }
+        _ => 1.0,
+    };
+
     PerfReport {
         schema: SCHEMA.to_string(),
         seed: settings.seed,
@@ -215,15 +243,28 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         sequential_flows_per_sec,
         parallel_flows_per_sec,
         parallel_speedup: parallel_flows_per_sec / sequential_flows_per_sec.max(1e-9),
+        scaling_ratio,
         digest: format!("{digest:016x}"),
     }
 }
 
-/// Compare a fresh report against the committed baseline.
+/// Compare a fresh report against the committed baseline using
+/// **machine-relative** ratios, so that a CI-runner hardware change
+/// cannot trip the gate (the ROADMAP follow-up to the absolute
+/// flows/sec compare):
 ///
-/// Returns `Ok(notes)` when every scale present in the baseline holds
-/// within `tolerance` (fractional allowed drop in flows/sec), and
-/// `Err(failures)` otherwise. Faster-than-baseline runs always pass.
+/// * **scaling ratio** — each scale's flows/sec relative to the
+///   smallest scale of the *same* run, compared to the baseline's
+///   ratio for the same scale. Catches state-table-growth slowdowns
+///   regardless of how fast the machine is in absolute terms.
+/// * **parallel speedup** — compared only when both the baseline and
+///   the current machine had more than one core (a single-core run
+///   measures 1.0 by construction and carries no signal).
+///
+/// Absolute flows/sec are reported as informational notes but never
+/// fail the check. Returns `Ok(notes)` when every ratio holds within
+/// `tolerance` (fractional allowed drop), `Err(failures)` otherwise.
+/// Faster-than-baseline runs always pass.
 pub fn check_against_baseline(
     current: &PerfReport,
     baseline: &PerfReport,
@@ -238,6 +279,20 @@ pub fn check_against_baseline(
         ));
         return Err(failures);
     }
+    let Some(base_first) = baseline.scales.first() else {
+        failures.push("baseline has no scales".to_string());
+        return Err(failures);
+    };
+    // The ratio reference must be the *same* scale in both reports —
+    // looked up by scale number, not position, so a current run with
+    // extra leading scales cannot shift the denominator.
+    let Some(cur_first) = current.scales.iter().find(|s| s.scale == base_first.scale) else {
+        failures.push(format!(
+            "reference scale {}x missing from current run",
+            base_first.scale
+        ));
+        return Err(failures);
+    };
     for base in &baseline.scales {
         let Some(cur) = current.scales.iter().find(|s| s.scale == base.scale) else {
             failures.push(format!("scale {}x missing from current run", base.scale));
@@ -246,21 +301,47 @@ pub fn check_against_baseline(
         if cur.subscribers != base.subscribers {
             failures.push(format!(
                 "scale {}x configuration mismatch: {} subscribers vs baseline {} \
-                 (flows/sec are not comparable — e.g. a `quick` run against the standard baseline)",
+                 (ratios are not comparable — e.g. a `quick` run against the standard baseline)",
                 base.scale, cur.subscribers, base.subscribers
             ));
             continue;
         }
-        let floor = base.flows_per_sec * (1.0 - tolerance);
+        notes.push(format!(
+            "info scale {:>2}x: {:>10.0} flows/s (baseline machine: {:>10.0})",
+            base.scale, cur.flows_per_sec, base.flows_per_sec
+        ));
+        if base.scale == base_first.scale {
+            continue; // the reference point of every ratio
+        }
+        let cur_ratio = cur.flows_per_sec / cur_first.flows_per_sec.max(1e-9);
+        let base_ratio = base.flows_per_sec / base_first.flows_per_sec.max(1e-9);
+        let floor = base_ratio * (1.0 - tolerance);
         let line = format!(
-            "scale {:>2}x: {:>10.0} flows/s vs baseline {:>10.0} (floor {:>10.0})",
-            base.scale, cur.flows_per_sec, base.flows_per_sec, floor
+            "scale {:>2}x/{}x throughput ratio: {:.3} vs baseline {:.3} (floor {:.3})",
+            base.scale, base_first.scale, cur_ratio, base_ratio, floor
         );
-        if cur.flows_per_sec < floor {
+        if cur_ratio < floor {
             failures.push(format!("REGRESSION {line}"));
         } else {
             notes.push(format!("ok {line}"));
         }
+    }
+    if current.available_cores > 1 && baseline.parallel_speedup > 1.0 {
+        let floor = baseline.parallel_speedup * (1.0 - tolerance);
+        let line = format!(
+            "parallel speedup: {:.2}x vs baseline {:.2}x (floor {:.2}x)",
+            current.parallel_speedup, baseline.parallel_speedup, floor
+        );
+        if current.parallel_speedup < floor {
+            failures.push(format!("REGRESSION {line}"));
+        } else {
+            notes.push(format!("ok {line}"));
+        }
+    } else {
+        notes.push(format!(
+            "info parallel speedup {:.2}x not gated ({} core(s) here, baseline speedup {:.2}x)",
+            current.parallel_speedup, current.available_cores, baseline.parallel_speedup
+        ));
     }
     if failures.is_empty() {
         Ok(notes)
@@ -295,6 +376,13 @@ mod tests {
             assert!(s.flows_per_sec > 0.0);
         }
         assert!(r.parallel_speedup > 0.0);
+        assert!(r.scaling_ratio > 0.0);
+        assert!(
+            r.scales
+                .iter()
+                .all(|s| s.flow_imbalance >= 1.0 && s.mapping_imbalance >= 1.0),
+            "imbalance is max/mean over shards with load"
+        );
         assert_eq!(r.scales[1].subscribers, 120);
         // The sequential cross-check inside run_perf did not panic:
         // parallel and sequential digests agreed.
@@ -313,28 +401,57 @@ mod tests {
     }
 
     #[test]
-    fn baseline_check_flags_regressions_only() {
-        let base = run_perf(&PerfSettings {
-            scales: vec![1],
-            ..tiny()
-        });
+    fn baseline_check_is_machine_relative() {
+        let base = run_perf(&tiny());
         // Identical run: passes.
         assert!(check_against_baseline(&base, &base, 0.2).is_ok());
-        // 10x faster baseline: current run is a regression.
-        let mut fast = base.clone();
-        for s in &mut fast.scales {
+        // A uniformly faster machine changes no ratio: still passes.
+        let mut faster_machine = base.clone();
+        for s in &mut faster_machine.scales {
             s.flows_per_sec *= 10.0;
         }
-        let err = check_against_baseline(&base, &fast, 0.2).unwrap_err();
-        assert!(err.iter().all(|m| m.contains("REGRESSION")));
+        assert!(
+            check_against_baseline(&faster_machine, &base, 0.2).is_ok(),
+            "absolute throughput must not gate"
+        );
+        // Degraded scaling (large scale got relatively slower) fails.
+        let mut degraded = base.clone();
+        degraded.scales[1].flows_per_sec = base.scales[1].flows_per_sec * 0.5;
+        let err = check_against_baseline(&degraded, &base, 0.2).unwrap_err();
+        assert!(err.iter().any(|m| m.contains("REGRESSION")));
+        assert!(err.iter().any(|m| m.contains("throughput ratio")));
         // Missing scale in the current run fails too.
         let mut extra = base.clone();
-        extra.scales[0].scale = 99;
+        extra.scales[1].scale = 99;
         assert!(check_against_baseline(&base, &extra, 0.2).is_err());
         // A differently-sized population is incomparable, not a pass.
         let mut resized = base.clone();
-        resized.scales[0].subscribers += 1;
+        resized.scales[1].subscribers += 1;
         let err = check_against_baseline(&resized, &base, 0.2).unwrap_err();
         assert!(err.iter().any(|m| m.contains("configuration mismatch")));
+    }
+
+    #[test]
+    fn speedup_gate_only_bites_on_multicore() {
+        let mut base = run_perf(&PerfSettings {
+            scales: vec![1],
+            ..tiny()
+        });
+        base.parallel_speedup = 3.0;
+        let mut cur = base.clone();
+        cur.parallel_speedup = 1.0;
+        cur.available_cores = 1;
+        assert!(
+            check_against_baseline(&cur, &base, 0.2).is_ok(),
+            "single-core runs measure 1.0 by construction: no signal"
+        );
+        cur.available_cores = 8;
+        let err = check_against_baseline(&cur, &base, 0.2).unwrap_err();
+        assert!(err.iter().any(|m| m.contains("parallel speedup")));
+        cur.parallel_speedup = 2.9;
+        assert!(
+            check_against_baseline(&cur, &base, 0.2).is_ok(),
+            "within tolerance"
+        );
     }
 }

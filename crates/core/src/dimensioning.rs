@@ -196,6 +196,19 @@ impl DimensioningReport {
                 "drops: {} port-exhausted | {} session-limit",
                 rep.drops_port_exhausted, rep.drops_session_limit
             );
+            let st = &r.store;
+            let _ = writeln!(
+                o,
+                "store: {} slab slots ({} live, {} free) | interned: {} hosts, {} (IP, proto) pools | {} wheel timers",
+                st.slots, st.live, st.free, st.hosts_interned, st.pools_interned, st.timers
+            );
+            let _ = writeln!(
+                o,
+                "shard balance: flow imbalance {:.3} | peak-mapping imbalance {:.3} (max/mean across {} shard(s))",
+                r.shard_load.flow_imbalance,
+                r.shard_load.mapping_imbalance,
+                r.shard_load.flows_per_shard.len()
+            );
             let _ = writeln!(
                 o,
                 "chunk-size sweep (paper §6.2 observes 512..16K chunks; 64 subs/IP at 1K):"
@@ -266,6 +279,9 @@ mod tests {
         let rep = run_dimensioning(&tiny(5));
         let text = rep.render();
         assert!(text.contains("chunk-size sweep"));
+        assert!(text.contains("slab slots"), "store occupancy line");
+        assert!(text.contains("wheel timers"));
+        assert!(text.contains("shard balance"), "imbalance line");
         assert!(text.contains("residential-evening"));
         assert!(text.contains("iot-fleet"));
         assert!(text.contains("subs/IP"));

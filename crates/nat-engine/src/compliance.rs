@@ -9,9 +9,11 @@
 //! detected population breaks.
 
 use crate::config::{MappingBehavior, NatConfig, Pooling};
-use netcore::SimDuration;
+use crate::nat::Nat;
+use netcore::{Protocol, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::net::Ipv4Addr;
 
 /// One checkable IETF requirement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -160,6 +162,106 @@ pub fn violation_census<'a>(
     (total, noncompliant, counts)
 }
 
+/// A violated invariant of a **live** engine, found by
+/// [`check_runtime`]. Where [`check`] audits a configuration against
+/// the IETF's published requirements, this audits a running device's
+/// slab store against the limits its configuration promises — the
+/// enforcement side of RFC 6888 REQ-4 ("a CGN SHOULD support limits")
+/// plus the store's own accounting invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeViolation {
+    /// A host holds more live (unexpired) mappings than the configured
+    /// per-subscriber session cap permits.
+    SessionCapExceeded { host: Ipv4Addr, live: u32, cap: u32 },
+    /// A port allocator reports more allocated ports than its range
+    /// holds.
+    AllocatorOverCommitted {
+        ext_ip: Ipv4Addr,
+        proto: Protocol,
+        allocated: usize,
+        capacity: usize,
+    },
+    /// The slab's live/free/arena counters disagree, or the live count
+    /// does not match the engine's mapping count.
+    StoreAccounting {
+        slots: u64,
+        live: u64,
+        free: u64,
+        /// Occupied slots recounted by iterating the arena.
+        occupied_slots: u64,
+    },
+}
+
+/// Outcome of [`check_runtime`]: empty `violations` means the live
+/// store upholds every checked invariant.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeReport {
+    pub violations: Vec<RuntimeViolation>,
+    /// Hosts whose live-session counts were audited.
+    pub hosts_checked: usize,
+    /// Port allocators audited.
+    pub allocators_checked: usize,
+}
+
+impl RuntimeReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Audit a live [`Nat`] at virtual time `now`: per-host live mappings
+/// against the configured session cap, allocator fill against range
+/// capacity, and the slab store's occupancy arithmetic. All reads go
+/// through the store-backed paths (`ports_by_host`, `port_occupancy`,
+/// `store_occupancy`), so this doubles as a cross-check of the
+/// storage layer itself.
+pub fn check_runtime(nat: &Nat, now: SimTime) -> RuntimeReport {
+    let mut report = RuntimeReport::default();
+
+    let by_host = nat.ports_by_host(now);
+    report.hosts_checked = by_host.len();
+    if let Some(cap) = nat.config().max_sessions_per_host {
+        for (host, live) in by_host {
+            if live > cap {
+                report
+                    .violations
+                    .push(RuntimeViolation::SessionCapExceeded { host, live, cap });
+            }
+        }
+    }
+
+    let occupancy = nat.port_occupancy();
+    report.allocators_checked = occupancy.len();
+    for o in occupancy {
+        if o.allocated > o.capacity {
+            report
+                .violations
+                .push(RuntimeViolation::AllocatorOverCommitted {
+                    ext_ip: o.ext_ip,
+                    proto: o.proto,
+                    allocated: o.allocated,
+                    capacity: o.capacity,
+                });
+        }
+    }
+
+    let store = nat.store_occupancy();
+    // Recount occupied slots independently of the store's `live`
+    // bookkeeping — `mapping_count` returns the tracked counter, so
+    // comparing the two against each other alone would be circular.
+    let occupied = nat.mappings().count() as u64;
+    if store.live + store.free != store.slots || store.live != occupied {
+        report.violations.push(RuntimeViolation::StoreAccounting {
+            slots: store.slots,
+            live: store.live,
+            free: store.free,
+            occupied_slots: occupied,
+        });
+    }
+
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +367,37 @@ mod tests {
         cfg = NatConfig::cgn_default();
         cfg.udp_timeout = SimDuration::from_secs(600);
         let _ = check(&cfg);
+    }
+
+    #[test]
+    fn runtime_check_is_clean_after_churn() {
+        use netcore::{ip, Endpoint, Packet};
+        let mut cfg = NatConfig::cgn_default();
+        cfg.max_sessions_per_host = Some(8);
+        cfg.mapping = MappingBehavior::AddressAndPortDependent;
+        let mut n = Nat::new(cfg, vec![ip(198, 51, 100, 1), ip(198, 51, 100, 2)], 11);
+        let server = |p: u16| Endpoint::new(ip(203, 0, 113, 10), p);
+        for round in 0..3u64 {
+            for h in 1..=6u8 {
+                for f in 0..6u16 {
+                    let src = Endpoint::new(ip(100, 64, 0, h), 40_000 + f);
+                    let _ = n.process_outbound(
+                        Packet::udp(src, server(1000 + f), vec![]),
+                        SimTime::from_secs(round * 90),
+                    );
+                }
+            }
+            n.sweep(SimTime::from_secs(round * 90 + 80));
+            let rep = check_runtime(&n, SimTime::from_secs(round * 90 + 80));
+            assert!(rep.is_clean(), "round {round}: {:?}", rep.violations);
+            assert!(rep.allocators_checked >= 1);
+        }
+        // With live mappings present, the audit sees the hosts.
+        let src = Endpoint::new(ip(100, 64, 0, 1), 41_000);
+        let _ = n.process_outbound(Packet::udp(src, server(1), vec![]), SimTime::from_secs(300));
+        let rep = check_runtime(&n, SimTime::from_secs(300));
+        assert!(rep.is_clean(), "{:?}", rep.violations);
+        assert!(rep.hosts_checked > 0);
     }
 
     #[test]

@@ -31,11 +31,16 @@ pub mod config;
 pub mod nat;
 pub mod ports;
 pub mod sharded;
+pub mod store;
 
-pub use compliance::{check as check_compliance, ComplianceReport, Requirement};
+pub use compliance::{
+    check as check_compliance, check_runtime, ComplianceReport, Requirement, RuntimeReport,
+    RuntimeViolation,
+};
 pub use config::{
     FilteringBehavior, MappingBehavior, NatConfig, Pooling, PortAllocation, StunNatType,
 };
 pub use nat::{DropReason, Mapping, Nat, NatStats, NatVerdict, PortOccupancy};
 pub use ports::PortAllocator;
 pub use sharded::ShardedNat;
+pub use store::{ContactSet, MappingStore, StoreOccupancy};

@@ -13,53 +13,17 @@
 //! into the internal realm (hairpinning), or drop it with a reason that the
 //! stats record — the observable that the paper's measurements build on.
 
-use crate::config::{FilteringBehavior, MappingBehavior, NatConfig, Pooling, StunNatType};
+use crate::config::{FilteringBehavior, NatConfig, Pooling, StunNatType};
 use crate::ports::{PortAllocator, PortError};
+use crate::store::{MappingStore, StoreOccupancy, TcpConnState};
 use netcore::{Endpoint, Packet, PacketBody, Protocol, SimDuration, SimTime, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-/// Lifecycle of a tracked TCP connection (simplified RFC 5382 view).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TcpConnState {
-    /// SYN seen, handshake incomplete — transitory timeout applies.
-    Transitory,
-    /// Handshake completed — long established timeout applies.
-    Established,
-    /// FIN or RST seen — transitory timeout applies again.
-    Closing,
-}
-
-/// One translation table entry.
-#[derive(Debug, Clone)]
-pub struct Mapping {
-    pub proto: Protocol,
-    /// The subscriber-side endpoint (`IPint:portint`).
-    pub internal: Endpoint,
-    /// The public-side endpoint (`IPext:portext`).
-    pub external: Endpoint,
-    /// Destination endpoints contacted through this mapping — the filter
-    /// state for restricted NATs.
-    pub contacted: HashSet<Endpoint>,
-    pub created: SimTime,
-    pub last_refresh: SimTime,
-    pub expiry: SimTime,
-    tcp: Option<TcpConnState>,
-}
-
-impl Mapping {
-    pub fn expired(&self, now: SimTime) -> bool {
-        self.expiry <= now
-    }
-
-    /// Remaining idle budget at `now` (zero if expired).
-    pub fn remaining(&self, now: SimTime) -> SimDuration {
-        self.expiry.saturating_since(now)
-    }
-}
+pub use crate::store::Mapping;
 
 /// Outcome of processing one packet.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,9 +70,10 @@ pub struct NatStats {
     pub peak_mappings: u64,
     /// Calls to [`Nat::sweep`].
     pub sweeps: u64,
-    /// Sweeps that actually scanned the mapping table. The difference
-    /// to `sweeps` counts invocations short-circuited by the
-    /// earliest-expiry watermark (no mapping could have expired).
+    /// Sweeps that inspected at least one timer-wheel entry. The
+    /// difference to `sweeps` counts invocations that found no due
+    /// bucket and did zero per-mapping work (no mapping could have
+    /// expired yet).
     pub sweep_scans: u64,
     pub drops: u64,
     pub drop_no_mapping: u64,
@@ -158,17 +123,6 @@ impl NatStats {
     }
 }
 
-/// Key for outbound mapping reuse, shaped by the mapping behaviour.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum OutKey {
-    /// Endpoint-independent: keyed by internal endpoint only.
-    Eim(Protocol, Endpoint),
-    /// Address-dependent: plus destination IP.
-    Adm(Protocol, Endpoint, Ipv4Addr),
-    /// Address-and-port-dependent (symmetric): plus destination endpoint.
-    Apdm(Protocol, Endpoint, Endpoint),
-}
-
 /// Fill level of one (external IP, protocol) port allocator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortOccupancy {
@@ -186,28 +140,22 @@ impl PortOccupancy {
 }
 
 /// A NAT device instance.
+///
+/// Translation state lives in a [`MappingStore`] — a slab arena with
+/// interned packed indices and a timer wheel for expiry (see
+/// [`crate::store`]). The device layer owns what the store does not:
+/// behaviour configuration, the external address pool, the RNG, the
+/// per-pool [`PortAllocator`]s (indexed by the store's interned pool
+/// ids) and the observable [`NatStats`].
 #[derive(Debug)]
 pub struct Nat {
     config: NatConfig,
     external_ips: Vec<Ipv4Addr>,
     rng: StdRng,
-    allocators: HashMap<(Ipv4Addr, Protocol), PortAllocator>,
-    mappings: HashMap<u64, Mapping>,
-    out_index: HashMap<OutKey, u64>,
-    ext_index: HashMap<(Protocol, Endpoint), u64>,
-    /// Sticky internal-host → external-IP assignment for paired pooling.
-    paired: HashMap<Ipv4Addr, Ipv4Addr>,
-    sessions_per_host: HashMap<Ipv4Addr, u32>,
-    /// Reverse index for expiry cleanup.
-    keys_by_id: HashMap<u64, OutKey>,
-    next_id: u64,
-    /// Lower bound on the earliest expiry among live mappings; `None`
-    /// while the table is empty. Every write to a mapping's `expiry`
-    /// folds the new value in via [`Nat::note_expiry`] — necessary
-    /// because a TCP FIN/RST *shortens* an established mapping's
-    /// expiry — so the bound only drifts conservative (too low) until
-    /// the next full scan recomputes it exactly.
-    expiry_floor: Option<SimTime>,
+    /// One allocator per interned `(external IP, protocol)` pool id;
+    /// `None` for pools that never allocated (transparent firewalls).
+    allocators: Vec<Option<PortAllocator>>,
+    store: MappingStore,
     stats: NatStats,
 }
 
@@ -225,15 +173,8 @@ impl Nat {
             config,
             external_ips,
             rng: StdRng::seed_from_u64(seed),
-            allocators: HashMap::new(),
-            mappings: HashMap::new(),
-            out_index: HashMap::new(),
-            ext_index: HashMap::new(),
-            paired: HashMap::new(),
-            sessions_per_host: HashMap::new(),
-            keys_by_id: HashMap::new(),
-            next_id: 0,
-            expiry_floor: None,
+            allocators: Vec::new(),
+            store: MappingStore::new(),
             stats: NatStats::default(),
         }
     }
@@ -262,7 +203,20 @@ impl Nat {
 
     /// Number of live (possibly stale-but-unswept) mappings.
     pub fn mapping_count(&self) -> usize {
-        self.mappings.len()
+        self.store.len()
+    }
+
+    /// Occupancy counters of the slab store (arena size, free-list
+    /// length, interner sizes, parked timers).
+    pub fn store_occupancy(&self) -> StoreOccupancy {
+        self.store.occupancy()
+    }
+
+    /// Iterate all live (possibly stale-but-unswept) mappings in slab
+    /// order. Diagnostic/audit read path — counts entries
+    /// independently of the store's `live` bookkeeping.
+    pub fn mappings(&self) -> impl Iterator<Item = &Mapping> {
+        self.store.iter_live().map(|(_, m)| m)
     }
 
     /// Current external endpoint for an internal endpoint, if an unexpired
@@ -274,8 +228,9 @@ impl Nat {
         internal: Endpoint,
         now: SimTime,
     ) -> Option<Endpoint> {
-        self.mappings
-            .values()
+        self.store
+            .iter_live()
+            .map(|(_, m)| m)
             .find(|m| m.proto == proto && m.internal == internal && !m.expired(now))
             .map(|m| m.external)
     }
@@ -285,12 +240,20 @@ impl Nat {
     /// dimensioning (one external port is held per mapping).
     pub fn ports_by_host(&self, now: SimTime) -> HashMap<Ipv4Addr, u32> {
         let mut out: HashMap<Ipv4Addr, u32> = HashMap::new();
-        for m in self.mappings.values() {
+        for (_, m) in self.store.iter_live() {
             if !m.expired(now) {
                 *out.entry(m.internal.ip).or_insert(0) += 1;
             }
         }
         out
+    }
+
+    /// The values of [`Nat::ports_by_host`] without the address map:
+    /// unexpired-mapping counts per active host in host-interning
+    /// order. The traffic driver's demand-sampling hot path — one
+    /// dense pass over the slab, no per-host hashing.
+    pub fn active_ports_per_host(&self, now: SimTime) -> Vec<u32> {
+        self.store.active_ports_per_host(now)
     }
 
     /// Allocator fill level per (external IP, protocol), sorted for
@@ -300,11 +263,16 @@ impl Nat {
         let mut out: Vec<PortOccupancy> = self
             .allocators
             .iter()
-            .map(|((ip, proto), a)| PortOccupancy {
-                ext_ip: *ip,
-                proto: *proto,
-                allocated: a.allocated(),
-                capacity: a.capacity(),
+            .enumerate()
+            .filter_map(|(pool, a)| {
+                let a = a.as_ref()?;
+                let (ip, proto) = self.store.pool_entry(pool as u32);
+                Some(PortOccupancy {
+                    ext_ip: ip,
+                    proto,
+                    allocated: a.allocated(),
+                    capacity: a.capacity(),
+                })
             })
             .collect();
         out.sort_by_key(|o| (o.ext_ip, o.proto));
@@ -313,56 +281,27 @@ impl Nat {
 
     /// Remove all mappings whose idle timer has run out.
     ///
-    /// Cheap when called often: the engine tracks a lower bound on the
-    /// earliest expiry among live mappings and skips the table scan
-    /// entirely while `now` has not reached it (see
+    /// Cheap when called often: expiries are tracked on the store's
+    /// hierarchical timer wheel, so a sweep walks only the buckets that
+    /// became due since the last one — its cost follows the number of
+    /// expiring mappings, not the table size (see
     /// [`NatStats::sweep_scans`] vs [`NatStats::sweeps`]).
     pub fn sweep(&mut self, now: SimTime) {
         self.stats.sweeps += 1;
-        match self.expiry_floor {
-            // Empty table, or no mapping can have expired yet.
-            None => return,
-            Some(floor) if now < floor => return,
-            Some(_) => {}
+        let (inspected, due) = self.store.sweep_due(now);
+        if inspected > 0 {
+            self.stats.sweep_scans += 1;
         }
-        self.stats.sweep_scans += 1;
-        let dead: Vec<u64> = self
-            .mappings
-            .iter()
-            .filter(|(_, m)| m.expired(now))
-            .map(|(id, _)| *id)
-            .collect();
-        for id in dead {
-            self.remove_mapping(id);
+        for slot in due {
+            self.remove_mapping(slot);
             self.stats.mappings_expired += 1;
         }
-        // The scan saw every survivor: recompute the exact floor.
-        self.expiry_floor = self.mappings.values().map(|m| m.expiry).min();
     }
 
-    /// Fold a newly-(re)assigned expiry into the sweep watermark.
-    /// Refreshes usually push expiries later (the floor just stays a
-    /// conservative bound), but a TCP FIN/RST moves an established
-    /// mapping back onto the short transitory clock — the floor must
-    /// follow downward or the sweep fast path would skip the reap.
-    fn note_expiry(&mut self, expiry: SimTime) {
-        self.expiry_floor = Some(match self.expiry_floor {
-            Some(floor) => floor.min(expiry),
-            None => expiry,
-        });
-    }
-
-    fn remove_mapping(&mut self, id: u64) {
-        if let Some(m) = self.mappings.remove(&id) {
-            self.ext_index.remove(&(m.proto, m.external));
-            if let Some(k) = self.keys_by_id.remove(&id) {
-                self.out_index.remove(&k);
-            }
-            if let Some(a) = self.allocators.get_mut(&(m.external.ip, m.proto)) {
+    fn remove_mapping(&mut self, slot: u32) {
+        if let Some((m, pool)) = self.store.remove(slot) {
+            if let Some(Some(a)) = self.allocators.get_mut(pool as usize) {
                 a.release(m.external.port);
-            }
-            if let Some(c) = self.sessions_per_host.get_mut(&m.internal.ip) {
-                *c = c.saturating_sub(1);
             }
         }
     }
@@ -377,23 +316,15 @@ impl Nat {
         }
     }
 
-    fn out_key(&self, proto: Protocol, internal: Endpoint, dst: Endpoint) -> OutKey {
-        match self.config.mapping {
-            MappingBehavior::EndpointIndependent => OutKey::Eim(proto, internal),
-            MappingBehavior::AddressDependent => OutKey::Adm(proto, internal, dst.ip),
-            MappingBehavior::AddressAndPortDependent => OutKey::Apdm(proto, internal, dst),
-        }
-    }
-
-    fn pick_external_ip(&mut self, internal_host: Ipv4Addr) -> Ipv4Addr {
+    fn pick_external_ip(&mut self, host: u32) -> Ipv4Addr {
         match self.config.pooling {
             Pooling::Paired => {
-                if let Some(ip) = self.paired.get(&internal_host) {
-                    return *ip;
+                if let Some(ip) = self.store.paired_ext(host) {
+                    return ip;
                 }
                 let idx = self.rng.gen_range(0..self.external_ips.len());
                 let ip = self.external_ips[idx];
-                self.paired.insert(internal_host, ip);
+                self.store.set_paired_ext(host, ip);
                 ip
             }
             Pooling::Arbitrary => {
@@ -434,24 +365,25 @@ impl Nat {
 
         let internal = pkt.src;
         let dst = pkt.dst;
-        let key = self.out_key(proto, internal, dst);
+        let key = self
+            .store
+            .out_key(self.config.mapping, proto, internal, dst);
 
         // Reuse an existing mapping if present and fresh.
-        let id = match self.out_index.get(&key) {
-            Some(id) if !self.mappings[id].expired(now) => Some(*id),
-            Some(id) => {
-                let id = *id;
-                self.remove_mapping(id);
+        let slot = match self.store.lookup_out(key) {
+            Some(slot) if !self.store.get(slot).expired(now) => Some(slot),
+            Some(slot) => {
+                self.remove_mapping(slot);
                 self.stats.mappings_expired += 1;
                 None
             }
             None => None,
         };
 
-        let id = match id {
-            Some(id) => id,
+        let slot = match slot {
+            Some(slot) => slot,
             None => match self.create_mapping(key, proto, internal, now) {
-                Ok(id) => id,
+                Ok(slot) => slot,
                 Err(reason) => {
                     self.stats.record_drop(reason);
                     return NatVerdict::Drop(reason);
@@ -460,27 +392,17 @@ impl Nat {
         };
 
         // Refresh + filter state + TCP tracking.
-        let external;
-        let new_expiry;
-        {
-            let m = self.mappings.get_mut(&id).expect("mapping just ensured");
+        let (external, tcp) = {
+            let m = self.store.get_mut(slot);
             m.contacted.insert(dst);
             if let Some(f) = flags {
                 m.tcp = Self::tcp_update(m.tcp, f, true);
             }
             m.last_refresh = now;
-            let t = match proto {
-                Protocol::Udp => self.config.udp_timeout,
-                Protocol::Tcp => match m.tcp {
-                    Some(TcpConnState::Established) => self.config.tcp_established_timeout,
-                    _ => self.config.tcp_transitory_timeout,
-                },
-            };
-            m.expiry = now + t;
-            new_expiry = m.expiry;
-            external = m.external;
-        }
-        self.note_expiry(new_expiry);
+            (m.external, m.tcp)
+        };
+        let t = self.timeout_for(proto, tcp);
+        self.store.set_expiry(slot, now + t);
 
         let mut out = pkt;
         out.src = external;
@@ -493,18 +415,14 @@ impl Nat {
 
     fn create_mapping(
         &mut self,
-        key: OutKey,
+        key: u128,
         proto: Protocol,
         internal: Endpoint,
         now: SimTime,
-    ) -> Result<u64, DropReason> {
+    ) -> Result<u32, DropReason> {
+        let host = MappingStore::host_of_key(key);
         if let Some(cap) = self.config.max_sessions_per_host {
-            let used = self
-                .sessions_per_host
-                .get(&internal.ip)
-                .copied()
-                .unwrap_or(0);
-            if used >= cap {
+            if self.store.host_sessions(host) >= cap {
                 return Err(DropReason::SessionLimit);
             }
         }
@@ -512,13 +430,15 @@ impl Nat {
             // Stateful firewall: state is kept, addresses are not touched.
             internal
         } else {
-            let ext_ip = self.pick_external_ip(internal.ip);
+            let ext_ip = self.pick_external_ip(host);
+            let pool = self.store.intern_pool(ext_ip, proto) as usize;
+            if self.allocators.len() <= pool {
+                self.allocators.resize_with(pool + 1, || None);
+            }
             let strategy = self.config.port_alloc;
             let range = self.config.port_range;
-            let alloc = self
-                .allocators
-                .entry((ext_ip, proto))
-                .or_insert_with(|| PortAllocator::new(strategy, range));
+            let alloc =
+                self.allocators[pool].get_or_insert_with(|| PortAllocator::new(strategy, range));
             let port = alloc
                 .allocate(internal.ip, internal.port, proto, &mut self.rng)
                 .map_err(|e| match e {
@@ -528,28 +448,12 @@ impl Nat {
                 })?;
             Endpoint::new(ext_ip, port)
         };
-        let id = self.next_id;
-        self.next_id += 1;
         let timeout = self.timeout_for(proto, None);
-        let m = Mapping {
-            proto,
-            internal,
-            external,
-            contacted: HashSet::new(),
-            created: now,
-            last_refresh: now,
-            expiry: now + timeout,
-            tcp: None,
-        };
-        self.note_expiry(m.expiry);
-        self.mappings.insert(id, m);
-        self.out_index.insert(key, id);
-        self.keys_by_id.insert(id, key);
-        self.ext_index.insert((proto, external), id);
-        *self.sessions_per_host.entry(internal.ip).or_insert(0) += 1;
+        let m = Mapping::new(proto, internal, external, now, now + timeout);
+        let slot = self.store.insert(key, proto, m);
         self.stats.mappings_created += 1;
-        self.stats.peak_mappings = self.stats.peak_mappings.max(self.mappings.len() as u64);
-        Ok(id)
+        self.stats.peak_mappings = self.stats.peak_mappings.max(self.store.len() as u64);
+        Ok(slot)
     }
 
     fn hairpin(&mut self, translated: Packet, original_src: Endpoint, now: SimTime) -> NatVerdict {
@@ -564,30 +468,25 @@ impl Nat {
         // configured to leave the internal source in place — the leak
         // mechanism of §4.1 — the delivered packet carries `original_src`.
         let proto = translated.protocol().expect("hairpin only for UDP/TCP");
-        let target_id = match self.ext_index.get(&(proto, translated.dst)) {
-            Some(id) if !self.mappings[id].expired(now) => *id,
+        let target = match self.store.lookup_ext(proto, translated.dst) {
+            Some(slot) if !self.store.get(slot).expired(now) => slot,
             _ => {
                 self.stats.record_drop(DropReason::NoMapping);
                 return NatVerdict::Drop(DropReason::NoMapping);
             }
         };
-        if !self.filter_admits(target_id, translated.src) {
+        if !self.filter_admits(target, translated.src) {
             self.stats.record_drop(DropReason::Filtered);
             return NatVerdict::Drop(DropReason::Filtered);
         }
         let (internal_dst, refresh) = {
-            let m = self.mappings.get_mut(&target_id).expect("checked above");
+            let m = self.store.get(target);
             (m.internal, self.config.refresh_inbound)
         };
         if refresh {
-            let t = {
-                let m = &self.mappings[&target_id];
-                self.timeout_for(proto, m.tcp)
-            };
-            let m = self.mappings.get_mut(&target_id).expect("checked above");
-            m.last_refresh = now;
-            m.expiry = now + t;
-            self.note_expiry(now + t);
+            let t = self.timeout_for(proto, self.store.get(target).tcp);
+            self.store.get_mut(target).last_refresh = now;
+            self.store.set_expiry(target, now + t);
         }
         let mut delivered = translated;
         delivered.dst = internal_dst;
@@ -598,8 +497,8 @@ impl Nat {
         NatVerdict::Hairpin(delivered)
     }
 
-    fn filter_admits(&self, id: u64, remote: Endpoint) -> bool {
-        let m = &self.mappings[&id];
+    fn filter_admits(&self, slot: u32, remote: Endpoint) -> bool {
+        let m = self.store.get(slot);
         match self.config.filtering {
             FilteringBehavior::EndpointIndependent => true,
             FilteringBehavior::AddressDependent => m.contacted.iter().any(|e| e.ip == remote.ip),
@@ -618,11 +517,10 @@ impl Nat {
             }
         };
 
-        let id = match self.ext_index.get(&(proto, pkt.dst)) {
-            Some(id) if !self.mappings[id].expired(now) => *id,
-            Some(id) => {
-                let id = *id;
-                self.remove_mapping(id);
+        let slot = match self.store.lookup_ext(proto, pkt.dst) {
+            Some(slot) if !self.store.get(slot).expired(now) => slot,
+            Some(slot) => {
+                self.remove_mapping(slot);
                 self.stats.mappings_expired += 1;
                 self.stats.record_drop(DropReason::NoMapping);
                 return NatVerdict::Drop(DropReason::NoMapping);
@@ -633,27 +531,22 @@ impl Nat {
             }
         };
 
-        if !self.filter_admits(id, pkt.src) {
+        if !self.filter_admits(slot, pkt.src) {
             self.stats.record_drop(DropReason::Filtered);
             return NatVerdict::Drop(DropReason::Filtered);
         }
 
         let internal = {
-            let m = self.mappings.get_mut(&id).expect("checked above");
+            let m = self.store.get_mut(slot);
             if let Some(f) = flags {
                 m.tcp = Self::tcp_update(m.tcp, f, false);
             }
             m.internal
         };
         if self.config.refresh_inbound {
-            let t = {
-                let m = &self.mappings[&id];
-                self.timeout_for(proto, m.tcp)
-            };
-            let m = self.mappings.get_mut(&id).expect("checked above");
-            m.last_refresh = now;
-            m.expiry = now + t;
-            self.note_expiry(now + t);
+            let t = self.timeout_for(proto, self.store.get(slot).tcp);
+            self.store.get_mut(slot).last_refresh = now;
+            self.store.set_expiry(slot, now + t);
         }
 
         let mut delivered = pkt;
@@ -665,8 +558,8 @@ impl Nat {
     /// the quoted original source is the mapping's external endpoint.
     fn inbound_icmp(&mut self, pkt: Packet, original_src: Endpoint, _now: SimTime) -> NatVerdict {
         for proto in [Protocol::Udp, Protocol::Tcp] {
-            if let Some(id) = self.ext_index.get(&(proto, original_src)) {
-                let m = &self.mappings[id];
+            if let Some(slot) = self.store.lookup_ext(proto, original_src) {
+                let m = self.store.get(slot);
                 let mut delivered = pkt;
                 delivered.dst = Endpoint::new(m.internal.ip, 0);
                 if let PacketBody::Icmp {
@@ -686,7 +579,9 @@ impl Nat {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::MappingBehavior;
     use netcore::ip;
+    use std::collections::HashSet;
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_secs(secs)
@@ -895,7 +790,7 @@ mod tests {
     }
 
     #[test]
-    fn sweep_fast_path_skips_scan_before_watermark() {
+    fn sweep_fast_path_skips_scan_before_due_bucket() {
         let mut n = nat(NatConfig::cgn_default()); // 60 s UDP timeout
         n.sweep(t(5));
         assert_eq!(n.stats().sweeps, 1);
@@ -908,7 +803,7 @@ mod tests {
         assert_eq!(
             n.stats().sweep_scans,
             0,
-            "no mapping can expire before the watermark"
+            "no wheel bucket is due before the expiry"
         );
         assert_eq!(n.mapping_count(), 1);
         n.sweep(t(60)); // expiry <= now: the mapping is dead
@@ -920,17 +815,17 @@ mod tests {
     }
 
     #[test]
-    fn sweep_watermark_survives_refresh() {
+    fn sweep_lazy_refresh_reschedules_on_the_wheel() {
         let mut n = nat(NatConfig::cgn_default());
         udp_out(&mut n, internal_host(1), server(), t(0)); // expiry 60
-                                                           // Refresh pushes the expiry to 110 but leaves the floor at 60:
-                                                           // the stale floor forces one scan that finds nothing and
-                                                           // recomputes the exact floor.
+                                                           // Refresh pushes the expiry to 110 but lazily leaves the
+                                                           // timer entry parked at 60: draining that bucket finds the
+                                                           // mapping alive and re-files it at the real expiry.
         udp_out(&mut n, internal_host(1), server(), t(50));
         n.sweep(t(70));
         assert_eq!(n.mapping_count(), 1, "refreshed mapping must survive");
         assert_eq!(n.stats().sweep_scans, 1);
-        // Fast path resumes against the recomputed floor…
+        // Fast path resumes against the rescheduled entry…
         n.sweep(t(109));
         assert_eq!(n.stats().sweep_scans, 1);
         // …and expiry is still detected on time.
@@ -940,7 +835,7 @@ mod tests {
     }
 
     #[test]
-    fn sweep_watermark_follows_tcp_fin_shortened_expiry() {
+    fn sweep_follows_tcp_fin_shortened_expiry() {
         let mut n = nat(NatConfig::cgn_default()); // established 7440 s, transitory 240 s
         let src = internal_host(1);
         // Full handshake: the mapping moves onto the established clock.
@@ -960,14 +855,15 @@ mod tests {
             n.process_outbound(Packet::tcp(src, server(), TcpFlags::ACK, vec![]), t(0)),
             NatVerdict::Forward(_)
         ));
-        // A scan past the stale (transitory) floor recomputes the floor
-        // to the established expiry (7440 s).
+        // Draining the stale transitory-deadline bucket re-files the
+        // entry at the established expiry (7440 s).
         n.sweep(t(241));
         assert_eq!(n.mapping_count(), 1);
         // FIN moves the mapping back onto the transitory clock: expiry
-        // 300 + 240 = 540 s, far below the recomputed floor. The
-        // watermark must follow, or this sweep would fast-skip and leak
-        // the port for the rest of the established timeout.
+        // 300 + 240 = 540 s, far below the parked deadline. The store
+        // must file an earlier timer entry, or this sweep would
+        // fast-skip and leak the port for the rest of the established
+        // timeout.
         assert!(matches!(
             n.process_outbound(Packet::tcp(src, server(), TcpFlags::FIN, vec![]), t(300)),
             NatVerdict::Forward(_)

@@ -14,6 +14,52 @@ use rand::Rng;
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 
+/// Dense membership set over the full `u16` port space: a fixed 8 KiB
+/// bitmap plus a count. Replaces the old `HashSet<u16>` — at CGN fill
+/// levels (tens of thousands of ports per external IP) the hash set
+/// cost one cache miss per probe and grew with the population, while
+/// the bitmap stays 8 KiB regardless of fill and needs no hashing.
+#[derive(Debug, Clone)]
+struct PortSet {
+    words: Box<[u64; 1024]>,
+    len: usize,
+}
+
+impl PortSet {
+    fn new() -> Self {
+        PortSet {
+            words: Box::new([0u64; 1024]),
+            len: 0,
+        }
+    }
+
+    /// Insert `p`; returns `true` if it was not already present
+    /// (`HashSet::insert` semantics).
+    fn insert(&mut self, p: u16) -> bool {
+        let (w, bit) = (p as usize >> 6, 1u64 << (p & 63));
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.len += 1;
+        true
+    }
+
+    fn remove(&mut self, p: u16) -> bool {
+        let (w, bit) = (p as usize >> 6, 1u64 << (p & 63));
+        if self.words[w] & bit == 0 {
+            return false;
+        }
+        self.words[w] &= !bit;
+        self.len -= 1;
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
 /// Why a port could not be allocated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PortError {
@@ -30,7 +76,7 @@ pub enum PortError {
 pub struct PortAllocator {
     strategy: PortAllocation,
     range: (u16, u16),
-    in_use: HashSet<u16>,
+    in_use: PortSet,
     /// Next candidate for sequential allocation.
     next_seq: u16,
     /// Chunk assignment per internal host (chunk strategies only).
@@ -44,7 +90,7 @@ impl PortAllocator {
         PortAllocator {
             strategy,
             range,
-            in_use: HashSet::new(),
+            in_use: PortSet::new(),
             next_seq: range.0,
             chunks: HashMap::new(),
             chunks_taken: HashSet::new(),
@@ -92,7 +138,7 @@ impl PortAllocator {
 
     /// Release a previously allocated port (mapping expiry).
     pub fn release(&mut self, port: u16) {
-        self.in_use.remove(&port);
+        self.in_use.remove(port);
     }
 
     fn in_range(&self, p: u16) -> bool {

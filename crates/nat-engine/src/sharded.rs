@@ -22,19 +22,16 @@
 
 use crate::config::NatConfig;
 use crate::nat::{Nat, NatStats, NatVerdict, PortOccupancy};
+use crate::store::StoreOccupancy;
 use netcore::{Packet, SimTime};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-/// SplitMix64 finalizer — the shard hash must be stable across runs and
-/// platforms, so it is spelled out here rather than borrowed from
-/// `std::hash` (whose output is not guaranteed across releases).
-pub fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// SplitMix64 finalizer — the shard hash must be stable across runs
+/// and platforms, so it is spelled out in [`crate::store`] rather than
+/// borrowed from `std::hash` (whose output is not guaranteed across
+/// releases). Re-exported here because sharding is its original home.
+pub use crate::store::mix64;
 
 /// Run `f` over a list of mutually independent work items on up to
 /// `threads` scoped worker threads (`threads <= 1` runs in place on
@@ -172,6 +169,16 @@ impl ShardedNat {
     /// Live mappings across all shards.
     pub fn mapping_count(&self) -> usize {
         self.shards.iter().map(|s| s.mapping_count()).sum()
+    }
+
+    /// Slab-store occupancy summed across shards (arena slots,
+    /// free-list lengths, interner sizes, parked timers).
+    pub fn store_occupancy(&self) -> StoreOccupancy {
+        let mut out = StoreOccupancy::default();
+        for shard in &self.shards {
+            out.merge(&shard.store_occupancy());
+        }
+        out
     }
 
     /// Counters folded across shards in shard order.

@@ -1,0 +1,1124 @@
+//! Slab-backed mapping storage with interned keys and timer-wheel expiry.
+//!
+//! The engine's original storage was four `std::collections::HashMap`s:
+//! mappings by `u64` id, an outbound index keyed by `(Protocol,
+//! Endpoint, …)` tuples, an external index keyed by `(Protocol,
+//! Endpoint)`, and a reverse `id → key` map for cleanup. At the
+//! millions-of-mappings populations a CGN is dimensioned for (§6.2),
+//! that layout loses to cache pressure: every packet chases pointers
+//! through separately-allocated hash nodes and SipHashes ~24-byte
+//! composite keys. [`MappingStore`] replaces all of it with dense
+//! storage:
+//!
+//! * **Slab arena** — mappings live inline in a `Vec<Slot>`; a freed
+//!   slot goes onto a LIFO free-list and is reused by the next insert.
+//!   Slot ids are `u32` (half the old `u64` ids) and index the arena
+//!   directly — no second hash lookup to reach the mapping.
+//!
+//! * **Interned keys** — internal hosts intern to dense `u32` ids
+//!   ([`MappingStore::intern_host`]); `(external IP, protocol)` pairs
+//!   intern to dense `u32` pool ids ([`MappingStore::intern_pool`]).
+//!   Per-host state (session counts, paired-pooling assignment) lives
+//!   in a plain `Vec` indexed by host id. The outbound key packs into
+//!   one `u128` (layout below), the external key into one `u64`, and
+//!   both indices hash those integers with a SplitMix64-based hasher
+//!   ([`mix64`]) instead of SipHash over tuples.
+//!
+//! * **Hierarchical timer wheel** — instead of scanning the whole
+//!   table on [`sweep`](MappingStore::sweep_due) (or short-circuiting
+//!   on an earliest-expiry watermark, which still paid a full scan
+//!   whenever it was passed), every mapping schedules a timer entry in
+//!   a 4-level × 64-bucket wheel. A sweep walks only the buckets that
+//!   became due, so its cost tracks the number of expiring mappings,
+//!   not the table size.
+//!
+//! # Out-key layout (`u128`)
+//!
+//! ```text
+//! bits   0..16   internal port
+//! bits  16..48   interned internal host id (u32)
+//! bits  48..64   destination port   (AddressAndPortDependent only)
+//! bits  64..96   destination IPv4   (AddressDependent + APD)
+//! bits  96..98   mapping-behaviour kind (0 = EIM, 1 = ADM, 2 = APDM)
+//! bit   98       protocol (0 = UDP, 1 = TCP)
+//! ```
+//!
+//! # Ext-key layout (`u64`)
+//!
+//! ```text
+//! bits   0..16   external port
+//! bits  16..48   interned (external IP, protocol) pool id (u32)
+//! ```
+//!
+//! # Timer-wheel resolution
+//!
+//! Level `l` covers 64 buckets of `2^shift[l]` milliseconds with
+//! `shift = [10, 16, 22, 28]`: ~1 s buckets spanning ~65 s at level 0,
+//! then ~65 s / ~70 min / ~3 days buckets above, cascading downward as
+//! the wheel turns. Entries are **lazy**: a refresh that *extends* a
+//! mapping leaves its entry in place (the entry re-schedules itself to
+//! the real expiry when it fires), while a refresh that *shortens* the
+//! expiry (a TCP FIN/RST moving a mapping onto the transitory clock)
+//! schedules a new, earlier entry and lets the old one die as stale.
+//! Stale entries are recognised by a per-slot generation counter (slot
+//! reuse) plus a per-slot schedule sequence number (at most one
+//! authoritative entry per slot), and cost one comparison when their
+//! bucket is drained.
+
+use crate::config::MappingBehavior;
+use netcore::{Endpoint, Protocol, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::net::Ipv4Addr;
+
+/// SplitMix64 finalizer — stable across runs and platforms, unlike
+/// `std::hash`'s SipHash keys. Doubles as the shard hash
+/// (re-exported as `sharded::mix64`) and the avalanche step of
+/// [`Mix64Hasher`].
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fast, deterministic hasher for the store's packed-integer keys:
+/// an FxHash-style fold per write, finished with a [`mix64`]
+/// avalanche. Not DoS-resistant — fine for keys the engine itself
+/// constructs, which is the only thing the store hashes.
+#[derive(Debug, Default, Clone)]
+pub struct Mix64Hasher(u64);
+
+const FOLD: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+
+impl Hasher for Mix64Hasher {
+    fn finish(&self) -> u64 {
+        mix64(self.0)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ b as u64).wrapping_mul(FOLD);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(v as u64);
+    }
+    fn write_u16(&mut self, v: u16) {
+        self.write_u64(v as u64);
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(FOLD);
+    }
+    fn write_u128(&mut self, v: u128) {
+        self.write_u64(v as u64);
+        self.write_u64((v >> 64) as u64);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+    fn write_i8(&mut self, v: i8) {
+        self.write_u64(v as u64);
+    }
+    fn write_i16(&mut self, v: i16) {
+        self.write_u64(v as u64);
+    }
+    fn write_i32(&mut self, v: i32) {
+        self.write_u64(v as u64);
+    }
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+    fn write_isize(&mut self, v: isize) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `HashMap` with the deterministic [`Mix64Hasher`].
+pub type MixMap<K, V> = HashMap<K, V, BuildHasherDefault<Mix64Hasher>>;
+
+/// The destination endpoints a mapping has contacted — the filter
+/// state for restricted NATs. Semantically a set; physically the
+/// first three endpoints live inline (no heap allocation for the
+/// dominant 1-contact case) and further ones spill to a plain vector
+/// scanned linearly. At realistic fan-outs (tens of destinations) a
+/// short sequential scan beats a `HashSet`'s hash + random probe,
+/// and keepalive traffic hits its own destination in the first slot.
+#[derive(Debug, Clone)]
+pub struct ContactSet {
+    inline: [Endpoint; CONTACTS_INLINE],
+    inline_len: u8,
+    spill: Vec<Endpoint>,
+}
+
+impl Default for ContactSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const CONTACTS_INLINE: usize = 3;
+
+impl ContactSet {
+    pub fn new() -> Self {
+        ContactSet {
+            inline: [Endpoint::new(Ipv4Addr::UNSPECIFIED, 0); CONTACTS_INLINE],
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inline_len as usize + self.spill.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inline_len == 0
+    }
+
+    pub fn contains(&self, e: &Endpoint) -> bool {
+        self.inline[..self.inline_len as usize].contains(e) || self.spill.contains(e)
+    }
+
+    /// Insert with set semantics; returns `true` if newly added.
+    pub fn insert(&mut self, e: Endpoint) -> bool {
+        if self.contains(&e) {
+            return false;
+        }
+        if (self.inline_len as usize) < CONTACTS_INLINE {
+            self.inline[self.inline_len as usize] = e;
+            self.inline_len += 1;
+        } else {
+            self.spill.push(e);
+        }
+        true
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Endpoint> {
+        self.inline[..self.inline_len as usize]
+            .iter()
+            .chain(self.spill.iter())
+    }
+}
+
+/// Lifecycle of a tracked TCP connection (simplified RFC 5382 view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TcpConnState {
+    /// SYN seen, handshake incomplete — transitory timeout applies.
+    Transitory,
+    /// Handshake completed — long established timeout applies.
+    Established,
+    /// FIN or RST seen — transitory timeout applies again.
+    Closing,
+}
+
+/// One translation table entry.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    pub proto: Protocol,
+    /// The subscriber-side endpoint (`IPint:portint`).
+    pub internal: Endpoint,
+    /// The public-side endpoint (`IPext:portext`).
+    pub external: Endpoint,
+    /// Destination endpoints contacted through this mapping — the filter
+    /// state for restricted NATs.
+    pub contacted: ContactSet,
+    pub created: SimTime,
+    pub last_refresh: SimTime,
+    pub expiry: SimTime,
+    pub(crate) tcp: Option<TcpConnState>,
+}
+
+impl Mapping {
+    /// A fresh mapping with empty filter state and no TCP tracking.
+    pub fn new(
+        proto: Protocol,
+        internal: Endpoint,
+        external: Endpoint,
+        now: SimTime,
+        expiry: SimTime,
+    ) -> Self {
+        Mapping {
+            proto,
+            internal,
+            external,
+            contacted: ContactSet::new(),
+            created: now,
+            last_refresh: now,
+            expiry,
+            tcp: None,
+        }
+    }
+
+    pub fn expired(&self, now: SimTime) -> bool {
+        self.expiry <= now
+    }
+
+    /// Remaining idle budget at `now` (zero if expired).
+    pub fn remaining(&self, now: SimTime) -> SimDuration {
+        self.expiry.saturating_since(now)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+const WHEEL_LEVELS: usize = 4;
+const WHEEL_BUCKETS: usize = 64;
+/// Millisecond shift per level: ~1 s, ~65 s, ~70 min, ~3 day buckets.
+const WHEEL_SHIFTS: [u32; WHEEL_LEVELS] = [10, 16, 22, 28];
+
+#[derive(Debug, Clone, Copy)]
+struct TimerEntry {
+    slot: u32,
+    gen: u32,
+    /// Per-slot schedule sequence number (see [`Slot::wheel_seq`]):
+    /// only the entry carrying the slot's latest sequence is
+    /// authoritative, so at most one entry can ever expire or
+    /// reschedule a slot — duplicates (e.g. a shorten followed by an
+    /// extension back to the old deadline) die stale on this check.
+    seq: u32,
+    deadline_ms: u64,
+}
+
+#[derive(Debug)]
+struct TimerWheel {
+    /// Virtual time the wheel has been advanced to.
+    horizon_ms: u64,
+    /// `WHEEL_LEVELS * WHEEL_BUCKETS` buckets, level-major.
+    buckets: Vec<Vec<TimerEntry>>,
+    /// Entries currently parked in buckets (live + stale).
+    entries: usize,
+}
+
+impl TimerWheel {
+    fn new() -> Self {
+        TimerWheel {
+            horizon_ms: 0,
+            buckets: (0..WHEEL_LEVELS * WHEEL_BUCKETS)
+                .map(|_| Vec::new())
+                .collect(),
+            entries: 0,
+        }
+    }
+
+    /// Bucket for a deadline, relative to the current horizon. Already
+    /// -due deadlines park in the horizon's own level-0 bucket, which
+    /// the next advance drains first.
+    fn place(&self, deadline_ms: u64) -> usize {
+        if deadline_ms <= self.horizon_ms {
+            return ((self.horizon_ms >> WHEEL_SHIFTS[0]) & 63) as usize;
+        }
+        for (level, &shift) in WHEEL_SHIFTS.iter().enumerate() {
+            if (deadline_ms >> shift) - (self.horizon_ms >> shift) < WHEEL_BUCKETS as u64 {
+                return level * WHEEL_BUCKETS + ((deadline_ms >> shift) & 63) as usize;
+            }
+        }
+        // Beyond the top level's span (> ~200 days out): park in the
+        // farthest top-level bucket; it re-cascades as the wheel turns.
+        let top = WHEEL_SHIFTS[WHEEL_LEVELS - 1];
+        (WHEEL_LEVELS - 1) * WHEEL_BUCKETS + (((self.horizon_ms >> top) + 63) & 63) as usize
+    }
+
+    fn schedule(&mut self, slot: u32, gen: u32, seq: u32, deadline_ms: u64) {
+        let b = self.place(deadline_ms);
+        self.buckets[b].push(TimerEntry {
+            slot,
+            gen,
+            seq,
+            deadline_ms,
+        });
+        self.entries += 1;
+    }
+
+    /// Re-distribute one higher-level bucket downward (called when the
+    /// level below wraps around).
+    fn cascade(&mut self, level: usize, bucket: usize) {
+        let drained = std::mem::take(&mut self.buckets[level * WHEEL_BUCKETS + bucket]);
+        for e in drained {
+            let b = self.place(e.deadline_ms);
+            self.buckets[b].push(e);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interners + slab
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct HostEntry {
+    ip: Ipv4Addr,
+    /// Mappings currently allocated to this host (live or
+    /// stale-but-unswept) — the per-subscriber session counter.
+    sessions: u32,
+    /// Sticky external-IP assignment for paired pooling.
+    paired: Option<Ipv4Addr>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Bumped on every free; timer entries carry the generation they
+    /// were scheduled under, so entries for a reused slot are stale.
+    gen: u32,
+    /// Bumped every time a new timer entry is filed for this slot
+    /// while live; the entry carrying the latest value is the single
+    /// authoritative one, everything older is a stale duplicate.
+    wheel_seq: u32,
+    /// Deadline of this slot's authoritative timer entry (used to
+    /// decide whether a new expiry shortens or lazily extends it).
+    wheel_deadline: u64,
+    out_key: u128,
+    ext_key: u64,
+    host: u32,
+    mapping: Option<Mapping>,
+}
+
+/// Occupancy snapshot of one store — the "how big did the arena get"
+/// observable the dimensioning report surfaces next to the port-demand
+/// stats. All counters add under [`StoreOccupancy::merge`], so a
+/// sharded engine reports the fleet-wide sum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreOccupancy {
+    /// Arena length (high-water mark of concurrent slots).
+    pub slots: u64,
+    /// Slots holding a live mapping.
+    pub live: u64,
+    /// Slots on the free-list awaiting reuse.
+    pub free: u64,
+    /// Internal hosts interned.
+    pub hosts_interned: u64,
+    /// `(external IP, protocol)` pairs interned.
+    pub pools_interned: u64,
+    /// Timer-wheel entries parked (live + stale).
+    pub timers: u64,
+}
+
+impl StoreOccupancy {
+    /// Fold another store's occupancy into this one (per-shard sums).
+    pub fn merge(&mut self, other: &StoreOccupancy) {
+        self.slots += other.slots;
+        self.live += other.live;
+        self.free += other.free;
+        self.hosts_interned += other.hosts_interned;
+        self.pools_interned += other.pools_interned;
+        self.timers += other.timers;
+    }
+}
+
+const KIND_EIM: u128 = 0;
+const KIND_ADM: u128 = 1;
+const KIND_APDM: u128 = 2;
+
+/// The slab-backed mapping store: arena + free-list, interned packed
+/// indices, and the expiry timer wheel. See the module docs for the
+/// layout.
+#[derive(Debug)]
+pub struct MappingStore {
+    slots: Vec<Slot>,
+    /// LIFO free-list of reusable slot ids.
+    free: Vec<u32>,
+    live: usize,
+    wheel: TimerWheel,
+    /// Packed out-key (`u128`) → slot id.
+    out_index: MixMap<u128, u32>,
+    /// Packed ext-key (`u64`) → slot id.
+    ext_index: MixMap<u64, u32>,
+    hosts: Vec<HostEntry>,
+    host_ids: MixMap<Ipv4Addr, u32>,
+    pools: Vec<(Ipv4Addr, Protocol)>,
+    pool_ids: MixMap<(Ipv4Addr, Protocol), u32>,
+}
+
+impl Default for MappingStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MappingStore {
+    pub fn new() -> Self {
+        MappingStore {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            wheel: TimerWheel::new(),
+            out_index: MixMap::default(),
+            ext_index: MixMap::default(),
+            hosts: Vec::new(),
+            host_ids: MixMap::default(),
+            pools: Vec::new(),
+            pool_ids: MixMap::default(),
+        }
+    }
+
+    /// Live mappings.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    // -- interners ---------------------------------------------------------
+
+    /// Intern an internal host address to its dense id.
+    pub fn intern_host(&mut self, ip: Ipv4Addr) -> u32 {
+        if let Some(&id) = self.host_ids.get(&ip) {
+            return id;
+        }
+        let id = u32::try_from(self.hosts.len()).expect("more than 2^32 internal hosts");
+        self.hosts.push(HostEntry {
+            ip,
+            sessions: 0,
+            paired: None,
+        });
+        self.host_ids.insert(ip, id);
+        id
+    }
+
+    /// The interned address of a host id.
+    pub fn host_ip(&self, host: u32) -> Ipv4Addr {
+        self.hosts[host as usize].ip
+    }
+
+    /// Current session count (live + stale-unswept mappings) of a host.
+    pub fn host_sessions(&self, host: u32) -> u32 {
+        self.hosts[host as usize].sessions
+    }
+
+    /// Sticky paired-pooling external IP of a host, if assigned.
+    pub fn paired_ext(&self, host: u32) -> Option<Ipv4Addr> {
+        self.hosts[host as usize].paired
+    }
+
+    pub fn set_paired_ext(&mut self, host: u32, ext: Ipv4Addr) {
+        self.hosts[host as usize].paired = Some(ext);
+    }
+
+    /// Intern an `(external IP, protocol)` pair to its dense pool id.
+    pub fn intern_pool(&mut self, ip: Ipv4Addr, proto: Protocol) -> u32 {
+        if let Some(&id) = self.pool_ids.get(&(ip, proto)) {
+            return id;
+        }
+        let id = u32::try_from(self.pools.len()).expect("more than 2^32 (ip, proto) pools");
+        assert!(id < (1 << 31), "pool id must pack into 48-bit ext keys");
+        self.pools.push((ip, proto));
+        self.pool_ids.insert((ip, proto), id);
+        id
+    }
+
+    /// The `(external IP, protocol)` pair behind a pool id.
+    pub fn pool_entry(&self, pool: u32) -> (Ipv4Addr, Protocol) {
+        self.pools[pool as usize]
+    }
+
+    /// Number of interned `(external IP, protocol)` pairs.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    // -- key packing -------------------------------------------------------
+
+    /// Pack the outbound-reuse key for a flow, shaped by the mapping
+    /// behaviour. Interns the internal host.
+    pub fn out_key(
+        &mut self,
+        behavior: MappingBehavior,
+        proto: Protocol,
+        internal: Endpoint,
+        dst: Endpoint,
+    ) -> u128 {
+        let host = self.intern_host(internal.ip);
+        let base = (host as u128) << 16 | internal.port as u128;
+        let proto_bit = match proto {
+            Protocol::Udp => 0u128,
+            Protocol::Tcp => 1u128,
+        } << 98;
+        match behavior {
+            MappingBehavior::EndpointIndependent => base | (KIND_EIM << 96) | proto_bit,
+            MappingBehavior::AddressDependent => {
+                base | (u32::from(dst.ip) as u128) << 64 | (KIND_ADM << 96) | proto_bit
+            }
+            MappingBehavior::AddressAndPortDependent => {
+                base | (dst.port as u128) << 48
+                    | (u32::from(dst.ip) as u128) << 64
+                    | (KIND_APDM << 96)
+                    | proto_bit
+            }
+        }
+    }
+
+    /// The interned internal-host id packed inside an out-key.
+    pub fn host_of_key(key: u128) -> u32 {
+        ((key >> 16) & 0xFFFF_FFFF) as u32
+    }
+
+    fn pack_ext(pool: u32, port: u16) -> u64 {
+        (pool as u64) << 16 | port as u64
+    }
+
+    // -- lookups -----------------------------------------------------------
+
+    /// Slot currently indexed under a packed out-key.
+    pub fn lookup_out(&self, key: u128) -> Option<u32> {
+        self.out_index.get(&key).copied()
+    }
+
+    /// Slot owning an external endpoint for a protocol. Never interns:
+    /// a stray inbound endpoint that was never allocated stays out of
+    /// the pool interner.
+    pub fn lookup_ext(&self, proto: Protocol, external: Endpoint) -> Option<u32> {
+        let pool = *self.pool_ids.get(&(external.ip, proto))?;
+        self.ext_index
+            .get(&Self::pack_ext(pool, external.port))
+            .copied()
+    }
+
+    /// Borrow a live mapping. Panics on a freed slot id.
+    pub fn get(&self, slot: u32) -> &Mapping {
+        self.slots[slot as usize]
+            .mapping
+            .as_ref()
+            .expect("slot is free")
+    }
+
+    /// Mutably borrow a live mapping. Changing `expiry` directly does
+    /// **not** reschedule the timer wheel — use
+    /// [`MappingStore::set_expiry`] for that.
+    pub fn get_mut(&mut self, slot: u32) -> &mut Mapping {
+        self.slots[slot as usize]
+            .mapping
+            .as_mut()
+            .expect("slot is free")
+    }
+
+    /// Iterate `(slot id, mapping)` over live slots in arena order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (u32, &Mapping)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.mapping.as_ref().map(|m| (i as u32, m)))
+    }
+
+    // -- mutation ----------------------------------------------------------
+
+    /// Insert a mapping under its packed out-key, indexing the external
+    /// endpoint and scheduling expiry on the timer wheel. Returns the
+    /// slot id. Increments the owning host's session counter.
+    pub fn insert(&mut self, out_key: u128, proto: Protocol, mapping: Mapping) -> u32 {
+        let host = Self::host_of_key(out_key);
+        let pool = self.intern_pool(mapping.external.ip, proto);
+        let ext_key = Self::pack_ext(pool, mapping.external.port);
+        let deadline = mapping.expiry.as_millis();
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let entry = &mut self.slots[s as usize];
+                entry.wheel_seq = 0;
+                entry.wheel_deadline = deadline;
+                entry.out_key = out_key;
+                entry.ext_key = ext_key;
+                entry.host = host;
+                entry.mapping = Some(mapping);
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than 2^32 mapping slots");
+                self.slots.push(Slot {
+                    gen: 0,
+                    wheel_seq: 0,
+                    wheel_deadline: deadline,
+                    out_key,
+                    ext_key,
+                    host,
+                    mapping: Some(mapping),
+                });
+                s
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.wheel.schedule(slot, gen, 0, deadline);
+        self.out_index.insert(out_key, slot);
+        self.ext_index.insert(ext_key, slot);
+        self.hosts[host as usize].sessions += 1;
+        self.live += 1;
+        slot
+    }
+
+    /// Remove a mapping: drop it from both indices, decrement its
+    /// host's session counter, free the slot (bumping the generation so
+    /// parked timer entries die stale), and return the mapping plus the
+    /// pool id its external port came from (for the caller's port
+    /// release).
+    pub fn remove(&mut self, slot: u32) -> Option<(Mapping, u32)> {
+        let entry = &mut self.slots[slot as usize];
+        let mapping = entry.mapping.take()?;
+        entry.gen = entry.gen.wrapping_add(1);
+        let out_key = entry.out_key;
+        let ext_key = entry.ext_key;
+        let host = entry.host;
+        self.out_index.remove(&out_key);
+        self.ext_index.remove(&ext_key);
+        let sessions = &mut self.hosts[host as usize].sessions;
+        *sessions = sessions.saturating_sub(1);
+        self.free.push(slot);
+        self.live -= 1;
+        Some((mapping, (ext_key >> 16) as u32))
+    }
+
+    /// Set a mapping's expiry, keeping the timer wheel honest: an
+    /// extension is lazy (the parked entry re-schedules itself when it
+    /// fires), a shortening files a new earlier entry and invalidates
+    /// the parked one.
+    pub fn set_expiry(&mut self, slot: u32, expiry: SimTime) {
+        let entry = &mut self.slots[slot as usize];
+        let m = entry.mapping.as_mut().expect("slot is free");
+        m.expiry = expiry;
+        let ms = expiry.as_millis();
+        if ms < entry.wheel_deadline {
+            entry.wheel_seq = entry.wheel_seq.wrapping_add(1);
+            entry.wheel_deadline = ms;
+            let (gen, seq) = (entry.gen, entry.wheel_seq);
+            self.wheel.schedule(slot, gen, seq, ms);
+        }
+    }
+
+    /// Advance the timer wheel to `now` and collect the slots whose
+    /// mappings are due. Returns `(entries inspected, due slots)`; the
+    /// caller must [`remove`](MappingStore::remove) every due slot.
+    /// Sweeps that inspect zero entries did no per-mapping work — the
+    /// fast path the `sweep_scans` counter measures.
+    pub fn sweep_due(&mut self, now: SimTime) -> (usize, Vec<u32>) {
+        let now_ms = now.as_millis();
+        let mut due = Vec::new();
+        if self.wheel.entries == 0 {
+            // Nothing scheduled: jump the horizon without turning.
+            self.wheel.horizon_ms = self.wheel.horizon_ms.max(now_ms);
+            return (0, due);
+        }
+        if now_ms < self.wheel.horizon_ms {
+            return (0, due);
+        }
+        let mut inspected = 0usize;
+        let mut resched: Vec<TimerEntry> = Vec::new();
+        let start = self.wheel.horizon_ms >> WHEEL_SHIFTS[0];
+        let end = now_ms >> WHEEL_SHIFTS[0];
+        for tick in start..=end {
+            if tick != start {
+                self.wheel.horizon_ms = tick << WHEEL_SHIFTS[0];
+                // Crossing into a new bucket: cascade any level that
+                // wrapped, highest first so entries settle downward.
+                if tick & 63 == 0 {
+                    if tick & 0x3_FFFF == 0 {
+                        self.wheel.cascade(3, ((tick >> 18) & 63) as usize);
+                    }
+                    if tick & 0xFFF == 0 {
+                        self.wheel.cascade(2, ((tick >> 12) & 63) as usize);
+                    }
+                    self.wheel.cascade(1, ((tick >> 6) & 63) as usize);
+                }
+            }
+            let bucket = (tick & 63) as usize;
+            if self.wheel.buckets[bucket].is_empty() {
+                continue;
+            }
+            let drained = std::mem::take(&mut self.wheel.buckets[bucket]);
+            for e in drained {
+                self.wheel.entries -= 1;
+                inspected += 1;
+                let slot = &mut self.slots[e.slot as usize];
+                let authoritative = slot.gen == e.gen && slot.wheel_seq == e.seq;
+                let Some(m) = slot.mapping.as_ref().filter(|_| authoritative) else {
+                    continue; // stale: freed, reused, or superseded entry
+                };
+                if m.expiry.as_millis() <= now_ms {
+                    due.push(e.slot);
+                } else {
+                    // Lazily-extended mapping: park at the real expiry.
+                    // The sequence bump happens immediately so any
+                    // other parked entry for this slot is already
+                    // stale; the wheel insert is deferred until the
+                    // ticks have finished turning.
+                    slot.wheel_seq = slot.wheel_seq.wrapping_add(1);
+                    slot.wheel_deadline = m.expiry.as_millis();
+                    resched.push(TimerEntry {
+                        slot: e.slot,
+                        gen: e.gen,
+                        seq: slot.wheel_seq,
+                        deadline_ms: m.expiry.as_millis(),
+                    });
+                }
+            }
+        }
+        self.wheel.horizon_ms = now_ms;
+        for e in resched {
+            self.wheel.schedule(e.slot, e.gen, e.seq, e.deadline_ms);
+        }
+        (inspected, due)
+    }
+
+    // -- read paths --------------------------------------------------------
+
+    /// Unexpired-mapping counts per internal host at `now`, in host
+    /// interning order, hosts with zero live mappings omitted — the
+    /// allocation-free demand-sampling path of the traffic driver
+    /// (the values of `Nat::ports_by_host` without the address map).
+    pub fn active_ports_per_host(&self, now: SimTime) -> Vec<u32> {
+        let mut counts = vec![0u32; self.hosts.len()];
+        for slot in &self.slots {
+            if let Some(m) = &slot.mapping {
+                if !m.expired(now) {
+                    counts[slot.host as usize] += 1;
+                }
+            }
+        }
+        counts.retain(|&c| c > 0);
+        counts
+    }
+
+    /// Current occupancy counters (arena, free-list, interners, wheel).
+    pub fn occupancy(&self) -> StoreOccupancy {
+        StoreOccupancy {
+            slots: self.slots.len() as u64,
+            live: self.live as u64,
+            free: self.free.len() as u64,
+            hosts_interned: self.hosts.len() as u64,
+            pools_interned: self.pools.len() as u64,
+            timers: self.wheel.entries as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn mapping(internal: Endpoint, external: Endpoint, expiry: SimTime) -> Mapping {
+        Mapping::new(Protocol::Udp, internal, external, SimTime::ZERO, expiry)
+    }
+
+    fn store_with(n: u16, expiry_secs: u64) -> (MappingStore, Vec<u32>) {
+        let mut s = MappingStore::new();
+        let mut slots = Vec::new();
+        for k in 0..n {
+            let internal = Endpoint::new(ip(100, 64, 0, (k % 250) as u8 + 1), 40_000 + k);
+            let external = Endpoint::new(ip(198, 51, 100, 1), 10_000 + k);
+            let key = s.out_key(
+                MappingBehavior::EndpointIndependent,
+                Protocol::Udp,
+                internal,
+                Endpoint::new(ip(203, 0, 113, 1), 80),
+            );
+            slots.push(s.insert(
+                key,
+                Protocol::Udp,
+                mapping(internal, external, t(expiry_secs)),
+            ));
+        }
+        (s, slots)
+    }
+
+    #[test]
+    fn interners_are_stable_and_dense() {
+        let mut s = MappingStore::new();
+        let a = s.intern_host(ip(100, 64, 0, 1));
+        let b = s.intern_host(ip(100, 64, 0, 2));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(s.intern_host(ip(100, 64, 0, 1)), 0, "re-intern is stable");
+        assert_eq!(s.host_ip(1), ip(100, 64, 0, 2));
+        let p = s.intern_pool(ip(198, 51, 100, 1), Protocol::Udp);
+        let q = s.intern_pool(ip(198, 51, 100, 1), Protocol::Tcp);
+        assert_eq!((p, q), (0, 1), "protocol distinguishes pools");
+        assert_eq!(s.pool_entry(1), (ip(198, 51, 100, 1), Protocol::Tcp));
+    }
+
+    #[test]
+    fn out_keys_distinguish_kind_proto_and_dst() {
+        let mut s = MappingStore::new();
+        let internal = Endpoint::new(ip(100, 64, 0, 1), 40_000);
+        let d1 = Endpoint::new(ip(203, 0, 113, 1), 80);
+        let d2 = Endpoint::new(ip(203, 0, 113, 1), 443);
+        let d3 = Endpoint::new(ip(203, 0, 113, 2), 80);
+        use MappingBehavior::*;
+        let eim = s.out_key(EndpointIndependent, Protocol::Udp, internal, d1);
+        assert_eq!(
+            eim,
+            s.out_key(EndpointIndependent, Protocol::Udp, internal, d3),
+            "EIM ignores the destination"
+        );
+        assert_ne!(
+            eim,
+            s.out_key(EndpointIndependent, Protocol::Tcp, internal, d1)
+        );
+        let adm = s.out_key(AddressDependent, Protocol::Udp, internal, d1);
+        assert_eq!(
+            adm,
+            s.out_key(AddressDependent, Protocol::Udp, internal, d2)
+        );
+        assert_ne!(
+            adm,
+            s.out_key(AddressDependent, Protocol::Udp, internal, d3)
+        );
+        assert_ne!(adm, eim, "kind bits keep behaviours apart");
+        let apdm = s.out_key(AddressAndPortDependent, Protocol::Udp, internal, d1);
+        assert_ne!(
+            apdm,
+            s.out_key(AddressAndPortDependent, Protocol::Udp, internal, d2)
+        );
+        assert_eq!(MappingStore::host_of_key(apdm), 0);
+    }
+
+    #[test]
+    fn free_list_reuses_slots_lifo_with_fresh_generation() {
+        let (mut s, slots) = store_with(3, 60);
+        assert_eq!(s.len(), 3);
+        assert_eq!(slots, vec![0, 1, 2]);
+        let (m, _pool) = s.remove(1).expect("live");
+        assert_eq!(m.external.port, 10_001);
+        s.remove(2).expect("live");
+        assert!(s.remove(2).is_none(), "double remove is a no-op");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.occupancy().free, 2);
+        // LIFO: slot 2 (freed last) is reused first, then slot 1.
+        let internal = Endpoint::new(ip(100, 64, 0, 9), 50_000);
+        let key = s.out_key(
+            MappingBehavior::EndpointIndependent,
+            Protocol::Udp,
+            internal,
+            Endpoint::new(ip(203, 0, 113, 1), 80),
+        );
+        let reused = s.insert(
+            key,
+            Protocol::Udp,
+            mapping(internal, Endpoint::new(ip(198, 51, 100, 1), 11_000), t(60)),
+        );
+        assert_eq!(reused, 2);
+        assert_eq!(s.occupancy().slots, 3, "arena did not grow");
+        assert_eq!(s.get(2).internal, internal);
+    }
+
+    #[test]
+    fn stale_wheel_entries_from_reused_slots_are_ignored() {
+        let (mut s, _slots) = store_with(1, 60);
+        s.remove(0).expect("live");
+        // Reuse slot 0 with a later expiry; the parked entry for the
+        // old mapping (deadline 60 s) must not expire the new one.
+        let internal = Endpoint::new(ip(100, 64, 0, 7), 50_000);
+        let key = s.out_key(
+            MappingBehavior::EndpointIndependent,
+            Protocol::Udp,
+            internal,
+            Endpoint::new(ip(203, 0, 113, 1), 80),
+        );
+        let slot = s.insert(
+            key,
+            Protocol::Udp,
+            mapping(internal, Endpoint::new(ip(198, 51, 100, 1), 11_000), t(120)),
+        );
+        assert_eq!(slot, 0);
+        let (inspected, due) = s.sweep_due(t(61));
+        assert!(inspected >= 1, "the stale entry was drained and checked");
+        assert!(due.is_empty(), "generation mismatch keeps the new mapping");
+        let (_, due) = s.sweep_due(t(120));
+        assert_eq!(due, vec![0]);
+    }
+
+    #[test]
+    fn sweep_skips_buckets_before_the_deadline() {
+        let (mut s, _) = store_with(1, 60);
+        for secs in [10, 30, 59] {
+            let (inspected, due) = s.sweep_due(t(secs));
+            assert_eq!((inspected, due.len()), (0, 0), "at {secs}s");
+        }
+        let (inspected, due) = s.sweep_due(t(60));
+        assert_eq!(inspected, 1);
+        assert_eq!(due, vec![0]);
+        s.remove(0).expect("due slots are removed by the caller");
+        let (inspected, due) = s.sweep_due(t(1000));
+        assert_eq!((inspected, due.len()), (0, 0), "empty wheel fast path");
+    }
+
+    #[test]
+    fn lazy_extension_reschedules_on_inspection() {
+        let (mut s, _) = store_with(1, 60);
+        s.set_expiry(0, t(110)); // extension: entry stays parked at 60 s
+        let (inspected, due) = s.sweep_due(t(70));
+        assert_eq!(inspected, 1, "parked entry fired and rescheduled");
+        assert!(due.is_empty());
+        let (inspected, _) = s.sweep_due(t(109));
+        assert_eq!(inspected, 0, "rescheduled to the real expiry");
+        let (_, due) = s.sweep_due(t(110));
+        assert_eq!(due, vec![0]);
+    }
+
+    #[test]
+    fn shortened_expiry_files_an_earlier_entry() {
+        // Mapping far out on the established clock, then a FIN-style
+        // shortening: the new entry must fire early, the old one dies
+        // stale when its bucket eventually drains.
+        let (mut s, _) = store_with(1, 7440);
+        s.set_expiry(0, t(540));
+        let (inspected, due) = s.sweep_due(t(600));
+        assert!(inspected >= 1);
+        assert_eq!(due, vec![0]);
+        s.remove(0).expect("live");
+        let (_, due) = s.sweep_due(t(8000));
+        assert!(due.is_empty(), "superseded entry is stale");
+    }
+
+    #[test]
+    fn shorten_then_extend_back_never_duplicates_expiry() {
+        // Regression: with deadline-equality authority, shortening
+        // (new entry at 50 s) and then lazily extending back to the
+        // *original* entry's deadline (100 s) left two entries that
+        // both matched the slot's recorded deadline after the first
+        // rescheduled — `sweep_due` then returned the slot twice and
+        // `mappings_expired` double-counted. The per-slot sequence
+        // number keeps exactly one entry authoritative.
+        let (mut s, _) = store_with(1, 100);
+        s.set_expiry(0, t(50)); // shorten: files a second entry
+        s.set_expiry(0, t(100)); // lazy extension back to the old deadline
+        let (_, due) = s.sweep_due(t(60));
+        assert!(due.is_empty(), "expiry is 100 s, nothing due at 60 s");
+        let (_, due) = s.sweep_due(t(100));
+        assert_eq!(due, vec![0], "due exactly once, not per parked entry");
+        s.remove(0).expect("live");
+        let (_, due) = s.sweep_due(t(200));
+        assert!(due.is_empty());
+    }
+
+    #[test]
+    fn cascade_at_level_boundaries_preserves_expiry() {
+        // Deadlines straddling the level-0 span (~65.5 s) and the
+        // level-1 span (~70 min) must survive cascading intact.
+        let mut s = MappingStore::new();
+        let mut slots = Vec::new();
+        for (k, secs) in [64u64, 66, 4194, 4196, 300_000].iter().enumerate() {
+            let internal = Endpoint::new(ip(100, 64, 1, k as u8 + 1), 40_000);
+            let key = s.out_key(
+                MappingBehavior::EndpointIndependent,
+                Protocol::Udp,
+                internal,
+                Endpoint::new(ip(203, 0, 113, 1), 80),
+            );
+            slots.push(s.insert(
+                key,
+                Protocol::Udp,
+                mapping(
+                    internal,
+                    Endpoint::new(ip(198, 51, 100, 1), 10_000 + k as u16),
+                    t(*secs),
+                ),
+            ));
+        }
+        // Step across the 64-tick (2^16 ms) boundary: only the 64 s
+        // mapping is due; 66 s survives the same cascade.
+        let (_, due) = s.sweep_due(t(65));
+        assert_eq!(due, vec![slots[0]]);
+        s.remove(slots[0]);
+        let (_, due) = s.sweep_due(t(66));
+        assert_eq!(due, vec![slots[1]]);
+        s.remove(slots[1]);
+        // Step across the 2^22 ms (~4194 s) boundary.
+        let (_, due) = s.sweep_due(t(4195));
+        assert_eq!(due, vec![slots[2]]);
+        s.remove(slots[2]);
+        let (_, due) = s.sweep_due(t(4200));
+        assert_eq!(due, vec![slots[3]]);
+        s.remove(slots[3]);
+        // The far-future mapping is still alive and still tracked.
+        assert_eq!(s.len(), 1);
+        let (_, due) = s.sweep_due(t(300_000));
+        assert_eq!(due, vec![slots[4]]);
+    }
+
+    #[test]
+    fn ext_lookup_never_interns_strays() {
+        let (s, _) = store_with(2, 60);
+        let pools_before = s.pool_count();
+        assert!(s
+            .lookup_ext(Protocol::Udp, Endpoint::new(ip(9, 9, 9, 9), 1))
+            .is_none());
+        assert_eq!(s.pool_count(), pools_before);
+        assert!(s
+            .lookup_ext(Protocol::Udp, Endpoint::new(ip(198, 51, 100, 1), 10_001))
+            .is_some());
+        assert!(
+            s.lookup_ext(Protocol::Tcp, Endpoint::new(ip(198, 51, 100, 1), 10_001))
+                .is_none(),
+            "protocol is part of the pool identity"
+        );
+    }
+
+    #[test]
+    fn active_ports_per_host_counts_only_unexpired() {
+        let mut s = MappingStore::new();
+        for (host_last, port, expiry) in [(1u8, 1000u16, 60u64), (1, 1001, 60), (2, 1002, 30)] {
+            let internal = Endpoint::new(ip(100, 64, 0, host_last), 40_000 + port);
+            let key = s.out_key(
+                MappingBehavior::AddressAndPortDependent,
+                Protocol::Udp,
+                internal,
+                Endpoint::new(ip(203, 0, 113, 1), port),
+            );
+            s.insert(
+                key,
+                Protocol::Udp,
+                mapping(
+                    internal,
+                    Endpoint::new(ip(198, 51, 100, 1), port),
+                    t(expiry),
+                ),
+            );
+        }
+        assert_eq!(s.active_ports_per_host(t(0)), vec![2, 1]);
+        assert_eq!(
+            s.active_ports_per_host(t(30)),
+            vec![2],
+            "expired host dropped"
+        );
+        assert_eq!(s.active_ports_per_host(t(60)), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn occupancy_tracks_every_counter() {
+        let (mut s, _) = store_with(4, 60);
+        s.remove(3);
+        let o = s.occupancy();
+        assert_eq!(o.slots, 4);
+        assert_eq!(o.live, 3);
+        assert_eq!(o.free, 1);
+        assert!(o.hosts_interned >= 1);
+        assert_eq!(o.pools_interned, 1);
+        assert_eq!(o.timers, 4, "freed slot's entry is parked until drained");
+        let mut merged = StoreOccupancy::default();
+        merged.merge(&o);
+        merged.merge(&o);
+        assert_eq!(merged.live, 6);
+        assert_eq!(merged.slots, 8);
+    }
+
+    #[test]
+    fn mix_hasher_is_deterministic() {
+        let mut a = Mix64Hasher::default();
+        let mut b = Mix64Hasher::default();
+        a.write_u128(0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233);
+        b.write_u128(0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2233);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Mix64Hasher::default();
+        c.write_u128(0xDEAD_BEEF_0123_4567_89AB_CDEF_0011_2234);
+        assert_ne!(a.finish(), c.finish());
+    }
+}

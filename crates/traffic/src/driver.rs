@@ -20,16 +20,16 @@
 //! configuration a digest depends on.
 
 use crate::modulation::Modulation;
+use crate::wheel::EventWheel;
 use crate::workload::{AppProfile, WorkloadMix};
-use analysis::port_demand::{self, DemandSeries, PortDemandReport, ShardDemand};
+use analysis::port_demand::{self, DemandSeries, PortDemandReport, ShardDemand, ShardLoad};
 use nat_engine::sharded::{mix64, scatter};
-use nat_engine::{Nat, NatConfig, NatStats, NatVerdict, ShardedNat};
+use nat_engine::{Nat, NatConfig, NatStats, NatVerdict, ShardedNat, StoreOccupancy};
 use netcore::{Endpoint, Packet, SimTime, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Everything one dimensioning run needs.
@@ -101,6 +101,12 @@ pub struct RunSummary {
     pub packets_sent: u64,
     /// NAT counters merged across shards.
     pub stats: NatStats,
+    /// Slab-store occupancy at run end, summed across shards (arena
+    /// size, free-list length, interner sizes, parked timers).
+    pub store: StoreOccupancy,
+    /// Per-shard flow and peak-mapping distribution — the
+    /// load-imbalance observable for heavy-tailed mixes.
+    pub shard_load: ShardLoad,
     /// Demand time series (merged across shards at each barrier).
     pub series: DemandSeries,
     /// Ports-per-subscriber distribution at the peak sample (sorted).
@@ -125,36 +131,13 @@ impl RunSummary {
 
 #[derive(Debug, Clone, Copy)]
 enum Kind {
-    /// Next flow arrival for a subscriber.
-    Arrival { sub: u32 },
-    /// Keepalive packet for a live flow.
+    /// Next flow arrival for a subscriber (dense per-shard index into
+    /// [`ShardState::subs`]).
+    Arrival { idx: u32 },
+    /// Keepalive packet for a live flow (generational slab handle).
     Packet { flow: u64 },
-    /// Scheduled flow teardown.
+    /// Scheduled flow teardown (generational slab handle).
     End { flow: u64 },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Ev {
-    at_ms: u64,
-    seq: u64,
-    kind: Kind,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at_ms, self.seq) == (other.at_ms, other.seq)
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at_ms, self.seq).cmp(&(other.at_ms, other.seq))
-    }
 }
 
 struct FlowState {
@@ -165,23 +148,81 @@ struct FlowState {
     refresh_ms: u64,
 }
 
+/// Slab of live flows with generational `u64` handles
+/// (`generation << 32 | slot`). A teardown frees the slot; a stale
+/// keepalive event carrying the old handle misses on the generation
+/// check instead of touching the slot's next tenant — the same
+/// free-list + generation scheme as `nat_engine::store`, applied to
+/// the driver's own hot table.
+struct FlowSlab {
+    slots: Vec<(u32, Option<FlowState>)>,
+    free: Vec<u32>,
+}
+
+impl FlowSlab {
+    fn new() -> FlowSlab {
+        FlowSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, f: FlowState) -> u64 {
+        match self.free.pop() {
+            Some(s) => {
+                let e = &mut self.slots[s as usize];
+                e.1 = Some(f);
+                (e.0 as u64) << 32 | s as u64
+            }
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than 2^32 live flows");
+                self.slots.push((0, Some(f)));
+                s as u64
+            }
+        }
+    }
+
+    fn get(&self, handle: u64) -> Option<&FlowState> {
+        let e = self.slots.get((handle & 0xFFFF_FFFF) as usize)?;
+        if e.0 != (handle >> 32) as u32 {
+            return None;
+        }
+        e.1.as_ref()
+    }
+
+    fn remove(&mut self, handle: u64) -> Option<FlowState> {
+        let slot = (handle & 0xFFFF_FFFF) as usize;
+        let e = self.slots.get_mut(slot)?;
+        if e.0 != (handle >> 32) as u32 {
+            return None;
+        }
+        let f = e.1.take()?;
+        e.0 = e.0.wrapping_add(1);
+        self.free.push(slot as u32);
+        Some(f)
+    }
+}
+
 /// One subscriber's generator state. Each subscriber owns an
 /// independent RNG stream, which is what makes the run independent of
 /// shard processing order.
 struct SubState {
+    /// Global subscriber id (addressing, destination universe).
+    sub: u32,
     rng: StdRng,
     profile: AppProfile,
     next_src_port: u16,
 }
 
-/// Shard-local driver state: the event queue and the flow/subscriber
-/// tables of the hosts admitted to this shard.
+/// Shard-local driver state: the event wheel and the flow/subscriber
+/// tables of the hosts admitted to this shard. Subscribers live in a
+/// dense vector (admission order), flows in a generational slab —
+/// no hash map sits on the per-event path.
 struct ShardState {
-    heap: BinaryHeap<Reverse<Ev>>,
+    wheel: EventWheel<Kind>,
     seq: u64,
-    subs: HashMap<u32, SubState>,
-    flows: HashMap<u64, FlowState>,
-    next_flow_id: u64,
+    subs: Vec<SubState>,
+    flows: FlowSlab,
     flows_started: u64,
     flows_blocked: u64,
     flows_completed: u64,
@@ -191,11 +232,10 @@ struct ShardState {
 impl ShardState {
     fn new() -> ShardState {
         ShardState {
-            heap: BinaryHeap::new(),
+            wheel: EventWheel::new(),
             seq: 0,
-            subs: HashMap::new(),
-            flows: HashMap::new(),
-            next_flow_id: 0,
+            subs: Vec::new(),
+            flows: FlowSlab::new(),
             flows_started: 0,
             flows_blocked: 0,
             flows_completed: 0,
@@ -205,11 +245,7 @@ impl ShardState {
 
     fn push(&mut self, at_ms: u64, kind: Kind) {
         self.seq += 1;
-        self.heap.push(Reverse(Ev {
-            at_ms,
-            seq: self.seq,
-            kind,
-        }));
+        self.wheel.push(at_ms, self.seq, kind);
     }
 }
 
@@ -268,132 +304,130 @@ fn advance_shard(
     do_sweep: bool,
     do_sample: bool,
 ) -> Option<ShardDemand> {
-    while st
-        .heap
-        .peek()
-        .is_some_and(|Reverse(e)| e.at_ms <= boundary_ms)
-    {
-        let Reverse(ev) = st.heap.pop().expect("peeked");
-        let now = SimTime::from_millis(ev.at_ms);
-        match ev.kind {
-            Kind::Arrival { sub } => {
-                let (profile, next_arrival, src, dst, udp, end_ms);
-                {
-                    let ss = st.subs.get_mut(&sub).expect("sub admitted to this shard");
-                    profile = ss.profile;
-                    let params = profile.params();
+    // Drain the event wheel one millisecond-batch at a time; batches
+    // arrive in exactly the `(time, sequence)` order the old binary
+    // heap produced, and events scheduled while a batch is processed
+    // are strictly in the future.
+    while let Some(batch) = st.wheel.next_bucket(boundary_ms) {
+        for (at_ms, _seq, kind) in batch {
+            let now = SimTime::from_millis(at_ms);
+            match kind {
+                Kind::Arrival { idx } => {
+                    let (sub, profile, next_arrival, src, dst, udp, end_ms);
+                    {
+                        let ss = &mut st.subs[idx as usize];
+                        sub = ss.sub;
+                        profile = ss.profile;
+                        let params = profile.params();
 
-                    // Schedule the next arrival first (non-homogeneous
-                    // Poisson, rate modulated at the current instant).
-                    let rate_per_sec = params.flows_per_min / 60.0
-                        * modulation.factor(ev.at_ms / 1000, params.flash_sensitive);
-                    next_arrival = if rate_per_sec > 1e-12 {
-                        let u: f64 = ss.rng.gen::<f64>().max(1e-12);
-                        let gap_ms = (-u.ln() / rate_per_sec * 1000.0).clamp(1.0, 1e12) as u64;
-                        Some(ev.at_ms + gap_ms).filter(|at| *at <= horizon_ms)
+                        // Schedule the next arrival first (non-homogeneous
+                        // Poisson, rate modulated at the current instant).
+                        let rate_per_sec = params.flows_per_min / 60.0
+                            * modulation.factor(at_ms / 1000, params.flash_sensitive);
+                        next_arrival = if rate_per_sec > 1e-12 {
+                            let u: f64 = ss.rng.gen::<f64>().max(1e-12);
+                            let gap_ms = (-u.ln() / rate_per_sec * 1000.0).clamp(1.0, 1e12) as u64;
+                            Some(at_ms + gap_ms).filter(|at| *at <= horizon_ms)
+                        } else {
+                            None
+                        };
+
+                        // Build the flow.
+                        let src_port = 20_000 + (ss.next_src_port % 45_000);
+                        ss.next_src_port = ss.next_src_port.wrapping_add(1) % 45_000;
+                        src = Endpoint::new(subscriber_ip(sub), src_port);
+                        let slot = ss.rng.gen_range(0..params.fanout);
+                        let universe_idx = pool_slot_to_universe(sub, slot, params.dest_universe);
+                        // Popularity skew: collapse high slots onto the popular
+                        // end of the universe now and then.
+                        let universe_idx = if ss.rng.gen_bool(0.3) {
+                            params.sample_dest(&mut ss.rng)
+                        } else {
+                            universe_idx
+                        };
+                        dst = Endpoint::new(
+                            dest_ip(profile, universe_idx),
+                            params.sample_dst_port(&mut ss.rng),
+                        );
+                        udp = ss.rng.gen_bool(params.udp_share);
+                        let duration_ms =
+                            (params.sample_duration_secs(&mut ss.rng) * 1000.0) as u64;
+                        end_ms = at_ms + duration_ms.max(1000);
+                    }
+                    if let Some(at) = next_arrival {
+                        st.push(at, Kind::Arrival { idx });
+                    }
+
+                    let first = if udp {
+                        Packet::udp(src, dst, vec![])
                     } else {
-                        None
+                        Packet::tcp(src, dst, TcpFlags::SYN, vec![])
                     };
-
-                    // Build the flow.
-                    let src_port = 20_000 + (ss.next_src_port % 45_000);
-                    ss.next_src_port = ss.next_src_port.wrapping_add(1) % 45_000;
-                    src = Endpoint::new(subscriber_ip(sub), src_port);
-                    let slot = ss.rng.gen_range(0..params.fanout);
-                    let universe_idx = pool_slot_to_universe(sub, slot, params.dest_universe);
-                    // Popularity skew: collapse high slots onto the popular
-                    // end of the universe now and then.
-                    let universe_idx = if ss.rng.gen_bool(0.3) {
-                        params.sample_dest(&mut ss.rng)
-                    } else {
-                        universe_idx
-                    };
-                    dst = Endpoint::new(
-                        dest_ip(profile, universe_idx),
-                        params.sample_dst_port(&mut ss.rng),
-                    );
-                    udp = ss.rng.gen_bool(params.udp_share);
-                    let duration_ms = (params.sample_duration_secs(&mut ss.rng) * 1000.0) as u64;
-                    end_ms = ev.at_ms + duration_ms.max(1000);
-                }
-                if let Some(at) = next_arrival {
-                    st.push(at, Kind::Arrival { sub });
-                }
-
-                let first = if udp {
-                    Packet::udp(src, dst, vec![])
-                } else {
-                    Packet::tcp(src, dst, TcpFlags::SYN, vec![])
-                };
-                st.packets_sent += 1;
-                st.flows_started += 1;
-                match nat.process_outbound(first, now) {
-                    NatVerdict::Forward(_) | NatVerdict::Hairpin(_) => {
-                        let refresh_ms = profile.params().refresh_secs * 1000;
-                        let id = st.next_flow_id;
-                        st.next_flow_id += 1;
-                        st.flows.insert(
-                            id,
-                            FlowState {
+                    st.packets_sent += 1;
+                    st.flows_started += 1;
+                    match nat.process_outbound(first, now) {
+                        NatVerdict::Forward(_) | NatVerdict::Hairpin(_) => {
+                            let refresh_ms = profile.params().refresh_secs * 1000;
+                            let flow = st.flows.insert(FlowState {
                                 src,
                                 dst,
                                 udp,
                                 end_ms,
                                 refresh_ms,
-                            },
-                        );
-                        let next = ev.at_ms + refresh_ms;
-                        if next < end_ms.min(horizon_ms) {
-                            st.push(next, Kind::Packet { flow: id });
-                        } else if end_ms <= horizon_ms {
-                            st.push(end_ms, Kind::End { flow: id });
+                            });
+                            let next = at_ms + refresh_ms;
+                            if next < end_ms.min(horizon_ms) {
+                                st.push(next, Kind::Packet { flow });
+                            } else if end_ms <= horizon_ms {
+                                st.push(end_ms, Kind::End { flow });
+                            }
+                        }
+                        NatVerdict::Drop(_) => {
+                            // Port/chunk exhaustion or the per-subscriber
+                            // session limit; the shard's stats record which.
+                            st.flows_blocked += 1;
                         }
                     }
-                    NatVerdict::Drop(_) => {
-                        // Port/chunk exhaustion or the per-subscriber
-                        // session limit; the shard's stats record which.
-                        st.flows_blocked += 1;
+                }
+                Kind::Packet { flow } => {
+                    let Some(f) = st.flows.get(flow) else {
+                        continue;
+                    };
+                    let pkt = if f.udp {
+                        Packet::udp(f.src, f.dst, vec![])
+                    } else {
+                        Packet::tcp(f.src, f.dst, TcpFlags::ACK, vec![])
+                    };
+                    let (end_ms, refresh_ms) = (f.end_ms, f.refresh_ms);
+                    st.packets_sent += 1;
+                    let verdict = nat.process_outbound(pkt, now);
+                    if matches!(verdict, NatVerdict::Drop(_)) {
+                        // Keepalive failed (e.g. port space gone after an
+                        // expiry); the flow dies here.
+                        st.flows.remove(flow);
+                        continue;
+                    }
+                    let next = at_ms + refresh_ms;
+                    if next < end_ms.min(horizon_ms) {
+                        st.push(next, Kind::Packet { flow });
+                    } else if end_ms <= horizon_ms {
+                        st.push(end_ms, Kind::End { flow });
                     }
                 }
-            }
-            Kind::Packet { flow } => {
-                let Some(f) = st.flows.get(&flow) else {
-                    continue;
-                };
-                let pkt = if f.udp {
-                    Packet::udp(f.src, f.dst, vec![])
-                } else {
-                    Packet::tcp(f.src, f.dst, TcpFlags::ACK, vec![])
-                };
-                let (end_ms, refresh_ms) = (f.end_ms, f.refresh_ms);
-                st.packets_sent += 1;
-                let verdict = nat.process_outbound(pkt, now);
-                if matches!(verdict, NatVerdict::Drop(_)) {
-                    // Keepalive failed (e.g. port space gone after an
-                    // expiry); the flow dies here.
-                    st.flows.remove(&flow);
-                    continue;
+                Kind::End { flow } => {
+                    let Some(f) = st.flows.remove(flow) else {
+                        continue;
+                    };
+                    if !f.udp {
+                        // Polite TCP teardown moves the mapping onto the
+                        // short transitory clock (RFC 5382 behaviour the
+                        // engine models).
+                        let fin = Packet::tcp(f.src, f.dst, TcpFlags::FIN, vec![]);
+                        st.packets_sent += 1;
+                        let _ = nat.process_outbound(fin, now);
+                    }
+                    st.flows_completed += 1;
                 }
-                let next = ev.at_ms + refresh_ms;
-                if next < end_ms.min(horizon_ms) {
-                    st.push(next, Kind::Packet { flow });
-                } else if end_ms <= horizon_ms {
-                    st.push(end_ms, Kind::End { flow });
-                }
-            }
-            Kind::End { flow } => {
-                let Some(f) = st.flows.remove(&flow) else {
-                    continue;
-                };
-                if !f.udp {
-                    // Polite TCP teardown moves the mapping onto the
-                    // short transitory clock (RFC 5382 behaviour the
-                    // engine models).
-                    let fin = Packet::tcp(f.src, f.dst, TcpFlags::FIN, vec![]);
-                    st.packets_sent += 1;
-                    let _ = nat.process_outbound(fin, now);
-                }
-                st.flows_completed += 1;
             }
         }
     }
@@ -403,7 +437,9 @@ fn advance_shard(
         nat.sweep(now);
     }
     if do_sample {
-        let ports: Vec<u32> = nat.ports_by_host(now).into_values().collect();
+        // Dense slab pass in host-interning order — no per-host hash
+        // map; the merge sorts the distribution anyway.
+        let ports: Vec<u32> = nat.active_ports_per_host(now);
         let worst = nat
             .port_occupancy()
             .iter()
@@ -470,15 +506,14 @@ pub fn run(config: &DriverConfig) -> RunSummary {
         let mut rng = StdRng::seed_from_u64(mix64(config.seed ^ mix64(sub as u64 + 1)));
         let offset = rng.gen_range(0..1000u64);
         let st = &mut states[shard];
-        st.subs.insert(
+        let idx = u32::try_from(st.subs.len()).expect("subscriber index fits u32");
+        st.subs.push(SubState {
             sub,
-            SubState {
-                rng,
-                profile: config.mix.assign(sub),
-                next_src_port: 0,
-            },
-        );
-        st.push(offset, Kind::Arrival { sub });
+            rng,
+            profile: config.mix.assign(sub),
+            next_src_port: 0,
+        });
+        st.push(offset, Kind::Arrival { idx });
     }
 
     // Epoch barriers: the union of sweep and sample ticks, plus the
@@ -541,6 +576,15 @@ pub fn run(config: &DriverConfig) -> RunSummary {
         packets_sent += st.packets_sent;
     }
     let stats = sharded.merged_stats();
+    let store = sharded.store_occupancy();
+    let shard_load = ShardLoad::from_per_shard(
+        states.iter().map(|st| st.flows_started).collect(),
+        sharded
+            .shards()
+            .iter()
+            .map(|s| s.stats().peak_mappings)
+            .collect(),
+    );
 
     let external_ips = config.shards as u64 * config.external_ips_per_shard as u64;
     let usable_ports_per_ip = (config.nat.port_range.1 - config.nat.port_range.0) as u32 + 1;
@@ -562,6 +606,8 @@ pub fn run(config: &DriverConfig) -> RunSummary {
         flows_completed,
         packets_sent,
         stats,
+        store,
+        shard_load,
         series,
         peak_ports_per_subscriber: peak_dist,
         report,
@@ -597,6 +643,16 @@ mod tests {
         assert!(s.stats.sweeps > 0, "sweep barriers must run");
         assert!(s.report.peak_mappings > 0);
         assert_eq!(s.report.subscribers, 300);
+        assert!(s.store.slots > 0, "slab arena must have been used");
+        assert_eq!(s.store.live + s.store.free, s.store.slots);
+        assert!(s.store.hosts_interned > 0 && s.store.pools_interned > 0);
+        assert_eq!(s.shard_load.flows_per_shard.len(), 2);
+        assert_eq!(
+            s.shard_load.flows_per_shard.iter().sum::<u64>(),
+            s.flows_started
+        );
+        assert!(s.shard_load.flow_imbalance >= 1.0);
+        assert!(s.shard_load.mapping_imbalance >= 1.0);
         assert!(
             s.series
                 .samples

@@ -56,6 +56,7 @@
 
 pub mod driver;
 pub mod modulation;
+mod wheel;
 pub mod workload;
 
 pub use driver::{run, DriverConfig, RunSummary};
