@@ -34,6 +34,7 @@ pub mod bt_detect;
 pub mod coverage;
 pub mod distance;
 pub mod graph;
+pub mod log_volume;
 pub mod nz_detect;
 pub mod obs;
 pub mod port_alloc;

@@ -1,0 +1,128 @@
+//! Logging-volume analysis: what traceability costs per policy.
+//!
+//! §2 of the paper reports that the *logging overhead* of abuse
+//! traceability is a first-order input to CGN dimensioning: operators
+//! choose bulk port-block allocation (or deterministic NAT) over
+//! per-connection logging mainly to shrink it. This module normalizes
+//! a run's raw log size into the number operators actually budget —
+//! **bytes per subscriber per day** — and projects fleet-scale daily
+//! volume, so the three allocation policies can be compared on the
+//! standard dimensioning sweep.
+
+use serde::{Deserialize, Serialize};
+
+const SECS_PER_DAY: f64 = 86_400.0;
+
+/// Normalize a run's log size to bytes/subscriber/day.
+pub fn bytes_per_subscriber_day(bytes: u64, subscribers: u64, duration_secs: u64) -> f64 {
+    if subscribers == 0 || duration_secs == 0 {
+        return 0.0;
+    }
+    bytes as f64 / subscribers as f64 * (SECS_PER_DAY / duration_secs as f64)
+}
+
+/// Project a run's log volume to one day of the same load.
+pub fn daily_bytes(bytes: u64, duration_secs: u64) -> f64 {
+    if duration_secs == 0 {
+        return 0.0;
+    }
+    bytes as f64 * (SECS_PER_DAY / duration_secs as f64)
+}
+
+/// Log volume of one run under one logging/allocation policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyLogVolume {
+    /// Policy label (`per-connection`, `port-block`, `deterministic`).
+    pub policy: String,
+    /// Semantic records written.
+    pub records: u64,
+    /// Encoded log bytes (interning/defines included).
+    pub bytes: u64,
+    /// The operator-budget number.
+    pub bytes_per_subscriber_day: f64,
+    /// Records per flow pushed through the NAT — how many log writes
+    /// each connection costs under this policy.
+    pub records_per_flow: f64,
+}
+
+impl PolicyLogVolume {
+    pub fn new(
+        policy: impl Into<String>,
+        records: u64,
+        bytes: u64,
+        subscribers: u64,
+        duration_secs: u64,
+        flows: u64,
+    ) -> PolicyLogVolume {
+        PolicyLogVolume {
+            policy: policy.into(),
+            records,
+            bytes,
+            bytes_per_subscriber_day: bytes_per_subscriber_day(bytes, subscribers, duration_secs),
+            records_per_flow: if flows == 0 {
+                0.0
+            } else {
+                records as f64 / flows as f64
+            },
+        }
+    }
+
+    /// Daily volume for a fleet of `subscribers` at this run's
+    /// per-subscriber rate — e.g. the "terabytes per day for a million
+    /// subscribers" the survey's respondents complain about.
+    pub fn projected_daily_bytes(&self, subscribers: u64) -> f64 {
+        self.bytes_per_subscriber_day * subscribers as f64
+    }
+}
+
+/// Human-scale byte formatting for report rendering.
+pub fn format_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = bytes.max(0.0);
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{v:.0} {}", UNITS[unit])
+    } else {
+        format!("{v:.1} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_scales_to_a_day() {
+        // 1 MiB over 1000 subscribers in half a day:
+        // 1048576 / 1000 * 2 = 2097.152 bytes/subscriber/day.
+        let v = bytes_per_subscriber_day(1 << 20, 1000, 43_200);
+        assert!((v - 2097.152).abs() < 1e-9);
+        assert_eq!(bytes_per_subscriber_day(123, 0, 60), 0.0);
+        assert_eq!(bytes_per_subscriber_day(123, 10, 0), 0.0);
+        assert!((daily_bytes(100, 3600) - 2400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_volume_assembles_and_projects() {
+        let v = PolicyLogVolume::new("per-connection", 2_000, 16_000, 400, 86_400, 1_000);
+        assert!((v.bytes_per_subscriber_day - 40.0).abs() < 1e-9);
+        assert!((v.records_per_flow - 2.0).abs() < 1e-9);
+        // A million subscribers at 40 B/sub/day -> 40 MB/day.
+        assert!((v.projected_daily_bytes(1_000_000) - 40.0e6).abs() < 1.0);
+        let zero = PolicyLogVolume::new("deterministic", 0, 0, 400, 86_400, 1_000);
+        assert_eq!(zero.bytes_per_subscriber_day, 0.0);
+        assert_eq!(zero.records_per_flow, 0.0);
+    }
+
+    #[test]
+    fn byte_formatting_is_readable() {
+        assert_eq!(format_bytes(512.0), "512 B");
+        assert_eq!(format_bytes(2048.0), "2.0 KiB");
+        assert_eq!(format_bytes(1.5 * 1024.0 * 1024.0), "1.5 MiB");
+        assert_eq!(format_bytes(3.0 * f64::powi(1024.0, 4)), "3.0 TiB");
+    }
+}

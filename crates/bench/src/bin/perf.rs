@@ -7,6 +7,7 @@
 //! cargo run --release -p cgn-bench --bin perf -- threads=4      # fixed worker count
 //! cargo run --release -p cgn-bench --bin perf -- out=PATH       # report destination
 //! cargo run --release -p cgn-bench --bin perf -- check=bench/baseline.json
+//! cargo run --release -p cgn-bench --bin perf -- logging-out=BENCH_logging.json
 //! ```
 //!
 //! With `check=`, the run exits nonzero when a **machine-relative**
@@ -17,6 +18,14 @@
 //! speedup (only when both machines are multi-core). Absolute
 //! flows/sec are informational, so a CI-runner hardware change cannot
 //! trip the gate.
+//!
+//! `logging-out=` turns on the telemetry-logging leg: the middle
+//! scale is re-run with per-connection and per-block sinks, the
+//! overhead rows land in `BENCH_logging.json`, and — when `check=` is
+//! also given — the **sink-disabled** sweep's ratios are re-gated at
+//! the stricter `logging-tolerance` (default 5%), so threading the
+//! `EventSink` through the hot path can never quietly tax the
+//! disabled configuration.
 
 use cgn_bench::perf::{
     check_against_baseline, run_perf, PerfReport, PerfSettings, DEFAULT_TOLERANCE,
@@ -24,16 +33,24 @@ use cgn_bench::perf::{
 use std::path::PathBuf;
 use std::process::exit;
 
+/// Tolerance of the logging leg's disabled-sink ratio gate.
+const LOGGING_TOLERANCE: f64 = 0.05;
+
 fn main() {
     let mut settings = PerfSettings::standard();
     let mut out = PathBuf::from("BENCH_dimensioning.json");
     let mut check: Option<PathBuf> = None;
     let mut tolerance = DEFAULT_TOLERANCE;
+    let mut logging_out: Option<PathBuf> = None;
+    let mut logging_tolerance = LOGGING_TOLERANCE;
+    // Presets apply first so explicit settings win regardless of
+    // argument order (`quick seed=7` and `seed=7 quick` agree).
+    if std::env::args().skip(1).any(|a| a == "quick") {
+        settings = PerfSettings::quick();
+    }
     for arg in std::env::args().skip(1) {
         if arg == "quick" {
-            let threads = settings.threads;
-            settings = PerfSettings::quick();
-            settings.threads = threads;
+            // handled in the preset pass above
         } else if let Some(v) = arg.strip_prefix("seed=") {
             settings.seed = v.parse().expect("seed must be an integer");
         } else if let Some(v) = arg.strip_prefix("threads=") {
@@ -44,14 +61,20 @@ fn main() {
             check = Some(v.into());
         } else if let Some(v) = arg.strip_prefix("tolerance=") {
             tolerance = v.parse().expect("tolerance must be a float");
+        } else if let Some(v) = arg.strip_prefix("logging-out=") {
+            logging_out = Some(v.into());
+        } else if let Some(v) = arg.strip_prefix("logging-tolerance=") {
+            logging_tolerance = v.parse().expect("logging-tolerance must be a float");
         } else {
             eprintln!(
                 "unknown argument '{arg}' \
-                 (use quick, seed=N, threads=N, out=PATH, check=PATH, tolerance=F)"
+                 (use quick, seed=N, threads=N, out=PATH, check=PATH, tolerance=F, \
+                  logging-out=PATH, logging-tolerance=F)"
             );
             exit(2);
         }
     }
+    settings.sink_overhead = logging_out.is_some();
 
     let report = run_perf(&settings);
 
@@ -79,12 +102,46 @@ fn main() {
         report.scales.iter().map(|s| s.mapping_imbalance).fold(0.0, f64::max),
     );
 
+    if let Some(section) = &report.logging {
+        println!(
+            "  sink overhead at {}x ({} subscribers):",
+            section.scale, section.subscribers
+        );
+        for row in &section.rows {
+            println!(
+                "    {:<15} {:>10.0} flows/s ({:>5.1}% of off) | {:>9} records | {:>10} log bytes",
+                row.mode,
+                row.flows_per_sec,
+                100.0 * row.relative_throughput,
+                row.log_records,
+                row.log_bytes
+            );
+        }
+    }
+
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     if let Err(e) = std::fs::write(&out, json.as_bytes()) {
         eprintln!("failed to write {}: {e}", out.display());
         exit(1);
     }
     println!("wrote {}", out.display());
+
+    if let Some(path) = &logging_out {
+        match report.logging_report() {
+            Some(standalone) => {
+                let json = serde_json::to_string_pretty(&standalone).expect("logging serializes");
+                if let Err(e) = std::fs::write(path, json.as_bytes()) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    exit(1);
+                }
+                println!("wrote {}", path.display());
+            }
+            None => {
+                eprintln!("logging-out given but no overhead section was measured");
+                exit(1);
+            }
+        }
+    }
 
     if let Some(path) = check {
         let baseline: PerfReport = match std::fs::read_to_string(&path) {
@@ -119,6 +176,30 @@ fn main() {
                     tolerance * 100.0
                 );
                 exit(1);
+            }
+        }
+
+        // The logging leg's stricter gate: the scale sweep above ran
+        // with the sink DISABLED, so re-checking its machine-relative
+        // ratios at the logging tolerance pins the zero-cost-when-
+        // disabled contract against the committed baseline.
+        if logging_out.is_some() {
+            match check_against_baseline(&report, &baseline, logging_tolerance) {
+                Ok(_) => println!(
+                    "logging gate passed: sink-disabled ratios within {:.0}% of baseline",
+                    logging_tolerance * 100.0
+                ),
+                Err(failures) => {
+                    for f in failures {
+                        eprintln!("{f}");
+                    }
+                    eprintln!(
+                        "logging gate FAILED: sink-disabled configuration regressed \
+                         baseline throughput ratios by more than {:.0}%",
+                        logging_tolerance * 100.0
+                    );
+                    exit(1);
+                }
             }
         }
     }

@@ -19,6 +19,8 @@
 
 use cgn_study::dimensioning::DimensioningConfig;
 use cgn_traffic::WorkloadMix;
+use nat_engine::telemetry::TelemetryMode;
+use nat_engine::PortAllocation;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -47,6 +49,11 @@ pub struct PerfSettings {
     pub shards: u16,
     /// Worker threads: `0` = one per available core.
     pub threads: usize,
+    /// Also measure the telemetry-sink overhead at the middle scale
+    /// (sink off vs per-connection vs per-block) and attach a
+    /// [`LoggingSection`] to the report. Costs two extra middle-scale
+    /// sweeps, so it is opt-in (the CI logging leg turns it on).
+    pub sink_overhead: bool,
 }
 
 impl PerfSettings {
@@ -59,6 +66,7 @@ impl PerfSettings {
             duration_secs: 240,
             shards: 4,
             threads: 0,
+            sink_overhead: false,
         }
     }
 
@@ -71,6 +79,7 @@ impl PerfSettings {
             duration_secs: 90,
             shards: 4,
             threads: 0,
+            sink_overhead: false,
         }
     }
 
@@ -119,6 +128,49 @@ pub struct ScalePerf {
     pub mixes: Vec<MixPerf>,
 }
 
+/// One telemetry configuration's throughput at the middle scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SinkOverheadPerf {
+    /// `off`, `per-connection` or `per-block`.
+    pub mode: String,
+    /// Allocation policy the leg ran (label).
+    pub port_alloc: String,
+    pub flows: u64,
+    pub wall_secs: f64,
+    pub flows_per_sec: f64,
+    pub log_records: u64,
+    pub log_bytes: u64,
+    /// Flows/s relative to the sink-off pass of the same run
+    /// (`1.0` = no overhead; self-relative, so machine-independent).
+    pub relative_throughput: f64,
+}
+
+/// The sink-overhead section attached by [`PerfSettings::sink_overhead`]
+/// runs: the zero-cost-when-disabled claim, measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggingSection {
+    /// Scale the overhead was measured at.
+    pub scale: u32,
+    pub subscribers: u32,
+    pub rows: Vec<SinkOverheadPerf>,
+}
+
+/// Standalone machine-readable logging-leg artifact
+/// (`BENCH_logging.json`): the sink-overhead rows plus enough
+/// metadata to interpret them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggingReport {
+    pub schema: String,
+    pub seed: u64,
+    pub shards: u16,
+    pub threads: usize,
+    pub duration_secs: u64,
+    pub logging: LoggingSection,
+}
+
+/// Schema tag of [`LoggingReport`].
+pub const LOGGING_SCHEMA: &str = "cgn-logging-perf/1";
+
 /// The full machine-readable report (`BENCH_dimensioning.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -144,6 +196,25 @@ pub struct PerfReport {
     /// sequential and parallel pass by construction (the harness
     /// asserts it), and useful to diff across machines.
     pub digest: String,
+    /// Sink-overhead measurement (only on [`PerfSettings::sink_overhead`]
+    /// runs; absent from older baselines — `Option` keeps the
+    /// committed `bench/baseline.json` parseable unchanged).
+    pub logging: Option<LoggingSection>,
+}
+
+impl PerfReport {
+    /// The standalone `BENCH_logging.json` artifact, when this run
+    /// measured sink overhead.
+    pub fn logging_report(&self) -> Option<LoggingReport> {
+        self.logging.as_ref().map(|section| LoggingReport {
+            schema: LOGGING_SCHEMA.to_string(),
+            seed: self.seed,
+            shards: self.shards,
+            threads: self.threads,
+            duration_secs: self.duration_secs,
+            logging: section.clone(),
+        })
+    }
 }
 
 fn measure_scale(settings: &PerfSettings, scale: u32, threads: usize) -> (ScalePerf, u64) {
@@ -232,6 +303,58 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         _ => 1.0,
     };
 
+    // Sink-overhead legs: the middle scale re-run with per-connection
+    // and per-block logging, compared against the sink-off pass the
+    // sweep already timed (self-relative, so machine-independent).
+    let logging = settings.sink_overhead.then(|| {
+        let mid_scale = settings.scales[mid];
+        let off = &scales[mid];
+        let mut rows = vec![SinkOverheadPerf {
+            mode: "off".to_string(),
+            port_alloc: "random (sink disabled)".to_string(),
+            flows: off.flows,
+            wall_secs: off.wall_secs,
+            flows_per_sec: off.flows_per_sec,
+            log_records: 0,
+            log_bytes: 0,
+            relative_throughput: 1.0,
+        }];
+        let legs: [(&str, &str, TelemetryMode, Option<PortAllocation>); 2] = [
+            (
+                "per-connection",
+                "random",
+                TelemetryMode::PerConnection,
+                None,
+            ),
+            (
+                "per-block",
+                "port-block/1024",
+                TelemetryMode::PerBlock,
+                Some(PortAllocation::PortBlock { block_size: 1024 }),
+            ),
+        ];
+        for (mode_name, alloc_name, mode, alloc) in legs {
+            let (flows, wall, records, bytes) =
+                measure_sink_leg(settings, mid_scale, threads, mode, alloc);
+            let fps = flows as f64 / wall.max(1e-9);
+            rows.push(SinkOverheadPerf {
+                mode: mode_name.to_string(),
+                port_alloc: alloc_name.to_string(),
+                flows,
+                wall_secs: wall,
+                flows_per_sec: fps,
+                log_records: records,
+                log_bytes: bytes,
+                relative_throughput: fps / off.flows_per_sec.max(1e-9),
+            });
+        }
+        LoggingSection {
+            scale: mid_scale,
+            subscribers: settings.base_subscribers * mid_scale,
+            rows,
+        }
+    });
+
     PerfReport {
         schema: SCHEMA.to_string(),
         seed: settings.seed,
@@ -245,7 +368,36 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         parallel_speedup: parallel_flows_per_sec / sequential_flows_per_sec.max(1e-9),
         scaling_ratio,
         digest: format!("{digest:016x}"),
+        logging,
     }
+}
+
+/// Time one telemetry configuration of the dimensioning sweep at one
+/// scale; returns `(flows, wall seconds, log records, log bytes)`.
+fn measure_sink_leg(
+    settings: &PerfSettings,
+    scale: u32,
+    threads: usize,
+    mode: TelemetryMode,
+    alloc: Option<PortAllocation>,
+) -> (u64, f64, u64, u64) {
+    let subscribers = settings.base_subscribers * scale;
+    let mut config = settings.dimensioning(subscribers, threads);
+    config.telemetry = mode;
+    if let Some(a) = alloc {
+        config.nat.port_alloc = a;
+    }
+    let mut flows = 0u64;
+    let mut records = 0u64;
+    let mut bytes = 0u64;
+    let t0 = Instant::now();
+    for mix in &config.mixes {
+        let summary = cgn_traffic::run(&config.driver_config(mix.clone()));
+        flows += summary.flows_started;
+        records += summary.telemetry.records;
+        bytes += summary.telemetry.bytes;
+    }
+    (flows, t0.elapsed().as_secs_f64(), records, bytes)
 }
 
 /// Compare a fresh report against the committed baseline using
@@ -362,6 +514,7 @@ mod tests {
             duration_secs: 60,
             shards: 2,
             threads: 2,
+            sink_overhead: false,
         }
     }
 
@@ -387,6 +540,43 @@ mod tests {
         // The sequential cross-check inside run_perf did not panic:
         // parallel and sequential digests agreed.
         assert_eq!(r.digest.len(), 16);
+    }
+
+    #[test]
+    fn sink_overhead_section_measures_all_modes() {
+        let mut settings = tiny();
+        settings.sink_overhead = true;
+        let r = run_perf(&settings);
+        let section = r.logging.as_ref().expect("overhead section attached");
+        assert_eq!(section.scale, settings.scales[1], "middle scale");
+        let modes: Vec<&str> = section.rows.iter().map(|row| row.mode.as_str()).collect();
+        assert_eq!(modes, ["off", "per-connection", "per-block"]);
+        assert_eq!(section.rows[0].relative_throughput, 1.0);
+        assert_eq!(section.rows[0].log_bytes, 0, "disabled sink writes nothing");
+        assert!(section.rows[1].log_bytes > 0, "per-connection log measured");
+        assert!(section.rows[2].log_records > 0, "per-block log measured");
+        assert!(
+            section.rows[2].log_bytes < section.rows[1].log_bytes,
+            "block logging must be smaller"
+        );
+        assert!(section.rows.iter().all(|row| row.relative_throughput > 0.0));
+        // The standalone artifact carries the same rows.
+        let standalone = r.logging_report().expect("logging report");
+        assert_eq!(standalone.schema, LOGGING_SCHEMA);
+        assert_eq!(standalone.logging, *section);
+        let json = serde_json::to_string_pretty(&standalone).expect("serializable");
+        let back: LoggingReport = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(standalone, back);
+    }
+
+    #[test]
+    fn committed_baseline_still_parses_without_logging_section() {
+        // The committed baseline predates the logging section; the
+        // Option field must absorb the missing key.
+        let text = include_str!("../../../bench/baseline.json");
+        let baseline: PerfReport = serde_json::from_str(text).expect("baseline parses");
+        assert!(baseline.logging.is_none());
+        assert_eq!(baseline.schema, SCHEMA);
     }
 
     #[test]

@@ -7,9 +7,22 @@
 //! and read off how much port/state capacity each traffic mix demands —
 //! including the chunk-size vs. blocking-probability trade-off behind
 //! the 512..16K chunks the paper observed.
+//!
+//! A second axis rides on every sweep: the **logging/traceability
+//! study** (§2's survey question). The reference mix is re-run under
+//! the three §6.2 allocation policies — per-connection logging,
+//! bulk port-block logging, deterministic NAT — measuring the log
+//! volume each produces (bytes/subscriber/day) and *verifying* that
+//! sampled abuse probes `(ext IP, port, T)` resolve to the exact
+//! subscriber through `cgn_telemetry`'s interval index (or, for
+//! deterministic NAT, by inverting the provisioning arithmetic with
+//! zero log bytes).
 
+use analysis::log_volume::{self, PolicyLogVolume};
+use cgn_telemetry::{DeterministicMap, Record, TraceIndex};
 use cgn_traffic::{DriverConfig, Modulation, RunSummary, WorkloadMix};
-use nat_engine::NatConfig;
+use nat_engine::telemetry::TelemetryMode;
+use nat_engine::{NatConfig, PortAllocation};
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
@@ -41,6 +54,10 @@ pub struct DimensioningConfig {
     pub sample_secs: u64,
     /// Mapping-sweep cadence in seconds.
     pub sweep_secs: u64,
+    /// Telemetry applied to the per-mix sweep runs (`Off` keeps the
+    /// engine on its zero-cost path; the logging study below always
+    /// measures all three policies regardless).
+    pub telemetry: TelemetryMode,
 }
 
 impl DimensioningConfig {
@@ -59,6 +76,7 @@ impl DimensioningConfig {
             duration_secs: 300,
             sample_secs: 30,
             sweep_secs: 20,
+            telemetry: TelemetryMode::Off,
         }
     }
 
@@ -77,6 +95,7 @@ impl DimensioningConfig {
             duration_secs: 900,
             sample_secs: 60,
             sweep_secs: 30,
+            telemetry: TelemetryMode::Off,
         }
     }
 
@@ -95,19 +114,67 @@ impl DimensioningConfig {
             duration_secs: self.duration_secs,
             sample_secs: self.sample_secs,
             sweep_secs: self.sweep_secs,
+            telemetry: self.telemetry,
             seed: self.seed,
         }
     }
+
+    /// Per-subscriber block size the deterministic-NAT leg of the
+    /// logging study uses: the largest power of two that provisions a
+    /// collision-free slot for every subscriber of this study
+    /// (`shard pool × blocks/IP ≥ subscribers`), so abuse attribution
+    /// inverts to exactly one candidate. Deliberately tight — the
+    /// restrictiveness of deterministic NAT's hard port cap *is* the
+    /// trade-off the paper weighs against its zero logging cost.
+    pub fn deterministic_ports_per_host(&self) -> u16 {
+        let capacity = (self.nat.port_range.1 - self.nat.port_range.0) as u64 + 1;
+        let budget = capacity * self.external_ips_per_shard as u64 / self.subscribers.max(1) as u64;
+        let mut pph: u64 = 4;
+        while pph * 2 <= budget && pph * 2 <= 16_384 {
+            pph *= 2;
+        }
+        pph as u16
+    }
 }
 
-/// Outcome of a dimensioning study: one [`RunSummary`] per mix.
+/// Abuse probes sampled per policy in the logging study.
+const TRACE_PROBES: usize = 16;
+/// Block size of the port-block leg (the paper observes 512..16K
+/// port chunks; 1K is the canonical mid-range deployment value).
+const PORT_BLOCK_SIZE: u16 = 1024;
+
+/// One allocation/logging policy's measured outcome on the reference
+/// mix: its log volume and whether sampled abuse probes resolved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggingPolicyRow {
+    /// `per-connection`, `port-block` or `deterministic`.
+    pub policy: String,
+    /// Allocation policy the leg ran.
+    pub port_alloc: PortAllocation,
+    /// What the sink recorded.
+    pub telemetry: TelemetryMode,
+    pub flows_started: u64,
+    pub flows_blocked: u64,
+    /// Measured volume, normalized to bytes/subscriber/day.
+    pub volume: PolicyLogVolume,
+    /// Sampled `(ext IP, port, T)` probes and how many resolved to
+    /// the exact subscriber.
+    pub probes: u32,
+    pub probes_resolved: u32,
+}
+
+/// Outcome of a dimensioning study: one [`RunSummary`] per mix, plus
+/// the logging/traceability policy study on the reference mix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DimensioningReport {
     pub config: DimensioningConfig,
     pub runs: Vec<RunSummary>,
+    /// The three-policy logging study (reference mix = first mix).
+    pub logging: Vec<LoggingPolicyRow>,
 }
 
-/// Run every configured mix against a fresh CGN deployment.
+/// Run every configured mix against a fresh CGN deployment, then the
+/// logging/traceability study on the reference mix.
 pub fn run_dimensioning(config: &DimensioningConfig) -> DimensioningReport {
     let runs = config
         .mixes
@@ -117,7 +184,159 @@ pub fn run_dimensioning(config: &DimensioningConfig) -> DimensioningReport {
     DimensioningReport {
         config: config.clone(),
         runs,
+        logging: logging_study(config),
     }
+}
+
+/// Re-run the reference mix under each §6.2 allocation policy with its
+/// natural logging model, measure the log volume, and verify sampled
+/// abuse probes resolve to the exact subscriber.
+fn logging_study(config: &DimensioningConfig) -> Vec<LoggingPolicyRow> {
+    let Some(mix) = config.mixes.first() else {
+        return Vec::new();
+    };
+    let legs: [(&str, PortAllocation, TelemetryMode); 3] = [
+        // Whatever per-connection strategy the study configured
+        // (random by default) with full create/expire logging.
+        (
+            "per-connection",
+            config.nat.port_alloc,
+            TelemetryMode::PerConnection,
+        ),
+        (
+            "port-block",
+            PortAllocation::PortBlock {
+                block_size: PORT_BLOCK_SIZE,
+            },
+            TelemetryMode::PerBlock,
+        ),
+        (
+            "deterministic",
+            PortAllocation::Deterministic {
+                ports_per_host: config.deterministic_ports_per_host(),
+            },
+            TelemetryMode::Off,
+        ),
+    ];
+    legs.iter()
+        .map(|(name, alloc, mode)| {
+            let mut driver = config.driver_config(mix.clone());
+            driver.nat.port_alloc = *alloc;
+            driver.telemetry = *mode;
+            let (summary, logs) = cgn_traffic::run_with_logs(&driver);
+            // Shard logs never share an external IP, so their decoded
+            // records can be concatenated for one combined index.
+            let records: Vec<Record> = logs
+                .iter()
+                .flat_map(|l| l.decode().expect("self-produced log decodes"))
+                .collect();
+            let (probes, probes_resolved) = match mode {
+                TelemetryMode::Off => probe_deterministic(&driver, *alloc),
+                _ => probe_logged(&records),
+            };
+            LoggingPolicyRow {
+                policy: name.to_string(),
+                port_alloc: *alloc,
+                telemetry: *mode,
+                flows_started: summary.flows_started,
+                flows_blocked: summary.flows_blocked,
+                volume: PolicyLogVolume::new(
+                    *name,
+                    summary.telemetry.records,
+                    summary.telemetry.bytes,
+                    config.subscribers as u64,
+                    config.duration_secs,
+                    summary.flows_started,
+                ),
+                probes: probes as u32,
+                probes_resolved: probes_resolved as u32,
+            }
+        })
+        .collect()
+}
+
+/// Probe a logged policy: sample create/grant records across the run
+/// and ask the interval index who held the endpoint at that instant.
+fn probe_logged(records: &[Record]) -> (usize, usize) {
+    use netcore::Endpoint;
+    let index = TraceIndex::build(records);
+    let targets: Vec<_> = records
+        .iter()
+        .filter_map(|r| match *r {
+            Record::MapCreate {
+                at_ms,
+                subscriber,
+                proto,
+                external,
+            } => Some((proto, external, at_ms, subscriber)),
+            Record::BlockAlloc {
+                at_ms,
+                subscriber,
+                proto,
+                ext_ip,
+                block_start,
+                block_len,
+            } => Some((
+                proto,
+                // Probe mid-block: attribution must cover the whole
+                // range, not just the start the record names.
+                Endpoint::new(ext_ip, block_start + block_len / 2),
+                at_ms,
+                subscriber,
+            )),
+            _ => None,
+        })
+        .collect();
+    if targets.is_empty() {
+        return (0, 0);
+    }
+    let step = (targets.len() / TRACE_PROBES).max(1);
+    let mut probes = 0;
+    let mut resolved = 0;
+    for (proto, external, at_ms, expected) in targets.iter().step_by(step).take(TRACE_PROBES) {
+        probes += 1;
+        if index.query(*proto, *external, *at_ms) == Some(*expected) {
+            resolved += 1;
+        }
+    }
+    (probes, resolved)
+}
+
+/// Probe deterministic NAT: no log exists, so attribution inverts the
+/// provisioning arithmetic — forward-compute a sampled subscriber's
+/// block, then recover the subscriber from a mid-block port probe,
+/// admitting only candidates the sharded deployment actually routes
+/// to that shard.
+fn probe_deterministic(driver: &DriverConfig, alloc: PortAllocation) -> (usize, usize) {
+    use netcore::Endpoint;
+    let PortAllocation::Deterministic { ports_per_host } = alloc else {
+        return (0, 0);
+    };
+    let base = cgn_traffic::subscriber_ip(0);
+    let count = driver.subscribers;
+    let step = (count as usize / TRACE_PROBES).max(1);
+    let mut probes = 0;
+    let mut resolved = 0;
+    for idx in (0..count).step_by(step).take(TRACE_PROBES) {
+        probes += 1;
+        let shard = cgn_traffic::shard_of_subscriber(driver, idx);
+        let map = DeterministicMap::new(
+            cgn_traffic::shard_pool(driver, shard),
+            driver.nat.port_range,
+            ports_per_host,
+        );
+        let expected = cgn_traffic::subscriber_ip(idx);
+        let (ext_ip, start, len) = map.external_block(expected);
+        let probe = Endpoint::new(ext_ip, start + len / 2);
+        let answer = map.subscriber_for(probe, base, count, |candidate| {
+            let ordinal = u32::from(candidate).wrapping_sub(u32::from(base));
+            cgn_traffic::shard_of_subscriber(driver, ordinal) == shard
+        });
+        if answer == Some(expected) {
+            resolved += 1;
+        }
+    }
+    (probes, resolved)
 }
 
 impl DimensioningReport {
@@ -228,6 +447,50 @@ impl DimensioningReport {
                 );
             }
         }
+
+        if !self.logging.is_empty() {
+            let mix = self
+                .config
+                .mixes
+                .first()
+                .map(|m| m.name.as_str())
+                .unwrap_or("?");
+            let _ = writeln!(
+                o,
+                "\n---- logging / traceability (reference mix: {mix}, §2's dimensioning axis) ----"
+            );
+            let _ = writeln!(
+                o,
+                "  policy           records   rec/flow       volume   bytes/sub/day   blocked-flows   probes-ok"
+            );
+            for row in &self.logging {
+                let _ = writeln!(
+                    o,
+                    "  {:<14} {:>9}   {:>8.2}   {:>10}   {:>13.1}   {:>13}   {:>6}/{}",
+                    row.policy,
+                    row.volume.records,
+                    row.volume.records_per_flow,
+                    log_volume::format_bytes(row.volume.bytes as f64),
+                    row.volume.bytes_per_subscriber_day,
+                    row.flows_blocked,
+                    row.probes_resolved,
+                    row.probes
+                );
+            }
+            let _ = writeln!(
+                o,
+                "  projected daily volume for 1M subscribers: {}",
+                self.logging
+                    .iter()
+                    .map(|r| format!(
+                        "{} {}",
+                        r.policy,
+                        log_volume::format_bytes(r.volume.projected_daily_bytes(1_000_000))
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            );
+        }
         o
     }
 }
@@ -251,6 +514,71 @@ mod tests {
         assert_eq!(rep.runs.len(), 2);
         assert!(rep.total_flows() > 0);
         assert!(rep.runs.iter().all(|r| !r.series.is_empty()));
+    }
+
+    #[test]
+    fn logging_study_measures_all_three_policies() {
+        let rep = run_dimensioning(&tiny(3));
+        assert_eq!(rep.logging.len(), 3);
+        let by_name = |n: &str| {
+            rep.logging
+                .iter()
+                .find(|r| r.policy == n)
+                .unwrap_or_else(|| panic!("policy {n} missing"))
+        };
+        let per_conn = by_name("per-connection");
+        let per_block = by_name("port-block");
+        let det = by_name("deterministic");
+        // The paper's ordering: per-connection >> port-block > zero.
+        assert!(per_conn.volume.bytes > 0 && per_conn.volume.records > 0);
+        assert!(per_block.volume.records > 0);
+        // The margin grows with flows/subscriber; even this tiny
+        // two-minute fixture shows a multiple (the driver's p2p test
+        // pins the order-of-magnitude gap on a realistic mix).
+        assert!(
+            per_block.volume.bytes * 3 < per_conn.volume.bytes,
+            "block logs ({}) must undercut per-connection ({})",
+            per_block.volume.bytes,
+            per_conn.volume.bytes
+        );
+        assert_eq!(det.volume.bytes, 0, "deterministic NAT logs nothing");
+        assert_eq!(det.volume.records, 0);
+        assert!(per_conn.volume.bytes_per_subscriber_day > det.volume.bytes_per_subscriber_day);
+        // Every sampled abuse probe resolves to the exact subscriber —
+        // through the interval index for logged policies, through the
+        // provisioning inverse for deterministic NAT.
+        for row in &rep.logging {
+            assert!(row.probes > 0, "{}: probes sampled", row.policy);
+            assert_eq!(
+                row.probes_resolved, row.probes,
+                "{}: every probe must resolve exactly",
+                row.policy
+            );
+        }
+        // Roughly two records per flow (create+expire) under
+        // per-connection logging; far fewer under blocks.
+        assert!(per_conn.volume.records_per_flow > 1.0);
+        assert!(per_block.volume.records_per_flow < 0.5);
+    }
+
+    #[test]
+    fn deterministic_ports_per_host_provisions_every_subscriber() {
+        let cfg = tiny(3);
+        let pph = cfg.deterministic_ports_per_host() as u64;
+        assert!(pph.is_power_of_two());
+        let capacity = (cfg.nat.port_range.1 - cfg.nat.port_range.0) as u64 + 1;
+        let slots_per_shard = cfg.external_ips_per_shard as u64 * (capacity / pph);
+        assert!(
+            slots_per_shard >= cfg.subscribers as u64,
+            "{slots_per_shard} slots must cover {} subscribers",
+            cfg.subscribers
+        );
+        // Tight: the next power of two would not fit the population.
+        assert!(
+            pph == 16_384
+                || cfg.external_ips_per_shard as u64 * (capacity / (pph * 2))
+                    < cfg.subscribers as u64
+        );
     }
 
     #[test]
@@ -282,6 +610,12 @@ mod tests {
         assert!(text.contains("slab slots"), "store occupancy line");
         assert!(text.contains("wheel timers"));
         assert!(text.contains("shard balance"), "imbalance line");
+        assert!(text.contains("logging / traceability"), "logging table");
+        assert!(text.contains("per-connection"));
+        assert!(text.contains("port-block"));
+        assert!(text.contains("deterministic"));
+        assert!(text.contains("bytes/sub/day"));
+        assert!(text.contains("projected daily volume for 1M subscribers"));
         assert!(text.contains("residential-evening"));
         assert!(text.contains("iot-fleet"));
         assert!(text.contains("subs/IP"));

@@ -256,6 +256,32 @@ pub fn export_dimensioning(dim: &crate::dimensioning::DimensioningReport) -> Vec
         });
     }
 
+    // Log-volume vs. allocation-policy table (§2's logging burden).
+    {
+        let mut c = String::from(
+            "#policy\trecords\tbytes\tbytes_per_subscriber_day\trecords_per_flow\
+             \tflows_blocked\tprobes\tprobes_resolved\n",
+        );
+        for row in &dim.logging {
+            let _ = writeln!(
+                c,
+                "{}\t{}\t{}\t{:.3}\t{:.4}\t{}\t{}\t{}",
+                row.policy,
+                row.volume.records,
+                row.volume.bytes,
+                row.volume.bytes_per_subscriber_day,
+                row.volume.records_per_flow,
+                row.flows_blocked,
+                row.probes,
+                row.probes_resolved
+            );
+        }
+        files.push(ExportFile {
+            name: "dim_log_volume.tsv".into(),
+            content: c,
+        });
+    }
+
     // Full machine-readable report.
     if let Ok(json) = serde_json::to_string_pretty(dim) {
         files.push(ExportFile {
@@ -356,6 +382,7 @@ mod tests {
             [
                 "dim_demand_series.tsv",
                 "dim_chunk_blocking.tsv",
+                "dim_log_volume.tsv",
                 "dim_report.json"
             ]
         );
@@ -367,7 +394,16 @@ mod tests {
             1 + 2 * analysis::port_demand::CHUNK_SIZES.len(),
             "one curve row per (mix, chunk size)"
         );
-        assert!(files[2].content.trim_start().starts_with('{'));
+        let logging = &files[2].content;
+        assert_eq!(
+            logging.lines().count(),
+            1 + 3,
+            "one log-volume row per policy"
+        );
+        for policy in ["per-connection", "port-block", "deterministic"] {
+            assert!(logging.contains(policy), "{policy} row missing");
+        }
+        assert!(files[3].content.trim_start().starts_with('{'));
     }
 
     #[test]

@@ -131,6 +131,10 @@ pub fn check(config: &NatConfig) -> ComplianceReport {
     }
     let budget = match config.port_alloc {
         crate::config::PortAllocation::RandomChunk { chunk_size } => chunk_size as u32,
+        // Deterministic NAT hard-caps every subscriber at its computed
+        // block; port-block allocation grows by whole blocks, so its
+        // effective budget is the session limit, not the block size.
+        crate::config::PortAllocation::Deterministic { ports_per_host } => ports_per_host as u32,
         _ => config.max_sessions_per_host.unwrap_or(u32::MAX),
     };
     if budget < 1024 {

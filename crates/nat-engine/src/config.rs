@@ -44,6 +44,26 @@ pub enum PortAllocation {
         /// Ports per subscriber block. The paper observes 512..16K.
         chunk_size: u16,
     },
+    /// Bulk port-block allocation: each internal host is granted one or
+    /// more contiguous `block_size`-port blocks on demand; ports fill
+    /// sequentially within the host's blocks, a fresh block is granted
+    /// when they run out, and a fully-drained block is returned. The
+    /// traceability model large deployments run (Mandalari et al.):
+    /// the operator logs **one record per block grant/return** instead
+    /// of one per connection.
+    PortBlock {
+        /// Ports per granted block.
+        block_size: u16,
+    },
+    /// Deterministic NAT (RFC 7422): the external IP and a fixed
+    /// `ports_per_host`-port block are **computed from the internal
+    /// address** (no state, no RNG), so abuse attribution needs zero
+    /// log records — the mapping is re-derived offline. The flip side
+    /// is the hardest per-subscriber port cap of any policy.
+    Deterministic {
+        /// Ports owned by each internal host.
+        ports_per_host: u16,
+    },
 }
 
 /// External-IP selection for NATs with multiple public addresses (§3).

@@ -32,6 +32,8 @@ pub mod nat;
 pub mod ports;
 pub mod sharded;
 pub mod store;
+pub mod telemetry;
+pub mod wheel;
 
 pub use compliance::{
     check as check_compliance, check_runtime, ComplianceReport, Requirement, RuntimeReport,
@@ -44,3 +46,5 @@ pub use nat::{DropReason, Mapping, Nat, NatStats, NatVerdict, PortOccupancy};
 pub use ports::PortAllocator;
 pub use sharded::ShardedNat;
 pub use store::{ContactSet, MappingStore, StoreOccupancy};
+pub use telemetry::{BlockEvent, EventSink, MappingEvent, TelemetryMode};
+pub use wheel::WheelGeometry;

@@ -13,9 +13,10 @@
 //! into the internal realm (hairpinning), or drop it with a reason that the
 //! stats record — the observable that the paper's measurements build on.
 
-use crate::config::{FilteringBehavior, NatConfig, Pooling, StunNatType};
-use crate::ports::{PortAllocator, PortError};
+use crate::config::{FilteringBehavior, NatConfig, Pooling, PortAllocation, StunNatType};
+use crate::ports::{self, PortAllocator, PortError};
 use crate::store::{MappingStore, StoreOccupancy, TcpConnState};
+use crate::telemetry::{BlockEvent, EventSink, MappingEvent, SinkSlot};
 use netcore::{Endpoint, Packet, PacketBody, Protocol, SimDuration, SimTime, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -157,6 +158,9 @@ pub struct Nat {
     allocators: Vec<Option<PortAllocator>>,
     store: MappingStore,
     stats: NatStats,
+    /// Telemetry sink (mapping create/expire, block grant/return);
+    /// `None` — the default — costs one untaken branch per event site.
+    sink: SinkSlot,
 }
 
 impl Nat {
@@ -176,11 +180,25 @@ impl Nat {
             allocators: Vec::new(),
             store: MappingStore::new(),
             stats: NatStats::default(),
+            sink: SinkSlot(None),
         }
     }
 
     pub fn config(&self) -> &NatConfig {
         &self.config
+    }
+
+    /// Install a telemetry sink: the engine fires mapping
+    /// create/expire and block grant/return events into it (see
+    /// [`crate::telemetry`]). Replaces any previously installed sink.
+    pub fn set_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = SinkSlot(Some(sink));
+    }
+
+    /// Remove and return the installed telemetry sink, if any,
+    /// returning the engine to the zero-cost disabled state.
+    pub fn take_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.0.take()
     }
 
     pub fn stats(&self) -> &NatStats {
@@ -293,15 +311,35 @@ impl Nat {
             self.stats.sweep_scans += 1;
         }
         for slot in due {
-            self.remove_mapping(slot);
+            self.remove_mapping(slot, now);
             self.stats.mappings_expired += 1;
         }
     }
 
-    fn remove_mapping(&mut self, slot: u32) {
+    fn remove_mapping(&mut self, slot: u32, now: SimTime) {
         if let Some((m, pool)) = self.store.remove(slot) {
+            let mut grant = None;
             if let Some(Some(a)) = self.allocators.get_mut(pool as usize) {
                 a.release(m.external.port);
+                grant = a.take_block_grant();
+            }
+            if let Some(sink) = &mut self.sink.0 {
+                sink.mapping_expired(&MappingEvent {
+                    at: now,
+                    proto: m.proto,
+                    internal: m.internal,
+                    external: m.external,
+                });
+                if let Some(g) = grant {
+                    sink.block_released(&BlockEvent {
+                        at: now,
+                        proto: m.proto,
+                        subscriber: g.host,
+                        ext_ip: m.external.ip,
+                        block_start: g.start,
+                        block_len: g.len,
+                    });
+                }
             }
         }
     }
@@ -373,7 +411,7 @@ impl Nat {
         let slot = match self.store.lookup_out(key) {
             Some(slot) if !self.store.get(slot).expired(now) => Some(slot),
             Some(slot) => {
-                self.remove_mapping(slot);
+                self.remove_mapping(slot, now);
                 self.stats.mappings_expired += 1;
                 None
             }
@@ -430,7 +468,24 @@ impl Nat {
             // Stateful firewall: state is kept, addresses are not touched.
             internal
         } else {
-            let ext_ip = self.pick_external_ip(host);
+            // Deterministic NAT computes both the external IP and the
+            // port block from the internal address (RFC 7422) — no
+            // pooling choice, no RNG draw, no grant records.
+            let det = match self.config.port_alloc {
+                PortAllocation::Deterministic { ports_per_host } => {
+                    Some(ports::deterministic_block(
+                        internal.ip,
+                        self.external_ips.len(),
+                        self.config.port_range,
+                        ports_per_host,
+                    ))
+                }
+                _ => None,
+            };
+            let ext_ip = match det {
+                Some((ip_index, _, _)) => self.external_ips[ip_index],
+                None => self.pick_external_ip(host),
+            };
             let pool = self.store.intern_pool(ext_ip, proto) as usize;
             if self.allocators.len() <= pool {
                 self.allocators.resize_with(pool + 1, || None);
@@ -439,13 +494,26 @@ impl Nat {
             let range = self.config.port_range;
             let alloc =
                 self.allocators[pool].get_or_insert_with(|| PortAllocator::new(strategy, range));
-            let port = alloc
-                .allocate(internal.ip, internal.port, proto, &mut self.rng)
-                .map_err(|e| match e {
-                    PortError::Exhausted | PortError::ChunkFull | PortError::NoFreeChunk => {
-                        DropReason::PortExhausted
-                    }
-                })?;
+            let port = match det {
+                Some((_, start, len)) => alloc.allocate_deterministic(start, len),
+                None => alloc.allocate(internal.ip, internal.port, proto, &mut self.rng),
+            }
+            .map_err(|e| match e {
+                PortError::Exhausted | PortError::ChunkFull | PortError::NoFreeChunk => {
+                    DropReason::PortExhausted
+                }
+            })?;
+            let grant = alloc.take_block_grant();
+            if let (Some(sink), Some(g)) = (&mut self.sink.0, grant) {
+                sink.block_allocated(&BlockEvent {
+                    at: now,
+                    proto,
+                    subscriber: g.host,
+                    ext_ip,
+                    block_start: g.start,
+                    block_len: g.len,
+                });
+            }
             Endpoint::new(ext_ip, port)
         };
         let timeout = self.timeout_for(proto, None);
@@ -453,10 +521,28 @@ impl Nat {
         let slot = self.store.insert(key, proto, m);
         self.stats.mappings_created += 1;
         self.stats.peak_mappings = self.stats.peak_mappings.max(self.store.len() as u64);
+        if let Some(sink) = &mut self.sink.0 {
+            sink.mapping_created(&MappingEvent {
+                at: now,
+                proto,
+                internal,
+                external,
+            });
+        }
         Ok(slot)
     }
 
-    fn hairpin(&mut self, translated: Packet, original_src: Endpoint, now: SimTime) -> NatVerdict {
+    /// Loop a translated outbound packet back to the internal realm
+    /// (its destination is one of this device's pool addresses).
+    /// `pub(crate)` so [`crate::sharded::ShardedNat`]'s opt-in
+    /// cross-shard loopback can route a packet that targets another
+    /// shard's pool through the owner shard's hairpin semantics.
+    pub(crate) fn hairpin(
+        &mut self,
+        translated: Packet,
+        original_src: Endpoint,
+        now: SimTime,
+    ) -> NatVerdict {
         if !self.config.hairpinning {
             self.stats.record_drop(DropReason::NoHairpin);
             return NatVerdict::Drop(DropReason::NoHairpin);
@@ -520,7 +606,7 @@ impl Nat {
         let slot = match self.store.lookup_ext(proto, pkt.dst) {
             Some(slot) if !self.store.get(slot).expired(now) => slot,
             Some(slot) => {
-                self.remove_mapping(slot);
+                self.remove_mapping(slot, now);
                 self.stats.mappings_expired += 1;
                 self.stats.record_drop(DropReason::NoMapping);
                 return NatVerdict::Drop(DropReason::NoMapping);
@@ -1188,6 +1274,102 @@ mod tests {
             n.process_inbound(back, t(120)),
             NatVerdict::Drop(DropReason::NoMapping)
         );
+    }
+
+    #[test]
+    fn sink_sees_mapping_and_block_lifecycle() {
+        use crate::telemetry::CountingSink;
+        let mut cfg = NatConfig::cgn_default();
+        cfg.port_alloc = crate::config::PortAllocation::PortBlock { block_size: 512 };
+        cfg.mapping = MappingBehavior::AddressAndPortDependent;
+        let mut n = nat(cfg);
+        n.set_sink(Box::<CountingSink>::default());
+        let src = internal_host(1);
+        for f in 0..5u16 {
+            let dst = Endpoint::new(ip(203, 0, 113, 10), 1000 + f);
+            assert!(matches!(
+                n.process_outbound(Packet::udp(src, dst, vec![]), t(0)),
+                NatVerdict::Forward(_)
+            ));
+        }
+        n.sweep(t(61)); // all five mappings idle out
+        let counts = n
+            .take_sink()
+            .expect("sink installed")
+            .into_any()
+            .downcast::<CountingSink>()
+            .expect("concrete sink type");
+        assert_eq!(counts.created, 5);
+        assert_eq!(counts.expired, 5);
+        // One 512-port block served all five mappings; draining the
+        // last mapping returned it.
+        assert_eq!(counts.blocks_allocated, 1);
+        assert_eq!(counts.blocks_released, 1);
+        assert_eq!(n.stats().mappings_created, 5);
+    }
+
+    #[test]
+    fn sink_disabled_changes_nothing() {
+        use crate::telemetry::CountingSink;
+        let run = |with_sink: bool| {
+            let mut n = Nat::new(NatConfig::cgn_default(), pool(), 99);
+            if with_sink {
+                n.set_sink(Box::<CountingSink>::default());
+            }
+            let mut seen = Vec::new();
+            for h in 1..=10 {
+                seen.push(udp_out(&mut n, internal_host(h), server(), t(0)).src);
+            }
+            n.sweep(t(120));
+            (seen, n.stats().clone())
+        };
+        assert_eq!(run(false), run(true), "telemetry must be observation-only");
+    }
+
+    #[test]
+    fn deterministic_policy_is_algorithmic_through_the_engine() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.port_alloc = crate::config::PortAllocation::Deterministic { ports_per_host: 4 };
+        cfg.mapping = MappingBehavior::AddressAndPortDependent;
+        let mut n = nat(cfg.clone());
+        let src = internal_host(1);
+        let expected = crate::ports::deterministic_block(src.ip, 3, cfg.port_range, 4);
+        let mut ports_seen = Vec::new();
+        for f in 0..4u16 {
+            let dst = Endpoint::new(ip(203, 0, 113, 10), 1000 + f);
+            match n.process_outbound(Packet::udp(src, dst, vec![]), t(0)) {
+                NatVerdict::Forward(p) => {
+                    assert_eq!(p.src.ip, pool()[expected.0], "computed pool address");
+                    assert!(
+                        p.src.port >= expected.1 && p.src.port < expected.1 + expected.2,
+                        "port {} outside computed block [{}, {})",
+                        p.src.port,
+                        expected.1,
+                        expected.1 + expected.2
+                    );
+                    ports_seen.push(p.src.port);
+                }
+                v => panic!("{v:?}"),
+            }
+        }
+        // The computed block is the hard cap: the fifth flow drops.
+        let dst = Endpoint::new(ip(203, 0, 113, 10), 2000);
+        assert_eq!(
+            n.process_outbound(Packet::udp(src, dst, vec![]), t(0)),
+            NatVerdict::Drop(DropReason::PortExhausted)
+        );
+        // Fully deterministic: a fresh engine with a different seed
+        // produces identical placements.
+        let mut m = Nat::new(cfg, pool(), 12345);
+        let p = match m.process_outbound(
+            Packet::udp(src, Endpoint::new(ip(203, 0, 113, 10), 1000), vec![]),
+            t(0),
+        ) {
+            NatVerdict::Forward(p) => p.src,
+            v => panic!("{v:?}"),
+        };
+        assert_eq!(p.port, ports_seen[0]);
+        assert_eq!(p.ip, pool()[expected.0]);
     }
 
     #[test]

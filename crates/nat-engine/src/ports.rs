@@ -4,8 +4,15 @@
 //! external IP address** for **one transport protocol**. The NAT engine owns
 //! one allocator per (external IP, protocol) pair.
 //!
-//! The allocator implements the four strategies of §6.2:
-//! preservation, sequential, random, and random-within-chunk.
+//! The allocator implements the four strategies of §6.2 —
+//! preservation, sequential, random, and random-within-chunk — plus
+//! the two traceability-driven policies the deployment survey turns
+//! on: contiguous **port-block** allocation
+//! ([`PortAllocation::PortBlock`], one telemetry record per block
+//! instead of one per connection) and **deterministic NAT**
+//! ([`PortAllocation::Deterministic`], RFC 7422: the block is computed
+//! from the internal address by [`deterministic_block`], so no record
+//! is needed at all).
 
 use crate::config::PortAllocation;
 use netcore::Protocol;
@@ -71,6 +78,76 @@ pub enum PortError {
     NoFreeChunk,
 }
 
+/// Whether a [`BlockGrant`] records a block being handed out or
+/// returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockGrantKind {
+    Allocated,
+    Released,
+}
+
+/// A pending port-block grant or return recorded by the allocator
+/// under the [`PortAllocation::PortBlock`] strategy. The engine drains
+/// it after every allocate/release call
+/// ([`PortAllocator::take_block_grant`]) and forwards it — stamped
+/// with the external IP and virtual time — to its telemetry sink:
+/// this is the "one log record per block" that makes bulk allocation
+/// hundreds of times cheaper to log than per-connection policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockGrant {
+    pub kind: BlockGrantKind,
+    /// Internal host the block belongs(ed) to.
+    pub host: Ipv4Addr,
+    /// First port of the block.
+    pub start: u16,
+    /// Ports in the block.
+    pub len: u16,
+}
+
+/// The algorithmic placement of deterministic NAT (RFC 7422): which
+/// external-pool index and port block an internal host owns, as a pure
+/// function of its address. The host's **ordinal** is its offset
+/// within the enclosing /10 (the RFC 6598 shared space CGN subscribers
+/// live in); ordinals round-robin across the pool first, then across
+/// each address's `capacity / ports_per_host` blocks — so a pool of
+/// `N` IPs with `B` blocks each holds `N × B` collision-free
+/// subscriber slots, and attribution is a computation instead of a
+/// log lookup. Returns `(pool index, block start, block len)`.
+/// A host's deterministic-NAT **ordinal**: its offset within the
+/// enclosing /10 (the RFC 6598 shared space CGN subscribers live in).
+/// The single definition both the forward arithmetic
+/// ([`deterministic_block`]) and the attribution inverse
+/// (`cgn_telemetry::DeterministicMap`) build on — they must never
+/// drift apart.
+pub fn det_ordinal(host: Ipv4Addr) -> u64 {
+    (u32::from(host) & 0x003F_FFFF) as u64
+}
+
+pub fn deterministic_block(
+    host: Ipv4Addr,
+    pool_len: usize,
+    range: (u16, u16),
+    ports_per_host: u16,
+) -> (usize, u16, u16) {
+    let ordinal = det_ordinal(host);
+    let capacity = (range.1 - range.0) as u64 + 1;
+    let pph = ports_per_host.max(1) as u64;
+    let blocks_per_ip = (capacity / pph).max(1);
+    let n = pool_len.max(1) as u64;
+    let ip_index = (ordinal % n) as usize;
+    let block_within = (ordinal / n) % blocks_per_ip;
+    let start = range.0 as u64 + block_within * pph;
+    let len = pph.min(range.1 as u64 + 1 - start);
+    (ip_index, start as u16, len as u16)
+}
+
+/// State of one contiguous block under [`PortAllocation::PortBlock`].
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockState {
+    owner: Option<Ipv4Addr>,
+    in_use: u16,
+}
+
 /// Free-port bookkeeping for one (external IP, protocol).
 #[derive(Debug)]
 pub struct PortAllocator {
@@ -82,6 +159,14 @@ pub struct PortAllocator {
     /// Chunk assignment per internal host (chunk strategies only).
     chunks: HashMap<Ipv4Addr, u16>, // host -> chunk index
     chunks_taken: HashSet<u16>,
+    /// Per-block owner/fill state (`PortBlock` strategy only; lazily
+    /// sized to `capacity / block_size` on first use).
+    blocks: Vec<BlockState>,
+    /// Blocks currently granted per host, in grant order.
+    host_blocks: HashMap<Ipv4Addr, Vec<u16>>,
+    /// Block grant/return recorded by the last allocate/release call,
+    /// awaiting [`PortAllocator::take_block_grant`].
+    pending_block: Option<BlockGrant>,
 }
 
 impl PortAllocator {
@@ -94,6 +179,9 @@ impl PortAllocator {
             next_seq: range.0,
             chunks: HashMap::new(),
             chunks_taken: HashSet::new(),
+            blocks: Vec::new(),
+            host_blocks: HashMap::new(),
+            pending_block: None,
         }
     }
 
@@ -119,6 +207,12 @@ impl PortAllocator {
 
     /// Allocate an external port for a flow from `internal_host` whose
     /// internal source port is `internal_port`.
+    ///
+    /// Panics under [`PortAllocation::Deterministic`]: that placement
+    /// is a pure function of the internal address and the *pool*, so
+    /// a per-IP allocator cannot compute it — the owning engine
+    /// derives the block with [`deterministic_block`] and calls
+    /// [`PortAllocator::allocate_deterministic`] instead.
     pub fn allocate(
         &mut self,
         internal_host: Ipv4Addr,
@@ -133,12 +227,86 @@ impl PortAllocator {
             PortAllocation::RandomChunk { chunk_size } => {
                 self.alloc_chunk(internal_host, chunk_size, rng)
             }
+            PortAllocation::PortBlock { block_size } => self.alloc_block(internal_host, block_size),
+            PortAllocation::Deterministic { .. } => panic!(
+                "deterministic placement is computed by the engine \
+                 (ports::deterministic_block) and allocated via \
+                 PortAllocator::allocate_deterministic"
+            ),
         }
     }
 
-    /// Release a previously allocated port (mapping expiry).
+    /// Allocate the first free port of a host's computed deterministic
+    /// block (`[start, start + len)`) — the engine derives the block
+    /// with [`deterministic_block`]. No state beyond the port bitmap,
+    /// no RNG, no grant records.
+    pub fn allocate_deterministic(&mut self, start: u16, len: u16) -> Result<u16, PortError> {
+        let hi = (start as u32 + len as u32).min(self.range.1 as u32 + 1);
+        for p in start as u32..hi {
+            if self.in_use.insert(p as u16) {
+                return Ok(p as u16);
+            }
+        }
+        Err(PortError::Exhausted)
+    }
+
+    /// Release a previously allocated port (mapping expiry). Under the
+    /// `PortBlock` strategy, draining a block's last port returns the
+    /// block (recorded as a pending [`BlockGrant`]).
     pub fn release(&mut self, port: u16) {
-        self.in_use.remove(port);
+        if !self.in_use.remove(port) {
+            return;
+        }
+        if let PortAllocation::PortBlock { block_size } = self.strategy {
+            if port < self.range.0 {
+                return;
+            }
+            let b = ((port - self.range.0) / block_size) as usize;
+            let Some(state) = self.blocks.get_mut(b) else {
+                return;
+            };
+            state.in_use = state.in_use.saturating_sub(1);
+            if state.in_use == 0 {
+                if let Some(owner) = state.owner.take() {
+                    if let Some(list) = self.host_blocks.get_mut(&owner) {
+                        list.retain(|x| *x as usize != b);
+                        if list.is_empty() {
+                            self.host_blocks.remove(&owner);
+                        }
+                    }
+                    let (start, len) = self.block_bounds(b as u16, block_size);
+                    self.pending_block = Some(BlockGrant {
+                        kind: BlockGrantKind::Released,
+                        host: owner,
+                        start,
+                        len,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Drain the block grant/return recorded by the last
+    /// allocate/release call, if any. The engine calls this after
+    /// every allocator operation so at most one grant is ever pending.
+    pub fn take_block_grant(&mut self) -> Option<BlockGrant> {
+        self.pending_block.take()
+    }
+
+    /// The blocks currently granted to `host` under the `PortBlock`
+    /// strategy, as `(start, len)` ranges in grant order.
+    pub fn blocks_of(&self, host: Ipv4Addr) -> Vec<(u16, u16)> {
+        let PortAllocation::PortBlock { block_size } = self.strategy else {
+            return Vec::new();
+        };
+        self.host_blocks
+            .get(&host)
+            .map(|list| {
+                list.iter()
+                    .map(|&b| self.block_bounds(b, block_size))
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     fn in_range(&self, p: u16) -> bool {
@@ -246,6 +414,65 @@ impl PortAllocator {
             }
         }
         Err(PortError::ChunkFull)
+    }
+
+    /// `(start, len)` of block `b` under a `block_size`-port layout.
+    fn block_bounds(&self, b: u16, block_size: u16) -> (u16, u16) {
+        let lo = self.range.0 as u32 + b as u32 * block_size as u32;
+        let hi_exclusive = (lo + block_size as u32).min(self.range.1 as u32 + 1);
+        (lo as u16, (hi_exclusive - lo) as u16)
+    }
+
+    /// First free port within block `b`, marking it used.
+    fn alloc_in_block(&mut self, b: u16, block_size: u16) -> Option<u16> {
+        let (lo, len) = self.block_bounds(b, block_size);
+        if self.blocks[b as usize].in_use >= len {
+            return None; // full block: skip the scan entirely
+        }
+        for p in lo as u32..lo as u32 + len as u32 {
+            if self.in_use.insert(p as u16) {
+                self.blocks[b as usize].in_use += 1;
+                return Some(p as u16);
+            }
+        }
+        None
+    }
+
+    /// Contiguous-block allocation: sequential fill of the host's
+    /// granted blocks; a fresh block (lowest free index —
+    /// deterministic, no RNG) is granted when they run out and
+    /// recorded as a pending [`BlockGrant`].
+    fn alloc_block(&mut self, host: Ipv4Addr, block_size: u16) -> Result<u16, PortError> {
+        assert!(block_size > 0);
+        if self.blocks.is_empty() {
+            let n_blocks = (self.capacity() / block_size as usize).max(1);
+            self.blocks = vec![BlockState::default(); n_blocks];
+        }
+        // Fill the host's existing blocks in grant order. (The short
+        // index list is copied out so the block scan can borrow the
+        // allocator mutably; hosts hold a handful of blocks at most.)
+        let owned: Vec<u16> = self.host_blocks.get(&host).cloned().unwrap_or_default();
+        for b in owned {
+            if let Some(p) = self.alloc_in_block(b, block_size) {
+                return Ok(p);
+            }
+        }
+        // Grant the lowest-index free block.
+        let Some(b) = self.blocks.iter().position(|s| s.owner.is_none()) else {
+            return Err(PortError::NoFreeChunk);
+        };
+        let b = b as u16;
+        self.blocks[b as usize].owner = Some(host);
+        self.host_blocks.entry(host).or_default().push(b);
+        let (start, len) = self.block_bounds(b, block_size);
+        self.pending_block = Some(BlockGrant {
+            kind: BlockGrantKind::Allocated,
+            host,
+            start,
+            len,
+        });
+        self.alloc_in_block(b, block_size)
+            .ok_or(PortError::ChunkFull)
     }
 }
 
@@ -413,6 +640,124 @@ mod tests {
     }
 
     #[test]
+    fn port_block_fills_sequentially_and_grows_by_blocks() {
+        let mut a = PortAllocator::new(PortAllocation::PortBlock { block_size: 4 }, (1000, 1015));
+        let mut r = rng();
+        // First allocation grants the lowest free block and records it.
+        let p = a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap();
+        assert_eq!(p, 1000);
+        let g = a.take_block_grant().expect("fresh block recorded");
+        assert_eq!(
+            (g.kind, g.host, g.start, g.len),
+            (BlockGrantKind::Allocated, host(), 1000, 4)
+        );
+        assert!(a.take_block_grant().is_none(), "grant drains once");
+        // Sequential fill within the block, no further grants.
+        for want in [1001, 1002, 1003] {
+            assert_eq!(a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap(), want);
+            assert!(a.take_block_grant().is_none());
+        }
+        // Block full: a second block is granted.
+        let p = a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap();
+        assert_eq!(p, 1004);
+        let g = a.take_block_grant().expect("growth records a block");
+        assert_eq!((g.start, g.len), (1004, 4));
+        assert_eq!(a.blocks_of(host()), vec![(1000, 4), (1004, 4)]);
+    }
+
+    #[test]
+    fn port_block_release_returns_drained_blocks() {
+        let mut a = PortAllocator::new(PortAllocation::PortBlock { block_size: 4 }, (1000, 1015));
+        let mut r = rng();
+        let ports: Vec<u16> = (0..4)
+            .map(|_| a.allocate(host(), 0, Protocol::Udp, &mut r).unwrap())
+            .collect();
+        a.take_block_grant();
+        // Partial drain keeps the block.
+        for &p in &ports[..3] {
+            a.release(p);
+            assert!(a.take_block_grant().is_none(), "block still has a port");
+        }
+        // Last port out: the block is returned to the free pool.
+        a.release(ports[3]);
+        let g = a.take_block_grant().expect("drained block returned");
+        assert_eq!(
+            (g.kind, g.host, g.start, g.len),
+            (BlockGrantKind::Released, host(), 1000, 4)
+        );
+        assert!(a.blocks_of(host()).is_empty());
+        // The block is reusable — by anyone.
+        let other = ip(100, 64, 0, 99);
+        assert_eq!(a.allocate(other, 0, Protocol::Udp, &mut r).unwrap(), 1000);
+        assert_eq!(a.take_block_grant().unwrap().host, other);
+    }
+
+    #[test]
+    fn port_block_exhaustion_when_no_free_block() {
+        let mut a = PortAllocator::new(PortAllocation::PortBlock { block_size: 8 }, (1000, 1015));
+        let mut r = rng();
+        // Two hosts take the two 8-port blocks.
+        a.allocate(ip(10, 0, 0, 1), 0, Protocol::Udp, &mut r)
+            .unwrap();
+        a.allocate(ip(10, 0, 0, 2), 0, Protocol::Udp, &mut r)
+            .unwrap();
+        // A third host finds no free block.
+        assert_eq!(
+            a.allocate(ip(10, 0, 0, 3), 0, Protocol::Udp, &mut r),
+            Err(PortError::NoFreeChunk)
+        );
+    }
+
+    #[test]
+    fn deterministic_block_is_algorithmic_and_collision_free() {
+        let range = (1024, 65535);
+        let pph = 64;
+        let pool_len = 4;
+        let blocks_per_ip = 64512 / 64; // 1008
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..1000u32 {
+            let h = Ipv4Addr::from(u32::from(ip(100, 64, 0, 0)) + k);
+            let (ip_idx, start, len) = deterministic_block(h, pool_len, range, pph);
+            // Pure function: recomputation agrees.
+            assert_eq!(
+                deterministic_block(h, pool_len, range, pph),
+                (ip_idx, start, len)
+            );
+            assert!(ip_idx < pool_len);
+            assert_eq!(len, pph);
+            assert!(start >= range.0 && start as u32 + len as u32 - 1 <= range.1 as u32);
+            assert_eq!((start - range.0) % pph, 0, "block-aligned start");
+            // Ordinals below pool_len * blocks_per_ip are collision-free.
+            assert!(
+                seen.insert((ip_idx, start)),
+                "host {k} collided at ({ip_idx}, {start})"
+            );
+        }
+        let _ = blocks_per_ip;
+    }
+
+    #[test]
+    fn deterministic_allocation_fills_only_the_computed_block() {
+        let mut a = PortAllocator::new(
+            PortAllocation::Deterministic { ports_per_host: 4 },
+            (1000, 1015),
+        );
+        for want in [1004, 1005, 1006, 1007] {
+            assert_eq!(a.allocate_deterministic(1004, 4), Ok(want));
+        }
+        // The host's block is full — the deterministic cap bites.
+        assert_eq!(a.allocate_deterministic(1004, 4), Err(PortError::Exhausted));
+        // Neighbouring blocks were never touched.
+        assert_eq!(a.allocated(), 4);
+        a.release(1005);
+        assert_eq!(a.allocate_deterministic(1004, 4), Ok(1005));
+        assert!(
+            a.take_block_grant().is_none(),
+            "deterministic NAT records nothing"
+        );
+    }
+
+    #[test]
     fn release_frees_capacity() {
         let mut a = PortAllocator::new(PortAllocation::Random, (1, 2));
         let mut r = rng();
@@ -434,7 +779,7 @@ mod tests {
         /// No strategy ever returns an out-of-range or duplicate port.
         #[test]
         fn prop_no_duplicates_in_range(
-            strat in 0usize..4,
+            strat in 0usize..5,
             lo in 1024u16..2000,
             span in 100u16..1000,
             n in 1usize..80,
@@ -444,6 +789,7 @@ mod tests {
                 0 => PortAllocation::Preserve,
                 1 => PortAllocation::Sequential,
                 2 => PortAllocation::Random,
+                3 => PortAllocation::PortBlock { block_size: 64 },
                 _ => PortAllocation::RandomChunk { chunk_size: 64 },
             };
             let range = (lo, lo + span);
@@ -481,7 +827,7 @@ mod tests {
         /// under every strategy.
         #[test]
         fn prop_no_double_allocation_with_churn(
-            strat in 0usize..4,
+            strat in 0usize..5,
             seed in any::<u64>(),
             ops in proptest::collection::vec((any::<u8>(), 0u16..200), 1..120),
         ) {
@@ -489,6 +835,7 @@ mod tests {
                 0 => PortAllocation::Preserve,
                 1 => PortAllocation::Sequential,
                 2 => PortAllocation::Random,
+                3 => PortAllocation::PortBlock { block_size: 32 },
                 _ => PortAllocation::RandomChunk { chunk_size: 32 },
             };
             let mut a = PortAllocator::new(strategy, (2000, 2400));
@@ -553,13 +900,14 @@ mod tests {
         /// mapping expiry must return capacity), for every strategy.
         #[test]
         fn prop_port_reuse_after_release(
-            strat in 0usize..4,
+            strat in 0usize..5,
             seed in any::<u64>(),
         ) {
             let strategy = match strat {
                 0 => PortAllocation::Preserve,
                 1 => PortAllocation::Sequential,
                 2 => PortAllocation::Random,
+                3 => PortAllocation::PortBlock { block_size: 8 },
                 _ => PortAllocation::RandomChunk { chunk_size: 8 },
             };
             // A range exactly one 8-port chunk wide: full exhaustion is

@@ -14,15 +14,20 @@
 //! and the outcome is bit-identical to processing the same batches
 //! sequentially shard-by-shard.
 //!
-//! One behavioural difference to a monolithic [`Nat`] is intentional:
-//! **hairpinning only resolves within a shard**. An outbound packet
-//! addressed to an external IP owned by a *different* shard is
-//! forwarded toward the core like any other packet — the same thing
-//! happens between the chassis of a multi-box CGN deployment.
+//! One behavioural difference to a monolithic [`Nat`] is intentional
+//! **by default**: hairpinning only resolves within a shard. An
+//! outbound packet addressed to an external IP owned by a *different*
+//! shard is forwarded toward the core like any other packet — the same
+//! thing happens between the chassis of a multi-box CGN deployment.
+//! [`ShardedNat::set_cross_shard_hairpin`] opts into single-chassis
+//! semantics instead: such a packet is looped back through the owner
+//! shard's hairpin path, making internal-to-internal traffic
+//! behaviourally identical to a monolithic [`Nat`].
 
 use crate::config::NatConfig;
 use crate::nat::{Nat, NatStats, NatVerdict, PortOccupancy};
 use crate::store::StoreOccupancy;
+use crate::telemetry::EventSink;
 use netcore::{Packet, SimTime};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -79,6 +84,10 @@ pub struct ShardedNat {
     shards: Vec<Nat>,
     /// External IP → owning shard, for inbound routing.
     ext_owner: HashMap<Ipv4Addr, usize>,
+    /// Opt-in single-chassis loopback: outbound packets targeting a
+    /// *foreign* shard's pool hairpin through the owner shard instead
+    /// of forwarding toward the core (multi-chassis default).
+    cross_shard_hairpin: bool,
 }
 
 impl ShardedNat {
@@ -107,7 +116,47 @@ impl ShardedNat {
             .enumerate()
             .map(|(i, pool)| Nat::new(config.clone(), pool, seed.wrapping_add(mix64(i as u64 + 1))))
             .collect();
-        ShardedNat { shards, ext_owner }
+        ShardedNat {
+            shards,
+            ext_owner,
+            cross_shard_hairpin: false,
+        }
+    }
+
+    /// Opt into single-chassis hairpin semantics: an outbound packet
+    /// addressed to an external IP owned by a *different* shard is
+    /// looped back through the owner shard's hairpin path (filtering,
+    /// refresh and source-rewrite behaviour included), so
+    /// internal-to-internal traffic matches a monolithic [`Nat`]
+    /// exactly. Off by default (multi-chassis forward semantics).
+    ///
+    /// Only the packet-at-a-time [`ShardedNat::process_outbound`] path
+    /// resolves cross-shard loopback — it is the one place where two
+    /// shards' state meet, which is exactly what the pre-partitioned
+    /// parallel batch path must not do (see
+    /// [`ShardedNat::process_batches`]).
+    pub fn set_cross_shard_hairpin(&mut self, enabled: bool) {
+        self.cross_shard_hairpin = enabled;
+    }
+
+    /// Install one telemetry sink per shard, in shard order (see
+    /// [`crate::telemetry`]). Panics unless exactly one sink per shard
+    /// is supplied.
+    pub fn set_sinks(&mut self, sinks: Vec<Box<dyn EventSink>>) {
+        assert_eq!(
+            sinks.len(),
+            self.shards.len(),
+            "one telemetry sink per shard required"
+        );
+        for (shard, sink) in self.shards.iter_mut().zip(sinks) {
+            shard.set_sink(sink);
+        }
+    }
+
+    /// Remove and return every shard's telemetry sink, in shard order
+    /// (`None` for shards that had none installed).
+    pub fn take_sinks(&mut self) -> Vec<Option<Box<dyn EventSink>>> {
+        self.shards.iter_mut().map(|s| s.take_sink()).collect()
     }
 
     pub fn shard_count(&self) -> usize {
@@ -145,10 +194,37 @@ impl ShardedNat {
             .collect()
     }
 
-    /// Route one outbound packet to its owner shard.
+    /// Route one outbound packet to its owner shard. With
+    /// [`ShardedNat::set_cross_shard_hairpin`] enabled, a translated
+    /// packet that targets another shard's pool address is looped back
+    /// through that shard's hairpin path instead of forwarding toward
+    /// the core.
     pub fn process_outbound(&mut self, pkt: Packet, now: SimTime) -> NatVerdict {
+        let original_src = pkt.src;
         let shard = self.shard_of(pkt.src.ip);
-        self.shards[shard].process_outbound(pkt, now)
+        let verdict = self.shards[shard].process_outbound(pkt, now);
+        if self.cross_shard_hairpin {
+            if let NatVerdict::Forward(translated) = &verdict {
+                // The admitting shard forwards anything outside its own
+                // pool; if a UDP/TCP flow's destination is a sibling
+                // shard's pool address, single-chassis semantics loop
+                // it back there. ICMP passes through unmodified — a
+                // monolithic Nat forwards it untranslated too (the
+                // "private IP in traceroute" artifact), and the
+                // hairpin path only handles flows.
+                if translated.protocol().is_some() {
+                    if let Some(&owner) = self.ext_owner.get(&translated.dst.ip) {
+                        debug_assert_ne!(
+                            owner, shard,
+                            "own-pool hairpins resolve inside the shard"
+                        );
+                        let translated = translated.clone();
+                        return self.shards[owner].hairpin(translated, original_src, now);
+                    }
+                }
+            }
+        }
+        verdict
     }
 
     /// Route one inbound packet to the shard owning its destination
@@ -229,7 +305,11 @@ impl ShardedNat {
     /// order.
     ///
     /// Shards are mutually independent, so the result is bit-identical
-    /// for every thread count.
+    /// for every thread count. That independence is exactly what
+    /// cross-shard hairpinning would break, so this path keeps
+    /// multi-chassis forward semantics: enable
+    /// [`ShardedNat::set_cross_shard_hairpin`] only with the
+    /// packet-at-a-time routing path (debug builds assert this).
     ///
     /// Panics if `batches.len() != self.shard_count()`.
     pub fn process_batches(
@@ -242,6 +322,11 @@ impl ShardedNat {
             batches.len(),
             self.shards.len(),
             "one batch per shard required"
+        );
+        debug_assert!(
+            !self.cross_shard_hairpin,
+            "cross-shard hairpin loopback needs the packet-at-a-time \
+             routing path; batch processing keeps shards independent"
         );
         let work: Vec<(&mut Nat, Vec<Packet>)> = self.shards.iter_mut().zip(batches).collect();
         scatter(work, threads, |(shard, batch)| {
@@ -384,6 +469,155 @@ mod tests {
         assert_eq!(s.mapping_count(), 0);
         assert_eq!(s.merged_stats().mappings_expired, 64);
         assert_eq!(s.ports_by_host(t(61)).len(), 0);
+    }
+
+    /// Two hosts guaranteed to live in different shards.
+    fn hosts_in_different_shards(s: &ShardedNat) -> (Endpoint, Endpoint) {
+        let a = host(0);
+        let b = (1..256)
+            .map(host)
+            .find(|h| s.shard_of(h.ip) != s.shard_of(a.ip))
+            .expect("some host lands in another shard");
+        (a, b)
+    }
+
+    /// The satellite behavioural-equivalence check: with loopback
+    /// enabled, internal-to-internal traffic crossing shards produces
+    /// the same verdict semantics as a monolithic [`Nat`] — delivery
+    /// to the target's internal endpoint, the §4.1 internal-source
+    /// leak behaviour, filtering, and the hairpin counter.
+    #[test]
+    fn cross_shard_hairpin_matches_monolithic_semantics() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = crate::config::FilteringBehavior::EndpointIndependent;
+
+        // Monolithic reference: B opens a mapping, A reaches B via its
+        // external endpoint and the NAT loops it back, leaking A's
+        // internal source (cgn_default keeps hairpin_internal_source).
+        let mut mono = Nat::new(cfg.clone(), pool(4), 7);
+        let (a, b) = (host(0), host(1));
+        let b_ext_mono = match mono.process_outbound(Packet::udp(b, server(), vec![]), t(0)) {
+            NatVerdict::Forward(p) => p.src,
+            v => panic!("{v:?}"),
+        };
+        let mono_verdict = mono.process_outbound(Packet::udp(a, b_ext_mono, vec![7]), t(1));
+        let NatVerdict::Hairpin(mono_p) = mono_verdict else {
+            panic!("monolithic reference must hairpin");
+        };
+        assert_eq!((mono_p.dst, mono_p.src), (b, a));
+
+        // Sharded engine, hosts in different shards.
+        let mut s = ShardedNat::new(cfg.clone(), pool(4), 4, 7);
+        s.set_cross_shard_hairpin(true);
+        let (a, b) = hosts_in_different_shards(&s);
+        let b_ext = match s.process_outbound(Packet::udp(b, server(), vec![]), t(0)) {
+            NatVerdict::Forward(p) => p.src,
+            v => panic!("{v:?}"),
+        };
+        assert_ne!(
+            s.shard_of(a.ip),
+            s.shard_of(b.ip),
+            "the loopback must actually cross shards"
+        );
+        match s.process_outbound(Packet::udp(a, b_ext, vec![7]), t(1)) {
+            NatVerdict::Hairpin(p) => {
+                assert_eq!(p.dst, b, "delivered to B's internal endpoint");
+                assert_eq!(p.src, a, "internal source leaks, as monolithic");
+            }
+            v => panic!("expected cross-shard hairpin, got {v:?}"),
+        }
+        assert_eq!(s.merged_stats().hairpins, 1);
+
+        // Source-rewrite variant hides the internal endpoint — also
+        // identical to the monolithic device's behaviour.
+        let mut cfg_rw = cfg.clone();
+        cfg_rw.hairpin_internal_source = false;
+        let mut s = ShardedNat::new(cfg_rw, pool(4), 4, 7);
+        s.set_cross_shard_hairpin(true);
+        let (a, b) = hosts_in_different_shards(&s);
+        let b_ext = match s.process_outbound(Packet::udp(b, server(), vec![]), t(0)) {
+            NatVerdict::Forward(p) => p.src,
+            v => panic!("{v:?}"),
+        };
+        match s.process_outbound(Packet::udp(a, b_ext, vec![7]), t(1)) {
+            NatVerdict::Hairpin(p) => {
+                assert!(s.is_external_ip(p.src.ip), "source rewritten to the pool");
+                assert_ne!(p.src, a);
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_shard_hairpin_respects_filtering_and_config() {
+        // APDF filtering (cgn_default): B never contacted A's external
+        // endpoint, so the loopback is filtered — exactly what the
+        // monolithic device does.
+        let mut s = ShardedNat::new(NatConfig::cgn_default(), pool(4), 4, 7);
+        s.set_cross_shard_hairpin(true);
+        let (a, b) = hosts_in_different_shards(&s);
+        let b_ext = match s.process_outbound(Packet::udp(b, server(), vec![]), t(0)) {
+            NatVerdict::Forward(p) => p.src,
+            v => panic!("{v:?}"),
+        };
+        assert_eq!(
+            s.process_outbound(Packet::udp(a, b_ext, vec![]), t(1)),
+            NatVerdict::Drop(crate::nat::DropReason::Filtered)
+        );
+
+        // Hairpinning disabled in the NAT config: the loopback path is
+        // taken but the owner shard drops, as a monolithic Nat would.
+        let mut cfg = NatConfig::cgn_default();
+        cfg.hairpinning = false;
+        let mut s = ShardedNat::new(cfg, pool(4), 4, 7);
+        s.set_cross_shard_hairpin(true);
+        let (a, b) = hosts_in_different_shards(&s);
+        let b_ext = match s.process_outbound(Packet::udp(b, server(), vec![]), t(0)) {
+            NatVerdict::Forward(p) => p.src,
+            v => panic!("{v:?}"),
+        };
+        assert_eq!(
+            s.process_outbound(Packet::udp(a, b_ext, vec![]), t(1)),
+            NatVerdict::Drop(crate::nat::DropReason::NoHairpin)
+        );
+    }
+
+    #[test]
+    fn cross_shard_loopback_passes_icmp_through_unmodified() {
+        // Router-originated ICMP addressed to a pool IP forwards
+        // untranslated in a monolithic Nat; the loopback must not
+        // route it into the flow-only hairpin path (which would
+        // panic on a protocol-less packet).
+        let mut s = ShardedNat::new(NatConfig::cgn_default(), pool(4), 4, 7);
+        s.set_cross_shard_hairpin(true);
+        let (a, b) = hosts_in_different_shards(&s);
+        let b_shard_ip = s.shards()[s.shard_of(b.ip)].external_ips()[0];
+        let orig = Packet::udp(a, server(), vec![]).with_ttl(1);
+        let mut icmp = orig.ttl_exceeded_reply(ip(100, 64, 255, 1));
+        icmp.dst = Endpoint::new(b_shard_ip, 0);
+        match s.process_outbound(icmp.clone(), t(0)) {
+            NatVerdict::Forward(p) => assert_eq!(p, icmp, "ICMP passes unmodified"),
+            v => panic!("expected ICMP pass-through, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_shard_loopback_disabled_keeps_multi_chassis_forwarding() {
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = crate::config::FilteringBehavior::EndpointIndependent;
+        let mut s = ShardedNat::new(cfg, pool(4), 4, 7);
+        let (a, b) = hosts_in_different_shards(&s);
+        let b_ext = match s.process_outbound(Packet::udp(b, server(), vec![]), t(0)) {
+            NatVerdict::Forward(p) => p.src,
+            v => panic!("{v:?}"),
+        };
+        // Default: the packet is translated and forwarded toward the
+        // core, like traffic between two chassis of a multi-box CGN.
+        match s.process_outbound(Packet::udp(a, b_ext, vec![]), t(1)) {
+            NatVerdict::Forward(p) => assert_eq!(p.dst, b_ext),
+            v => panic!("expected multi-chassis Forward, got {v:?}"),
+        }
+        assert_eq!(s.merged_stats().hairpins, 0);
     }
 
     /// Build the identical workload twice and compare batch-parallel

@@ -66,6 +66,7 @@
 //! bucket is drained.
 
 use crate::config::MappingBehavior;
+use crate::wheel::WheelGeometry;
 use netcore::{Endpoint, Protocol, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -273,6 +274,12 @@ const WHEEL_LEVELS: usize = 4;
 const WHEEL_BUCKETS: usize = 64;
 /// Millisecond shift per level: ~1 s, ~65 s, ~70 min, ~3 day buckets.
 const WHEEL_SHIFTS: [u32; WHEEL_LEVELS] = [10, 16, 22, 28];
+/// The shared placement/cascade arithmetic (see [`crate::wheel`]) at
+/// this wheel's shape.
+const WHEEL_GEOM: WheelGeometry = WheelGeometry {
+    shifts: &WHEEL_SHIFTS,
+    buckets: &[WHEEL_BUCKETS as u64; WHEEL_LEVELS],
+};
 
 #[derive(Debug, Clone, Copy)]
 struct TimerEntry {
@@ -308,22 +315,13 @@ impl TimerWheel {
         }
     }
 
-    /// Bucket for a deadline, relative to the current horizon. Already
-    /// -due deadlines park in the horizon's own level-0 bucket, which
-    /// the next advance drains first.
+    /// Flat bucket index for a deadline, relative to the current
+    /// horizon — the shared [`WheelGeometry::place`] arithmetic
+    /// (already-due deadlines park in the horizon's own level-0
+    /// bucket; beyond-span deadlines park farthest and re-cascade).
     fn place(&self, deadline_ms: u64) -> usize {
-        if deadline_ms <= self.horizon_ms {
-            return ((self.horizon_ms >> WHEEL_SHIFTS[0]) & 63) as usize;
-        }
-        for (level, &shift) in WHEEL_SHIFTS.iter().enumerate() {
-            if (deadline_ms >> shift) - (self.horizon_ms >> shift) < WHEEL_BUCKETS as u64 {
-                return level * WHEEL_BUCKETS + ((deadline_ms >> shift) & 63) as usize;
-            }
-        }
-        // Beyond the top level's span (> ~200 days out): park in the
-        // farthest top-level bucket; it re-cascades as the wheel turns.
-        let top = WHEEL_SHIFTS[WHEEL_LEVELS - 1];
-        (WHEEL_LEVELS - 1) * WHEEL_BUCKETS + (((self.horizon_ms >> top) + 63) & 63) as usize
+        let (level, bucket) = WHEEL_GEOM.place(self.horizon_ms, deadline_ms);
+        level * WHEEL_BUCKETS + bucket
     }
 
     fn schedule(&mut self, slot: u32, gen: u32, seq: u32, deadline_ms: u64) {
@@ -713,16 +711,11 @@ impl MappingStore {
         for tick in start..=end {
             if tick != start {
                 self.wheel.horizon_ms = tick << WHEEL_SHIFTS[0];
-                // Crossing into a new bucket: cascade any level that
-                // wrapped, highest first so entries settle downward.
-                if tick & 63 == 0 {
-                    if tick & 0x3_FFFF == 0 {
-                        self.wheel.cascade(3, ((tick >> 18) & 63) as usize);
-                    }
-                    if tick & 0xFFF == 0 {
-                        self.wheel.cascade(2, ((tick >> 12) & 63) as usize);
-                    }
-                    self.wheel.cascade(1, ((tick >> 6) & 63) as usize);
+                // Crossing into a new bucket: cascade every level that
+                // wrapped, highest first so entries settle downward
+                // (the shared schedule of [`WheelGeometry::cascades`]).
+                for (level, bucket) in WHEEL_GEOM.cascades(tick) {
+                    self.wheel.cascade(level, bucket);
                 }
             }
             let bucket = (tick & 63) as usize;

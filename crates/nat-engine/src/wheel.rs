@@ -1,0 +1,153 @@
+//! Shared hierarchical-timer-wheel arithmetic.
+//!
+//! The engine grew two hand-rolled hierarchical wheels with different
+//! contracts: the store's expiry wheel (`nat_engine::store`, ~1 s
+//! level-0 buckets, lazy rescheduling, generation+sequence authority)
+//! and the traffic driver's event wheel (`cgn_traffic::wheel`,
+//! millisecond-exact, `(time, seq)` total order). Their *storage and
+//! draining* policies genuinely differ, but the boundary-bug-prone
+//! core — which bucket a deadline parks in relative to the current
+//! horizon, and which higher-level buckets must cascade downward when
+//! the horizon crosses a level boundary — was duplicated. This module
+//! keeps exactly one copy of that arithmetic, parameterized by a
+//! [`WheelGeometry`]: per-level bit shifts (a level-`l` bucket spans
+//! `2^shifts[l]` milliseconds) and per-level bucket counts (powers of
+//! two).
+//!
+//! Both wheels instantiate it:
+//!
+//! * store expiry wheel — `shifts [10, 16, 22, 28]`, `64` buckets per
+//!   level (~1 s / ~65 s / ~70 min / ~3 day buckets);
+//! * driver event wheel — `shifts [0, 8, 14, 20]`, buckets
+//!   `[256, 64, 64, 64]` (1 ms exact at level 0, ~0.25 s / ~16 s /
+//!   ~17.5 min above).
+//!
+//! The refactor is arithmetic-only: bucket indices and cascade
+//! schedules are bit-identical to the previous hand-rolled versions,
+//! so run digests are unchanged (the driver's determinism cross-checks
+//! and the store's slab-vs-reference differential test both pin this).
+
+/// Shape of a hierarchical wheel: `shifts[l]` is the log2 bucket span
+/// of level `l` in milliseconds (strictly increasing), `buckets[l]`
+/// the number of buckets on that level (a power of two).
+#[derive(Debug, Clone, Copy)]
+pub struct WheelGeometry {
+    pub shifts: &'static [u32],
+    pub buckets: &'static [u64],
+}
+
+impl WheelGeometry {
+    /// `(level, bucket-within-level)` where a deadline parks, given the
+    /// wheel's current horizon:
+    ///
+    /// * already-due deadlines (`deadline <= horizon`) park in the
+    ///   horizon's own level-0 bucket, which the next advance drains
+    ///   first;
+    /// * a deadline within level `l`'s span relative to the horizon
+    ///   parks at `(deadline >> shifts[l]) & (buckets[l] - 1)`;
+    /// * a deadline beyond the top level's span parks in the farthest
+    ///   top-level bucket and re-cascades as the wheel turns.
+    pub fn place(&self, horizon: u64, deadline: u64) -> (usize, usize) {
+        let d = deadline.max(horizon);
+        for (level, &shift) in self.shifts.iter().enumerate() {
+            if (d >> shift) - (horizon >> shift) < self.buckets[level] {
+                return (level, ((d >> shift) & (self.buckets[level] - 1)) as usize);
+            }
+        }
+        let top = self.shifts.len() - 1;
+        let n = self.buckets[top];
+        (
+            top,
+            (((horizon >> self.shifts[top]) + (n - 1)) & (n - 1)) as usize,
+        )
+    }
+
+    /// The higher-level buckets that must be redistributed downward
+    /// when the wheel's horizon crosses level-0 tick `tick`
+    /// (`tick = horizon >> shifts[0]`), yielded **highest level
+    /// first** so entries settle downward through every level they
+    /// pass. Level `l` wraps every `2^(shifts[l] - shifts[0])` ticks;
+    /// off-boundary ticks yield nothing.
+    pub fn cascades(&self, tick: u64) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (1..self.shifts.len()).rev().filter_map(move |level| {
+            let rel = self.shifts[level] - self.shifts[0];
+            if tick & ((1u64 << rel) - 1) != 0 {
+                return None;
+            }
+            Some((level, ((tick >> rel) & (self.buckets[level] - 1)) as usize))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The store wheel's shape.
+    const STORE: WheelGeometry = WheelGeometry {
+        shifts: &[10, 16, 22, 28],
+        buckets: &[64, 64, 64, 64],
+    };
+    /// The driver wheel's shape.
+    const DRIVER: WheelGeometry = WheelGeometry {
+        shifts: &[0, 8, 14, 20],
+        buckets: &[256, 64, 64, 64],
+    };
+
+    #[test]
+    fn due_and_past_deadlines_park_at_the_horizon() {
+        let h = 70_000; // horizon 70 s
+        for d in [0, 69_999, 70_000] {
+            assert_eq!(STORE.place(h, d), (0, ((h >> 10) & 63) as usize));
+            assert_eq!(DRIVER.place(h, d.min(h)), (0, (h & 255) as usize));
+        }
+    }
+
+    #[test]
+    fn levels_match_the_hand_rolled_spans() {
+        // Store: level 0 spans 64 × 2^10 ms from the horizon.
+        assert_eq!(STORE.place(0, 60_000).0, 0);
+        assert_eq!(STORE.place(0, 66_000).0, 1); // past 2^16 = 65 536 ms
+        assert_eq!(STORE.place(0, 5_000_000).0, 2); // ~83 min window
+        assert_eq!(STORE.place(0, 400_000_000).0, 3);
+        // Driver: 256 ms exact at level 0, then 2^8 / 2^14 / 2^20 ms.
+        assert_eq!(DRIVER.place(0, 255), (0, 255));
+        assert_eq!(DRIVER.place(0, 256).0, 1);
+        assert_eq!(DRIVER.place(0, 20_000).0, 2);
+        assert_eq!(DRIVER.place(0, 2_000_000).0, 3);
+        // Bucket index is the shifted deadline masked by the level size.
+        assert_eq!(DRIVER.place(0, 300), (1, (300 >> 8) & 63));
+        assert_eq!(STORE.place(0, 66_000), (1, ((66_000 >> 16) & 63)));
+    }
+
+    #[test]
+    fn beyond_top_span_parks_farthest() {
+        // ~200 days out for the store wheel: farthest top-level bucket
+        // relative to the horizon.
+        let h = 1_000_000u64;
+        let far = u64::MAX / 2;
+        let (level, bucket) = STORE.place(h, far);
+        assert_eq!(level, 3);
+        assert_eq!(bucket, (((h >> 28) + 63) & 63) as usize);
+    }
+
+    #[test]
+    fn cascade_schedule_matches_level_periods() {
+        // Store ticks are 2^10 ms; level 1 wraps every 64 ticks,
+        // level 2 every 4096, level 3 every 2^18.
+        assert_eq!(STORE.cascades(63).count(), 0);
+        let l1: Vec<_> = STORE.cascades(64).collect();
+        assert_eq!(l1, vec![(1, 1)]);
+        let l12: Vec<_> = STORE.cascades(4096).collect();
+        assert_eq!(l12, vec![(2, 1), (1, 0)], "highest level first");
+        let l123: Vec<_> = STORE.cascades(1 << 18).collect();
+        assert_eq!(l123, vec![(3, 1), (2, 0), (1, 0)]);
+        // Driver ticks are 1 ms; level 1 wraps every 256 ticks.
+        assert_eq!(DRIVER.cascades(255).count(), 0);
+        assert_eq!(DRIVER.cascades(256).collect::<Vec<_>>(), vec![(1, 1)]);
+        assert_eq!(
+            DRIVER.cascades(1 << 14).collect::<Vec<_>>(),
+            vec![(2, 1), (1, 0)]
+        );
+    }
+}

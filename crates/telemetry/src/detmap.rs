@@ -1,0 +1,169 @@
+//! Attribution for deterministic NAT (RFC 7422): compute, don't log.
+//!
+//! Under [`nat_engine::config::PortAllocation::Deterministic`] the
+//! engine derives each subscriber's external IP and port block from
+//! its internal address ([`nat_engine::ports::deterministic_block`]),
+//! so the traceability log is **empty** — the operator answers abuse
+//! queries by inverting the provisioning function. [`DeterministicMap`]
+//! is that inverse for one engine's pool (one shard of a sharded
+//! deployment): the forward arithmetic round-robins subscriber
+//! ordinals across the pool and then across each address's blocks, so
+//! a `(pool index, block)` pair maps back to a unique ordinal residue
+//! class; provisioned populations (`pool × blocks ≥ subscribers`) make
+//! the class a single subscriber.
+
+use nat_engine::ports::{det_ordinal, deterministic_block};
+use netcore::Endpoint;
+use std::net::Ipv4Addr;
+
+/// The provisioning view of one deterministic-NAT engine: its external
+/// pool (in engine order), port range and per-subscriber block size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeterministicMap {
+    pool: Vec<Ipv4Addr>,
+    range: (u16, u16),
+    ports_per_host: u16,
+}
+
+impl DeterministicMap {
+    pub fn new(pool: Vec<Ipv4Addr>, range: (u16, u16), ports_per_host: u16) -> DeterministicMap {
+        assert!(!pool.is_empty(), "deterministic map needs a pool");
+        assert!(ports_per_host > 0);
+        DeterministicMap {
+            pool,
+            range,
+            ports_per_host,
+        }
+    }
+
+    fn blocks_per_ip(&self) -> u64 {
+        let capacity = (self.range.1 - self.range.0) as u64 + 1;
+        (capacity / self.ports_per_host as u64).max(1)
+    }
+
+    /// Subscriber slots this pool provisions collision-free.
+    pub fn capacity_subscribers(&self) -> u64 {
+        self.pool.len() as u64 * self.blocks_per_ip()
+    }
+
+    /// Forward arithmetic: the `(external IP, block start, block len)`
+    /// a subscriber's flows use — identical to what the engine
+    /// computes.
+    pub fn external_block(&self, subscriber: Ipv4Addr) -> (Ipv4Addr, u16, u16) {
+        let (ip_index, start, len) =
+            deterministic_block(subscriber, self.pool.len(), self.range, self.ports_per_host);
+        (self.pool[ip_index], start, len)
+    }
+
+    /// Invert an abuse probe: the subscriber whose computed block
+    /// contains `external`, searched over the subscriber address plan
+    /// `base + 0..count` (the provisioning table a real operator would
+    /// consult), filtered by `admitted` (e.g. "is this subscriber
+    /// behind this shard?"). Returns the first admitted candidate that
+    /// forward-verifies; provisioned populations have at most one.
+    pub fn subscriber_for(
+        &self,
+        external: Endpoint,
+        base: Ipv4Addr,
+        count: u32,
+        admitted: impl Fn(Ipv4Addr) -> bool,
+    ) -> Option<Ipv4Addr> {
+        if external.port < self.range.0 || external.port > self.range.1 {
+            return None;
+        }
+        let ip_index = self.pool.iter().position(|ip| *ip == external.ip)? as u64;
+        let pph = self.ports_per_host as u64;
+        let block_within = (external.port - self.range.0) as u64 / pph;
+        let n = self.pool.len() as u64;
+        let class_step = n * self.blocks_per_ip();
+        // Ordinals congruent to this (pool, block) pair: the base
+        // ordinal plus whole laps of the provisioning table. `base`'s
+        // own /10 offset shifts which addresses land on which ordinal.
+        let base_ordinal = det_ordinal(base);
+        let first = ip_index + n * block_within;
+        let mut ordinal = first;
+        while ordinal < base_ordinal + count as u64 {
+            if ordinal >= base_ordinal {
+                let candidate =
+                    Ipv4Addr::from(u32::from(base).wrapping_add((ordinal - base_ordinal) as u32));
+                if admitted(candidate) {
+                    let (ip, start, len) = self.external_block(candidate);
+                    if ip == external.ip
+                        && external.port >= start
+                        && (external.port as u32) < start as u32 + len as u32
+                    {
+                        return Some(candidate);
+                    }
+                }
+            }
+            ordinal += class_step;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+
+    fn map() -> DeterministicMap {
+        DeterministicMap::new(
+            vec![ip(198, 18, 0, 1), ip(198, 18, 0, 2)],
+            (1024, 65535),
+            256,
+        )
+    }
+
+    #[test]
+    fn forward_and_inverse_round_trip() {
+        let m = map();
+        let base = ip(100, 64, 0, 0);
+        assert!(m.capacity_subscribers() >= 500);
+        for k in 0..500u32 {
+            let sub = Ipv4Addr::from(u32::from(base) + k);
+            let (ext_ip, start, len) = m.external_block(sub);
+            // Probe a port in the middle of the computed block.
+            let probe = Endpoint::new(ext_ip, start + len / 2);
+            assert_eq!(
+                m.subscriber_for(probe, base, 500, |_| true),
+                Some(sub),
+                "subscriber {k} must invert exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_out_of_plan_probes() {
+        let m = map();
+        let base = ip(100, 64, 0, 0);
+        // Unknown pool address.
+        assert_eq!(
+            m.subscriber_for(Endpoint::new(ip(9, 9, 9, 9), 2000), base, 100, |_| true),
+            None
+        );
+        // Port outside the managed range.
+        assert_eq!(
+            m.subscriber_for(Endpoint::new(ip(198, 18, 0, 1), 80), base, 100, |_| true),
+            None
+        );
+        // Block provisioned beyond the population: no candidate.
+        let (ext_ip, start, _) = m.external_block(Ipv4Addr::from(u32::from(base) + 90));
+        assert_eq!(
+            m.subscriber_for(Endpoint::new(ext_ip, start), base, 10, |_| true),
+            None,
+            "candidate ordinal past the population is rejected"
+        );
+    }
+
+    #[test]
+    fn admission_filter_narrows_the_candidate_class() {
+        let m = map();
+        let base = ip(100, 64, 0, 0);
+        let sub = Ipv4Addr::from(u32::from(base) + 7);
+        let (ext_ip, start, _) = m.external_block(sub);
+        let probe = Endpoint::new(ext_ip, start);
+        assert_eq!(m.subscriber_for(probe, base, 100, |c| c == sub), Some(sub));
+        assert_eq!(m.subscriber_for(probe, base, 100, |c| c != sub), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! The engine-facing sink: NAT events in, binary log bytes out.
+
+use crate::codec::EventLog;
+use nat_engine::telemetry::{BlockEvent, EventSink, MappingEvent, TelemetryMode};
+use std::any::Any;
+
+/// An [`EventSink`] that encodes the events its [`TelemetryMode`]
+/// selects into an append-only [`EventLog`]:
+///
+/// * [`TelemetryMode::PerConnection`] — mapping create/expire pairs
+///   (block events ignored): the volume-heavy policy;
+/// * [`TelemetryMode::PerBlock`] — block allocate/release pairs
+///   (mapping events ignored): bulk port-block logging;
+/// * [`TelemetryMode::Off`] — records nothing (normally no sink is
+///   installed at all in this mode; accepting it keeps callers total).
+///
+/// One sink per engine shard; the shard's worker thread owns it, so no
+/// synchronization is involved and per-shard logs are deterministic
+/// for any worker-thread count.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BinaryLogSink {
+    mode: TelemetryMode,
+    log: EventLog,
+}
+
+impl BinaryLogSink {
+    pub fn new(mode: TelemetryMode) -> BinaryLogSink {
+        BinaryLogSink {
+            mode,
+            log: EventLog::new(),
+        }
+    }
+
+    pub fn mode(&self) -> TelemetryMode {
+        self.mode
+    }
+
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Consume the sink, keeping its log.
+    pub fn into_log(self) -> EventLog {
+        self.log
+    }
+
+    /// Recover a `BinaryLogSink` from the boxed trait object the
+    /// engine hands back (`Nat::take_sink`).
+    pub fn from_sink(sink: Box<dyn EventSink>) -> Option<BinaryLogSink> {
+        sink.into_any().downcast::<BinaryLogSink>().ok().map(|b| *b)
+    }
+}
+
+impl EventSink for BinaryLogSink {
+    fn mapping_created(&mut self, event: &MappingEvent) {
+        if self.mode == TelemetryMode::PerConnection {
+            self.log
+                .map_create(event.at, event.internal.ip, event.proto, event.external);
+        }
+    }
+
+    fn mapping_expired(&mut self, event: &MappingEvent) {
+        if self.mode == TelemetryMode::PerConnection {
+            self.log.map_expire(event.at, event.proto, event.external);
+        }
+    }
+
+    fn block_allocated(&mut self, event: &BlockEvent) {
+        if self.mode == TelemetryMode::PerBlock {
+            self.log.block_alloc(
+                event.at,
+                event.subscriber,
+                event.proto,
+                event.ext_ip,
+                event.block_start,
+                event.block_len,
+            );
+        }
+    }
+
+    fn block_released(&mut self, event: &BlockEvent) {
+        if self.mode == TelemetryMode::PerBlock {
+            self.log
+                .block_release(event.at, event.proto, event.ext_ip, event.block_start);
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::{ip, Endpoint, Protocol, SimTime};
+
+    fn mapping_event(port: u16) -> MappingEvent {
+        MappingEvent {
+            at: SimTime::from_secs(1),
+            proto: Protocol::Udp,
+            internal: Endpoint::new(ip(100, 64, 0, 1), 40_000),
+            external: Endpoint::new(ip(198, 51, 100, 1), port),
+        }
+    }
+
+    fn block_event() -> BlockEvent {
+        BlockEvent {
+            at: SimTime::from_secs(1),
+            proto: Protocol::Udp,
+            subscriber: ip(100, 64, 0, 1),
+            ext_ip: ip(198, 51, 100, 1),
+            block_start: 2048,
+            block_len: 512,
+        }
+    }
+
+    #[test]
+    fn mode_selects_what_gets_encoded() {
+        let mut per_conn = BinaryLogSink::new(TelemetryMode::PerConnection);
+        per_conn.mapping_created(&mapping_event(1024));
+        per_conn.block_allocated(&block_event());
+        assert_eq!(per_conn.log().records(), 1, "block event filtered out");
+
+        let mut per_block = BinaryLogSink::new(TelemetryMode::PerBlock);
+        per_block.mapping_created(&mapping_event(1024));
+        per_block.block_allocated(&block_event());
+        assert_eq!(per_block.log().records(), 1, "mapping event filtered out");
+
+        let mut off = BinaryLogSink::new(TelemetryMode::Off);
+        off.mapping_created(&mapping_event(1024));
+        off.block_allocated(&block_event());
+        assert!(off.log().is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_the_engine_trait_object() {
+        let mut sink: Box<dyn EventSink> =
+            Box::new(BinaryLogSink::new(TelemetryMode::PerConnection));
+        sink.mapping_created(&mapping_event(1024));
+        sink.mapping_expired(&mapping_event(1024));
+        let back = BinaryLogSink::from_sink(sink).expect("downcast");
+        assert_eq!(back.log().records(), 2);
+        assert_eq!(back.mode(), TelemetryMode::PerConnection);
+    }
+}

@@ -22,8 +22,11 @@
 use crate::modulation::Modulation;
 use crate::wheel::EventWheel;
 use crate::workload::{AppProfile, WorkloadMix};
+use analysis::log_volume;
 use analysis::port_demand::{self, DemandSeries, PortDemandReport, ShardDemand, ShardLoad};
+use cgn_telemetry::{BinaryLogSink, EventLog};
 use nat_engine::sharded::{mix64, scatter};
+use nat_engine::telemetry::TelemetryMode;
 use nat_engine::{Nat, NatConfig, NatStats, NatVerdict, ShardedNat, StoreOccupancy};
 use netcore::{Endpoint, Packet, SimTime, TcpFlags};
 use rand::rngs::StdRng;
@@ -58,6 +61,11 @@ pub struct DriverConfig {
     /// Mapping-sweep cadence (an epoch barrier exercising `Nat::sweep`
     /// at scale).
     pub sweep_secs: u64,
+    /// Traceability logging: `Off` installs no sink (the zero-cost
+    /// default); `PerConnection`/`PerBlock` install one
+    /// [`BinaryLogSink`] per shard and surface the volume in
+    /// [`RunSummary::telemetry`] (raw logs via [`run_with_logs`]).
+    pub telemetry: TelemetryMode,
     pub seed: u64,
 }
 
@@ -75,7 +83,45 @@ impl DriverConfig {
             duration_secs: 1_200,
             sample_secs: 60,
             sweep_secs: 30,
+            telemetry: TelemetryMode::Off,
             seed,
+        }
+    }
+}
+
+/// Aggregate logging volume of one run (zeros when telemetry is off).
+/// Thread-count invariant like every other summary field: per-shard
+/// logs are owned by their shard, so sums depend only on the
+/// configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    pub mode: TelemetryMode,
+    /// Semantic records across all shard logs.
+    pub records: u64,
+    /// Encoded bytes across all shard logs.
+    pub bytes: u64,
+    /// The operator-budget normalization (`analysis::log_volume`).
+    pub bytes_per_subscriber_day: f64,
+}
+
+impl TelemetrySummary {
+    fn from_logs(
+        mode: TelemetryMode,
+        logs: &[EventLog],
+        subscribers: u64,
+        duration_secs: u64,
+    ) -> TelemetrySummary {
+        let records = logs.iter().map(EventLog::records).sum();
+        let bytes = logs.iter().map(EventLog::len_bytes).sum();
+        TelemetrySummary {
+            mode,
+            records,
+            bytes,
+            bytes_per_subscriber_day: log_volume::bytes_per_subscriber_day(
+                bytes,
+                subscribers,
+                duration_secs,
+            ),
         }
     }
 }
@@ -107,6 +153,8 @@ pub struct RunSummary {
     /// Per-shard flow and peak-mapping distribution — the
     /// load-imbalance observable for heavy-tailed mixes.
     pub shard_load: ShardLoad,
+    /// Traceability-log volume (zeros when telemetry is off).
+    pub telemetry: TelemetrySummary,
     /// Demand time series (merged across shards at each barrier).
     pub series: DemandSeries,
     /// Ports-per-subscriber distribution at the peak sample (sorted).
@@ -249,14 +297,35 @@ impl ShardState {
     }
 }
 
-/// Shared address plan: subscriber internal IPs in `100.64/10`
-/// (RFC 6598), pool IPs in `198.18/15` (benchmark range).
-fn subscriber_ip(idx: u32) -> Ipv4Addr {
-    Ipv4Addr::from(u32::from(Ipv4Addr::new(100, 64, 0, 0)) + idx)
+/// Base of the subscriber address plan (RFC 6598 shared space).
+pub const SUBSCRIBER_BASE: Ipv4Addr = Ipv4Addr::new(100, 64, 0, 0);
+
+/// Shared address plan: subscriber `idx` lives at `100.64/10 + idx`
+/// (RFC 6598); pool IPs sit in `198.18/15` (benchmark range). Public
+/// so attribution tooling (deterministic-NAT inversion, probe
+/// construction) can reconstruct the provisioning table.
+pub fn subscriber_ip(idx: u32) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(SUBSCRIBER_BASE) + idx)
 }
 
 fn pool_ip(shard: u16, k: u16) -> Ipv4Addr {
     Ipv4Addr::from(u32::from(Ipv4Addr::new(198, 18, 0, 0)) + (shard as u32) * 256 + k as u32)
+}
+
+/// The external pool owned by one shard of a run with this
+/// configuration, in the shard's own allocation order — the
+/// deployment knowledge a traceability query needs (deterministic-NAT
+/// inversion resolves against exactly this list).
+pub fn shard_pool(config: &DriverConfig, shard: u16) -> Vec<Ipv4Addr> {
+    (0..config.external_ips_per_shard)
+        .map(|k| pool_ip(shard, k))
+        .collect()
+}
+
+/// The shard a subscriber is admitted to under this configuration
+/// (the driver's stable host hash).
+pub fn shard_of_subscriber(config: &DriverConfig, idx: u32) -> u16 {
+    (mix64(u32::from(subscriber_ip(idx)) as u64) % config.shards as u64) as u16
 }
 
 /// Per-class destination universes live in distinct public /8-ish
@@ -476,6 +545,13 @@ where
 
 /// Run one workload against a freshly-built sharded CGN.
 pub fn run(config: &DriverConfig) -> RunSummary {
+    run_with_logs(config).0
+}
+
+/// [`run`], additionally returning the per-shard traceability logs
+/// (empty when [`DriverConfig::telemetry`] is `Off`) — the input to
+/// `cgn_telemetry::TraceIndex` queries.
+pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
     assert!(config.subscribers > 0, "need at least one subscriber");
     assert!(config.shards > 0, "need at least one shard");
     assert!(
@@ -497,6 +573,13 @@ pub fn run(config: &DriverConfig) -> RunSummary {
         }
     }
     let mut sharded = ShardedNat::new(config.nat.clone(), pool, config.shards, config.seed);
+    if config.telemetry != TelemetryMode::Off {
+        sharded.set_sinks(
+            (0..config.shards)
+                .map(|_| Box::new(BinaryLogSink::new(config.telemetry)) as _)
+                .collect(),
+        );
+    }
 
     // Admit every subscriber to its shard with a fresh RNG stream and
     // a staggered first arrival.
@@ -575,6 +658,27 @@ pub fn run(config: &DriverConfig) -> RunSummary {
         flows_completed += st.flows_completed;
         packets_sent += st.packets_sent;
     }
+    // Recover the per-shard logs (shard order) before reading stats.
+    let logs: Vec<EventLog> = if config.telemetry != TelemetryMode::Off {
+        sharded
+            .take_sinks()
+            .into_iter()
+            .map(|sink| {
+                sink.and_then(BinaryLogSink::from_sink)
+                    .map(BinaryLogSink::into_log)
+                    .unwrap_or_default()
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let telemetry = TelemetrySummary::from_logs(
+        config.telemetry,
+        &logs,
+        config.subscribers as u64,
+        config.duration_secs,
+    );
+
     let stats = sharded.merged_stats();
     let store = sharded.store_occupancy();
     let shard_load = ShardLoad::from_per_shard(
@@ -596,7 +700,7 @@ pub fn run(config: &DriverConfig) -> RunSummary {
         usable_ports_per_ip,
     );
 
-    RunSummary {
+    let summary = RunSummary {
         mix_name: config.mix.name.clone(),
         subscribers: config.subscribers,
         shards: config.shards,
@@ -608,10 +712,12 @@ pub fn run(config: &DriverConfig) -> RunSummary {
         stats,
         store,
         shard_load,
+        telemetry,
         series,
         peak_ports_per_subscriber: peak_dist,
         report,
-    }
+    };
+    (summary, logs)
 }
 
 #[cfg(test)]
@@ -776,6 +882,126 @@ mod tests {
             "256 ports cannot hold p2p load"
         );
         assert!(s.report.worst_ip_utilization > 0.95);
+    }
+
+    #[test]
+    fn telemetry_off_by_default_and_summary_zero() {
+        let cfg = small(WorkloadMix::residential_evening(), 7);
+        assert_eq!(cfg.telemetry, nat_engine::telemetry::TelemetryMode::Off);
+        let (s, logs) = run_with_logs(&cfg);
+        assert!(logs.is_empty());
+        assert_eq!(s.telemetry, TelemetrySummary::default());
+    }
+
+    #[test]
+    fn per_connection_logs_match_engine_counters() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 7);
+        cfg.telemetry = nat_engine::telemetry::TelemetryMode::PerConnection;
+        let (s, logs) = run_with_logs(&cfg);
+        assert_eq!(logs.len(), cfg.shards as usize, "one log per shard");
+        assert_eq!(
+            s.telemetry.records,
+            s.stats.mappings_created + s.stats.mappings_expired,
+            "every create/expire is one record"
+        );
+        assert!(s.telemetry.bytes > 0);
+        assert!(s.telemetry.bytes_per_subscriber_day > 0.0);
+        // The summary is exactly the logs' aggregate.
+        assert_eq!(
+            s.telemetry.bytes,
+            logs.iter().map(|l| l.len_bytes()).sum::<u64>()
+        );
+        // The telemetry-on run produces the same traffic outcome as
+        // the telemetry-off run (observation only).
+        let mut off = cfg.clone();
+        off.telemetry = nat_engine::telemetry::TelemetryMode::Off;
+        let off_run = run(&off);
+        assert_eq!(off_run.stats, s.stats);
+        assert_eq!(off_run.series, s.series);
+    }
+
+    #[test]
+    fn block_logs_undercut_connection_logs_on_the_same_workload() {
+        let mut cfg = small(WorkloadMix::p2p_heavy(), 5);
+        cfg.telemetry = nat_engine::telemetry::TelemetryMode::PerConnection;
+        let per_conn = run(&cfg).telemetry;
+        cfg.nat.port_alloc = nat_engine::PortAllocation::PortBlock { block_size: 512 };
+        cfg.telemetry = nat_engine::telemetry::TelemetryMode::PerBlock;
+        let per_block = run(&cfg).telemetry;
+        assert!(per_block.records > 0, "block churn must be logged");
+        assert!(
+            per_block.bytes * 10 < per_conn.bytes,
+            "block log ({} B) must be at least 10x smaller than \
+             per-connection ({} B)",
+            per_block.bytes,
+            per_conn.bytes
+        );
+    }
+
+    /// The satellite determinism property: traceability logs are part
+    /// of the run's deterministic output — bit-identical for every
+    /// worker-thread count.
+    #[test]
+    fn logs_bit_identical_across_thread_counts() {
+        for mode in [
+            nat_engine::telemetry::TelemetryMode::PerConnection,
+            nat_engine::telemetry::TelemetryMode::PerBlock,
+        ] {
+            let mut cfg = small(WorkloadMix::residential_evening(), 31);
+            cfg.shards = 4;
+            cfg.telemetry = mode;
+            if mode == nat_engine::telemetry::TelemetryMode::PerBlock {
+                cfg.nat.port_alloc = nat_engine::PortAllocation::PortBlock { block_size: 256 };
+            }
+            cfg.threads = 1;
+            let (seq_summary, seq_logs) = run_with_logs(&cfg);
+            for threads in [2, 5] {
+                cfg.threads = threads;
+                let (par_summary, par_logs) = run_with_logs(&cfg);
+                assert_eq!(seq_summary, par_summary, "{mode:?} threads={threads}");
+                assert_eq!(
+                    seq_logs.len(),
+                    par_logs.len(),
+                    "{mode:?}: one log per shard"
+                );
+                for (shard, (a, b)) in seq_logs.iter().zip(&par_logs).enumerate() {
+                    assert_eq!(
+                        a.bytes(),
+                        b.bytes(),
+                        "{mode:?} shard {shard} log diverged at threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_pool_and_subscriber_plan_match_the_engine() {
+        let mut cfg = small(WorkloadMix::iot_fleet(), 3);
+        cfg.shards = 3;
+        cfg.external_ips_per_shard = 2;
+        // Reconstruct the pools the way run() builds them and compare
+        // against ShardedNat's round-robin ownership.
+        let mut pool: Vec<Ipv4Addr> = Vec::new();
+        for k in 0..cfg.external_ips_per_shard {
+            for s in 0..cfg.shards {
+                pool.push(super::pool_ip(s, k));
+            }
+        }
+        let sharded = ShardedNat::new(cfg.nat.clone(), pool, cfg.shards, cfg.seed);
+        for shard in 0..cfg.shards {
+            assert_eq!(
+                shard_pool(&cfg, shard),
+                sharded.shards()[shard as usize].external_ips(),
+                "shard {shard} pool reconstruction"
+            );
+        }
+        for idx in [0u32, 1, 7, 250] {
+            assert_eq!(
+                shard_of_subscriber(&cfg, idx) as usize,
+                sharded.shard_of(subscriber_ip(idx)),
+            );
+        }
     }
 
     proptest! {

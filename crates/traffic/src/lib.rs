@@ -59,6 +59,9 @@ pub mod modulation;
 mod wheel;
 pub mod workload;
 
-pub use driver::{run, DriverConfig, RunSummary};
+pub use driver::{
+    run, run_with_logs, shard_of_subscriber, shard_pool, subscriber_ip, DriverConfig, RunSummary,
+    TelemetrySummary,
+};
 pub use modulation::{DiurnalCurve, FlashCrowd, Modulation};
 pub use workload::{AppParams, AppProfile, WorkloadMix};

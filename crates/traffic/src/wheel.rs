@@ -13,7 +13,11 @@
 //! 64 buckets of 2⁸, 2¹⁴ and 2²⁰ ms respectively (~0.25 s, ~16 s,
 //! ~17.5 min — spanning ~18.6 h, beyond every driver horizon; anything
 //! farther parks in the farthest level-3 bucket and re-cascades).
-//! Buckets cascade downward as the horizon advances.
+//! Buckets cascade downward as the horizon advances. The
+//! bucket-placement and cascade arithmetic is the shared
+//! [`nat_engine::wheel::WheelGeometry`] core, instantiated at this
+//! wheel's shape — the store's expiry wheel uses the same core at a
+//! coarser (~1 s level-0) shape.
 //!
 //! **Ordering guarantee:** [`EventWheel::next_bucket`] yields batches
 //! in strictly ascending millisecond order, each batch sorted by
@@ -23,13 +27,19 @@
 //! be strictly in the future (the driver's generators guarantee ≥ 1 ms
 //! gaps), which keeps the already-drained prefix immutable.
 
+use nat_engine::wheel::WheelGeometry;
+
 /// One scheduled event: `(at_ms, seq, payload)`.
 type Entry<T> = (u64, u64, T);
 
 const L0_BUCKETS: usize = 256;
 const UPPER_BUCKETS: usize = 64;
-/// Bit widths of levels 1–3 bucket spans.
-const UPPER_SHIFTS: [u32; 3] = [8, 14, 20];
+/// The shared placement/cascade arithmetic (see [`nat_engine::wheel`])
+/// at this wheel's shape: 1 ms exact at level 0, then 2⁸/2¹⁴/2²⁰ ms.
+const WHEEL_GEOM: WheelGeometry = WheelGeometry {
+    shifts: &[0, 8, 14, 20],
+    buckets: &[L0_BUCKETS as u64, 64, 64, 64],
+};
 
 #[derive(Debug)]
 pub(crate) struct EventWheel<T> {
@@ -57,17 +67,6 @@ impl<T> EventWheel<T> {
         self.len
     }
 
-    fn upper_index(&self, at_ms: u64) -> usize {
-        for (level, &shift) in UPPER_SHIFTS.iter().enumerate() {
-            if (at_ms >> shift) - (self.horizon_ms >> shift) < UPPER_BUCKETS as u64 {
-                return level * UPPER_BUCKETS + ((at_ms >> shift) & 63) as usize;
-            }
-        }
-        // Beyond the top span (> ~18.6 h out): park farthest, re-cascade.
-        let top = UPPER_SHIFTS[2];
-        2 * UPPER_BUCKETS + (((self.horizon_ms >> top) + 63) & 63) as usize
-    }
-
     /// Schedule `item` at `at_ms`. Must not be earlier than the wheel's
     /// horizon (the driver only schedules strictly-future events).
     pub fn push(&mut self, at_ms: u64, seq: u64, item: T) {
@@ -78,16 +77,19 @@ impl<T> EventWheel<T> {
         );
         let at_ms = at_ms.max(self.horizon_ms);
         self.len += 1;
-        if at_ms - self.horizon_ms < L0_BUCKETS as u64 {
-            self.l0[(at_ms & 255) as usize].push((at_ms, seq, item));
+        // Shared placement: level 0 is the exact-millisecond ring, the
+        // upper levels (and the beyond-span farthest-bucket fallback)
+        // coarsen toward ~17.5 min buckets.
+        let (level, bucket) = WHEEL_GEOM.place(self.horizon_ms, at_ms);
+        if level == 0 {
+            self.l0[bucket].push((at_ms, seq, item));
         } else {
-            let b = self.upper_index(at_ms);
-            self.upper[b].push((at_ms, seq, item));
+            self.upper[(level - 1) * UPPER_BUCKETS + bucket].push((at_ms, seq, item));
         }
     }
 
-    fn cascade(&mut self, bucket: usize) {
-        let drained = std::mem::take(&mut self.upper[bucket]);
+    fn cascade(&mut self, level: usize, bucket: usize) {
+        let drained = std::mem::take(&mut self.upper[(level - 1) * UPPER_BUCKETS + bucket]);
         for e in drained {
             self.len -= 1;
             self.push(e.0, e.1, e.2);
@@ -107,16 +109,11 @@ impl<T> EventWheel<T> {
         }
         while self.horizon_ms <= boundary_ms {
             let tick = self.horizon_ms;
-            if tick & 255 == 0 {
-                // Entering a new level-1 window: pull the levels that
-                // wrapped, highest first, so entries settle downward.
-                if tick & 0xF_FFFF == 0 {
-                    self.cascade(2 * UPPER_BUCKETS + ((tick >> 20) & 63) as usize);
-                }
-                if tick & 0x3FFF == 0 {
-                    self.cascade(UPPER_BUCKETS + ((tick >> 14) & 63) as usize);
-                }
-                self.cascade(((tick >> 8) & 63) as usize);
+            // Entering a new level window: pull the levels that
+            // wrapped, highest first, so entries settle downward (the
+            // shared schedule of [`WheelGeometry::cascades`]).
+            for (level, bucket) in WHEEL_GEOM.cascades(tick) {
+                self.cascade(level, bucket);
             }
             let bucket = (tick & 255) as usize;
             self.horizon_ms = tick + 1;
