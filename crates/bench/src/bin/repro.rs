@@ -7,10 +7,20 @@
 //! cargo run --release -p cgn-bench --bin repro -- export=plots/  # + TSV figure data
 //! cargo run --release -p cgn-bench --bin repro -- dimensioning   # + CGN port-demand sweep
 //! cargo run --release -p cgn-bench --bin repro -- dimensioning --threads 4
+//! cargo run --release -p cgn-bench --bin repro -- detection      # detection campaign
+//! cargo run --release -p cgn-bench --bin repro -- small detection --threads 4
 //! ```
 //!
 //! The output is the "measured" side of EXPERIMENTS.md: every section is
 //! annotated with the paper's published numbers for comparison.
+//!
+//! `detection` runs the multi-perspective CGN detection campaign
+//! instead of the study pipeline: the standard scenario library at
+//! ≥100k subscribers (tiny/small scales run the quick library),
+//! scored against topology ground truth, exported to
+//! `BENCH_detection.json` (+ TSVs under `export=DIR`). The run exits
+//! nonzero when an export fails or the committed precision/recall
+//! gates are missed.
 
 use cgn_study::{run_study, StudyConfig};
 
@@ -19,6 +29,7 @@ fn main() {
     let mut seed: u64 = 2016;
     let mut export_dir: Option<std::path::PathBuf> = None;
     let mut dimensioning = false;
+    let mut detection = false;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,6 +39,8 @@ fn main() {
             export_dir = Some(d.into());
         } else if arg == "dimensioning" {
             dimensioning = true;
+        } else if arg == "detection" {
+            detection = true;
         } else if arg == "--threads" {
             let v = args.next().unwrap_or_else(|| {
                 eprintln!("--threads needs a value (worker count; 0 = one per core)");
@@ -39,6 +52,10 @@ fn main() {
         } else {
             scale = arg;
         }
+    }
+    if detection {
+        run_detection_campaign(&scale, seed, threads, export_dir.as_deref());
+        return;
     }
     let mut config = match scale.as_str() {
         "tiny" => StudyConfig::tiny(seed),
@@ -80,6 +97,72 @@ fn main() {
         }
     }
     println!("\n(reproduced in {elapsed:.2?} at scale '{scale}', seed {seed})");
+}
+
+/// The `detection` mode: run the multi-perspective campaign, print
+/// the scored report, write `BENCH_detection.json` (and the TSV
+/// exports when `export=DIR` is given), and hold the result against
+/// the committed precision/recall gates. Export failures and missed
+/// gates exit nonzero, mirroring the `dimensioning` subcommand.
+fn run_detection_campaign(
+    scale: &str,
+    seed: u64,
+    threads: Option<usize>,
+    export_dir: Option<&std::path::Path>,
+) {
+    let mut cfg = match scale {
+        "tiny" | "small" => cgn_detect::CampaignConfig::quick(seed),
+        "default" => cgn_detect::CampaignConfig::standard(seed),
+        other => {
+            eprintln!("unknown scale '{other}' (use tiny|small|default)");
+            std::process::exit(2);
+        }
+    };
+    if let Some(t) = threads {
+        cfg = cfg.with_threads(t);
+    }
+    let t0 = std::time::Instant::now();
+    let report = cgn_detect::run_campaign(&cfg);
+    let elapsed = t0.elapsed();
+    println!("{}", report.render());
+
+    let artifact = cgn_study::DetectionArtifact::new(report.clone());
+    let json = serde_json::to_string_pretty(&artifact).expect("report serializes");
+    if let Err(e) = std::fs::write("BENCH_detection.json", json) {
+        eprintln!("writing BENCH_detection.json failed: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote BENCH_detection.json (digest {:016x})",
+        report.digest()
+    );
+
+    if let Some(dir) = export_dir {
+        match cgn_study::write_detection_to_dir(&report, dir) {
+            Ok(written) => println!(
+                "exported {} detection data files to {}",
+                written.len(),
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("detection export to {} failed: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("\n(campaign ran in {elapsed:.2?} at scale '{scale}', seed {seed})");
+    if let Err(msg) = cgn_study::check_gates(&report) {
+        eprintln!("detection quality gate FAILED: {msg}");
+        std::process::exit(1);
+    }
+    println!(
+        "quality gates passed: CGN precision {:.3} ≥ {} | CGN recall {:.3} ≥ {}",
+        report.cgn_precision,
+        cgn_study::GATE_CGN_PRECISION,
+        report.cgn_recall,
+        cgn_study::GATE_CGN_RECALL
+    );
 }
 
 /// Surface the perf harness's machine-readable trajectory next to the

@@ -22,6 +22,7 @@ pub mod bencode;
 pub mod crawler;
 pub mod krpc;
 pub mod node_id;
+pub mod observer;
 pub mod peer;
 pub mod routing;
 pub mod world;
@@ -29,6 +30,7 @@ pub mod world;
 pub use crawler::{CrawlConfig, CrawlReport, Crawler, LeakRecord};
 pub use krpc::{CompactNode, KrpcMessage, QueryKind};
 pub use node_id::NodeId160;
+pub use observer::{observe, AllocationSignature, ExternalIpView, Sighting};
 pub use peer::{DhtPeer, PeerConfig};
 pub use routing::RoutingTable160;
 pub use world::{DhtWorld, WorldConfig};

@@ -1,0 +1,250 @@
+//! The external observer: what a BitTorrent/DHT crawler can derive
+//! about an address-sharing deployment **without any internal vantage
+//! point** (§4.1 turned into a feature extractor).
+//!
+//! Input is a stream of [`Sighting`]s — one per observed peer flow,
+//! carrying the peer's stable identity (derived from its BitTorrent
+//! peer id), the internal address it announces in handshakes, and the
+//! translated source endpoint the observer actually saw. From these,
+//! [`observe`] aggregates per external IP:
+//!
+//! * **distinct peers** behind the address — more than a home's worth
+//!   of peers sharing one address is the carrier-NAT signal;
+//! * **port churn** — how many distinct external ports a single peer
+//!   burned, and how widely they spread;
+//! * an **allocation signature** ([`AllocationSignature`]): ports of
+//!   one peer confined to a single aligned block (deterministic NAT /
+//!   RFC 7422 provisioning), spanning a few blocks (bulk port-block
+//!   allocation), or scattered over the range (per-connection
+//!   allocation) — the §6.2 policies as seen from outside.
+
+use netcore::Endpoint;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// One observed flow of one peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sighting {
+    /// Stable peer identity (hash of the BitTorrent peer id).
+    pub peer: u64,
+    /// Internal address the peer announced (the §4.1 leak).
+    pub internal: Ipv4Addr,
+    /// Source endpoint the observer saw (post-translation).
+    pub external: Endpoint,
+    pub at_ms: u64,
+}
+
+/// The §6.2 allocation policy as inferred from one external IP's
+/// port-usage pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationSignature {
+    /// Every multi-flow peer stayed inside one aligned block, and the
+    /// blocks of different peers do not collide — deterministic
+    /// provisioning.
+    Confined { block: u16 },
+    /// Peers occupy a small number of aligned blocks each — bulk
+    /// port-block allocation.
+    Blocky { block: u16 },
+    /// Ports spread over the space — per-connection allocation.
+    Scattered,
+    /// Not enough multi-flow peers to call it.
+    Insufficient,
+}
+
+impl AllocationSignature {
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocationSignature::Confined { .. } => "confined",
+            AllocationSignature::Blocky { .. } => "blocky",
+            AllocationSignature::Scattered => "scattered",
+            AllocationSignature::Insufficient => "insufficient",
+        }
+    }
+}
+
+/// Aggregate view of one external address.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExternalIpView {
+    pub ip: Ipv4Addr,
+    pub sightings: u64,
+    pub distinct_peers: usize,
+    pub distinct_internal_ips: usize,
+    /// Max over peers of distinct external ports observed.
+    pub max_ports_per_peer: usize,
+    /// Max over peers of (highest − lowest) observed port.
+    pub max_port_spread: u16,
+    pub signature: AllocationSignature,
+}
+
+/// Block sizes the signature detector tests, smallest first.
+const BLOCK_GRID: [u16; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+fn blocks_of(ports: &[u16], block: u16) -> Vec<u16> {
+    let mut b: Vec<u16> = ports.iter().map(|p| p / block).collect();
+    b.sort_unstable();
+    b.dedup();
+    b
+}
+
+/// Infer the allocation signature from per-peer port sets (peers with
+/// at least `min_flows` observed flows).
+fn signature(per_peer_ports: &[Vec<u16>], min_flows: usize) -> AllocationSignature {
+    let multi: Vec<&Vec<u16>> = per_peer_ports
+        .iter()
+        .filter(|p| p.len() >= min_flows)
+        .collect();
+    if multi.len() < 2 {
+        return AllocationSignature::Insufficient;
+    }
+    // Smallest grid block that confines every multi-flow peer to one
+    // aligned block.
+    for block in BLOCK_GRID {
+        if multi.iter().all(|p| blocks_of(p, block).len() == 1) {
+            // Disjoint blocks across peers = deterministic-style
+            // provisioning; shared blocks would mean plain reuse.
+            let mut all: Vec<u16> = multi.iter().map(|p| blocks_of(p, block)[0]).collect();
+            let n = all.len();
+            all.sort_unstable();
+            all.dedup();
+            return if all.len() == n {
+                AllocationSignature::Confined { block }
+            } else {
+                AllocationSignature::Blocky { block }
+            };
+        }
+    }
+    // A couple of aligned blocks per peer still reads as bulk blocks.
+    for block in BLOCK_GRID {
+        if multi.iter().all(|p| blocks_of(p, block).len() <= 2) {
+            return AllocationSignature::Blocky { block };
+        }
+    }
+    AllocationSignature::Scattered
+}
+
+/// Aggregate sightings per external IP, in address order.
+pub fn observe(sightings: &[Sighting]) -> Vec<ExternalIpView> {
+    let mut per_ip: BTreeMap<Ipv4Addr, Vec<&Sighting>> = BTreeMap::new();
+    for s in sightings {
+        per_ip.entry(s.external.ip).or_default().push(s);
+    }
+    per_ip
+        .into_iter()
+        .map(|(ip, ss)| {
+            let mut per_peer: BTreeMap<u64, Vec<u16>> = BTreeMap::new();
+            let mut internals: Vec<Ipv4Addr> = Vec::new();
+            for s in &ss {
+                per_peer.entry(s.peer).or_default().push(s.external.port);
+                internals.push(s.internal);
+            }
+            internals.sort_unstable();
+            internals.dedup();
+            let per_peer_ports: Vec<Vec<u16>> = per_peer
+                .into_values()
+                .map(|mut p| {
+                    p.sort_unstable();
+                    p.dedup();
+                    p
+                })
+                .collect();
+            let max_ports_per_peer = per_peer_ports.iter().map(Vec::len).max().unwrap_or(0);
+            let max_port_spread = per_peer_ports
+                .iter()
+                .filter(|p| !p.is_empty())
+                .map(|p| p[p.len() - 1] - p[0])
+                .max()
+                .unwrap_or(0);
+            ExternalIpView {
+                ip,
+                sightings: ss.len() as u64,
+                distinct_peers: per_peer_ports.len(),
+                distinct_internal_ips: internals.len(),
+                max_ports_per_peer,
+                max_port_spread,
+                signature: signature(&per_peer_ports, 3),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+
+    fn sight(peer: u64, ext_port: u16) -> Sighting {
+        Sighting {
+            peer,
+            internal: ip(100, 64, 0, peer as u8),
+            external: Endpoint::new(ip(198, 51, 100, 1), ext_port),
+            at_ms: 0,
+        }
+    }
+
+    #[test]
+    fn shared_address_counts_distinct_peers() {
+        let s: Vec<Sighting> = (0..20u64)
+            .flat_map(|p| (0..2).map(move |k| sight(p, 10_000 + (p as u16) * 100 + k)))
+            .collect();
+        let views = observe(&s);
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].distinct_peers, 20);
+        assert_eq!(views[0].distinct_internal_ips, 20);
+    }
+
+    #[test]
+    fn deterministic_blocks_read_as_confined() {
+        // Peer p owns block [p*512, (p+1)*512).
+        let mut s = Vec::new();
+        for p in 0..6u64 {
+            for k in 0..4u16 {
+                s.push(sight(p, 2048 + (p as u16) * 512 + k * 37));
+            }
+        }
+        let v = observe(&s);
+        assert!(
+            matches!(v[0].signature, AllocationSignature::Confined { block } if block <= 512),
+            "{:?}",
+            v[0].signature
+        );
+    }
+
+    #[test]
+    fn block_reuse_reads_as_blocky() {
+        // Two peers drawing from the same 1024-block (block handed
+        // back and re-granted), one peer in another block.
+        let mut s = Vec::new();
+        for k in 0..4u16 {
+            s.push(sight(1, 1024 + k * 113));
+            s.push(sight(2, 1024 + 500 + k * 61));
+            s.push(sight(3, 4096 + k * 97));
+        }
+        let v = observe(&s);
+        assert!(
+            matches!(v[0].signature, AllocationSignature::Blocky { .. }),
+            "{:?}",
+            v[0].signature
+        );
+    }
+
+    #[test]
+    fn random_ports_read_as_scattered() {
+        let mut s = Vec::new();
+        let mut z: u32 = 9;
+        for p in 0..5u64 {
+            for _ in 0..5 {
+                z = z.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                s.push(sight(p, 1024 + (z % 60_000) as u16));
+            }
+        }
+        let v = observe(&s);
+        assert_eq!(v[0].signature, AllocationSignature::Scattered);
+    }
+
+    #[test]
+    fn too_few_flows_is_insufficient() {
+        let s = vec![sight(1, 2000), sight(2, 3000)];
+        assert_eq!(observe(&s)[0].signature, AllocationSignature::Insufficient);
+    }
+}

@@ -1,0 +1,272 @@
+//! The detection pipeline: run the `cgn-detect` scenario campaign and
+//! export its scores — the measurement-side counterpart of the
+//! operator-side [`crate::dimensioning`] sweep.
+//!
+//! `repro -- detection` drives this: the standard scenario library
+//! (NAT444, double NAT, cellular, deterministic NAT, small/large
+//! pools, EIM/EDM timeouts, no-CGN controls) at ≥100k simulated
+//! subscribers through `ShardedNat`-backed CGN instances, classified
+//! from both perspectives and scored against topology ground truth.
+//! The committed quality gates ([`GATE_CGN_PRECISION`] /
+//! [`GATE_CGN_RECALL`]) are what CI enforces on the exported
+//! `BENCH_detection.json`.
+
+use crate::export::ExportFile;
+use cgn_detect::{AsLabel, CampaignReport};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Minimum CGN-class precision the standard campaign must achieve.
+pub const GATE_CGN_PRECISION: f64 = 0.95;
+/// Minimum CGN-class recall the standard campaign must achieve.
+pub const GATE_CGN_RECALL: f64 = 0.95;
+
+/// Schema tag of the `BENCH_detection.json` artifact.
+pub const DETECTION_SCHEMA: &str = "cgn-detection/1";
+
+/// The machine-readable campaign artifact (`BENCH_detection.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionArtifact {
+    pub schema: String,
+    /// The committed gates the scores are held against.
+    pub gate_cgn_precision: f64,
+    pub gate_cgn_recall: f64,
+    pub report: CampaignReport,
+}
+
+impl DetectionArtifact {
+    pub fn new(report: CampaignReport) -> DetectionArtifact {
+        DetectionArtifact {
+            schema: DETECTION_SCHEMA.to_string(),
+            gate_cgn_precision: GATE_CGN_PRECISION,
+            gate_cgn_recall: GATE_CGN_RECALL,
+            report,
+        }
+    }
+}
+
+/// Check a campaign's scores against the committed gates.
+pub fn check_gates(report: &CampaignReport) -> Result<(), String> {
+    let mut failures = Vec::new();
+    if report.cgn_precision < GATE_CGN_PRECISION {
+        failures.push(format!(
+            "CGN precision {:.3} below the {GATE_CGN_PRECISION} gate",
+            report.cgn_precision
+        ));
+    }
+    if report.cgn_recall < GATE_CGN_RECALL {
+        failures.push(format!(
+            "CGN recall {:.3} below the {GATE_CGN_RECALL} gate",
+            report.cgn_recall
+        ));
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// TSV series + JSON dump for a detection campaign.
+pub fn export_detection(report: &CampaignReport) -> Vec<ExportFile> {
+    let mut files = Vec::new();
+
+    // Per-AS classification rows across all scenarios.
+    {
+        let mut c = String::from(
+            "#scenario\tas\ttruth\tpredicted\tvantages\tusable\tcarrier_votes\thome_votes\
+             \tpublic_votes\tdistinct_mapped_ips\tport_preservation\texternal_ips\
+             \tmax_peers_per_ip\tshared_ips\text_signature\n",
+        );
+        for s in &report.scenarios {
+            for a in &s.ases {
+                let f = &a.features;
+                let _ = writeln!(
+                    c,
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{}\t{}\t{}\t{}",
+                    s.name,
+                    a.as_name,
+                    a.truth.name(),
+                    a.predicted.name(),
+                    f.vantages,
+                    f.usable,
+                    f.carrier_votes,
+                    f.home_votes,
+                    f.public_votes,
+                    f.distinct_mapped_ips,
+                    f.port_preservation,
+                    f.external_ips_observed,
+                    f.max_peers_per_ip,
+                    f.shared_ips,
+                    f.ext_signature,
+                );
+            }
+        }
+        files.push(ExportFile {
+            name: "detection_as_results.tsv".into(),
+            content: c,
+        });
+    }
+
+    // Per-scenario load + scale summary.
+    {
+        let mut c = String::from(
+            "#scenario\tsubscribers\tcgn_instances\tshards_per_instance\tflows_offered\
+             \tflows_admitted\tflows_blocked\tsightings\taccuracy\n",
+        );
+        for s in &report.scenarios {
+            let _ = writeln!(
+                c,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}",
+                s.name,
+                s.subscribers,
+                s.cgn_instances,
+                s.shards_per_instance,
+                s.flows_offered,
+                s.flows_admitted,
+                s.flows_blocked,
+                s.sightings,
+                s.confusion.accuracy(),
+            );
+        }
+        files.push(ExportFile {
+            name: "detection_scenarios.tsv".into(),
+            content: c,
+        });
+    }
+
+    // Pooled confusion matrix, long form.
+    {
+        let mut c = String::from("#truth\tpredicted\tcount\n");
+        for (t, truth) in AsLabel::ALL.iter().enumerate() {
+            for (p, predicted) in AsLabel::ALL.iter().enumerate() {
+                let _ = writeln!(
+                    c,
+                    "{}\t{}\t{}",
+                    truth.name(),
+                    predicted.name(),
+                    report.confusion.counts[t][p]
+                );
+            }
+        }
+        files.push(ExportFile {
+            name: "detection_confusion.tsv".into(),
+            content: c,
+        });
+    }
+
+    // Per-class scores.
+    {
+        let mut c = String::from("#label\tsupport\tprecision\trecall\n");
+        for s in &report.scores {
+            let _ = writeln!(
+                c,
+                "{}\t{}\t{:.6}\t{:.6}",
+                s.label.name(),
+                s.support,
+                s.precision,
+                s.recall
+            );
+        }
+        files.push(ExportFile {
+            name: "detection_scores.tsv".into(),
+            content: c,
+        });
+    }
+
+    // Full machine-readable artifact (same content as
+    // BENCH_detection.json).
+    if let Ok(json) = serde_json::to_string_pretty(&DetectionArtifact::new(report.clone())) {
+        files.push(ExportFile {
+            name: "detection_report.json".into(),
+            content: json,
+        });
+    }
+
+    files
+}
+
+/// Write the detection exports into a directory.
+pub fn write_detection_to_dir(
+    report: &CampaignReport,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for f in export_detection(report) {
+        std::fs::write(dir.join(&f.name), f.content.as_bytes())?;
+        written.push(f.name);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgn_detect::{run_campaign, CampaignConfig};
+
+    fn quick_report() -> CampaignReport {
+        run_campaign(&CampaignConfig::quick(5))
+    }
+
+    #[test]
+    fn quick_campaign_passes_the_committed_gates() {
+        let rep = quick_report();
+        assert!(
+            check_gates(&rep).is_ok(),
+            "quick campaign must meet the gates: precision {:.3} recall {:.3}",
+            rep.cgn_precision,
+            rep.cgn_recall
+        );
+    }
+
+    #[test]
+    fn gates_reject_degraded_scores() {
+        let mut rep = quick_report();
+        rep.cgn_precision = 0.5;
+        let err = check_gates(&rep).expect_err("0.5 precision must fail");
+        assert!(err.contains("precision"));
+        rep.cgn_precision = 1.0;
+        rep.cgn_recall = 0.2;
+        assert!(check_gates(&rep)
+            .expect_err("low recall")
+            .contains("recall"));
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let files = export_detection(&quick_report());
+        let names: Vec<&str> = files.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "detection_as_results.tsv",
+                "detection_scenarios.tsv",
+                "detection_confusion.tsv",
+                "detection_scores.tsv",
+                "detection_report.json",
+            ]
+        );
+        for f in files.iter().filter(|f| f.name.ends_with(".tsv")) {
+            let mut lines = f.content.lines();
+            let header = lines.next().expect("header");
+            assert!(header.starts_with('#'));
+            let cols = header.split('\t').count();
+            for line in lines {
+                assert_eq!(line.split('\t').count(), cols, "{}", f.name);
+            }
+        }
+        // Confusion is the full 3×3 long form.
+        let confusion = files.iter().find(|f| f.name.contains("confusion")).unwrap();
+        assert_eq!(confusion.content.lines().count(), 1 + 9);
+    }
+
+    #[test]
+    fn artifact_round_trips() {
+        let art = DetectionArtifact::new(quick_report());
+        let json = serde_json::to_string(&art).expect("serializable");
+        let back: DetectionArtifact = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(art, back);
+        assert_eq!(back.schema, DETECTION_SCHEMA);
+    }
+}

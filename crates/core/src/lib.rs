@@ -24,6 +24,7 @@
 //! ```
 
 pub mod config;
+pub mod detection;
 pub mod dimensioning;
 pub mod export;
 pub mod pipeline;
@@ -31,6 +32,10 @@ pub mod report;
 pub mod results;
 
 pub use config::StudyConfig;
+pub use detection::{
+    check_gates, export_detection, write_detection_to_dir, DetectionArtifact, GATE_CGN_PRECISION,
+    GATE_CGN_RECALL,
+};
 pub use dimensioning::{run_dimensioning, DimensioningConfig, DimensioningReport};
 pub use export::{export_figures, write_to_dir, ExportFile};
 pub use pipeline::{run_study, StudyArtifacts};

@@ -61,10 +61,11 @@ pub fn measure(config: StudyConfig) -> StudyArtifacts {
 
     // Measurement infrastructure: echo + STUN lab, DHT bootstrap, crawler.
     let lab_base = {
-        // Reserve three consecutive service addresses for the lab.
+        // Reserve the lab's consecutive service addresses.
         let a = world.next_service_addr();
-        let _ = world.next_service_addr();
-        let _ = world.next_service_addr();
+        for _ in 1..MeasurementLab::SERVICE_ADDRS {
+            let _ = world.next_service_addr();
+        }
         a
     };
     let lab = MeasurementLab::install(&mut world.net, lab_base);

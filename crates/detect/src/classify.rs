@@ -1,0 +1,217 @@
+//! The per-AS rule classifier: fuse internal vantage votes with the
+//! external observer's view into one deployment label.
+//!
+//! The rules follow the paper's conservative spirit — a single noisy
+//! observable must not flip an AS — while using both perspectives:
+//! internal carrier evidence ([`crate::features`]) needs either
+//! corroboration from a second vantage or a dominant share of the
+//! sample; the external perspective alone can call a CGN when one
+//! external address provably serves more peers than a home could hold
+//! (the §4.1 cluster idea reduced to its sharing core).
+
+use crate::features::VantageFeatures;
+use crate::score::AsLabel;
+use bt_dht::observer::{AllocationSignature, ExternalIpView};
+use netcore::AsId;
+use serde::{Deserialize, Serialize};
+
+/// Classifier thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// Distinct peers one external IP must serve before the external
+    /// perspective alone declares address sharing (homes hold 1–2
+    /// BitTorrent peers; CGNs multiplex tens to thousands).
+    pub min_shared_peers: usize,
+    /// Internal carrier votes that suffice regardless of sample share.
+    pub min_carrier_votes: usize,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            min_shared_peers: 4,
+            min_carrier_votes: 2,
+        }
+    }
+}
+
+/// Per-AS fused feature summary — the classifier's input and the
+/// report's per-AS observables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsFeatureSummary {
+    pub as_id: AsId,
+    /// Vantages probed / vantages with a completed flow.
+    pub vantages: usize,
+    pub usable: usize,
+    /// Internal votes.
+    pub carrier_votes: usize,
+    pub home_votes: usize,
+    pub public_votes: usize,
+    /// Pool probe: distinct mapped addresses across all vantage flows.
+    pub distinct_mapped_ips: usize,
+    /// Mean port-preservation rate over completed flows.
+    pub port_preservation: f64,
+    /// External perspective over this AS's announced address space.
+    pub external_ips_observed: usize,
+    pub max_peers_per_ip: usize,
+    /// External IPs serving at least `min_shared_peers` peers.
+    pub shared_ips: usize,
+    /// Predominant allocation signature over shared IPs (`-` if none).
+    pub ext_signature: String,
+}
+
+impl AsFeatureSummary {
+    /// Fuse one AS's vantage features and external views.
+    pub fn build(
+        as_id: AsId,
+        vantages: &[VantageFeatures],
+        external: &[&ExternalIpView],
+        cfg: &ClassifierConfig,
+    ) -> AsFeatureSummary {
+        let usable: Vec<&VantageFeatures> = vantages
+            .iter()
+            .filter(|v| v.translated().is_some())
+            .collect();
+        let carrier_votes = usable.iter().filter(|v| v.carrier_evidence()).count();
+        let home_votes = usable.iter().filter(|v| v.home_nat_evidence()).count();
+        let public_votes = usable
+            .iter()
+            .filter(|v| v.translated() == Some(false) && !v.carrier_evidence())
+            .count();
+        let mut mapped_ips: Vec<std::net::Ipv4Addr> = usable
+            .iter()
+            .flat_map(|v| v.mapped.iter().map(|m| m.ip))
+            .collect();
+        mapped_ips.sort_unstable();
+        mapped_ips.dedup();
+        let (flows, preserved) = usable.iter().fold((0usize, 0usize), |(f, p), v| {
+            (f + v.mapped.len(), p + v.preserved)
+        });
+        let shared: Vec<&&ExternalIpView> = external
+            .iter()
+            .filter(|v| v.distinct_peers >= cfg.min_shared_peers)
+            .collect();
+        let ext_signature = predominant_signature(&shared);
+        AsFeatureSummary {
+            as_id,
+            vantages: vantages.len(),
+            usable: usable.len(),
+            carrier_votes,
+            home_votes,
+            public_votes,
+            distinct_mapped_ips: mapped_ips.len(),
+            port_preservation: if flows == 0 {
+                0.0
+            } else {
+                preserved as f64 / flows as f64
+            },
+            external_ips_observed: external.len(),
+            max_peers_per_ip: external.iter().map(|v| v.distinct_peers).max().unwrap_or(0),
+            shared_ips: shared.len(),
+            ext_signature,
+        }
+    }
+}
+
+/// Most common signature name across the shared addresses.
+fn predominant_signature(shared: &[&&ExternalIpView]) -> String {
+    let mut counts: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    for v in shared {
+        if !matches!(v.signature, AllocationSignature::Insufficient) {
+            *counts.entry(v.signature.name()).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|(_, n)| *n)
+        .map(|(name, _)| name.to_string())
+        .unwrap_or_else(|| "-".to_string())
+}
+
+/// Classify one AS.
+pub fn classify(cfg: &ClassifierConfig, s: &AsFeatureSummary) -> AsLabel {
+    let internal_cgn = s.carrier_votes >= 1
+        && (s.carrier_votes >= cfg.min_carrier_votes || s.carrier_votes * 3 >= s.usable.max(1));
+    let external_cgn = s.max_peers_per_ip >= cfg.min_shared_peers;
+    if internal_cgn || external_cgn {
+        AsLabel::Cgn
+    } else if s.home_votes > s.public_votes {
+        AsLabel::CpeNat
+    } else {
+        AsLabel::Public
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary() -> AsFeatureSummary {
+        AsFeatureSummary {
+            as_id: AsId(1),
+            vantages: 8,
+            usable: 8,
+            carrier_votes: 0,
+            home_votes: 0,
+            public_votes: 8,
+            distinct_mapped_ips: 1,
+            port_preservation: 1.0,
+            external_ips_observed: 8,
+            max_peers_per_ip: 1,
+            shared_ips: 0,
+            ext_signature: "-".into(),
+        }
+    }
+
+    #[test]
+    fn all_public_is_public() {
+        let s = summary();
+        assert_eq!(classify(&ClassifierConfig::default(), &s), AsLabel::Public);
+    }
+
+    #[test]
+    fn home_majority_is_cpe() {
+        let mut s = summary();
+        s.home_votes = 7;
+        s.public_votes = 1;
+        assert_eq!(classify(&ClassifierConfig::default(), &s), AsLabel::CpeNat);
+    }
+
+    #[test]
+    fn carrier_votes_flip_to_cgn() {
+        let mut s = summary();
+        s.carrier_votes = 2;
+        s.home_votes = 6;
+        assert_eq!(classify(&ClassifierConfig::default(), &s), AsLabel::Cgn);
+    }
+
+    #[test]
+    fn lone_carrier_vote_in_large_sample_is_ignored() {
+        let mut s = summary();
+        s.usable = 12;
+        s.vantages = 12;
+        s.carrier_votes = 1;
+        s.home_votes = 11;
+        assert_eq!(classify(&ClassifierConfig::default(), &s), AsLabel::CpeNat);
+    }
+
+    #[test]
+    fn lone_carrier_vote_in_tiny_sample_counts() {
+        let mut s = summary();
+        s.usable = 2;
+        s.vantages = 2;
+        s.carrier_votes = 1;
+        s.home_votes = 1;
+        s.public_votes = 0;
+        assert_eq!(classify(&ClassifierConfig::default(), &s), AsLabel::Cgn);
+    }
+
+    #[test]
+    fn external_sharing_alone_calls_cgn() {
+        let mut s = summary();
+        s.max_peers_per_ip = 40;
+        s.shared_ips = 3;
+        assert_eq!(classify(&ClassifierConfig::default(), &s), AsLabel::Cgn);
+    }
+}

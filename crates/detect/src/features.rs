@@ -1,0 +1,249 @@
+//! Internal-perspective feature extraction: what one subscriber
+//! vantage point can learn about the translators in front of it.
+//!
+//! Per vantage, the extractor runs a compact probe suite against the
+//! measurement lab (a fraction of a full Netalyzr session's cost, so
+//! campaigns can sample hundreds of vantages against 100k-subscriber
+//! worlds):
+//!
+//! * **K mapped flows** — repeated UDP exchanges from fresh source
+//!   ports; the observed endpoints give the local-vs-mapped address
+//!   comparison (STUN's observable), the port-preservation rate, and a
+//!   pool-size lower bound (distinct mapped addresses — the §6.2
+//!   pooling probe);
+//! * **TTL hop walk** — the answering hop addresses toward the server;
+//!   hops in reserved space beyond the home gateway place a translator
+//!   *inside the carrier* (the 100.64.0.0/10 realm detection of §6.1,
+//!   generalized to every reserved range);
+//! * **UPnP** — the CPE's WAN address where the home router answers
+//!   (Table 4's `IPcpe`), classified against reserved space.
+//!
+//! [`VantageFeatures::carrier_evidence`] combines them into the
+//! carrier-translation verdict for one vantage; the per-AS classifier
+//! ([`mod@crate::classify`]) votes over vantages and fuses the external
+//! perspective.
+
+use netalyzr::{probe, MeasurementLab};
+use netcore::{classify_reserved, Endpoint, Prefix, ReservedRange};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::Network;
+use std::net::Ipv4Addr;
+use topology::Subscriber;
+
+/// Everything one vantage point's probe suite observed.
+#[derive(Debug, Clone)]
+pub struct VantageFeatures {
+    pub subscriber: usize,
+    pub device_addr: Ipv4Addr,
+    /// Reserved-range class of the device address (`None` = public).
+    pub device_reserved: Option<ReservedRange>,
+    /// CPE WAN address via UPnP, when the home router answers.
+    pub upnp_cpe: Option<Ipv4Addr>,
+    /// Observed external endpoints, one per completed flow.
+    pub mapped: Vec<Endpoint>,
+    /// Flows whose source port survived translation.
+    pub preserved: usize,
+    /// Answering hop addresses toward the server, in path order.
+    pub hops: Vec<Ipv4Addr>,
+    /// Whether the TTL walk reached the server.
+    pub reached: bool,
+}
+
+impl VantageFeatures {
+    /// Whether the path translates the source address. `None` when no
+    /// flow completed (nothing can be concluded from this vantage).
+    pub fn translated(&self) -> Option<bool> {
+        self.mapped.first().map(|m| m.ip != self.device_addr)
+    }
+
+    /// Distinct mapped addresses across flows (pool probe).
+    pub fn distinct_mapped_ips(&self) -> usize {
+        let mut ips: Vec<Ipv4Addr> = self.mapped.iter().map(|m| m.ip).collect();
+        ips.sort_unstable();
+        ips.dedup();
+        ips.len()
+    }
+
+    /// Whether the first answering hop sits in the device's own /24 —
+    /// the signature of a home gateway directly in front of the device.
+    pub fn first_hop_in_device_slash24(&self) -> bool {
+        self.hops
+            .first()
+            .is_some_and(|h| Prefix::slash24_of(self.device_addr).contains(*h))
+    }
+
+    /// Reserved-space hops beyond the first — addresses inside the
+    /// carrier that belong to private/shared space, i.e. a translator
+    /// interface past the home gateway.
+    pub fn reserved_hops_beyond_first(&self) -> usize {
+        self.hops
+            .iter()
+            .skip(1)
+            .filter(|h| classify_reserved(**h).is_some())
+            .count()
+    }
+
+    /// Does this vantage see a translator *inside the carrier*?
+    ///
+    /// Any of: the device lives in RFC 6598 shared space; the UPnP
+    /// CPE WAN address is reserved (NAT444) or differs from the mapped
+    /// address; a reserved hop sits beyond the home gateway; the path
+    /// translates although no home gateway fronts the device; or the
+    /// mapped address changes across flows (a pool, which a one-WAN
+    /// home NAT cannot produce).
+    pub fn carrier_evidence(&self) -> bool {
+        let translated = self.translated() == Some(true);
+        if matches!(self.device_reserved, Some(ReservedRange::R100)) {
+            return true;
+        }
+        if let Some(cpe) = self.upnp_cpe {
+            if classify_reserved(cpe).is_some() {
+                return true;
+            }
+            if translated && self.mapped.first().is_some_and(|m| m.ip != cpe) {
+                return true;
+            }
+        }
+        if self.reserved_hops_beyond_first() > 0 {
+            return true;
+        }
+        if translated && !self.first_hop_in_device_slash24() {
+            return true;
+        }
+        self.distinct_mapped_ips() > 1
+    }
+
+    /// Does this vantage see a home NAT (and nothing past it)?
+    pub fn home_nat_evidence(&self) -> bool {
+        self.translated() == Some(true)
+            && self.first_hop_in_device_slash24()
+            && !self.carrier_evidence()
+    }
+}
+
+/// Run the probe suite from one subscriber device. `flows` mapped
+/// exchanges plus one TTL walk; deterministic in `seed`.
+pub fn probe_vantage(
+    net: &mut Network,
+    lab: &MeasurementLab,
+    sub: &Subscriber,
+    flows: usize,
+    seed: u64,
+) -> VantageFeatures {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A fresh ephemeral base per vantage; sequential ports so a
+    // preserving translator chain is observable.
+    let base: u16 = rng.gen_range(21_000..44_000);
+    let mut mapped = Vec::with_capacity(flows);
+    let mut preserved = 0;
+    for k in 0..flows {
+        let local = Endpoint::new(sub.device_addr, base + k as u16);
+        if let Some(obs) = probe::udp_mapped(net, lab, sub.device_node, local) {
+            if obs.port == local.port {
+                preserved += 1;
+            }
+            mapped.push(obs);
+        }
+    }
+    let (hops, reached) = probe::traceroute(
+        net,
+        lab,
+        sub.device_node,
+        Endpoint::new(sub.device_addr, base + flows as u16 + 7),
+        20,
+    );
+    VantageFeatures {
+        subscriber: sub.id,
+        device_addr: sub.device_addr,
+        device_reserved: classify_reserved(sub.device_addr),
+        upnp_cpe: sub.cpe.as_ref().filter(|c| c.upnp).map(|c| c.external_ip),
+        mapped,
+        preserved,
+        hops,
+        reached,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::ip;
+
+    fn base_features() -> VantageFeatures {
+        VantageFeatures {
+            subscriber: 0,
+            device_addr: ip(192, 168, 1, 100),
+            device_reserved: classify_reserved(ip(192, 168, 1, 100)),
+            upnp_cpe: None,
+            mapped: vec![Endpoint::new(ip(60, 0, 0, 9), 40_000)],
+            preserved: 0,
+            hops: vec![ip(192, 168, 1, 1), ip(198, 18, 0, 1)],
+            reached: true,
+        }
+    }
+
+    #[test]
+    fn home_nat_alone_is_not_carrier_evidence() {
+        let f = base_features();
+        assert_eq!(f.translated(), Some(true));
+        assert!(f.first_hop_in_device_slash24());
+        assert!(!f.carrier_evidence());
+        assert!(f.home_nat_evidence());
+    }
+
+    #[test]
+    fn shared_space_device_is_carrier_evidence() {
+        let mut f = base_features();
+        f.device_addr = ip(100, 64, 3, 7);
+        f.device_reserved = classify_reserved(f.device_addr);
+        assert!(f.carrier_evidence());
+    }
+
+    #[test]
+    fn reserved_hop_past_home_gateway_is_carrier_evidence() {
+        let mut f = base_features();
+        f.hops = vec![ip(192, 168, 1, 1), ip(198, 18, 0, 1), ip(10, 77, 0, 1)];
+        assert!(f.carrier_evidence());
+        assert!(!f.home_nat_evidence());
+    }
+
+    #[test]
+    fn reserved_upnp_wan_is_carrier_evidence() {
+        let mut f = base_features();
+        f.upnp_cpe = Some(ip(100, 64, 9, 12));
+        assert!(f.carrier_evidence());
+    }
+
+    #[test]
+    fn translated_without_home_gateway_is_carrier_evidence() {
+        // Scenario B: a naked device on routable-but-translated space.
+        let mut f = base_features();
+        f.device_addr = ip(1, 2, 3, 4);
+        f.device_reserved = None;
+        f.hops = vec![ip(198, 18, 0, 1), ip(198, 18, 0, 2)];
+        assert!(f.carrier_evidence());
+    }
+
+    #[test]
+    fn public_device_has_no_evidence() {
+        let mut f = base_features();
+        f.device_addr = ip(60, 0, 0, 9);
+        f.device_reserved = None;
+        f.hops = vec![ip(198, 18, 0, 1)];
+        assert_eq!(f.translated(), Some(false));
+        assert!(!f.carrier_evidence());
+        assert!(!f.home_nat_evidence());
+    }
+
+    #[test]
+    fn pooled_mappings_are_carrier_evidence() {
+        let mut f = base_features();
+        f.mapped = vec![
+            Endpoint::new(ip(60, 0, 0, 9), 40_000),
+            Endpoint::new(ip(60, 0, 0, 10), 40_001),
+        ];
+        assert!(f.carrier_evidence());
+        assert_eq!(f.distinct_mapped_ips(), 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! # cgn-detect — ISP-scale multi-perspective CGN detection & classification
+//!
+//! The paper's headline contribution is *detecting and characterizing*
+//! carrier-grade NAT from two vantage families: active probes run
+//! **inside** subscriber networks (Netalyzr) and passive observation
+//! from **outside** (BitTorrent/DHT). This crate reproduces that loop
+//! as a scored experiment campaign over controlled worlds:
+//!
+//! * [`features`] — the internal perspective: local-vs-mapped address
+//!   comparison, RFC 6598 realm detection, TTL hop enumeration to the
+//!   translator, port-preservation and pool probing via repeated
+//!   sessions;
+//! * [`bt_dht::observer`] (consumed here) — the external perspective:
+//!   distinct peers per external address, port churn, and §6.2
+//!   allocation-pattern signatures (per-connection vs. port-block vs.
+//!   deterministic);
+//! * [`mod@classify`] — the rule classifier fusing both into a per-AS
+//!   label: CGN / CPE-only NAT / public;
+//! * [`scenario`] — the controlled scenario library (NAT444, double
+//!   NAT, cellular, deterministic NAT, small/large pools, EIM vs. EDM
+//!   timeouts, and no-CGN controls), every CGN a sharded
+//!   [`nat_engine::ShardedNat`] inside the simulated network, loaded
+//!   at subscriber scale by `cgn_traffic::background`;
+//! * [`campaign`] — run the library, classify every AS, and
+//! * [`score`] — measure precision/recall/confusion against the
+//!   topology's ground truth.
+//!
+//! Campaign results are deterministic per seed and bit-identical for
+//! every worker-thread count.
+
+pub mod campaign;
+pub mod classify;
+pub mod features;
+pub mod scenario;
+pub mod score;
+
+pub use campaign::{
+    run_campaign, run_scenario, AsOutcome, CampaignConfig, CampaignReport, ScenarioOutcome,
+};
+pub use classify::{classify, AsFeatureSummary, ClassifierConfig};
+pub use features::{probe_vantage, VantageFeatures};
+pub use scenario::{standard_library, ScaleParams, ScenarioConfig};
+pub use score::{class_scores, AsLabel, ClassScore, Confusion};

@@ -1,0 +1,328 @@
+//! The scenario library: controlled worlds the campaign classifies
+//! and scores against ground truth.
+//!
+//! Every scenario is a full `topology` world — ASes, routing, sharded
+//! CGN deployments, CPE markets, subscribers — with the deployment
+//! policy pinned to the configuration under test
+//! ([`topology::CgnPolicyOverride`]): NAT444 mixes, pure double NAT,
+//! cellular carrier-only realms, deterministic NAT (RFC 7422),
+//! port-block allocation on a small pool, arbitrary pooling on a
+//! large pool, EIM vs. EDM mapping with short/unmeasurable timeouts,
+//! and two no-CGN controls (CPE-only and public) that keep the
+//! false-positive axis honest.
+
+use cgn_traffic::{BackgroundLoad, WorkloadMix};
+use nat_engine::{FilteringBehavior, MappingBehavior, Pooling, PortAllocation};
+use serde::{Deserialize, Serialize};
+use topology::{CgnPolicyOverride, TopologyConfig};
+
+/// Scale knobs shared by every scenario of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleParams {
+    /// Instrumented eyeball ASes per scenario.
+    pub ases_per_scenario: usize,
+    /// Subscribers per AS (uniform range).
+    pub subscribers_per_as: (usize, usize),
+    /// State shards per CGN instance.
+    pub cgn_shards: u16,
+    /// Internal vantage points sampled per AS.
+    pub vantages_per_as: usize,
+    /// Mapped flows per vantage (the repeated-session probe).
+    pub probe_flows: usize,
+    /// Background-load window per scenario (virtual seconds).
+    pub load_duration_secs: u64,
+    /// Worker threads for background-load batches.
+    pub threads: usize,
+}
+
+impl ScaleParams {
+    /// Test/CI scale: a few hundred subscribers per scenario, seconds
+    /// of wall time in debug builds.
+    pub fn quick() -> ScaleParams {
+        ScaleParams {
+            ases_per_scenario: 3,
+            subscribers_per_as: (40, 60),
+            cgn_shards: 2,
+            vantages_per_as: 8,
+            probe_flows: 6,
+            load_duration_secs: 90,
+            threads: 1,
+        }
+    }
+
+    /// The acceptance scale: ≥100k subscribers across the library,
+    /// every CGN instance a 4-shard `ShardedNat`.
+    pub fn standard() -> ScaleParams {
+        ScaleParams {
+            ases_per_scenario: 4,
+            subscribers_per_as: (3_900, 4_300),
+            cgn_shards: 4,
+            vantages_per_as: 12,
+            probe_flows: 6,
+            load_duration_secs: 180,
+            threads: 0, // one worker per core
+        }
+    }
+
+    /// Total subscribers a library of `n` scenarios will simulate, at
+    /// the midpoint of the per-AS range.
+    pub fn expected_subscribers(&self, scenarios: usize) -> u64 {
+        let mid = (self.subscribers_per_as.0 + self.subscribers_per_as.1) as u64 / 2;
+        scenarios as u64 * self.ases_per_scenario as u64 * mid
+    }
+}
+
+/// One scenario: a named topology plus its load shape.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    pub name: String,
+    pub topology: TopologyConfig,
+    pub load: BackgroundLoad,
+    pub vantages_per_as: usize,
+    pub probe_flows: usize,
+    pub seed: u64,
+}
+
+/// Spread `n` ASes across the five per-RIR slots.
+fn spread(n: usize) -> [usize; 5] {
+    let mut out = [0usize; 5];
+    for i in 0..n {
+        out[i % 5] += 1;
+    }
+    out
+}
+
+/// Base topology for a scenario: `n` eyeball ASes of one kind, no
+/// silent padding, scenario-scale subscribers, sharded CGNs.
+fn base(seed: u64, scale: &ScaleParams, cellular: bool) -> TopologyConfig {
+    let mut t = TopologyConfig::default_with_seed(seed);
+    let n = scale.ases_per_scenario;
+    t.residential_per_rir = spread(if cellular { 0 } else { n });
+    t.cellular_per_rir = spread(if cellular { n } else { 0 });
+    t.silent_as_ratio = 1;
+    t.subscribers_per_as = scale.subscribers_per_as;
+    t.cgn_shards = scale.cgn_shards;
+    t.cpe_models = 20;
+    t.p_second_bt_device = 0.0;
+    t
+}
+
+fn load(scale: &ScaleParams, cellular: bool, seed: u64) -> BackgroundLoad {
+    BackgroundLoad {
+        mix: if cellular {
+            WorkloadMix::cellular_daytime()
+        } else {
+            WorkloadMix::residential_evening()
+        },
+        duration_secs: scale.load_duration_secs,
+        epoch_secs: 30,
+        threads: scale.threads,
+        announce_share: 0.4,
+        max_observations_per_host: 6,
+        seed,
+    }
+}
+
+struct Shape {
+    name: &'static str,
+    cellular: bool,
+    /// P(CGN) for the scenario's AS kind (1.0 or 0.0 — scenarios are
+    /// controlled experiments, not mixtures).
+    p_cgn: f64,
+    /// P(a residential subscriber has a CPE router).
+    p_cpe: f64,
+    policy: Option<CgnPolicyOverride>,
+}
+
+/// The standard scenario library (10 scenarios). The required shapes
+/// — NAT444, double NAT, deterministic NAT, small/large pools, EIM
+/// vs. EDM timeouts, and no-CGN controls — each get a world.
+pub fn standard_library(seed: u64, scale: &ScaleParams) -> Vec<ScenarioConfig> {
+    let shapes = [
+        // NAT444 mix: most homes behind a CPE, all behind the CGN.
+        Shape {
+            name: "nat444",
+            cellular: false,
+            p_cgn: 1.0,
+            p_cpe: 0.65,
+            policy: None,
+        },
+        // Pure double NAT: every line CPE + CGN.
+        Shape {
+            name: "double-nat",
+            cellular: false,
+            p_cgn: 1.0,
+            p_cpe: 1.0,
+            policy: None,
+        },
+        // Cellular carrier realm: naked devices behind deep paths.
+        Shape {
+            name: "cellular-cgn",
+            cellular: true,
+            p_cgn: 1.0,
+            p_cpe: 0.0,
+            policy: None,
+        },
+        // RFC 7422 deterministic NAT, auto-sized blocks, bridged lines.
+        Shape {
+            name: "deterministic-nat",
+            cellular: false,
+            p_cgn: 1.0,
+            p_cpe: 0.0,
+            policy: Some(CgnPolicyOverride {
+                port_alloc: Some(PortAllocation::Deterministic { ports_per_host: 0 }),
+                pooling: Some(Pooling::Paired),
+                ..CgnPolicyOverride::default()
+            }),
+        },
+        // Bulk port blocks on a deliberately small pool.
+        Shape {
+            name: "port-block-small-pool",
+            cellular: false,
+            p_cgn: 1.0,
+            p_cpe: 0.3,
+            policy: Some(CgnPolicyOverride {
+                port_alloc: Some(PortAllocation::PortBlock { block_size: 1024 }),
+                pool_size: Some((8, 8)),
+                ..CgnPolicyOverride::default()
+            }),
+        },
+        // Arbitrary pooling over a large pool (the pooling probe).
+        Shape {
+            name: "large-pool-arbitrary",
+            cellular: false,
+            p_cgn: 1.0,
+            p_cpe: 0.3,
+            policy: Some(CgnPolicyOverride {
+                port_alloc: Some(PortAllocation::Random),
+                pooling: Some(Pooling::Arbitrary),
+                pool_size: Some((48, 64)),
+                ..CgnPolicyOverride::default()
+            }),
+        },
+        // EDM: symmetric mapping with a short timeout.
+        Shape {
+            name: "edm-short-timeout",
+            cellular: false,
+            p_cgn: 1.0,
+            p_cpe: 0.5,
+            policy: Some(CgnPolicyOverride {
+                mapping: Some(MappingBehavior::AddressAndPortDependent),
+                filtering: Some(FilteringBehavior::AddressAndPortDependent),
+                udp_timeout_secs: Some(30),
+                ..CgnPolicyOverride::default()
+            }),
+        },
+        // EIM: endpoint-independent with a timeout beyond the probe
+        // horizon.
+        Shape {
+            name: "eim-long-timeout",
+            cellular: false,
+            p_cgn: 1.0,
+            p_cpe: 0.5,
+            policy: Some(CgnPolicyOverride {
+                mapping: Some(MappingBehavior::EndpointIndependent),
+                filtering: Some(FilteringBehavior::EndpointIndependent),
+                udp_timeout_secs: Some(600),
+                ..CgnPolicyOverride::default()
+            }),
+        },
+        // Control: no CGN, homes behind CPE routers.
+        Shape {
+            name: "cpe-only-control",
+            cellular: false,
+            p_cgn: 0.0,
+            p_cpe: 0.95,
+            policy: None,
+        },
+        // Control: no CGN, naked public devices (cellular, no CPE).
+        Shape {
+            name: "public-control",
+            cellular: true,
+            p_cgn: 0.0,
+            p_cpe: 0.0,
+            policy: None,
+        },
+    ];
+
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let sseed = seed ^ ((i as u64 + 1) * 0x9E37_79B9);
+            let mut t = base(sseed, scale, s.cellular);
+            if s.cellular {
+                t.p_cgn_cellular_per_rir = [s.p_cgn; 5];
+                t.partial_deployment_cellular = (1.0, 1.0);
+            } else {
+                t.p_cgn_residential_per_rir = [s.p_cgn; 5];
+                t.partial_deployment = (1.0, 1.0);
+            }
+            t.p_cpe_residential = s.p_cpe;
+            t.p_bridged_modem_isp = 0.0;
+            t.cgn_policy = s.policy;
+            ScenarioConfig {
+                name: s.name.to_string(),
+                topology: t,
+                load: load(scale, s.cellular, sseed ^ 0x10AD),
+                vantages_per_as: scale.vantages_per_as,
+                probe_flows: scale.probe_flows,
+                seed: sseed,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_required_shapes() {
+        let lib = standard_library(7, &ScaleParams::quick());
+        assert!(lib.len() >= 6);
+        let names: Vec<&str> = lib.iter().map(|s| s.name.as_str()).collect();
+        for required in [
+            "nat444",
+            "double-nat",
+            "deterministic-nat",
+            "cpe-only-control",
+        ] {
+            assert!(names.contains(&required), "{required} missing");
+        }
+        // Controls really deploy no CGN; experiments always do.
+        for s in &lib {
+            let t = &s.topology;
+            let p = if t.cellular_per_rir.iter().sum::<usize>() > 0 {
+                t.p_cgn_cellular_per_rir[0]
+            } else {
+                t.p_cgn_residential_per_rir[0]
+            };
+            if s.name.ends_with("control") {
+                assert_eq!(p, 0.0, "{}", s.name);
+            } else {
+                assert_eq!(p, 1.0, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn standard_scale_reaches_acceptance_floor() {
+        let scale = ScaleParams::standard();
+        let lib = standard_library(1, &scale);
+        assert!(
+            scale.expected_subscribers(lib.len()) >= 100_000,
+            "standard library must simulate at least 100k subscribers"
+        );
+        assert!(scale.cgn_shards >= 2, "CGNs must actually be sharded");
+    }
+
+    #[test]
+    fn seeds_differ_per_scenario() {
+        let lib = standard_library(3, &ScaleParams::quick());
+        let mut seeds: Vec<u64> = lib.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), lib.len());
+    }
+}

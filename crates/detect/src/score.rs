@@ -1,0 +1,179 @@
+//! Scoring classifications against topology ground truth: per-class
+//! precision/recall and the 3×3 confusion matrix.
+
+use serde::{Deserialize, Serialize};
+
+/// The classifier's (and ground truth's) per-AS deployment label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AsLabel {
+    /// A carrier-grade NAT translates subscriber traffic.
+    Cgn,
+    /// Subscriber-side NAT (CPE) only; the ISP assigns public space.
+    CpeNat,
+    /// Subscribers hold public addresses with no NAT at all.
+    Public,
+}
+
+impl AsLabel {
+    pub const ALL: [AsLabel; 3] = [AsLabel::Cgn, AsLabel::CpeNat, AsLabel::Public];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AsLabel::Cgn => "cgn",
+            AsLabel::CpeNat => "cpe-nat",
+            AsLabel::Public => "public",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            AsLabel::Cgn => 0,
+            AsLabel::CpeNat => 1,
+            AsLabel::Public => 2,
+        }
+    }
+}
+
+/// Truth-major confusion matrix: `counts[truth][predicted]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    pub counts: [[u64; 3]; 3],
+}
+
+impl Confusion {
+    pub fn record(&mut self, truth: AsLabel, predicted: AsLabel) {
+        self.counts[truth.idx()][predicted.idx()] += 1;
+    }
+
+    pub fn merge(&mut self, other: &Confusion) {
+        for t in 0..3 {
+            for p in 0..3 {
+                self.counts[t][p] += other.counts[t][p];
+            }
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    fn correct(&self) -> u64 {
+        (0..3).map(|i| self.counts[i][i]).sum()
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            1.0
+        } else {
+            self.correct() as f64 / t as f64
+        }
+    }
+
+    /// Ground-truth instances of `label`.
+    pub fn support(&self, label: AsLabel) -> u64 {
+        self.counts[label.idx()].iter().sum()
+    }
+
+    /// Of everything predicted `label`, the fraction that truly is.
+    /// `1.0` when nothing was predicted `label` (vacuous precision).
+    pub fn precision(&self, label: AsLabel) -> f64 {
+        let p = label.idx();
+        let predicted: u64 = (0..3).map(|t| self.counts[t][p]).sum();
+        if predicted == 0 {
+            1.0
+        } else {
+            self.counts[p][p] as f64 / predicted as f64
+        }
+    }
+
+    /// Of everything truly `label`, the fraction predicted so. `1.0`
+    /// when the label has no ground-truth instances.
+    pub fn recall(&self, label: AsLabel) -> f64 {
+        let t = label.idx();
+        let support = self.support(label);
+        if support == 0 {
+            1.0
+        } else {
+            self.counts[t][t] as f64 / support as f64
+        }
+    }
+}
+
+/// One class's row of the score table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassScore {
+    pub label: AsLabel,
+    pub support: u64,
+    pub precision: f64,
+    pub recall: f64,
+}
+
+/// Score every class of a confusion matrix.
+pub fn class_scores(c: &Confusion) -> Vec<ClassScore> {
+    AsLabel::ALL
+        .iter()
+        .map(|&label| ClassScore {
+            label,
+            support: c.support(label),
+            precision: c.precision(label),
+            recall: c.recall(label),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let mut c = Confusion::default();
+        for l in AsLabel::ALL {
+            for _ in 0..4 {
+                c.record(l, l);
+            }
+        }
+        assert_eq!(c.total(), 12);
+        assert_eq!(c.accuracy(), 1.0);
+        for l in AsLabel::ALL {
+            assert_eq!(c.precision(l), 1.0);
+            assert_eq!(c.recall(l), 1.0);
+            assert_eq!(c.support(l), 4);
+        }
+    }
+
+    #[test]
+    fn misses_and_false_alarms_show_up() {
+        let mut c = Confusion::default();
+        // 3 true CGNs: 2 found, 1 called CPE (a miss).
+        c.record(AsLabel::Cgn, AsLabel::Cgn);
+        c.record(AsLabel::Cgn, AsLabel::Cgn);
+        c.record(AsLabel::Cgn, AsLabel::CpeNat);
+        // 1 CPE AS wrongly called CGN (a false alarm).
+        c.record(AsLabel::CpeNat, AsLabel::Cgn);
+        assert!((c.recall(AsLabel::Cgn) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision(AsLabel::Cgn) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.support(AsLabel::Cgn), 3);
+        assert!(c.accuracy() < 1.0);
+    }
+
+    #[test]
+    fn vacuous_classes_score_one() {
+        let mut c = Confusion::default();
+        c.record(AsLabel::Cgn, AsLabel::Cgn);
+        assert_eq!(c.precision(AsLabel::Public), 1.0);
+        assert_eq!(c.recall(AsLabel::Public), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Confusion::default();
+        a.record(AsLabel::Cgn, AsLabel::Cgn);
+        let mut b = Confusion::default();
+        b.record(AsLabel::Public, AsLabel::CpeNat);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.counts[2][1], 1);
+    }
+}

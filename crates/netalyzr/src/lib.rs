@@ -17,11 +17,13 @@
 //!   collection (Table 4), the 10-flow sequential TCP port test (Fig. 8),
 //!   IP pooling observation (§6.2), STUN, and TTL enumeration.
 
+pub mod probe;
 pub mod servers;
 pub mod session;
 pub mod stun;
 pub mod ttl_enum;
 
+pub use probe::{traceroute, udp_mapped};
 pub use servers::{EchoServer, MeasurementLab};
 pub use session::{run_session, ClientSpec, OsPortPolicy, PortTestResult, SessionReport};
 pub use stun::{StunClass, StunMessage, StunService};

@@ -117,6 +117,13 @@ pub struct MeasurementLab {
 }
 
 impl MeasurementLab {
+    /// Consecutive service addresses [`MeasurementLab::install`]
+    /// occupies starting at `base` (echo + two STUN hosts). The
+    /// `base + 200` core router is a hop label only, never a realm
+    /// address. Callers reserving lab space must skip exactly this
+    /// many addresses.
+    pub const SERVICE_ADDRS: u64 = 3;
+
     /// Install the lab's hosts in the public realm behind short core
     /// chains (so server-side hop counts are realistic).
     pub fn install(net: &mut Network, base: Ipv4Addr) -> MeasurementLab {

@@ -27,7 +27,7 @@
 //! not re-traverse NAT state, but carries the dying hop's address, which is
 //! all traceroute-style measurements observe).
 
-use nat_engine::{Nat, NatConfig, NatStats, NatVerdict};
+use nat_engine::{Nat, NatConfig, NatStats, NatVerdict, ShardedNat};
 use netcore::{Endpoint, Packet, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -73,9 +73,66 @@ struct HostNode {
     chain: Vec<Ipv4Addr>,
 }
 
+/// The translation engine behind a NAT node: a monolithic [`Nat`]
+/// (CPE routers, firewalls, single-box carrier NATs) or a
+/// [`ShardedNat`] whose state is partitioned across external-IP shards
+/// — the ISP-scale deployment shape ([`Network::add_nat_sharded`]).
+///
+/// The walk treats both identically. A sharded node keeps the
+/// engine's multi-chassis default (no cross-shard hairpin): an
+/// internal packet addressed to a sibling shard's pool address is
+/// translated, ascends to the external realm, resolves back to this
+/// same node and re-enters through the inbound path — the loop a real
+/// multi-box CGN routes through its core. This keeps the shard-batch
+/// path ([`Network::nat_sharded_mut`] + `ShardedNat::process_batches`)
+/// available for multi-threaded background load.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // NAT nodes are few; boxing would cost every packet hop
+pub(crate) enum Translator {
+    Mono(Nat),
+    Sharded(ShardedNat),
+}
+
+impl Translator {
+    fn process_outbound(&mut self, pkt: Packet, now: SimTime) -> NatVerdict {
+        match self {
+            Translator::Mono(n) => n.process_outbound(pkt, now),
+            Translator::Sharded(s) => s.process_outbound(pkt, now),
+        }
+    }
+
+    fn process_inbound(&mut self, pkt: Packet, now: SimTime) -> NatVerdict {
+        match self {
+            Translator::Mono(n) => n.process_inbound(pkt, now),
+            Translator::Sharded(s) => s.process_inbound(pkt, now),
+        }
+    }
+
+    fn sweep(&mut self, now: SimTime) {
+        match self {
+            Translator::Mono(n) => n.sweep(now),
+            Translator::Sharded(s) => s.sweep(now),
+        }
+    }
+
+    fn mapping_count(&self) -> usize {
+        match self {
+            Translator::Mono(n) => n.mapping_count(),
+            Translator::Sharded(s) => s.mapping_count(),
+        }
+    }
+
+    fn merged_stats(&self) -> NatStats {
+        match self {
+            Translator::Mono(n) => n.stats().clone(),
+            Translator::Sharded(s) => s.merged_stats(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct NatNode {
-    nat: Nat,
+    nat: Translator,
     internal_realm: RealmId,
     external_realm: RealmId,
     /// Router IPs between the NAT's external interface and the parent
@@ -230,19 +287,18 @@ impl Network {
         id
     }
 
-    /// Install a NAT whose external interface (pool `external_ips`) attaches
-    /// to `external_realm` behind `external_chain`. Creates and returns the
-    /// NAT's internal realm.
-    #[allow(clippy::too_many_arguments)] // mirrors the full NAT install tuple
-    pub fn add_nat(
+    /// The shared install body of [`Network::add_nat`] /
+    /// [`Network::add_nat_sharded`]: register the pool addresses in
+    /// the parent realm, create the internal realm, and attach the
+    /// node built by `make` from the (id-registered) pool.
+    fn install_nat(
         &mut self,
-        config: NatConfig,
         external_ips: Vec<Ipv4Addr>,
         external_realm: RealmId,
         external_chain: Vec<Ipv4Addr>,
         internal_addr: Ipv4Addr,
         internal_multicast: bool,
-        seed: u64,
+        make: impl FnOnce(Vec<Ipv4Addr>) -> Translator,
     ) -> (NodeId, RealmId) {
         let id = NodeId(self.nodes.len() as u32);
         let internal_realm = RealmId(self.realms.len() as u32);
@@ -260,13 +316,67 @@ impl Network {
             hosts: Vec::new(),
         });
         self.nodes.push(Node::Nat(NatNode {
-            nat: Nat::new(config, external_ips, seed),
+            nat: make(external_ips),
             internal_realm,
             external_realm,
             external_chain,
             internal_addr,
         }));
         (id, internal_realm)
+    }
+
+    /// Install a NAT whose external interface (pool `external_ips`) attaches
+    /// to `external_realm` behind `external_chain`. Creates and returns the
+    /// NAT's internal realm.
+    #[allow(clippy::too_many_arguments)] // mirrors the full NAT install tuple
+    pub fn add_nat(
+        &mut self,
+        config: NatConfig,
+        external_ips: Vec<Ipv4Addr>,
+        external_realm: RealmId,
+        external_chain: Vec<Ipv4Addr>,
+        internal_addr: Ipv4Addr,
+        internal_multicast: bool,
+        seed: u64,
+    ) -> (NodeId, RealmId) {
+        self.install_nat(
+            external_ips,
+            external_realm,
+            external_chain,
+            internal_addr,
+            internal_multicast,
+            |ips| Translator::Mono(Nat::new(config, ips, seed)),
+        )
+    }
+
+    /// Install a **sharded** NAT: translation state partitioned across
+    /// `shards` external-IP shards ([`nat_engine::ShardedNat`]) — the
+    /// deployment shape of an ISP-scale CGN. Otherwise identical to
+    /// [`Network::add_nat`]; `shards == 1` gives a single-shard engine
+    /// on the same code path.
+    ///
+    /// Panics (in `ShardedNat::new`) if `external_ips` holds fewer
+    /// addresses than `shards`.
+    #[allow(clippy::too_many_arguments)] // mirrors the full NAT install tuple
+    pub fn add_nat_sharded(
+        &mut self,
+        config: NatConfig,
+        external_ips: Vec<Ipv4Addr>,
+        shards: u16,
+        external_realm: RealmId,
+        external_chain: Vec<Ipv4Addr>,
+        internal_addr: Ipv4Addr,
+        internal_multicast: bool,
+        seed: u64,
+    ) -> (NodeId, RealmId) {
+        self.install_nat(
+            external_ips,
+            external_realm,
+            external_chain,
+            internal_addr,
+            internal_multicast,
+            |ips| Translator::Sharded(ShardedNat::new(config, ips, shards, seed)),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -295,26 +405,86 @@ impl Network {
         self.realms[realm.0 as usize].multicast
     }
 
-    /// Read-only access to a NAT's behaviour stats.
-    pub fn nat_stats(&self, id: NodeId) -> &NatStats {
+    fn nat_node(&self, id: NodeId) -> &NatNode {
         match &self.nodes[id.0 as usize] {
-            Node::Nat(n) => n.nat.stats(),
+            Node::Nat(n) => n,
             Node::Host(_) => panic!("{id:?} is a host, not a NAT"),
         }
     }
 
-    /// Mutable access to a NAT (tests & topology wiring).
-    pub fn nat_mut(&mut self, id: NodeId) -> &mut Nat {
+    fn nat_node_mut(&mut self, id: NodeId) -> &mut NatNode {
         match &mut self.nodes[id.0 as usize] {
-            Node::Nat(n) => &mut n.nat,
+            Node::Nat(n) => n,
             Node::Host(_) => panic!("{id:?} is a host, not a NAT"),
         }
     }
 
+    /// Read-only access to a monolithic NAT's behaviour stats. For
+    /// sharded nodes use [`Network::cgn_stats`] (counters must be
+    /// merged across shards, which cannot hand out a reference).
+    pub fn nat_stats(&self, id: NodeId) -> &NatStats {
+        match &self.nat_node(id).nat {
+            Translator::Mono(n) => n.stats(),
+            Translator::Sharded(_) => {
+                panic!("{id:?} is sharded; use cgn_stats for merged counters")
+            }
+        }
+    }
+
+    /// Behaviour counters of any NAT node, merged across shards when
+    /// the node is sharded.
+    pub fn cgn_stats(&self, id: NodeId) -> NatStats {
+        self.nat_node(id).nat.merged_stats()
+    }
+
+    /// Live mappings held by a NAT node (summed across shards).
+    pub fn nat_mapping_count(&self, id: NodeId) -> usize {
+        self.nat_node(id).nat.mapping_count()
+    }
+
+    /// Mutable access to a monolithic NAT (tests & topology wiring).
+    /// Panics for sharded nodes — use [`Network::nat_sharded_mut`].
+    pub fn nat_mut(&mut self, id: NodeId) -> &mut Nat {
+        match &mut self.nat_node_mut(id).nat {
+            Translator::Mono(n) => n,
+            Translator::Sharded(_) => {
+                panic!("{id:?} is sharded; use nat_sharded_mut")
+            }
+        }
+    }
+
+    /// Read access to a NAT node's engine. For sharded nodes this is
+    /// shard 0 — every shard runs the same [`NatConfig`], so this is
+    /// the right handle for behaviour/config introspection (stats and
+    /// mappings of one shard only; use [`Network::cgn_stats`] /
+    /// [`Network::nat_mapping_count`] for whole-node counters).
     pub fn nat(&self, id: NodeId) -> &Nat {
-        match &self.nodes[id.0 as usize] {
-            Node::Nat(n) => &n.nat,
-            Node::Host(_) => panic!("{id:?} is a host, not a NAT"),
+        match &self.nat_node(id).nat {
+            Translator::Mono(n) => n,
+            Translator::Sharded(s) => &s.shards()[0],
+        }
+    }
+
+    /// Whether a NAT node runs the sharded engine.
+    pub fn nat_is_sharded(&self, id: NodeId) -> bool {
+        matches!(self.nat_node(id).nat, Translator::Sharded(_))
+    }
+
+    /// The sharded engine behind a NAT node installed with
+    /// [`Network::add_nat_sharded`]. Panics for monolithic nodes.
+    pub fn nat_sharded(&self, id: NodeId) -> &ShardedNat {
+        match &self.nat_node(id).nat {
+            Translator::Sharded(s) => s,
+            Translator::Mono(_) => panic!("{id:?} is a monolithic NAT, not sharded"),
+        }
+    }
+
+    /// Mutable access to a sharded NAT node — the handle background
+    /// load drives batches through (`ShardedNat::process_batches`).
+    pub fn nat_sharded_mut(&mut self, id: NodeId) -> &mut ShardedNat {
+        match &mut self.nat_node_mut(id).nat {
+            Translator::Sharded(s) => s,
+            Translator::Mono(_) => panic!("{id:?} is a monolithic NAT, not sharded"),
         }
     }
 
@@ -1022,6 +1192,116 @@ mod tests {
         assert_eq!(d2[0].node, f.dev_c);
         let ack = Packet::tcp(src, server_ep(), TcpFlags::ACK, vec![]);
         assert_eq!(f.net.send(f.dev_c, ack).len(), 1);
+    }
+
+    /// A sharded CGN behind the walk: translation end-to-end, replies
+    /// routed back through the owner shard, whole-node counters merged.
+    #[test]
+    fn sharded_cgn_translates_end_to_end() {
+        let mut net = Network::new();
+        let server = net.add_host(
+            RealmId::PUBLIC,
+            ip(203, 0, 113, 10),
+            vec![ip(198, 19, 0, 1)],
+        );
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        let pool: Vec<_> = (1..=8).map(|k| ip(198, 51, 100, k)).collect();
+        let (cgn, realm) = net.add_nat_sharded(
+            cfg,
+            pool.clone(),
+            4,
+            RealmId::PUBLIC,
+            vec![ip(198, 19, 2, 1)],
+            ip(100, 64, 0, 1),
+            false,
+            9,
+        );
+        assert!(net.nat_is_sharded(cgn));
+        assert_eq!(net.nat_sharded(cgn).shard_count(), 4);
+        let mut devices = Vec::new();
+        for k in 0..16u8 {
+            let a = ip(100, 64, 1, 10 + k);
+            devices.push((net.add_host(realm, a, vec![]), a));
+        }
+        for (node, addr) in &devices {
+            let src = Endpoint::new(*addr, 40_000);
+            let ds = net.send(*node, Packet::udp(src, server_ep(), vec![]));
+            assert_eq!(ds.len(), 1);
+            assert_eq!(ds[0].node, server);
+            let ext = ds[0].pkt.src;
+            assert!(pool.contains(&ext.ip), "translated to a pool address");
+            // The owner shard routes the reply back.
+            let back = net.send(server, Packet::udp(server_ep(), ext, vec![]));
+            assert_eq!(back.len(), 1);
+            assert_eq!(back[0].node, *node);
+            assert_eq!(back[0].pkt.dst, src);
+        }
+        assert_eq!(net.nat_mapping_count(cgn), 16);
+        assert_eq!(net.cgn_stats(cgn).mappings_created, 16);
+        // Mappings expire through the clock like any monolithic node.
+        net.advance(SimDuration::from_secs(700));
+        assert_eq!(net.nat_mapping_count(cgn), 0);
+    }
+
+    /// Cross-shard internal-to-internal traffic under the multi-chassis
+    /// default: the packet ascends translated, resolves back to the
+    /// same node's pool address and re-enters through the inbound path.
+    #[test]
+    fn sharded_cgn_internal_traffic_loops_through_core() {
+        let mut net = Network::new();
+        let _server = net.add_host(RealmId::PUBLIC, ip(203, 0, 113, 10), vec![]);
+        let mut cfg = NatConfig::cgn_default();
+        cfg.filtering = FilteringBehavior::EndpointIndependent;
+        let pool: Vec<_> = (1..=4).map(|k| ip(198, 51, 100, k)).collect();
+        let (cgn, realm) = net.add_nat_sharded(
+            cfg,
+            pool,
+            4,
+            RealmId::PUBLIC,
+            vec![],
+            ip(100, 64, 0, 1),
+            false,
+            9,
+        );
+        // Find two devices in different shards.
+        let a_addr = ip(100, 64, 1, 10);
+        let a_shard = net.nat_sharded(cgn).shard_of(a_addr);
+        let b_addr = (11..200u8)
+            .map(|k| ip(100, 64, 1, k))
+            .find(|b| net.nat_sharded(cgn).shard_of(*b) != a_shard)
+            .expect("some address lands in another shard");
+        let a = net.add_host(realm, a_addr, vec![]);
+        let b = net.add_host(realm, b_addr, vec![]);
+        // B opens a mapping toward the public server.
+        let b_src = Endpoint::new(b_addr, 7000);
+        let out = net.send(b, Packet::udp(b_src, server_ep(), vec![]));
+        let b_ext = out[0].pkt.src;
+        // A sends to B's external endpoint: translated, looped through
+        // the external realm, delivered through the inbound path.
+        let ds = net.send(a, Packet::udp(Endpoint::new(a_addr, 7001), b_ext, vec![]));
+        assert_eq!(ds.len(), 1, "cross-shard internal traffic delivered");
+        assert_eq!(ds[0].node, b);
+        assert_eq!(ds[0].pkt.dst, b_src, "fully de-translated at B");
+        // Two traversals: A's outbound mapping plus B's original one.
+        assert_eq!(net.nat_mapping_count(cgn), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "use nat_sharded_mut")]
+    fn mono_accessor_rejects_sharded_node() {
+        let mut net = Network::new();
+        let (cgn, _) = net.add_nat_sharded(
+            NatConfig::cgn_default(),
+            vec![ip(198, 51, 100, 1), ip(198, 51, 100, 2)],
+            2,
+            RealmId::PUBLIC,
+            vec![],
+            ip(100, 64, 0, 1),
+            false,
+            1,
+        );
+        let _ = net.nat_mut(cgn);
     }
 
     #[test]

@@ -298,101 +298,120 @@ impl EventLog {
         self.records += 1;
     }
 
+    /// Remove and return the bytes encoded since the last drain,
+    /// keeping the encoder state (interned ids, delta-timestamp base,
+    /// record count) so encoding continues seamlessly. This is the
+    /// primitive behind streaming sinks ([`crate::sink::WriteSink`]):
+    /// the caller hands each drained chunk to an `io::Write` and the
+    /// in-memory log stays bounded by one record. Note a drained
+    /// `EventLog` no longer holds a decodable prefix — only the
+    /// concatenation of all drained chunks is.
+    pub fn drain_bytes(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
     /// Decode the whole log back into time-ordered records (ids
     /// resolved through the embedded define records).
     pub fn decode(&self) -> Result<Vec<Record>, DecodeError> {
-        let mut out = Vec::with_capacity(self.records as usize);
-        let mut subs: Vec<Ipv4Addr> = Vec::new();
-        let mut pools: Vec<(Ipv4Addr, Protocol)> = Vec::new();
-        let mut pos = 0usize;
-        let mut now_ms = 0u64;
-        let buf = &self.buf;
-        let resolve_sub = |subs: &[Ipv4Addr], id: u64| {
-            subs.get(id as usize)
-                .copied()
-                .ok_or(DecodeError::Malformed("undefined subscriber id"))
-        };
-        let resolve_pool = |pools: &[(Ipv4Addr, Protocol)], id: u64| {
-            pools
-                .get(id as usize)
-                .copied()
-                .ok_or(DecodeError::Malformed("undefined pool id"))
-        };
-        while pos < buf.len() {
-            let tag = buf[pos];
-            pos += 1;
-            match tag {
-                TAG_DEFINE_SUB => {
-                    let id = get_varint(buf, &mut pos)?;
-                    let ip = get_ipv4(buf, &mut pos)?;
-                    if id as usize != subs.len() {
-                        return Err(DecodeError::Malformed("non-dense subscriber define"));
-                    }
-                    subs.push(ip);
-                }
-                TAG_DEFINE_POOL => {
-                    let id = get_varint(buf, &mut pos)?;
-                    let ip = get_ipv4(buf, &mut pos)?;
-                    let proto = byte_proto(*buf.get(pos).ok_or(DecodeError::Truncated)?)?;
-                    pos += 1;
-                    if id as usize != pools.len() {
-                        return Err(DecodeError::Malformed("non-dense pool define"));
-                    }
-                    pools.push((ip, proto));
-                }
-                TAG_MAP_CREATE => {
-                    now_ms += get_varint(buf, &mut pos)?;
-                    let sub = resolve_sub(&subs, get_varint(buf, &mut pos)?)?;
-                    let (ip, proto) = resolve_pool(&pools, get_varint(buf, &mut pos)?)?;
-                    let port = get_varint(buf, &mut pos)? as u16;
-                    out.push(Record::MapCreate {
-                        at_ms: now_ms,
-                        subscriber: sub,
-                        proto,
-                        external: Endpoint::new(ip, port),
-                    });
-                }
-                TAG_MAP_EXPIRE => {
-                    now_ms += get_varint(buf, &mut pos)?;
-                    let (ip, proto) = resolve_pool(&pools, get_varint(buf, &mut pos)?)?;
-                    let port = get_varint(buf, &mut pos)? as u16;
-                    out.push(Record::MapExpire {
-                        at_ms: now_ms,
-                        proto,
-                        external: Endpoint::new(ip, port),
-                    });
-                }
-                TAG_BLOCK_ALLOC => {
-                    now_ms += get_varint(buf, &mut pos)?;
-                    let sub = resolve_sub(&subs, get_varint(buf, &mut pos)?)?;
-                    let (ip, proto) = resolve_pool(&pools, get_varint(buf, &mut pos)?)?;
-                    let start = get_varint(buf, &mut pos)? as u16;
-                    let len = get_varint(buf, &mut pos)? as u16;
-                    out.push(Record::BlockAlloc {
-                        at_ms: now_ms,
-                        subscriber: sub,
-                        proto,
-                        ext_ip: ip,
-                        block_start: start,
-                        block_len: len,
-                    });
-                }
-                TAG_BLOCK_RELEASE => {
-                    now_ms += get_varint(buf, &mut pos)?;
-                    let (ip, proto) = resolve_pool(&pools, get_varint(buf, &mut pos)?)?;
-                    let start = get_varint(buf, &mut pos)? as u16;
-                    out.push(Record::BlockRelease {
-                        at_ms: now_ms,
-                        proto,
-                        ext_ip: ip,
-                        block_start: start,
-                    });
-                }
-                _ => return Err(DecodeError::Malformed("unknown record tag")),
-            }
-        }
-        Ok(out)
+        decode_bytes(&self.buf)
     }
+}
+
+/// Decode a raw encoded byte stream — the standalone form of
+/// [`EventLog::decode`] for logs that were streamed to storage
+/// (e.g. through a [`crate::sink::WriteSink`]) rather than held in
+/// memory.
+pub fn decode_bytes(buf: &[u8]) -> Result<Vec<Record>, DecodeError> {
+    let mut out = Vec::new();
+    let mut subs: Vec<Ipv4Addr> = Vec::new();
+    let mut pools: Vec<(Ipv4Addr, Protocol)> = Vec::new();
+    let mut pos = 0usize;
+    let mut now_ms = 0u64;
+    let resolve_sub = |subs: &[Ipv4Addr], id: u64| {
+        subs.get(id as usize)
+            .copied()
+            .ok_or(DecodeError::Malformed("undefined subscriber id"))
+    };
+    let resolve_pool = |pools: &[(Ipv4Addr, Protocol)], id: u64| {
+        pools
+            .get(id as usize)
+            .copied()
+            .ok_or(DecodeError::Malformed("undefined pool id"))
+    };
+    while pos < buf.len() {
+        let tag = buf[pos];
+        pos += 1;
+        match tag {
+            TAG_DEFINE_SUB => {
+                let id = get_varint(buf, &mut pos)?;
+                let ip = get_ipv4(buf, &mut pos)?;
+                if id as usize != subs.len() {
+                    return Err(DecodeError::Malformed("non-dense subscriber define"));
+                }
+                subs.push(ip);
+            }
+            TAG_DEFINE_POOL => {
+                let id = get_varint(buf, &mut pos)?;
+                let ip = get_ipv4(buf, &mut pos)?;
+                let proto = byte_proto(*buf.get(pos).ok_or(DecodeError::Truncated)?)?;
+                pos += 1;
+                if id as usize != pools.len() {
+                    return Err(DecodeError::Malformed("non-dense pool define"));
+                }
+                pools.push((ip, proto));
+            }
+            TAG_MAP_CREATE => {
+                now_ms += get_varint(buf, &mut pos)?;
+                let sub = resolve_sub(&subs, get_varint(buf, &mut pos)?)?;
+                let (ip, proto) = resolve_pool(&pools, get_varint(buf, &mut pos)?)?;
+                let port = get_varint(buf, &mut pos)? as u16;
+                out.push(Record::MapCreate {
+                    at_ms: now_ms,
+                    subscriber: sub,
+                    proto,
+                    external: Endpoint::new(ip, port),
+                });
+            }
+            TAG_MAP_EXPIRE => {
+                now_ms += get_varint(buf, &mut pos)?;
+                let (ip, proto) = resolve_pool(&pools, get_varint(buf, &mut pos)?)?;
+                let port = get_varint(buf, &mut pos)? as u16;
+                out.push(Record::MapExpire {
+                    at_ms: now_ms,
+                    proto,
+                    external: Endpoint::new(ip, port),
+                });
+            }
+            TAG_BLOCK_ALLOC => {
+                now_ms += get_varint(buf, &mut pos)?;
+                let sub = resolve_sub(&subs, get_varint(buf, &mut pos)?)?;
+                let (ip, proto) = resolve_pool(&pools, get_varint(buf, &mut pos)?)?;
+                let start = get_varint(buf, &mut pos)? as u16;
+                let len = get_varint(buf, &mut pos)? as u16;
+                out.push(Record::BlockAlloc {
+                    at_ms: now_ms,
+                    subscriber: sub,
+                    proto,
+                    ext_ip: ip,
+                    block_start: start,
+                    block_len: len,
+                });
+            }
+            TAG_BLOCK_RELEASE => {
+                now_ms += get_varint(buf, &mut pos)?;
+                let (ip, proto) = resolve_pool(&pools, get_varint(buf, &mut pos)?)?;
+                let start = get_varint(buf, &mut pos)? as u16;
+                out.push(Record::BlockRelease {
+                    at_ms: now_ms,
+                    proto,
+                    ext_ip: ip,
+                    block_start: start,
+                });
+            }
+            _ => return Err(DecodeError::Malformed("unknown record tag")),
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ pub mod detmap;
 pub mod query;
 pub mod sink;
 
-pub use codec::{DecodeError, EventLog, Record};
+pub use codec::{decode_bytes, DecodeError, EventLog, Record};
 pub use detmap::DeterministicMap;
 pub use query::{linear_scan, TraceIndex};
-pub use sink::BinaryLogSink;
+pub use sink::{BinaryLogSink, WriteSink};

@@ -1,8 +1,16 @@
-//! The engine-facing sink: NAT events in, binary log bytes out.
+//! The engine-facing sinks: NAT events in, binary log bytes out.
+//!
+//! [`BinaryLogSink`] holds a whole run's log in memory (the right
+//! shape for analysis and differential tests); [`WriteSink`] streams
+//! the identical byte sequence into any `io::Write` instead, so a
+//! long run's log need never be resident — the file-backed sink the
+//! log-volume study's 75 GiB/day-per-million-subscribers projection
+//! calls for.
 
 use crate::codec::EventLog;
 use nat_engine::telemetry::{BlockEvent, EventSink, MappingEvent, TelemetryMode};
 use std::any::Any;
+use std::io::Write;
 
 /// An [`EventSink`] that encodes the events its [`TelemetryMode`]
 /// selects into an append-only [`EventLog`]:
@@ -90,6 +98,144 @@ impl EventSink for BinaryLogSink {
     }
 }
 
+/// An [`EventSink`] that encodes into any `io::Write` — the
+/// streaming sibling of [`BinaryLogSink`]. The encoder state
+/// (interned ids, delta-timestamp base) lives in an [`EventLog`]
+/// whose byte buffer is drained to the writer after every record, so
+/// resident memory stays bounded by one record regardless of run
+/// length, and the written stream is **byte-identical** to what
+/// [`BinaryLogSink`] would have accumulated (pinned by this module's
+/// round-trip test). Decode the stored stream with
+/// [`crate::codec::decode_bytes`].
+///
+/// I/O errors cannot surface through the engine's fire-and-forget
+/// event calls, so the sink goes *sticky-failed* on the first error:
+/// further records are dropped (counted in
+/// [`WriteSink::records_dropped`]) and the error is reported by
+/// [`WriteSink::io_error`] / returned by [`WriteSink::finish`].
+#[derive(Debug)]
+pub struct WriteSink<W: Write + Send + Sync> {
+    mode: TelemetryMode,
+    enc: EventLog,
+    out: W,
+    records_written: u64,
+    bytes_written: u64,
+    records_dropped: u64,
+    io_error: Option<std::io::Error>,
+}
+
+impl<W: Write + Send + Sync> WriteSink<W> {
+    pub fn new(mode: TelemetryMode, out: W) -> WriteSink<W> {
+        WriteSink {
+            mode,
+            enc: EventLog::new(),
+            out,
+            records_written: 0,
+            bytes_written: 0,
+            records_dropped: 0,
+            io_error: None,
+        }
+    }
+
+    pub fn mode(&self) -> TelemetryMode {
+        self.mode
+    }
+
+    /// Records successfully encoded and handed to the writer.
+    pub fn records_written(&self) -> u64 {
+        self.records_written
+    }
+
+    /// Encoded bytes handed to the writer.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Records dropped after the sink went sticky-failed.
+    pub fn records_dropped(&self) -> u64 {
+        self.records_dropped
+    }
+
+    /// The first I/O error, if any.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.io_error.as_ref()
+    }
+
+    /// Flush the writer and return it, or the first error the sink
+    /// swallowed (write-side or flush-side).
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.io_error {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+
+    /// Run `encode` against the encoder, then stream the freshly
+    /// encoded bytes to the writer.
+    fn record(&mut self, encode: impl FnOnce(&mut EventLog)) {
+        if self.io_error.is_some() {
+            self.records_dropped += 1;
+            return;
+        }
+        encode(&mut self.enc);
+        let chunk = self.enc.drain_bytes();
+        match self.out.write_all(&chunk) {
+            Ok(()) => {
+                self.records_written += 1;
+                self.bytes_written += chunk.len() as u64;
+            }
+            Err(e) => {
+                self.io_error = Some(e);
+                self.records_dropped += 1;
+            }
+        }
+    }
+}
+
+impl<W: Write + Send + Sync + 'static> EventSink for WriteSink<W> {
+    fn mapping_created(&mut self, event: &MappingEvent) {
+        if self.mode == TelemetryMode::PerConnection {
+            let e = *event;
+            self.record(|enc| enc.map_create(e.at, e.internal.ip, e.proto, e.external));
+        }
+    }
+
+    fn mapping_expired(&mut self, event: &MappingEvent) {
+        if self.mode == TelemetryMode::PerConnection {
+            let e = *event;
+            self.record(|enc| enc.map_expire(e.at, e.proto, e.external));
+        }
+    }
+
+    fn block_allocated(&mut self, event: &BlockEvent) {
+        if self.mode == TelemetryMode::PerBlock {
+            let e = *event;
+            self.record(|enc| {
+                enc.block_alloc(
+                    e.at,
+                    e.subscriber,
+                    e.proto,
+                    e.ext_ip,
+                    e.block_start,
+                    e.block_len,
+                )
+            });
+        }
+    }
+
+    fn block_released(&mut self, event: &BlockEvent) {
+        if self.mode == TelemetryMode::PerBlock {
+            let e = *event;
+            self.record(|enc| enc.block_release(e.at, e.proto, e.ext_ip, e.block_start));
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +277,126 @@ mod tests {
         off.mapping_created(&mapping_event(1024));
         off.block_allocated(&block_event());
         assert!(off.log().is_empty());
+    }
+
+    /// Sticky-failing writer: errors after `limit` bytes.
+    struct FailAfter {
+        taken: usize,
+        limit: usize,
+    }
+
+    impl std::io::Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.taken + buf.len() > self.limit {
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.taken += buf.len();
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// The satellite round-trip: a WriteSink's streamed bytes are
+    /// byte-identical to the in-memory EventLog a BinaryLogSink
+    /// accumulates from the same event sequence, and decode to the
+    /// same records.
+    #[test]
+    fn write_sink_stream_matches_event_log() {
+        let mut mem = BinaryLogSink::new(TelemetryMode::PerConnection);
+        let mut streamed = WriteSink::new(TelemetryMode::PerConnection, Vec::<u8>::new());
+        for (k, port) in [1024u16, 2048, 4096, 1024].into_iter().enumerate() {
+            let mut e = mapping_event(port);
+            e.at = SimTime::from_secs(2 * k as u64 + 1);
+            mem.mapping_created(&e);
+            streamed.mapping_created(&e);
+            e.at = SimTime::from_secs(2 * k as u64 + 2);
+            mem.mapping_expired(&e);
+            streamed.mapping_expired(&e);
+        }
+        assert_eq!(streamed.records_written(), 8);
+        assert_eq!(streamed.records_dropped(), 0);
+        assert_eq!(streamed.bytes_written(), mem.log().len_bytes());
+        let bytes = streamed.finish().expect("no I/O error");
+        assert_eq!(
+            bytes.as_slice(),
+            mem.log().bytes(),
+            "streams byte-identical"
+        );
+        let records = crate::codec::decode_bytes(&bytes).expect("stream decodes");
+        assert_eq!(records, mem.log().decode().expect("log decodes"));
+    }
+
+    /// Same equivalence driven through a real engine: logs from a
+    /// Nat carrying a WriteSink match a BinaryLogSink run.
+    #[test]
+    fn write_sink_matches_binary_sink_behind_a_nat() {
+        use nat_engine::{Nat, NatConfig};
+        use netcore::Packet;
+
+        let run = |sink: Box<dyn EventSink>| -> Nat {
+            let mut nat = Nat::new(NatConfig::cgn_default(), vec![ip(198, 51, 100, 1)], 7);
+            nat.set_sink(sink);
+            for k in 0..40u16 {
+                let src = Endpoint::new(ip(100, 64, 0, (k % 8) as u8 + 1), 40_000 + k);
+                let dst = Endpoint::new(ip(203, 0, 113, 10), 8000);
+                let _ = nat
+                    .process_outbound(Packet::udp(src, dst, vec![]), SimTime::from_secs(k as u64));
+            }
+            nat.sweep(SimTime::from_secs(400));
+            nat
+        };
+        let mut mem_nat = run(Box::new(BinaryLogSink::new(TelemetryMode::PerConnection)));
+        let mem = BinaryLogSink::from_sink(mem_nat.take_sink().expect("installed")).expect("type");
+        let mut stream_nat = run(Box::new(WriteSink::new(
+            TelemetryMode::PerConnection,
+            Vec::<u8>::new(),
+        )));
+        let streamed = stream_nat
+            .take_sink()
+            .expect("installed")
+            .into_any()
+            .downcast::<WriteSink<Vec<u8>>>()
+            .expect("type");
+        assert!(mem.log().records() > 0, "the run must log something");
+        let bytes = streamed.finish().expect("no I/O error");
+        assert_eq!(bytes.as_slice(), mem.log().bytes());
+        assert_eq!(
+            crate::codec::decode_bytes(&bytes).expect("decodes"),
+            mem.log().decode().expect("decodes")
+        );
+    }
+
+    #[test]
+    fn write_sink_mode_filters_like_binary_sink() {
+        let mut s = WriteSink::new(TelemetryMode::PerBlock, Vec::<u8>::new());
+        s.mapping_created(&mapping_event(1024));
+        assert_eq!(s.records_written(), 0, "mapping filtered in PerBlock mode");
+        s.block_allocated(&block_event());
+        assert_eq!(s.records_written(), 1);
+    }
+
+    #[test]
+    fn write_sink_goes_sticky_on_io_error() {
+        let mut s = WriteSink::new(
+            TelemetryMode::PerConnection,
+            FailAfter {
+                taken: 0,
+                limit: 24,
+            },
+        );
+        let mut port = 1024u16;
+        while s.io_error().is_none() && port < 2048 {
+            s.mapping_created(&mapping_event(port));
+            port += 1;
+        }
+        assert!(s.io_error().is_some(), "tiny limit must trip");
+        let written_at_failure = s.records_written();
+        s.mapping_created(&mapping_event(9000));
+        assert_eq!(s.records_written(), written_at_failure, "sticky-failed");
+        assert!(s.records_dropped() >= 2);
+        assert!(s.finish().is_err(), "finish surfaces the error");
     }
 
     #[test]

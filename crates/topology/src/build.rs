@@ -1,7 +1,7 @@
 //! Building the world: ASes, routing, NAT deployments, subscribers.
 
 use crate::alloc::{InternalRangeChoice, InternalSpaceAllocator, PublicSpaceAllocator};
-use crate::config::{CgnBehaviorProfile, TopologyConfig};
+use crate::config::{CgnBehaviorProfile, CgnPolicyOverride, TopologyConfig};
 use crate::models::{CpeModel, OsKind};
 use nat_engine::{
     FilteringBehavior, MappingBehavior, NatConfig, Pooling, PortAllocation, StunNatType,
@@ -71,6 +71,8 @@ pub struct CgnInstance {
     pub multicast: bool,
     /// Aggregation hops drawn for subscribers of this instance.
     pub agg_hops: (usize, usize),
+    /// State shards of the deployed `ShardedNat` engine.
+    pub shards: u16,
 }
 
 /// Ground truth for one instrumented (eyeball) AS.
@@ -124,9 +126,11 @@ impl RouterIpGen {
     }
 
     fn next(&mut self) -> Ipv4Addr {
-        let c = self.counter;
-        self.counter += 1;
-        assert!(c < (1 << 17), "router label space exhausted");
+        // Labels are hop identifiers, never realm addresses, so the
+        // 198.18/15 space may wrap at ISP scale: reuse across distant
+        // chains is harmless (chains are ≤ a handful of hops long).
+        let c = self.counter % (1 << 17);
+        self.counter = self.counter.wrapping_add(1);
         Ipv4Addr::from(u32::from(netcore::ip(198, 18, 0, 0)) + c)
     }
 
@@ -472,6 +476,32 @@ fn draw_cgn_behavior(
     (cfg, port_alloc, stun_type, udp_timeout_secs, pooling)
 }
 
+/// Pin drawn CGN behaviour fields to a scenario-controlled policy.
+fn apply_cgn_override(
+    cfg: &mut NatConfig,
+    ov: &CgnPolicyOverride,
+    pool_clamp: &mut (usize, usize),
+) {
+    if let Some(pa) = ov.port_alloc {
+        cfg.port_alloc = pa;
+    }
+    if let Some(m) = ov.mapping {
+        cfg.mapping = m;
+    }
+    if let Some(f) = ov.filtering {
+        cfg.filtering = f;
+    }
+    if let Some(t) = ov.udp_timeout_secs {
+        cfg.udp_timeout = SimDuration::from_secs(t);
+    }
+    if let Some(p) = ov.pooling {
+        cfg.pooling = p;
+    }
+    if let Some(clamp) = ov.pool_size {
+        *pool_clamp = clamp;
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn build_as(
     args: BuildAsArgs<'_>,
@@ -558,11 +588,19 @@ fn build_as(
         for inst in 0..n_instances {
             let choice = internal_choices[inst % internal_choices.len()];
             let internal_prefix = internal_alloc.next_subnet(choice, 18);
-            let (cfg, port_alloc, stun_type, udp_timeout_secs, _pooling) =
-                draw_cgn_behavior(rng, &profile);
-            let pooling = as_pooling;
+            let (cfg, _, _, _, _pooling) = draw_cgn_behavior(rng, &profile);
             let mut cfg = cfg;
-            cfg.pooling = pooling;
+            cfg.pooling = as_pooling;
+            // Scenario-controlled worlds pin the drawn behaviour. The
+            // override lands *before* the dependent hairpin draw (so
+            // the vendor correlation below reflects the deployed
+            // filtering class, not the discarded draw) yet changes no
+            // RNG draw count — the stream, and hence the rest of the
+            // world, is identical with and without a pinned policy.
+            let mut pool_clamp = (8usize, 32usize);
+            if let Some(ov) = &config.cgn_policy {
+                apply_cgn_override(&mut cfg, ov, &mut pool_clamp);
+            }
             cfg.hairpinning = rng.gen_bool(config.p_cgn_hairpin);
             // Vendors that hairpin without rewriting the source tend to be
             // the permissive ones; correlate with the filtering class.
@@ -577,16 +615,47 @@ fn build_as(
             };
             cfg.hairpin_internal_source = cfg.hairpinning && rng.gen_bool(p_keep_src);
             let multicast = rng.gen_bool(config.p_cgn_multicast);
+            let shards = config.cgn_shards.max(1);
             // Pool sized so clusters can span the ≥5-address detection
             // boundary for realistic subscriber counts (operators
-            // provision pools well above peak concurrency).
-            let pool_size = (n_subs / 3).clamp(8, 32);
+            // provision pools well above peak concurrency) — and so
+            // every state shard owns at least one address.
+            let pool_size = (n_subs / 3)
+                .clamp(pool_clamp.0, pool_clamp.1)
+                .max(shards as usize);
+            // RFC 7422 auto-sizing: the largest power-of-two block that
+            // still provisions a collision-free slot per subscriber.
+            // Deliberately conservative for distributed deployments:
+            // subscribers are split across instances only after the
+            // instances exist, so each instance is sized as if it had
+            // to hold the whole AS (smaller blocks, never collisions).
+            if let PortAllocation::Deterministic { ports_per_host: 0 } = cfg.port_alloc {
+                let capacity = (cfg.port_range.1 - cfg.port_range.0) as u64 + 1;
+                let mut pph: u64 = 4;
+                while pph * 2 <= 16_384
+                    && pool_size as u64 * (capacity / (pph * 2)) >= n_subs as u64
+                {
+                    pph *= 2;
+                }
+                cfg.port_alloc = PortAllocation::Deterministic {
+                    ports_per_host: pph as u16,
+                };
+            }
+            // Ground truth reflects the deployed configuration.
+            let port_alloc = cfg.port_alloc;
+            let stun_type = cfg.stun_type();
+            let udp_timeout_secs = cfg.udp_timeout.as_secs();
+            let pooling = cfg.pooling;
             let pool = pub_hosts.take(pool_size);
             let gw = internal_prefix.addr(1);
             let ext_chain = routers.chain(rng.gen_range(1..=2));
-            let (nat_node, realm) = net.add_nat(
+            // Every carrier NAT deploys as a ShardedNat (shards == 1 is
+            // a single-shard engine on the same code path) — the
+            // ISP-scale shape the detection campaign drives load into.
+            let (nat_node, realm) = net.add_nat_sharded(
                 cfg,
                 pool.clone(),
+                shards,
                 RealmId::PUBLIC,
                 ext_chain,
                 gw,
@@ -605,6 +674,7 @@ fn build_as(
                 pooling,
                 multicast,
                 agg_hops: profile.agg_hops,
+                shards,
             });
         }
     }

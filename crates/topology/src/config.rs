@@ -1,6 +1,7 @@
 //! Generator configuration: how much world to build and with which
 //! behaviour distributions.
 
+use nat_engine::{FilteringBehavior, MappingBehavior, Pooling, PortAllocation};
 use netcore::Rir;
 
 /// A CGN instance's behavioural profile drawn per deployment. The
@@ -66,6 +67,26 @@ impl CgnBehaviorProfile {
     }
 }
 
+/// Pin parts of the per-instance CGN behaviour draw to fixed values —
+/// the scenario-library control knob of the detection campaign. Every
+/// `None` keeps the [`CgnBehaviorProfile`] draw; `Some` overrides it
+/// in ground truth and deployed configuration alike.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CgnPolicyOverride {
+    /// Port-allocation policy. `Deterministic { ports_per_host: 0 }`
+    /// asks the builder to auto-size the block: the largest power of
+    /// two that still provisions a slot for every subscriber of the AS
+    /// (RFC 7422 deployments are sized exactly this way).
+    pub port_alloc: Option<PortAllocation>,
+    pub mapping: Option<MappingBehavior>,
+    pub filtering: Option<FilteringBehavior>,
+    pub udp_timeout_secs: Option<u64>,
+    pub pooling: Option<Pooling>,
+    /// Clamp range `(min, max)` for the per-instance external pool
+    /// size (the builder's default is `(n_subs / 3).clamp(8, 32)`).
+    pub pool_size: Option<(usize, usize)>,
+}
+
 /// Full generator configuration.
 #[derive(Debug, Clone)]
 pub struct TopologyConfig {
@@ -123,6 +144,13 @@ pub struct TopologyConfig {
     pub apnic_coverage: f64,
     /// P(a cellular CGN uses routable space internally) — Fig. 7b.
     pub p_routable_internal_cellular: f64,
+    /// State shards per CGN instance: every carrier NAT is deployed as
+    /// a [`nat_engine::ShardedNat`] partitioned across this many
+    /// external-IP shards (1 = a single-shard engine on the same code
+    /// path). CPE routers stay monolithic.
+    pub cgn_shards: u16,
+    /// Optional pinned CGN policy for scenario-controlled worlds.
+    pub cgn_policy: Option<CgnPolicyOverride>,
 }
 
 impl TopologyConfig {
@@ -163,6 +191,8 @@ impl TopologyConfig {
             pbl_coverage: 0.93,
             apnic_coverage: 0.95,
             p_routable_internal_cellular: 0.08,
+            cgn_shards: 1,
+            cgn_policy: None,
         }
     }
 

@@ -21,6 +21,6 @@ pub mod survey;
 
 pub use alloc::{InternalRangeChoice, PublicSpaceAllocator};
 pub use build::{AsDeployment, CgnInstance, CpeInfo, Scenario, Subscriber, World};
-pub use config::{CgnBehaviorProfile, TopologyConfig};
+pub use config::{CgnBehaviorProfile, CgnPolicyOverride, TopologyConfig};
 pub use models::{CpeModel, OsKind};
 pub use survey::{Survey, SurveyConfig};

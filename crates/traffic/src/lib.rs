@@ -54,11 +54,13 @@
 //! assert_eq!(summary.digest(), cgn_traffic::run(&cfg).digest());
 //! ```
 
+pub mod background;
 pub mod driver;
 pub mod modulation;
 mod wheel;
 pub mod workload;
 
+pub use background::{drive as drive_background, BackgroundLoad, LoadSummary, PeerObservation};
 pub use driver::{
     run, run_with_logs, shard_of_subscriber, shard_pool, subscriber_ip, DriverConfig, RunSummary,
     TelemetrySummary,

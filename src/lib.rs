@@ -6,6 +6,7 @@
 
 pub use analysis;
 pub use bt_dht;
+pub use cgn_detect;
 pub use cgn_study as study;
 pub use nat_engine;
 pub use netalyzr;

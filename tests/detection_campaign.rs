@@ -1,0 +1,62 @@
+//! The detection campaign's cross-crate guarantees: scored accuracy on
+//! the standard scenario library, determinism per seed, and
+//! bit-identical results across worker-thread counts (the driver's
+//! existing guarantee, extended to the campaign).
+
+use cgn_detect::{run_campaign, AsLabel, CampaignConfig};
+use cgn_study::check_gates;
+
+#[test]
+fn quick_campaign_meets_the_quality_gates() {
+    let rep = run_campaign(&CampaignConfig::quick(2016));
+    assert!(
+        rep.scenarios.len() >= 6,
+        "standard library holds at least six scenarios"
+    );
+    let names: Vec<&str> = rep.scenarios.iter().map(|s| s.name.as_str()).collect();
+    for required in ["nat444", "deterministic-nat", "cpe-only-control"] {
+        assert!(names.contains(&required), "{required} missing");
+    }
+    // Every scenario deployed CGNs as genuinely sharded engines.
+    for s in rep.scenarios.iter().filter(|s| s.cgn_instances > 0) {
+        assert!(
+            s.shards_per_instance >= 2,
+            "{}: CGN instances must be sharded",
+            s.name
+        );
+        assert!(s.flows_offered > 0, "{}: background load ran", s.name);
+    }
+    assert!(
+        check_gates(&rep).is_ok(),
+        "precision {:.3} / recall {:.3} below gates",
+        rep.cgn_precision,
+        rep.cgn_recall
+    );
+    // The controls keep the negative classes honest.
+    assert!(rep.confusion.support(AsLabel::CpeNat) > 0);
+    assert!(rep.confusion.support(AsLabel::Public) > 0);
+}
+
+/// Campaign results (features, classifications, scores) are
+/// bit-identical for every worker-thread count — threads are an
+/// execution detail of the background-load batch scatter, never an
+/// input to the result.
+#[test]
+fn campaign_bit_identical_across_thread_counts() {
+    let seq = run_campaign(&CampaignConfig::quick(31).with_threads(1));
+    for threads in [2, 4, 7] {
+        let par = run_campaign(&CampaignConfig::quick(31).with_threads(threads));
+        assert_eq!(seq, par, "threads={threads} diverged from sequential");
+        assert_eq!(seq.digest(), par.digest());
+    }
+}
+
+#[test]
+fn campaign_deterministic_per_seed() {
+    let a = run_campaign(&CampaignConfig::quick(11));
+    let b = run_campaign(&CampaignConfig::quick(11));
+    assert_eq!(a, b);
+    assert_eq!(a.digest(), b.digest());
+    let c = run_campaign(&CampaignConfig::quick(12));
+    assert_ne!(a.digest(), c.digest(), "seed must shape the campaign");
+}
