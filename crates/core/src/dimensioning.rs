@@ -56,8 +56,13 @@ pub struct DimensioningConfig {
     pub sweep_secs: u64,
     /// Telemetry applied to the per-mix sweep runs (`Off` keeps the
     /// engine on its zero-cost path; the logging study below always
-    /// measures all three policies regardless).
+    /// measures every policy regardless).
     pub telemetry: TelemetryMode,
+    /// Runtime-metrics aggregation window for the per-mix runs
+    /// (`None` = registries not installed, the zero-cost default).
+    /// Populates [`RunSummary::metrics`]
+    /// (`cgn_traffic::MetricsSummary`) for every mix.
+    pub metrics_window_secs: Option<u64>,
 }
 
 impl DimensioningConfig {
@@ -77,6 +82,7 @@ impl DimensioningConfig {
             sample_secs: 30,
             sweep_secs: 20,
             telemetry: TelemetryMode::Off,
+            metrics_window_secs: None,
         }
     }
 
@@ -96,6 +102,7 @@ impl DimensioningConfig {
             sample_secs: 60,
             sweep_secs: 30,
             telemetry: TelemetryMode::Off,
+            metrics_window_secs: None,
         }
     }
 
@@ -115,6 +122,7 @@ impl DimensioningConfig {
             sample_secs: self.sample_secs,
             sweep_secs: self.sweep_secs,
             telemetry: self.telemetry,
+            metrics_window_secs: self.metrics_window_secs,
             seed: self.seed,
         }
     }
@@ -142,6 +150,8 @@ const TRACE_PROBES: usize = 16;
 /// Block size of the port-block leg (the paper observes 512..16K
 /// port chunks; 1K is the canonical mid-range deployment value).
 const PORT_BLOCK_SIZE: u16 = 1024;
+/// Sampling ratio of the NetFlow-style sampled-logging leg.
+const SAMPLED_ONE_IN: u32 = 10;
 
 /// One allocation/logging policy's measured outcome on the reference
 /// mix: its log volume and whether sampled abuse probes resolved.
@@ -195,13 +205,22 @@ fn logging_study(config: &DimensioningConfig) -> Vec<LoggingPolicyRow> {
     let Some(mix) = config.mixes.first() else {
         return Vec::new();
     };
-    let legs: [(&str, PortAllocation, TelemetryMode); 3] = [
+    let legs: [(&str, PortAllocation, TelemetryMode); 4] = [
         // Whatever per-connection strategy the study configured
         // (random by default) with full create/expire logging.
         (
             "per-connection",
             config.nat.port_alloc,
             TelemetryMode::PerConnection,
+        ),
+        // Same allocation, NetFlow-style 1-in-N flow sampling — the
+        // affordable middle ground the full-volume row motivates.
+        (
+            "sampled",
+            config.nat.port_alloc,
+            TelemetryMode::Sampled {
+                one_in: SAMPLED_ONE_IN,
+            },
         ),
         (
             "port-block",
@@ -255,12 +274,18 @@ fn logging_study(config: &DimensioningConfig) -> Vec<LoggingPolicyRow> {
         .collect()
 }
 
-/// Probe a logged policy: sample create/grant records across the run
-/// and ask the interval index who held the endpoint at that instant.
-fn probe_logged(records: &[Record]) -> (usize, usize) {
+/// The probe-able targets of a decoded log: `(proto, external
+/// endpoint, instant, expected subscriber)` per create/grant record.
+fn probe_targets(
+    records: &[Record],
+) -> Vec<(
+    netcore::Protocol,
+    netcore::Endpoint,
+    u64,
+    std::net::Ipv4Addr,
+)> {
     use netcore::Endpoint;
-    let index = TraceIndex::build(records);
-    let targets: Vec<_> = records
+    records
         .iter()
         .filter_map(|r| match *r {
             Record::MapCreate {
@@ -286,7 +311,14 @@ fn probe_logged(records: &[Record]) -> (usize, usize) {
             )),
             _ => None,
         })
-        .collect();
+        .collect()
+}
+
+/// Probe a logged policy: sample create/grant records across the run
+/// and ask the interval index who held the endpoint at that instant.
+fn probe_logged(records: &[Record]) -> (usize, usize) {
+    let index = TraceIndex::build(records);
+    let targets = probe_targets(records);
     if targets.is_empty() {
         return (0, 0);
     }
@@ -300,6 +332,38 @@ fn probe_logged(records: &[Record]) -> (usize, usize) {
         }
     }
     (probes, resolved)
+}
+
+/// Queries timed for the probe-latency histogram.
+const LATENCY_PROBES: usize = 512;
+
+/// Wall-clock [`TraceIndex`] probe-latency histogram: build the index
+/// over `records`, then time up to `LATENCY_PROBES` (512) evenly-sampled
+/// `(ext IP, port, T)` queries, recording **nanoseconds** into a log2
+/// histogram.
+///
+/// Wall-clock values live in the artifact layer only (perf reports,
+/// `BENCH_metrics.json`) — they must never enter [`RunSummary`] or
+/// [`DimensioningReport`], which are compared bit-for-bit across runs
+/// and machines.
+pub fn probe_latency_histogram(records: &[Record]) -> cgn_metrics::Histogram {
+    let mut h = cgn_metrics::Histogram::default();
+    let index = TraceIndex::build(records);
+    let targets = probe_targets(records);
+    if targets.is_empty() {
+        return h;
+    }
+    let step = (targets.len() / LATENCY_PROBES).max(1);
+    for (proto, external, at_ms, _) in targets.iter().step_by(step).take(LATENCY_PROBES) {
+        let t0 = std::time::Instant::now();
+        let answer = index.query(*proto, *external, *at_ms);
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        // Keep the query observable so the timed call cannot be
+        // optimized away.
+        std::hint::black_box(answer);
+        h.record(elapsed);
+    }
+    h
 }
 
 /// Probe deterministic NAT: no log exists, so attribution inverts the
@@ -423,11 +487,40 @@ impl DimensioningReport {
             );
             let _ = writeln!(
                 o,
-                "shard balance: flow imbalance {:.3} | peak-mapping imbalance {:.3} (max/mean across {} shard(s))",
+                "shard balance: flow imbalance {:.3} | peak-mapping imbalance {:.3} (max/mean across {} shard(s)) | worst window {:.3} at t={} s",
                 r.shard_load.flow_imbalance,
                 r.shard_load.mapping_imbalance,
-                r.shard_load.flows_per_shard.len()
+                r.shard_load.flows_per_shard.len(),
+                r.shard_load.worst_window_flow_imbalance,
+                r.shard_load.worst_window_start_secs
             );
+            if let Some(m) = &r.metrics {
+                let _ = writeln!(o, "windowed metrics ({} s windows):", m.window_secs);
+                let _ = writeln!(
+                    o,
+                    "  window    flows/s   created   expired      live   fill-permille   wheel-depth   imbalance   drops"
+                );
+                for w in &m.windows {
+                    let _ = writeln!(
+                        o,
+                        "  {:>6}   {:>8.1}   {:>7}   {:>7}   {:>7}   {:>13}   {:>11}   {:>9.3}   {:>5}",
+                        w.start_secs,
+                        w.flows_per_sec,
+                        w.mappings_created,
+                        w.mappings_expired,
+                        w.mappings_live,
+                        w.allocator_fill_permille_worst,
+                        w.event_wheel_depth,
+                        w.shard_flow_imbalance,
+                        w.drops
+                    );
+                }
+                let _ = writeln!(
+                    o,
+                    "  worst-window flow imbalance {:.3} (window starting t={} s)",
+                    m.worst_window_flow_imbalance, m.worst_window_start_secs
+                );
+            }
             let _ = writeln!(
                 o,
                 "chunk-size sweep (paper §6.2 observes 512..16K chunks; 64 subs/IP at 1K):"
@@ -517,9 +610,9 @@ mod tests {
     }
 
     #[test]
-    fn logging_study_measures_all_three_policies() {
+    fn logging_study_measures_all_four_policies() {
         let rep = run_dimensioning(&tiny(3));
-        assert_eq!(rep.logging.len(), 3);
+        assert_eq!(rep.logging.len(), 4);
         let by_name = |n: &str| {
             rep.logging
                 .iter()
@@ -527,8 +620,19 @@ mod tests {
                 .unwrap_or_else(|| panic!("policy {n} missing"))
         };
         let per_conn = by_name("per-connection");
+        let sampled = by_name("sampled");
         let per_block = by_name("port-block");
         let det = by_name("deterministic");
+        // 1-in-10 flow sampling sits strictly between full
+        // per-connection volume and nothing.
+        assert!(sampled.volume.records > 0, "sampling must keep flows");
+        assert!(
+            sampled.volume.bytes * 3 < per_conn.volume.bytes,
+            "sampled ({}) must undercut per-connection ({})",
+            sampled.volume.bytes,
+            per_conn.volume.bytes
+        );
+        assert!(sampled.volume.bytes_per_subscriber_day > 0.0);
         // The paper's ordering: per-connection >> port-block > zero.
         assert!(per_conn.volume.bytes > 0 && per_conn.volume.records > 0);
         assert!(per_block.volume.records > 0);
@@ -612,6 +716,7 @@ mod tests {
         assert!(text.contains("shard balance"), "imbalance line");
         assert!(text.contains("logging / traceability"), "logging table");
         assert!(text.contains("per-connection"));
+        assert!(text.contains("sampled"), "NetFlow-style sampled row");
         assert!(text.contains("port-block"));
         assert!(text.contains("deterministic"));
         assert!(text.contains("bytes/sub/day"));
@@ -630,5 +735,43 @@ mod tests {
         let json = serde_json::to_string_pretty(&rep).expect("serializable");
         let back: DimensioningReport = serde_json::from_str(&json).expect("parseable");
         assert_eq!(rep, back);
+    }
+
+    #[test]
+    fn metrics_window_renders_live_table() {
+        let mut cfg = tiny(5);
+        cfg.metrics_window_secs = Some(60);
+        let rep = run_dimensioning(&cfg);
+        assert!(rep.runs.iter().all(|r| r.metrics.is_some()));
+        let text = rep.render();
+        assert!(text.contains("windowed metrics (60 s windows):"));
+        assert!(text.contains("flows/s"));
+        assert!(text.contains("fill-permille"));
+        assert!(text.contains("worst-window flow imbalance"));
+        assert!(text.contains("worst window"), "shard-balance worst window");
+        // Thread-count invariance holds with metrics installed too.
+        cfg.threads = 1;
+        let seq = run_dimensioning(&cfg);
+        cfg.threads = 3;
+        let par = run_dimensioning(&cfg);
+        assert_eq!(seq.runs, par.runs);
+    }
+
+    #[test]
+    fn probe_latency_histogram_measures_queries() {
+        let cfg = tiny(3);
+        let mut driver = cfg.driver_config(cfg.mixes[0].clone());
+        driver.telemetry = TelemetryMode::PerConnection;
+        let (_, logs) = cgn_traffic::run_with_logs(&driver);
+        let records: Vec<Record> = logs
+            .iter()
+            .flat_map(|l| l.decode().expect("self-produced log decodes"))
+            .collect();
+        let h = probe_latency_histogram(&records);
+        assert!(h.count > 0, "probes were timed");
+        assert!(h.count <= 512);
+        assert!(h.sum > 0, "wall time accumulated");
+        assert!(h.quantile(0.99) >= h.quantile(0.5));
+        assert_eq!(probe_latency_histogram(&[]).count, 0, "empty log is safe");
     }
 }

@@ -397,10 +397,10 @@ mod tests {
         let logging = &files[2].content;
         assert_eq!(
             logging.lines().count(),
-            1 + 3,
+            1 + 4,
             "one log-volume row per policy"
         );
-        for policy in ["per-connection", "port-block", "deterministic"] {
+        for policy in ["per-connection", "sampled", "port-block", "deterministic"] {
             assert!(logging.contains(policy), "{policy} row missing");
         }
         assert!(files[3].content.trim_start().starts_with('{'));

@@ -1,0 +1,124 @@
+//! Prometheus-style text exposition of a [`Snapshot`].
+//!
+//! Renders the classic text format (version 0.0.4): one `# TYPE` line
+//! per metric family, scalar samples as `name value`, histograms as
+//! cumulative `_bucket{le="…"}` series plus `_sum`/`_count`. Sample
+//! names may carry a label set (`…{reason="port-exhausted"}`); for
+//! histograms the `le` label is appended to any existing labels. The
+//! output is a plain deterministic function of the snapshot, so the
+//! exposition file is as reproducible as the run that produced it.
+
+use crate::instrument::Histogram;
+use crate::snapshot::{Snapshot, Value};
+use std::fmt::Write;
+
+/// Split `name{label="…"}` into `(family, Some(labels))`, or
+/// `(name, None)` when unlabelled.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+fn type_of(value: &Value) -> &'static str {
+    match value {
+        Value::Counter(_) => "counter",
+        Value::Gauge(_) | Value::Max(_) => "gauge",
+        Value::Histogram(_) => "histogram",
+    }
+}
+
+fn render_histogram(out: &mut String, family: &str, labels: Option<&str>, h: &Histogram) {
+    let with_le = |le: &str| match labels {
+        Some(l) => format!("{{{l},le=\"{le}\"}}"),
+        None => format!("{{le=\"{le}\"}}"),
+    };
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        let edge = Histogram::bucket_upper(i).to_string();
+        let _ = writeln!(out, "{family}_bucket{} {cumulative}", with_le(&edge));
+    }
+    let _ = writeln!(out, "{family}_bucket{} {}", with_le("+Inf"), h.count);
+    let plain = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
+    let _ = writeln!(out, "{family}_sum{plain} {}", h.sum);
+    let _ = writeln!(out, "{family}_count{plain} {}", h.count);
+}
+
+/// Render a snapshot as Prometheus text exposition. The snapshot
+/// should be normalized (sorted, name-unique); samples sharing a
+/// family (same name up to the label set) get one `# TYPE` header.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<String> = None;
+    for sample in &snapshot.samples {
+        let (raw_family, labels) = split_labels(&sample.name);
+        // Histogram sample lines append _bucket/_sum/_count to the family.
+        let family = raw_family.to_string();
+        if last_family.as_deref() != Some(family.as_str()) {
+            let _ = writeln!(out, "# TYPE {family} {}", type_of(&sample.value));
+            last_family = Some(family.clone());
+        }
+        match &sample.value {
+            Value::Histogram(h) => render_histogram(&mut out, &family, labels, h),
+            v => {
+                let plain = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
+                let _ = writeln!(out, "{family}{plain} {}", v.as_u64());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_with_one_type_line_per_family() {
+        let mut s = Snapshot::default();
+        s.push("cgn_mappings_live", Value::Gauge(42));
+        s.push(
+            "cgn_flows_rejected_total{reason=\"port-exhausted\"}",
+            Value::Counter(3),
+        );
+        s.push(
+            "cgn_flows_rejected_total{reason=\"session-limit\"}",
+            Value::Counter(1),
+        );
+        s.normalize();
+        let text = render(&s);
+        assert_eq!(
+            text.matches("# TYPE cgn_flows_rejected_total counter")
+                .count(),
+            1,
+            "labelled series share one family header:\n{text}"
+        );
+        assert!(text.contains("cgn_flows_rejected_total{reason=\"port-exhausted\"} 3"));
+        assert!(text.contains("cgn_flows_rejected_total{reason=\"session-limit\"} 1"));
+        assert!(text.contains("# TYPE cgn_mappings_live gauge"));
+        assert!(text.contains("cgn_mappings_live 42"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let mut h = Histogram::default();
+        h.record(1);
+        h.record(1);
+        h.record(3);
+        let mut s = Snapshot::default();
+        s.push("cgn_probe_latency_ns", Value::Histogram(h));
+        s.normalize();
+        let text = render(&s);
+        assert!(text.contains("# TYPE cgn_probe_latency_ns histogram"));
+        assert!(text.contains("cgn_probe_latency_ns_bucket{le=\"1\"} 2"));
+        assert!(
+            text.contains("cgn_probe_latency_ns_bucket{le=\"3\"} 3"),
+            "bucket counts are cumulative:\n{text}"
+        );
+        assert!(text.contains("cgn_probe_latency_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("cgn_probe_latency_ns_sum 5"));
+        assert!(text.contains("cgn_probe_latency_ns_count 3"));
+    }
+}

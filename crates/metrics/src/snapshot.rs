@@ -1,0 +1,265 @@
+//! Point-in-time metric snapshots: the merge/delta exchange format.
+//!
+//! A [`Snapshot`] is the unit that crosses a sample barrier: each
+//! shard renders its instruments into one, and the driver folds them
+//! **in shard order** into the fleet-wide view. Samples are kept
+//! sorted by name with one entry per name, so two snapshots merge by
+//! a deterministic linear merge-join and compare with derived
+//! equality — the property the cross-thread bit-identity tests pin.
+
+use crate::instrument::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// One metric's value. The variant decides merge and delta semantics:
+/// counters and histograms accumulate and subtract; gauges sum across
+/// disjoint shards but do not subtract over time; max-gauges take the
+/// maximum.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// Monotonic count: merges by `+`, deltas by `-`.
+    Counter(u64),
+    /// Instantaneous level: merges by `+` (disjoint shards), delta
+    /// keeps the current level.
+    Gauge(u64),
+    /// High-water level: merges by `max`, delta keeps the current level.
+    Max(u64),
+    /// Log2-bucketed distribution: merges bucket-wise, deltas
+    /// bucket-wise.
+    Histogram(Histogram),
+}
+
+impl Value {
+    fn merge(&mut self, other: &Value) {
+        match (self, other) {
+            (Value::Counter(a), Value::Counter(b)) => *a += b,
+            (Value::Gauge(a), Value::Gauge(b)) => *a += b,
+            (Value::Max(a), Value::Max(b)) => *a = (*a).max(*b),
+            (Value::Histogram(a), Value::Histogram(b)) => a.merge(b),
+            (a, b) => panic!("metric kind mismatch under one name: {a:?} vs {b:?}"),
+        }
+    }
+
+    fn delta_since(&self, prev: &Value) -> Value {
+        match (self, prev) {
+            (Value::Counter(a), Value::Counter(b)) => Value::Counter(a.saturating_sub(*b)),
+            (Value::Histogram(a), Value::Histogram(b)) => Value::Histogram(a.delta_since(b)),
+            // Levels have no meaningful difference over a window; the
+            // end-of-window level is the windowed observation.
+            (v, _) => v.clone(),
+        }
+    }
+
+    /// The scalar behind a counter/gauge/max value (histograms report
+    /// their observation count).
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            Value::Counter(v) | Value::Gauge(v) | Value::Max(v) => *v,
+            Value::Histogram(h) => h.count,
+        }
+    }
+}
+
+/// One named sample inside a snapshot. Names follow the Prometheus
+/// convention, optionally carrying a label set:
+/// `cgn_flows_rejected_total{reason="port-exhausted"}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    pub name: String,
+    pub value: Value,
+}
+
+/// A sorted, name-unique set of samples taken at one sim-time instant.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Append a sample. Callers may push in any order and with
+    /// duplicate names; [`Snapshot::normalize`] (or the first merge)
+    /// sorts and folds duplicates.
+    pub fn push(&mut self, name: impl Into<String>, value: Value) {
+        self.samples.push(Sample {
+            name: name.into(),
+            value,
+        });
+    }
+
+    /// Sort by name and fold duplicate names with their merge
+    /// semantics. Idempotent.
+    pub fn normalize(&mut self) {
+        self.samples.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut folded: Vec<Sample> = Vec::with_capacity(self.samples.len());
+        for s in self.samples.drain(..) {
+            match folded.last_mut() {
+                Some(last) if last.name == s.name => last.value.merge(&s.value),
+                _ => folded.push(s),
+            }
+        }
+        self.samples = folded;
+    }
+
+    /// Fold another snapshot into this one (both are normalized
+    /// first). Shard snapshots carry disjoint-state values, so the
+    /// merge is the fleet-wide total; merging in shard order makes the
+    /// result independent of which threads produced the inputs.
+    pub fn merge(&mut self, other: &Snapshot) {
+        let mut other = other.clone();
+        other.normalize();
+        self.normalize();
+        let mut merged: Vec<Sample> =
+            Vec::with_capacity(self.samples.len().max(other.samples.len()));
+        let mut mine = std::mem::take(&mut self.samples).into_iter().peekable();
+        let mut theirs = other.samples.into_iter().peekable();
+        loop {
+            match (mine.peek(), theirs.peek()) {
+                (Some(a), Some(b)) => match a.name.cmp(&b.name) {
+                    std::cmp::Ordering::Less => merged.push(mine.next().expect("peeked")),
+                    std::cmp::Ordering::Greater => merged.push(theirs.next().expect("peeked")),
+                    std::cmp::Ordering::Equal => {
+                        let mut a = mine.next().expect("peeked");
+                        let b = theirs.next().expect("peeked");
+                        a.value.merge(&b.value);
+                        merged.push(a);
+                    }
+                },
+                (Some(_), None) => merged.push(mine.next().expect("peeked")),
+                (None, Some(_)) => merged.push(theirs.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        self.samples = merged;
+    }
+
+    /// The per-window view against an earlier cumulative snapshot:
+    /// counters and histograms subtract; gauges and max-gauges keep
+    /// their end-of-window level. Names absent from `prev` keep their
+    /// full value.
+    pub fn delta_since(&self, prev: &Snapshot) -> Snapshot {
+        let mut out = Snapshot::default();
+        for s in &self.samples {
+            let value = match prev.get(&s.name) {
+                Some(p) => s.value.delta_since(p),
+                None => s.value.clone(),
+            };
+            out.push(s.name.clone(), value);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Look up a sample by exact name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.value)
+    }
+
+    /// Scalar value of a named sample (0 when absent).
+    pub fn scalar(&self, name: &str) -> u64 {
+        self.get(name).map(Value::as_u64).unwrap_or(0)
+    }
+
+    /// FNV-1a over the `Debug` rendering — the same cheap fingerprint
+    /// the run summaries use, for "bit-identical across thread
+    /// counts" assertions without hauling full snapshots around.
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(&str, Value)]) -> Snapshot {
+        let mut s = Snapshot::default();
+        for (name, v) in pairs {
+            s.push(*name, v.clone());
+        }
+        s.normalize();
+        s
+    }
+
+    #[test]
+    fn normalize_sorts_and_folds_duplicates() {
+        let mut s = Snapshot::default();
+        s.push("b_total", Value::Counter(1));
+        s.push("a_live", Value::Gauge(5));
+        s.push("b_total", Value::Counter(2));
+        s.normalize();
+        assert_eq!(
+            s.samples
+                .iter()
+                .map(|x| x.name.as_str())
+                .collect::<Vec<_>>(),
+            vec!["a_live", "b_total"]
+        );
+        assert_eq!(s.scalar("b_total"), 3);
+    }
+
+    #[test]
+    fn merge_follows_kind_semantics() {
+        let mut a = snap(&[
+            ("c_total", Value::Counter(10)),
+            ("live", Value::Gauge(4)),
+            ("worst", Value::Max(7)),
+        ]);
+        let b = snap(&[
+            ("c_total", Value::Counter(5)),
+            ("live", Value::Gauge(6)),
+            ("worst", Value::Max(3)),
+            ("only_b_total", Value::Counter(1)),
+        ]);
+        a.merge(&b);
+        assert_eq!(a.scalar("c_total"), 15, "counters add");
+        assert_eq!(a.scalar("live"), 10, "disjoint-shard gauges add");
+        assert_eq!(a.scalar("worst"), 7, "max-gauges take the max");
+        assert_eq!(a.scalar("only_b_total"), 1, "one-sided names survive");
+    }
+
+    #[test]
+    fn delta_subtracts_counters_keeps_levels() {
+        let earlier = snap(&[("c_total", Value::Counter(10)), ("live", Value::Gauge(4))]);
+        let later = snap(&[("c_total", Value::Counter(25)), ("live", Value::Gauge(2))]);
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.scalar("c_total"), 15);
+        assert_eq!(d.scalar("live"), 2, "gauge keeps its end-of-window level");
+    }
+
+    #[test]
+    fn digest_separates_distinct_snapshots() {
+        let a = snap(&[("c_total", Value::Counter(10))]);
+        let b = snap(&[("c_total", Value::Counter(11))]);
+        assert_eq!(a.digest(), a.clone().digest());
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "metric kind mismatch")]
+    fn kind_mismatch_under_one_name_is_a_bug() {
+        let mut a = snap(&[("x", Value::Counter(1))]);
+        let b = snap(&[("x", Value::Gauge(1))]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut h = Histogram::default();
+        h.record(3);
+        h.record(900);
+        let s = snap(&[
+            ("c_total", Value::Counter(2)),
+            ("lat_ns", Value::Histogram(h)),
+        ]);
+        let text = serde_json::to_string(&s).expect("serialize");
+        let back: Snapshot = serde_json::from_str(&text).expect("parse");
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,151 @@
+//! Windowed time-series aggregation over cumulative snapshots.
+//!
+//! The driver pushes the fleet-wide cumulative [`Snapshot`] at every
+//! sample barrier; a [`WindowSeries`] groups those instants into
+//! fixed-width windows keyed by **sim-time** (wall clock never enters,
+//! so the series is bit-identical across thread counts) and derives
+//! each window's delta against the previous window's end. The ring
+//! keeps the most recent `cap` windows — an always-on harness can run
+//! indefinitely at bounded memory.
+
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+
+/// One completed (or in-progress) aggregation window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Window {
+    /// Window start, inclusive, in sim-seconds.
+    pub start_secs: u64,
+    /// Window end, exclusive, in sim-seconds (`start + width`).
+    pub end_secs: u64,
+    /// Cumulative snapshot at the latest sample inside the window.
+    pub cumulative: Snapshot,
+    /// Difference to the previous window's end (counters/histograms
+    /// subtract; gauges report their end-of-window level).
+    pub delta: Snapshot,
+}
+
+/// A bounded ring of per-window aggregates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSeries {
+    /// Window width in sim-seconds.
+    pub width_secs: u64,
+    /// Maximum windows retained (oldest evicted first).
+    pub cap: usize,
+    /// Retained windows, oldest first.
+    pub windows: Vec<Window>,
+    /// Cumulative snapshot at the end of the window preceding
+    /// `windows.last()` — the subtrahend for the current window's
+    /// delta.
+    base: Snapshot,
+}
+
+impl WindowSeries {
+    /// A series of `width_secs`-wide windows keeping at most `cap`
+    /// of them. `width_secs` must be non-zero.
+    pub fn new(width_secs: u64, cap: usize) -> Self {
+        assert!(width_secs > 0, "window width must be non-zero");
+        WindowSeries {
+            width_secs,
+            cap: cap.max(1),
+            windows: Vec::new(),
+            base: Snapshot::default(),
+        }
+    }
+
+    /// Record the cumulative snapshot observed at sim-time `t_secs`.
+    /// Samples inside the same window update it in place; the first
+    /// sample past a window boundary closes the old window and opens
+    /// the next. Sample times must be non-decreasing.
+    pub fn push(&mut self, t_secs: u64, cumulative: Snapshot) {
+        let start_secs = (t_secs / self.width_secs) * self.width_secs;
+        match self.windows.last_mut() {
+            Some(w) if w.start_secs == start_secs => {
+                w.delta = cumulative.delta_since(&self.base);
+                w.cumulative = cumulative;
+            }
+            _ => {
+                if let Some(prev) = self.windows.last() {
+                    self.base = prev.cumulative.clone();
+                }
+                self.windows.push(Window {
+                    start_secs,
+                    end_secs: start_secs + self.width_secs,
+                    delta: cumulative.delta_since(&self.base),
+                    cumulative,
+                });
+                if self.windows.len() > self.cap {
+                    self.windows.remove(0);
+                }
+            }
+        }
+    }
+
+    /// The most recent cumulative snapshot, if any sample was pushed.
+    pub fn latest(&self) -> Option<&Snapshot> {
+        self.windows.last().map(|w| &w.cumulative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::Value;
+
+    fn cum(n: u64, live: u64) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.push("flows_total", Value::Counter(n));
+        s.push("live", Value::Gauge(live));
+        s.normalize();
+        s
+    }
+
+    #[test]
+    fn windows_are_keyed_by_sim_time_and_carry_deltas() {
+        let mut series = WindowSeries::new(30, 16);
+        series.push(10, cum(100, 5));
+        series.push(20, cum(250, 9));
+        assert_eq!(series.windows.len(), 1, "same window updated in place");
+        assert_eq!(series.windows[0].start_secs, 0);
+        assert_eq!(series.windows[0].delta.scalar("flows_total"), 250);
+        series.push(40, cum(400, 3));
+        assert_eq!(series.windows.len(), 2);
+        let w = &series.windows[1];
+        assert_eq!((w.start_secs, w.end_secs), (30, 60));
+        assert_eq!(
+            w.delta.scalar("flows_total"),
+            150,
+            "delta against the previous window's end"
+        );
+        assert_eq!(w.delta.scalar("live"), 3, "gauge keeps its level");
+        assert_eq!(series.latest().expect("pushed").scalar("flows_total"), 400);
+    }
+
+    #[test]
+    fn skipped_windows_attribute_the_whole_gap_to_the_next_sample() {
+        let mut series = WindowSeries::new(10, 16);
+        series.push(5, cum(10, 1));
+        // No sample lands in [10, 20); the next window's delta covers
+        // everything since the last observed window.
+        series.push(25, cum(70, 1));
+        assert_eq!(series.windows.len(), 2);
+        assert_eq!(series.windows[1].start_secs, 20);
+        assert_eq!(series.windows[1].delta.scalar("flows_total"), 60);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_keeps_delta_bases_honest() {
+        let mut series = WindowSeries::new(10, 2);
+        for k in 0..5u64 {
+            series.push(k * 10, cum((k + 1) * 100, k));
+        }
+        assert_eq!(series.windows.len(), 2, "capped");
+        let starts: Vec<u64> = series.windows.iter().map(|w| w.start_secs).collect();
+        assert_eq!(starts, vec![30, 40], "oldest evicted first");
+        assert_eq!(
+            series.windows[1].delta.scalar("flows_total"),
+            100,
+            "delta still spans exactly one window after eviction"
+        );
+    }
+}

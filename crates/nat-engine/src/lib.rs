@@ -28,6 +28,7 @@
 
 pub mod compliance;
 pub mod config;
+pub mod metrics;
 pub mod nat;
 pub mod ports;
 pub mod sharded;
@@ -42,6 +43,7 @@ pub use compliance::{
 pub use config::{
     FilteringBehavior, MappingBehavior, NatConfig, Pooling, PortAllocation, StunNatType,
 };
+pub use metrics::EngineMetrics;
 pub use nat::{DropReason, Mapping, Nat, NatStats, NatVerdict, PortOccupancy};
 pub use ports::PortAllocator;
 pub use sharded::ShardedNat;

@@ -14,9 +14,11 @@
 //! stats record — the observable that the paper's measurements build on.
 
 use crate::config::{FilteringBehavior, NatConfig, Pooling, PortAllocation, StunNatType};
+use crate::metrics::{EngineMetrics, MetricsSlot};
 use crate::ports::{self, PortAllocator, PortError};
 use crate::store::{MappingStore, StoreOccupancy, TcpConnState};
 use crate::telemetry::{BlockEvent, EventSink, MappingEvent, SinkSlot};
+use cgn_metrics::{Snapshot, Value};
 use netcore::{Endpoint, Packet, PacketBody, Protocol, SimDuration, SimTime, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -161,6 +163,10 @@ pub struct Nat {
     /// Telemetry sink (mapping create/expire, block grant/return);
     /// `None` — the default — costs one untaken branch per event site.
     sink: SinkSlot,
+    /// Runtime-metrics registry (see [`crate::metrics`]); same
+    /// `Option`-slot discipline as the sink: absent by default, one
+    /// untaken branch per fire site when disabled.
+    metrics: MetricsSlot,
 }
 
 impl Nat {
@@ -181,6 +187,7 @@ impl Nat {
             store: MappingStore::new(),
             stats: NatStats::default(),
             sink: SinkSlot(None),
+            metrics: MetricsSlot(None),
         }
     }
 
@@ -199,6 +206,66 @@ impl Nat {
     /// returning the engine to the zero-cost disabled state.
     pub fn take_sink(&mut self) -> Option<Box<dyn EventSink>> {
         self.sink.0.take()
+    }
+
+    /// Install a runtime-metrics registry: lifecycle fire sites
+    /// accumulate into it until [`Nat::take_metrics`] (see
+    /// [`crate::metrics`]). Replaces any previously installed one.
+    pub fn set_metrics(&mut self, metrics: Box<EngineMetrics>) {
+        self.metrics = MetricsSlot(Some(metrics));
+    }
+
+    /// Remove and return the installed metrics registry, if any,
+    /// returning the engine to the zero-cost disabled state.
+    pub fn take_metrics(&mut self) -> Option<Box<EngineMetrics>> {
+        self.metrics.0.take()
+    }
+
+    /// Render this shard's metrics into a snapshot: the registry's
+    /// accumulated counters plus barrier-time gauges the engine
+    /// already tracks (live mappings, slab occupancy, parked timers,
+    /// wheel-cascade work, allocator fill per pool). `None` when no
+    /// registry is installed. Values depend only on engine state, so
+    /// snapshots merged in shard order are bit-identical for any
+    /// worker-thread count.
+    pub fn metrics_snapshot(&self) -> Option<Snapshot> {
+        let m = self.metrics.0.as_deref()?;
+        let mut out = Snapshot::default();
+        m.render_into(&mut out);
+        let occ = self.store.occupancy();
+        out.push("cgn_mappings_live", Value::Gauge(occ.live));
+        out.push("cgn_slab_slots", Value::Gauge(occ.slots));
+        out.push("cgn_slab_free_slots", Value::Gauge(occ.free));
+        out.push("cgn_timers_pending", Value::Gauge(occ.timers));
+        out.push(
+            "cgn_timer_cascades_total",
+            Value::Counter(self.store.timer_cascades()),
+        );
+        let mut worst = 0u64;
+        for o in self.port_occupancy() {
+            let permille = (o.utilization() * 1000.0).round() as u64;
+            worst = worst.max(permille);
+            let proto = match o.proto {
+                Protocol::Udp => "udp",
+                Protocol::Tcp => "tcp",
+            };
+            out.push(
+                format!(
+                    "cgn_allocator_fill_permille{{pool=\"{}/{proto}\"}}",
+                    o.ext_ip
+                ),
+                Value::Gauge(permille),
+            );
+        }
+        out.push("cgn_allocator_fill_permille_worst", Value::Max(worst));
+        if let Some(sink) = &self.sink.0 {
+            if let Some((records, bytes)) = sink.volume() {
+                out.push("cgn_sink_records_total", Value::Counter(records));
+                out.push("cgn_sink_bytes_total", Value::Counter(bytes));
+            }
+        }
+        out.normalize();
+        Some(out)
     }
 
     pub fn stats(&self) -> &NatStats {
@@ -310,6 +377,9 @@ impl Nat {
         if inspected > 0 {
             self.stats.sweep_scans += 1;
         }
+        if let Some(m) = &mut self.metrics.0 {
+            m.on_sweep(inspected > 0, due.len() as u64);
+        }
         for slot in due {
             self.remove_mapping(slot, now);
             self.stats.mappings_expired += 1;
@@ -322,6 +392,9 @@ impl Nat {
             if let Some(Some(a)) = self.allocators.get_mut(pool as usize) {
                 a.release(m.external.port);
                 grant = a.take_block_grant();
+            }
+            if let Some(reg) = &mut self.metrics.0 {
+                reg.on_expired(grant.is_some());
             }
             if let Some(sink) = &mut self.sink.0 {
                 sink.mapping_expired(&MappingEvent {
@@ -424,6 +497,9 @@ impl Nat {
                 Ok(slot) => slot,
                 Err(reason) => {
                     self.stats.record_drop(reason);
+                    if let Some(m) = &mut self.metrics.0 {
+                        m.on_rejected(reason);
+                    }
                     return NatVerdict::Drop(reason);
                 }
             },
@@ -504,6 +580,9 @@ impl Nat {
                 }
             })?;
             let grant = alloc.take_block_grant();
+            if let (Some(m), Some(_)) = (&mut self.metrics.0, grant) {
+                m.on_block_grant();
+            }
             if let (Some(sink), Some(g)) = (&mut self.sink.0, grant) {
                 sink.block_allocated(&BlockEvent {
                     at: now,
@@ -521,6 +600,9 @@ impl Nat {
         let slot = self.store.insert(key, proto, m);
         self.stats.mappings_created += 1;
         self.stats.peak_mappings = self.stats.peak_mappings.max(self.store.len() as u64);
+        if let Some(reg) = &mut self.metrics.0 {
+            reg.on_created();
+        }
         if let Some(sink) = &mut self.sink.0 {
             sink.mapping_created(&MappingEvent {
                 at: now,
@@ -1306,6 +1388,80 @@ mod tests {
         assert_eq!(counts.blocks_allocated, 1);
         assert_eq!(counts.blocks_released, 1);
         assert_eq!(n.stats().mappings_created, 5);
+    }
+
+    #[test]
+    fn metrics_capture_mapping_and_block_lifecycle() {
+        use crate::metrics::EngineMetrics;
+        let mut cfg = NatConfig::cgn_default();
+        cfg.port_alloc = crate::config::PortAllocation::PortBlock { block_size: 512 };
+        cfg.mapping = MappingBehavior::AddressAndPortDependent;
+        let mut n = nat(cfg);
+        n.set_metrics(Box::<EngineMetrics>::default());
+        let src = internal_host(1);
+        for f in 0..5u16 {
+            let dst = Endpoint::new(ip(203, 0, 113, 10), 1000 + f);
+            assert!(matches!(
+                n.process_outbound(Packet::udp(src, dst, vec![]), t(0)),
+                NatVerdict::Forward(_)
+            ));
+        }
+        let snap = n.metrics_snapshot().expect("registry installed");
+        assert_eq!(snap.scalar("cgn_mappings_created_total"), 5);
+        assert_eq!(snap.scalar("cgn_mappings_live"), 5);
+        assert_eq!(snap.scalar("cgn_block_grants_total"), 1);
+        n.sweep(t(61)); // all five mappings idle out
+        let snap = n.metrics_snapshot().expect("registry installed");
+        assert_eq!(snap.scalar("cgn_mappings_expired_total"), 5);
+        assert_eq!(snap.scalar("cgn_mappings_live"), 0);
+        assert_eq!(snap.scalar("cgn_block_releases_total"), 1);
+        assert_eq!(snap.scalar("cgn_sweeps_total"), 1);
+        let reg = n.take_metrics().expect("registry recoverable");
+        assert_eq!(reg.mappings_created.get(), 5);
+        assert_eq!(reg.sweep_batch.count, 1);
+        assert!(n.metrics_snapshot().is_none(), "slot emptied");
+    }
+
+    #[test]
+    fn metrics_count_rejections_by_reason() {
+        use crate::metrics::EngineMetrics;
+        let mut cfg = NatConfig::cgn_default();
+        cfg.max_sessions_per_host = Some(2);
+        cfg.mapping = MappingBehavior::AddressAndPortDependent;
+        let mut n = nat(cfg);
+        n.set_metrics(Box::<EngineMetrics>::default());
+        let src = internal_host(1);
+        for f in 0..4u16 {
+            let dst = Endpoint::new(ip(203, 0, 113, 10), 1000 + f);
+            n.process_outbound(Packet::udp(src, dst, vec![]), t(0));
+        }
+        let snap = n.metrics_snapshot().expect("registry installed");
+        assert_eq!(
+            snap.scalar("cgn_flows_rejected_total{reason=\"session-limit\"}"),
+            2
+        );
+        assert_eq!(
+            snap.scalar("cgn_flows_rejected_total{reason=\"port-exhausted\"}"),
+            0
+        );
+    }
+
+    #[test]
+    fn metrics_disabled_changes_nothing() {
+        use crate::metrics::EngineMetrics;
+        let run = |with_metrics: bool| {
+            let mut n = Nat::new(NatConfig::cgn_default(), pool(), 99);
+            if with_metrics {
+                n.set_metrics(Box::<EngineMetrics>::default());
+            }
+            let mut seen = Vec::new();
+            for h in 1..=10 {
+                seen.push(udp_out(&mut n, internal_host(h), server(), t(0)).src);
+            }
+            n.sweep(t(120));
+            (seen, n.stats().clone())
+        };
+        assert_eq!(run(false), run(true), "metrics must be observation-only");
     }
 
     #[test]

@@ -25,9 +25,11 @@
 //! behaviourally identical to a monolithic [`Nat`].
 
 use crate::config::NatConfig;
+use crate::metrics::EngineMetrics;
 use crate::nat::{Nat, NatStats, NatVerdict, PortOccupancy};
 use crate::store::StoreOccupancy;
 use crate::telemetry::EventSink;
+use cgn_metrics::Snapshot;
 use netcore::{Packet, SimTime};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -157,6 +159,44 @@ impl ShardedNat {
     /// (`None` for shards that had none installed).
     pub fn take_sinks(&mut self) -> Vec<Option<Box<dyn EventSink>>> {
         self.shards.iter_mut().map(|s| s.take_sink()).collect()
+    }
+
+    /// Install one runtime-metrics registry per shard, in shard order
+    /// (see [`crate::metrics`]). Panics unless exactly one registry
+    /// per shard is supplied.
+    pub fn set_metrics(&mut self, registries: Vec<Box<EngineMetrics>>) {
+        assert_eq!(
+            registries.len(),
+            self.shards.len(),
+            "one metrics registry per shard required"
+        );
+        for (shard, registry) in self.shards.iter_mut().zip(registries) {
+            shard.set_metrics(registry);
+        }
+    }
+
+    /// Remove and return every shard's metrics registry, in shard
+    /// order (`None` for shards that had none installed).
+    pub fn take_metrics(&mut self) -> Vec<Option<Box<EngineMetrics>>> {
+        self.shards.iter_mut().map(|s| s.take_metrics()).collect()
+    }
+
+    /// Fleet-wide metrics snapshot: every shard's
+    /// [`Nat::metrics_snapshot`] merged in shard order. `None` when no
+    /// shard has a registry installed. Shard order — never thread
+    /// order — is what keeps the result bit-identical for any worker
+    /// count.
+    pub fn metrics_snapshot(&self) -> Option<Snapshot> {
+        let mut merged: Option<Snapshot> = None;
+        for shard in &self.shards {
+            if let Some(snap) = shard.metrics_snapshot() {
+                match &mut merged {
+                    Some(m) => m.merge(&snap),
+                    None => merged = Some(snap),
+                }
+            }
+        }
+        merged
     }
 
     pub fn shard_count(&self) -> usize {

@@ -302,6 +302,11 @@ struct TimerWheel {
     buckets: Vec<Vec<TimerEntry>>,
     /// Entries currently parked in buckets (live + stale).
     entries: usize,
+    /// Entries re-distributed downward by cascades since creation —
+    /// the wheel's background re-filing work, a pure function of the
+    /// deadline stream (one add per moved entry, cheap enough to
+    /// count unconditionally).
+    cascaded: u64,
 }
 
 impl TimerWheel {
@@ -312,6 +317,7 @@ impl TimerWheel {
                 .map(|_| Vec::new())
                 .collect(),
             entries: 0,
+            cascaded: 0,
         }
     }
 
@@ -339,6 +345,7 @@ impl TimerWheel {
     /// level below wraps around).
     fn cascade(&mut self, level: usize, bucket: usize) {
         let drained = std::mem::take(&mut self.buckets[level * WHEEL_BUCKETS + bucket]);
+        self.cascaded += drained.len() as u64;
         for e in drained {
             let b = self.place(e.deadline_ms);
             self.buckets[b].push(e);
@@ -774,6 +781,13 @@ impl MappingStore {
         }
         counts.retain(|&c| c > 0);
         counts
+    }
+
+    /// Timer-wheel entries re-distributed by cascades so far — the
+    /// wheel's cumulative background re-filing work (the
+    /// `cgn_timer_cascades_total` metric).
+    pub fn timer_cascades(&self) -> u64 {
+        self.wheel.cascaded
     }
 
     /// Current occupancy counters (arena, free-list, interners, wheel).

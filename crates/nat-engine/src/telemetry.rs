@@ -54,6 +54,12 @@ pub enum TelemetryMode {
     /// Record one allocate/release pair per contiguous port block
     /// (bulk port-block logging — what large deployments run).
     PerBlock,
+    /// NetFlow-style sampled per-connection logging: keep one mapping
+    /// in `one_in` (deterministic by flow-key hash, so the create and
+    /// expire records of a sampled mapping always travel together).
+    /// The operator's middle ground when full per-connection volume is
+    /// unaffordable but block granularity is too coarse.
+    Sampled { one_in: u32 },
 }
 
 impl TelemetryMode {
@@ -62,6 +68,7 @@ impl TelemetryMode {
             TelemetryMode::Off => "off",
             TelemetryMode::PerConnection => "per-connection",
             TelemetryMode::PerBlock => "per-block",
+            TelemetryMode::Sampled { .. } => "sampled",
         }
     }
 }
@@ -108,6 +115,13 @@ pub trait EventSink: Send + Sync {
     fn block_allocated(&mut self, event: &BlockEvent);
     fn block_released(&mut self, event: &BlockEvent);
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
+    /// Encoded `(records, bytes)` accumulated so far, for sinks that
+    /// measure log volume (`None` for sinks that don't). Lets the
+    /// engine's metrics snapshot surface sink throughput without
+    /// knowing the concrete sink type.
+    fn volume(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Counting sink for tests and overhead probes: tallies events,
@@ -161,6 +175,7 @@ mod tests {
         assert_eq!(TelemetryMode::PerConnection.name(), "per-connection");
         assert_eq!(TelemetryMode::PerBlock.name(), "per-block");
         assert_eq!(TelemetryMode::Off.name(), "off");
+        assert_eq!(TelemetryMode::Sampled { one_in: 10 }.name(), "sampled");
     }
 
     #[test]
@@ -169,6 +184,7 @@ mod tests {
             TelemetryMode::Off,
             TelemetryMode::PerConnection,
             TelemetryMode::PerBlock,
+            TelemetryMode::Sampled { one_in: 10 },
         ] {
             let v = serde_json::to_string(&mode).expect("serializable");
             let back: TelemetryMode = serde_json::from_str(&v).expect("parseable");

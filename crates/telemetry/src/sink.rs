@@ -8,7 +8,9 @@
 //! calls for.
 
 use crate::codec::EventLog;
+use nat_engine::sharded::mix64;
 use nat_engine::telemetry::{BlockEvent, EventSink, MappingEvent, TelemetryMode};
+use netcore::Protocol;
 use std::any::Any;
 use std::io::Write;
 
@@ -95,6 +97,99 @@ impl EventSink for BinaryLogSink {
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+
+    fn volume(&self) -> Option<(u64, u64)> {
+        Some((self.log.records(), self.log.len_bytes()))
+    }
+}
+
+/// NetFlow-style sampled per-connection logging: a 1-in-N decimating
+/// wrapper around a per-connection [`BinaryLogSink`]
+/// ([`TelemetryMode::Sampled`]). Sampling is **deterministic by flow
+/// key** — a hash of the mapping's internal/external endpoints and
+/// protocol decides membership — so the create and expire records of a
+/// sampled mapping always travel together, the kept subset is
+/// reproducible across runs and thread counts, and scaling a measured
+/// volume by `N` estimates the full per-connection burden. Block
+/// events pass through unsampled (they are already rare); with the
+/// per-connection inner mode they encode to nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampledSink {
+    one_in: u32,
+    inner: BinaryLogSink,
+}
+
+impl SampledSink {
+    /// Keep one mapping in `one_in` (`1` keeps everything).
+    pub fn new(one_in: u32) -> SampledSink {
+        assert!(one_in >= 1, "sampling ratio must be at least 1-in-1");
+        SampledSink {
+            one_in,
+            inner: BinaryLogSink::new(TelemetryMode::PerConnection),
+        }
+    }
+
+    pub fn one_in(&self) -> u32 {
+        self.one_in
+    }
+
+    pub fn log(&self) -> &EventLog {
+        self.inner.log()
+    }
+
+    /// Consume the sink, keeping its (sampled) log.
+    pub fn into_log(self) -> EventLog {
+        self.inner.into_log()
+    }
+
+    /// Recover a `SampledSink` from the boxed trait object the engine
+    /// hands back (`Nat::take_sink`).
+    pub fn from_sink(sink: Box<dyn EventSink>) -> Option<SampledSink> {
+        sink.into_any().downcast::<SampledSink>().ok().map(|b| *b)
+    }
+
+    /// The sampling decision: stable for a mapping's whole lifetime
+    /// because every field of the key is part of the mapping identity.
+    fn keep(&self, e: &MappingEvent) -> bool {
+        if self.one_in == 1 {
+            return true;
+        }
+        let ips = (u32::from(e.internal.ip) as u64) << 32 | u32::from(e.external.ip) as u64;
+        let rest = (e.internal.port as u64) << 32
+            | (e.external.port as u64) << 8
+            | matches!(e.proto, Protocol::Udp) as u64;
+        mix64(ips ^ mix64(rest)) % self.one_in as u64 == 0
+    }
+}
+
+impl EventSink for SampledSink {
+    fn mapping_created(&mut self, event: &MappingEvent) {
+        if self.keep(event) {
+            self.inner.mapping_created(event);
+        }
+    }
+
+    fn mapping_expired(&mut self, event: &MappingEvent) {
+        if self.keep(event) {
+            self.inner.mapping_expired(event);
+        }
+    }
+
+    fn block_allocated(&mut self, event: &BlockEvent) {
+        self.inner.block_allocated(event);
+    }
+
+    fn block_released(&mut self, event: &BlockEvent) {
+        self.inner.block_released(event);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn volume(&self) -> Option<(u64, u64)> {
+        self.inner.volume()
     }
 }
 
@@ -233,6 +328,10 @@ impl<W: Write + Send + Sync + 'static> EventSink for WriteSink<W> {
 
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+
+    fn volume(&self) -> Option<(u64, u64)> {
+        Some((self.records_written, self.bytes_written))
     }
 }
 
@@ -397,6 +496,50 @@ mod tests {
         assert_eq!(s.records_written(), written_at_failure, "sticky-failed");
         assert!(s.records_dropped() >= 2);
         assert!(s.finish().is_err(), "finish surfaces the error");
+    }
+
+    /// Every sampled create has its matching expire: the decision is a
+    /// pure function of the flow key, so a mapping is either fully
+    /// logged or fully absent — never a dangling half.
+    #[test]
+    fn sampled_sink_keeps_create_expire_pairs_together() {
+        let mut s = SampledSink::new(4);
+        for port in 1024u16..1424 {
+            s.mapping_created(&mapping_event(port));
+        }
+        let creates = s.log().records();
+        assert!(creates > 0 && creates < 400, "1-in-4 must decimate");
+        for port in 1024u16..1424 {
+            s.mapping_expired(&mapping_event(port));
+        }
+        assert_eq!(
+            s.log().records(),
+            creates * 2,
+            "exactly the sampled flows expire into the log"
+        );
+        let one_in_1 = {
+            let mut s = SampledSink::new(1);
+            for port in 1024u16..1424 {
+                s.mapping_created(&mapping_event(port));
+            }
+            s.log().records()
+        };
+        assert_eq!(one_in_1, 400, "1-in-1 keeps everything");
+    }
+
+    #[test]
+    fn sampled_sink_volume_tracks_inner_log_and_recovers() {
+        let mut sink: Box<dyn EventSink> = Box::new(SampledSink::new(1));
+        sink.mapping_created(&mapping_event(1024));
+        sink.mapping_expired(&mapping_event(1024));
+        assert_eq!(
+            sink.volume().expect("measures volume").0,
+            2,
+            "records surface through the trait"
+        );
+        let back = SampledSink::from_sink(sink).expect("downcast");
+        assert_eq!(back.one_in(), 1);
+        assert_eq!(back.into_log().records(), 2);
     }
 
     #[test]

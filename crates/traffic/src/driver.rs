@@ -23,11 +23,14 @@ use crate::modulation::Modulation;
 use crate::wheel::EventWheel;
 use crate::workload::{AppProfile, WorkloadMix};
 use analysis::log_volume;
-use analysis::port_demand::{self, DemandSeries, PortDemandReport, ShardDemand, ShardLoad};
-use cgn_telemetry::{BinaryLogSink, EventLog};
+use analysis::port_demand::{
+    self, max_over_mean, DemandSeries, PortDemandReport, ShardDemand, ShardLoad,
+};
+use cgn_metrics::{Snapshot, Value, WindowSeries};
+use cgn_telemetry::{BinaryLogSink, EventLog, SampledSink};
 use nat_engine::sharded::{mix64, scatter};
 use nat_engine::telemetry::TelemetryMode;
-use nat_engine::{Nat, NatConfig, NatStats, NatVerdict, ShardedNat, StoreOccupancy};
+use nat_engine::{EngineMetrics, Nat, NatConfig, NatStats, NatVerdict, ShardedNat, StoreOccupancy};
 use netcore::{Endpoint, Packet, SimTime, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -64,8 +67,15 @@ pub struct DriverConfig {
     /// Traceability logging: `Off` installs no sink (the zero-cost
     /// default); `PerConnection`/`PerBlock` install one
     /// [`BinaryLogSink`] per shard and surface the volume in
-    /// [`RunSummary::telemetry`] (raw logs via [`run_with_logs`]).
+    /// [`RunSummary::telemetry`] (raw logs via [`run_with_logs`]);
+    /// `Sampled` installs a [`SampledSink`] (1-in-N by flow-key hash).
     pub telemetry: TelemetryMode,
+    /// Runtime-metrics aggregation window in sim-seconds. `None` (the
+    /// zero-cost default) installs no [`EngineMetrics`] registries and
+    /// leaves [`RunSummary::metrics`] empty; `Some(w)` snapshots every
+    /// instrument at each sample barrier and folds the snapshots into
+    /// `w`-second windows.
+    pub metrics_window_secs: Option<u64>,
     pub seed: u64,
 }
 
@@ -84,9 +94,62 @@ impl DriverConfig {
             sample_secs: 60,
             sweep_secs: 30,
             telemetry: TelemetryMode::Off,
+            metrics_window_secs: None,
             seed,
         }
     }
+}
+
+/// One aggregation window of the metrics time series: the operator-
+/// facing rates and levels distilled from the window's snapshot delta
+/// (rates/counts) and its closing cumulative snapshot (levels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsWindow {
+    /// Window start, aligned to a multiple of the window width.
+    pub start_secs: u64,
+    /// Sim-time of the last sample folded into this window.
+    pub end_secs: u64,
+    /// New-flow attempts within the window.
+    pub flows_started: u64,
+    /// `flows_started / window width`.
+    pub flows_per_sec: f64,
+    /// Mappings created / expired within the window.
+    pub mappings_created: u64,
+    pub mappings_expired: u64,
+    /// Live mappings at the window's closing sample.
+    pub mappings_live: u64,
+    /// Worst allocator fill across every (external IP, protocol) pool
+    /// at the closing sample, in permille.
+    pub allocator_fill_permille_worst: u64,
+    /// Outstanding driver events at the closing sample, summed across
+    /// shard event wheels.
+    pub event_wheel_depth: u64,
+    /// `max/mean` of per-shard flow starts within the window — the
+    /// transient skew [`ShardLoad::flow_imbalance`] averages away.
+    pub shard_flow_imbalance: f64,
+    /// New-flow rejections (port exhaustion + session limit) within
+    /// the window.
+    pub drops: u64,
+}
+
+/// The windowed metrics aggregate of one run
+/// ([`RunSummary::metrics`], present when
+/// [`DriverConfig::metrics_window_secs`] is set). Thread-count
+/// invariant like every other summary field: per-shard snapshots are
+/// merged in shard order at sample barriers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    /// Aggregation window width in sim-seconds.
+    pub window_secs: u64,
+    /// Per-window rows, in time order.
+    pub windows: Vec<MetricsWindow>,
+    /// The final cumulative snapshot — every instrument in the stack
+    /// at run end (the Prometheus-exposition payload).
+    pub last: Snapshot,
+    /// Worst [`MetricsWindow::shard_flow_imbalance`] across windows.
+    pub worst_window_flow_imbalance: f64,
+    /// Start of the window behind `worst_window_flow_imbalance`.
+    pub worst_window_start_secs: u64,
 }
 
 /// Aggregate logging volume of one run (zeros when telemetry is off).
@@ -155,6 +218,9 @@ pub struct RunSummary {
     pub shard_load: ShardLoad,
     /// Traceability-log volume (zeros when telemetry is off).
     pub telemetry: TelemetrySummary,
+    /// Windowed runtime metrics (`None` unless
+    /// [`DriverConfig::metrics_window_secs`] is set).
+    pub metrics: Option<MetricsSummary>,
     /// Demand time series (merged across shards at each barrier).
     pub series: DemandSeries,
     /// Ports-per-subscriber distribution at the peak sample (sorted).
@@ -576,7 +642,18 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
     if config.telemetry != TelemetryMode::Off {
         sharded.set_sinks(
             (0..config.shards)
-                .map(|_| Box::new(BinaryLogSink::new(config.telemetry)) as _)
+                .map(|_| match config.telemetry {
+                    TelemetryMode::Sampled { one_in } => Box::new(SampledSink::new(one_in)) as _,
+                    mode => Box::new(BinaryLogSink::new(mode)) as _,
+                })
+                .collect(),
+        );
+    }
+    let metrics_on = config.metrics_window_secs.is_some();
+    if metrics_on {
+        sharded.set_metrics(
+            (0..config.shards)
+                .map(|_| Box::<EngineMetrics>::default())
                 .collect(),
         );
     }
@@ -622,6 +699,19 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
     let mut peak_dist: Vec<u32> = Vec::new();
     let modulation = &config.modulation;
 
+    // Per-window shard-skew tracking (always on — a handful of counter
+    // reads per barrier) and the metrics window ring (only fed when
+    // registries are installed).
+    let window_secs = config
+        .metrics_window_secs
+        .unwrap_or(config.sample_secs)
+        .max(1);
+    let mut windows = WindowSeries::new(window_secs, usize::MAX);
+    let mut prev_shard_flows: Vec<u64> = vec![0; config.shards as usize];
+    let mut prev_sample_secs = 0u64;
+    let mut worst_window_imbalance = 0.0f64;
+    let mut worst_window_start = 0u64;
+
     let mut barrier = |sharded: &mut ShardedNat,
                        states: &mut Vec<ShardState>,
                        boundary: u64,
@@ -641,6 +731,48 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
                 peak_dist = dist;
             }
             series.push(sample);
+
+            // Shard skew of this inter-barrier window: flow starts per
+            // shard since the previous sample.
+            let now_flows: Vec<u64> = states.iter().map(|st| st.flows_started).collect();
+            let deltas: Vec<u64> = now_flows
+                .iter()
+                .zip(&prev_shard_flows)
+                .map(|(now, prev)| now - prev)
+                .collect();
+            let imbalance = max_over_mean(&deltas);
+            if imbalance > worst_window_imbalance {
+                worst_window_imbalance = imbalance;
+                worst_window_start = prev_sample_secs;
+            }
+            prev_shard_flows = now_flows;
+            prev_sample_secs = boundary / 1000;
+
+            if metrics_on {
+                // Engine instruments merged in shard order, then the
+                // driver's own counters and backlog gauges on top.
+                let mut snap = sharded.metrics_snapshot().unwrap_or_default();
+                let (mut flows, mut blocked, mut completed) = (0u64, 0u64, 0u64);
+                let (mut packets, mut depth) = (0u64, 0u64);
+                for (i, st) in states.iter().enumerate() {
+                    flows += st.flows_started;
+                    blocked += st.flows_blocked;
+                    completed += st.flows_completed;
+                    packets += st.packets_sent;
+                    depth += st.wheel.len() as u64;
+                    snap.push(
+                        format!("cgn_shard_flows_total{{shard=\"{i}\"}}"),
+                        Value::Counter(st.flows_started),
+                    );
+                }
+                snap.push("cgn_flows_started_total", Value::Counter(flows));
+                snap.push("cgn_flows_blocked_total", Value::Counter(blocked));
+                snap.push("cgn_flows_completed_total", Value::Counter(completed));
+                snap.push("cgn_packets_sent_total", Value::Counter(packets));
+                snap.push("cgn_event_wheel_depth", Value::Gauge(depth));
+                snap.normalize();
+                windows.push(boundary / 1000, snap);
+            }
         }
     };
 
@@ -664,9 +796,13 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
             .take_sinks()
             .into_iter()
             .map(|sink| {
-                sink.and_then(BinaryLogSink::from_sink)
-                    .map(BinaryLogSink::into_log)
-                    .unwrap_or_default()
+                sink.and_then(|s| match config.telemetry {
+                    TelemetryMode::Sampled { .. } => {
+                        SampledSink::from_sink(s).map(SampledSink::into_log)
+                    }
+                    _ => BinaryLogSink::from_sink(s).map(BinaryLogSink::into_log),
+                })
+                .unwrap_or_default()
             })
             .collect()
     } else {
@@ -688,7 +824,49 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
             .iter()
             .map(|s| s.stats().peak_mappings)
             .collect(),
-    );
+    )
+    .with_worst_window(worst_window_imbalance, worst_window_start);
+
+    let metrics = config.metrics_window_secs.map(|w| {
+        let w = w.max(1);
+        let rows: Vec<MetricsWindow> = windows
+            .windows
+            .iter()
+            .map(|win| {
+                let d = &win.delta;
+                let c = &win.cumulative;
+                let shard_flows: Vec<u64> = (0..config.shards as usize)
+                    .map(|i| d.scalar(&format!("cgn_shard_flows_total{{shard=\"{i}\"}}")))
+                    .collect();
+                let flows_started = d.scalar("cgn_flows_started_total");
+                MetricsWindow {
+                    start_secs: win.start_secs,
+                    end_secs: win.end_secs,
+                    flows_started,
+                    flows_per_sec: flows_started as f64 / w as f64,
+                    mappings_created: d.scalar("cgn_mappings_created_total"),
+                    mappings_expired: d.scalar("cgn_mappings_expired_total"),
+                    mappings_live: c.scalar("cgn_mappings_live"),
+                    allocator_fill_permille_worst: c.scalar("cgn_allocator_fill_permille_worst"),
+                    event_wheel_depth: c.scalar("cgn_event_wheel_depth"),
+                    shard_flow_imbalance: max_over_mean(&shard_flows),
+                    drops: d.scalar("cgn_flows_rejected_total{reason=\"port-exhausted\"}")
+                        + d.scalar("cgn_flows_rejected_total{reason=\"session-limit\"}"),
+                }
+            })
+            .collect();
+        let (worst_imb, worst_start) = rows
+            .iter()
+            .map(|r| (r.shard_flow_imbalance, r.start_secs))
+            .fold((0.0f64, 0u64), |acc, x| if x.0 > acc.0 { x } else { acc });
+        MetricsSummary {
+            window_secs: w,
+            last: windows.latest().cloned().unwrap_or_default(),
+            worst_window_flow_imbalance: worst_imb,
+            worst_window_start_secs: worst_start,
+            windows: rows,
+        }
+    });
 
     let external_ips = config.shards as u64 * config.external_ips_per_shard as u64;
     let usable_ports_per_ip = (config.nat.port_range.1 - config.nat.port_range.0) as u32 + 1;
@@ -713,6 +891,7 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
         store,
         shard_load,
         telemetry,
+        metrics,
         series,
         peak_ports_per_subscriber: peak_dist,
         report,
@@ -938,6 +1117,100 @@ mod tests {
         );
     }
 
+    #[test]
+    fn metrics_summary_tracks_windows_and_instruments() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 7);
+        cfg.metrics_window_secs = Some(60);
+        let s = run(&cfg);
+        let m = s.metrics.as_ref().expect("registries installed");
+        assert_eq!(m.window_secs, 60);
+        assert!(!m.windows.is_empty());
+        // Window deltas telescope back to the run totals.
+        assert_eq!(
+            m.windows.iter().map(|w| w.flows_started).sum::<u64>(),
+            s.flows_started
+        );
+        assert_eq!(m.last.scalar("cgn_flows_started_total"), s.flows_started);
+        assert_eq!(
+            m.last.scalar("cgn_mappings_created_total"),
+            s.stats.mappings_created
+        );
+        assert_eq!(m.last.scalar("cgn_sweeps_total"), s.stats.sweeps);
+        assert!(m.windows.iter().any(|w| w.mappings_live > 0));
+        assert!(m.windows.iter().any(|w| w.flows_per_sec > 0.0));
+        assert!(
+            m.worst_window_flow_imbalance >= 1.0,
+            "two shards under load skew at least trivially"
+        );
+        assert!(
+            s.shard_load.worst_window_flow_imbalance >= 1.0,
+            "per-window skew reaches the shard-load summary"
+        );
+        // Observation only: the metrics-off run is otherwise identical.
+        let mut off = cfg.clone();
+        off.metrics_window_secs = None;
+        let off_run = run(&off);
+        assert!(off_run.metrics.is_none());
+        assert_eq!(off_run.stats, s.stats);
+        assert_eq!(off_run.series, s.series);
+        assert_eq!(off_run.flows_started, s.flows_started);
+    }
+
+    #[test]
+    fn metrics_bit_identical_across_thread_counts() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 21);
+        cfg.shards = 4;
+        cfg.metrics_window_secs = Some(30);
+        cfg.threads = 1;
+        let seq = run(&cfg);
+        let seq_m = seq.metrics.as_ref().expect("installed");
+        for threads in [2, 4] {
+            cfg.threads = threads;
+            let par = run(&cfg);
+            assert_eq!(seq, par, "threads={threads} diverged");
+            assert_eq!(
+                seq_m.last.digest(),
+                par.metrics.as_ref().expect("installed").last.digest(),
+                "snapshot digest at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_capture_sink_volume_when_telemetry_on() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 7);
+        cfg.telemetry = nat_engine::telemetry::TelemetryMode::PerConnection;
+        cfg.metrics_window_secs = Some(60);
+        let s = run(&cfg);
+        let m = s.metrics.expect("installed");
+        assert_eq!(m.last.scalar("cgn_sink_records_total"), s.telemetry.records);
+        assert_eq!(m.last.scalar("cgn_sink_bytes_total"), s.telemetry.bytes);
+        assert!(s.telemetry.records > 0);
+    }
+
+    #[test]
+    fn sampled_telemetry_decimates_per_connection_volume() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 7);
+        cfg.telemetry = nat_engine::telemetry::TelemetryMode::PerConnection;
+        let full = run(&cfg).telemetry;
+        cfg.telemetry = nat_engine::telemetry::TelemetryMode::Sampled { one_in: 10 };
+        let (s, logs) = run_with_logs(&cfg);
+        assert_eq!(logs.len(), cfg.shards as usize, "one log per shard");
+        assert!(s.telemetry.records > 0, "sampling must keep something");
+        let ratio = full.records as f64 / s.telemetry.records as f64;
+        assert!(
+            ratio > 5.0 && ratio < 20.0,
+            "1-in-10 flow sampling should cut records ~10x, got {ratio:.1}"
+        );
+        assert!(s.telemetry.bytes < full.bytes / 5);
+        // Observation only, like every other telemetry mode.
+        let mut off = cfg.clone();
+        off.telemetry = nat_engine::telemetry::TelemetryMode::Off;
+        let off_run = run(&off);
+        assert_eq!(off_run.stats, s.stats);
+        assert_eq!(off_run.series, s.series);
+    }
+
     /// The satellite determinism property: traceability logs are part
     /// of the run's deterministic output — bit-identical for every
     /// worker-thread count.
@@ -946,6 +1219,7 @@ mod tests {
         for mode in [
             nat_engine::telemetry::TelemetryMode::PerConnection,
             nat_engine::telemetry::TelemetryMode::PerBlock,
+            nat_engine::telemetry::TelemetryMode::Sampled { one_in: 8 },
         ] {
             let mut cfg = small(WorkloadMix::residential_evening(), 31);
             cfg.shards = 4;

@@ -62,8 +62,8 @@ pub mod workload;
 
 pub use background::{drive as drive_background, BackgroundLoad, LoadSummary, PeerObservation};
 pub use driver::{
-    run, run_with_logs, shard_of_subscriber, shard_pool, subscriber_ip, DriverConfig, RunSummary,
-    TelemetrySummary,
+    run, run_with_logs, shard_of_subscriber, shard_pool, subscriber_ip, DriverConfig,
+    MetricsSummary, MetricsWindow, RunSummary, TelemetrySummary,
 };
 pub use modulation::{DiurnalCurve, FlashCrowd, Modulation};
 pub use workload::{AppParams, AppProfile, WorkloadMix};

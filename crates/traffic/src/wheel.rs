@@ -61,8 +61,8 @@ impl<T> EventWheel<T> {
         }
     }
 
-    /// Outstanding (undelivered) events.
-    #[cfg(test)]
+    /// Outstanding (undelivered) events — the driver's backlog gauge
+    /// at metrics sample barriers.
     pub fn len(&self) -> usize {
         self.len
     }

@@ -1,0 +1,65 @@
+//! Cross-crate determinism of the windowed runtime metrics: the full
+//! metric trajectory — every window's cumulative and delta snapshot,
+//! not just the final state — must be bit-identical for any worker-
+//! thread count, because shard snapshots merge in shard order at
+//! sample barriers. Different seeds must still produce different
+//! metrics, or the invariance test would pass vacuously.
+
+use cgn_traffic::{DriverConfig, WorkloadMix};
+use nat_engine::telemetry::TelemetryMode;
+
+fn config(seed: u64, threads: usize) -> DriverConfig {
+    DriverConfig {
+        subscribers: 300,
+        shards: 4,
+        external_ips_per_shard: 2,
+        threads,
+        duration_secs: 180,
+        sample_secs: 30,
+        sweep_secs: 20,
+        metrics_window_secs: Some(30),
+        telemetry: TelemetryMode::PerConnection,
+        ..DriverConfig::new(WorkloadMix::p2p_heavy(), 0xCA4E ^ seed)
+    }
+}
+
+#[test]
+fn metric_trajectories_are_bit_identical_across_thread_counts() {
+    let reference = cgn_traffic::run(&config(1, 1));
+    let metrics = reference.metrics.as_ref().expect("metrics enabled");
+    assert!(!metrics.windows.is_empty(), "windows were aggregated");
+    assert!(
+        metrics.last.scalar("cgn_mappings_created_total") > 0,
+        "the run produced mappings"
+    );
+    assert!(
+        metrics.last.scalar("cgn_sink_records_total") > 0,
+        "the telemetry sink's volume is surfaced in the snapshot"
+    );
+    for threads in [2, 4] {
+        let other = cgn_traffic::run(&config(1, threads));
+        assert_eq!(
+            reference.metrics, other.metrics,
+            "full metrics summary must not depend on worker threads ({threads})"
+        );
+        assert_eq!(
+            metrics.last.digest(),
+            other.metrics.as_ref().unwrap().last.digest()
+        );
+        // The whole summary — not just the metrics — stays invariant.
+        assert_eq!(reference.digest(), other.digest());
+    }
+}
+
+#[test]
+fn metric_trajectories_differ_across_seeds() {
+    let a = cgn_traffic::run(&config(1, 2));
+    let b = cgn_traffic::run(&config(2, 2));
+    let (ma, mb) = (a.metrics.expect("metrics"), b.metrics.expect("metrics"));
+    assert_ne!(
+        ma.last.digest(),
+        mb.last.digest(),
+        "different seeds must yield different metric snapshots"
+    );
+    assert_ne!(ma, mb);
+}
