@@ -40,9 +40,19 @@
 //! baseline. Because 2% sits inside single-pass scheduling noise, a
 //! miss re-measures the sweep (up to best-of-3) before the gate
 //! fails: noise only subtracts throughput, a regression never passes.
+//!
+//! `batch-out=` turns on the burst-pipeline leg: the middle scale is
+//! swept across the [`BATCH_BURSTS`](cgn_bench::perf::BATCH_BURSTS)
+//! burst sizes, every burst size's digest is asserted bit-identical to
+//! the burst=1 scalar-equivalent pass, the rows land in
+//! `BENCH_batch.json`, and the run fails unless burst-128 throughput
+//! is at least the scalar pass's (re-measured up to best-of-3 first —
+//! the same noise argument as the metrics gate). The digest check is
+//! unconditional; the throughput gate needs no `check=` because it is
+//! self-relative.
 
 use cgn_bench::perf::{
-    check_against_baseline, run_perf, PerfReport, PerfSettings, DEFAULT_TOLERANCE,
+    check_against_baseline, fold_best_batch, run_perf, PerfReport, PerfSettings, DEFAULT_TOLERANCE,
 };
 use std::path::PathBuf;
 use std::process::exit;
@@ -62,6 +72,7 @@ fn main() {
     let mut metrics_out: Option<PathBuf> = None;
     let mut metrics_prom: Option<PathBuf> = None;
     let mut metrics_tolerance = METRICS_TOLERANCE;
+    let mut batch_out: Option<PathBuf> = None;
     // Presets apply first so explicit settings win regardless of
     // argument order (`quick seed=7` and `seed=7 quick` agree).
     if std::env::args().skip(1).any(|a| a == "quick") {
@@ -90,20 +101,24 @@ fn main() {
             metrics_prom = Some(v.into());
         } else if let Some(v) = arg.strip_prefix("metrics-tolerance=") {
             metrics_tolerance = v.parse().expect("metrics-tolerance must be a float");
+        } else if let Some(v) = arg.strip_prefix("batch-out=") {
+            batch_out = Some(v.into());
         } else {
             eprintln!(
                 "unknown argument '{arg}' \
                  (use quick, seed=N, threads=N, out=PATH, check=PATH, tolerance=F, \
                   logging-out=PATH, logging-tolerance=F, \
-                  metrics-out=PATH, metrics-prom=PATH, metrics-tolerance=F)"
+                  metrics-out=PATH, metrics-prom=PATH, metrics-tolerance=F, \
+                  batch-out=PATH)"
             );
             exit(2);
         }
     }
     settings.sink_overhead = logging_out.is_some();
     settings.metrics_overhead = metrics_out.is_some() || metrics_prom.is_some();
+    settings.batch_overhead = batch_out.is_some();
 
-    let report = run_perf(&settings);
+    let mut report = run_perf(&settings);
 
     println!(
         "dimensioning perf — seed {} | {} shard(s), {} worker thread(s) of {} core(s), {} s per mix",
@@ -111,8 +126,16 @@ fn main() {
     );
     for s in &report.scales {
         println!(
-            "  scale {:>2}x: {:>7} subscribers | {:>9} flows | {:>7.2} s wall | {:>10.0} flows/s | peak {} mappings",
-            s.scale, s.subscribers, s.flows, s.wall_secs, s.flows_per_sec, s.peak_mappings
+            "  scale {:>2}x: {:>7} subscribers | {:>9} flows | {:>7.2} s wall | {:>10.0} flows/s \
+             (median; envelope {:.0}..{:.0}) | peak {} mappings",
+            s.scale,
+            s.subscribers,
+            s.flows,
+            s.wall_secs,
+            s.flows_per_sec,
+            s.flows_per_sec_min,
+            s.flows_per_sec_max,
+            s.peak_mappings
         );
     }
     println!(
@@ -174,6 +197,62 @@ fn main() {
         }
     }
 
+    // Burst-pipeline gate: burst-128 must at least match the burst=1
+    // scalar-equivalent pass. Self-relative, so it needs no baseline;
+    // a miss re-measures the leg (up to best-of-3) before failing —
+    // scheduling noise only subtracts throughput, while a batched path
+    // that is genuinely slower than scalar loses every pass. Runs
+    // before the artifacts are written so the envelope lands in them.
+    let mut batch_gate_failed = false;
+    if settings.batch_overhead {
+        let mut section = report.batch.take().expect("batch leg measured");
+        let mut passes = 1;
+        let gate = |s: &cgn_bench::perf::BatchSection| {
+            let last = s.rows.last().expect("burst rows present");
+            (last.burst, last.relative_throughput)
+        };
+        while gate(&section).1 < 1.0 && passes < 3 {
+            let (burst, rel) = gate(&section);
+            passes += 1;
+            println!(
+                "batch gate: burst-{burst} at {:.1}% of scalar on pass {} — re-measuring \
+                 burst sweep (best-of-{passes} envelope)",
+                100.0 * rel,
+                passes - 1
+            );
+            fold_best_batch(&mut section, &settings, report.threads);
+        }
+        println!(
+            "  burst sweep at {}x ({} subscribers), prefetch distance {}:",
+            section.scale, section.subscribers, section.prefetch_distance
+        );
+        for row in &section.rows {
+            println!(
+                "    burst {:>4} {:>10.0} flows/s ({:>5.1}% of scalar)",
+                row.burst,
+                row.flows_per_sec,
+                100.0 * row.relative_throughput
+            );
+        }
+        let (burst, rel) = gate(&section);
+        if rel < 1.0 {
+            batch_gate_failed = true;
+            eprintln!(
+                "batch gate FAILED: burst-{burst} at {:.1}% of scalar throughput on every \
+                 one of {passes} pass(es)",
+                100.0 * rel
+            );
+        } else {
+            println!(
+                "batch gate passed: burst-{burst} at {:.1}% of scalar (best of {passes} \
+                 pass(es)); digest {} bit-identical across burst sizes",
+                100.0 * rel,
+                section.digest
+            );
+        }
+        report.batch = Some(section);
+    }
+
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     if let Err(e) = std::fs::write(&out, json.as_bytes()) {
         eprintln!("failed to write {}: {e}", out.display());
@@ -218,6 +297,28 @@ fn main() {
             }
             println!("wrote {}", path.display());
         }
+    }
+
+    if let Some(path) = &batch_out {
+        match report.batch_report() {
+            Some(standalone) => {
+                let json = serde_json::to_string_pretty(&standalone).expect("batch serializes");
+                if let Err(e) = std::fs::write(path, json.as_bytes()) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    exit(1);
+                }
+                println!("wrote {}", path.display());
+            }
+            None => {
+                eprintln!("batch-out given but no batch section was measured");
+                exit(1);
+            }
+        }
+    }
+    // Fail after the artifacts are on disk, so a gate trip is
+    // diagnosable from the uploaded JSON alone.
+    if batch_gate_failed {
+        exit(1);
     }
 
     if let Some(path) = check {

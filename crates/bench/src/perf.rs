@@ -28,8 +28,10 @@ use std::time::Instant;
 
 /// Schema tag stamped into every report, for forward compatibility of
 /// the committed baseline. `/2` added per-shard imbalance metrics and
-/// the machine-relative `scaling_ratio`.
-pub const SCHEMA: &str = "cgn-dimensioning-perf/2";
+/// the machine-relative `scaling_ratio`; `/3` added the median-of-N
+/// per-scale envelope (`flows_per_sec_min`/`_max`) and the batch
+/// (burst-pipeline) section.
+pub const SCHEMA: &str = "cgn-dimensioning-perf/3";
 
 /// Default regression tolerance: fail when a machine-relative ratio
 /// (scaling ratio, parallel speedup) drops by more than 20% against
@@ -65,6 +67,22 @@ pub struct PerfSettings {
     /// measurement. Costs up to three extra middle-scale passes, so it
     /// is opt-in (the CI `metrics` job turns it on).
     pub metrics_overhead: bool,
+    /// Timed passes per scale: each scale is measured `passes` times,
+    /// the median pass (by flows/sec) becomes the reported number and
+    /// the min/max land in the artifact
+    /// ([`ScalePerf::flows_per_sec_min`]/[`ScalePerf::flows_per_sec_max`]),
+    /// so a gate trip is
+    /// diagnosable from the JSON alone. Every pass must produce a
+    /// bit-identical digest — the repeat doubles as a determinism
+    /// check. `0` behaves like `1`.
+    pub passes: usize,
+    /// Also measure the burst-pipeline throughput at the middle scale
+    /// ([`Nat::process_burst`](nat_engine::Nat::process_burst) at the
+    /// [`BATCH_BURSTS`] sizes, digest-checked against the burst=1
+    /// scalar-equivalent pass) and attach a [`BatchSection`]. Costs
+    /// one extra middle-scale sweep per burst size, so it is opt-in
+    /// (the CI `batch` job turns it on).
+    pub batch_overhead: bool,
 }
 
 impl PerfSettings {
@@ -79,6 +97,8 @@ impl PerfSettings {
             threads: 0,
             sink_overhead: false,
             metrics_overhead: false,
+            passes: 3,
+            batch_overhead: false,
         }
     }
 
@@ -93,6 +113,8 @@ impl PerfSettings {
             threads: 0,
             sink_overhead: false,
             metrics_overhead: false,
+            passes: 1,
+            batch_overhead: false,
         }
     }
 
@@ -133,7 +155,16 @@ pub struct ScalePerf {
     pub flows: u64,
     pub peak_mappings: u64,
     pub wall_secs: f64,
+    /// Flows/sec of the **median** pass (by throughput) out of
+    /// [`PerfSettings::passes`] timed passes of this scale.
     pub flows_per_sec: f64,
+    /// Slowest pass of the envelope (equals `flows_per_sec` on
+    /// single-pass runs). A gate trip with a wide `[min, max]` spread
+    /// is noise; a narrow spread below the floor is a real regression
+    /// — diagnosable from the artifact alone.
+    pub flows_per_sec_min: f64,
+    /// Fastest pass of the envelope.
+    pub flows_per_sec_max: f64,
     /// Worst per-shard flow skew across the mixes of this scale.
     pub flow_imbalance: f64,
     /// Worst per-shard peak-mapping skew across the mixes.
@@ -335,6 +366,60 @@ impl MetricsReport {
     }
 }
 
+/// Burst sizes the batch leg sweeps. The first entry (`1`) is the
+/// scalar-equivalent reference every `relative_throughput` is measured
+/// against, and the last (`128`) is the one the CI `batch` gate pins
+/// to ≥ 1.0× scalar.
+pub const BATCH_BURSTS: [usize; 4] = [1, 8, 32, 128];
+
+/// One burst size's throughput at the middle scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstPerf {
+    /// Packets per [`Nat::process_burst`](nat_engine::Nat::process_burst)
+    /// call the driver drained per shard.
+    pub burst: usize,
+    pub flows: u64,
+    pub wall_secs: f64,
+    pub flows_per_sec: f64,
+    /// Flows/s relative to the burst=1 pass of the same run (`1.0` =
+    /// parity with the scalar path; self-relative, so
+    /// machine-independent).
+    pub relative_throughput: f64,
+}
+
+/// The burst-pipeline section attached by
+/// [`PerfSettings::batch_overhead`] runs: throughput per burst size,
+/// with every row's [`cgn_traffic::RunSummary`] digest asserted
+/// bit-identical to the burst=1 reference — a report carrying this
+/// section has passed the scalar-vs-batched equivalence check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSection {
+    /// Scale the leg was measured at.
+    pub scale: u32,
+    pub subscribers: u32,
+    /// Prefetch lookahead of the burst pipeline (packets).
+    pub prefetch_distance: usize,
+    pub rows: Vec<BurstPerf>,
+    /// Folded per-mix digest, identical across every burst size by
+    /// construction (the leg panics otherwise).
+    pub digest: String,
+}
+
+/// Standalone machine-readable batch artifact (`BENCH_batch.json`):
+/// the burst-sweep rows plus enough metadata to interpret them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    pub schema: String,
+    pub seed: u64,
+    pub shards: u16,
+    pub threads: usize,
+    pub duration_secs: u64,
+    pub batch: BatchSection,
+}
+
+/// Schema tag of [`BatchReport`].
+pub const BATCH_SCHEMA: &str = "cgn-batch-perf/1";
+
 /// Measure the wall-clock [`TraceIndex`](cgn_telemetry::TraceIndex)
 /// probe-latency histogram for a dimensioning configuration: run its
 /// reference mix with per-connection logging, decode the shard logs,
@@ -387,6 +472,10 @@ pub struct PerfReport {
     /// [`PerfSettings::metrics_overhead`] runs; `Option` for the same
     /// baseline-compatibility reason as `logging`).
     pub metrics: Option<MetricsSection>,
+    /// Burst-pipeline measurement (only on
+    /// [`PerfSettings::batch_overhead`] runs; `Option` for the same
+    /// baseline-compatibility reason as `logging`).
+    pub batch: Option<BatchSection>,
 }
 
 impl PerfReport {
@@ -415,9 +504,45 @@ impl PerfReport {
             metrics: section.clone(),
         })
     }
+
+    /// The standalone `BENCH_batch.json` artifact, when this run
+    /// measured the burst-pipeline sweep.
+    pub fn batch_report(&self) -> Option<BatchReport> {
+        self.batch.as_ref().map(|section| BatchReport {
+            schema: BATCH_SCHEMA.to_string(),
+            seed: self.seed,
+            shards: self.shards,
+            threads: self.threads,
+            duration_secs: self.duration_secs,
+            batch: section.clone(),
+        })
+    }
 }
 
+/// Measure one scale: [`PerfSettings::passes`] timed passes, median by
+/// flows/sec reported, min/max recorded, digests asserted bit-identical
+/// across passes (the repeat is also a determinism check).
 fn measure_scale(settings: &PerfSettings, scale: u32, threads: usize) -> (ScalePerf, u64) {
+    let passes = settings.passes.max(1);
+    let mut runs: Vec<(ScalePerf, u64)> = (0..passes)
+        .map(|_| measure_scale_once(settings, scale, threads))
+        .collect();
+    let digest = runs[0].1;
+    assert!(
+        runs.iter().all(|(_, d)| *d == digest),
+        "every pass of scale {scale}x must produce a bit-identical digest"
+    );
+    runs.sort_by(|a, b| a.0.flows_per_sec.total_cmp(&b.0.flows_per_sec));
+    let min = runs.first().map(|(p, _)| p.flows_per_sec).unwrap_or(0.0);
+    let max = runs.last().map(|(p, _)| p.flows_per_sec).unwrap_or(0.0);
+    let mut median = runs.swap_remove(runs.len() / 2).0;
+    median.flows_per_sec_min = min;
+    median.flows_per_sec_max = max;
+    (median, digest)
+}
+
+/// One timed pass of the dimensioning sweep at one scale.
+fn measure_scale_once(settings: &PerfSettings, scale: u32, threads: usize) -> (ScalePerf, u64) {
     let subscribers = settings.base_subscribers * scale;
     let config = settings.dimensioning(subscribers, threads);
     let mut mixes = Vec::new();
@@ -442,6 +567,7 @@ fn measure_scale(settings: &PerfSettings, scale: u32, threads: usize) -> (ScaleP
     }
     let wall = t0.elapsed().as_secs_f64();
     let flows: u64 = mixes.iter().map(|m| m.flows).sum();
+    let fps = flows as f64 / wall.max(1e-9);
     (
         ScalePerf {
             scale,
@@ -449,7 +575,9 @@ fn measure_scale(settings: &PerfSettings, scale: u32, threads: usize) -> (ScaleP
             flows,
             peak_mappings: mixes.iter().map(|m| m.peak_mappings).max().unwrap_or(0),
             wall_secs: wall,
-            flows_per_sec: flows as f64 / wall.max(1e-9),
+            flows_per_sec: fps,
+            flows_per_sec_min: fps,
+            flows_per_sec_max: fps,
             flow_imbalance: mixes.iter().map(|m| m.flow_imbalance).fold(0.0, f64::max),
             mapping_imbalance: mixes
                 .iter()
@@ -601,6 +729,12 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         }
     });
 
+    // Burst-pipeline leg: the middle scale swept across burst sizes,
+    // digest-checked against the burst=1 scalar-equivalent pass.
+    let batch = settings
+        .batch_overhead
+        .then(|| measure_batch_leg(settings, settings.scales[mid], threads));
+
     PerfReport {
         schema: SCHEMA.to_string(),
         seed: settings.seed,
@@ -616,6 +750,7 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         digest: format!("{digest:016x}"),
         logging,
         metrics,
+        batch,
     }
 }
 
@@ -631,10 +766,18 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
 /// trips the gate.
 pub fn fold_best_scales(report: &mut PerfReport, settings: &PerfSettings) {
     for (i, &scale) in settings.scales.iter().enumerate() {
-        let (perf, _) = measure_scale(settings, scale, report.threads);
-        if perf.flows_per_sec > report.scales[i].flows_per_sec {
-            report.scales[i] = perf;
+        // One fresh pass per scale (not a full median-of-N): the fold
+        // only ever widens the envelope, so a single pass per retry is
+        // enough and keeps gate retries cheap.
+        let (perf, _) = measure_scale_once(settings, scale, report.threads);
+        let cur = &mut report.scales[i];
+        let min = cur.flows_per_sec_min.min(perf.flows_per_sec);
+        let max = cur.flows_per_sec_max.max(perf.flows_per_sec);
+        if perf.flows_per_sec > cur.flows_per_sec {
+            *cur = perf;
         }
+        cur.flows_per_sec_min = min;
+        cur.flows_per_sec_max = max;
     }
     if let (Some(first), Some(last)) = (report.scales.first(), report.scales.last()) {
         if first.flows_per_sec > 0.0 {
@@ -724,6 +867,77 @@ fn measure_sink_leg(
     (flows, t0.elapsed().as_secs_f64(), records, bytes)
 }
 
+/// Time the dimensioning sweep at one scale across the
+/// [`BATCH_BURSTS`] burst sizes. The burst=1 pass drains the wheel one
+/// packet per [`Nat::process_burst`](nat_engine::Nat::process_burst)
+/// call — the scalar-equivalent reference — and every other burst size
+/// must reproduce its folded digest bit-for-bit (the leg panics
+/// otherwise), so the timing sweep doubles as the scalar-vs-batched
+/// equivalence check.
+pub fn measure_batch_leg(settings: &PerfSettings, scale: u32, threads: usize) -> BatchSection {
+    let subscribers = settings.base_subscribers * scale;
+    let mut rows = Vec::new();
+    let mut ref_digest: Option<u64> = None;
+    for &burst in &BATCH_BURSTS {
+        let mut config = settings.dimensioning(subscribers, threads);
+        config.burst = burst;
+        let mut flows = 0u64;
+        let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+        let t0 = Instant::now();
+        for mix in &config.mixes {
+            let summary = cgn_traffic::run(&config.driver_config(mix.clone()));
+            flows += summary.flows_started;
+            digest ^= summary.digest();
+            digest = digest.wrapping_mul(0x1000_0000_01b3);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        match ref_digest {
+            None => ref_digest = Some(digest),
+            Some(reference) => assert_eq!(
+                digest, reference,
+                "burst={burst} diverged from the scalar-equivalent burst=1 pass"
+            ),
+        }
+        rows.push(BurstPerf {
+            burst,
+            flows,
+            wall_secs: wall,
+            flows_per_sec: flows as f64 / wall.max(1e-9),
+            relative_throughput: 0.0,
+        });
+    }
+    let reference = rows[0].flows_per_sec.max(1e-9);
+    for row in &mut rows {
+        row.relative_throughput = row.flows_per_sec / reference;
+    }
+    BatchSection {
+        scale,
+        subscribers,
+        prefetch_distance: nat_engine::PREFETCH_DISTANCE,
+        rows,
+        digest: format!("{:016x}", ref_digest.expect("BATCH_BURSTS is non-empty")),
+    }
+}
+
+/// Re-measure the batch leg once and fold it into `section` as an
+/// envelope: each burst size keeps its fastest pass and the relative
+/// throughputs are recomputed. Same rationale as [`fold_best_scales`]:
+/// interference jitter only subtracts throughput, so best-of-N
+/// converges on the machine's capability while a real regression
+/// depresses every pass alike.
+pub fn fold_best_batch(section: &mut BatchSection, settings: &PerfSettings, threads: usize) {
+    let fresh = measure_batch_leg(settings, section.scale, threads);
+    for (row, new) in section.rows.iter_mut().zip(fresh.rows) {
+        if new.flows_per_sec > row.flows_per_sec {
+            *row = new;
+        }
+    }
+    let reference = section.rows[0].flows_per_sec.max(1e-9);
+    for row in &mut section.rows {
+        row.relative_throughput = row.flows_per_sec / reference;
+    }
+}
+
 /// Compare a fresh report against the committed baseline using
 /// **machine-relative** ratios, so that a CI-runner hardware change
 /// cannot trip the gate (the ROADMAP follow-up to the absolute
@@ -802,8 +1016,14 @@ pub fn check_against_baseline(
             notes.push(format!("ok {line}"));
         }
     }
-    if current.available_cores > 1 && baseline.parallel_speedup > 1.0 {
-        let floor = baseline.parallel_speedup * (1.0 - tolerance);
+    if current.available_cores > 1 {
+        // Armed on any multi-core runner. Against a multi-core baseline
+        // the floor is relative to its measured speedup; against a
+        // single-core baseline (which records ~1.0 by construction and
+        // carries no scaling signal) the floor degrades to break-even:
+        // worker threads must at least not cost throughput.
+        let reference = baseline.parallel_speedup.max(1.0);
+        let floor = reference * (1.0 - tolerance);
         let line = format!(
             "parallel speedup: {:.2}x vs baseline {:.2}x (floor {:.2}x)",
             current.parallel_speedup, baseline.parallel_speedup, floor
@@ -815,8 +1035,8 @@ pub fn check_against_baseline(
         }
     } else {
         notes.push(format!(
-            "info parallel speedup {:.2}x not gated ({} core(s) here, baseline speedup {:.2}x)",
-            current.parallel_speedup, current.available_cores, baseline.parallel_speedup
+            "info parallel speedup {:.2}x not gated (single core here, baseline speedup {:.2}x)",
+            current.parallel_speedup, baseline.parallel_speedup
         ));
     }
     if failures.is_empty() {
@@ -840,6 +1060,8 @@ mod tests {
             threads: 2,
             sink_overhead: false,
             metrics_overhead: false,
+            passes: 1,
+            batch_overhead: false,
         }
     }
 
@@ -895,14 +1117,79 @@ mod tests {
     }
 
     #[test]
-    fn committed_baseline_still_parses_without_logging_section() {
-        // The committed baseline predates the logging section; the
-        // Option field must absorb the missing key.
+    fn committed_baseline_parses_with_optional_sections() {
+        // The committed baseline carries the batch section but not the
+        // logging/metrics ones; the Option fields must absorb both the
+        // present and the missing keys.
         let text = include_str!("../../../bench/baseline.json");
         let baseline: PerfReport = serde_json::from_str(text).expect("baseline parses");
         assert!(baseline.logging.is_none());
         assert!(baseline.metrics.is_none());
         assert_eq!(baseline.schema, SCHEMA);
+        let batch = baseline
+            .batch
+            .as_ref()
+            .expect("baseline has a batch section");
+        let bursts: Vec<usize> = batch.rows.iter().map(|r| r.burst).collect();
+        assert_eq!(bursts, BATCH_BURSTS);
+        assert!(
+            baseline
+                .scales
+                .iter()
+                .all(|s| s.flows_per_sec_min <= s.flows_per_sec
+                    && s.flows_per_sec <= s.flows_per_sec_max),
+            "median sits inside the recorded envelope"
+        );
+    }
+
+    #[test]
+    fn median_of_passes_records_envelope() {
+        let settings = PerfSettings {
+            passes: 3,
+            scales: vec![1],
+            ..tiny()
+        };
+        // measure_scale also asserts the three passes were
+        // bit-identical, so this doubles as a determinism check.
+        let (perf, digest) = measure_scale(&settings, 1, 2);
+        assert!(perf.flows_per_sec_min <= perf.flows_per_sec);
+        assert!(perf.flows_per_sec <= perf.flows_per_sec_max);
+        assert_ne!(digest, 0);
+    }
+
+    #[test]
+    fn batch_leg_sweeps_bursts_and_checks_digests() {
+        let mut settings = tiny();
+        settings.batch_overhead = true;
+        let r = run_perf(&settings);
+        let section = r.batch.as_ref().expect("batch section attached");
+        assert_eq!(section.scale, settings.scales[1], "middle scale");
+        assert_eq!(section.prefetch_distance, nat_engine::PREFETCH_DISTANCE);
+        let bursts: Vec<usize> = section.rows.iter().map(|row| row.burst).collect();
+        assert_eq!(bursts, BATCH_BURSTS);
+        assert_eq!(section.rows[0].relative_throughput, 1.0);
+        assert!(section.rows.iter().all(|row| row.flows > 0));
+        assert!(section.rows.iter().all(|row| row.relative_throughput > 0.0));
+        // measure_batch_leg panicked if any burst size diverged from
+        // the scalar-equivalent digest, so reaching here means the
+        // equivalence check passed.
+        assert_eq!(section.digest.len(), 16);
+        // Folding keeps the burst axis and only ever speeds rows up.
+        let mut folded = section.clone();
+        fold_best_batch(&mut folded, &settings, r.threads);
+        assert_eq!(folded.rows.len(), section.rows.len());
+        for (new, old) in folded.rows.iter().zip(&section.rows) {
+            assert_eq!(new.burst, old.burst);
+            assert!(new.flows_per_sec >= old.flows_per_sec);
+        }
+        // The standalone artifact carries the same section and
+        // round-trips through JSON.
+        let standalone = r.batch_report().expect("batch report");
+        assert_eq!(standalone.schema, BATCH_SCHEMA);
+        assert_eq!(standalone.batch, *section);
+        let json = serde_json::to_string_pretty(&standalone).expect("serializable");
+        let back: BatchReport = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(standalone, back);
     }
 
     #[test]
@@ -1033,6 +1320,33 @@ mod tests {
         assert!(
             check_against_baseline(&cur, &base, 0.2).is_ok(),
             "within tolerance"
+        );
+    }
+
+    #[test]
+    fn speedup_gate_arms_against_single_core_baseline() {
+        // A baseline recorded on a 1-core runner measures speedup 1.0
+        // by construction. A multi-core current run is still gated —
+        // at break-even: threads must not cost more than the tolerance.
+        let mut base = run_perf(&PerfSettings {
+            scales: vec![1],
+            ..tiny()
+        });
+        base.parallel_speedup = 1.0;
+        base.available_cores = 1;
+        let mut cur = base.clone();
+        cur.available_cores = 8;
+        cur.parallel_speedup = 0.7;
+        let err = check_against_baseline(&cur, &base, 0.2).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|m| m.contains("REGRESSION") && m.contains("parallel speedup")),
+            "threads costing 30% must trip the armed gate"
+        );
+        cur.parallel_speedup = 0.9;
+        assert!(
+            check_against_baseline(&cur, &base, 0.2).is_ok(),
+            "break-even floor is 1.0 * (1 - tolerance)"
         );
     }
 }

@@ -203,7 +203,13 @@ macro_rules! impl_strategy_tuple {
         }
     )*};
 }
-impl_strategy_tuple!((0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));
+impl_strategy_tuple!(
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
 
 /// Collection strategies (`proptest::collection::*`).
 pub mod collection {

@@ -63,6 +63,11 @@ pub struct DimensioningConfig {
     /// Populates [`RunSummary::metrics`]
     /// (`cgn_traffic::MetricsSummary`) for every mix.
     pub metrics_window_secs: Option<u64>,
+    /// Packets per burst the driver hands to
+    /// `Nat::process_burst` per shard; `0` = the driver's default
+    /// ([`cgn_traffic::DEFAULT_BURST`]). Never changes the results,
+    /// only the wall time — the perf harness's batch leg sweeps it.
+    pub burst: usize,
 }
 
 impl DimensioningConfig {
@@ -83,6 +88,7 @@ impl DimensioningConfig {
             sweep_secs: 20,
             telemetry: TelemetryMode::Off,
             metrics_window_secs: None,
+            burst: 0,
         }
     }
 
@@ -103,6 +109,7 @@ impl DimensioningConfig {
             sweep_secs: 30,
             telemetry: TelemetryMode::Off,
             metrics_window_secs: None,
+            burst: 0,
         }
     }
 
@@ -123,6 +130,7 @@ impl DimensioningConfig {
             sweep_secs: self.sweep_secs,
             telemetry: self.telemetry,
             metrics_window_secs: self.metrics_window_secs,
+            burst: self.burst,
             seed: self.seed,
         }
     }

@@ -31,6 +31,14 @@ pub struct EngineMetrics {
     /// Distribution of due-mapping batch sizes per scanning sweep —
     /// the "how bursty is expiry work" observable.
     pub sweep_batch: Histogram,
+    /// Calls to [`Nat::process_burst`](crate::Nat::process_burst).
+    pub bursts: Counter,
+    /// Distribution of burst fill (packets per burst) — how full the
+    /// driver's event-wheel drains keep the batched hot path.
+    pub burst_fill: Histogram,
+    /// Slot prefetches issued by the burst pipeline (resolved reuse
+    /// slots; capped at the burst fill).
+    pub prefetches: Counter,
 }
 
 impl EngineMetrics {
@@ -87,6 +95,17 @@ impl EngineMetrics {
         self.block_grants.inc();
     }
 
+    /// Burst fire site: once per [`Nat::process_burst`](crate::Nat::process_burst)
+    /// call, recording the burst fill and how many slot prefetches the
+    /// resolve pass issued.
+    #[cold]
+    #[inline(never)]
+    pub fn on_burst(&mut self, fill: u64, prefetched: u64) {
+        self.bursts.inc();
+        self.burst_fill.record(fill);
+        self.prefetches.add(prefetched);
+    }
+
     /// Render the accumulated counters as snapshot samples.
     pub fn render_into(&self, out: &mut Snapshot) {
         out.push(
@@ -121,6 +140,16 @@ impl EngineMetrics {
         out.push(
             "cgn_sweep_batch_size",
             Value::Histogram(self.sweep_batch.clone()),
+        );
+        out.push("cgn_bursts_total", Value::Counter(self.bursts.get()));
+        out.push("cgn_burst_fill", Value::Histogram(self.burst_fill.clone()));
+        out.push(
+            "cgn_prefetch_issued_total",
+            Value::Counter(self.prefetches.get()),
+        );
+        out.push(
+            "cgn_prefetch_distance",
+            Value::Gauge(crate::nat::PREFETCH_DISTANCE as u64),
         );
     }
 }
@@ -161,6 +190,12 @@ mod tests {
             0
         );
         assert_eq!(snap.scalar("cgn_sweep_batch_size"), 1, "histogram count");
-        assert_eq!(snap.samples.len(), 9, "every instrument renders");
+        m.on_burst(32, 7);
+        let mut snap = Snapshot::default();
+        m.render_into(&mut snap);
+        snap.normalize();
+        assert_eq!(snap.scalar("cgn_bursts_total"), 1);
+        assert_eq!(snap.scalar("cgn_prefetch_issued_total"), 7);
+        assert_eq!(snap.samples.len(), 13, "every instrument renders");
     }
 }

@@ -28,6 +28,13 @@ use std::net::Ipv4Addr;
 
 pub use crate::store::Mapping;
 
+/// How many packets ahead of the translation cursor
+/// [`Nat::process_burst`] issues software prefetches for resolved
+/// slots. One slot costs two cache lines (hot row + cold slab row);
+/// a handful of packets of lead time is enough to overlap the LLC
+/// miss with the preceding translations without thrashing the L1.
+pub const PREFETCH_DISTANCE: usize = 4;
+
 /// Outcome of processing one packet.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NatVerdict {
@@ -474,15 +481,107 @@ impl Nat {
             }
         };
 
-        let internal = pkt.src;
-        let dst = pkt.dst;
         let key = self
             .store
-            .out_key(self.config.mapping, proto, internal, dst);
+            .out_key(self.config.mapping, proto, pkt.src, pkt.dst);
+        self.translate_outbound(pkt, now, proto, flags, key)
+    }
 
-        // Reuse an existing mapping if present and fresh.
+    /// Translate a burst of outbound packets at one instant, returning
+    /// one verdict per packet in arrival order.
+    ///
+    /// The burst pipeline runs in three passes: **resolve** every
+    /// packet's out-key and reuse-slot in arrival order (key packing
+    /// interns hosts, so the interner evolves exactly as under
+    /// [`Nat::process_outbound`]); **prefetch** the resolved slots'
+    /// hot/cold rows in slot order (sequential slab strides), so the
+    /// LLC misses of the whole burst overlap instead of serializing;
+    /// **translate** in arrival order through the same code path as
+    /// the scalar API, prefetching [`PREFETCH_DISTANCE`] packets
+    /// ahead. RNG draws, interner growth, sink/metrics fire order and
+    /// verdict commit order are all arrival-order, so results —
+    /// verdicts, [`NatStats`], store state, telemetry logs — are
+    /// bit-identical to calling `process_outbound` once per packet,
+    /// for every burst size.
+    pub fn process_burst(&mut self, pkts: Vec<Packet>, now: SimTime) -> Vec<NatVerdict> {
+        // One resolved packet: protocol, TCP flags, packed out-key,
+        // and the slot hint from the pre-translation index probe.
+        // `None` marks an ICMP pass-through.
+        type PlanEntry = Option<(Protocol, Option<TcpFlags>, u128, Option<u32>)>;
+        let fill = pkts.len() as u64;
+        // Pass 1 — resolve keys and reuse-slot hints in arrival order.
+        let mut plan: Vec<PlanEntry> = Vec::with_capacity(pkts.len());
+        for pkt in &pkts {
+            let (proto, flags) = match &pkt.body {
+                PacketBody::Udp { .. } => (Protocol::Udp, None),
+                PacketBody::Tcp { flags, .. } => (Protocol::Tcp, Some(*flags)),
+                PacketBody::Icmp { .. } => {
+                    plan.push(None); // ICMP passes through untranslated
+                    continue;
+                }
+            };
+            let key = self
+                .store
+                .out_key(self.config.mapping, proto, pkt.src, pkt.dst);
+            plan.push(Some((proto, flags, key, self.store.lookup_out(key))));
+        }
+
+        // Pass 2 — prefetch sweep over the resolved slots, sorted so
+        // the hardware sees sequential slab strides. The sort feeds
+        // only the prefetcher; translation order is untouched.
+        let mut slots: Vec<u32> = plan
+            .iter()
+            .filter_map(|p| p.as_ref().and_then(|&(_, _, _, hint)| hint))
+            .collect();
+        let prefetched = slots.len() as u64;
+        slots.sort_unstable();
+        for &s in &slots {
+            self.store.prefetch_slot(s);
+        }
+        if let Some(m) = &mut self.metrics.0 {
+            m.on_burst(fill, prefetched);
+        }
+
+        // Pass 3 — translate in arrival order. Hints are a prefetch
+        // aid only: translation re-probes the index, so a hint
+        // invalidated by an earlier packet in the burst (an expiry
+        // removal, a new mapping) costs nothing but a cold miss.
+        let mut verdicts = Vec::with_capacity(pkts.len());
+        for (i, pkt) in pkts.into_iter().enumerate() {
+            if let Some(Some((_, _, _, Some(ahead)))) = plan.get(i + PREFETCH_DISTANCE) {
+                self.store.prefetch_slot(*ahead);
+            }
+            self.stats.out_packets += 1;
+            verdicts.push(match plan[i] {
+                None => NatVerdict::Forward(pkt),
+                Some((proto, flags, key, _)) => {
+                    self.translate_outbound(pkt, now, proto, flags, key)
+                }
+            });
+        }
+        verdicts
+    }
+
+    /// The shared outbound translation path behind
+    /// [`Nat::process_outbound`] and [`Nat::process_burst`]: reuse or
+    /// create the mapping for an already-packed out-key, refresh it,
+    /// and rewrite the packet.
+    fn translate_outbound(
+        &mut self,
+        pkt: Packet,
+        now: SimTime,
+        proto: Protocol,
+        flags: Option<TcpFlags>,
+        key: u128,
+    ) -> NatVerdict {
+        let internal = pkt.src;
+        let dst = pkt.dst;
+
+        // Reuse an existing mapping if present and fresh. The expiry
+        // check reads the store's hot array — one 32-byte row — not
+        // the cold mapping.
         let slot = match self.store.lookup_out(key) {
-            Some(slot) if !self.store.get(slot).expired(now) => Some(slot),
+            Some(slot) if !self.store.expired_at(slot, now) => Some(slot),
             Some(slot) => {
                 self.remove_mapping(slot, now);
                 self.stats.mappings_expired += 1;

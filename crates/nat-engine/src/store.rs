@@ -24,6 +24,22 @@
 //!   both indices hash those integers with a SplitMix64-based hasher
 //!   ([`mix64`]) instead of SipHash over tuples.
 //!
+//! * **Hot/cold slot split** — the fields every sweep and every
+//!   expiry check touch (generation, wheel bookkeeping, the cached
+//!   expiry, the owning host id) live in a dense parallel array of
+//!   32-byte `HotSlot` rows; the cold remainder (packed keys, the
+//!   full [`Mapping`] with its filter state) stays in the slab. A
+//!   sweep or a demand sample walks only the hot array — a quarter of
+//!   the cache traffic of dragging whole slots through the LLC.
+//!
+//! * **Open-addressed indices** — the out-key and ext-key maps are
+//!   flat linear-probe tables with 8-byte cells (a 32-bit fingerprint
+//!   tag + the slot id); full keys are verified against the slab on
+//!   fingerprint hits. Compared to the previous `HashMap` (16/32-byte
+//!   entries plus per-group control metadata), probes touch half the
+//!   index bytes, and [`MappingStore::prefetch_slot`] can pull the
+//!   verified slot's rows into cache ahead of the burst pipeline.
+//!
 //! * **Hierarchical timer wheel** — instead of scanning the whole
 //!   table on [`sweep`](MappingStore::sweep_due) (or short-circuiting
 //!   on an earliest-expiry watermark, which still paid a full scan
@@ -354,6 +370,147 @@ impl TimerWheel {
 }
 
 // ---------------------------------------------------------------------------
+// Open-addressed key index
+// ---------------------------------------------------------------------------
+
+const TAG_EMPTY: u32 = 0;
+const TAG_TOMB: u32 = 1;
+
+/// Open-addressed `key → slot` index over the store's packed integer
+/// keys: parallel tag/slot arrays (8 bytes per cell) with linear
+/// probing and tombstone deletion. The tag is a 32-bit fingerprint of
+/// the key's hash (`0` = empty, `1` = tombstone); on a fingerprint hit
+/// the caller verifies the full key against the slab, so the index
+/// never stores keys at all. Callers supply the hash — the store keys
+/// are already packed integers, so one [`mix64`] avalanche is the
+/// whole hash function.
+#[derive(Debug)]
+struct OpenIndex {
+    /// `TAG_EMPTY`, `TAG_TOMB`, or a key fingerprint (always ≥ 2).
+    tags: Vec<u32>,
+    /// Slot id stored in the same cell as `tags[i]`.
+    slots: Vec<u32>,
+    live: usize,
+    tombstones: usize,
+}
+
+impl OpenIndex {
+    fn new() -> OpenIndex {
+        OpenIndex {
+            tags: vec![TAG_EMPTY; 16],
+            slots: vec![0; 16],
+            live: 0,
+            tombstones: 0,
+        }
+    }
+
+    #[inline]
+    fn fingerprint(hash: u64) -> u32 {
+        // High bits (the probe start uses the low bits) nudged off the
+        // two reserved tag values.
+        ((hash >> 32) as u32).max(2)
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.tags.len() - 1
+    }
+
+    /// Insert a `(hash, slot)` cell. Keys are unique among live
+    /// entries by construction — the engine only inserts after a miss
+    /// or a removal — so no duplicate scan is needed and the first
+    /// reusable cell wins. `rehash` recomputes a stored slot's key
+    /// hash when the table grows.
+    fn insert(&mut self, hash: u64, slot: u32, rehash: impl Fn(u32) -> u64) {
+        if (self.live + self.tombstones + 1) * 4 > self.tags.len() * 3 {
+            self.grow(rehash);
+        }
+        let mask = self.mask();
+        let mut i = hash as usize & mask;
+        loop {
+            if self.tags[i] <= TAG_TOMB {
+                if self.tags[i] == TAG_TOMB {
+                    self.tombstones -= 1;
+                }
+                self.tags[i] = Self::fingerprint(hash);
+                self.slots[i] = slot;
+                self.live += 1;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Find the slot stored under `hash` whose full key matches
+    /// (`verify` checks the slab). Probes stop at the first empty cell.
+    #[inline]
+    fn get(&self, hash: u64, verify: impl Fn(u32) -> bool) -> Option<u32> {
+        let fp = Self::fingerprint(hash);
+        let mask = self.mask();
+        let mut i = hash as usize & mask;
+        loop {
+            let tag = self.tags[i];
+            if tag == TAG_EMPTY {
+                return None;
+            }
+            if tag == fp && verify(self.slots[i]) {
+                return Some(self.slots[i]);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Remove the cell holding exactly `slot` under `hash` (slot ids
+    /// are unique in the index, so identity is the full-key check).
+    fn remove(&mut self, hash: u64, slot: u32) -> bool {
+        let fp = Self::fingerprint(hash);
+        let mask = self.mask();
+        let mut i = hash as usize & mask;
+        loop {
+            let tag = self.tags[i];
+            if tag == TAG_EMPTY {
+                return false;
+            }
+            if tag == fp && self.slots[i] == slot {
+                self.tags[i] = TAG_TOMB;
+                self.slots[i] = 0;
+                self.live -= 1;
+                self.tombstones += 1;
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Rebuild at double capacity when genuinely full, or in place
+    /// when tombstones are what crossed the load threshold.
+    fn grow(&mut self, rehash: impl Fn(u32) -> u64) {
+        let cap = if (self.live + 1) * 2 > self.tags.len() {
+            self.tags.len() * 2
+        } else {
+            self.tags.len()
+        };
+        let old_tags = std::mem::replace(&mut self.tags, vec![TAG_EMPTY; cap]);
+        let old_slots = std::mem::replace(&mut self.slots, vec![0; cap]);
+        self.live = 0;
+        self.tombstones = 0;
+        let mask = cap - 1;
+        for (tag, slot) in old_tags.into_iter().zip(old_slots) {
+            if tag <= TAG_TOMB {
+                continue;
+            }
+            let mut i = rehash(slot) as usize & mask;
+            while self.tags[i] != TAG_EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.tags[i] = tag;
+            self.slots[i] = slot;
+            self.live += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Interners + slab
 // ---------------------------------------------------------------------------
 
@@ -367,8 +524,11 @@ struct HostEntry {
     paired: Option<Ipv4Addr>,
 }
 
-#[derive(Debug)]
-struct Slot {
+/// The per-slot fields every sweep and expiry check reads, split into
+/// a dense parallel array (32 bytes per row) so those paths never pull
+/// the ~200-byte cold slot through the cache.
+#[derive(Debug, Clone, Copy)]
+struct HotSlot {
     /// Bumped on every free; timer entries carry the generation they
     /// were scheduled under, so entries for a reused slot are stale.
     gen: u32,
@@ -379,9 +539,24 @@ struct Slot {
     /// Deadline of this slot's authoritative timer entry (used to
     /// decide whether a new expiry shortens or lazily extends it).
     wheel_deadline: u64,
+    /// Cache of the mapping's `expiry` in ms. Maintained by
+    /// [`MappingStore::insert`]/[`MappingStore::set_expiry`] — the
+    /// engine never writes `Mapping::expiry` through `get_mut`, so the
+    /// cache is authoritative for expiry checks.
+    expiry_ms: u64,
+    /// Interned internal-host id of the occupant.
+    host: u32,
+    /// Whether the slot holds a live mapping (mirrors
+    /// `Slot::mapping.is_some()` without touching the cold row).
+    live: bool,
+}
+
+/// Cold remainder of a slot: the packed keys (read on index verify and
+/// removal) and the full mapping (read on translation refresh).
+#[derive(Debug)]
+struct Slot {
     out_key: u128,
     ext_key: u64,
-    host: u32,
     mapping: Option<Mapping>,
 }
 
@@ -426,15 +601,19 @@ const KIND_APDM: u128 = 2;
 /// layout.
 #[derive(Debug)]
 pub struct MappingStore {
+    /// Cold rows (keys + full mappings), parallel to `hot`.
     slots: Vec<Slot>,
+    /// Hot rows (generation, wheel bookkeeping, cached expiry, host).
+    hot: Vec<HotSlot>,
     /// LIFO free-list of reusable slot ids.
     free: Vec<u32>,
     live: usize,
     wheel: TimerWheel,
-    /// Packed out-key (`u128`) → slot id.
-    out_index: MixMap<u128, u32>,
-    /// Packed ext-key (`u64`) → slot id.
-    ext_index: MixMap<u64, u32>,
+    /// Packed out-key (`u128`) → slot id (open-addressed; full keys
+    /// verified against the slab).
+    out_index: OpenIndex,
+    /// Packed ext-key (`u64`) → slot id (open-addressed).
+    ext_index: OpenIndex,
     hosts: Vec<HostEntry>,
     host_ids: MixMap<Ipv4Addr, u32>,
     pools: Vec<(Ipv4Addr, Protocol)>,
@@ -451,11 +630,12 @@ impl MappingStore {
     pub fn new() -> Self {
         MappingStore {
             slots: Vec::new(),
+            hot: Vec::new(),
             free: Vec::new(),
             live: 0,
             wheel: TimerWheel::new(),
-            out_index: MixMap::default(),
-            ext_index: MixMap::default(),
+            out_index: OpenIndex::new(),
+            ext_index: OpenIndex::new(),
             hosts: Vec::new(),
             host_ids: MixMap::default(),
             pools: Vec::new(),
@@ -570,11 +750,26 @@ impl MappingStore {
         (pool as u64) << 16 | port as u64
     }
 
+    /// Index hash of a packed out-key: fold both halves through one
+    /// [`mix64`] avalanche each.
+    #[inline]
+    fn hash_out(key: u128) -> u64 {
+        mix64(key as u64 ^ mix64((key >> 64) as u64))
+    }
+
+    /// Index hash of a packed ext-key.
+    #[inline]
+    fn hash_ext(key: u64) -> u64 {
+        mix64(key)
+    }
+
     // -- lookups -----------------------------------------------------------
 
     /// Slot currently indexed under a packed out-key.
     pub fn lookup_out(&self, key: u128) -> Option<u32> {
-        self.out_index.get(&key).copied()
+        self.out_index.get(Self::hash_out(key), |s| {
+            self.slots[s as usize].out_key == key
+        })
     }
 
     /// Slot owning an external endpoint for a protocol. Never interns:
@@ -582,9 +777,40 @@ impl MappingStore {
     /// the pool interner.
     pub fn lookup_ext(&self, proto: Protocol, external: Endpoint) -> Option<u32> {
         let pool = *self.pool_ids.get(&(external.ip, proto))?;
-        self.ext_index
-            .get(&Self::pack_ext(pool, external.port))
-            .copied()
+        let key = Self::pack_ext(pool, external.port);
+        self.ext_index.get(Self::hash_ext(key), |s| {
+            self.slots[s as usize].ext_key == key
+        })
+    }
+
+    /// Hot-array expiry check for a live slot — the burst pipeline's
+    /// reuse test, touching one 32-byte row instead of the cold
+    /// mapping.
+    #[inline]
+    pub fn expired_at(&self, slot: u32, now: SimTime) -> bool {
+        self.hot[slot as usize].expiry_ms <= now.as_millis()
+    }
+
+    /// Software-prefetch a slot's hot and cold rows into cache — the
+    /// burst pipeline issues this one step ahead of translation so the
+    /// LLC miss overlaps the previous packet's work. No-op on
+    /// non-x86_64 targets.
+    #[inline]
+    pub fn prefetch_slot(&self, slot: u32) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a hint; both pointers come from live
+        // in-bounds borrows.
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            if let (Some(hot), Some(cold)) =
+                (self.hot.get(slot as usize), self.slots.get(slot as usize))
+            {
+                _mm_prefetch(hot as *const HotSlot as *const i8, _MM_HINT_T0);
+                _mm_prefetch(cold as *const Slot as *const i8, _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = slot;
     }
 
     /// Borrow a live mapping. Panics on a freed slot id.
@@ -625,33 +851,45 @@ impl MappingStore {
         let deadline = mapping.expiry.as_millis();
         let slot = match self.free.pop() {
             Some(s) => {
-                let entry = &mut self.slots[s as usize];
-                entry.wheel_seq = 0;
-                entry.wheel_deadline = deadline;
-                entry.out_key = out_key;
-                entry.ext_key = ext_key;
-                entry.host = host;
-                entry.mapping = Some(mapping);
+                let hot = &mut self.hot[s as usize];
+                hot.wheel_seq = 0;
+                hot.wheel_deadline = deadline;
+                hot.expiry_ms = deadline;
+                hot.host = host;
+                hot.live = true;
+                let cold = &mut self.slots[s as usize];
+                cold.out_key = out_key;
+                cold.ext_key = ext_key;
+                cold.mapping = Some(mapping);
                 s
             }
             None => {
                 let s = u32::try_from(self.slots.len()).expect("more than 2^32 mapping slots");
-                self.slots.push(Slot {
+                self.hot.push(HotSlot {
                     gen: 0,
                     wheel_seq: 0,
                     wheel_deadline: deadline,
+                    expiry_ms: deadline,
+                    host,
+                    live: true,
+                });
+                self.slots.push(Slot {
                     out_key,
                     ext_key,
-                    host,
                     mapping: Some(mapping),
                 });
                 s
             }
         };
-        let gen = self.slots[slot as usize].gen;
+        let gen = self.hot[slot as usize].gen;
         self.wheel.schedule(slot, gen, 0, deadline);
-        self.out_index.insert(out_key, slot);
-        self.ext_index.insert(ext_key, slot);
+        let slots = &self.slots;
+        self.out_index.insert(Self::hash_out(out_key), slot, |s| {
+            Self::hash_out(slots[s as usize].out_key)
+        });
+        self.ext_index.insert(Self::hash_ext(ext_key), slot, |s| {
+            Self::hash_ext(slots[s as usize].ext_key)
+        });
         self.hosts[host as usize].sessions += 1;
         self.live += 1;
         slot
@@ -663,14 +901,16 @@ impl MappingStore {
     /// pool id its external port came from (for the caller's port
     /// release).
     pub fn remove(&mut self, slot: u32) -> Option<(Mapping, u32)> {
-        let entry = &mut self.slots[slot as usize];
-        let mapping = entry.mapping.take()?;
-        entry.gen = entry.gen.wrapping_add(1);
-        let out_key = entry.out_key;
-        let ext_key = entry.ext_key;
-        let host = entry.host;
-        self.out_index.remove(&out_key);
-        self.ext_index.remove(&ext_key);
+        let cold = &mut self.slots[slot as usize];
+        let mapping = cold.mapping.take()?;
+        let out_key = cold.out_key;
+        let ext_key = cold.ext_key;
+        let hot = &mut self.hot[slot as usize];
+        hot.gen = hot.gen.wrapping_add(1);
+        hot.live = false;
+        let host = hot.host;
+        self.out_index.remove(Self::hash_out(out_key), slot);
+        self.ext_index.remove(Self::hash_ext(ext_key), slot);
         let sessions = &mut self.hosts[host as usize].sessions;
         *sessions = sessions.saturating_sub(1);
         self.free.push(slot);
@@ -683,14 +923,18 @@ impl MappingStore {
     /// fires), a shortening files a new earlier entry and invalidates
     /// the parked one.
     pub fn set_expiry(&mut self, slot: u32, expiry: SimTime) {
-        let entry = &mut self.slots[slot as usize];
-        let m = entry.mapping.as_mut().expect("slot is free");
+        let m = self.slots[slot as usize]
+            .mapping
+            .as_mut()
+            .expect("slot is free");
         m.expiry = expiry;
         let ms = expiry.as_millis();
-        if ms < entry.wheel_deadline {
-            entry.wheel_seq = entry.wheel_seq.wrapping_add(1);
-            entry.wheel_deadline = ms;
-            let (gen, seq) = (entry.gen, entry.wheel_seq);
+        let hot = &mut self.hot[slot as usize];
+        hot.expiry_ms = ms;
+        if ms < hot.wheel_deadline {
+            hot.wheel_seq = hot.wheel_seq.wrapping_add(1);
+            hot.wheel_deadline = ms;
+            let (gen, seq) = (hot.gen, hot.wheel_seq);
             self.wheel.schedule(slot, gen, seq, ms);
         }
     }
@@ -733,12 +977,14 @@ impl MappingStore {
             for e in drained {
                 self.wheel.entries -= 1;
                 inspected += 1;
-                let slot = &mut self.slots[e.slot as usize];
-                let authoritative = slot.gen == e.gen && slot.wheel_seq == e.seq;
-                let Some(m) = slot.mapping.as_ref().filter(|_| authoritative) else {
+                // Pure hot-array pass: stale check, expiry check, and
+                // lazy rescheduling all read the 32-byte row — the
+                // cold slot is never touched during a sweep.
+                let hot = &mut self.hot[e.slot as usize];
+                if hot.gen != e.gen || hot.wheel_seq != e.seq || !hot.live {
                     continue; // stale: freed, reused, or superseded entry
-                };
-                if m.expiry.as_millis() <= now_ms {
+                }
+                if hot.expiry_ms <= now_ms {
                     due.push(e.slot);
                 } else {
                     // Lazily-extended mapping: park at the real expiry.
@@ -746,13 +992,13 @@ impl MappingStore {
                     // other parked entry for this slot is already
                     // stale; the wheel insert is deferred until the
                     // ticks have finished turning.
-                    slot.wheel_seq = slot.wheel_seq.wrapping_add(1);
-                    slot.wheel_deadline = m.expiry.as_millis();
+                    hot.wheel_seq = hot.wheel_seq.wrapping_add(1);
+                    hot.wheel_deadline = hot.expiry_ms;
                     resched.push(TimerEntry {
                         slot: e.slot,
                         gen: e.gen,
-                        seq: slot.wheel_seq,
-                        deadline_ms: m.expiry.as_millis(),
+                        seq: hot.wheel_seq,
+                        deadline_ms: hot.expiry_ms,
                     });
                 }
             }
@@ -771,12 +1017,13 @@ impl MappingStore {
     /// allocation-free demand-sampling path of the traffic driver
     /// (the values of `Nat::ports_by_host` without the address map).
     pub fn active_ports_per_host(&self, now: SimTime) -> Vec<u32> {
+        let now_ms = now.as_millis();
         let mut counts = vec![0u32; self.hosts.len()];
-        for slot in &self.slots {
-            if let Some(m) = &slot.mapping {
-                if !m.expired(now) {
-                    counts[slot.host as usize] += 1;
-                }
+        // Hot-array scan: live flag, cached expiry, and host id are
+        // all in the 32-byte row.
+        for hot in &self.hot {
+            if hot.live && hot.expiry_ms > now_ms {
+                counts[hot.host as usize] += 1;
             }
         }
         counts.retain(|&c| c > 0);

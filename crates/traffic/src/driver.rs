@@ -76,8 +76,19 @@ pub struct DriverConfig {
     /// instrument at each sample barrier and folds the snapshots into
     /// `w`-second windows.
     pub metrics_window_secs: Option<u64>,
+    /// Packets per burst handed to [`Nat::process_burst`] when a
+    /// millisecond batch of drained events is translated. `0` (the
+    /// default) means [`DEFAULT_BURST`]. Like `threads`, this is an
+    /// execution detail: summaries and telemetry logs are bit-identical
+    /// for every value (see the `burst_sizes_bit_identical` test).
+    pub burst: usize,
     pub seed: u64,
 }
+
+/// Burst size used when [`DriverConfig::burst`] is `0`: large enough
+/// to keep [`nat_engine::nat::PREFETCH_DISTANCE`] slots in flight,
+/// small enough that a burst's packets stay L1-resident.
+pub const DEFAULT_BURST: usize = 32;
 
 impl DriverConfig {
     /// A mid-size default: 8k subscribers behind one shard, sequential.
@@ -95,6 +106,7 @@ impl DriverConfig {
             sweep_secs: 30,
             telemetry: TelemetryMode::Off,
             metrics_window_secs: None,
+            burst: 0,
             seed,
         }
     }
@@ -427,82 +439,215 @@ fn resolve_threads(requested: usize) -> usize {
     }
 }
 
+/// Deferred commit work for one drained event: everything the generate
+/// pass decided, applied by the commit pass in event order after the
+/// translate pass has produced the batch's verdicts. Events whose
+/// packet went through the NAT consume exactly one verdict each, in
+/// event order.
+enum Pending {
+    /// New flow: reschedule the subscriber's next arrival, then commit
+    /// the flow if its first packet was admitted (consumes one verdict).
+    Arrival {
+        idx: u32,
+        next_arrival: Option<u64>,
+        src: Endpoint,
+        dst: Endpoint,
+        udp: bool,
+        end_ms: u64,
+        refresh_ms: u64,
+    },
+    /// Keepalive for a live flow (consumes one verdict).
+    Packet {
+        flow: u64,
+        end_ms: u64,
+        refresh_ms: u64,
+    },
+    /// TCP teardown: a FIN went on the wire (consumes one verdict).
+    EndTcp { flow: u64 },
+    /// UDP teardown: no packet, just the flow-table removal.
+    EndUdp { flow: u64 },
+    /// The event carried a stale generational handle; nothing to do.
+    Stale,
+}
+
+/// One barrier-to-barrier step of a shard: how far to drain, the burst
+/// chunk size, and which barrier duties run at the boundary.
+#[derive(Clone, Copy)]
+struct AdvanceStep {
+    boundary_ms: u64,
+    burst: usize,
+    do_sweep: bool,
+    do_sample: bool,
+}
+
 /// Advance one shard's event queue up to (and including) `boundary_ms`,
 /// then run its barrier duties: sweep expired mappings and/or capture
 /// this shard's slice of the demand snapshot.
+///
+/// Each millisecond batch of events is drained in three passes —
+/// **generate** (draw subscriber RNGs and build packets, in event
+/// order), **translate** (hand the packets to [`Nat::process_burst`]
+/// in `burst`-sized chunks), **commit** (apply verdicts: wheel pushes
+/// and flow-table mutations, in event order). RNG draw order, wheel
+/// push order and flow-slab mutation order are all exactly the
+/// packet-at-a-time event loop's, so summaries and telemetry logs are
+/// bit-identical for every burst size. The decoupling is safe because
+/// a live flow has at most one pending event, a flow's first keepalive
+/// is scheduled at least one refresh interval after its arrival, and
+/// every push lands strictly in the future — no event generated in a
+/// batch can observe another event of the same batch.
 fn advance_shard(
     nat: &mut Nat,
     st: &mut ShardState,
     modulation: &Modulation,
     horizon_ms: u64,
-    boundary_ms: u64,
-    do_sweep: bool,
-    do_sample: bool,
+    step: AdvanceStep,
 ) -> Option<ShardDemand> {
+    let AdvanceStep {
+        boundary_ms,
+        burst,
+        do_sweep,
+        do_sample,
+    } = step;
+    let burst = burst.max(1);
+    let mut pending: Vec<Pending> = Vec::new();
     // Drain the event wheel one millisecond-batch at a time; batches
     // arrive in exactly the `(time, sequence)` order the old binary
     // heap produced, and events scheduled while a batch is processed
     // are strictly in the future.
     while let Some(batch) = st.wheel.next_bucket(boundary_ms) {
-        for (at_ms, _seq, kind) in batch {
-            let now = SimTime::from_millis(at_ms);
+        // `next_bucket` returns all events of exactly one millisecond,
+        // so the whole batch shares one instant.
+        let at_ms = batch[0].0;
+        let now = SimTime::from_millis(at_ms);
+        pending.clear();
+        let mut packets: Vec<Packet> = Vec::with_capacity(batch.len());
+
+        // Pass 1 — generate, in event order.
+        for (_at, _seq, kind) in batch {
             match kind {
                 Kind::Arrival { idx } => {
-                    let (sub, profile, next_arrival, src, dst, udp, end_ms);
-                    {
-                        let ss = &mut st.subs[idx as usize];
-                        sub = ss.sub;
-                        profile = ss.profile;
-                        let params = profile.params();
+                    let ss = &mut st.subs[idx as usize];
+                    let sub = ss.sub;
+                    let profile = ss.profile;
+                    let params = profile.params();
 
-                        // Schedule the next arrival first (non-homogeneous
-                        // Poisson, rate modulated at the current instant).
-                        let rate_per_sec = params.flows_per_min / 60.0
-                            * modulation.factor(at_ms / 1000, params.flash_sensitive);
-                        next_arrival = if rate_per_sec > 1e-12 {
-                            let u: f64 = ss.rng.gen::<f64>().max(1e-12);
-                            let gap_ms = (-u.ln() / rate_per_sec * 1000.0).clamp(1.0, 1e12) as u64;
-                            Some(at_ms + gap_ms).filter(|at| *at <= horizon_ms)
-                        } else {
-                            None
-                        };
+                    // Schedule the next arrival first (non-homogeneous
+                    // Poisson, rate modulated at the current instant).
+                    let rate_per_sec = params.flows_per_min / 60.0
+                        * modulation.factor(at_ms / 1000, params.flash_sensitive);
+                    let next_arrival = if rate_per_sec > 1e-12 {
+                        let u: f64 = ss.rng.gen::<f64>().max(1e-12);
+                        let gap_ms = (-u.ln() / rate_per_sec * 1000.0).clamp(1.0, 1e12) as u64;
+                        Some(at_ms + gap_ms).filter(|at| *at <= horizon_ms)
+                    } else {
+                        None
+                    };
 
-                        // Build the flow.
-                        let src_port = 20_000 + (ss.next_src_port % 45_000);
-                        ss.next_src_port = ss.next_src_port.wrapping_add(1) % 45_000;
-                        src = Endpoint::new(subscriber_ip(sub), src_port);
-                        let slot = ss.rng.gen_range(0..params.fanout);
-                        let universe_idx = pool_slot_to_universe(sub, slot, params.dest_universe);
-                        // Popularity skew: collapse high slots onto the popular
-                        // end of the universe now and then.
-                        let universe_idx = if ss.rng.gen_bool(0.3) {
-                            params.sample_dest(&mut ss.rng)
-                        } else {
-                            universe_idx
-                        };
-                        dst = Endpoint::new(
-                            dest_ip(profile, universe_idx),
-                            params.sample_dst_port(&mut ss.rng),
-                        );
-                        udp = ss.rng.gen_bool(params.udp_share);
-                        let duration_ms =
-                            (params.sample_duration_secs(&mut ss.rng) * 1000.0) as u64;
-                        end_ms = at_ms + duration_ms.max(1000);
-                    }
-                    if let Some(at) = next_arrival {
-                        st.push(at, Kind::Arrival { idx });
-                    }
+                    // Build the flow.
+                    let src_port = 20_000 + (ss.next_src_port % 45_000);
+                    ss.next_src_port = ss.next_src_port.wrapping_add(1) % 45_000;
+                    let src = Endpoint::new(subscriber_ip(sub), src_port);
+                    let slot = ss.rng.gen_range(0..params.fanout);
+                    let universe_idx = pool_slot_to_universe(sub, slot, params.dest_universe);
+                    // Popularity skew: collapse high slots onto the popular
+                    // end of the universe now and then.
+                    let universe_idx = if ss.rng.gen_bool(0.3) {
+                        params.sample_dest(&mut ss.rng)
+                    } else {
+                        universe_idx
+                    };
+                    let dst = Endpoint::new(
+                        dest_ip(profile, universe_idx),
+                        params.sample_dst_port(&mut ss.rng),
+                    );
+                    let udp = ss.rng.gen_bool(params.udp_share);
+                    let duration_ms = (params.sample_duration_secs(&mut ss.rng) * 1000.0) as u64;
+                    let end_ms = at_ms + duration_ms.max(1000);
 
-                    let first = if udp {
+                    packets.push(if udp {
                         Packet::udp(src, dst, vec![])
                     } else {
                         Packet::tcp(src, dst, TcpFlags::SYN, vec![])
-                    };
+                    });
                     st.packets_sent += 1;
                     st.flows_started += 1;
-                    match nat.process_outbound(first, now) {
+                    pending.push(Pending::Arrival {
+                        idx,
+                        next_arrival,
+                        src,
+                        dst,
+                        udp,
+                        end_ms,
+                        refresh_ms: params.refresh_secs * 1000,
+                    });
+                }
+                Kind::Packet { flow } => {
+                    let Some(f) = st.flows.get(flow) else {
+                        pending.push(Pending::Stale);
+                        continue;
+                    };
+                    packets.push(if f.udp {
+                        Packet::udp(f.src, f.dst, vec![])
+                    } else {
+                        Packet::tcp(f.src, f.dst, TcpFlags::ACK, vec![])
+                    });
+                    st.packets_sent += 1;
+                    pending.push(Pending::Packet {
+                        flow,
+                        end_ms: f.end_ms,
+                        refresh_ms: f.refresh_ms,
+                    });
+                }
+                Kind::End { flow } => {
+                    let Some(f) = st.flows.get(flow) else {
+                        pending.push(Pending::Stale);
+                        continue;
+                    };
+                    if f.udp {
+                        pending.push(Pending::EndUdp { flow });
+                    } else {
+                        // Polite TCP teardown moves the mapping onto the
+                        // short transitory clock (RFC 5382 behaviour the
+                        // engine models).
+                        packets.push(Packet::tcp(f.src, f.dst, TcpFlags::FIN, vec![]));
+                        st.packets_sent += 1;
+                        pending.push(Pending::EndTcp { flow });
+                    }
+                }
+            }
+        }
+
+        // Pass 2 — translate in `burst`-sized chunks through the
+        // engine's resolve → prefetch → translate pipeline.
+        let mut verdicts: Vec<NatVerdict> = Vec::with_capacity(packets.len());
+        let mut queue = packets.into_iter();
+        loop {
+            let chunk: Vec<Packet> = queue.by_ref().take(burst).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            verdicts.extend(nat.process_burst(chunk, now));
+        }
+
+        // Pass 3 — commit, in event order.
+        let mut verdicts = verdicts.into_iter();
+        for p in pending.drain(..) {
+            match p {
+                Pending::Arrival {
+                    idx,
+                    next_arrival,
+                    src,
+                    dst,
+                    udp,
+                    end_ms,
+                    refresh_ms,
+                } => {
+                    if let Some(at) = next_arrival {
+                        st.push(at, Kind::Arrival { idx });
+                    }
+                    match verdicts.next().expect("one verdict per packet") {
                         NatVerdict::Forward(_) | NatVerdict::Hairpin(_) => {
-                            let refresh_ms = profile.params().refresh_secs * 1000;
                             let flow = st.flows.insert(FlowState {
                                 src,
                                 dst,
@@ -524,18 +669,12 @@ fn advance_shard(
                         }
                     }
                 }
-                Kind::Packet { flow } => {
-                    let Some(f) = st.flows.get(flow) else {
-                        continue;
-                    };
-                    let pkt = if f.udp {
-                        Packet::udp(f.src, f.dst, vec![])
-                    } else {
-                        Packet::tcp(f.src, f.dst, TcpFlags::ACK, vec![])
-                    };
-                    let (end_ms, refresh_ms) = (f.end_ms, f.refresh_ms);
-                    st.packets_sent += 1;
-                    let verdict = nat.process_outbound(pkt, now);
+                Pending::Packet {
+                    flow,
+                    end_ms,
+                    refresh_ms,
+                } => {
+                    let verdict = verdicts.next().expect("one verdict per packet");
                     if matches!(verdict, NatVerdict::Drop(_)) {
                         // Keepalive failed (e.g. port space gone after an
                         // expiry); the flow dies here.
@@ -549,22 +688,19 @@ fn advance_shard(
                         st.push(end_ms, Kind::End { flow });
                     }
                 }
-                Kind::End { flow } => {
-                    let Some(f) = st.flows.remove(flow) else {
-                        continue;
-                    };
-                    if !f.udp {
-                        // Polite TCP teardown moves the mapping onto the
-                        // short transitory clock (RFC 5382 behaviour the
-                        // engine models).
-                        let fin = Packet::tcp(f.src, f.dst, TcpFlags::FIN, vec![]);
-                        st.packets_sent += 1;
-                        let _ = nat.process_outbound(fin, now);
-                    }
+                Pending::EndTcp { flow } => {
+                    let _ = verdicts.next().expect("one verdict per packet");
+                    st.flows.remove(flow);
                     st.flows_completed += 1;
                 }
+                Pending::EndUdp { flow } => {
+                    st.flows.remove(flow);
+                    st.flows_completed += 1;
+                }
+                Pending::Stale => {}
             }
         }
+        debug_assert!(verdicts.next().is_none(), "every verdict consumed");
     }
 
     let now = SimTime::from_millis(boundary_ms);
@@ -628,6 +764,11 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
     assert!(config.duration_secs > 0 && config.sample_secs > 0 && config.sweep_secs > 0);
 
     let threads = resolve_threads(config.threads);
+    let burst = if config.burst == 0 {
+        DEFAULT_BURST
+    } else {
+        config.burst
+    };
     let horizon_ms = config.duration_secs * 1000;
 
     // k-major ordering + round-robin partitioning inside ShardedNat
@@ -717,10 +858,14 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
                        boundary: u64,
                        do_sweep: bool,
                        do_sample: bool| {
+        let step = AdvanceStep {
+            boundary_ms: boundary,
+            burst,
+            do_sweep,
+            do_sample,
+        };
         let demands = for_shards_parallel(sharded.shards_mut(), states, threads, |nat, st| {
-            advance_shard(
-                nat, st, modulation, horizon_ms, boundary, do_sweep, do_sample,
-            )
+            advance_shard(nat, st, modulation, horizon_ms, step)
         });
         if do_sample {
             let parts: Vec<ShardDemand> = demands.into_iter().flatten().collect();
@@ -976,6 +1121,34 @@ mod tests {
             assert_eq!(seq, par, "threads={threads} diverged from sequential");
             assert_eq!(seq.digest(), par.digest());
         }
+    }
+
+    /// The burst size, like the thread count, is an execution detail:
+    /// summaries and telemetry logs are bit-identical for every value
+    /// (burst = 1 is the packet-at-a-time degenerate case).
+    #[test]
+    fn burst_sizes_bit_identical() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 17);
+        cfg.shards = 3;
+        cfg.telemetry = nat_engine::telemetry::TelemetryMode::PerConnection;
+        cfg.burst = 1;
+        let (base, base_logs) = run_with_logs(&cfg);
+        for burst in [7, 32, 64, 1024] {
+            cfg.burst = burst;
+            let (s, logs) = run_with_logs(&cfg);
+            assert_eq!(base, s, "burst={burst} diverged");
+            assert_eq!(base.digest(), s.digest());
+            for (shard, (a, b)) in base_logs.iter().zip(&logs).enumerate() {
+                assert_eq!(
+                    a.bytes(),
+                    b.bytes(),
+                    "shard {shard} log diverged at burst={burst}"
+                );
+            }
+        }
+        // And the default (burst = 0 → DEFAULT_BURST) matches too.
+        cfg.burst = 0;
+        assert_eq!(base, run_with_logs(&cfg).0);
     }
 
     #[test]
