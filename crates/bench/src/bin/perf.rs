@@ -43,13 +43,17 @@
 //!
 //! `batch-out=` turns on the burst-pipeline leg: the middle scale is
 //! swept across the [`BATCH_BURSTS`](cgn_bench::perf::BATCH_BURSTS)
-//! burst sizes, every burst size's digest is asserted bit-identical to
-//! the burst=1 scalar-equivalent pass, the rows land in
-//! `BENCH_batch.json`, and the run fails unless burst-128 throughput
-//! is at least the scalar pass's (re-measured up to best-of-3 first —
-//! the same noise argument as the metrics gate). The digest check is
-//! unconditional; the throughput gate needs no `check=` because it is
-//! self-relative.
+//! burst sizes — once outbound-only and once with the inbound-reply
+//! leg enabled — every burst size's digest is asserted bit-identical
+//! to its burst=1 scalar-equivalent pass, the rows land in
+//! `BENCH_batch.json` (schema `cgn-batch-perf/2`), and the run fails
+//! unless burst-128 throughput is at least the scalar pass's on
+//! **both** sweeps (re-measured up to best-of-3 first — the same
+//! noise argument as the metrics gate). The leg also runs the largest
+//! scale once with windowed metrics and gates the arena chunk series:
+//! zero slab growth (hence zero reallocation copies) after warm-up.
+//! The digest checks are unconditional; the throughput gates need no
+//! `check=` because they are self-relative.
 
 use cgn_bench::perf::{
     check_against_baseline, fold_best_batch, run_perf, PerfReport, PerfSettings, DEFAULT_TOLERANCE,
@@ -207,16 +211,32 @@ fn main() {
     if settings.batch_overhead {
         let mut section = report.batch.take().expect("batch leg measured");
         let mut passes = 1;
+        // Both sweeps must clear the bar: the last (largest) burst row
+        // of the outbound sweep and of the inbound-reply sweep.
         let gate = |s: &cgn_bench::perf::BatchSection| {
-            let last = s.rows.last().expect("burst rows present");
-            (last.burst, last.relative_throughput)
+            let worst = |rows: &[cgn_bench::perf::BurstPerf], leg: &str| {
+                let last = rows.last().expect("burst rows present");
+                (last.burst, last.relative_throughput, leg.to_string())
+            };
+            let out = worst(&s.rows, "outbound");
+            match &s.inbound {
+                Some(i) => {
+                    let inb = worst(&i.rows, "inbound");
+                    if inb.1 < out.1 {
+                        inb
+                    } else {
+                        out
+                    }
+                }
+                None => out,
+            }
         };
         while gate(&section).1 < 1.0 && passes < 3 {
-            let (burst, rel) = gate(&section);
+            let (burst, rel, leg) = gate(&section);
             passes += 1;
             println!(
-                "batch gate: burst-{burst} at {:.1}% of scalar on pass {} — re-measuring \
-                 burst sweep (best-of-{passes} envelope)",
+                "batch gate: {leg} burst-{burst} at {:.1}% of scalar on pass {} — \
+                 re-measuring burst sweeps (best-of-{passes} envelope)",
                 100.0 * rel,
                 passes - 1
             );
@@ -234,20 +254,66 @@ fn main() {
                 100.0 * row.relative_throughput
             );
         }
-        let (burst, rel) = gate(&section);
+        if let Some(inbound) = &section.inbound {
+            println!(
+                "  inbound burst sweep ({} permille of flows answered in-batch):",
+                inbound.reply_permille
+            );
+            for row in &inbound.rows {
+                println!(
+                    "    burst {:>4} {:>10.0} flows/s ({:>5.1}% of scalar)",
+                    row.burst,
+                    row.flows_per_sec,
+                    100.0 * row.relative_throughput
+                );
+            }
+            let a = &inbound.arena;
+            println!(
+                "  arena at {}x ({} subscribers): {} chunks at warm-up (t={} s) -> {} final \
+                 | {} free slots | {} chunk(s) grown after warm-up",
+                a.scale,
+                a.subscribers,
+                a.chunks_warm,
+                a.warmup_secs,
+                a.chunks_final,
+                a.slots_free_final,
+                a.chunks_grown_after_warmup
+            );
+            if a.chunks_grown_after_warmup > 0 {
+                batch_gate_failed = true;
+                eprintln!(
+                    "arena gate FAILED: {} chunk(s) allocated after warm-up at {}x scale \
+                     (the slab must reach steady state within half the run)",
+                    a.chunks_grown_after_warmup, a.scale
+                );
+            } else {
+                println!(
+                    "arena gate passed: zero slab growth after warm-up at {}x scale \
+                     (zero reallocation copies by construction)",
+                    a.scale
+                );
+            }
+        }
+        let (burst, rel, leg) = gate(&section);
         if rel < 1.0 {
             batch_gate_failed = true;
             eprintln!(
-                "batch gate FAILED: burst-{burst} at {:.1}% of scalar throughput on every \
-                 one of {passes} pass(es)",
+                "batch gate FAILED: {leg} burst-{burst} at {:.1}% of scalar throughput on \
+                 every one of {passes} pass(es)",
                 100.0 * rel
             );
         } else {
             println!(
-                "batch gate passed: burst-{burst} at {:.1}% of scalar (best of {passes} \
-                 pass(es)); digest {} bit-identical across burst sizes",
+                "batch gate passed: worst leg ({leg}) burst-{burst} at {:.1}% of scalar \
+                 (best of {passes} pass(es)); digests bit-identical across burst sizes \
+                 (outbound {}, inbound {})",
                 100.0 * rel,
-                section.digest
+                section.digest,
+                section
+                    .inbound
+                    .as_ref()
+                    .map(|i| i.digest.as_str())
+                    .unwrap_or("-")
             );
         }
         report.batch = Some(section);

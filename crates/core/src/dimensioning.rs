@@ -68,6 +68,13 @@ pub struct DimensioningConfig {
     /// ([`cgn_traffic::DEFAULT_BURST`]). Never changes the results,
     /// only the wall time — the perf harness's batch leg sweeps it.
     pub burst: usize,
+    /// Permille of forwarded outbound packets whose flow receives an
+    /// inbound reply in the same millisecond batch
+    /// ([`cgn_traffic::DriverConfig::inbound_reply_permille`]). `0`
+    /// (the default) keeps the workload outbound-only; the perf
+    /// harness's inbound leg sets it to exercise
+    /// `Nat::process_inbound_burst` under load.
+    pub inbound_reply_permille: u32,
 }
 
 impl DimensioningConfig {
@@ -89,6 +96,7 @@ impl DimensioningConfig {
             telemetry: TelemetryMode::Off,
             metrics_window_secs: None,
             burst: 0,
+            inbound_reply_permille: 0,
         }
     }
 
@@ -110,6 +118,7 @@ impl DimensioningConfig {
             telemetry: TelemetryMode::Off,
             metrics_window_secs: None,
             burst: 0,
+            inbound_reply_permille: 0,
         }
     }
 
@@ -131,6 +140,7 @@ impl DimensioningConfig {
             telemetry: self.telemetry,
             metrics_window_secs: self.metrics_window_secs,
             burst: self.burst,
+            inbound_reply_permille: self.inbound_reply_permille,
             seed: self.seed,
         }
     }
@@ -506,12 +516,12 @@ impl DimensioningReport {
                 let _ = writeln!(o, "windowed metrics ({} s windows):", m.window_secs);
                 let _ = writeln!(
                     o,
-                    "  window    flows/s   created   expired      live   fill-permille   wheel-depth   imbalance   drops"
+                    "  window    flows/s   created   expired      live   fill-permille   wheel-depth   arena-chunks   imbalance   drops"
                 );
                 for w in &m.windows {
                     let _ = writeln!(
                         o,
-                        "  {:>6}   {:>8.1}   {:>7}   {:>7}   {:>7}   {:>13}   {:>11}   {:>9.3}   {:>5}",
+                        "  {:>6}   {:>8.1}   {:>7}   {:>7}   {:>7}   {:>13}   {:>11}   {:>12}   {:>9.3}   {:>5}",
                         w.start_secs,
                         w.flows_per_sec,
                         w.mappings_created,
@@ -519,6 +529,7 @@ impl DimensioningReport {
                         w.mappings_live,
                         w.allocator_fill_permille_worst,
                         w.event_wheel_depth,
+                        w.arena_chunks,
                         w.shard_flow_imbalance,
                         w.drops
                     );

@@ -1,0 +1,317 @@
+//! Chunked, 2 MiB-aligned arena storage with stable addresses.
+//!
+//! [`MappingStore`](crate::store::MappingStore) originally kept its
+//! hot and cold slot rows in plain `Vec`s. A `Vec` doubles by
+//! reallocating: at the millions-of-mappings populations a CGN is
+//! dimensioned for (§6.2), every growth step memcpys the entire slab
+//! through the cache — a copy storm that evicts exactly the working
+//! set the burst pipeline just prefetched, and it moves every row, so
+//! any address the pipeline resolved mid-burst would dangle.
+//!
+//! [`Arena`] removes both problems. Storage is a list of fixed-size
+//! chunks allocated at 2 MiB alignment (the x86-64 hugepage size, so a
+//! chunk maps onto a single TLB entry under transparent hugepages).
+//! Growth appends a chunk; existing elements never move, so element
+//! addresses are stable for the arena's lifetime and growth cost is
+//! O(1) — no reallocation copies, ever. Indexing stays as cheap as a
+//! `Vec`: the per-chunk capacity is a power of two, so `index ->
+//! (chunk, offset)` is one shift and one mask.
+//!
+//! Elements are append-only (`push`); the store layers slot reuse on
+//! top with its own free-list. The arena only drops elements when it
+//! is itself dropped.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+use std::ptr::NonNull;
+
+/// Best-effort `madvise(MADV_HUGEPAGE)` on a fresh chunk. The chunks
+/// are already 2 MiB-sized and 2 MiB-aligned, but on hosts with
+/// transparent hugepages in `madvise` mode (the common server
+/// default) an aligned mapping alone is *not* backed by a hugepage —
+/// without the advice every random slot access at dimensioning scale
+/// pays a 4 KiB-page TLB walk (tens of thousands of pages for a 16×
+/// working set vs. ~one TLB entry per chunk). Advisory only: the
+/// return value is ignored, and on non-Linux or non-x86-64 targets
+/// this is a no-op.
+///
+/// # Safety
+///
+/// `ptr..ptr + len` must be a live allocation.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn advise_hugepage(ptr: *mut u8, len: usize) {
+    const SYS_MADVISE: u64 = 28;
+    const MADV_HUGEPAGE: u64 = 14;
+    let _ret: i64;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") SYS_MADVISE => _ret,
+        in("rdi") ptr,
+        in("rsi") len,
+        in("rdx") MADV_HUGEPAGE,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+unsafe fn advise_hugepage(_ptr: *mut u8, _len: usize) {}
+
+/// Bytes per arena chunk: 2 MiB, the x86-64 hugepage size.
+pub(crate) const ARENA_CHUNK_BYTES: usize = 2 * 1024 * 1024;
+
+/// A chunked vector: `Vec`-shaped reads (`Index`, `get`, `iter`),
+/// append-only writes, stable element addresses, O(1) growth with no
+/// reallocation copies. See the module docs for why the store wants
+/// those properties.
+pub(crate) struct Arena<T> {
+    /// 2 MiB-aligned chunks of [`Arena::CAP`] elements each; all but
+    /// the last are full.
+    chunks: Vec<NonNull<T>>,
+    /// Initialised elements, contiguous from index 0.
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Arena<T> {
+    /// Elements per chunk: the largest power of two that fits in
+    /// [`ARENA_CHUNK_BYTES`] — a power of two so indexing is
+    /// shift + mask instead of division.
+    const CAP: usize = {
+        let per = ARENA_CHUNK_BYTES / std::mem::size_of::<T>();
+        assert!(per > 0, "arena element larger than a chunk");
+        1 << (usize::BITS - 1 - per.leading_zeros())
+    };
+    const SHIFT: u32 = Self::CAP.trailing_zeros();
+    const MASK: usize = Self::CAP - 1;
+
+    pub fn new() -> Self {
+        Arena {
+            chunks: Vec::new(),
+            len: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    fn chunk_layout() -> Layout {
+        // 2 MiB alignment dominates any element alignment; the size is
+        // CAP * size_of::<T>() <= ARENA_CHUNK_BYTES, far below the
+        // Layout overflow bound.
+        Layout::from_size_align(Self::CAP * std::mem::size_of::<T>(), ARENA_CHUNK_BYTES)
+            .expect("arena chunk layout")
+    }
+
+    /// Raw element pointer. Caller guarantees `i` is within an
+    /// allocated chunk (initialised for reads).
+    #[inline]
+    fn slot_ptr(&self, i: usize) -> *mut T {
+        // SAFETY: `i >> SHIFT` is a live chunk (checked by the Vec
+        // index) and `i & MASK < CAP` stays inside its allocation.
+        unsafe { self.chunks[i >> Self::SHIFT].as_ptr().add(i & Self::MASK) }
+    }
+
+    /// Initialised elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Chunks allocated so far — the `cgn_arena_chunks` gauge. Stable
+    /// after warm-up: growth only ever appends, so a steady-state
+    /// shard performs zero storage reallocations.
+    pub fn chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Bounds-checked borrow, `Vec::get`-shaped (the prefetch path's
+    /// speculative probe).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i < self.len {
+            // SAFETY: `i < len` is initialised.
+            Some(unsafe { &*self.slot_ptr(i) })
+        } else {
+            None
+        }
+    }
+
+    /// Append an element, growing by one chunk when the last is full.
+    /// Existing elements never move.
+    pub fn push(&mut self, value: T) {
+        let i = self.len;
+        if i == self.chunks.len() << Self::SHIFT {
+            self.grow();
+        }
+        // SAFETY: the slot is allocated (grow above) and uninitialised
+        // (`i == len`); write takes ownership without dropping it.
+        unsafe { std::ptr::write(self.slot_ptr(i), value) };
+        self.len = i + 1;
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let layout = Self::chunk_layout();
+        // SAFETY: layout has non-zero size (CAP >= 1, T is not a ZST
+        // by the CAP assertion's division).
+        let ptr = unsafe { alloc(layout) }.cast::<T>();
+        match NonNull::new(ptr) {
+            Some(chunk) => {
+                // SAFETY: the chunk is a live ARENA_CHUNK_BYTES
+                // allocation at 2 MiB alignment; the advice call only
+                // reads the mapping metadata.
+                unsafe { advise_hugepage(ptr.cast(), ARENA_CHUNK_BYTES) };
+                self.chunks.push(chunk);
+            }
+            None => handle_alloc_error(layout),
+        }
+    }
+
+    /// Iterate initialised elements in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        // SAFETY: every index below `len` is initialised.
+        (0..self.len).map(move |i| unsafe { &*self.slot_ptr(i) })
+    }
+}
+
+impl<T> Index<usize> for Arena<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        assert!(i < self.len, "arena index out of bounds");
+        // SAFETY: `i < len` is initialised.
+        unsafe { &*self.slot_ptr(i) }
+    }
+}
+
+impl<T> IndexMut<usize> for Arena<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        assert!(i < self.len, "arena index out of bounds");
+        // SAFETY: `i < len` is initialised; `&mut self` gives
+        // exclusive access.
+        unsafe { &mut *self.slot_ptr(i) }
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Drop for Arena<T> {
+    fn drop(&mut self) {
+        let layout = Self::chunk_layout();
+        for (c, chunk) in self.chunks.iter().enumerate() {
+            let filled = self.len.saturating_sub(c << Self::SHIFT).min(Self::CAP);
+            // SAFETY: the first `filled` elements of each chunk are
+            // initialised and dropped exactly once; the chunk was
+            // allocated with this exact layout.
+            unsafe {
+                for i in 0..filled {
+                    std::ptr::drop_in_place(chunk.as_ptr().add(i));
+                }
+                dealloc(chunk.as_ptr().cast::<u8>(), layout);
+            }
+        }
+    }
+}
+
+// SAFETY: Arena<T> owns its elements like Vec<T>; the raw chunk
+// pointers carry no extra sharing, so the auto-trait story is exactly
+// Vec's. Needed because NonNull suppresses the auto impls.
+unsafe impl<T: Send> Send for Arena<T> {}
+unsafe impl<T: Sync> Sync for Arena<T> {}
+
+impl<T> std::fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("len", &self.len)
+            .field("chunks", &self.chunks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[test]
+    fn pushes_and_reads_across_chunk_boundaries() {
+        // 32-byte rows -> 65536 per chunk; cross into a third chunk.
+        let mut a: Arena<[u64; 4]> = Arena::new();
+        let n = 2 * Arena::<[u64; 4]>::CAP + 17;
+        for i in 0..n {
+            a.push([i as u64; 4]);
+        }
+        assert_eq!(a.len(), n);
+        assert_eq!(a.chunks(), 3);
+        assert_eq!(a[0], [0; 4]);
+        assert_eq!(a[n - 1], [(n - 1) as u64; 4]);
+        assert_eq!(a.get(n), None);
+        assert_eq!(a.iter().count(), n);
+        let sum: u64 = a.iter().map(|r| r[0]).sum();
+        assert_eq!(sum, (n as u64 - 1) * n as u64 / 2);
+    }
+
+    #[test]
+    fn addresses_are_stable_across_growth() {
+        let mut a: Arena<u64> = Arena::new();
+        a.push(7);
+        let p = &a[0] as *const u64;
+        for i in 0..3 * Arena::<u64>::CAP {
+            a.push(i as u64);
+        }
+        assert_eq!(p, &a[0] as *const u64, "growth must never move rows");
+        assert_eq!(a[0], 7);
+    }
+
+    #[test]
+    fn chunks_are_two_mib_aligned() {
+        let mut a: Arena<u64> = Arena::new();
+        a.push(1);
+        let addr = &a[0] as *const u64 as usize;
+        assert_eq!(addr % ARENA_CHUNK_BYTES, 0);
+    }
+
+    #[test]
+    fn index_mut_writes_through() {
+        let mut a: Arena<u64> = Arena::new();
+        a.push(1);
+        a.push(2);
+        a[1] = 99;
+        assert_eq!(a[1], 99);
+    }
+
+    #[test]
+    fn drop_runs_element_destructors_once() {
+        struct Witness(Rc<Cell<usize>>);
+        impl Drop for Witness {
+            fn drop(&mut self) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let drops = Rc::new(Cell::new(0));
+        {
+            let mut a: Arena<Witness> = Arena::new();
+            let n = Arena::<Witness>::CAP + 3;
+            for _ in 0..n {
+                a.push(Witness(Rc::clone(&drops)));
+            }
+            assert_eq!(drops.get(), 0);
+        }
+        assert_eq!(drops.get(), Arena::<Witness>::CAP + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena index out of bounds")]
+    fn out_of_bounds_index_panics() {
+        let a: Arena<u64> = Arena::new();
+        let _ = a[0];
+    }
+}

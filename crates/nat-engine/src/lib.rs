@@ -26,6 +26,7 @@
 //!   external endpoint is looped back; if the NAT does not rewrite the
 //!   source, internal endpoints leak (§3, §4.1).
 
+mod arena;
 pub mod compliance;
 pub mod config;
 pub mod metrics;

@@ -39,6 +39,14 @@ pub struct EngineMetrics {
     /// Slot prefetches issued by the burst pipeline (resolved reuse
     /// slots; capped at the burst fill).
     pub prefetches: Counter,
+    /// Calls to [`Nat::process_inbound_burst`](crate::Nat::process_inbound_burst).
+    pub bursts_in: Counter,
+    /// Distribution of inbound burst fill (packets per burst) — how
+    /// full the driver's reply drains keep the inbound pipeline.
+    pub burst_in_fill: Histogram,
+    /// Slot prefetches issued by the inbound burst pipeline (resolved
+    /// ext-key hits; capped at the burst fill).
+    pub prefetches_in: Counter,
 }
 
 impl EngineMetrics {
@@ -106,6 +114,19 @@ impl EngineMetrics {
         self.prefetches.add(prefetched);
     }
 
+    /// Inbound-burst fire site: once per
+    /// [`Nat::process_inbound_burst`](crate::Nat::process_inbound_burst)
+    /// call, recording the burst fill and how many slot prefetches the
+    /// resolve pass issued. Fired only on the burst path — the scalar
+    /// inbound API touches no instrument.
+    #[cold]
+    #[inline(never)]
+    pub fn on_burst_inbound(&mut self, fill: u64, prefetched: u64) {
+        self.bursts_in.inc();
+        self.burst_in_fill.record(fill);
+        self.prefetches_in.add(prefetched);
+    }
+
     /// Render the accumulated counters as snapshot samples.
     pub fn render_into(&self, out: &mut Snapshot) {
         out.push(
@@ -146,6 +167,18 @@ impl EngineMetrics {
         out.push(
             "cgn_prefetch_issued_total",
             Value::Counter(self.prefetches.get()),
+        );
+        out.push(
+            "cgn_inbound_bursts_total",
+            Value::Counter(self.bursts_in.get()),
+        );
+        out.push(
+            "cgn_inbound_burst_fill",
+            Value::Histogram(self.burst_in_fill.clone()),
+        );
+        out.push(
+            "cgn_inbound_prefetch_issued_total",
+            Value::Counter(self.prefetches_in.get()),
         );
         out.push(
             "cgn_prefetch_distance",
@@ -191,11 +224,14 @@ mod tests {
         );
         assert_eq!(snap.scalar("cgn_sweep_batch_size"), 1, "histogram count");
         m.on_burst(32, 7);
+        m.on_burst_inbound(16, 5);
         let mut snap = Snapshot::default();
         m.render_into(&mut snap);
         snap.normalize();
         assert_eq!(snap.scalar("cgn_bursts_total"), 1);
         assert_eq!(snap.scalar("cgn_prefetch_issued_total"), 7);
-        assert_eq!(snap.samples.len(), 13, "every instrument renders");
+        assert_eq!(snap.scalar("cgn_inbound_bursts_total"), 1);
+        assert_eq!(snap.scalar("cgn_inbound_prefetch_issued_total"), 5);
+        assert_eq!(snap.samples.len(), 16, "every instrument renders");
     }
 }

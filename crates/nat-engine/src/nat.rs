@@ -243,6 +243,11 @@ impl Nat {
         out.push("cgn_mappings_live", Value::Gauge(occ.live));
         out.push("cgn_slab_slots", Value::Gauge(occ.slots));
         out.push("cgn_slab_free_slots", Value::Gauge(occ.free));
+        out.push("cgn_arena_chunks", Value::Gauge(self.store.arena_chunks()));
+        out.push(
+            "cgn_arena_slots_free",
+            Value::Gauge(self.store.arena_slots_free()),
+        );
         out.push("cgn_timers_pending", Value::Gauge(occ.timers));
         out.push(
             "cgn_timer_cascades_total",
@@ -302,6 +307,19 @@ impl Nat {
     /// length, interner sizes, parked timers).
     pub fn store_occupancy(&self) -> StoreOccupancy {
         self.store.occupancy()
+    }
+
+    /// Arena chunks backing this shard's slot storage — stable after
+    /// warm-up, because arena growth appends chunks instead of
+    /// reallocating (the `cgn_arena_chunks` gauge).
+    pub fn arena_chunks(&self) -> u64 {
+        self.store.arena_chunks()
+    }
+
+    /// Slot ids on the store's address-ordered free-list (the
+    /// `cgn_arena_slots_free` gauge).
+    pub fn arena_slots_free(&self) -> u64 {
+        self.store.arena_slots_free()
     }
 
     /// Iterate all live (possibly stale-but-unswept) mappings in slab
@@ -783,8 +801,113 @@ impl Nat {
                 return self.inbound_icmp(pkt.clone(), *original_src, now);
             }
         };
+        let key = self.store.ext_key_of(proto, pkt.dst);
+        self.translate_inbound(pkt, now, proto, flags, key)
+    }
 
-        let slot = match self.store.lookup_ext(proto, pkt.dst) {
+    /// Translate a burst of inbound packets at one instant, returning
+    /// one verdict per packet in arrival order — the inbound mirror of
+    /// [`Nat::process_burst`].
+    ///
+    /// Three passes over the ext-key open-addressed index: **resolve**
+    /// classifies each packet, then derives every packed ext-key in
+    /// one tight batch pass (inbound key derivation never interns —
+    /// a stray pool stays uninterned and simply cannot match — so the
+    /// packed pass is branch-free with respect to store state) and
+    /// probes the reuse-slot hints; **prefetch** sweeps the resolved
+    /// slots' hot/cold rows in slot order, overlapping the burst's LLC
+    /// misses; **translate** runs in arrival order through the same
+    /// code path as the scalar API ([`Nat::process_inbound`]),
+    /// prefetching [`PREFETCH_DISTANCE`] packets ahead. Filtering
+    /// (`ContactSet` checks), expiry-on-touch removal, TCP tracking,
+    /// stats and sink/metrics fire order are all arrival-order, so
+    /// results are bit-identical to calling `process_inbound` once per
+    /// packet, for every burst size.
+    pub fn process_inbound_burst(&mut self, pkts: Vec<Packet>, now: SimTime) -> Vec<NatVerdict> {
+        // One resolved packet: protocol, TCP flags, packed ext-key
+        // (`None` when the destination pool was never interned — a
+        // stray that can only drop), and the slot hint from the
+        // pre-translation index probe. The outer `None` marks an
+        // inbound ICMP error.
+        type PlanEntry = Option<(Protocol, Option<TcpFlags>, Option<u64>, Option<u32>)>;
+        let fill = pkts.len() as u64;
+
+        // Pass 1 — resolve. Classification in arrival order, then the
+        // packed ext-key batch pass and the index probes as tight
+        // loops over the plan (no per-packet verdict branching).
+        let mut plan: Vec<PlanEntry> = Vec::with_capacity(pkts.len());
+        for pkt in &pkts {
+            plan.push(match &pkt.body {
+                PacketBody::Udp { .. } => Some((Protocol::Udp, None, None, None)),
+                PacketBody::Tcp { flags, .. } => Some((Protocol::Tcp, Some(*flags), None, None)),
+                PacketBody::Icmp { .. } => None,
+            });
+        }
+        for (entry, pkt) in plan.iter_mut().zip(&pkts) {
+            if let Some((proto, _, key, _)) = entry {
+                *key = self.store.ext_key_of(*proto, pkt.dst);
+            }
+        }
+        for entry in &mut plan {
+            if let Some((_, _, Some(key), hint)) = entry {
+                *hint = self.store.lookup_ext_key(*key);
+            }
+        }
+
+        // Pass 2 — prefetch sweep over the resolved slots, sorted so
+        // the hardware sees sequential slab strides. The sort feeds
+        // only the prefetcher; translation order is untouched.
+        let mut slots: Vec<u32> = plan
+            .iter()
+            .filter_map(|p| p.as_ref().and_then(|&(_, _, _, hint)| hint))
+            .collect();
+        let prefetched = slots.len() as u64;
+        slots.sort_unstable();
+        for &s in &slots {
+            self.store.prefetch_slot(s);
+        }
+        if let Some(m) = &mut self.metrics.0 {
+            m.on_burst_inbound(fill, prefetched);
+        }
+
+        // Pass 3 — translate in arrival order. Hints are a prefetch
+        // aid only: translation re-probes the index, so a hint
+        // invalidated by an earlier packet in the burst (an expiry
+        // removal) costs nothing but a cold miss.
+        let mut verdicts = Vec::with_capacity(pkts.len());
+        for (i, pkt) in pkts.into_iter().enumerate() {
+            if let Some(Some((_, _, _, Some(ahead)))) = plan.get(i + PREFETCH_DISTANCE) {
+                self.store.prefetch_slot(*ahead);
+            }
+            self.stats.in_packets += 1;
+            verdicts.push(match plan[i] {
+                None => {
+                    let original_src = match &pkt.body {
+                        PacketBody::Icmp { original_src, .. } => *original_src,
+                        _ => unreachable!("pass 1 classified this packet as ICMP"),
+                    };
+                    self.inbound_icmp(pkt, original_src, now)
+                }
+                Some((proto, flags, key, _)) => self.translate_inbound(pkt, now, proto, flags, key),
+            });
+        }
+        verdicts
+    }
+
+    /// The shared inbound translation path behind
+    /// [`Nat::process_inbound`] and [`Nat::process_inbound_burst`]:
+    /// look up the mapping under an already-packed ext-key (`None`
+    /// when the destination pool was never interned), apply filtering,
+    /// track TCP state, refresh, and rewrite the packet.
+    fn translate_inbound(
+        &mut self,
+        pkt: Packet,
+        now: SimTime,
+        proto: Protocol,
+        flags: Option<TcpFlags>,
+        key: Option<u64>,
+    ) -> NatVerdict {
+        let slot = match key.and_then(|k| self.store.lookup_ext_key(k)) {
             Some(slot) if !self.store.get(slot).expired(now) => slot,
             Some(slot) => {
                 self.remove_mapping(slot, now);
@@ -1561,6 +1684,43 @@ mod tests {
             (seen, n.stats().clone())
         };
         assert_eq!(run(false), run(true), "metrics must be observation-only");
+    }
+
+    /// The inbound burst pipeline and arena gauges follow the same
+    /// zero-cost-when-disabled discipline as every other instrument:
+    /// without a registry the new paths fire nothing and expose
+    /// nothing, and the run is observationally unchanged.
+    #[test]
+    fn inbound_burst_metrics_fire_only_when_enabled() {
+        use crate::metrics::EngineMetrics;
+        let run = |with_metrics: bool| {
+            let mut n = Nat::new(NatConfig::cgn_default(), pool(), 99);
+            if with_metrics {
+                n.set_metrics(Box::<EngineMetrics>::default());
+            }
+            let replies: Vec<Packet> = (1..=10)
+                .map(|h| udp_out(&mut n, internal_host(h), server(), t(0)))
+                .map(|fwd| Packet::udp(server(), fwd.src, vec![]))
+                .collect();
+            let verdicts = n.process_inbound_burst(replies, t(1));
+            (verdicts, n.stats().clone(), n)
+        };
+        let (off_verdicts, off_stats, off_nat) = run(false);
+        let (on_verdicts, on_stats, on_nat) = run(true);
+        assert_eq!(
+            off_verdicts, on_verdicts,
+            "metrics must be observation-only"
+        );
+        assert_eq!(off_stats, on_stats);
+        assert!(
+            off_nat.metrics_snapshot().is_none(),
+            "disabled engine exposes no instruments at all"
+        );
+        let snap = on_nat.metrics_snapshot().expect("registry installed");
+        assert_eq!(snap.scalar("cgn_inbound_bursts_total"), 1);
+        assert_eq!(snap.scalar("cgn_inbound_prefetch_issued_total"), 10);
+        assert!(snap.scalar("cgn_arena_chunks") >= 2, "hot + cold chunks");
+        assert_eq!(snap.scalar("cgn_arena_slots_free"), 0, "nothing expired");
     }
 
     #[test]

@@ -65,6 +65,50 @@ impl PortSet {
     fn len(&self) -> usize {
         self.len
     }
+
+    /// First absent port in `[from, to]` (inclusive), scanning upward.
+    ///
+    /// A u64 word scan: each iteration negates one bitmap word, masks
+    /// the range edges, and jumps straight to the first free bit with
+    /// `trailing_zeros` — so a densely-filled range advances 64 ports
+    /// per word instead of probing bit by bit. Callers compose their
+    /// strategy's exact candidate order (wrap-around scans are two
+    /// calls), and the debug build asserts the scan returns precisely
+    /// what the old per-bit probe returned.
+    fn first_free_in(&self, from: u16, to: u16) -> Option<u16> {
+        let found = (|| {
+            if from > to {
+                return None;
+            }
+            let (first_w, last_w) = (from as usize >> 6, to as usize >> 6);
+            for w in first_w..=last_w {
+                let mut free = !self.words[w];
+                if w == first_w {
+                    free &= !0u64 << (from & 63);
+                }
+                if w == last_w {
+                    free &= !0u64 >> (63 - (to & 63));
+                }
+                if free != 0 {
+                    return Some(((w as u32) << 6 | free.trailing_zeros()) as u16);
+                }
+            }
+            None
+        })();
+        debug_assert_eq!(
+            found,
+            self.first_free_in_ref(from, to),
+            "word scan must preserve per-bit allocation order in [{from}, {to}]"
+        );
+        found
+    }
+
+    /// The per-bit reference probe the word scan replaced — kept as
+    /// the debug-build oracle for allocation-order equivalence (the
+    /// `debug_assert_eq!` above compiles out of release builds).
+    fn first_free_in_ref(&self, from: u16, to: u16) -> Option<u16> {
+        (from..=to).find(|&p| self.words[p as usize >> 6] & (1u64 << (p & 63)) == 0)
+    }
 }
 
 /// Why a port could not be allocated.
@@ -242,9 +286,10 @@ impl PortAllocator {
     /// no RNG, no grant records.
     pub fn allocate_deterministic(&mut self, start: u16, len: u16) -> Result<u16, PortError> {
         let hi = (start as u32 + len as u32).min(self.range.1 as u32 + 1);
-        for p in start as u32..hi {
-            if self.in_use.insert(p as u16) {
-                return Ok(p as u16);
+        if hi > start as u32 {
+            if let Some(p) = self.in_use.first_free_in(start, (hi - 1) as u16) {
+                self.in_use.insert(p);
+                return Ok(p);
             }
         }
         Err(PortError::Exhausted)
@@ -324,30 +369,52 @@ impl PortAllocator {
         } else {
             self.range.0
         };
-        let span = self.capacity() as u32;
-        for off in 1..=span {
-            let p = self.range.0 + (((start - self.range.0) as u32 + off) % span) as u16;
-            if self.in_use.insert(p) {
-                return Ok(p);
+        match self.wrap_scan_after(start) {
+            Some(p) => {
+                self.in_use.insert(p);
+                Ok(p)
             }
+            None => Err(PortError::Exhausted),
         }
-        Err(PortError::Exhausted)
+    }
+
+    /// First free port in the wrap-around order `start+1..=hi, lo..=start`
+    /// — the candidate order every "scan upward, wrapping once" strategy
+    /// shares, expressed as two ascending word scans.
+    fn wrap_scan_after(&self, start: u16) -> Option<u16> {
+        let upper = if start < self.range.1 {
+            self.in_use.first_free_in(start + 1, self.range.1)
+        } else {
+            None
+        };
+        upper.or_else(|| self.in_use.first_free_in(self.range.0, start))
+    }
+
+    /// Like [`wrap_scan_after`](Self::wrap_scan_after) but with `start`
+    /// itself as the first candidate: `start..=hi, lo..start`.
+    fn wrap_scan_from(&self, start: u16) -> Option<u16> {
+        self.in_use.first_free_in(start, self.range.1).or_else(|| {
+            if start > self.range.0 {
+                self.in_use.first_free_in(self.range.0, start - 1)
+            } else {
+                None
+            }
+        })
     }
 
     fn alloc_sequential(&mut self) -> Result<u16, PortError> {
-        let span = self.capacity() as u32;
-        for off in 0..span {
-            let p = self.range.0 + (((self.next_seq - self.range.0) as u32 + off) % span) as u16;
-            if self.in_use.insert(p) {
+        match self.wrap_scan_from(self.next_seq) {
+            Some(p) => {
+                self.in_use.insert(p);
                 self.next_seq = if p == self.range.1 {
                     self.range.0
                 } else {
                     p + 1
                 };
-                return Ok(p);
+                Ok(p)
             }
+            None => Err(PortError::Exhausted),
         }
-        Err(PortError::Exhausted)
     }
 
     fn alloc_random(&mut self, rng: &mut StdRng) -> Result<u16, PortError> {
@@ -363,14 +430,13 @@ impl PortAllocator {
             }
         }
         let start = rng.gen_range(self.range.0..=self.range.1);
-        let span = self.capacity() as u32;
-        for off in 0..span {
-            let p = self.range.0 + (((start - self.range.0) as u32 + off) % span) as u16;
-            if self.in_use.insert(p) {
-                return Ok(p);
+        match self.wrap_scan_from(start) {
+            Some(p) => {
+                self.in_use.insert(p);
+                Ok(p)
             }
+            None => Err(PortError::Exhausted),
         }
-        Err(PortError::Exhausted)
     }
 
     fn alloc_chunk(
@@ -408,12 +474,13 @@ impl PortAllocator {
                 return Ok(p);
             }
         }
-        for p in lo as u32..hi_exclusive {
-            if self.in_use.insert(p as u16) {
-                return Ok(p as u16);
+        match self.in_use.first_free_in(lo, (hi_exclusive - 1) as u16) {
+            Some(p) => {
+                self.in_use.insert(p);
+                Ok(p)
             }
+            None => Err(PortError::ChunkFull),
         }
-        Err(PortError::ChunkFull)
     }
 
     /// `(start, len)` of block `b` under a `block_size`-port layout.
@@ -429,13 +496,15 @@ impl PortAllocator {
         if self.blocks[b as usize].in_use >= len {
             return None; // full block: skip the scan entirely
         }
-        for p in lo as u32..lo as u32 + len as u32 {
-            if self.in_use.insert(p as u16) {
+        let hi = (lo as u32 + len as u32 - 1) as u16;
+        match self.in_use.first_free_in(lo, hi) {
+            Some(p) => {
+                self.in_use.insert(p);
                 self.blocks[b as usize].in_use += 1;
-                return Some(p as u16);
+                Some(p)
             }
+            None => None,
         }
-        None
     }
 
     /// Contiguous-block allocation: sequential fill of the host's
@@ -489,6 +558,47 @@ mod tests {
 
     fn host() -> Ipv4Addr {
         ip(100, 64, 0, 10)
+    }
+
+    #[test]
+    fn word_scan_matches_per_bit_probe() {
+        // Dense edge patterns the word scan must get right: range edges
+        // inside a word, full words, boundaries at multiples of 64.
+        let mut set = PortSet::new();
+        assert_eq!(set.first_free_in(1024, 1024), Some(1024));
+        for p in 1024..=1100u16 {
+            set.insert(p);
+        }
+        assert_eq!(set.first_free_in(1024, 1100), None);
+        assert_eq!(set.first_free_in(1024, 1101), Some(1101));
+        assert_eq!(set.first_free_in(1000, 1050), Some(1000));
+        set.remove(1063); // last bit of a word
+        assert_eq!(set.first_free_in(1024, 1100), Some(1063));
+        set.remove(1064); // first bit of the next word
+        assert_eq!(set.first_free_in(1064, 1100), Some(1064));
+        assert_eq!(set.first_free_in(65535, 65535), Some(65535));
+        set.insert(65535);
+        assert_eq!(set.first_free_in(65535, 65535), None);
+    }
+
+    proptest! {
+        /// The u64 word scan returns exactly what the per-bit probe it
+        /// replaced would have: allocation order is unchanged.
+        #[test]
+        fn prop_word_scan_preserves_allocation_order(
+            occupied in proptest::collection::vec(0u16..=65535, 0..200),
+            from in 0u16..=65535,
+            width in 0u16..512,
+        ) {
+            let mut set = PortSet::new();
+            for p in &occupied {
+                set.insert(*p);
+            }
+            let to = from.saturating_add(width);
+            let naive = (from..=to)
+                .find(|&p| set.words[p as usize >> 6] & (1u64 << (p & 63)) == 0);
+            prop_assert_eq!(set.first_free_in(from, to), naive);
+        }
     }
 
     #[test]

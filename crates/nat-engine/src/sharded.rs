@@ -297,6 +297,19 @@ impl ShardedNat {
         out
     }
 
+    /// Arena chunks summed across shards (the fleet-wide
+    /// `cgn_arena_chunks` reading) — stable once every shard is past
+    /// warm-up, since arena growth never reallocates.
+    pub fn arena_chunks(&self) -> u64 {
+        self.shards.iter().map(|s| s.arena_chunks()).sum()
+    }
+
+    /// Free-listed slot ids summed across shards (the fleet-wide
+    /// `cgn_arena_slots_free` reading).
+    pub fn arena_slots_free(&self) -> u64 {
+        self.shards.iter().map(|s| s.arena_slots_free()).sum()
+    }
+
     /// Counters folded across shards in shard order.
     pub fn merged_stats(&self) -> NatStats {
         let mut out = NatStats::default();
@@ -407,6 +420,49 @@ impl ShardedNat {
         let work: Vec<(&mut Nat, Vec<Packet>)> = self.shards.iter_mut().zip(bursts).collect();
         scatter(work, threads, |(shard, burst)| {
             shard.process_burst(burst, now)
+        })
+    }
+
+    /// Split an inbound packet stream into per-shard batches by the
+    /// destination external IP's owner, in arrival order within each
+    /// batch — the input format of
+    /// [`ShardedNat::process_inbound_bursts`]. Strays addressed to an
+    /// IP no shard owns land in shard 0's batch, which records the
+    /// drop — exactly [`ShardedNat::process_inbound`]'s routing.
+    pub fn partition_inbound(&self, pkts: impl IntoIterator<Item = Packet>) -> Vec<Vec<Packet>> {
+        let mut batches: Vec<Vec<Packet>> = vec![Vec::new(); self.shards.len()];
+        for pkt in pkts {
+            let shard = self.ext_owner.get(&pkt.dst.ip).copied().unwrap_or(0);
+            batches[shard].push(pkt);
+        }
+        batches
+    }
+
+    /// Inbound mirror of [`ShardedNat::process_bursts`]: each shard's
+    /// pre-partitioned batch runs through the
+    /// [`Nat::process_inbound_burst`] resolve → prefetch → translate
+    /// pipeline. Shards are mutually independent (inbound packets
+    /// never cross shards — the owner of the destination IP holds the
+    /// mapping), so verdicts per shard in batch order are
+    /// bit-identical to routing each packet through
+    /// [`ShardedNat::process_inbound`], for every thread count and
+    /// burst size.
+    ///
+    /// Panics if `bursts.len() != self.shard_count()`.
+    pub fn process_inbound_bursts(
+        &mut self,
+        bursts: Vec<Vec<Packet>>,
+        now: SimTime,
+        threads: usize,
+    ) -> Vec<Vec<NatVerdict>> {
+        assert_eq!(
+            bursts.len(),
+            self.shards.len(),
+            "one burst per shard required"
+        );
+        let work: Vec<(&mut Nat, Vec<Packet>)> = self.shards.iter_mut().zip(bursts).collect();
+        scatter(work, threads, |(shard, burst)| {
+            shard.process_inbound_burst(burst, now)
         })
     }
 }
@@ -775,6 +831,85 @@ mod tests {
         burst_equivalence(4, 4, 100, 6, 11);
     }
 
+    /// The inbound burst pipeline against packet-at-a-time inbound
+    /// routing: establish mappings outbound, reply to every translated
+    /// external endpoint (with the occasional stray), and compare
+    /// verdicts, stats and port state for any thread count.
+    fn inbound_burst_equivalence(
+        shards: u16,
+        threads: usize,
+        hosts: u32,
+        flows_per_host: u16,
+        seed: u64,
+    ) {
+        let mk = || ShardedNat::new(NatConfig::cgn_default(), pool(8), shards, seed);
+        let pkts: Vec<Packet> = (0..hosts)
+            .flat_map(|k| {
+                (0..flows_per_host).map(move |f| {
+                    Packet::udp(
+                        Endpoint::new(host(k).ip, 40000 + f),
+                        Endpoint::new(ip(203, 0, 113, (k % 200) as u8), 1000 + f),
+                        vec![],
+                    )
+                })
+            })
+            .collect();
+        // Establish the mappings, then reply from each contacted
+        // destination back to the translated external endpoint; every
+        // seventh reply is shadowed by a stray to an unowned IP.
+        let build = |nat: &mut ShardedNat| -> Vec<Packet> {
+            let batches = nat.partition_outbound(pkts.clone());
+            let verdicts = nat.process_batches(batches, t(0), 1);
+            let mut replies = Vec::new();
+            for (i, v) in verdicts.iter().flatten().enumerate() {
+                if let NatVerdict::Forward(p) = v {
+                    replies.push(Packet::udp(p.dst, p.src, vec![]));
+                    if i % 7 == 0 {
+                        replies.push(Packet::udp(
+                            p.dst,
+                            Endpoint::new(ip(9, 9, 9, 9), p.src.port),
+                            vec![],
+                        ));
+                    }
+                }
+            }
+            replies
+        };
+
+        let mut scalar = mk();
+        let replies = build(&mut scalar);
+        let scalar_verdicts: Vec<Vec<NatVerdict>> = {
+            let batches = scalar.partition_inbound(replies.clone());
+            batches
+                .into_iter()
+                .enumerate()
+                .map(|(i, batch)| {
+                    batch
+                        .into_iter()
+                        .map(|p| scalar.shards_mut()[i].process_inbound(p, t(1)))
+                        .collect()
+                })
+                .collect()
+        };
+
+        let mut burst = mk();
+        let burst_replies = build(&mut burst);
+        assert_eq!(replies, burst_replies, "establishment is deterministic");
+        let batches = burst.partition_inbound(burst_replies);
+        let burst_verdicts = burst.process_inbound_bursts(batches, t(1), threads);
+
+        assert_eq!(scalar_verdicts, burst_verdicts);
+        assert_eq!(scalar.merged_stats(), burst.merged_stats());
+        assert_eq!(scalar.store_occupancy(), burst.store_occupancy());
+        assert_eq!(scalar.ports_by_host(t(1)), burst.ports_by_host(t(1)));
+        assert_eq!(scalar.port_occupancy(), burst.port_occupancy());
+    }
+
+    #[test]
+    fn inbound_bursts_match_packet_at_a_time_processing() {
+        inbound_burst_equivalence(4, 4, 100, 6, 11);
+    }
+
     /// Repeat contacts + expiry churn inside one burst: later packets
     /// must observe the mappings (and removals) earlier packets in the
     /// same burst created.
@@ -813,6 +948,24 @@ mod tests {
             seed in any::<u64>(),
         ) {
             burst_equivalence(shards, threads, hosts, flows_per_host, seed);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The inbound burst pipeline is bit-identical to
+        /// packet-at-a-time inbound routing for arbitrary workload
+        /// shapes, shard and thread counts.
+        #[test]
+        fn prop_inbound_bursts_equal_packet_at_a_time(
+            shards in 1u16..=8,
+            threads in 1usize..=6,
+            hosts in 1u32..60,
+            flows_per_host in 1u16..6,
+            seed in any::<u64>(),
+        ) {
+            inbound_burst_equivalence(shards, threads, hosts, flows_per_host, seed);
         }
     }
 

@@ -38,4 +38,4 @@ pub mod sink;
 pub use codec::{decode_bytes, DecodeError, EventLog, Record};
 pub use detmap::DeterministicMap;
 pub use query::{linear_scan, TraceIndex};
-pub use sink::{BinaryLogSink, SampledSink, WriteSink};
+pub use sink::{BinaryLogSink, BufferedWriteSink, BufferedWriter, SampledSink, WriteSink};

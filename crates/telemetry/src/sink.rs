@@ -5,7 +5,9 @@
 //! the identical byte sequence into any `io::Write` instead, so a
 //! long run's log need never be resident — the file-backed sink the
 //! log-volume study's 75 GiB/day-per-million-subscribers projection
-//! calls for.
+//! calls for. [`BufferedWriteSink`] is the same stream again behind a
+//! preallocated grow-once buffer with explicit flush, collapsing the
+//! write-per-record pattern into one write per buffer fill.
 
 use crate::codec::EventLog;
 use nat_engine::sharded::mix64;
@@ -288,6 +290,180 @@ impl<W: Write + Send + Sync> WriteSink<W> {
     }
 }
 
+/// A fixed-capacity byte buffer in front of any `io::Write`. The
+/// buffer is allocated **once** at construction and never grows:
+/// writes accumulate until the next write would overflow, at which
+/// point the whole buffer drains to the inner writer in a single
+/// `write_all`; a chunk larger than the entire buffer bypasses it and
+/// writes straight through. The steady-state path is therefore a
+/// memcpy into warm memory with no allocator traffic and one inner
+/// write per buffer fill instead of one per record.
+#[derive(Debug)]
+pub struct BufferedWriter<W: Write> {
+    buf: Vec<u8>,
+    out: W,
+    drains: u64,
+}
+
+impl<W: Write> BufferedWriter<W> {
+    pub fn with_capacity(capacity: usize, out: W) -> BufferedWriter<W> {
+        assert!(capacity > 0, "buffer capacity must be non-zero");
+        BufferedWriter {
+            buf: Vec::with_capacity(capacity),
+            out,
+            drains: 0,
+        }
+    }
+
+    /// Buffer-to-writer drains so far (write-through chunks excluded).
+    pub fn drains(&self) -> u64 {
+        self.drains
+    }
+
+    /// Bytes currently held in the buffer.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn drain(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.out.write_all(&self.buf)?;
+            self.buf.clear();
+            self.drains += 1;
+        }
+        Ok(())
+    }
+
+    /// Drain any buffered bytes and return the inner writer.
+    pub fn into_inner(mut self) -> std::io::Result<W> {
+        self.drain()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write> Write for BufferedWriter<W> {
+    fn write(&mut self, chunk: &[u8]) -> std::io::Result<usize> {
+        if self.buf.len() + chunk.len() > self.buf.capacity() {
+            self.drain()?;
+        }
+        if chunk.len() > self.buf.capacity() {
+            self.out.write_all(chunk)?; // oversized: write through
+        } else {
+            self.buf.extend_from_slice(chunk);
+        }
+        Ok(chunk.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.drain()?;
+        self.out.flush()
+    }
+}
+
+/// The buffered variant of [`WriteSink`]: the same event semantics,
+/// counters, sticky-error behaviour, and **byte-identical** output
+/// stream, but records land in a preallocated grow-once
+/// [`BufferedWriter`] instead of being `write_all`'d to the
+/// destination one by one — the shape a file- or socket-backed
+/// long-run log wants, where a syscall per mapping event would
+/// dominate the encoding cost. Nothing reaches the destination until
+/// the buffer fills, [`flush`](BufferedWriteSink::flush) is called
+/// explicitly, or [`finish`](BufferedWriteSink::finish) drains it.
+#[derive(Debug)]
+pub struct BufferedWriteSink<W: Write + Send + Sync> {
+    inner: WriteSink<BufferedWriter<W>>,
+}
+
+impl<W: Write + Send + Sync> BufferedWriteSink<W> {
+    /// A sink buffering up to `capacity` encoded bytes in front of
+    /// `out`. The buffer is allocated here and never again.
+    pub fn new(mode: TelemetryMode, capacity: usize, out: W) -> BufferedWriteSink<W> {
+        BufferedWriteSink {
+            inner: WriteSink::new(mode, BufferedWriter::with_capacity(capacity, out)),
+        }
+    }
+
+    pub fn mode(&self) -> TelemetryMode {
+        self.inner.mode()
+    }
+
+    /// Records successfully encoded into the buffer.
+    pub fn records_written(&self) -> u64 {
+        self.inner.records_written()
+    }
+
+    /// Encoded bytes handed to the buffer.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    /// Records dropped after the sink went sticky-failed.
+    pub fn records_dropped(&self) -> u64 {
+        self.inner.records_dropped()
+    }
+
+    /// The first I/O error, if any.
+    pub fn io_error(&self) -> Option<&std::io::Error> {
+        self.inner.io_error()
+    }
+
+    /// Bytes currently buffered but not yet written to the
+    /// destination.
+    pub fn buffered(&self) -> usize {
+        self.inner.out.buffered()
+    }
+
+    /// Buffer-to-destination drains so far — the number of inner
+    /// writes a run actually paid for, versus one per record unbuffered.
+    pub fn drains(&self) -> u64 {
+        self.inner.out.drains()
+    }
+
+    /// Explicitly drain the buffer (and flush the destination), e.g.
+    /// at a checkpoint boundary. An error here goes sticky exactly
+    /// like a record-time error.
+    pub fn flush(&mut self) {
+        if self.inner.io_error.is_some() {
+            return;
+        }
+        if let Err(e) = self.inner.out.flush() {
+            self.inner.io_error = Some(e);
+        }
+    }
+
+    /// Drain the buffer, flush the destination, and return it — or
+    /// the first error the sink swallowed.
+    pub fn finish(self) -> std::io::Result<W> {
+        self.inner.finish()?.into_inner()
+    }
+}
+
+impl<W: Write + Send + Sync + 'static> EventSink for BufferedWriteSink<W> {
+    fn mapping_created(&mut self, event: &MappingEvent) {
+        self.inner.mapping_created(event);
+    }
+
+    fn mapping_expired(&mut self, event: &MappingEvent) {
+        self.inner.mapping_expired(event);
+    }
+
+    fn block_allocated(&mut self, event: &BlockEvent) {
+        self.inner.block_allocated(event);
+    }
+
+    fn block_released(&mut self, event: &BlockEvent) {
+        self.inner.block_released(event);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn volume(&self) -> Option<(u64, u64)> {
+        self.inner.volume()
+    }
+}
+
 impl<W: Write + Send + Sync + 'static> EventSink for WriteSink<W> {
     fn mapping_created(&mut self, event: &MappingEvent) {
         if self.mode == TelemetryMode::PerConnection {
@@ -458,13 +634,91 @@ mod tests {
             .into_any()
             .downcast::<WriteSink<Vec<u8>>>()
             .expect("type");
+        let mut buf_nat = run(Box::new(BufferedWriteSink::new(
+            TelemetryMode::PerConnection,
+            256,
+            Vec::<u8>::new(),
+        )));
+        let buffered = buf_nat
+            .take_sink()
+            .expect("installed")
+            .into_any()
+            .downcast::<BufferedWriteSink<Vec<u8>>>()
+            .expect("type");
         assert!(mem.log().records() > 0, "the run must log something");
+        assert!(
+            buffered.drains() < buffered.records_written(),
+            "buffering must batch writes"
+        );
         let bytes = streamed.finish().expect("no I/O error");
+        let buf_bytes = buffered.finish().expect("no I/O error");
         assert_eq!(bytes.as_slice(), mem.log().bytes());
+        assert_eq!(buf_bytes, bytes, "buffered stream byte-identical");
         assert_eq!(
             crate::codec::decode_bytes(&bytes).expect("decodes"),
             mem.log().decode().expect("decodes")
         );
+    }
+
+    /// The buffered sink's whole point: the same byte stream with far
+    /// fewer inner writes, nothing reaching the destination until a
+    /// fill or an explicit flush.
+    #[test]
+    fn buffered_sink_batches_and_flushes_explicitly() {
+        let mut mem = BinaryLogSink::new(TelemetryMode::PerConnection);
+        let mut buffered = BufferedWriteSink::new(TelemetryMode::PerConnection, 4096, Vec::new());
+        for port in 1024u16..1064 {
+            let e = mapping_event(port);
+            mem.mapping_created(&e);
+            buffered.mapping_created(&e);
+        }
+        assert_eq!(buffered.records_written(), 40);
+        assert_eq!(buffered.drains(), 0, "40 small records fit the buffer");
+        assert!(buffered.buffered() > 0);
+        buffered.flush();
+        assert_eq!(buffered.drains(), 1, "explicit flush drains once");
+        assert_eq!(buffered.buffered(), 0);
+        let bytes = buffered.finish().expect("no I/O error");
+        assert_eq!(bytes.as_slice(), mem.log().bytes(), "byte-identical");
+    }
+
+    /// A chunk larger than the whole buffer writes straight through —
+    /// the buffer never grows past its construction-time capacity.
+    #[test]
+    fn buffered_writer_writes_through_oversized_chunks() {
+        let mut w = BufferedWriter::with_capacity(8, Vec::<u8>::new());
+        w.write_all(&[1, 2, 3]).unwrap();
+        w.write_all(&[0u8; 20]).unwrap(); // > capacity: drains then bypasses
+        assert_eq!(w.buffered(), 0);
+        w.write_all(&[4, 5]).unwrap();
+        let out = w.into_inner().unwrap();
+        let mut expect = vec![1, 2, 3];
+        expect.extend_from_slice(&[0u8; 20]);
+        expect.extend_from_slice(&[4, 5]);
+        assert_eq!(out, expect, "order preserved across the bypass");
+    }
+
+    #[test]
+    fn buffered_sink_goes_sticky_on_drain_error() {
+        let mut s = BufferedWriteSink::new(
+            TelemetryMode::PerConnection,
+            64,
+            FailAfter {
+                taken: 0,
+                limit: 70,
+            },
+        );
+        let mut port = 1024u16;
+        while s.io_error().is_none() && port < 2048 {
+            s.mapping_created(&mapping_event(port));
+            port += 1;
+        }
+        assert!(s.io_error().is_some(), "second drain must trip the limit");
+        let written_at_failure = s.records_written();
+        s.mapping_created(&mapping_event(9000));
+        assert_eq!(s.records_written(), written_at_failure, "sticky-failed");
+        assert!(s.records_dropped() >= 1);
+        assert!(s.finish().is_err(), "finish surfaces the error");
     }
 
     #[test]

@@ -76,12 +76,21 @@ pub struct DriverConfig {
     /// instrument at each sample barrier and folds the snapshots into
     /// `w`-second windows.
     pub metrics_window_secs: Option<u64>,
-    /// Packets per burst handed to [`Nat::process_burst`] when a
+    /// Packets per burst handed to [`Nat::process_burst`] (and
+    /// [`Nat::process_inbound_burst`] for the reply leg) when a
     /// millisecond batch of drained events is translated. `0` (the
     /// default) means [`DEFAULT_BURST`]. Like `threads`, this is an
     /// execution detail: summaries and telemetry logs are bit-identical
     /// for every value (see the `burst_sizes_bit_identical` test).
     pub burst: usize,
+    /// Permille of forwarded outbound packets whose flow receives an
+    /// inbound reply in the same millisecond batch, exercising the
+    /// engine's inbound path under load. Selection is a deterministic
+    /// hash of the flow endpoints and the batch instant, so the reply
+    /// stream — like everything else — is bit-identical for every
+    /// worker-thread count and burst size. `0` (the default) disables
+    /// the leg entirely and leaves every existing digest unchanged.
+    pub inbound_reply_permille: u32,
     pub seed: u64,
 }
 
@@ -107,6 +116,7 @@ impl DriverConfig {
             telemetry: TelemetryMode::Off,
             metrics_window_secs: None,
             burst: 0,
+            inbound_reply_permille: 0,
             seed,
         }
     }
@@ -136,6 +146,12 @@ pub struct MetricsWindow {
     /// Outstanding driver events at the closing sample, summed across
     /// shard event wheels.
     pub event_wheel_depth: u64,
+    /// 2 MiB slab-arena chunks mapped across shards at the closing
+    /// sample (`cgn_arena_chunks`). Monotone within a run — chunks are
+    /// only ever appended — so a flat tail proves the slab stopped
+    /// growing after warm-up (and arena growth never copies, unlike
+    /// the `Vec` slab it replaced).
+    pub arena_chunks: u64,
     /// `max/mean` of per-shard flow starts within the window — the
     /// transient skew [`ShardLoad::flow_imbalance`] averages away.
     pub shard_flow_imbalance: f64,
@@ -471,13 +487,32 @@ enum Pending {
 }
 
 /// One barrier-to-barrier step of a shard: how far to drain, the burst
-/// chunk size, and which barrier duties run at the boundary.
+/// chunk size, the inbound-reply leg parameters, and which barrier
+/// duties run at the boundary.
 #[derive(Clone, Copy)]
 struct AdvanceStep {
     boundary_ms: u64,
     burst: usize,
+    /// [`DriverConfig::inbound_reply_permille`].
+    reply_permille: u32,
+    /// The run seed, salting the reply-selection hash.
+    seed: u64,
     do_sweep: bool,
     do_sample: bool,
+}
+
+/// Whether a forwarded outbound packet's flow receives an inbound
+/// reply in this millisecond batch: a pure hash of (seed, flow
+/// endpoints, batch instant), so the decision is identical for every
+/// worker-thread count and burst size, and keepalives of a long flow
+/// re-draw each batch.
+fn reply_due(seed: u64, permille: u32, at_ms: u64, src: Endpoint, dst: Endpoint) -> bool {
+    if permille == 0 {
+        return false;
+    }
+    let flow = (u32::from(src.ip) as u64) << 16 | src.port as u64;
+    let peer = (u32::from(dst.ip) as u64) << 16 | dst.port as u64;
+    mix64(seed ^ mix64(flow) ^ mix64(peer ^ mix64(at_ms))) % 1000 < permille as u64
 }
 
 /// Advance one shard's event queue up to (and including) `boundary_ms`,
@@ -506,6 +541,8 @@ fn advance_shard(
     let AdvanceStep {
         boundary_ms,
         burst,
+        reply_permille,
+        seed,
         do_sweep,
         do_sample,
     } = step;
@@ -630,7 +667,11 @@ fn advance_shard(
             verdicts.extend(nat.process_burst(chunk, now));
         }
 
-        // Pass 3 — commit, in event order.
+        // Pass 3 — commit, in event order. Forwarded packets whose
+        // flow the reply hash selects queue an inbound reply addressed
+        // to the mapping's external endpoint (the verdict's translated
+        // source).
+        let mut replies: Vec<Packet> = Vec::new();
         let mut verdicts = verdicts.into_iter();
         for p in pending.drain(..) {
             match p {
@@ -647,7 +688,16 @@ fn advance_shard(
                         st.push(at, Kind::Arrival { idx });
                     }
                     match verdicts.next().expect("one verdict per packet") {
-                        NatVerdict::Forward(_) | NatVerdict::Hairpin(_) => {
+                        v @ (NatVerdict::Forward(_) | NatVerdict::Hairpin(_)) => {
+                            if let NatVerdict::Forward(t) = &v {
+                                if reply_due(seed, reply_permille, at_ms, src, dst) {
+                                    replies.push(if udp {
+                                        Packet::udp(dst, t.src, vec![])
+                                    } else {
+                                        Packet::tcp(dst, t.src, TcpFlags::ACK, vec![])
+                                    });
+                                }
+                            }
                             let flow = st.flows.insert(FlowState {
                                 src,
                                 dst,
@@ -674,12 +724,25 @@ fn advance_shard(
                     end_ms,
                     refresh_ms,
                 } => {
-                    let verdict = verdicts.next().expect("one verdict per packet");
-                    if matches!(verdict, NatVerdict::Drop(_)) {
-                        // Keepalive failed (e.g. port space gone after an
-                        // expiry); the flow dies here.
-                        st.flows.remove(flow);
-                        continue;
+                    match verdicts.next().expect("one verdict per packet") {
+                        NatVerdict::Drop(_) => {
+                            // Keepalive failed (e.g. port space gone after
+                            // an expiry); the flow dies here.
+                            st.flows.remove(flow);
+                            continue;
+                        }
+                        NatVerdict::Forward(t) => {
+                            if let Some(f) = st.flows.get(flow) {
+                                if reply_due(seed, reply_permille, at_ms, f.src, f.dst) {
+                                    replies.push(if f.udp {
+                                        Packet::udp(f.dst, t.src, vec![])
+                                    } else {
+                                        Packet::tcp(f.dst, t.src, TcpFlags::ACK, vec![])
+                                    });
+                                }
+                            }
+                        }
+                        NatVerdict::Hairpin(_) => {}
                     }
                     let next = at_ms + refresh_ms;
                     if next < end_ms.min(horizon_ms) {
@@ -701,6 +764,22 @@ fn advance_shard(
             }
         }
         debug_assert!(verdicts.next().is_none(), "every verdict consumed");
+
+        // Inbound-reply leg: answer the batch's selected flows at the
+        // same instant, drained through the engine's inbound burst
+        // pipeline in the same chunk size as the outbound pass. The
+        // verdicts are accounted by the engine's own counters
+        // (`NatStats::in_packets` and the drop breakdown).
+        if !replies.is_empty() {
+            let mut queue = replies.into_iter();
+            loop {
+                let chunk: Vec<Packet> = queue.by_ref().take(burst).collect();
+                if chunk.is_empty() {
+                    break;
+                }
+                let _ = nat.process_inbound_burst(chunk, now);
+            }
+        }
     }
 
     let now = SimTime::from_millis(boundary_ms);
@@ -861,6 +940,8 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
         let step = AdvanceStep {
             boundary_ms: boundary,
             burst,
+            reply_permille: config.inbound_reply_permille,
+            seed: config.seed,
             do_sweep,
             do_sample,
         };
@@ -994,6 +1075,7 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
                     mappings_live: c.scalar("cgn_mappings_live"),
                     allocator_fill_permille_worst: c.scalar("cgn_allocator_fill_permille_worst"),
                     event_wheel_depth: c.scalar("cgn_event_wheel_depth"),
+                    arena_chunks: c.scalar("cgn_arena_chunks"),
                     shard_flow_imbalance: max_over_mean(&shard_flows),
                     drops: d.scalar("cgn_flows_rejected_total{reason=\"port-exhausted\"}")
                         + d.scalar("cgn_flows_rejected_total{reason=\"session-limit\"}"),
@@ -1149,6 +1231,50 @@ mod tests {
         // And the default (burst = 0 → DEFAULT_BURST) matches too.
         cfg.burst = 0;
         assert_eq!(base, run_with_logs(&cfg).0);
+    }
+
+    /// The inbound-reply leg: off by default (no inbound packets, no
+    /// digest change), and when on it drives the engine's inbound
+    /// path while staying bit-identical across burst sizes and
+    /// worker-thread counts.
+    #[test]
+    fn inbound_reply_leg_is_deterministic() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 23);
+        cfg.shards = 3;
+        cfg.telemetry = nat_engine::telemetry::TelemetryMode::PerConnection;
+        let (off, _) = run_with_logs(&cfg);
+        assert_eq!(off.stats.in_packets, 0, "leg disabled by default");
+
+        cfg.inbound_reply_permille = 250;
+        cfg.burst = 1;
+        cfg.threads = 1;
+        let (base, base_logs) = run_with_logs(&cfg);
+        assert!(base.stats.in_packets > 0, "selected flows must see replies");
+        assert!(
+            base.stats.in_packets < base.packets_sent,
+            "a fraction, not an echo of every packet"
+        );
+        // Replies land on live mappings from previously-contacted
+        // peers: none may be dropped as unmapped or filtered.
+        assert_eq!(base.stats.drop_no_mapping, 0);
+        assert_eq!(base.stats.drop_filtered, 0);
+        // Outbound-side outcomes are untouched by the extra leg.
+        assert_eq!(off.flows_started, base.flows_started);
+        assert_eq!(off.packets_sent, base.packets_sent);
+        for (burst, threads) in [(7, 2), (64, 4), (0, 3)] {
+            cfg.burst = burst;
+            cfg.threads = threads;
+            let (s, logs) = run_with_logs(&cfg);
+            assert_eq!(base, s, "burst={burst} threads={threads} diverged");
+            assert_eq!(base.digest(), s.digest());
+            for (shard, (a, b)) in base_logs.iter().zip(&logs).enumerate() {
+                assert_eq!(
+                    a.bytes(),
+                    b.bytes(),
+                    "shard {shard} log diverged at burst={burst} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]
