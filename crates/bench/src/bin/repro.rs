@@ -10,10 +10,21 @@
 //! cargo run --release -p cgn-bench --bin repro -- dimensioning --metrics  # + windowed metrics
 //! cargo run --release -p cgn-bench --bin repro -- detection      # detection campaign
 //! cargo run --release -p cgn-bench --bin repro -- small detection --threads 4
+//! cargo run --release -p cgn-bench --bin repro -- soak           # 1M-subscriber soak + gates
+//! cargo run --release -p cgn-bench --bin repro -- small soak --events-dir target/soak-events
 //! ```
 //!
 //! The output is the "measured" side of EXPERIMENTS.md: every section is
 //! annotated with the paper's published numbers for comparison.
+//!
+//! `soak` runs the always-on operator mode instead of the study
+//! pipeline: a [`cgn_opsd`] soak session (scale maps `default` → the
+//! 1M-subscriber hour, `small` → CI scale, `tiny` → smoke scale) with
+//! a live scrape endpoint, streamed JSONL window stats
+//! (`BENCH_soak_windows.jsonl`), optional rotating event logs
+//! (`--events-dir DIR`), and the leak gates. The report lands in
+//! `BENCH_soak.json`; any failed gate (or unverifiable scrape) exits
+//! nonzero.
 //!
 //! `detection` runs the multi-perspective CGN detection campaign
 //! instead of the study pipeline: the standard scenario library at
@@ -31,20 +42,34 @@ fn main() {
     let mut export_dir: Option<std::path::PathBuf> = None;
     let mut dimensioning = false;
     let mut detection = false;
+    let mut soak = false;
     let mut metrics = false;
+    let mut seed_set = false;
+    let mut events_dir: Option<std::path::PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if let Some(s) = arg.strip_prefix("seed=") {
             seed = s.parse().expect("seed must be an integer");
+            seed_set = true;
         } else if let Some(d) = arg.strip_prefix("export=") {
             export_dir = Some(d.into());
         } else if arg == "dimensioning" {
             dimensioning = true;
         } else if arg == "detection" {
             detection = true;
+        } else if arg == "soak" {
+            soak = true;
         } else if arg == "--metrics" {
             metrics = true;
+        } else if arg == "--events-dir" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--events-dir needs a directory for the rotating event-log generations");
+                std::process::exit(2);
+            });
+            events_dir = Some(v.into());
+        } else if let Some(v) = arg.strip_prefix("--events-dir=") {
+            events_dir = Some(v.into());
         } else if arg == "--threads" {
             let v = args.next().unwrap_or_else(|| {
                 eprintln!("--threads needs a value (worker count; 0 = one per core)");
@@ -56,6 +81,11 @@ fn main() {
         } else {
             scale = arg;
         }
+    }
+    if soak {
+        let seed = seed_set.then_some(seed);
+        run_soak_mode(&scale, seed, threads, events_dir.as_deref());
+        return;
     }
     if detection {
         run_detection_campaign(&scale, seed, threads, export_dir.as_deref());
@@ -113,6 +143,113 @@ fn main() {
         }
     }
     println!("\n(reproduced in {elapsed:.2?} at scale '{scale}', seed {seed})");
+}
+
+/// The `soak` mode: run the always-on operator session at the
+/// requested scale, stream the window stats to
+/// `BENCH_soak_windows.jsonl`, write the gated report to
+/// `BENCH_soak.json`, and exit nonzero when any leak gate (or the
+/// scrape verification) fails.
+fn run_soak_mode(
+    scale: &str,
+    seed: Option<u64>,
+    threads: Option<usize>,
+    events_dir: Option<&std::path::Path>,
+) {
+    let mut config = match scale {
+        "tiny" => cgn_opsd::SoakConfig::smoke(),
+        "small" => cgn_opsd::SoakConfig::ci(),
+        "default" => cgn_opsd::SoakConfig::full(),
+        other => {
+            eprintln!("unknown scale '{other}' (use tiny|small|default)");
+            std::process::exit(2);
+        }
+    };
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    if let Some(t) = threads {
+        config.threads = t;
+    }
+    config.stats_path = Some("BENCH_soak_windows.jsonl".into());
+    if let Some(dir) = events_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("creating {} failed: {e}", dir.display());
+            std::process::exit(1);
+        }
+        config.event_log_stem = Some(dir.join("events"));
+    }
+    println!(
+        "soak '{}': {} subscribers x {} shards, {} simulated seconds (mix {}, seed {})",
+        config.preset,
+        config.subscribers,
+        config.shards,
+        config.duration_secs,
+        config.mix.name,
+        config.seed
+    );
+    let report = match cgn_opsd::run_soak(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("soak run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "  {} flows ({} blocked), {} packets, {} mappings created / {} expired",
+        report.flows_started,
+        report.flows_blocked,
+        report.packets_sent,
+        report.mappings_created,
+        report.mappings_expired
+    );
+    println!(
+        "  {} windows streamed (digest {:016x}), ring never held more than {} windows",
+        report.windows_streamed, report.window_stream_digest, report.max_windows_retained
+    );
+    println!(
+        "  scrape endpoint answered {} requests; final scrape verified {} series: {}",
+        report.scrapes_served,
+        report.scrape_series_verified,
+        if report.scrape_verified {
+            "ok"
+        } else {
+            "FAILED"
+        }
+    );
+    if let Some(v) = &report.event_log {
+        println!(
+            "  event logs: {} generations, {} records, {} bytes ({} modeled archived)",
+            v.generations, v.records, v.bytes, v.compressed_bytes_modeled
+        );
+    }
+    for g in &report.gates {
+        println!(
+            "  gate {:<22} {}  (observed {:.4}, limit {:.4}: {})",
+            g.name,
+            if g.passed { "pass" } else { "FAIL" },
+            g.observed,
+            g.limit,
+            g.detail
+        );
+    }
+    println!(
+        "  wall {:.1}s ({:.0} simulated seconds per wall second)",
+        report.wall_secs, report.sim_rate
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("soak report serializes");
+    if let Err(e) = std::fs::write("BENCH_soak.json", json) {
+        eprintln!("writing BENCH_soak.json failed: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote BENCH_soak.json (schema {})", report.schema);
+    if !report.all_gates_passed {
+        eprintln!("soak leak gates FAILED");
+        std::process::exit(1);
+    }
+    println!("all soak gates passed");
 }
 
 /// The `detection` mode: run the multi-perspective campaign, print

@@ -222,8 +222,11 @@ pub const LOGGING_SCHEMA: &str = "cgn-logging-perf/1";
 /// One metrics configuration's throughput at the middle scale.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsOverheadPerf {
-    /// `off` (no registries installed) or `windowed` (per-shard
-    /// registries plus the sample-barrier window aggregator).
+    /// `off` (no registries installed), `windowed` (per-shard
+    /// registries plus the sample-barrier window aggregator), or
+    /// `windowed+scrape` (windowed registries behind a live
+    /// `cgn_opsd::OpsServer` republished at every closed window while
+    /// a client scrapes `/metrics` in a tight loop).
     pub mode: String,
     pub flows: u64,
     pub wall_secs: f64,
@@ -278,7 +281,7 @@ pub struct MetricsSection {
     pub subscribers: u32,
     /// Aggregation window of the metrics-on pass (simulated seconds).
     pub window_secs: u64,
-    /// `off` vs `windowed` throughput rows.
+    /// `off` vs `windowed` vs `windowed+scrape` throughput rows.
     pub rows: Vec<MetricsOverheadPerf>,
     /// Folded FNV digest of every mix's final metric snapshot. The
     /// harness asserts the same digest from a sequential re-run, so a
@@ -797,6 +800,12 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
             assert_eq!(seq.digest, leg.digest);
         }
         let fps = leg.flows as f64 / leg.wall_secs.max(1e-9);
+        let scrape = measure_scrape_leg(settings, mid_scale, threads);
+        assert!(
+            scrape.scrapes > 0,
+            "the scrape client must complete pulls while the leg runs"
+        );
+        let scrape_fps = scrape.flows as f64 / scrape.wall_secs.max(1e-9);
         let probe_config = settings.dimensioning(settings.base_subscribers * mid_scale, threads);
         MetricsSection {
             scale: mid_scale,
@@ -816,6 +825,13 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
                     wall_secs: leg.wall_secs,
                     flows_per_sec: fps,
                     relative_throughput: fps / off.flows_per_sec.max(1e-9),
+                },
+                MetricsOverheadPerf {
+                    mode: "windowed+scrape".to_string(),
+                    flows: scrape.flows,
+                    wall_secs: scrape.wall_secs,
+                    flows_per_sec: scrape_fps,
+                    relative_throughput: scrape_fps / off.flows_per_sec.max(1e-9),
                 },
             ],
             snapshot_digest: format!("{:016x}", leg.digest),
@@ -933,6 +949,71 @@ fn measure_metrics_leg(settings: &PerfSettings, scale: u32, threads: usize) -> M
         worst_window_flow_imbalance: worst,
         worst_window_start_secs: worst_start,
         mixes,
+    }
+}
+
+/// Outcome of the scrape-under-load pass: the metrics-on sweep with a
+/// live operator endpoint being pulled throughout.
+struct ScrapeLeg {
+    flows: u64,
+    wall_secs: f64,
+    /// Successful `/metrics` pulls the client completed during the
+    /// timed window (not asserted — load, not coverage).
+    scrapes: u64,
+}
+
+/// Time the dimensioning sweep at one scale with windowed registries
+/// *and* a live [`cgn_opsd::OpsServer`]: each mix runs through a
+/// stepped [`cgn_traffic::DriverSession`] that drains its closed
+/// windows and republishes the merged snapshot at every sample
+/// barrier, while a background client scrapes `/metrics` in a tight
+/// loop. The delta against the plain `windowed` row prices the whole
+/// operator path — rendering, publishing, socket serving — under
+/// constant pull pressure.
+fn measure_scrape_leg(settings: &PerfSettings, scale: u32, threads: usize) -> ScrapeLeg {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let subscribers = settings.base_subscribers * scale;
+    let mut config = settings.dimensioning(subscribers, threads);
+    config.metrics_window_secs = Some(config.sample_secs);
+    let server = cgn_opsd::OpsServer::bind("127.0.0.1:0").expect("bind scrape endpoint");
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut ok = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if cgn_opsd::scrape(addr, "/metrics").is_ok() {
+                    ok += 1;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            ok
+        })
+    };
+    let mut flows = 0u64;
+    let t0 = Instant::now();
+    for mix in &config.mixes {
+        let mut session = cgn_traffic::DriverSession::new(&config.driver_config(mix.clone()));
+        while session.step().is_some() {
+            let _ = session.drain_closed_windows();
+            if let Some(snap) = session.latest_snapshot() {
+                server.publish(snap, &session.health());
+            }
+        }
+        let (summary, _) = session.finish();
+        flows += summary.flows_started;
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().unwrap_or(0);
+    drop(server);
+    ScrapeLeg {
+        flows,
+        wall_secs,
+        scrapes,
     }
 }
 
@@ -1431,9 +1512,13 @@ mod tests {
         let section = r.metrics.as_ref().expect("metrics section attached");
         assert_eq!(section.scale, settings.scales[1], "middle scale");
         let modes: Vec<&str> = section.rows.iter().map(|row| row.mode.as_str()).collect();
-        assert_eq!(modes, ["off", "windowed"]);
+        assert_eq!(modes, ["off", "windowed", "windowed+scrape"]);
         assert_eq!(section.rows[0].relative_throughput, 1.0);
         assert!(section.rows[1].relative_throughput > 0.0);
+        assert!(
+            section.rows[2].relative_throughput > 0.0 && section.rows[2].flows > 0,
+            "scrape-under-load row measured"
+        );
         assert_eq!(section.snapshot_digest.len(), 16);
         assert_eq!(section.mixes.len(), WorkloadMix::all().len());
         for m in &section.mixes {

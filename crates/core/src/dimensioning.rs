@@ -139,6 +139,7 @@ impl DimensioningConfig {
             sweep_secs: self.sweep_secs,
             telemetry: self.telemetry,
             metrics_window_secs: self.metrics_window_secs,
+            metrics_retention: 0,
             burst: self.burst,
             inbound_reply_permille: self.inbound_reply_permille,
             seed: self.seed,

@@ -7,6 +7,20 @@
 //! each window's delta against the previous window's end. The ring
 //! keeps the most recent `cap` windows — an always-on harness can run
 //! indefinitely at bounded memory.
+//!
+//! Eviction is **telescoping-safe**: the series remembers how many
+//! windows it has let go ([`WindowSeries::evicted_windows`]) and the
+//! cumulative snapshot at the close of the newest one
+//! ([`WindowSeries::evicted_cumulative`]), so for every counter
+//!
+//! ```text
+//! evicted_cumulative + Σ (retained window deltas) == latest cumulative
+//! ```
+//!
+//! holds at all times (pinned by a proptest). A streaming consumer
+//! uses [`WindowSeries::drain_closed`] to take completed windows out
+//! as they close — the same bookkeeping applies, so nothing is ever
+//! double-counted or lost between the stream and the ring.
 
 use crate::snapshot::Snapshot;
 use serde::{Deserialize, Serialize};
@@ -38,6 +52,12 @@ pub struct WindowSeries {
     /// `windows.last()` — the subtrahend for the current window's
     /// delta.
     base: Snapshot,
+    /// Windows evicted by the ring cap or taken by
+    /// [`drain_closed`](WindowSeries::drain_closed) so far.
+    evicted_windows: u64,
+    /// Cumulative snapshot at the close of the newest evicted/drained
+    /// window — the telescoping anchor for the retained deltas.
+    evicted_cumulative: Snapshot,
 }
 
 impl WindowSeries {
@@ -50,6 +70,8 @@ impl WindowSeries {
             cap: cap.max(1),
             windows: Vec::new(),
             base: Snapshot::default(),
+            evicted_windows: 0,
+            evicted_cumulative: Snapshot::default(),
         }
     }
 
@@ -75,10 +97,53 @@ impl WindowSeries {
                     cumulative,
                 });
                 if self.windows.len() > self.cap {
-                    self.windows.remove(0);
+                    let evicted = self.windows.remove(0);
+                    self.evicted_windows += 1;
+                    self.evicted_cumulative = evicted.cumulative;
                 }
             }
         }
+    }
+
+    /// Take every **closed** window out of the ring, oldest first,
+    /// leaving only the in-progress last window (the one the next
+    /// `push` may still update in place). The taken windows count as
+    /// evicted: [`evicted_windows`](WindowSeries::evicted_windows) and
+    /// [`evicted_cumulative`](WindowSeries::evicted_cumulative)
+    /// advance past them, so the telescoping invariant keeps holding
+    /// for what remains. This is the streaming API — an always-on
+    /// consumer drains after every sample and the ring never grows
+    /// past two windows regardless of `cap`.
+    pub fn drain_closed(&mut self) -> Vec<Window> {
+        if self.windows.len() <= 1 {
+            return Vec::new();
+        }
+        let keep_from = self.windows.len() - 1;
+        let closed: Vec<Window> = self.windows.drain(..keep_from).collect();
+        if let Some(last) = closed.last() {
+            self.evicted_windows += closed.len() as u64;
+            self.evicted_cumulative = last.cumulative.clone();
+        }
+        closed
+    }
+
+    /// Windows evicted by the cap or taken by
+    /// [`drain_closed`](WindowSeries::drain_closed) so far.
+    pub fn evicted_windows(&self) -> u64 {
+        self.evicted_windows
+    }
+
+    /// Cumulative snapshot at the close of the newest evicted/drained
+    /// window (default-empty while nothing has been evicted). For
+    /// every counter, adding the retained windows' deltas to this
+    /// snapshot reproduces the latest cumulative exactly.
+    pub fn evicted_cumulative(&self) -> &Snapshot {
+        &self.evicted_cumulative
+    }
+
+    /// Windows observed over the series' lifetime, evicted or not.
+    pub fn total_windows(&self) -> u64 {
+        self.evicted_windows + self.windows.len() as u64
     }
 
     /// The most recent cumulative snapshot, if any sample was pushed.
@@ -147,5 +212,82 @@ mod tests {
             100,
             "delta still spans exactly one window after eviction"
         );
+        assert_eq!(series.evicted_windows(), 3);
+        assert_eq!(
+            series.evicted_cumulative().scalar("flows_total"),
+            300,
+            "anchor is the newest evicted window's close"
+        );
+        assert_eq!(series.total_windows(), 5);
+    }
+
+    #[test]
+    fn drain_closed_streams_windows_and_keeps_the_open_one() {
+        let mut series = WindowSeries::new(10, 64);
+        assert!(series.drain_closed().is_empty(), "nothing to drain yet");
+        series.push(5, cum(10, 1));
+        assert!(
+            series.drain_closed().is_empty(),
+            "a lone window may still be updated in place"
+        );
+        series.push(15, cum(30, 2));
+        series.push(25, cum(60, 3));
+        let closed = series.drain_closed();
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].start_secs, 0);
+        assert_eq!(closed[1].start_secs, 10);
+        assert_eq!(series.windows.len(), 1, "open window retained");
+        assert_eq!(series.evicted_windows(), 2);
+        assert_eq!(series.evicted_cumulative().scalar("flows_total"), 30);
+
+        // The retained window keeps absorbing in-place updates, and the
+        // next boundary opens a new window with an honest delta.
+        series.push(27, cum(80, 4));
+        series.push(35, cum(100, 5));
+        assert_eq!(series.windows.len(), 2);
+        assert_eq!(
+            series.windows[1].delta.scalar("flows_total"),
+            20,
+            "delta against the drained-then-updated previous window"
+        );
+        assert_eq!(series.total_windows(), 4);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The eviction telescoping invariant: for every counter, the
+        /// cumulative anchor of everything evicted/drained plus the
+        /// deltas of everything retained reproduces the latest
+        /// cumulative exactly — no sequence of pushes, cap evictions,
+        /// and drains can lose or double-count a window.
+        #[test]
+        fn prop_eviction_telescoping_invariant(
+            cap in 1usize..6,
+            steps in proptest::collection::vec(
+                (0u64..25, 1u64..1_000, 0u64..100, any::<bool>()),
+                1..60,
+            ),
+        ) {
+            let mut series = WindowSeries::new(10, cap);
+            let mut t = 0u64;
+            let mut total = 0u64;
+            for (dt, inc, live, drain) in steps {
+                t += dt;
+                total += inc;
+                series.push(t, cum(total, live));
+                if drain {
+                    series.drain_closed();
+                }
+                let retained: u64 = series
+                    .windows
+                    .iter()
+                    .map(|w| w.delta.scalar("flows_total"))
+                    .sum();
+                let anchor = series.evicted_cumulative().scalar("flows_total");
+                prop_assert_eq!(anchor + retained, total);
+                prop_assert!(series.windows.len() <= cap);
+            }
+        }
     }
 }

@@ -1,0 +1,348 @@
+//! The operator scrape endpoint: a tiny HTTP/1.1 server over
+//! [`std::net::TcpListener`] — no async runtime, no HTTP crate, one
+//! background thread.
+//!
+//! The daemon's simulation loop is single-owner (the
+//! [`cgn_traffic::DriverSession`] cannot be shared), so the server
+//! never touches live session state: the loop **publishes** an
+//! immutable rendering — Prometheus text for `/metrics`, JSON for
+//! `/healthz` — after each sample barrier, and the accept thread
+//! serves whatever was published last. A scrape therefore observes
+//! the most recent *closed* barrier, which is exactly the freshness a
+//! pull-based collector gets from a real exporter.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — [`cgn_metrics::expo::render`] of the latest
+//!   merged cumulative snapshot (text format 0.0.4);
+//! * `GET /healthz` — the latest [`SessionHealth`] as JSON: simulated
+//!   progress plus slab/arena/timer-wheel occupancy, the liveness
+//!   cross-section the soak gates are built on;
+//! * anything else — `404`.
+//!
+//! [`scrape`] is the matching one-shot client, and
+//! [`verify_scrape`] closes the loop: it parses a scraped exposition
+//! body back into `(series, value)` pairs and checks every
+//! non-histogram sample (and every histogram's `_count`) against the
+//! snapshot the server was fed — the machine check behind the soak
+//! report's `scrape_verified` flag.
+
+use cgn_metrics::{expo, Snapshot, Value};
+use cgn_traffic::SessionHealth;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The last-published rendering of the session, served verbatim.
+struct Published {
+    metrics_text: String,
+    health_json: String,
+}
+
+/// Live scrape endpoint for one soak session. Bind, then call
+/// [`publish`](OpsServer::publish) after every sample barrier;
+/// dropping the server (or [`shutdown`](OpsServer::shutdown)) stops
+/// the accept thread.
+pub struct OpsServer {
+    addr: SocketAddr,
+    published: Arc<Mutex<Published>>,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl OpsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// start the accept thread. Before the first
+    /// [`publish`](OpsServer::publish), `/metrics` serves an empty
+    /// exposition and `/healthz` serves `{}`.
+    pub fn bind(addr: &str) -> std::io::Result<OpsServer> {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept so the thread can notice the stop flag
+        // without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let published = Arc::new(Mutex::new(Published {
+            metrics_text: String::new(),
+            health_json: "{}".to_string(),
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let handle = {
+            let published = Arc::clone(&published);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || accept_loop(listener, &published, &stop, &served))
+        };
+        Ok(OpsServer {
+            addr,
+            published,
+            stop,
+            served,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far (any route, including 404s).
+    pub fn scrapes_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Swap in a fresh rendering of the session: `snapshot` becomes
+    /// the `/metrics` exposition, `health` the `/healthz` body.
+    pub fn publish(&self, snapshot: &Snapshot, health: &SessionHealth) {
+        let metrics_text = expo::render(snapshot);
+        let health_json = serde_json::to_string(health).unwrap_or_else(|_| "{}".to_string());
+        let mut p = self.published.lock().expect("publish lock");
+        p.metrics_text = metrics_text;
+        p.health_json = health_json;
+    }
+
+    /// Stop the accept thread and return the total requests served.
+    pub fn shutdown(mut self) -> u64 {
+        self.stop_and_join();
+        self.served.load(Ordering::Relaxed)
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for OpsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    published: &Mutex<Published>,
+    stop: &AtomicBool,
+    served: &AtomicU64,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if answer(stream, published).is_ok() {
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Read one request head, route on the path, write one response.
+/// `Connection: close` on everything — a scrape is one round trip.
+fn answer(mut stream: TcpStream, published: &Mutex<Published>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
+        match stream.read(&mut byte)? {
+            0 => break,
+            _ => head.push(byte[0]),
+        }
+    }
+    let request_line = std::str::from_utf8(&head)
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = match path {
+        "/metrics" => {
+            let p = published.lock().expect("serve lock");
+            (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                p.metrics_text.clone(),
+            )
+        }
+        "/healthz" => {
+            let p = published.lock().expect("serve lock");
+            ("200 OK", "application/json", p.health_json.clone())
+        }
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// One-shot scrape client: `GET {path}` against `addr`, returning the
+/// response body. Non-200 statuses come back as
+/// [`ErrorKind::InvalidData`] errors carrying the status line.
+pub fn scrape(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: cgn-opsd\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        std::io::Error::new(ErrorKind::InvalidData, "response without header terminator")
+    })?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains(" 200 ") {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("non-200 scrape: {status_line}"),
+        ));
+    }
+    Ok(body.to_string())
+}
+
+/// Parse a Prometheus text body into `(series name incl. labels,
+/// value)` pairs, skipping comments and blank lines. Values in this
+/// stack are always `u64` renderings ([`Value::as_u64`]); lines that
+/// don't parse as such are skipped rather than fatal, so the map is
+/// usable on any exposition this repo produces.
+pub fn parse_scalars(body: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some((name, value)) = line.rsplit_once(' ') {
+            if let Ok(v) = value.parse::<u64>() {
+                out.insert(name.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Check a scraped `/metrics` body against the snapshot the server
+/// was fed: every scalar sample must appear with its exact value, and
+/// every histogram must expose a matching `_count`. Returns the
+/// number of series verified, or the first discrepancy.
+pub fn verify_scrape(body: &str, snapshot: &Snapshot) -> Result<u64, String> {
+    let parsed = parse_scalars(body);
+    let mut verified = 0u64;
+    for sample in &snapshot.samples {
+        let (expected_name, expected) = match &sample.value {
+            Value::Histogram(h) => {
+                // `fam{l}` renders its count as `fam_count{l}`.
+                let name = match sample.name.split_once('{') {
+                    Some((family, labels)) => format!("{family}_count{{{labels}"),
+                    None => format!("{}_count", sample.name),
+                };
+                (name, h.count)
+            }
+            v => (sample.name.clone(), v.as_u64()),
+        };
+        match parsed.get(&expected_name) {
+            Some(&got) if got == expected => verified += 1,
+            Some(&got) => {
+                return Err(format!(
+                    "series {expected_name}: scraped {got}, snapshot has {expected}"
+                ))
+            }
+            None => return Err(format!("series {expected_name} missing from scrape")),
+        }
+    }
+    Ok(verified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nat_engine::StoreOccupancy;
+
+    fn sample_state() -> (Snapshot, SessionHealth) {
+        let mut snap = Snapshot::default();
+        snap.push("cgn_mappings_live", Value::Gauge(42));
+        snap.push("cgn_flows_started_total", Value::Counter(1234));
+        snap.push(
+            "cgn_flows_rejected_total{reason=\"port-exhausted\"}",
+            Value::Counter(7),
+        );
+        snap.normalize();
+        let health = SessionHealth {
+            now_secs: 120,
+            horizon_secs: 600,
+            flows_started: 1234,
+            flows_blocked: 7,
+            flows_completed: 1100,
+            packets_sent: 5000,
+            event_wheel_depth: 17,
+            store: StoreOccupancy::default(),
+            windows_retained: 2,
+            windows_evicted: 3,
+        };
+        (snap, health)
+    }
+
+    #[test]
+    fn scrape_round_trips_published_state() {
+        let server = OpsServer::bind("127.0.0.1:0").expect("bind");
+        let (snap, health) = sample_state();
+        server.publish(&snap, &health);
+
+        let body = scrape(server.local_addr(), "/metrics").expect("scrape /metrics");
+        assert!(body.contains("# TYPE cgn_mappings_live gauge"), "{body}");
+        assert_eq!(verify_scrape(&body, &snap), Ok(3), "{body}");
+
+        let health_body = scrape(server.local_addr(), "/healthz").expect("scrape /healthz");
+        let parsed: SessionHealth = serde_json::from_str(&health_body).expect("health parses");
+        assert_eq!(parsed, health);
+
+        let err = scrape(server.local_addr(), "/nope").expect_err("404 is an error");
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+
+        assert_eq!(server.shutdown(), 3, "three requests served");
+    }
+
+    #[test]
+    fn verify_scrape_reports_discrepancies() {
+        let (snap, _) = sample_state();
+        let body = expo::render(&snap);
+        assert_eq!(verify_scrape(&body, &snap), Ok(3));
+
+        let tampered = body.replace("cgn_mappings_live 42", "cgn_mappings_live 41");
+        let err = verify_scrape(&tampered, &snap).expect_err("tampered value detected");
+        assert!(err.contains("cgn_mappings_live"), "{err}");
+
+        let truncated = body.replace("cgn_flows_started_total 1234\n", "");
+        let err = verify_scrape(&truncated, &snap).expect_err("missing series detected");
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn republishing_replaces_the_exposition() {
+        let server = OpsServer::bind("127.0.0.1:0").expect("bind");
+        let (mut snap, health) = sample_state();
+        server.publish(&snap, &health);
+        snap.push("cgn_flows_started_total", Value::Counter(1));
+        snap.normalize();
+        server.publish(&snap, &health);
+        let body = scrape(server.local_addr(), "/metrics").expect("scrape");
+        assert!(body.contains("cgn_flows_started_total 1235"), "{body}");
+    }
+}

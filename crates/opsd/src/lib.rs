@@ -1,0 +1,39 @@
+//! # cgn-opsd — the always-on CGN operator daemon
+//!
+//! Everything else in this repo answers Richter et al.'s questions
+//! in batch: run a configuration, collect a summary, exit. Operators
+//! don't get to exit — §2's survey shows CGN deployment decisions
+//! are dominated by *operational* costs (state provisioning, logging
+//! budgets, abuse-response latency) that only show up when the box
+//! runs continuously. This crate is the continuous-operation shape
+//! of the same engine:
+//!
+//! * [`soak`] — the soak runner: a [`cgn_traffic::DriverSession`]
+//!   advanced epoch by epoch for hours of simulated time at
+//!   million-subscriber scale, with **bounded memory** (closed
+//!   metrics windows stream out of the driver's ring as JSONL; event
+//!   logs rotate through bounded on-disk generations) and
+//!   machine-checked **leak gates** at exit — flat arena, recycled
+//!   slab slots, cascading timer wheel, flat RSS proxy, shard
+//!   balance;
+//! * [`http`] — the live scrape endpoint over
+//!   [`std::net::TcpListener`]: `/metrics` (Prometheus text 0.0.4
+//!   via [`cgn_metrics::expo`]) and `/healthz` (the session's
+//!   liveness cross-section as JSON), published at every closed
+//!   window and verified series-for-series against the final merged
+//!   snapshot before the report is written.
+//!
+//! The determinism contract survives daemonisation: every
+//! simulation-derived field of a [`SoakReport`] — counters, gate
+//! observables, the digest of the whole window stream — is
+//! bit-identical for every worker-thread count; only wall-clock
+//! fields vary.
+
+pub mod http;
+pub mod soak;
+
+pub use http::{parse_scalars, scrape, verify_scrape, OpsServer};
+pub use soak::{
+    run as run_soak, EventLogVolume, GateResult, GateThresholds, SoakConfig, SoakReport,
+    ARENA_CHUNK_BYTES, SOAK_SCHEMA,
+};

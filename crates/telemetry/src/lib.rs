@@ -33,9 +33,14 @@
 pub mod codec;
 pub mod detmap;
 pub mod query;
+pub mod rotate;
 pub mod sink;
 
 pub use codec::{decode_bytes, DecodeError, EventLog, Record};
 pub use detmap::DeterministicMap;
 pub use query::{linear_scan, TraceIndex};
+pub use rotate::{
+    FileGenerations, GenerationFactory, GenerationStats, RotatingFileSink, RotatingWriteSink,
+    MODELED_COMPRESSION_RATIO,
+};
 pub use sink::{BinaryLogSink, BufferedWriteSink, BufferedWriter, SampledSink, WriteSink};

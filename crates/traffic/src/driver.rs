@@ -26,10 +26,10 @@ use analysis::log_volume;
 use analysis::port_demand::{
     self, max_over_mean, DemandSeries, PortDemandReport, ShardDemand, ShardLoad,
 };
-use cgn_metrics::{Snapshot, Value, WindowSeries};
+use cgn_metrics::{Snapshot, Value, Window, WindowSeries};
 use cgn_telemetry::{BinaryLogSink, EventLog, SampledSink};
 use nat_engine::sharded::{mix64, scatter};
-use nat_engine::telemetry::TelemetryMode;
+use nat_engine::telemetry::{EventSink, TelemetryMode};
 use nat_engine::{EngineMetrics, Nat, NatConfig, NatStats, NatVerdict, ShardedNat, StoreOccupancy};
 use netcore::{Endpoint, Packet, SimTime, TcpFlags};
 use rand::rngs::StdRng;
@@ -76,6 +76,16 @@ pub struct DriverConfig {
     /// instrument at each sample barrier and folds the snapshots into
     /// `w`-second windows.
     pub metrics_window_secs: Option<u64>,
+    /// Maximum metrics windows retained in memory (`0` = the
+    /// [`DEFAULT_METRICS_RETENTION`] ring). The series stays
+    /// telescoping-safe across evictions
+    /// (`cgn_metrics::WindowSeries::drain_closed`), so an always-on
+    /// run is bounded-memory regardless of simulated length; any run
+    /// shorter than `retention × window` — every batch sweep in this
+    /// repo — sees identical [`RunSummary::metrics`] to the old
+    /// unbounded series. An execution/retention detail like `threads`:
+    /// windows that *are* retained are bit-identical for every value.
+    pub metrics_retention: usize,
     /// Packets per burst handed to [`Nat::process_burst`] (and
     /// [`Nat::process_inbound_burst`] for the reply leg) when a
     /// millisecond batch of drained events is translated. `0` (the
@@ -99,6 +109,12 @@ pub struct DriverConfig {
 /// small enough that a burst's packets stay L1-resident.
 pub const DEFAULT_BURST: usize = 32;
 
+/// Metrics windows retained when [`DriverConfig::metrics_retention`]
+/// is `0`: far above every batch sweep in this repo (their window
+/// counts are in the tens), small enough that an always-on soak never
+/// holds more than ~a day of minute windows resident.
+pub const DEFAULT_METRICS_RETENTION: usize = 4096;
+
 impl DriverConfig {
     /// A mid-size default: 8k subscribers behind one shard, sequential.
     pub fn new(mix: WorkloadMix, seed: u64) -> DriverConfig {
@@ -115,6 +131,7 @@ impl DriverConfig {
             sweep_secs: 30,
             telemetry: TelemetryMode::Off,
             metrics_window_secs: None,
+            metrics_retention: 0,
             burst: 0,
             inbound_reply_permille: 0,
             seed,
@@ -833,128 +850,298 @@ pub fn run(config: &DriverConfig) -> RunSummary {
 /// (empty when [`DriverConfig::telemetry`] is `Off`) — the input to
 /// `cgn_telemetry::TraceIndex` queries.
 pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
-    assert!(config.subscribers > 0, "need at least one subscriber");
-    assert!(config.shards > 0, "need at least one shard");
-    assert!(
-        config.external_ips_per_shard >= 1 && config.external_ips_per_shard <= 256,
-        "pool addressing assigns each shard a /24-sized stride: \
-         external_ips_per_shard must be in 1..=256"
-    );
-    assert!(config.duration_secs > 0 && config.sample_secs > 0 && config.sweep_secs > 0);
+    let mut session = DriverSession::new(config);
+    while session.step().is_some() {}
+    session.finish()
+}
 
-    let threads = resolve_threads(config.threads);
-    let burst = if config.burst == 0 {
-        DEFAULT_BURST
-    } else {
-        config.burst
-    };
-    let horizon_ms = config.duration_secs * 1000;
-
-    // k-major ordering + round-robin partitioning inside ShardedNat
-    // puts pool_ip(s, k) into shard s for all k.
-    let mut pool: Vec<Ipv4Addr> = Vec::new();
-    for k in 0..config.external_ips_per_shard {
-        for s in 0..config.shards {
-            pool.push(pool_ip(s, k));
+impl MetricsWindow {
+    /// Distill one closed [`Window`] of the merged snapshot series
+    /// into the operator-facing row: delta scalars for counters,
+    /// closing cumulative scalars for gauges. `width_secs` is the
+    /// aggregation width (rates), `shards` the run's shard count
+    /// (per-window skew).
+    pub fn from_window(win: &Window, shards: u16, width_secs: u64) -> MetricsWindow {
+        let d = &win.delta;
+        let c = &win.cumulative;
+        let shard_flows: Vec<u64> = (0..shards as usize)
+            .map(|i| d.scalar(&format!("cgn_shard_flows_total{{shard=\"{i}\"}}")))
+            .collect();
+        let flows_started = d.scalar("cgn_flows_started_total");
+        MetricsWindow {
+            start_secs: win.start_secs,
+            end_secs: win.end_secs,
+            flows_started,
+            flows_per_sec: flows_started as f64 / width_secs.max(1) as f64,
+            mappings_created: d.scalar("cgn_mappings_created_total"),
+            mappings_expired: d.scalar("cgn_mappings_expired_total"),
+            mappings_live: c.scalar("cgn_mappings_live"),
+            allocator_fill_permille_worst: c.scalar("cgn_allocator_fill_permille_worst"),
+            event_wheel_depth: c.scalar("cgn_event_wheel_depth"),
+            arena_chunks: c.scalar("cgn_arena_chunks"),
+            shard_flow_imbalance: max_over_mean(&shard_flows),
+            drops: d.scalar("cgn_flows_rejected_total{reason=\"port-exhausted\"}")
+                + d.scalar("cgn_flows_rejected_total{reason=\"session-limit\"}"),
         }
     }
-    let mut sharded = ShardedNat::new(config.nat.clone(), pool, config.shards, config.seed);
-    if config.telemetry != TelemetryMode::Off {
-        sharded.set_sinks(
-            (0..config.shards)
-                .map(|_| match config.telemetry {
-                    TelemetryMode::Sampled { one_in } => Box::new(SampledSink::new(one_in)) as _,
-                    mode => Box::new(BinaryLogSink::new(mode)) as _,
-                })
-                .collect(),
+}
+
+/// One liveness cross-section of a running [`DriverSession`] — the
+/// payload an operator endpoint (`/healthz`) serves: simulated
+/// progress, the driver's own flow/backlog counters, and the merged
+/// slab/arena/timer occupancy of every shard store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionHealth {
+    /// Simulated seconds processed so far (last completed barrier).
+    pub now_secs: u64,
+    /// Simulated seconds the session will run in total.
+    pub horizon_secs: u64,
+    pub flows_started: u64,
+    pub flows_blocked: u64,
+    pub flows_completed: u64,
+    pub packets_sent: u64,
+    /// Outstanding driver events across every shard's wheel.
+    pub event_wheel_depth: u64,
+    /// Slab/arena/interner/timer occupancy summed across shards.
+    pub store: StoreOccupancy,
+    /// Metrics windows currently resident in the ring.
+    pub windows_retained: usize,
+    /// Metrics windows evicted or drained so far.
+    pub windows_evicted: u64,
+}
+
+/// An epoch-resumable driver run: the exact event loop of [`run`],
+/// split at its barrier boundaries so a long-lived caller (the
+/// `cgn-opsd` soak daemon) can advance simulated time one epoch at a
+/// time and, between epochs, stream closed metrics windows out
+/// ([`drain_closed_windows`](DriverSession::drain_closed_windows)),
+/// publish the merged snapshot to a scrape endpoint, and evaluate
+/// leak gates against [`health`](DriverSession::health).
+///
+/// `run_with_logs(cfg)` is literally `DriverSession::new(cfg)` +
+/// `step()` to exhaustion + `finish()`, so a stepped session is
+/// bit-identical to a batch run for every thread count and burst
+/// size — stepping is an execution detail like `threads`.
+pub struct DriverSession {
+    config: DriverConfig,
+    threads: usize,
+    burst: usize,
+    horizon_ms: u64,
+    sharded: ShardedNat,
+    states: Vec<ShardState>,
+    /// Epoch barriers in time order: `(boundary_ms, (sweep, sample))`.
+    ticks: Vec<(u64, (bool, bool))>,
+    next_tick: usize,
+    now_ms: u64,
+    series: DemandSeries,
+    peak_live: u64,
+    peak_dist: Vec<u32>,
+    metrics_on: bool,
+    window_secs: u64,
+    windows: WindowSeries,
+    prev_shard_flows: Vec<u64>,
+    prev_sample_secs: u64,
+    worst_window_imbalance: f64,
+    worst_window_start: u64,
+}
+
+impl DriverSession {
+    /// Build the sharded CGN, admit every subscriber, and lay out the
+    /// epoch barriers — everything [`run`] does before its first event
+    /// is drained.
+    pub fn new(config: &DriverConfig) -> DriverSession {
+        assert!(config.subscribers > 0, "need at least one subscriber");
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(
+            config.external_ips_per_shard >= 1 && config.external_ips_per_shard <= 256,
+            "pool addressing assigns each shard a /24-sized stride: \
+             external_ips_per_shard must be in 1..=256"
         );
-    }
-    let metrics_on = config.metrics_window_secs.is_some();
-    if metrics_on {
-        sharded.set_metrics(
-            (0..config.shards)
-                .map(|_| Box::<EngineMetrics>::default())
-                .collect(),
-        );
+        assert!(config.duration_secs > 0 && config.sample_secs > 0 && config.sweep_secs > 0);
+
+        let threads = resolve_threads(config.threads);
+        let burst = if config.burst == 0 {
+            DEFAULT_BURST
+        } else {
+            config.burst
+        };
+        let horizon_ms = config.duration_secs * 1000;
+
+        // k-major ordering + round-robin partitioning inside ShardedNat
+        // puts pool_ip(s, k) into shard s for all k.
+        let mut pool: Vec<Ipv4Addr> = Vec::new();
+        for k in 0..config.external_ips_per_shard {
+            for s in 0..config.shards {
+                pool.push(pool_ip(s, k));
+            }
+        }
+        let mut sharded = ShardedNat::new(config.nat.clone(), pool, config.shards, config.seed);
+        if config.telemetry != TelemetryMode::Off {
+            sharded.set_sinks(
+                (0..config.shards)
+                    .map(|_| match config.telemetry {
+                        TelemetryMode::Sampled { one_in } => {
+                            Box::new(SampledSink::new(one_in)) as _
+                        }
+                        mode => Box::new(BinaryLogSink::new(mode)) as _,
+                    })
+                    .collect(),
+            );
+        }
+        let metrics_on = config.metrics_window_secs.is_some();
+        if metrics_on {
+            sharded.set_metrics(
+                (0..config.shards)
+                    .map(|_| Box::<EngineMetrics>::default())
+                    .collect(),
+            );
+        }
+
+        // Admit every subscriber to its shard with a fresh RNG stream
+        // and a staggered first arrival.
+        let mut states: Vec<ShardState> = (0..config.shards).map(|_| ShardState::new()).collect();
+        for sub in 0..config.subscribers {
+            let shard = sharded.shard_of(subscriber_ip(sub));
+            let mut rng = StdRng::seed_from_u64(mix64(config.seed ^ mix64(sub as u64 + 1)));
+            let offset = rng.gen_range(0..1000u64);
+            let st = &mut states[shard];
+            let idx = u32::try_from(st.subs.len()).expect("subscriber index fits u32");
+            st.subs.push(SubState {
+                sub,
+                rng,
+                profile: config.mix.assign(sub),
+                next_src_port: 0,
+            });
+            st.push(offset, Kind::Arrival { idx });
+        }
+
+        // Epoch barriers: the union of sweep and sample ticks, plus the
+        // horizon so the final epoch drains every remaining event.
+        let mut ticks: BTreeMap<u64, (bool, bool)> = BTreeMap::new();
+        let mut t = config.sweep_secs * 1000;
+        while t <= horizon_ms {
+            ticks.entry(t).or_insert((false, false)).0 = true;
+            t += config.sweep_secs * 1000;
+        }
+        let mut t = config.sample_secs * 1000;
+        while t <= horizon_ms {
+            ticks.entry(t).or_insert((false, false)).1 = true;
+            t += config.sample_secs * 1000;
+        }
+        // The horizon is always a full barrier: drain every remaining
+        // event, sweep, and take the closing sample — exactly once,
+        // even when it coincides with a periodic tick.
+        ticks.insert(horizon_ms, (true, true));
+
+        // Per-window shard-skew tracking (always on — a handful of
+        // counter reads per barrier) and the metrics window ring (only
+        // fed when registries are installed). The ring is bounded:
+        // eviction keeps the telescoping anchor, so an always-on
+        // session is flat-memory regardless of simulated length.
+        let window_secs = config
+            .metrics_window_secs
+            .unwrap_or(config.sample_secs)
+            .max(1);
+        let retention = if config.metrics_retention == 0 {
+            DEFAULT_METRICS_RETENTION
+        } else {
+            config.metrics_retention
+        };
+
+        DriverSession {
+            threads,
+            burst,
+            horizon_ms,
+            sharded,
+            states,
+            ticks: ticks.into_iter().collect(),
+            next_tick: 0,
+            now_ms: 0,
+            series: DemandSeries::default(),
+            peak_live: 0,
+            peak_dist: Vec::new(),
+            metrics_on,
+            window_secs,
+            windows: WindowSeries::new(window_secs, retention),
+            prev_shard_flows: vec![0; config.shards as usize],
+            prev_sample_secs: 0,
+            worst_window_imbalance: 0.0,
+            worst_window_start: 0,
+            config: config.clone(),
+        }
     }
 
-    // Admit every subscriber to its shard with a fresh RNG stream and
-    // a staggered first arrival.
-    let mut states: Vec<ShardState> = (0..config.shards).map(|_| ShardState::new()).collect();
-    for sub in 0..config.subscribers {
-        let shard = sharded.shard_of(subscriber_ip(sub));
-        let mut rng = StdRng::seed_from_u64(mix64(config.seed ^ mix64(sub as u64 + 1)));
-        let offset = rng.gen_range(0..1000u64);
-        let st = &mut states[shard];
-        let idx = u32::try_from(st.subs.len()).expect("subscriber index fits u32");
-        st.subs.push(SubState {
-            sub,
-            rng,
-            profile: config.mix.assign(sub),
-            next_src_port: 0,
-        });
-        st.push(offset, Kind::Arrival { idx });
+    /// The configuration this session was built from.
+    pub fn config(&self) -> &DriverConfig {
+        &self.config
     }
 
-    // Epoch barriers: the union of sweep and sample ticks, plus the
-    // horizon so the final epoch drains every remaining event.
-    let mut ticks: BTreeMap<u64, (bool, bool)> = BTreeMap::new();
-    let mut t = config.sweep_secs * 1000;
-    while t <= horizon_ms {
-        ticks.entry(t).or_insert((false, false)).0 = true;
-        t += config.sweep_secs * 1000;
+    /// Simulated seconds processed so far (last completed barrier).
+    pub fn now_secs(&self) -> u64 {
+        self.now_ms / 1000
     }
-    let mut t = config.sample_secs * 1000;
-    while t <= horizon_ms {
-        ticks.entry(t).or_insert((false, false)).1 = true;
-        t += config.sample_secs * 1000;
+
+    /// Simulated seconds the session covers in total.
+    pub fn horizon_secs(&self) -> u64 {
+        self.horizon_ms / 1000
     }
-    // The horizon is always a full barrier: drain every remaining
-    // event, sweep, and take the closing sample — exactly once, even
-    // when it coincides with a periodic tick.
-    ticks.insert(horizon_ms, (true, true));
 
-    let mut series = DemandSeries::default();
-    let mut peak_live = 0u64;
-    let mut peak_dist: Vec<u32> = Vec::new();
-    let modulation = &config.modulation;
+    /// Metrics aggregation window width in sim-seconds.
+    pub fn window_secs(&self) -> u64 {
+        self.window_secs
+    }
 
-    // Per-window shard-skew tracking (always on — a handful of counter
-    // reads per barrier) and the metrics window ring (only fed when
-    // registries are installed).
-    let window_secs = config
-        .metrics_window_secs
-        .unwrap_or(config.sample_secs)
-        .max(1);
-    let mut windows = WindowSeries::new(window_secs, usize::MAX);
-    let mut prev_shard_flows: Vec<u64> = vec![0; config.shards as usize];
-    let mut prev_sample_secs = 0u64;
-    let mut worst_window_imbalance = 0.0f64;
-    let mut worst_window_start = 0u64;
+    /// Advance every shard through the next epoch barrier (drain
+    /// events, then sweep and/or sample). Returns the barrier's
+    /// sim-time in seconds, or `None` once the horizon barrier has
+    /// run and the session is complete.
+    pub fn step(&mut self) -> Option<u64> {
+        let &(boundary, (do_sweep, do_sample)) = self.ticks.get(self.next_tick)?;
+        self.next_tick += 1;
+        self.barrier(boundary, do_sweep, do_sample);
+        self.now_ms = boundary;
+        Some(boundary / 1000)
+    }
 
-    let mut barrier = |sharded: &mut ShardedNat,
-                       states: &mut Vec<ShardState>,
-                       boundary: u64,
-                       do_sweep: bool,
-                       do_sample: bool| {
+    fn barrier(&mut self, boundary: u64, do_sweep: bool, do_sample: bool) {
+        let DriverSession {
+            config,
+            threads,
+            burst,
+            horizon_ms,
+            sharded,
+            states,
+            series,
+            peak_live,
+            peak_dist,
+            metrics_on,
+            windows,
+            prev_shard_flows,
+            prev_sample_secs,
+            worst_window_imbalance,
+            worst_window_start,
+            ..
+        } = self;
+        let modulation = &config.modulation;
+        let horizon_ms = *horizon_ms;
         let step = AdvanceStep {
             boundary_ms: boundary,
-            burst,
+            burst: *burst,
             reply_permille: config.inbound_reply_permille,
             seed: config.seed,
             do_sweep,
             do_sample,
         };
-        let demands = for_shards_parallel(sharded.shards_mut(), states, threads, |nat, st| {
+        let demands = for_shards_parallel(sharded.shards_mut(), states, *threads, |nat, st| {
             advance_shard(nat, st, modulation, horizon_ms, step)
         });
         if do_sample {
             let parts: Vec<ShardDemand> = demands.into_iter().flatten().collect();
             let (sample, dist) =
                 port_demand::merge_shard_demand(boundary / 1000, config.subscribers as u64, &parts);
-            if sample.mappings > peak_live {
-                peak_live = sample.mappings;
-                peak_dist = dist;
+            if sample.mappings > *peak_live {
+                *peak_live = sample.mappings;
+                *peak_dist = dist;
             }
             series.push(sample);
 
@@ -963,18 +1150,18 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
             let now_flows: Vec<u64> = states.iter().map(|st| st.flows_started).collect();
             let deltas: Vec<u64> = now_flows
                 .iter()
-                .zip(&prev_shard_flows)
+                .zip(prev_shard_flows.iter())
                 .map(|(now, prev)| now - prev)
                 .collect();
             let imbalance = max_over_mean(&deltas);
-            if imbalance > worst_window_imbalance {
-                worst_window_imbalance = imbalance;
-                worst_window_start = prev_sample_secs;
+            if imbalance > *worst_window_imbalance {
+                *worst_window_imbalance = imbalance;
+                *worst_window_start = *prev_sample_secs;
             }
-            prev_shard_flows = now_flows;
-            prev_sample_secs = boundary / 1000;
+            *prev_shard_flows = now_flows;
+            *prev_sample_secs = boundary / 1000;
 
-            if metrics_on {
+            if *metrics_on {
                 // Engine instruments merged in shard order, then the
                 // driver's own counters and backlog gauges on top.
                 let mut snap = sharded.metrics_snapshot().unwrap_or_default();
@@ -1000,130 +1187,200 @@ pub fn run_with_logs(config: &DriverConfig) -> (RunSummary, Vec<EventLog>) {
                 windows.push(boundary / 1000, snap);
             }
         }
-    };
-
-    for (&boundary, &(do_sweep, do_sample)) in &ticks {
-        barrier(&mut sharded, &mut states, boundary, do_sweep, do_sample);
     }
 
-    let mut flows_started = 0u64;
-    let mut flows_blocked = 0u64;
-    let mut flows_completed = 0u64;
-    let mut packets_sent = 0u64;
-    for st in &states {
-        flows_started += st.flows_started;
-        flows_blocked += st.flows_blocked;
-        flows_completed += st.flows_completed;
-        packets_sent += st.packets_sent;
+    /// The most recent merged cumulative snapshot (engine instruments
+    /// plus driver counters), if a sample barrier has run with
+    /// metrics installed — what a scrape endpoint renders.
+    pub fn latest_snapshot(&self) -> Option<&Snapshot> {
+        self.windows.latest()
     }
-    // Recover the per-shard logs (shard order) before reading stats.
-    let logs: Vec<EventLog> = if config.telemetry != TelemetryMode::Off {
-        sharded
-            .take_sinks()
-            .into_iter()
-            .map(|sink| {
-                sink.and_then(|s| match config.telemetry {
-                    TelemetryMode::Sampled { .. } => {
-                        SampledSink::from_sink(s).map(SampledSink::into_log)
-                    }
-                    _ => BinaryLogSink::from_sink(s).map(BinaryLogSink::into_log),
-                })
-                .unwrap_or_default()
-            })
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let telemetry = TelemetrySummary::from_logs(
-        config.telemetry,
-        &logs,
-        config.subscribers as u64,
-        config.duration_secs,
-    );
 
-    let stats = sharded.merged_stats();
-    let store = sharded.store_occupancy();
-    let shard_load = ShardLoad::from_per_shard(
-        states.iter().map(|st| st.flows_started).collect(),
-        sharded
-            .shards()
-            .iter()
-            .map(|s| s.stats().peak_mappings)
-            .collect(),
-    )
-    .with_worst_window(worst_window_imbalance, worst_window_start);
+    /// Take every closed metrics window out of the ring, oldest first
+    /// (`cgn_metrics::WindowSeries::drain_closed`): the streaming API.
+    /// A caller that drains after each epoch keeps the resident ring
+    /// at ≤ 2 windows regardless of run length; windows left undrained
+    /// still appear in [`finish`](DriverSession::finish)'s
+    /// [`MetricsSummary`].
+    pub fn drain_closed_windows(&mut self) -> Vec<Window> {
+        self.windows.drain_closed()
+    }
 
-    let metrics = config.metrics_window_secs.map(|w| {
-        let w = w.max(1);
-        let rows: Vec<MetricsWindow> = windows
-            .windows
-            .iter()
-            .map(|win| {
-                let d = &win.delta;
-                let c = &win.cumulative;
-                let shard_flows: Vec<u64> = (0..config.shards as usize)
-                    .map(|i| d.scalar(&format!("cgn_shard_flows_total{{shard=\"{i}\"}}")))
-                    .collect();
-                let flows_started = d.scalar("cgn_flows_started_total");
-                MetricsWindow {
-                    start_secs: win.start_secs,
-                    end_secs: win.end_secs,
-                    flows_started,
-                    flows_per_sec: flows_started as f64 / w as f64,
-                    mappings_created: d.scalar("cgn_mappings_created_total"),
-                    mappings_expired: d.scalar("cgn_mappings_expired_total"),
-                    mappings_live: c.scalar("cgn_mappings_live"),
-                    allocator_fill_permille_worst: c.scalar("cgn_allocator_fill_permille_worst"),
-                    event_wheel_depth: c.scalar("cgn_event_wheel_depth"),
-                    arena_chunks: c.scalar("cgn_arena_chunks"),
-                    shard_flow_imbalance: max_over_mean(&shard_flows),
-                    drops: d.scalar("cgn_flows_rejected_total{reason=\"port-exhausted\"}")
-                        + d.scalar("cgn_flows_rejected_total{reason=\"session-limit\"}"),
-                }
-            })
-            .collect();
-        let (worst_imb, worst_start) = rows
-            .iter()
-            .map(|r| (r.shard_flow_imbalance, r.start_secs))
-            .fold((0.0f64, 0u64), |acc, x| if x.0 > acc.0 { x } else { acc });
-        MetricsSummary {
-            window_secs: w,
-            last: windows.latest().cloned().unwrap_or_default(),
-            worst_window_flow_imbalance: worst_imb,
-            worst_window_start_secs: worst_start,
-            windows: rows,
+    /// Metrics windows evicted or drained so far.
+    pub fn windows_evicted(&self) -> u64 {
+        self.windows.evicted_windows()
+    }
+
+    /// Convert a window taken from
+    /// [`drain_closed_windows`](DriverSession::drain_closed_windows)
+    /// into the operator-facing row.
+    pub fn metrics_row(&self, win: &Window) -> MetricsWindow {
+        MetricsWindow::from_window(win, self.config.shards, self.window_secs)
+    }
+
+    /// A liveness cross-section for an operator endpoint: simulated
+    /// progress, driver counters, backlog, and the merged
+    /// slab/arena/timer store occupancy.
+    pub fn health(&self) -> SessionHealth {
+        let mut flows_started = 0u64;
+        let mut flows_blocked = 0u64;
+        let mut flows_completed = 0u64;
+        let mut packets_sent = 0u64;
+        let mut depth = 0u64;
+        for st in &self.states {
+            flows_started += st.flows_started;
+            flows_blocked += st.flows_blocked;
+            flows_completed += st.flows_completed;
+            packets_sent += st.packets_sent;
+            depth += st.wheel.len() as u64;
         }
-    });
+        SessionHealth {
+            now_secs: self.now_secs(),
+            horizon_secs: self.horizon_secs(),
+            flows_started,
+            flows_blocked,
+            flows_completed,
+            packets_sent,
+            event_wheel_depth: depth,
+            store: self.sharded.store_occupancy(),
+            windows_retained: self.windows.windows.len(),
+            windows_evicted: self.windows.evicted_windows(),
+        }
+    }
 
-    let external_ips = config.shards as u64 * config.external_ips_per_shard as u64;
-    let usable_ports_per_ip = (config.nat.port_range.1 - config.nat.port_range.0) as u32 + 1;
-    let report = port_demand::build_report(
-        &series,
-        &peak_dist,
-        config.subscribers as u64,
-        external_ips,
-        usable_ports_per_ip,
-    );
+    /// Install one [`EventSink`] per shard (shard order, one entry per
+    /// shard). Meant for long-running operators that route event logs
+    /// to external sinks (e.g. `cgn_telemetry::RotatingFileSink`)
+    /// while `config.telemetry` is
+    /// [`TelemetryMode::Off`] — [`finish`](DriverSession::finish) only
+    /// recovers sinks it installed itself, so external sinks must be
+    /// taken back with
+    /// [`take_event_sinks`](DriverSession::take_event_sinks) before
+    /// finishing.
+    pub fn install_event_sinks(&mut self, sinks: Vec<Box<dyn EventSink>>) {
+        self.sharded.set_sinks(sinks);
+    }
 
-    let summary = RunSummary {
-        mix_name: config.mix.name.clone(),
-        subscribers: config.subscribers,
-        shards: config.shards,
-        duration_secs: config.duration_secs,
-        flows_started,
-        flows_blocked,
-        flows_completed,
-        packets_sent,
-        stats,
-        store,
-        shard_load,
-        telemetry,
-        metrics,
-        series,
-        peak_ports_per_subscriber: peak_dist,
-        report,
-    };
-    (summary, logs)
+    /// Remove and return the per-shard event sinks (shard order).
+    pub fn take_event_sinks(&mut self) -> Vec<Option<Box<dyn EventSink>>> {
+        self.sharded.take_sinks()
+    }
+
+    /// Assemble the [`RunSummary`] and recover the per-shard logs —
+    /// everything [`run_with_logs`] does after its last barrier.
+    /// Callable at any point; summaries of a finished session are
+    /// bit-identical to the batch path's.
+    pub fn finish(self) -> (RunSummary, Vec<EventLog>) {
+        let DriverSession {
+            config,
+            sharded,
+            states,
+            series,
+            peak_dist,
+            windows,
+            worst_window_imbalance,
+            worst_window_start,
+            ..
+        } = self;
+        let mut sharded = sharded;
+
+        let mut flows_started = 0u64;
+        let mut flows_blocked = 0u64;
+        let mut flows_completed = 0u64;
+        let mut packets_sent = 0u64;
+        for st in &states {
+            flows_started += st.flows_started;
+            flows_blocked += st.flows_blocked;
+            flows_completed += st.flows_completed;
+            packets_sent += st.packets_sent;
+        }
+        // Recover the per-shard logs (shard order) before reading stats.
+        let logs: Vec<EventLog> = if config.telemetry != TelemetryMode::Off {
+            sharded
+                .take_sinks()
+                .into_iter()
+                .map(|sink| {
+                    sink.and_then(|s| match config.telemetry {
+                        TelemetryMode::Sampled { .. } => {
+                            SampledSink::from_sink(s).map(SampledSink::into_log)
+                        }
+                        _ => BinaryLogSink::from_sink(s).map(BinaryLogSink::into_log),
+                    })
+                    .unwrap_or_default()
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let telemetry = TelemetrySummary::from_logs(
+            config.telemetry,
+            &logs,
+            config.subscribers as u64,
+            config.duration_secs,
+        );
+
+        let stats = sharded.merged_stats();
+        let store = sharded.store_occupancy();
+        let shard_load = ShardLoad::from_per_shard(
+            states.iter().map(|st| st.flows_started).collect(),
+            sharded
+                .shards()
+                .iter()
+                .map(|s| s.stats().peak_mappings)
+                .collect(),
+        )
+        .with_worst_window(worst_window_imbalance, worst_window_start);
+
+        let metrics = config.metrics_window_secs.map(|w| {
+            let w = w.max(1);
+            let rows: Vec<MetricsWindow> = windows
+                .windows
+                .iter()
+                .map(|win| MetricsWindow::from_window(win, config.shards, w))
+                .collect();
+            let (worst_imb, worst_start) = rows
+                .iter()
+                .map(|r| (r.shard_flow_imbalance, r.start_secs))
+                .fold((0.0f64, 0u64), |acc, x| if x.0 > acc.0 { x } else { acc });
+            MetricsSummary {
+                window_secs: w,
+                last: windows.latest().cloned().unwrap_or_default(),
+                worst_window_flow_imbalance: worst_imb,
+                worst_window_start_secs: worst_start,
+                windows: rows,
+            }
+        });
+
+        let external_ips = config.shards as u64 * config.external_ips_per_shard as u64;
+        let usable_ports_per_ip = (config.nat.port_range.1 - config.nat.port_range.0) as u32 + 1;
+        let report = port_demand::build_report(
+            &series,
+            &peak_dist,
+            config.subscribers as u64,
+            external_ips,
+            usable_ports_per_ip,
+        );
+
+        let summary = RunSummary {
+            mix_name: config.mix.name.clone(),
+            subscribers: config.subscribers,
+            shards: config.shards,
+            duration_secs: config.duration_secs,
+            flows_started,
+            flows_blocked,
+            flows_completed,
+            packets_sent,
+            stats,
+            store,
+            shard_load,
+            telemetry,
+            metrics,
+            series,
+            peak_ports_per_subscriber: peak_dist,
+            report,
+        };
+        (summary, logs)
+    }
 }
 
 #[cfg(test)]
@@ -1203,6 +1460,62 @@ mod tests {
             assert_eq!(seq, par, "threads={threads} diverged from sequential");
             assert_eq!(seq.digest(), par.digest());
         }
+    }
+
+    /// Stepping a [`DriverSession`] epoch by epoch while draining the
+    /// window stream is an execution detail like `threads`: the
+    /// streamed rows plus the retained tail reproduce the batch run's
+    /// rows exactly, and every non-windowed summary field is
+    /// bit-identical.
+    #[test]
+    fn stepped_session_with_streaming_drain_matches_batch_run() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 33);
+        cfg.metrics_window_secs = Some(30);
+        let batch = run(&cfg);
+
+        let mut session = DriverSession::new(&cfg);
+        let mut streamed: Vec<MetricsWindow> = Vec::new();
+        let mut epochs = 0;
+        while session.step().is_some() {
+            epochs += 1;
+            for w in session.drain_closed_windows() {
+                streamed.push(session.metrics_row(&w));
+            }
+            assert!(
+                session.health().windows_retained <= 2,
+                "draining after every epoch keeps the ring flat"
+            );
+        }
+        assert!(epochs > 4, "multiple barriers stepped");
+        assert!(!streamed.is_empty(), "windows closed mid-run");
+
+        let health = session.health();
+        assert_eq!(health.now_secs, cfg.duration_secs);
+        assert_eq!(health.windows_evicted, streamed.len() as u64);
+        assert_eq!(health.store.live + health.store.free, health.store.slots);
+
+        let (finished, _) = session.finish();
+        let batch_rows = &batch.metrics.as_ref().expect("metrics on").windows;
+        let mut all = streamed;
+        all.extend(
+            finished
+                .metrics
+                .as_ref()
+                .expect("metrics on")
+                .windows
+                .clone(),
+        );
+        assert_eq!(&all, batch_rows, "stream + tail == batch rows");
+        assert_eq!(
+            finished.metrics.as_ref().unwrap().last,
+            batch.metrics.as_ref().unwrap().last,
+            "closing cumulative snapshot unaffected by draining"
+        );
+        assert_eq!(batch.flows_started, finished.flows_started);
+        assert_eq!(batch.stats, finished.stats);
+        assert_eq!(batch.store, finished.store);
+        assert_eq!(batch.series, finished.series);
+        assert_eq!(batch.report, finished.report);
     }
 
     /// The burst size, like the thread count, is an execution detail:

@@ -63,7 +63,8 @@ pub mod workload;
 pub use background::{drive as drive_background, BackgroundLoad, LoadSummary, PeerObservation};
 pub use driver::{
     run, run_with_logs, shard_of_subscriber, shard_pool, subscriber_ip, DriverConfig,
-    MetricsSummary, MetricsWindow, RunSummary, TelemetrySummary, DEFAULT_BURST,
+    DriverSession, MetricsSummary, MetricsWindow, RunSummary, SessionHealth, TelemetrySummary,
+    DEFAULT_BURST, DEFAULT_METRICS_RETENTION,
 };
 pub use modulation::{DiurnalCurve, FlashCrowd, Modulation};
 pub use workload::{AppParams, AppProfile, WorkloadMix};
