@@ -41,6 +41,18 @@
 //! miss re-measures the sweep (up to best-of-3) before the gate
 //! fails: noise only subtracts throughput, a regression never passes.
 //!
+//! `trace-out=` turns on the flow-tracing leg: the middle scale is
+//! re-run with the flight recorder sampling 1-in-64 flows and the
+//! wall-clock phase profiler armed, the traced pass is digest-pinned
+//! to the untraced sweep (tracing is observation only), the rows and
+//! the per-phase p50/p95/p99 table land in `BENCH_trace.json`
+//! (schema `cgn-trace/1`, plus a Perfetto-loadable Chrome trace at
+//! `trace-chrome=`), and — when `check=` is also given — the
+//! **tracer-disabled** sweep's ratios are re-gated at
+//! `trace-tolerance` (default 2%, the same best-of-3 re-measure
+//! discipline as the metrics gate), pinning the untaken-branch cost
+//! of the disabled fire sites against the committed baseline.
+//!
 //! `batch-out=` turns on the burst-pipeline leg: the middle scale is
 //! swept across the [`BATCH_BURSTS`](cgn_bench::perf::BATCH_BURSTS)
 //! burst sizes — once outbound-only and once with the inbound-reply
@@ -65,6 +77,8 @@ use std::process::exit;
 const LOGGING_TOLERANCE: f64 = 0.05;
 /// Tolerance of the metrics leg's disabled-registry ratio gate.
 const METRICS_TOLERANCE: f64 = 0.02;
+/// Tolerance of the trace leg's disabled-tracer ratio gate.
+const TRACE_TOLERANCE: f64 = 0.02;
 
 fn main() {
     let mut settings = PerfSettings::standard();
@@ -77,6 +91,9 @@ fn main() {
     let mut metrics_prom: Option<PathBuf> = None;
     let mut metrics_tolerance = METRICS_TOLERANCE;
     let mut batch_out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut trace_chrome: Option<PathBuf> = None;
+    let mut trace_tolerance = TRACE_TOLERANCE;
     // Presets apply first so explicit settings win regardless of
     // argument order (`quick seed=7` and `seed=7 quick` agree).
     if std::env::args().skip(1).any(|a| a == "quick") {
@@ -107,13 +124,19 @@ fn main() {
             metrics_tolerance = v.parse().expect("metrics-tolerance must be a float");
         } else if let Some(v) = arg.strip_prefix("batch-out=") {
             batch_out = Some(v.into());
+        } else if let Some(v) = arg.strip_prefix("trace-out=") {
+            trace_out = Some(v.into());
+        } else if let Some(v) = arg.strip_prefix("trace-chrome=") {
+            trace_chrome = Some(v.into());
+        } else if let Some(v) = arg.strip_prefix("trace-tolerance=") {
+            trace_tolerance = v.parse().expect("trace-tolerance must be a float");
         } else {
             eprintln!(
                 "unknown argument '{arg}' \
                  (use quick, seed=N, threads=N, out=PATH, check=PATH, tolerance=F, \
                   logging-out=PATH, logging-tolerance=F, \
                   metrics-out=PATH, metrics-prom=PATH, metrics-tolerance=F, \
-                  batch-out=PATH)"
+                  batch-out=PATH, trace-out=PATH, trace-chrome=PATH, trace-tolerance=F)"
             );
             exit(2);
         }
@@ -121,6 +144,7 @@ fn main() {
     settings.sink_overhead = logging_out.is_some();
     settings.metrics_overhead = metrics_out.is_some() || metrics_prom.is_some();
     settings.batch_overhead = batch_out.is_some();
+    settings.trace_overhead = trace_out.is_some() || trace_chrome.is_some();
 
     let mut report = run_perf(&settings);
 
@@ -197,6 +221,31 @@ fn main() {
             println!(
                 "    trace probe latency: p50 {} ns | p95 {} ns | p99 {} ns ({} probes)",
                 p.p50_ns, p.p95_ns, p.p99_ns, p.probes
+            );
+        }
+    }
+
+    if let Some(section) = &report.trace {
+        println!(
+            "  tracing overhead at {}x ({} subscribers), 1-in-{} flow sampling, ring {}:",
+            section.scale, section.subscribers, section.sample_one_in, section.ring_capacity
+        );
+        for row in &section.rows {
+            println!(
+                "    {:<10} {:>10.0} flows/s ({:>5.1}% of off)",
+                row.mode,
+                row.flows_per_sec,
+                100.0 * row.relative_throughput,
+            );
+        }
+        println!(
+            "    flight recorder: {} events | {} sampled flows | {} evicted | digest {} (bit-identical to the untraced sweep)",
+            section.events, section.sampled_flows, section.evicted, section.digest
+        );
+        for p in &section.phases {
+            println!(
+                "    phase {:<16} p50 {:>10.0} ns | p95 {:>10.0} ns | p99 {:>10.0} ns ({} laps)",
+                p.phase, p.p50_ns, p.p95_ns, p.p99_ns, p.count
             );
         }
     }
@@ -381,6 +430,27 @@ fn main() {
             }
         }
     }
+    if trace_out.is_some() || trace_chrome.is_some() {
+        let Some(standalone) = report.trace_report() else {
+            eprintln!("trace-out given but no trace section was measured");
+            exit(1);
+        };
+        if let Some(path) = &trace_out {
+            let json = serde_json::to_string_pretty(&standalone).expect("trace serializes");
+            if let Err(e) = std::fs::write(path, json.as_bytes()) {
+                eprintln!("failed to write {}: {e}", path.display());
+                exit(1);
+            }
+            println!("wrote {}", path.display());
+        }
+        if let Some(path) = &trace_chrome {
+            if let Err(e) = std::fs::write(path, standalone.trace.chrome.as_bytes()) {
+                eprintln!("failed to write {}: {e}", path.display());
+                exit(1);
+            }
+            println!("wrote {}", path.display());
+        }
+    }
     // Fail after the artifacts are on disk, so a gate trip is
     // diagnosable from the uploaded JSON alone.
     if batch_gate_failed {
@@ -486,6 +556,48 @@ fn main() {
                          baseline throughput ratios by more than {:.0}% on every one of \
                          {passes} passes",
                         metrics_tolerance * 100.0
+                    );
+                    exit(1);
+                }
+            }
+        }
+
+        // The trace leg's gate, same discipline: the scale sweep above
+        // ran with NO tracer installed, so re-checking its machine-
+        // relative ratios at the trace tolerance pins the cost of the
+        // disabled fire sites — one untaken branch per packet batch —
+        // against the committed baseline, with best-of-3 re-measures
+        // absorbing scheduling noise.
+        if settings.trace_overhead {
+            let mut envelope = report.clone();
+            let mut outcome = check_against_baseline(&envelope, &baseline, trace_tolerance);
+            let mut passes = 1;
+            while outcome.is_err() && passes < 3 {
+                passes += 1;
+                println!(
+                    "trace gate: ratios outside {:.0}% on pass {} — re-measuring \
+                     tracer-disabled sweep (best-of-{passes} envelope)",
+                    trace_tolerance * 100.0,
+                    passes - 1
+                );
+                cgn_bench::perf::fold_best_scales(&mut envelope, &settings);
+                outcome = check_against_baseline(&envelope, &baseline, trace_tolerance);
+            }
+            match outcome {
+                Ok(_) => println!(
+                    "trace gate passed: tracer-disabled ratios within {:.0}% of baseline \
+                     (best of {passes} pass(es))",
+                    trace_tolerance * 100.0
+                ),
+                Err(failures) => {
+                    for f in failures {
+                        eprintln!("{f}");
+                    }
+                    eprintln!(
+                        "trace gate FAILED: tracer-disabled configuration regressed \
+                         baseline throughput ratios by more than {:.0}% on every one of \
+                         {passes} passes",
+                        trace_tolerance * 100.0
                     );
                     exit(1);
                 }

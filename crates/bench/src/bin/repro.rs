@@ -12,6 +12,8 @@
 //! cargo run --release -p cgn-bench --bin repro -- small detection --threads 4
 //! cargo run --release -p cgn-bench --bin repro -- soak           # 1M-subscriber soak + gates
 //! cargo run --release -p cgn-bench --bin repro -- small soak --events-dir target/soak-events
+//! cargo run --release -p cgn-bench --bin repro -- dimensioning --trace-out=trace.json
+//! cargo run --release -p cgn-bench --bin repro -- top 127.0.0.1:9321  # live TUI on a soak
 //! ```
 //!
 //! The output is the "measured" side of EXPERIMENTS.md: every section is
@@ -25,6 +27,17 @@
 //! (`--events-dir DIR`), and the leak gates. The report lands in
 //! `BENCH_soak.json`; any failed gate (or unverifiable scrape) exits
 //! nonzero.
+//!
+//! `--trace-out=PATH` (with `dimensioning`) re-runs the reference mix
+//! with the flight recorder sampling 1-in-N flows (`--trace-sample=N`,
+//! default 64) and writes the merged dump as Chrome-trace JSON — load
+//! it in Perfetto / `chrome://tracing`.
+//!
+//! `top ADDR` is the `lqtop`-style live dashboard: it scrapes a
+//! running soak's `/metrics` endpoint every `--interval` seconds
+//! (default 2) and redraws per-shard flow rates, allocator fill,
+//! wheel depth, arena growth and phase-latency sparklines with plain
+//! ANSI. `--iterations=N` stops after N frames (0 = until ^C).
 //!
 //! `detection` runs the multi-perspective CGN detection campaign
 //! instead of the study pipeline: the standard scenario library at
@@ -47,7 +60,14 @@ fn main() {
     let mut seed_set = false;
     let mut events_dir: Option<std::path::PathBuf> = None;
     let mut threads: Option<usize> = None;
-    let mut args = std::env::args().skip(1);
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut trace_sample: u32 = 64;
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("top") {
+        args.next();
+        run_top_mode(args.collect());
+        return;
+    }
     while let Some(arg) = args.next() {
         if let Some(s) = arg.strip_prefix("seed=") {
             seed = s.parse().expect("seed must be an integer");
@@ -78,6 +98,16 @@ fn main() {
             threads = Some(v.parse().expect("--threads must be an integer"));
         } else if let Some(v) = arg.strip_prefix("--threads=") {
             threads = Some(v.parse().expect("--threads must be an integer"));
+        } else if arg == "--trace-out" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("--trace-out needs a destination for the Chrome-trace JSON");
+                std::process::exit(2);
+            });
+            trace_out = Some(v.into());
+        } else if let Some(v) = arg.strip_prefix("--trace-out=") {
+            trace_out = Some(v.into());
+        } else if let Some(v) = arg.strip_prefix("--trace-sample=") {
+            trace_sample = v.parse().expect("--trace-sample must be an integer");
         } else {
             scale = arg;
         }
@@ -104,6 +134,10 @@ fn main() {
         eprintln!("--metrics needs the dimensioning subcommand (windowed metrics ride the sweep)");
         std::process::exit(2);
     }
+    if trace_out.is_some() && !dimensioning {
+        eprintln!("--trace-out needs the dimensioning subcommand (the traced leg rides the sweep)");
+        std::process::exit(2);
+    }
     if dimensioning {
         let mut dim = match scale.as_str() {
             "tiny" | "small" => cgn_study::DimensioningConfig::small(seed),
@@ -125,6 +159,17 @@ fn main() {
     println!("{}", report.render());
     if metrics {
         write_metrics_artifacts(report.dimensioning.as_ref());
+    }
+    if let Some(path) = &trace_out {
+        let dim = report
+            .dimensioning
+            .as_ref()
+            .map(|d| d.config.clone())
+            .unwrap_or_else(|| {
+                eprintln!("--trace-out given but the study produced no dimensioning report");
+                std::process::exit(1);
+            });
+        write_trace_artifact(&dim, path, trace_sample);
     }
     if dimensioning {
         print_perf_reference();
@@ -378,4 +423,108 @@ fn print_perf_reference() {
     println!(
         "\n(no BENCH_dimensioning.json yet — run `cargo run --release -p cgn-bench --bin perf`)"
     );
+}
+
+/// The `--trace-out` leg: re-run the dimensioning sweep's reference
+/// mix with the flight recorder on (1-in-`sample` flow sampling) and
+/// write the merged dump as Chrome-trace JSON. A separate run keeps
+/// the sweep itself on the zero-cost path; the dump is sim-time
+/// deterministic, so re-running changes nothing but wall time.
+fn write_trace_artifact(dim: &cgn_study::DimensioningConfig, path: &std::path::Path, sample: u32) {
+    let mix = dim.mixes.first().cloned().unwrap_or_else(|| {
+        eprintln!("--trace-out needs at least one workload mix in the dimensioning config");
+        std::process::exit(1);
+    });
+    let mut config = dim.driver_config(mix);
+    config.trace = cgn_traffic::TraceConfig::sampled(sample.max(1));
+    let t0 = std::time::Instant::now();
+    let mut session = cgn_traffic::DriverSession::new(&config);
+    while session.step().is_some() {}
+    let dump = session
+        .trace_dump()
+        .expect("tracer installed for the traced leg");
+    let json = cgn_trace::chrome_trace_json(&dump);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("writing {} failed: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} ({} events from {} sampled flows, 1-in-{} sampling, \
+         {} evicted; traced leg took {:.2?})",
+        path.display(),
+        dump.events.len(),
+        dump.sampled_flows,
+        dump.sample_one_in,
+        dump.evicted,
+        t0.elapsed()
+    );
+}
+
+/// The `top` mode: a live dashboard over a running soak's scrape
+/// endpoint. Pure client — everything rendered comes from `/metrics`
+/// and `/healthz`, so it attaches to any cgn-opsd session.
+fn run_top_mode(args: Vec<String>) {
+    let mut addr: Option<String> = None;
+    let mut interval_secs: f64 = 2.0;
+    let mut iterations: u64 = 0;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if let Some(v) = arg.strip_prefix("--interval=") {
+            interval_secs = v.parse().expect("--interval must be seconds");
+        } else if arg == "--interval" {
+            let v = it.next().expect("--interval needs seconds");
+            interval_secs = v.parse().expect("--interval must be seconds");
+        } else if let Some(v) = arg.strip_prefix("--iterations=") {
+            iterations = v.parse().expect("--iterations must be an integer");
+        } else if arg == "--iterations" {
+            let v = it.next().expect("--iterations needs a count");
+            iterations = v.parse().expect("--iterations must be an integer");
+        } else if addr.is_none() {
+            addr = Some(arg);
+        } else {
+            eprintln!(
+                "unexpected argument '{arg}' (usage: top ADDR [--interval=S] [--iterations=N])"
+            );
+            std::process::exit(2);
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("top needs the scrape address of a running soak (e.g. 127.0.0.1:9321)");
+        std::process::exit(2);
+    };
+
+    use std::io::Write as _;
+    let mut prev = std::collections::BTreeMap::new();
+    let mut frames = 0u64;
+    loop {
+        let body = match cgn_opsd::scrape(&addr, "/metrics") {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("scraping {addr}/metrics failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let cur = cgn_opsd::parse_scalars(&body);
+        let header = match cgn_opsd::scrape(&addr, "/healthz")
+            .ok()
+            .and_then(|h| serde_json::from_str::<cgn_traffic::SessionHealth>(&h).ok())
+        {
+            Some(h) => format!(
+                "cgn top \u{2014} {addr}  sim {}s/{}s  slots {} ({} free)",
+                h.now_secs, h.horizon_secs, h.store.slots, h.store.free
+            ),
+            None => format!("cgn top \u{2014} {addr}"),
+        };
+        let text = cgn_trace::top::render_top(&header, &prev, &cur, interval_secs);
+        print!("{}{}", cgn_trace::top::CLEAR, text);
+        std::io::stdout().flush().ok();
+        prev = cur;
+        frames += 1;
+        if iterations > 0 && frames >= iterations {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(
+            interval_secs.clamp(0.1, 3600.0),
+        ));
+    }
 }

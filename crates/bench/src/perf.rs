@@ -87,6 +87,14 @@ pub struct PerfSettings {
     /// one extra middle-scale sweep per burst size, so it is opt-in
     /// (the CI `batch` job turns it on).
     pub batch_overhead: bool,
+    /// Also measure the flow-tracing overhead at the middle scale
+    /// (tracer off vs the flight recorder sampling 1-in-N flows with
+    /// the phase profiler armed) and attach a [`TraceSection`] to the
+    /// report. The traced pass must reproduce the untraced sweep's
+    /// digest bit-for-bit — the leg doubles as the
+    /// tracing-is-observation-only check. Costs one extra middle-scale
+    /// sweep, so it is opt-in (the CI `trace` job turns it on).
+    pub trace_overhead: bool,
 }
 
 impl PerfSettings {
@@ -103,6 +111,7 @@ impl PerfSettings {
             metrics_overhead: false,
             passes: 3,
             batch_overhead: false,
+            trace_overhead: false,
         }
     }
 
@@ -119,6 +128,7 @@ impl PerfSettings {
             metrics_overhead: false,
             passes: 1,
             batch_overhead: false,
+            trace_overhead: false,
         }
     }
 
@@ -259,11 +269,15 @@ pub struct ProbeLatency {
 
 impl ProbeLatency {
     pub fn from_histogram(h: &cgn_metrics::Histogram) -> ProbeLatency {
+        // Interpolated quantiles: a log2 bucket upper bound overstates
+        // the latency by up to 2x; interpolating within the bucket
+        // keeps the reported nanoseconds comparable across runs whose
+        // distributions straddle a bucket edge differently.
         ProbeLatency {
             probes: h.count,
-            p50_ns: h.quantile(0.50),
-            p95_ns: h.quantile(0.95),
-            p99_ns: h.quantile(0.99),
+            p50_ns: h.quantile_interpolated(0.50).round() as u64,
+            p95_ns: h.quantile_interpolated(0.95).round() as u64,
+            p99_ns: h.quantile_interpolated(0.99).round() as u64,
             mean_ns: h.mean(),
         }
     }
@@ -504,6 +518,182 @@ pub fn measure_probe_latency(config: &DimensioningConfig) -> Option<ProbeLatency
     )))
 }
 
+/// Flow-sampling rate of the perf trace leg: 1-in-N flows land in
+/// the flight recorder — dense enough that every phase and span kind
+/// shows up at the quick scale, sparse enough that the sampled pass
+/// still predominantly measures the pipeline it observes.
+pub const TRACE_SAMPLE_ONE_IN: u32 = 64;
+
+/// One tracer configuration's throughput at the middle scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceOverheadPerf {
+    /// `off` (no tracer installed — the sweep's own pass) or
+    /// `sampled` (flight recorder at 1-in-[`TRACE_SAMPLE_ONE_IN`]
+    /// plus the wall-clock phase profiler).
+    pub mode: String,
+    pub flows: u64,
+    pub wall_secs: f64,
+    pub flows_per_sec: f64,
+    /// Flows/s relative to the tracer-off pass of the same run
+    /// (`1.0` = no overhead; self-relative, so machine-independent).
+    pub relative_throughput: f64,
+}
+
+/// Interpolated wall-clock latency quantiles of one pipeline phase,
+/// merged across every mix of the traced pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasePerf {
+    /// [`Phase::name`](cgn_trace::Phase::name) of the region.
+    pub phase: String,
+    pub count: u64,
+    pub p50_ns: f64,
+    pub p95_ns: f64,
+    pub p99_ns: f64,
+}
+
+/// The tracing-overhead section attached by
+/// [`PerfSettings::trace_overhead`] runs: the
+/// tracer-absent-costs-one-branch claim priced, the traced pass
+/// digest-checked against the untraced sweep (tracing is observation
+/// only), the merged phase-latency table, and the reference mix's
+/// flight recorder as Chrome-trace JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSection {
+    /// Scale the overhead was measured at.
+    pub scale: u32,
+    pub subscribers: u32,
+    /// Flow-sampling rate of the traced pass (1-in-N).
+    pub sample_one_in: u32,
+    /// Per-shard flight-recorder ring capacity (events).
+    pub ring_capacity: usize,
+    /// `off` vs `sampled` throughput rows.
+    pub rows: Vec<TraceOverheadPerf>,
+    /// Folded per-mix digest of the traced runs. [`measure_trace_leg`]
+    /// asserts it equals the untraced sweep's digest, so a report
+    /// carrying this section has passed the observation-only check.
+    pub digest: String,
+    /// Flight-recorder events retained across all mixes.
+    pub events: u64,
+    /// Flows that fell into the 1-in-N sample across all mixes.
+    pub sampled_flows: u64,
+    /// Events overwritten by the bounded rings across all mixes.
+    pub evicted: u64,
+    /// Per-phase latency quantiles, merged across mixes and shards.
+    pub phases: Vec<PhasePerf>,
+    /// Chrome-trace JSON of the reference (first) mix's dump — the
+    /// uploadable Perfetto artifact (`perf -- trace-chrome=PATH`).
+    pub chrome: String,
+}
+
+/// Standalone machine-readable trace artifact (`BENCH_trace.json`):
+/// the tracing rows plus enough metadata to interpret them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceReport {
+    pub schema: String,
+    pub seed: u64,
+    pub shards: u16,
+    pub threads: usize,
+    pub duration_secs: u64,
+    pub trace: TraceSection,
+}
+
+/// Schema tag of [`TraceReport`].
+pub const TRACE_SCHEMA: &str = "cgn-trace/1";
+
+/// Time the dimensioning sweep at one scale with the flight recorder
+/// sampling 1-in-[`TRACE_SAMPLE_ONE_IN`] flows and the phase profiler
+/// armed. `off` is the tracer-free pass the sweep already timed;
+/// `expected_digest` (when given) pins the traced pass to it — the
+/// leg panics if installing the tracer changes any run digest.
+pub fn measure_trace_leg(
+    settings: &PerfSettings,
+    scale: u32,
+    threads: usize,
+    off: &ScalePerf,
+    expected_digest: Option<&str>,
+) -> TraceSection {
+    let subscribers = settings.base_subscribers * scale;
+    let config = settings.dimensioning(subscribers, threads);
+    let trace = cgn_traffic::TraceConfig::sampled(TRACE_SAMPLE_ONE_IN);
+    let mut flows = 0u64;
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut profile = cgn_trace::PhaseProfiler::new();
+    let mut events = 0u64;
+    let mut sampled_flows = 0u64;
+    let mut evicted = 0u64;
+    let mut chrome = None;
+    let t0 = Instant::now();
+    for mix in &config.mixes {
+        let mut d = config.driver_config(mix.clone());
+        d.trace = trace;
+        let mut session = cgn_traffic::DriverSession::new(&d);
+        while session.step().is_some() {}
+        if let Some(p) = session.phase_profile() {
+            profile.merge(&p);
+        }
+        let dump = session
+            .trace_dump()
+            .expect("tracer installed for the traced pass");
+        events += dump.events.len() as u64;
+        sampled_flows += dump.sampled_flows;
+        evicted += dump.evicted;
+        if chrome.is_none() {
+            chrome = Some(cgn_trace::chrome_trace_json(&dump));
+        }
+        let (summary, _) = session.finish();
+        flows += summary.flows_started;
+        digest ^= summary.digest();
+        digest = digest.wrapping_mul(0x1000_0000_01b3);
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let digest = format!("{digest:016x}");
+    if let Some(expected) = expected_digest {
+        assert_eq!(
+            digest, expected,
+            "installing the tracer must not change any run digest              (tracing is observation only)"
+        );
+    }
+    let fps = flows as f64 / wall_secs.max(1e-9);
+    TraceSection {
+        scale,
+        subscribers,
+        sample_one_in: trace.sample_one_in,
+        ring_capacity: trace.ring_capacity,
+        rows: vec![
+            TraceOverheadPerf {
+                mode: "off".to_string(),
+                flows: off.flows,
+                wall_secs: off.wall_secs,
+                flows_per_sec: off.flows_per_sec,
+                relative_throughput: 1.0,
+            },
+            TraceOverheadPerf {
+                mode: "sampled".to_string(),
+                flows,
+                wall_secs,
+                flows_per_sec: fps,
+                relative_throughput: fps / off.flows_per_sec.max(1e-9),
+            },
+        ],
+        digest,
+        events,
+        sampled_flows,
+        evicted,
+        phases: profile
+            .percentile_rows()
+            .into_iter()
+            .map(|(phase, p50, p95, p99, count)| PhasePerf {
+                phase: phase.name().to_string(),
+                count,
+                p50_ns: p50,
+                p95_ns: p95,
+                p99_ns: p99,
+            })
+            .collect(),
+        chrome: chrome.expect("at least one mix ran"),
+    }
+}
+
 /// The full machine-readable report (`BENCH_dimensioning.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -541,6 +731,10 @@ pub struct PerfReport {
     /// [`PerfSettings::batch_overhead`] runs; `Option` for the same
     /// baseline-compatibility reason as `logging`).
     pub batch: Option<BatchSection>,
+    /// Tracing-overhead measurement (only on
+    /// [`PerfSettings::trace_overhead`] runs; `Option` for the same
+    /// baseline-compatibility reason as `logging`).
+    pub trace: Option<TraceSection>,
 }
 
 impl PerfReport {
@@ -580,6 +774,19 @@ impl PerfReport {
             threads: self.threads,
             duration_secs: self.duration_secs,
             batch: section.clone(),
+        })
+    }
+
+    /// The standalone `BENCH_trace.json` artifact, when this run
+    /// measured the tracing overhead.
+    pub fn trace_report(&self) -> Option<TraceReport> {
+        self.trace.as_ref().map(|section| TraceReport {
+            schema: TRACE_SCHEMA.to_string(),
+            seed: self.seed,
+            shards: self.shards,
+            threads: self.threads,
+            duration_secs: self.duration_secs,
+            trace: section.clone(),
         })
     }
 }
@@ -848,6 +1055,18 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         .batch_overhead
         .then(|| measure_batch_leg(settings, settings.scales[mid], threads));
 
+    // Tracing leg: the middle scale re-run with the flight recorder
+    // and phase profiler on, digest-pinned to the untraced sweep.
+    let trace = settings.trace_overhead.then(|| {
+        measure_trace_leg(
+            settings,
+            settings.scales[mid],
+            threads,
+            &scales[mid],
+            Some(&format!("{digest:016x}")),
+        )
+    });
+
     PerfReport {
         schema: SCHEMA.to_string(),
         seed: settings.seed,
@@ -864,6 +1083,7 @@ pub fn run_perf(settings: &PerfSettings) -> PerfReport {
         logging,
         metrics,
         batch,
+        trace,
     }
 }
 
@@ -1331,6 +1551,7 @@ mod tests {
             metrics_overhead: false,
             passes: 1,
             batch_overhead: false,
+            trace_overhead: false,
         }
     }
 
@@ -1394,6 +1615,10 @@ mod tests {
         let baseline: PerfReport = serde_json::from_str(text).expect("baseline parses");
         assert!(baseline.logging.is_none());
         assert!(baseline.metrics.is_none());
+        assert!(
+            baseline.trace.is_none(),
+            "trace section is newer than the committed baseline"
+        );
         assert_eq!(baseline.schema, SCHEMA);
         let batch = baseline
             .batch
@@ -1499,6 +1724,43 @@ mod tests {
         assert_eq!(standalone.batch, *section);
         let json = serde_json::to_string_pretty(&standalone).expect("serializable");
         let back: BatchReport = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(standalone, back);
+    }
+
+    #[test]
+    fn trace_leg_prices_overhead_and_pins_digests() {
+        let mut settings = tiny();
+        settings.trace_overhead = true;
+        let r = run_perf(&settings);
+        let section = r.trace.as_ref().expect("trace section attached");
+        assert_eq!(section.scale, settings.scales[1], "middle scale");
+        assert_eq!(section.sample_one_in, TRACE_SAMPLE_ONE_IN);
+        let modes: Vec<&str> = section.rows.iter().map(|row| row.mode.as_str()).collect();
+        assert_eq!(modes, ["off", "sampled"]);
+        assert_eq!(section.rows[0].relative_throughput, 1.0);
+        assert!(section.rows[1].relative_throughput > 0.0);
+        // measure_trace_leg asserted the traced digest equals the
+        // untraced sweep's: installing the tracer changed nothing.
+        assert_eq!(section.digest, r.digest);
+        assert!(section.sampled_flows > 0, "1-in-64 catches flows here");
+        assert!(section.events > 0, "flight recorder retained events");
+        assert!(!section.phases.is_empty(), "profiler armed during leg");
+        for p in &section.phases {
+            assert!(p.count > 0);
+            assert!(p.p99_ns >= p.p50_ns, "{:?}", p);
+        }
+        // The embedded Chrome trace is structurally valid JSON.
+        assert!(section.chrome.contains(cgn_trace::CHROME_SCHEMA));
+        let parsed: serde_json::Value =
+            serde_json::from_str(&section.chrome).expect("chrome JSON parses");
+        drop(parsed);
+        // The standalone artifact carries the same section and
+        // round-trips through JSON (nested chrome string included).
+        let standalone = r.trace_report().expect("trace report");
+        assert_eq!(standalone.schema, TRACE_SCHEMA);
+        assert_eq!(standalone.trace, *section);
+        let json = serde_json::to_string_pretty(&standalone).expect("serializable");
+        let back: TraceReport = serde_json::from_str(&json).expect("parseable");
         assert_eq!(standalone, back);
     }
 

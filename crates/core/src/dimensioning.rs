@@ -20,7 +20,7 @@
 
 use analysis::log_volume::{self, PolicyLogVolume};
 use cgn_telemetry::{DeterministicMap, Record, TraceIndex};
-use cgn_traffic::{DriverConfig, Modulation, RunSummary, WorkloadMix};
+use cgn_traffic::{DriverConfig, Modulation, RunSummary, TraceConfig, WorkloadMix};
 use nat_engine::telemetry::TelemetryMode;
 use nat_engine::{NatConfig, PortAllocation};
 use serde::{Deserialize, Serialize};
@@ -75,6 +75,12 @@ pub struct DimensioningConfig {
     /// harness's inbound leg sets it to exercise
     /// `Nat::process_inbound_burst` under load.
     pub inbound_reply_permille: u32,
+    /// Flow-lifecycle tracing / phase profiling applied to every mix
+    /// run ([`cgn_traffic::DriverConfig::trace`]). `off` (the
+    /// default) installs no tracer; flow spans, when sampled, are
+    /// sim-time-deterministic, so enabling them never changes a
+    /// summary.
+    pub trace: TraceConfig,
 }
 
 impl DimensioningConfig {
@@ -97,6 +103,7 @@ impl DimensioningConfig {
             metrics_window_secs: None,
             burst: 0,
             inbound_reply_permille: 0,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -119,6 +126,7 @@ impl DimensioningConfig {
             metrics_window_secs: None,
             burst: 0,
             inbound_reply_permille: 0,
+            trace: TraceConfig::off(),
         }
     }
 
@@ -142,6 +150,7 @@ impl DimensioningConfig {
             metrics_retention: 0,
             burst: self.burst,
             inbound_reply_permille: self.inbound_reply_permille,
+            trace: self.trace,
             seed: self.seed,
         }
     }

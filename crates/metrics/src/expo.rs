@@ -44,6 +44,12 @@ fn render_histogram(out: &mut String, family: &str, labels: Option<&str>, h: &Hi
     let plain = labels.map(|l| format!("{{{l}}}")).unwrap_or_default();
     let _ = writeln!(out, "{family}_sum{plain} {}", h.sum);
     let _ = writeln!(out, "{family}_count{plain} {}", h.count);
+    // Interpolated quantile estimates as companion gauges (rounded to
+    // integers so scalar scrapers keep parsing every sample line).
+    let (p50, p95, p99) = h.percentiles();
+    let _ = writeln!(out, "{family}_p50{plain} {}", p50.round() as u64);
+    let _ = writeln!(out, "{family}_p95{plain} {}", p95.round() as u64);
+    let _ = writeln!(out, "{family}_p99{plain} {}", p99.round() as u64);
 }
 
 /// Render a snapshot as Prometheus text exposition. The snapshot
@@ -120,5 +126,10 @@ mod tests {
         assert!(text.contains("cgn_probe_latency_ns_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("cgn_probe_latency_ns_sum 5"));
         assert!(text.contains("cgn_probe_latency_ns_count 3"));
+        assert!(
+            text.contains("cgn_probe_latency_ns_p50 1"),
+            "interpolated quantile companions render:\n{text}"
+        );
+        assert!(text.contains("cgn_probe_latency_ns_p99 "));
     }
 }

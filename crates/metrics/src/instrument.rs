@@ -178,6 +178,49 @@ impl Histogram {
         }
         Self::bucket_upper(self.buckets.len().saturating_sub(1))
     }
+
+    /// Log-linearly interpolated quantile estimate. Locates the bucket
+    /// holding rank `⌈q·count⌉` like [`Histogram::quantile`], then
+    /// interpolates *geometrically* within it: a log2 bucket spans
+    /// `[2^(i-1), 2^i)`, so the within-bucket position `f ∈ (0, 1]`
+    /// maps to `2^(i-1) · 2^f` — the right interpolation for buckets
+    /// whose width is multiplicative, not additive. Clamped to the
+    /// bucket's inclusive edges, so single-value buckets (0 and 1) are
+    /// exact. Returns 0 for an empty histogram.
+    pub fn quantile_interpolated(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0);
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let cumulative = below + n;
+            if cumulative as f64 >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let frac = (rank - below as f64) / n as f64;
+                let lower = (1u128 << (i - 1)) as f64;
+                let estimate = lower * 2f64.powf(frac);
+                return estimate.clamp(lower, Self::bucket_upper(i) as f64);
+            }
+            below = cumulative;
+        }
+        Self::bucket_upper(self.buckets.len().saturating_sub(1)) as f64
+    }
+
+    /// The `(p50, p95, p99)` interpolated quantiles, the triple the
+    /// phase profiler and perf harness report.
+    pub fn percentiles(&self) -> (f64, f64, f64) {
+        (
+            self.quantile_interpolated(0.50),
+            self.quantile_interpolated(0.95),
+            self.quantile_interpolated(0.99),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +281,54 @@ mod tests {
         assert_eq!(h.quantile(1.0), 1023, "max lands in the [512,1024) bucket");
         assert!((h.mean() - 1111.0 / 8.0).abs() < 1e-9);
         assert_eq!(Histogram::default().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_exact_quantiles() {
+        // Single-value buckets are exact: 0 and 1 each occupy a
+        // one-value bucket, so clamping recovers the exact sample.
+        let mut h = Histogram::default();
+        for v in [0u64, 0, 0, 1, 1, 1, 1, 1] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_interpolated(0.25), 0.0);
+        assert_eq!(h.quantile_interpolated(0.99), 1.0);
+
+        // Log-uniform samples inside one bucket: exact quantiles are
+        // known, and geometric interpolation should land within the
+        // bucket far tighter than the factor-of-2 edge bound.
+        let mut h = Histogram::default();
+        let samples: Vec<u64> = (0..64).map(|k| 512 + k * 8).collect(); // [512, 1016]
+        for &v in &samples {
+            h.record(v);
+        }
+        let exact_p50 = samples[31] as f64;
+        let est = h.quantile_interpolated(0.50);
+        assert!((512.0..=1023.0).contains(&est), "stays inside the bucket");
+        assert!(
+            (est - exact_p50).abs() / exact_p50 < 0.20,
+            "p50 estimate {est} within 20% of exact {exact_p50}"
+        );
+        // The interpolated estimate never exceeds the edge-bound
+        // quantile and is monotone in q.
+        assert!(est <= h.quantile(0.50) as f64);
+        let (p50, p95, p99) = h.percentiles();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.quantile(0.99) as f64);
+
+        // Empty histogram reports 0.
+        assert_eq!(Histogram::default().quantile_interpolated(0.5), 0.0);
+
+        // Multi-bucket distribution: rank walks across buckets.
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            h.record(v);
+        }
+        let p90 = h.quantile_interpolated(0.90);
+        assert!(
+            (256.0..=511.0).contains(&p90),
+            "rank 9 of 10 lands in the [256,512) bucket, got {p90}"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::ports::{self, PortAllocator, PortError};
 use crate::store::{MappingStore, StoreOccupancy, TcpConnState};
 use crate::telemetry::{BlockEvent, EventSink, MappingEvent, SinkSlot};
 use cgn_metrics::{Snapshot, Value};
+use cgn_trace::{FlowKey as TraceKey, Phase, ShardTracer};
 use netcore::{Endpoint, Packet, PacketBody, Protocol, SimDuration, SimTime, TcpFlags};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -174,6 +175,24 @@ pub struct Nat {
     /// `Option`-slot discipline as the sink: absent by default, one
     /// untaken branch per fire site when disabled.
     metrics: MetricsSlot,
+    /// Flow/phase tracer (see [`cgn_trace`]); same `Option`-slot
+    /// discipline again: absent by default, one untaken branch per
+    /// fire site when disabled.
+    tracer: TraceSlot,
+}
+
+/// `Option`-slot wrapper for the tracer; the custom `Debug` keeps
+/// `Nat`'s derive from dumping flight-recorder contents (and keeps
+/// run digests independent of ring state).
+pub(crate) struct TraceSlot(pub(crate) Option<Box<ShardTracer>>);
+
+impl std::fmt::Debug for TraceSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("ShardTracer(installed)"),
+            None => f.write_str("ShardTracer(none)"),
+        }
+    }
 }
 
 impl Nat {
@@ -195,6 +214,7 @@ impl Nat {
             stats: NatStats::default(),
             sink: SinkSlot(None),
             metrics: MetricsSlot(None),
+            tracer: TraceSlot(None),
         }
     }
 
@@ -226,6 +246,32 @@ impl Nat {
     /// returning the engine to the zero-cost disabled state.
     pub fn take_metrics(&mut self) -> Option<Box<EngineMetrics>> {
         self.metrics.0.take()
+    }
+
+    /// Install a flow/phase tracer: lifecycle fire sites record
+    /// sampled-flow spans into its flight recorder and the burst
+    /// pipeline's passes record wall-clock phase durations (see
+    /// [`cgn_trace`]). Replaces any previously installed tracer.
+    pub fn set_tracer(&mut self, tracer: Box<ShardTracer>) {
+        self.tracer = TraceSlot(Some(tracer));
+    }
+
+    /// Remove and return the installed tracer, if any, returning the
+    /// engine to the zero-cost disabled state.
+    pub fn take_tracer(&mut self) -> Option<Box<ShardTracer>> {
+        self.tracer.0.take()
+    }
+
+    /// The installed tracer, if any (flight-recorder reads, phase
+    /// histogram reads).
+    pub fn tracer(&self) -> Option<&ShardTracer> {
+        self.tracer.0.as_deref()
+    }
+
+    /// Mutable access to the installed tracer (the driver records its
+    /// own pipeline phases through the owning shard's tracer).
+    pub fn tracer_mut(&mut self) -> Option<&mut ShardTracer> {
+        self.tracer.0.as_deref_mut()
     }
 
     /// Render this shard's metrics into a snapshot: the registry's
@@ -397,6 +443,7 @@ impl Nat {
     /// expiring mappings, not the table size (see
     /// [`NatStats::sweep_scans`] vs [`NatStats::sweeps`]).
     pub fn sweep(&mut self, now: SimTime) {
+        let mut clock = self.phase_clock();
         self.stats.sweeps += 1;
         let (inspected, due) = self.store.sweep_due(now);
         if inspected > 0 {
@@ -409,10 +456,38 @@ impl Nat {
             self.remove_mapping(slot, now);
             self.stats.mappings_expired += 1;
         }
+        self.phase_lap(&mut clock, Phase::Sweep);
+    }
+
+    /// Start a wall-clock phase lap, `None` unless a tracer with phase
+    /// profiling is installed — so disabled runs never read the clock.
+    #[inline]
+    pub fn phase_clock(&self) -> Option<std::time::Instant> {
+        match &self.tracer.0 {
+            Some(t) if t.profiling_phases() => Some(std::time::Instant::now()),
+            _ => None,
+        }
+    }
+
+    /// Record the elapsed lap under `phase` and restart the clock.
+    /// Wall-clock goes only into the tracer's phase histograms — an
+    /// annotation layer outside every deterministic digest.
+    #[inline]
+    pub fn phase_lap(&mut self, clock: &mut Option<std::time::Instant>, phase: Phase) {
+        if let (Some(t0), Some(tr)) = (clock.as_mut(), self.tracer.0.as_deref_mut()) {
+            let now = std::time::Instant::now();
+            tr.record_phase(phase, now.duration_since(*t0).as_nanos() as u64);
+            *t0 = now;
+        }
     }
 
     fn remove_mapping(&mut self, slot: u32, now: SimTime) {
         if let Some((m, pool)) = self.store.remove(slot) {
+            if let Some(t) = &mut self.tracer.0 {
+                if t.sampling_flows() {
+                    t.on_expire(slot, now.as_millis());
+                }
+            }
             let mut grant = None;
             if let Some(Some(a)) = self.allocators.get_mut(pool as usize) {
                 a.release(m.external.port);
@@ -527,6 +602,7 @@ impl Nat {
         // `None` marks an ICMP pass-through.
         type PlanEntry = Option<(Protocol, Option<TcpFlags>, u128, Option<u32>)>;
         let fill = pkts.len() as u64;
+        let mut clock = self.phase_clock();
         // Pass 1 — resolve keys and reuse-slot hints in arrival order.
         let mut plan: Vec<PlanEntry> = Vec::with_capacity(pkts.len());
         for pkt in &pkts {
@@ -543,6 +619,7 @@ impl Nat {
                 .out_key(self.config.mapping, proto, pkt.src, pkt.dst);
             plan.push(Some((proto, flags, key, self.store.lookup_out(key))));
         }
+        self.phase_lap(&mut clock, Phase::BurstResolve);
 
         // Pass 2 — prefetch sweep over the resolved slots, sorted so
         // the hardware sees sequential slab strides. The sort feeds
@@ -559,6 +636,7 @@ impl Nat {
         if let Some(m) = &mut self.metrics.0 {
             m.on_burst(fill, prefetched);
         }
+        self.phase_lap(&mut clock, Phase::BurstPrefetch);
 
         // Pass 3 — translate in arrival order. Hints are a prefetch
         // aid only: translation re-probes the index, so a hint
@@ -577,6 +655,7 @@ impl Nat {
                 }
             });
         }
+        self.phase_lap(&mut clock, Phase::BurstTranslate);
         verdicts
     }
 
@@ -608,6 +687,7 @@ impl Nat {
             None => None,
         };
 
+        let reused = slot.is_some();
         let slot = match slot {
             Some(slot) => slot,
             None => match self.create_mapping(key, proto, internal, now) {
@@ -634,6 +714,14 @@ impl Nat {
         };
         let t = self.timeout_for(proto, tcp);
         self.store.set_expiry(slot, now + t);
+        if let Some(tr) = &mut self.tracer.0 {
+            if tr.sampling_flows() {
+                // A reused mapping's translate pushed its expiry out (a
+                // refresh span); the creating packet's span is covered
+                // by the admit event `create_mapping` just recorded.
+                tr.on_translate(slot, now.as_millis(), reused);
+            }
+        }
 
         let mut out = pkt;
         out.src = external;
@@ -657,6 +745,7 @@ impl Nat {
                 return Err(DropReason::SessionLimit);
             }
         }
+        let mut block_granted = false;
         let external = if self.config.transparent {
             // Stateful firewall: state is kept, addresses are not touched.
             internal
@@ -697,6 +786,7 @@ impl Nat {
                 }
             })?;
             let grant = alloc.take_block_grant();
+            block_granted = grant.is_some();
             if let (Some(m), Some(_)) = (&mut self.metrics.0, grant) {
                 m.on_block_grant();
             }
@@ -727,6 +817,22 @@ impl Nat {
                 internal,
                 external,
             });
+        }
+        if let Some(tr) = &mut self.tracer.0 {
+            if tr.sampling_flows() {
+                tr.on_admit(
+                    slot,
+                    TraceKey {
+                        udp: proto == Protocol::Udp,
+                        internal_ip: internal.ip,
+                        internal_port: internal.port,
+                        external_ip: external.ip,
+                        external_port: external.port,
+                    },
+                    now.as_millis(),
+                    block_granted,
+                );
+            }
         }
         Ok(slot)
     }
@@ -831,6 +937,7 @@ impl Nat {
         // inbound ICMP error.
         type PlanEntry = Option<(Protocol, Option<TcpFlags>, Option<u64>, Option<u32>)>;
         let fill = pkts.len() as u64;
+        let mut clock = self.phase_clock();
 
         // Pass 1 — resolve. Classification in arrival order, then the
         // packed ext-key batch pass and the index probes as tight
@@ -853,6 +960,7 @@ impl Nat {
                 *hint = self.store.lookup_ext_key(*key);
             }
         }
+        self.phase_lap(&mut clock, Phase::BurstResolve);
 
         // Pass 2 — prefetch sweep over the resolved slots, sorted so
         // the hardware sees sequential slab strides. The sort feeds
@@ -869,6 +977,7 @@ impl Nat {
         if let Some(m) = &mut self.metrics.0 {
             m.on_burst_inbound(fill, prefetched);
         }
+        self.phase_lap(&mut clock, Phase::BurstPrefetch);
 
         // Pass 3 — translate in arrival order. Hints are a prefetch
         // aid only: translation re-probes the index, so a hint
@@ -891,6 +1000,7 @@ impl Nat {
                 Some((proto, flags, key, _)) => self.translate_inbound(pkt, now, proto, flags, key),
             });
         }
+        self.phase_lap(&mut clock, Phase::BurstTranslate);
         verdicts
     }
 
@@ -937,6 +1047,11 @@ impl Nat {
             let t = self.timeout_for(proto, self.store.get(slot).tcp);
             self.store.get_mut(slot).last_refresh = now;
             self.store.set_expiry(slot, now + t);
+        }
+        if let Some(tr) = &mut self.tracer.0 {
+            if tr.sampling_flows() {
+                tr.on_translate_in(slot, now.as_millis());
+            }
         }
 
         let mut delivered = pkt;
@@ -1799,5 +1914,113 @@ mod tests {
             n.external_for(Protocol::Udp, internal_host(1), t(120)),
             None
         );
+    }
+    #[test]
+    fn trace_mix64_matches_store_mix64() {
+        // cgn-trace duplicates the SplitMix64 finalizer (the
+        // dependency points from nat-engine to cgn-trace); this pins
+        // the two implementations together.
+        for v in [0u64, 1, 7, 0xdead_beef, u64::MAX] {
+            assert_eq!(cgn_trace::mix64(v), crate::store::mix64(v));
+        }
+    }
+
+    #[test]
+    fn tracer_records_sampled_flow_lifecycle_behind_the_nat() {
+        use cgn_trace::{SpanKind, TraceConfig};
+        let mut n = nat(NatConfig::cgn_default());
+        n.set_tracer(Box::new(ShardTracer::new(0, &TraceConfig::sampled(1))));
+        let a = internal_host(1);
+        let s = server();
+        let out = udp_out(&mut n, a, s, t(1)); // admit + first translate
+        let _ = udp_out(&mut n, a, s, t(2)); // reuse: translate + refresh
+        let reply = Packet::udp(s, out.src, vec![1]);
+        assert!(matches!(
+            n.process_inbound(reply, t(3)),
+            NatVerdict::Forward(_)
+        ));
+        n.sweep(t(400)); // past the 60 s UDP timeout
+        let tr = n.take_tracer().expect("tracer installed");
+        let kinds: Vec<SpanKind> = tr.events().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanKind::Admit,
+                SpanKind::Translate,
+                SpanKind::Translate,
+                SpanKind::Refresh,
+                SpanKind::TranslateIn,
+                SpanKind::Expire,
+            ]
+        );
+        let key = tr.events().next().expect("events").key;
+        assert_eq!(key.internal_ip, a.ip);
+        assert_eq!(key.internal_port, a.port);
+        assert_eq!(key.external_ip, out.src.ip);
+        assert_eq!(key.external_port, out.src.port);
+        assert!(key.udp);
+        assert_eq!(tr.sampled_flows(), 1);
+        assert_eq!(tr.live_sampled(), 0);
+    }
+
+    #[test]
+    fn tracer_with_sampling_off_records_nothing() {
+        use cgn_trace::TraceConfig;
+        let mut n = nat(NatConfig::cgn_default());
+        // Phase profiling only: flow fire sites stay silent.
+        let cfg = TraceConfig {
+            sample_one_in: 0,
+            profile_phases: true,
+            ..TraceConfig::off()
+        };
+        n.set_tracer(Box::new(ShardTracer::new(0, &cfg)));
+        let _ = udp_out(&mut n, internal_host(1), server(), t(1));
+        n.sweep(t(400));
+        let tr = n.take_tracer().expect("tracer installed");
+        assert_eq!(tr.events().count(), 0);
+        assert_eq!(tr.sampled_flows(), 0);
+        // ... but the sweep phase recorded wall-clock.
+        assert_eq!(
+            tr.phases().histogram(cgn_trace::Phase::Sweep).count,
+            1,
+            "one sweep lap recorded"
+        );
+    }
+
+    #[test]
+    fn burst_pipeline_records_phase_laps_when_profiling() {
+        use cgn_trace::{Phase, TraceConfig};
+        let mut n = nat(NatConfig::cgn_default());
+        n.set_tracer(Box::new(ShardTracer::new(0, &TraceConfig::sampled(1))));
+        let pkts: Vec<Packet> = (1..=8)
+            .map(|i| Packet::udp(internal_host(i), server(), vec![1]))
+            .collect();
+        let verdicts = n.process_burst(pkts, t(1));
+        assert_eq!(verdicts.len(), 8);
+        let replies: Vec<Packet> = verdicts
+            .iter()
+            .map(|v| match v {
+                NatVerdict::Forward(p) => Packet::udp(server(), p.src, vec![1]),
+                v => panic!("expected Forward, got {v:?}"),
+            })
+            .collect();
+        n.process_inbound_burst(replies, t(2));
+        let tr = n.take_tracer().expect("tracer installed");
+        for phase in [
+            Phase::BurstResolve,
+            Phase::BurstPrefetch,
+            Phase::BurstTranslate,
+        ] {
+            assert_eq!(
+                tr.phases().histogram(phase).count,
+                2,
+                "one outbound + one inbound lap for {phase:?}"
+            );
+        }
+        // All 8 flows sampled at one-in-1; inbound replies recorded.
+        assert_eq!(tr.sampled_flows(), 8);
+        assert!(tr
+            .events()
+            .any(|e| matches!(e.kind, cgn_trace::SpanKind::TranslateIn)));
     }
 }

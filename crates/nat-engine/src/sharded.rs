@@ -181,6 +181,70 @@ impl ShardedNat {
         self.shards.iter_mut().map(|s| s.take_metrics()).collect()
     }
 
+    /// Install one flow/phase tracer per shard, in shard order (see
+    /// [`cgn_trace`]). Panics unless exactly one tracer per shard is
+    /// supplied.
+    pub fn set_tracers(&mut self, tracers: Vec<Box<cgn_trace::ShardTracer>>) {
+        assert_eq!(
+            tracers.len(),
+            self.shards.len(),
+            "one tracer per shard required"
+        );
+        for (shard, tracer) in self.shards.iter_mut().zip(tracers) {
+            shard.set_tracer(tracer);
+        }
+    }
+
+    /// Remove and return every shard's tracer, in shard order (`None`
+    /// for shards that had none installed).
+    pub fn take_tracers(&mut self) -> Vec<Option<Box<cgn_trace::ShardTracer>>> {
+        self.shards.iter_mut().map(|s| s.take_tracer()).collect()
+    }
+
+    /// Fleet-wide wall-clock phase profile: every shard tracer's
+    /// histograms merged in shard order. `None` when no shard has a
+    /// tracer installed. Strictly an annotation layer — callers must
+    /// only render it into published expositions, never into the
+    /// deterministic windowed snapshots.
+    pub fn phase_profile(&self) -> Option<cgn_trace::PhaseProfiler> {
+        let mut merged: Option<cgn_trace::PhaseProfiler> = None;
+        for shard in &self.shards {
+            if let Some(t) = shard.tracer() {
+                merged
+                    .get_or_insert_with(cgn_trace::PhaseProfiler::new)
+                    .merge(t.phases());
+            }
+        }
+        merged
+    }
+
+    /// Merged flight-recorder dump across shards, ordered by
+    /// `(shard, seq)` — a deterministic function of the run, ready for
+    /// [`cgn_trace::chrome_trace_json`]. `None` when no shard has a
+    /// tracer installed.
+    pub fn trace_dump(&self) -> Option<cgn_trace::TraceDump> {
+        let mut shards_seen = false;
+        let mut one_in = 0u32;
+        let per_shard: Vec<(Vec<cgn_trace::TraceEvent>, u64, u64)> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.tracer())
+            .map(|t| {
+                shards_seen = true;
+                one_in = one_in.max(t.sample_one_in());
+                (
+                    t.events().copied().collect(),
+                    t.evicted(),
+                    t.sampled_flows(),
+                )
+            })
+            .collect();
+        if !shards_seen {
+            return None;
+        }
+        Some(cgn_trace::TraceDump::from_shards(per_shard, one_in))
+    }
+
     /// Fleet-wide metrics snapshot: every shard's
     /// [`Nat::metrics_snapshot`] merged in shard order. `None` when no
     /// shard has a registry installed. Shard order — never thread

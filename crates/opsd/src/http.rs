@@ -15,9 +15,13 @@
 //!
 //! * `GET /metrics` — [`cgn_metrics::expo::render`] of the latest
 //!   merged cumulative snapshot (text format 0.0.4);
-//! * `GET /healthz` — the latest [`SessionHealth`] as JSON: simulated
+//! * `GET /healthz` — the latest [`SessionHealth`] as JSON — simulated
 //!   progress plus slab/arena/timer-wheel occupancy, the liveness
-//!   cross-section the soak gates are built on;
+//!   cross-section the soak gates are built on — with the server's own
+//!   `scrapes_served`/`scrape_errors` counters spliced in;
+//! * `GET /trace` — the latest published flight-recorder dump as
+//!   Chrome-trace JSON ([`cgn_trace::chrome_trace_json`]); an empty
+//!   dump until [`publish_trace`](OpsServer::publish_trace) is called;
 //! * anything else — `404`.
 //!
 //! [`scrape`] is the matching one-shot client, and
@@ -41,6 +45,7 @@ use std::time::Duration;
 struct Published {
     metrics_text: String,
     health_json: String,
+    trace_json: String,
 }
 
 /// Live scrape endpoint for one soak session. Bind, then call
@@ -52,6 +57,7 @@ pub struct OpsServer {
     published: Arc<Mutex<Published>>,
     stop: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -69,20 +75,24 @@ impl OpsServer {
         let published = Arc::new(Mutex::new(Published {
             metrics_text: String::new(),
             health_json: "{}".to_string(),
+            trace_json: cgn_trace::chrome_trace_json(&cgn_trace::TraceDump::default()),
         }));
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(AtomicU64::new(0));
         let handle = {
             let published = Arc::clone(&published);
             let stop = Arc::clone(&stop);
             let served = Arc::clone(&served);
-            std::thread::spawn(move || accept_loop(listener, &published, &stop, &served))
+            let errors = Arc::clone(&errors);
+            std::thread::spawn(move || accept_loop(listener, &published, &stop, &served, &errors))
         };
         Ok(OpsServer {
             addr,
             published,
             stop,
             served,
+            errors,
             handle: Some(handle),
         })
     }
@@ -95,6 +105,20 @@ impl OpsServer {
     /// Requests answered so far (any route, including 404s).
     pub fn scrapes_served(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests that failed mid-answer (short reads, broken pipes on
+    /// the response write) — the counter `/healthz` surfaces as
+    /// `scrape_errors`.
+    pub fn scrape_errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Swap in a fresh `/trace` body (Chrome-trace JSON, typically
+    /// [`cgn_trace::chrome_trace_json`] of the session's latest
+    /// [`cgn_traffic::DriverSession::trace_dump`]).
+    pub fn publish_trace(&self, trace_json: String) {
+        self.published.lock().expect("publish lock").trace_json = trace_json;
     }
 
     /// Swap in a fresh rendering of the session: `snapshot` becomes
@@ -132,12 +156,15 @@ fn accept_loop(
     published: &Mutex<Published>,
     stop: &AtomicBool,
     served: &AtomicU64,
+    errors: &AtomicU64,
 ) {
     while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
-                if answer(stream, published).is_ok() {
+                if answer(stream, published, served, errors).is_ok() {
                     served.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    errors.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -150,7 +177,12 @@ fn accept_loop(
 
 /// Read one request head, route on the path, write one response.
 /// `Connection: close` on everything — a scrape is one round trip.
-fn answer(mut stream: TcpStream, published: &Mutex<Published>) -> std::io::Result<()> {
+fn answer(
+    mut stream: TcpStream,
+    published: &Mutex<Published>,
+    served: &AtomicU64,
+    errors: &AtomicU64,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut head = Vec::with_capacity(512);
@@ -178,7 +210,16 @@ fn answer(mut stream: TcpStream, published: &Mutex<Published>) -> std::io::Resul
         }
         "/healthz" => {
             let p = published.lock().expect("serve lock");
-            ("200 OK", "application/json", p.health_json.clone())
+            let body = splice_server_counters(
+                &p.health_json,
+                served.load(Ordering::Relaxed),
+                errors.load(Ordering::Relaxed),
+            );
+            ("200 OK", "application/json", body)
+        }
+        "/trace" => {
+            let p = published.lock().expect("serve lock");
+            ("200 OK", "application/json", p.trace_json.clone())
         }
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     };
@@ -188,6 +229,26 @@ fn answer(mut stream: TcpStream, published: &Mutex<Published>) -> std::io::Resul
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
+}
+
+/// Splice the server's own request counters into a published
+/// `/healthz` JSON object: downstream parsers that deserialize the
+/// body as [`SessionHealth`] ignore the extra keys, while operators
+/// (and the round-trip test) read `scrapes_served`/`scrape_errors`
+/// alongside the session fields.
+fn splice_server_counters(health_json: &str, served: u64, errors: u64) -> String {
+    let trimmed = health_json.trim_end();
+    match trimmed.strip_suffix('}') {
+        Some(head) => {
+            let comma = if head.trim_end().ends_with('{') {
+                ""
+            } else {
+                ","
+            };
+            format!("{head}{comma}\"scrapes_served\":{served},\"scrape_errors\":{errors}}}")
+        }
+        None => trimmed.to_string(),
+    }
 }
 
 /// One-shot scrape client: `GET {path}` against `addr`, returning the
@@ -312,11 +373,84 @@ mod tests {
         let health_body = scrape(server.local_addr(), "/healthz").expect("scrape /healthz");
         let parsed: SessionHealth = serde_json::from_str(&health_body).expect("health parses");
         assert_eq!(parsed, health);
+        // The server splices its own counters into the same object;
+        // deserializing as SessionHealth above proved extra keys are
+        // harmless.
+        assert!(
+            health_body.contains("\"windows_evicted\":3"),
+            "{health_body}"
+        );
+        assert!(health_body.contains("\"scrapes_served\":"), "{health_body}");
+        assert!(health_body.contains("\"scrape_errors\":0"), "{health_body}");
 
         let err = scrape(server.local_addr(), "/nope").expect_err("404 is an error");
         assert_eq!(err.kind(), ErrorKind::InvalidData);
 
         assert_eq!(server.shutdown(), 3, "three requests served");
+    }
+
+    #[test]
+    fn trace_endpoint_serves_published_chrome_json() {
+        let server = OpsServer::bind("127.0.0.1:0").expect("bind");
+        // Before any publish: an empty, parseable dump.
+        let body = scrape(server.local_addr(), "/trace").expect("scrape /trace");
+        let v: serde_json::Value = serde_json::from_str(&body).expect("empty dump parses");
+        drop(v);
+
+        let mut tracer = cgn_trace::ShardTracer::new(0, &cgn_trace::TraceConfig::sampled(1));
+        tracer.on_admit(
+            3,
+            cgn_trace::FlowKey {
+                udp: true,
+                internal_ip: std::net::Ipv4Addr::new(100, 64, 0, 1),
+                internal_port: 40_000,
+                external_ip: std::net::Ipv4Addr::new(198, 18, 0, 1),
+                external_port: 1024,
+            },
+            10,
+            true,
+        );
+        tracer.on_expire(3, 500);
+        let dump = cgn_trace::TraceDump::from_shards(
+            [(
+                tracer.events().copied().collect(),
+                tracer.evicted(),
+                tracer.sampled_flows(),
+            )],
+            1,
+        );
+        server.publish_trace(cgn_trace::chrome_trace_json(&dump));
+        let body = scrape(server.local_addr(), "/trace").expect("scrape /trace");
+        assert!(body.contains("\"ph\":\"X\""), "lifetime bar served: {body}");
+        assert!(body.contains(cgn_trace::CHROME_SCHEMA), "{body}");
+        let _: serde_json::Value = serde_json::from_str(&body).expect("published dump parses");
+    }
+
+    #[test]
+    fn broken_requests_count_as_scrape_errors() {
+        let server = OpsServer::bind("127.0.0.1:0").expect("bind");
+        let (snap, health) = sample_state();
+        server.publish(&snap, &health);
+        assert_eq!(server.scrape_errors(), 0);
+
+        // A client that connects and hangs up without a request: the
+        // answer path hits EOF/EPIPE and the error counter moves.
+        drop(TcpStream::connect(server.local_addr()).expect("connect"));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.scrape_errors() + server.scrapes_served() == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // The error (or, if the dropped connection still answered, the
+        // served counter) surfaces in the next /healthz body.
+        let errors = server.scrape_errors();
+        let body = scrape(server.local_addr(), "/healthz").expect("scrape");
+        assert!(
+            body.contains(&format!("\"scrape_errors\":{errors}")),
+            "healthz surfaces the live counter: {body}"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@
 use crate::http::{self, OpsServer};
 use cgn_metrics::Value;
 use cgn_telemetry::RotatingFileSink;
+use cgn_trace::TraceConfig;
 use cgn_traffic::{DriverConfig, DriverSession, MetricsWindow, SessionHealth, WorkloadMix};
 use nat_engine::telemetry::{EventSink, TelemetryMode};
 use serde::{Deserialize, Serialize};
@@ -162,6 +163,19 @@ pub struct SoakConfig {
     pub event_log_stem: Option<PathBuf>,
     /// Rotation threshold per generation.
     pub event_log_generation_bytes: u64,
+    /// Flow-lifecycle tracing / phase profiling for the session
+    /// ([`cgn_traffic::DriverConfig::trace`]). When enabled, phase
+    /// percentiles ride the published `/metrics` exposition, the
+    /// flight recorder serves on `/trace`, and a failing exit gate
+    /// auto-dumps the recorder to
+    /// [`trace_dump_path`](SoakConfig::trace_dump_path). `off` (the
+    /// default) keeps the
+    /// hot path on its untaken-branch cost.
+    pub trace: TraceConfig,
+    /// Destination for the gate-trip flight-recorder dump
+    /// (Chrome-trace JSON). Only written when tracing is enabled and
+    /// at least one exit gate fails.
+    pub trace_dump_path: Option<PathBuf>,
     pub gates: GateThresholds,
 }
 
@@ -185,6 +199,8 @@ impl SoakConfig {
             stats_path: None,
             event_log_stem: None,
             event_log_generation_bytes: 8 * 1024 * 1024,
+            trace: TraceConfig::off(),
+            trace_dump_path: None,
             gates: GateThresholds::default(),
         }
     }
@@ -243,6 +259,7 @@ impl SoakConfig {
         d.sweep_secs = self.sweep_secs;
         d.metrics_window_secs = Some(self.window_secs);
         d.inbound_reply_permille = self.inbound_reply_permille;
+        d.trace = self.trace;
         // Event logs (if any) go through externally-installed rotating
         // sinks; the driver's own in-memory logging stays off.
         d.telemetry = TelemetryMode::Off;
@@ -307,6 +324,9 @@ pub struct SoakReport {
     /// Series confirmed by that scrape.
     pub scrape_series_verified: u64,
     pub event_log: Option<EventLogVolume>,
+    /// Where the flight recorder was dumped because a gate tripped
+    /// (`None`: gates passed, tracing off, or no path configured).
+    pub trace_dump_written: Option<String>,
     pub gates: Vec<GateResult>,
     pub all_gates_passed: bool,
     // Wall-clock (excluded from determinism comparisons).
@@ -409,7 +429,20 @@ pub fn run(config: &SoakConfig) -> std::io::Result<SoakReport> {
                 emit_row(&row, &mut stats_out)?;
             }
             if let (Some(server), Some(snap)) = (&server, session.latest_snapshot()) {
-                server.publish(snap, &health);
+                // Wall-clock phase percentiles ride the published
+                // exposition only — the windowed stream and its digest
+                // stay deterministic.
+                match session.phase_profile() {
+                    Some(profile) => {
+                        let mut published = snap.clone();
+                        profile.render_into(&mut published);
+                        server.publish(&published, &health);
+                    }
+                    None => server.publish(snap, &health),
+                }
+                if let Some(dump) = session.trace_dump() {
+                    server.publish_trace(cgn_trace::chrome_trace_json(&dump));
+                }
             }
         }
         if warm.is_none() && now >= warmup_secs {
@@ -474,7 +507,16 @@ pub fn run(config: &SoakConfig) -> std::io::Result<SoakReport> {
     // checked series-for-series against the merged snapshot.
     let (scrape_verified, scrape_series_verified) = match &server {
         Some(server) => {
-            server.publish(&final_snapshot, &final_health);
+            // Same overlay at exit: extra phase lines never break the
+            // snapshot-subset check in `verify_scrape`.
+            match session.phase_profile() {
+                Some(profile) => {
+                    let mut published = final_snapshot.clone();
+                    profile.render_into(&mut published);
+                    server.publish(&published, &final_health);
+                }
+                None => server.publish(&final_snapshot, &final_health),
+            }
             match http::scrape(server.local_addr(), "/metrics") {
                 Ok(body) => match http::verify_scrape(&body, &final_snapshot) {
                     Ok(n) => (midrun_scrape_ok, n),
@@ -486,6 +528,7 @@ pub fn run(config: &SoakConfig) -> std::io::Result<SoakReport> {
         None => (false, 0),
     };
 
+    let trace_dump = session.trace_dump();
     let (summary, _logs) = session.finish();
 
     // Stream the retained tail (the windows still in the ring at
@@ -568,6 +611,16 @@ pub fn run(config: &SoakConfig) -> std::io::Result<SoakReport> {
     }
     let all_gates_passed = gates.iter().all(|g| g.passed);
 
+    // Flight-recorder post-mortem: a tripped gate dumps the sampled
+    // flow history (Chrome-trace JSON) for offline triage.
+    let trace_dump_written = match (&trace_dump, &config.trace_dump_path, all_gates_passed) {
+        (Some(dump), Some(path), false) => {
+            std::fs::write(path, cgn_trace::chrome_trace_json(dump))?;
+            Some(path.display().to_string())
+        }
+        _ => None,
+    };
+
     let scrapes_served = server.map(OpsServer::shutdown).unwrap_or(0);
     let wall_secs = started.elapsed().as_secs_f64();
     Ok(SoakReport {
@@ -603,6 +656,7 @@ pub fn run(config: &SoakConfig) -> std::io::Result<SoakReport> {
         scrape_verified,
         scrape_series_verified,
         event_log,
+        trace_dump_written,
         gates,
         all_gates_passed,
         wall_secs,
@@ -691,6 +745,62 @@ mod tests {
             .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
             .sum();
         assert_eq!(on_disk, volume.bytes, "generation files hold every byte");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Tracing on: phase percentiles ride the live exposition, the
+    /// flight recorder serves on `/trace`, and every deterministic
+    /// report field matches the tracing-off run bit for bit.
+    #[test]
+    fn traced_soak_publishes_phases_and_stays_deterministic() {
+        let off = run(&tiny(2)).expect("soak runs");
+
+        let mut config = tiny(2);
+        config.trace = TraceConfig::sampled(16);
+        config.listen = Some("127.0.0.1:0".to_string());
+        let report = run(&config).expect("soak runs");
+        assert!(report.all_gates_passed, "gates: {:#?}", report.gates);
+        assert!(
+            report.scrape_verified,
+            "published exposition (with phase overlay) still verifies \
+             series-for-series against the deterministic snapshot"
+        );
+        assert_eq!(report.window_stream_digest, off.window_stream_digest);
+        assert_eq!(report.flows_started, off.flows_started);
+        assert_eq!(report.packets_sent, off.packets_sent);
+        assert_eq!(report.trace_dump_written, None, "no gate tripped");
+    }
+
+    /// A tripped gate dumps the flight recorder for post-mortem.
+    #[test]
+    fn gate_trip_dumps_flight_recorder() {
+        let dir = std::env::temp_dir().join(format!("cgn-opsd-trip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut config = tiny(1);
+        config.trace = TraceConfig::sampled(8);
+        config.trace_dump_path = Some(dir.join("postmortem.json"));
+        // An impossible balance bound guarantees a gate failure.
+        config.gates.max_window_imbalance = 0.0;
+
+        let report = run(&config).expect("soak runs");
+        assert!(!report.all_gates_passed, "gate must trip");
+        let path = report.trace_dump_written.as_ref().expect("dump written");
+        let text = std::fs::read_to_string(path).expect("dump readable");
+        let v: serde_json::Value = serde_json::from_str(&text).expect("chrome JSON parses");
+        drop(v);
+        assert!(text.contains(cgn_trace::CHROME_SCHEMA));
+        assert!(
+            text.contains("\"ph\":\"i\""),
+            "sampled spans present in the post-mortem"
+        );
+
+        // Tracing off (or no path): no dump even on failure.
+        let mut config = tiny(1);
+        config.gates.max_window_imbalance = 0.0;
+        let report = run(&config).expect("soak runs");
+        assert!(!report.all_gates_passed);
+        assert_eq!(report.trace_dump_written, None);
 
         std::fs::remove_dir_all(&dir).ok();
     }

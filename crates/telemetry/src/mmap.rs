@@ -1,0 +1,401 @@
+//! A memory-mapped file writer and the [`EventSink`] built on it.
+//!
+//! [`WriteSink`] pays one `write(2)` per record and
+//! [`BufferedWriteSink`](crate::BufferedWriteSink) one per buffer
+//! fill; [`MmapWriteSink`] removes the write syscalls entirely. The
+//! destination file is preallocated with `ftruncate`, mapped
+//! `MAP_SHARED`, and records are memcpy'd straight into the mapping —
+//! the kernel writes pages back on its own schedule, and the steady
+//! state costs no syscalls at all. When the mapping fills, the file
+//! is grown by another `ftruncate` (doubling, so growth is O(log n)
+//! remaps for an n-byte log) and remapped; [`MmapWriteSink::finish`]
+//! unmaps and trims the preallocation down to the bytes actually
+//! written, so the finished file is byte-identical to what
+//! [`BinaryLogSink`](crate::BinaryLogSink) would have accumulated in
+//! memory (pinned by the 4-way differential test in `sink.rs`).
+//!
+//! `mmap`/`munmap` are raw syscalls on Linux/x86-64 (same
+//! no-new-dependencies discipline as the engine's arena); every other
+//! platform falls back to plain `write(2)` calls against the same
+//! file, keeping the API and the byte stream identical.
+
+use crate::sink::WriteSink;
+use nat_engine::telemetry::{BlockEvent, EventSink, MappingEvent, TelemetryMode};
+use std::any::Any;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Default preallocation: one arena-sized chunk. Big enough that a
+/// CI-scale run never remaps, small enough to be invisible on disk
+/// (the trailing zeros are a sparse hole until pages are dirtied).
+pub const DEFAULT_PREALLOC_BYTES: usize = 2 * 1024 * 1024;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sys {
+    use std::io;
+
+    /// `mmap(NULL, len, PROT_READ|PROT_WRITE, MAP_SHARED, fd, 0)`.
+    pub unsafe fn mmap(len: usize, fd: i32) -> io::Result<*mut u8> {
+        const SYS_MMAP: u64 = 9;
+        const PROT_READ_WRITE: u64 = 0x3;
+        const MAP_SHARED: u64 = 0x1;
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MMAP => ret,
+            in("rdi") 0u64,
+            in("rsi") len,
+            in("rdx") PROT_READ_WRITE,
+            in("r10") MAP_SHARED,
+            in("r8") fd as i64,
+            in("r9") 0u64,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as *mut u8)
+        }
+    }
+
+    /// `munmap(ptr, len)`.
+    pub unsafe fn munmap(ptr: *mut u8, len: usize) -> io::Result<()> {
+        const SYS_MUNMAP: u64 = 11;
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_MUNMAP => ret,
+            in("rdi") ptr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The raw fd behind a [`std::fs::File`].
+    pub fn fd(file: &std::fs::File) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        file.as_raw_fd()
+    }
+}
+
+/// An `io::Write` over a memory-mapped, `ftruncate`-preallocated
+/// file. Writes are memcpys into the mapping; growth doubles the file
+/// and remaps; [`MmapWriter::finish`] unmaps and trims the file to
+/// the written length. On non-Linux/x86-64 targets the same API
+/// degrades to buffered `write(2)` calls (no mapping, `remaps` stays
+/// 0), producing the identical byte stream.
+#[derive(Debug)]
+pub struct MmapWriter {
+    file: File,
+    /// Mapping base; null on the portable fallback (and after
+    /// `finish`).
+    ptr: *mut u8,
+    /// Mapped (= preallocated) bytes; 0 on the fallback.
+    mapped: usize,
+    /// Bytes written so far — the cursor, and the final file length.
+    written: usize,
+    /// Grow-and-remap cycles paid so far.
+    remaps: u64,
+}
+
+// SAFETY: the mapping is exclusively owned by this writer (private
+// pointer, no aliasing handed out), so moving or sharing the struct
+// across threads is as safe as moving the File itself.
+unsafe impl Send for MmapWriter {}
+unsafe impl Sync for MmapWriter {}
+
+impl MmapWriter {
+    /// Create (truncating) `path`, preallocate `capacity` bytes and
+    /// map them. A zero capacity rounds up to one page's worth of
+    /// usefulness ([`DEFAULT_PREALLOC_BYTES`] is the sensible
+    /// default).
+    pub fn create(path: &Path, capacity: usize) -> io::Result<MmapWriter> {
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let capacity = capacity.max(4096);
+        let mut w = MmapWriter {
+            file,
+            ptr: std::ptr::null_mut(),
+            mapped: 0,
+            written: 0,
+            remaps: 0,
+        };
+        w.map_to(capacity)?;
+        Ok(w)
+    }
+
+    /// Preallocated bytes currently mapped (0 on the fallback path).
+    pub fn mapped(&self) -> usize {
+        self.mapped
+    }
+
+    /// Bytes written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Grow-and-remap cycles paid so far (0 until the first overflow,
+    /// and always 0 on the fallback path).
+    pub fn remaps(&self) -> u64 {
+        self.remaps
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    fn map_to(&mut self, capacity: usize) -> io::Result<()> {
+        self.unmap()?;
+        self.file.set_len(capacity as u64)?;
+        self.ptr = unsafe { sys::mmap(capacity, sys::fd(&self.file))? };
+        self.mapped = capacity;
+        Ok(())
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    fn unmap(&mut self) -> io::Result<()> {
+        if !self.ptr.is_null() {
+            let (ptr, len) = (self.ptr, self.mapped);
+            self.ptr = std::ptr::null_mut();
+            self.mapped = 0;
+            unsafe { sys::munmap(ptr, len)? };
+        }
+        Ok(())
+    }
+
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    fn map_to(&mut self, _capacity: usize) -> io::Result<()> {
+        Ok(()) // fallback: plain writes, no mapping
+    }
+
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    fn unmap(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Unmap and trim the preallocation to the bytes written, leaving
+    /// the file byte-identical to the logical stream. Consumes the
+    /// writer; the file handle is returned for callers that want to
+    /// fsync or reread.
+    pub fn finish(mut self) -> io::Result<File> {
+        self.unmap()?;
+        self.file.set_len(self.written as u64)?;
+        // Drop still runs on `self`, but unmap is now a no-op and the
+        // trim is idempotent; cloning the handle is the cheap way to
+        // hand the file out of a type with a Drop impl.
+        self.file.try_clone()
+    }
+}
+
+impl Drop for MmapWriter {
+    fn drop(&mut self) {
+        let _ = self.unmap();
+        let _ = self.file.set_len(self.written as u64);
+    }
+}
+
+impl Write for MmapWriter {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    fn write(&mut self, chunk: &[u8]) -> io::Result<usize> {
+        if self.written + chunk.len() > self.mapped {
+            // ftruncate growth: double until the chunk fits, so an
+            // n-byte log pays O(log n) remaps total.
+            let mut target = self.mapped.max(4096);
+            while self.written + chunk.len() > target {
+                target *= 2;
+            }
+            self.map_to(target)?;
+            self.remaps += 1;
+        }
+        // SAFETY: `written + chunk.len() <= mapped` after the growth
+        // above, and the mapping is private to this writer.
+        unsafe {
+            std::ptr::copy_nonoverlapping(chunk.as_ptr(), self.ptr.add(self.written), chunk.len());
+        }
+        self.written += chunk.len();
+        Ok(chunk.len())
+    }
+
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    fn write(&mut self, chunk: &[u8]) -> io::Result<usize> {
+        self.file.write_all(chunk)?;
+        self.written += chunk.len();
+        Ok(chunk.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // Dirty pages are the kernel's to write back; nothing buffered
+        // in userspace.
+        Ok(())
+    }
+}
+
+/// The mmap-backed [`EventSink`]: the same event semantics, counters,
+/// sticky-error behaviour, and **byte-identical** output stream as
+/// [`WriteSink`], but records land in a
+/// memory-mapped preallocated file — zero write syscalls in steady
+/// state. [`finish`](MmapWriteSink::finish) trims the preallocation,
+/// so the file on disk ends exactly at the last record.
+#[derive(Debug)]
+pub struct MmapWriteSink {
+    inner: WriteSink<MmapWriter>,
+}
+
+impl MmapWriteSink {
+    /// Create (truncating) `path` with `capacity` preallocated bytes.
+    pub fn create(mode: TelemetryMode, path: &Path, capacity: usize) -> io::Result<MmapWriteSink> {
+        Ok(MmapWriteSink {
+            inner: WriteSink::new(mode, MmapWriter::create(path, capacity)?),
+        })
+    }
+
+    pub fn mode(&self) -> TelemetryMode {
+        self.inner.mode()
+    }
+
+    /// Records successfully encoded into the mapping.
+    pub fn records_written(&self) -> u64 {
+        self.inner.records_written()
+    }
+
+    /// Encoded bytes memcpy'd into the mapping.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    /// Records dropped after the sink went sticky-failed.
+    pub fn records_dropped(&self) -> u64 {
+        self.inner.records_dropped()
+    }
+
+    /// The first I/O error, if any (mapping growth is the only
+    /// fallible step on the hot path).
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.inner.io_error()
+    }
+
+    /// Grow-and-remap cycles the log's size has cost so far.
+    pub fn remaps(&self) -> u64 {
+        self.inner.writer().remaps()
+    }
+
+    /// Unmap, trim the file to the written length, and return the
+    /// handle — or the first error the sink swallowed.
+    pub fn finish(self) -> io::Result<File> {
+        self.inner.finish()?.finish()
+    }
+
+    /// Recover an `MmapWriteSink` from the boxed trait object the
+    /// engine hands back (`Nat::take_sink`).
+    pub fn from_sink(sink: Box<dyn EventSink>) -> Option<MmapWriteSink> {
+        sink.into_any().downcast::<MmapWriteSink>().ok().map(|b| *b)
+    }
+}
+
+impl EventSink for MmapWriteSink {
+    fn mapping_created(&mut self, event: &MappingEvent) {
+        self.inner.mapping_created(event);
+    }
+
+    fn mapping_expired(&mut self, event: &MappingEvent) {
+        self.inner.mapping_expired(event);
+    }
+
+    fn block_allocated(&mut self, event: &BlockEvent) {
+        self.inner.block_allocated(event);
+    }
+
+    fn block_released(&mut self, event: &BlockEvent) {
+        self.inner.block_released(event);
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+
+    fn volume(&self) -> Option<(u64, u64)> {
+        Some((self.records_written(), self.bytes_written()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netcore::{ip, Endpoint, Protocol, SimTime};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cgn-mmap-{}-{name}.bin", std::process::id()))
+    }
+
+    fn mapping_event(port: u16, secs: u64) -> MappingEvent {
+        MappingEvent {
+            at: SimTime::from_secs(secs),
+            proto: Protocol::Udp,
+            internal: Endpoint::new(ip(100, 64, 0, 1), 40_000),
+            external: Endpoint::new(ip(198, 51, 100, 1), port),
+        }
+    }
+
+    /// Growth is by ftruncate + remap, and finish trims the
+    /// preallocation so the file ends exactly at the last record.
+    #[test]
+    fn grows_by_ftruncate_and_trims_on_finish() {
+        let path = tmp("grow");
+        let mut sink = MmapWriteSink::create(TelemetryMode::PerConnection, &path, 4096)
+            .expect("create mapped sink");
+        let mut mem = crate::BinaryLogSink::new(TelemetryMode::PerConnection);
+        for k in 0..2000u16 {
+            let e = mapping_event(1024 + (k % 8000), k as u64);
+            sink.mapping_created(&e);
+            mem.mapping_created(&e);
+        }
+        assert!(sink.io_error().is_none());
+        assert_eq!(sink.records_written(), 2000);
+        assert!(
+            sink.bytes_written() > 4096,
+            "must outgrow the initial preallocation"
+        );
+        #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+        assert!(sink.remaps() >= 1, "growth goes through remap");
+        let expected_len = sink.bytes_written();
+        let file = sink.finish().expect("finish trims");
+        assert_eq!(
+            file.metadata().expect("metadata").len(),
+            expected_len,
+            "preallocation trimmed to the written bytes"
+        );
+        let bytes = std::fs::read(&path).expect("read back");
+        assert_eq!(bytes.as_slice(), mem.log().bytes(), "byte-identical");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Dropping without finish still trims (best effort), so aborted
+    /// runs don't leave gigabytes of sparse preallocation behind.
+    #[test]
+    fn drop_trims_the_preallocation() {
+        let path = tmp("drop");
+        {
+            let mut sink = MmapWriteSink::create(TelemetryMode::PerConnection, &path, 65536)
+                .expect("create mapped sink");
+            sink.mapping_created(&mapping_event(1024, 1));
+            assert!(sink.bytes_written() > 0);
+        } // dropped un-finished
+        let len = std::fs::metadata(&path).expect("file exists").len();
+        assert!(
+            len > 0 && len < 65536,
+            "drop trimmed the preallocation, kept the records ({len})"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

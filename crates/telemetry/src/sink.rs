@@ -258,6 +258,12 @@ impl<W: Write + Send + Sync> WriteSink<W> {
         self.io_error.as_ref()
     }
 
+    /// The destination writer (for writer-specific counters, e.g.
+    /// [`crate::MmapWriter::remaps`]).
+    pub fn writer(&self) -> &W {
+        &self.out
+    }
+
     /// Flush the writer and return it, or the first error the sink
     /// swallowed (write-side or flush-side).
     pub fn finish(mut self) -> std::io::Result<W> {
@@ -645,6 +651,14 @@ mod tests {
             .into_any()
             .downcast::<BufferedWriteSink<Vec<u8>>>()
             .expect("type");
+        let mmap_path =
+            std::env::temp_dir().join(format!("cgn-mmap-differential-{}.bin", std::process::id()));
+        let mut mmap_nat = run(Box::new(
+            crate::MmapWriteSink::create(TelemetryMode::PerConnection, &mmap_path, 4096)
+                .expect("create mapped sink"),
+        ));
+        let mapped = crate::MmapWriteSink::from_sink(mmap_nat.take_sink().expect("installed"))
+            .expect("type");
         assert!(mem.log().records() > 0, "the run must log something");
         assert!(
             buffered.drains() < buffered.records_written(),
@@ -652,8 +666,12 @@ mod tests {
         );
         let bytes = streamed.finish().expect("no I/O error");
         let buf_bytes = buffered.finish().expect("no I/O error");
+        mapped.finish().expect("no I/O error");
+        let mmap_bytes = std::fs::read(&mmap_path).expect("read mapped file back");
+        let _ = std::fs::remove_file(&mmap_path);
         assert_eq!(bytes.as_slice(), mem.log().bytes());
         assert_eq!(buf_bytes, bytes, "buffered stream byte-identical");
+        assert_eq!(mmap_bytes, bytes, "mapped file byte-identical");
         assert_eq!(
             crate::codec::decode_bytes(&bytes).expect("decodes"),
             mem.log().decode().expect("decodes")

@@ -1,0 +1,241 @@
+//! Chrome-trace / Perfetto JSON dumps of the flight recorder.
+//!
+//! The JSON object format (`{"traceEvents": […]}`) loads directly in
+//! `chrome://tracing` and Perfetto. We emit one process per shard,
+//! one thread per sampled flow, a `ph:"X"` complete event for each
+//! flow whose admit *and* expire are both still in the ring, and a
+//! `ph:"i"` instant per recorded span. Timestamps are sim-time
+//! microseconds, so a dump is a deterministic function of the run —
+//! wall-clock never appears.
+//!
+//! The writer is hand-rolled (every field is a number or a string we
+//! construct, so no escaping subtleties); tests parse the output with
+//! `serde_json` to pin the structure.
+
+use crate::flow::{SpanKind, TraceEvent};
+use std::fmt::Write;
+
+/// Schema tag embedded in the dump's `otherData`.
+pub const CHROME_SCHEMA: &str = "cgn-trace-chrome/1";
+
+/// A merged, dump-ready view of every shard's flight recorder.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDump {
+    /// Events from all shards, ordered by `(shard, seq)`.
+    pub events: Vec<TraceEvent>,
+    /// Total ring evictions across shards (lost history).
+    pub evicted: u64,
+    /// Total flows that passed the sampling decision.
+    pub sampled_flows: u64,
+    /// The sampling rate the run used (one in N; 0 = off).
+    pub sample_one_in: u32,
+}
+
+impl TraceDump {
+    /// Build from per-shard event streams (any order; re-sorted).
+    pub fn from_shards<I>(shards: I, sample_one_in: u32) -> TraceDump
+    where
+        I: IntoIterator<Item = (Vec<TraceEvent>, u64, u64)>,
+    {
+        let mut dump = TraceDump {
+            sample_one_in,
+            ..TraceDump::default()
+        };
+        for (events, evicted, sampled) in shards {
+            dump.events.extend(events);
+            dump.evicted += evicted;
+            dump.sampled_flows += sampled;
+        }
+        dump.events.sort_by_key(|e| (e.shard, e.seq));
+        dump
+    }
+}
+
+/// Truncated flow id for the `tid` field (Chrome wants a plain JSON
+/// number; 2^53 precision makes the full 64-bit id unsafe there — the
+/// full id travels in `args.flow` as hex).
+fn tid(id: u64) -> u32 {
+    (id ^ (id >> 32)) as u32
+}
+
+/// Render a [`TraceDump`] as Chrome-trace JSON.
+pub fn chrome_trace_json(dump: &TraceDump) -> String {
+    let mut out = String::with_capacity(128 + dump.events.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
+    let _ = write!(
+        out,
+        "\"schema\":\"{CHROME_SCHEMA}\",\"evicted\":{},\"sampled_flows\":{},\"sample_one_in\":{}",
+        dump.evicted, dump.sampled_flows, dump.sample_one_in
+    );
+    out.push_str("},\"traceEvents\":[");
+    let mut first = true;
+    let mut comma = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    // Complete ("X") events: one bar per flow whose admit and expire
+    // both survived in the ring.
+    let mut open: Vec<(u64, &TraceEvent)> = Vec::new();
+    for e in &dump.events {
+        match e.kind {
+            SpanKind::Admit => open.push((e.key.id(), e)),
+            SpanKind::Expire => {
+                let id = e.key.id();
+                if let Some(pos) = open
+                    .iter()
+                    .rposition(|(i, a)| *i == id && a.shard == e.shard)
+                {
+                    let (_, admit) = open.swap_remove(pos);
+                    comma(&mut out);
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"flow\",\"cat\":\"lifecycle\",\"ph\":\"X\",\
+                         \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\
+                         \"flow\":\"{:016x}\",\"proto\":\"{}\",\
+                         \"internal\":\"{}:{}\",\"external\":\"{}:{}\"}}}}",
+                        admit.at_ms * 1000,
+                        (e.at_ms - admit.at_ms) * 1000,
+                        e.shard,
+                        tid(id),
+                        id,
+                        if e.key.udp { "udp" } else { "tcp" },
+                        e.key.internal_ip,
+                        e.key.internal_port,
+                        e.key.external_ip,
+                        e.key.external_port,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Instant ("i") events: every recorded span, thread-scoped.
+    for e in &dump.events {
+        comma(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{},\"pid\":{},\"tid\":{}}}",
+            e.kind.name(),
+            e.at_ms * 1000,
+            e.shard,
+            tid(e.key.id()),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{FlowKey, ShardTracer, TraceConfig};
+    use std::net::Ipv4Addr;
+
+    fn traced_shard(shard: u32) -> (Vec<TraceEvent>, u64, u64) {
+        let mut t = ShardTracer::new(shard, &TraceConfig::sampled(1));
+        let k = FlowKey {
+            udp: shard % 2 == 0,
+            internal_ip: Ipv4Addr::new(10, 0, shard as u8, 1),
+            internal_port: 5000,
+            external_ip: Ipv4Addr::new(198, 51, 100, 1),
+            external_port: 40000,
+        };
+        t.on_admit(1, k, 10 + shard as u64, true);
+        t.on_translate(1, 20, true);
+        t.on_expire(1, 250);
+        (
+            t.events().copied().collect(),
+            t.evicted(),
+            t.sampled_flows(),
+        )
+    }
+
+    #[test]
+    fn dump_merges_shards_in_deterministic_order() {
+        let dump = TraceDump::from_shards([traced_shard(1), traced_shard(0)], 1);
+        assert_eq!(dump.sampled_flows, 2);
+        let shards: Vec<u32> = dump.events.iter().map(|e| e.shard).collect();
+        let mut sorted = shards.clone();
+        sorted.sort_unstable();
+        assert_eq!(shards, sorted, "events ordered by shard then seq");
+    }
+
+    use serde_json::Value;
+
+    fn field<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+        match v {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(v: &Value) -> Option<u64> {
+        match v {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    fn as_str(v: &Value) -> Option<&str> {
+        match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn chrome_json_is_structurally_valid() {
+        let dump = TraceDump::from_shards([traced_shard(0), traced_shard(1)], 10);
+        let json = chrome_trace_json(&dump);
+        let v: Value = serde_json::from_str(&json).expect("dump parses as JSON");
+        let events = match field(&v, "traceEvents") {
+            Some(Value::Seq(items)) => items,
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        };
+        // 2 shards × (1 X event + 5 instants: admit/block/translate/refresh/expire).
+        assert_eq!(events.len(), 2 * 6);
+        let complete: Vec<&Value> = events
+            .iter()
+            .filter(|e| field(e, "ph").and_then(as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2, "one lifetime bar per closed flow");
+        for e in &complete {
+            let pid = field(e, "pid").and_then(as_u64).expect("pid");
+            assert_eq!(
+                field(e, "dur").and_then(as_u64),
+                Some((250 - 10 - pid) * 1000),
+                "durations are sim-time microseconds"
+            );
+            assert!(
+                field(e, "args")
+                    .and_then(|a| field(a, "internal"))
+                    .is_some(),
+                "flow bars carry endpoint args"
+            );
+        }
+        for e in events {
+            for name in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(field(e, name).is_some(), "every event has {name}: {e:?}");
+            }
+        }
+        let schema = field(&v, "otherData").and_then(|d| field(d, "schema"));
+        assert_eq!(schema.and_then(as_str), Some(CHROME_SCHEMA));
+    }
+
+    #[test]
+    fn empty_dump_still_parses() {
+        let json = chrome_trace_json(&TraceDump::default());
+        let v: Value = serde_json::from_str(&json).expect("parses");
+        match field(&v, "traceEvents") {
+            Some(Value::Seq(items)) => assert!(items.is_empty()),
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Wall-clock phase profiler: where hot-path time goes.
+//!
+//! Phases are the fixed pipeline regions worth attributing wall-clock
+//! to — the driver's per-millisecond passes and barrier duties, and
+//! the burst pipeline's three passes inside the engine. Each phase
+//! owns a log2 [`Histogram`] of nanoseconds; shards record into their
+//! own profiler (no synchronization) and profiles merge in shard
+//! order at render time, exactly like snapshots.
+//!
+//! Wall-clock durations are inherently nondeterministic, so a
+//! [`PhaseProfiler`] must never feed anything a run digest covers:
+//! callers render it into *published* expositions (`/metrics`, perf
+//! artifacts) only. The deterministic windowed metrics path does not
+//! see it.
+
+use cgn_metrics::{Histogram, Snapshot, Value};
+use serde::{Deserialize, Serialize};
+
+/// One attributed pipeline region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Driver pass 1: draw flow events, build the packet batch.
+    Generate,
+    /// Driver pass 2: outbound bursts through the engine.
+    Translate,
+    /// Driver pass 3: apply verdicts in event order, schedule replies.
+    Commit,
+    /// Driver reply leg: inbound bursts through the engine.
+    Inbound,
+    /// Sweep barrier: expiry wheel advance + mapping teardown.
+    Sweep,
+    /// Sample barrier: demand sampling + snapshot merge.
+    Sample,
+    /// Burst pass 1: out-key packing + index hint resolution.
+    BurstResolve,
+    /// Burst pass 2: slot-sorted software prefetch sweep.
+    BurstPrefetch,
+    /// Burst pass 3: in-order translate.
+    BurstTranslate,
+}
+
+impl Phase {
+    /// Every phase, in render order.
+    pub const ALL: [Phase; 9] = [
+        Phase::Generate,
+        Phase::Translate,
+        Phase::Commit,
+        Phase::Inbound,
+        Phase::Sweep,
+        Phase::Sample,
+        Phase::BurstResolve,
+        Phase::BurstPrefetch,
+        Phase::BurstTranslate,
+    ];
+
+    /// The `phase=` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Generate => "generate",
+            Phase::Translate => "translate",
+            Phase::Commit => "commit",
+            Phase::Inbound => "inbound",
+            Phase::Sweep => "sweep",
+            Phase::Sample => "sample",
+            Phase::BurstResolve => "burst_resolve",
+            Phase::BurstPrefetch => "burst_prefetch",
+            Phase::BurstTranslate => "burst_translate",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Generate => 0,
+            Phase::Translate => 1,
+            Phase::Commit => 2,
+            Phase::Inbound => 3,
+            Phase::Sweep => 4,
+            Phase::Sample => 5,
+            Phase::BurstResolve => 6,
+            Phase::BurstPrefetch => 7,
+            Phase::BurstTranslate => 8,
+        }
+    }
+}
+
+/// The metric family phase histograms render under.
+pub const PHASE_FAMILY: &str = "cgn_phase_nanos";
+
+/// Per-shard wall-clock nanosecond histograms, one per [`Phase`].
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseProfiler {
+    histograms: Vec<Histogram>,
+}
+
+impl PhaseProfiler {
+    pub fn new() -> Self {
+        PhaseProfiler {
+            histograms: vec![Histogram::default(); Phase::ALL.len()],
+        }
+    }
+
+    /// Record one timed region.
+    #[inline]
+    pub fn record(&mut self, phase: Phase, nanos: u64) {
+        self.histograms[phase.index()].record(nanos);
+    }
+
+    /// The histogram for one phase (empty profilers index safely).
+    pub fn histogram(&self, phase: Phase) -> &Histogram {
+        static EMPTY: Histogram = Histogram {
+            count: 0,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        self.histograms.get(phase.index()).unwrap_or(&EMPTY)
+    }
+
+    /// Fold another profiler in (shard-order merge at render time).
+    pub fn merge(&mut self, other: &PhaseProfiler) {
+        if self.histograms.len() < other.histograms.len() {
+            self.histograms
+                .resize(other.histograms.len(), Histogram::default());
+        }
+        for (mine, theirs) in self.histograms.iter_mut().zip(&other.histograms) {
+            mine.merge(theirs);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.histograms.iter().all(Histogram::is_empty)
+    }
+
+    /// Push `cgn_phase_nanos{phase="…"}` histogram samples for every
+    /// non-empty phase. Only for *published* snapshots — never the
+    /// deterministic windowed series.
+    pub fn render_into(&self, out: &mut Snapshot) {
+        for phase in Phase::ALL {
+            let h = self.histogram(phase);
+            if h.is_empty() {
+                continue;
+            }
+            out.push(
+                format!("{PHASE_FAMILY}{{phase=\"{}\"}}", phase.name()),
+                Value::Histogram(h.clone()),
+            );
+        }
+    }
+
+    /// `(phase, p50, p95, p99, count)` rows for every non-empty
+    /// phase — the table the perf harness and the `top` TUI print.
+    pub fn percentile_rows(&self) -> Vec<(Phase, f64, f64, f64, u64)> {
+        Phase::ALL
+            .iter()
+            .filter_map(|&p| {
+                let h = self.histogram(p);
+                if h.is_empty() {
+                    return None;
+                }
+                let (p50, p95, p99) = h.percentiles();
+                Some((p, p50, p95, p99, h.count))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_have_unique_names_and_indices() {
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::ALL.len());
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn profiler_records_merges_and_renders() {
+        let mut a = PhaseProfiler::new();
+        a.record(Phase::Generate, 1000);
+        a.record(Phase::Generate, 2000);
+        a.record(Phase::Sweep, 50);
+        let mut b = PhaseProfiler::new();
+        b.record(Phase::Generate, 4000);
+        a.merge(&b);
+        assert_eq!(a.histogram(Phase::Generate).count, 3);
+        assert_eq!(a.histogram(Phase::Generate).sum, 7000);
+        let mut snap = Snapshot::default();
+        a.render_into(&mut snap);
+        snap.normalize();
+        assert_eq!(snap.samples.len(), 2, "only non-empty phases render");
+        let text = cgn_metrics::expo::render(&snap);
+        assert!(text.contains("cgn_phase_nanos_count{phase=\"generate\"} 3"));
+        assert!(text.contains("cgn_phase_nanos_count{phase=\"sweep\"} 1"));
+        assert!(
+            !text.contains("phase=\"inbound\""),
+            "empty phases are omitted:\n{text}"
+        );
+        let rows = a.percentile_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(matches!(rows[0].0, Phase::Generate));
+        assert!(rows[0].1 <= rows[0].2 && rows[0].2 <= rows[0].3);
+    }
+
+    #[test]
+    fn empty_profiler_is_empty() {
+        let p = PhaseProfiler::new();
+        assert!(p.is_empty());
+        let mut snap = Snapshot::default();
+        p.render_into(&mut snap);
+        assert!(snap.samples.is_empty());
+        assert!(p.percentile_rows().is_empty());
+    }
+}

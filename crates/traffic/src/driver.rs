@@ -28,6 +28,7 @@ use analysis::port_demand::{
 };
 use cgn_metrics::{Snapshot, Value, Window, WindowSeries};
 use cgn_telemetry::{BinaryLogSink, EventLog, SampledSink};
+use cgn_trace::{Phase, PhaseProfiler, ShardTracer, TraceConfig, TraceDump};
 use nat_engine::sharded::{mix64, scatter};
 use nat_engine::telemetry::{EventSink, TelemetryMode};
 use nat_engine::{EngineMetrics, Nat, NatConfig, NatStats, NatVerdict, ShardedNat, StoreOccupancy};
@@ -101,6 +102,15 @@ pub struct DriverConfig {
     /// worker-thread count and burst size. `0` (the default) disables
     /// the leg entirely and leaves every existing digest unchanged.
     pub inbound_reply_permille: u32,
+    /// Flow-lifecycle tracing and phase profiling
+    /// ([`cgn_trace::TraceConfig`]). The default (`off`) installs no
+    /// tracer — the fire sites compile to an untaken branch, the same
+    /// zero-cost discipline as `telemetry` and `metrics_window_secs`.
+    /// When enabled, flow spans are sim-time-stamped and thread-count
+    /// invariant; phase timings are wall-clock and live only in the
+    /// annotation layer ([`DriverSession::phase_profile`]), never in
+    /// [`RunSummary`].
+    pub trace: TraceConfig,
     pub seed: u64,
 }
 
@@ -134,6 +144,7 @@ impl DriverConfig {
             metrics_retention: 0,
             burst: 0,
             inbound_reply_permille: 0,
+            trace: TraceConfig::off(),
             seed,
         }
     }
@@ -576,6 +587,10 @@ fn advance_shard(
         let now = SimTime::from_millis(at_ms);
         pending.clear();
         let mut packets: Vec<Packet> = Vec::with_capacity(batch.len());
+        // Wall-clock phase clock: `None` (an untaken branch per lap)
+        // unless this shard's tracer profiles phases. The burst
+        // pipeline laps its own sub-phases inside `process_burst`.
+        let mut clock = nat.phase_clock();
 
         // Pass 1 — generate, in event order.
         for (_at, _seq, kind) in batch {
@@ -672,6 +687,8 @@ fn advance_shard(
             }
         }
 
+        nat.phase_lap(&mut clock, Phase::Generate);
+
         // Pass 2 — translate in `burst`-sized chunks through the
         // engine's resolve → prefetch → translate pipeline.
         let mut verdicts: Vec<NatVerdict> = Vec::with_capacity(packets.len());
@@ -683,6 +700,7 @@ fn advance_shard(
             }
             verdicts.extend(nat.process_burst(chunk, now));
         }
+        nat.phase_lap(&mut clock, Phase::Translate);
 
         // Pass 3 — commit, in event order. Forwarded packets whose
         // flow the reply hash selects queue an inbound reply addressed
@@ -781,6 +799,7 @@ fn advance_shard(
             }
         }
         debug_assert!(verdicts.next().is_none(), "every verdict consumed");
+        nat.phase_lap(&mut clock, Phase::Commit);
 
         // Inbound-reply leg: answer the batch's selected flows at the
         // same instant, drained through the engine's inbound burst
@@ -796,6 +815,7 @@ fn advance_shard(
                 }
                 let _ = nat.process_inbound_burst(chunk, now);
             }
+            nat.phase_lap(&mut clock, Phase::Inbound);
         }
     }
 
@@ -804,6 +824,7 @@ fn advance_shard(
         nat.sweep(now);
     }
     if do_sample {
+        let mut clock = nat.phase_clock();
         // Dense slab pass in host-interning order — no per-host hash
         // map; the merge sorts the distribution anyway.
         let ports: Vec<u32> = nat.active_ports_per_host(now);
@@ -812,6 +833,7 @@ fn advance_shard(
             .iter()
             .map(|o| o.utilization())
             .fold(0.0, f64::max);
+        nat.phase_lap(&mut clock, Phase::Sample);
         Some(ShardDemand {
             ports,
             worst_ip_utilization: worst,
@@ -993,6 +1015,13 @@ impl DriverSession {
             sharded.set_metrics(
                 (0..config.shards)
                     .map(|_| Box::<EngineMetrics>::default())
+                    .collect(),
+            );
+        }
+        if config.trace.enabled() {
+            sharded.set_tracers(
+                (0..config.shards)
+                    .map(|s| Box::new(ShardTracer::new(s as u32, &config.trace)))
                     .collect(),
             );
         }
@@ -1264,6 +1293,26 @@ impl DriverSession {
     /// Remove and return the per-shard event sinks (shard order).
     pub fn take_event_sinks(&mut self) -> Vec<Option<Box<dyn EventSink>>> {
         self.sharded.take_sinks()
+    }
+
+    /// Fleet-wide wall-clock phase profile, merged across shard
+    /// tracers (`None` unless [`DriverConfig::trace`] profiles
+    /// phases). Annotation layer only: render it into a published
+    /// exposition with [`cgn_trace::PhaseProfiler::render_into`] —
+    /// never into the deterministic windowed snapshots or
+    /// [`RunSummary`].
+    pub fn phase_profile(&self) -> Option<PhaseProfiler> {
+        self.sharded.phase_profile()
+    }
+
+    /// Merged flight-recorder dump across shards (`None` unless
+    /// [`DriverConfig::trace`] samples flows). Sim-time-stamped and
+    /// `(shard, seq)`-ordered, so the dump — unlike the phase
+    /// profile — is a deterministic function of the run; feed it to
+    /// [`cgn_trace::chrome_trace_json`]. Callable at any barrier
+    /// (the `/trace` endpoint) or after the last one.
+    pub fn trace_dump(&self) -> Option<TraceDump> {
+        self.sharded.trace_dump()
     }
 
     /// Assemble the [`RunSummary`] and recover the per-shard logs —
@@ -1861,6 +1910,96 @@ mod tests {
         }
     }
 
+    /// Tracing is observation only: with flow sampling and phase
+    /// profiling on, the summary, digest and telemetry log bytes are
+    /// bit-identical to the tracing-off run — and the flight-recorder
+    /// dump itself (sim-time-stamped, `(shard, seq)`-ordered) is
+    /// bit-identical for every worker-thread count and burst size.
+    #[test]
+    fn tracing_is_observation_only_and_thread_invariant() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 19);
+        cfg.shards = 3;
+        cfg.telemetry = nat_engine::telemetry::TelemetryMode::PerConnection;
+        let (off, off_logs) = run_with_logs(&cfg);
+
+        cfg.trace = TraceConfig::sampled(8);
+        cfg.threads = 1;
+        cfg.burst = 1;
+        let mut session = DriverSession::new(&cfg);
+        while session.step().is_some() {}
+        let base_dump = session.trace_dump().expect("tracer installed");
+        assert!(base_dump.sampled_flows > 0, "1-in-8 must catch flows");
+        assert!(!base_dump.events.is_empty());
+        assert_eq!(base_dump.sample_one_in, 8);
+        let profile = session.phase_profile().expect("profiling on");
+        assert!(
+            !profile.is_empty(),
+            "phase laps recorded alongside flow sampling"
+        );
+        assert!(profile.histogram(Phase::Generate).count > 0);
+        assert!(profile.histogram(Phase::Translate).count > 0);
+        assert!(profile.histogram(Phase::Commit).count > 0);
+        assert!(profile.histogram(Phase::Sweep).count > 0);
+        assert!(profile.histogram(Phase::Sample).count > 0);
+        let (traced, traced_logs) = session.finish();
+        assert_eq!(off, traced, "tracing must not perturb the run");
+        assert_eq!(off.digest(), traced.digest());
+        for (a, b) in off_logs.iter().zip(&traced_logs) {
+            assert_eq!(a.bytes(), b.bytes(), "telemetry log bytes unchanged");
+        }
+
+        for (threads, burst) in [(2, 7), (4, 64), (3, 0)] {
+            cfg.threads = threads;
+            cfg.burst = burst;
+            let mut session = DriverSession::new(&cfg);
+            while session.step().is_some() {}
+            let dump = session.trace_dump().expect("tracer installed");
+            assert_eq!(
+                base_dump.events, dump.events,
+                "trace events diverged at threads={threads} burst={burst}"
+            );
+            assert_eq!(base_dump.sampled_flows, dump.sampled_flows);
+            assert_eq!(base_dump.evicted, dump.evicted);
+            assert_eq!(
+                cgn_trace::chrome_trace_json(&base_dump),
+                cgn_trace::chrome_trace_json(&dump),
+                "chrome dump bytes diverged at threads={threads} burst={burst}"
+            );
+        }
+    }
+
+    /// The published exposition overlay: phase histograms render into
+    /// a snapshot clone with p50/p95/p99 companions, while the
+    /// deterministic windowed snapshots never see them.
+    #[test]
+    fn phase_profile_renders_into_exposition_only() {
+        let mut cfg = small(WorkloadMix::residential_evening(), 11);
+        cfg.metrics_window_secs = Some(30);
+        cfg.trace = TraceConfig::sampled(4);
+        let mut session = DriverSession::new(&cfg);
+        while session.step().is_some() {}
+        let snap = session.latest_snapshot().expect("metrics on").clone();
+        assert!(
+            !snap
+                .samples
+                .iter()
+                .any(|s| s.name.starts_with("cgn_phase_nanos")),
+            "windowed snapshots stay wall-clock-free"
+        );
+        let mut published = snap.clone();
+        session
+            .phase_profile()
+            .expect("profiling on")
+            .render_into(&mut published);
+        assert!(
+            published
+                .samples
+                .iter()
+                .any(|s| s.name.starts_with("cgn_phase_nanos{")),
+            "published exposition carries the phase histograms"
+        );
+    }
+
     #[test]
     fn shard_pool_and_subscriber_plan_match_the_engine() {
         let mut cfg = small(WorkloadMix::iot_fleet(), 3);
@@ -1926,6 +2065,45 @@ mod tests {
                 &par.peak_ports_per_subscriber
             );
             prop_assert_eq!(seq, par);
+        }
+
+        /// The tracing satellite property: the deterministic 1-in-N
+        /// mix64 flow sampler picks the same flows — and the flight
+        /// recorder logs the same `(shard, seq)`-ordered events — for
+        /// random seeds, mixes, shard counts, sampling rates and any
+        /// worker-thread count.
+        #[test]
+        fn prop_trace_sampling_is_thread_invariant(
+            seed in any::<u64>(),
+            mix_idx in 0usize..8,
+            shards in 1u16..=3,
+            threads in 2usize..=5,
+            one_in_idx in 0usize..4,
+        ) {
+            let one_in = [1u32, 4, 16, 64][one_in_idx];
+            let mixes = WorkloadMix::all();
+            let mix = mixes[mix_idx % mixes.len()].clone();
+            let mut cfg = DriverConfig {
+                subscribers: 90,
+                shards,
+                external_ips_per_shard: 2,
+                duration_secs: 90,
+                sample_secs: 30,
+                sweep_secs: 25,
+                ..DriverConfig::new(mix, seed)
+            };
+            cfg.trace = TraceConfig::sampled(one_in);
+            cfg.threads = 1;
+            let mut seq = DriverSession::new(&cfg);
+            while seq.step().is_some() {}
+            let base = seq.trace_dump().expect("tracer installed");
+            cfg.threads = threads;
+            let mut par = DriverSession::new(&cfg);
+            while par.step().is_some() {}
+            let dump = par.trace_dump().expect("tracer installed");
+            prop_assert_eq!(base.sampled_flows, dump.sampled_flows);
+            prop_assert_eq!(base.evicted, dump.evicted);
+            prop_assert_eq!(base.events, dump.events);
         }
     }
 }

@@ -61,6 +61,7 @@ mod wheel;
 pub mod workload;
 
 pub use background::{drive as drive_background, BackgroundLoad, LoadSummary, PeerObservation};
+pub use cgn_trace::TraceConfig;
 pub use driver::{
     run, run_with_logs, shard_of_subscriber, shard_pool, subscriber_ip, DriverConfig,
     DriverSession, MetricsSummary, MetricsWindow, RunSummary, SessionHealth, TelemetrySummary,
